@@ -1,0 +1,161 @@
+// E16 (design ablations): the cost of the candidate-list machinery itself.
+//   (a) range select on a *sorted* tail (binary search -> dense, payload-
+//       free candidate BAT) vs the same select on unsorted data (scan ->
+//       materialized OID list) — the property-driven algorithm selection of
+//       §3.1;
+//   (b) projection through dense vs materialized candidate lists;
+//   (c) a chain of two theta-selects vs the fused range select the MAL
+//       optimizer produces (SelectFusion's payoff).
+
+#include <benchmark/benchmark.h>
+
+#include "core/project.h"
+#include "core/select.h"
+#include "core/sort.h"
+#include "common/rng.h"
+#include "index/zonemap.h"
+#include "workloads.h"
+
+namespace mammoth {
+namespace {
+
+constexpr size_t kRows = 4 << 20;
+constexpr int64_t kDomain = 1 << 30;
+constexpr int64_t kLo = kDomain / 4;
+constexpr int64_t kHi = kDomain / 2;  // ~25% selectivity
+
+const BatPtr& Unsorted() {
+  static BatPtr b = bench::UniformInt32(kRows, kDomain, 7);
+  return b;
+}
+
+const BatPtr& Sorted() {
+  static BatPtr b = [] {
+    BatPtr s = Unsorted()->Clone();
+    auto r = algebra::Sort(s);
+    return r.ok() ? r->sorted : s;
+  }();
+  return b;
+}
+
+const BatPtr& Payload() {
+  static BatPtr b = bench::UniformInt32(kRows, 1u << 30, 8);
+  return b;
+}
+
+void BM_SelectSortedBinarySearch(benchmark::State& state) {
+  const BatPtr& sorted = Sorted();  // one-time setup outside the timing loop
+  for (auto _ : state) {
+    auto r = algebra::RangeSelect(sorted, nullptr, Value::Int(kLo),
+                                  Value::Int(kHi));
+    benchmark::DoNotOptimize(r->get());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_SelectSortedBinarySearch)->Unit(benchmark::kMillisecond);
+
+void BM_SelectUnsortedScan(benchmark::State& state) {
+  const BatPtr& unsorted = Unsorted();
+  for (auto _ : state) {
+    auto r = algebra::RangeSelect(unsorted, nullptr, Value::Int(kLo),
+                                  Value::Int(kHi));
+    benchmark::DoNotOptimize(r->get());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_SelectUnsortedScan)->Unit(benchmark::kMillisecond);
+
+void BM_ProjectThroughDenseCands(benchmark::State& state) {
+  auto cands = algebra::RangeSelect(Sorted(), nullptr, Value::Int(kLo),
+                                    Value::Int(kHi));
+  const BatPtr& payload = Payload();
+  for (auto _ : state) {
+    auto r = algebra::Project(*cands, payload);
+    benchmark::DoNotOptimize(r->get());
+  }
+  state.SetItemsProcessed(state.iterations() * (*cands)->Count());
+  state.counters["dense"] = (*cands)->IsDenseTail() ? 1 : 0;
+}
+BENCHMARK(BM_ProjectThroughDenseCands)->Unit(benchmark::kMillisecond);
+
+void BM_ProjectThroughMaterializedCands(benchmark::State& state) {
+  auto cands = algebra::RangeSelect(Sorted(), nullptr, Value::Int(kLo),
+                                    Value::Int(kHi));
+  BatPtr materialized = (*cands)->Clone();
+  materialized->MaterializeDense();
+  const BatPtr& payload = Payload();
+  for (auto _ : state) {
+    auto r = algebra::Project(materialized, payload);
+    benchmark::DoNotOptimize(r->get());
+  }
+  state.SetItemsProcessed(state.iterations() * materialized->Count());
+}
+BENCHMARK(BM_ProjectThroughMaterializedCands)->Unit(benchmark::kMillisecond);
+
+void BM_SelectChainUnfused(benchmark::State& state) {
+  const BatPtr& unsorted = Unsorted();
+  for (auto _ : state) {
+    auto ge = algebra::ThetaSelect(unsorted, nullptr, Value::Int(kLo),
+                                   CmpOp::kGe);
+    auto both =
+        algebra::ThetaSelect(unsorted, *ge, Value::Int(kHi), CmpOp::kLe);
+    benchmark::DoNotOptimize(both->get());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_SelectChainUnfused)->Unit(benchmark::kMillisecond);
+
+void BM_SelectFusedRange(benchmark::State& state) {
+  const BatPtr& unsorted = Unsorted();
+  for (auto _ : state) {
+    auto r = algebra::RangeSelect(unsorted, nullptr, Value::Int(kLo),
+                                  Value::Int(kHi));
+    benchmark::DoNotOptimize(r->get());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_SelectFusedRange)->Unit(benchmark::kMillisecond);
+
+const BatPtr& Clustered() {
+  static BatPtr b = [] {
+    Rng rng(77);
+    BatPtr c = Bat::New(PhysType::kInt32);
+    for (size_t i = 0; i < kRows; ++i) {
+      c->Append<int32_t>(static_cast<int32_t>(i / 4 + rng.Uniform(64)));
+    }
+    return c;
+  }();
+  return b;
+}
+
+// Zone maps: block skipping pays on clustered data and costs (almost)
+// nothing to maintain — the "not all data is equally important" family of
+// light-weight partial indexes (§2).
+void BM_ZoneMapSelectClustered(benchmark::State& state) {
+  static auto zm = index::ZoneMap::Build(Clustered(), 1024);
+  const int64_t lo = kRows / 8, hi = lo + kRows / 256;
+  for (auto _ : state) {
+    auto r = (*zm).RangeSelect(Value::Int(lo), Value::Int(hi));
+    benchmark::DoNotOptimize(r->get());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.counters["blocks_touched"] = static_cast<double>(
+      (*zm).BlocksTouched(Value::Int(lo), Value::Int(hi)));
+  state.counters["blocks_total"] = static_cast<double>((*zm).NumBlocks());
+}
+BENCHMARK(BM_ZoneMapSelectClustered)->Unit(benchmark::kMillisecond);
+
+void BM_PlainScanSelectClustered(benchmark::State& state) {
+  const BatPtr& clustered = Clustered();
+  const int64_t lo = kRows / 8, hi = lo + kRows / 256;
+  for (auto _ : state) {
+    auto r = algebra::RangeSelect(clustered, nullptr, Value::Int(lo),
+                                  Value::Int(hi));
+    benchmark::DoNotOptimize(r->get());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_PlainScanSelectClustered)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mammoth

@@ -1,0 +1,180 @@
+// E15 (§4.2, [25]): "cache-conscious algorithms achieve their full
+// performance only once ... CPU costs are minimized, e.g., by removing
+// function calls and divisions (in the hash function) from inner-most
+// loops." Ablations over the hash-join probe loop on cache-resident data
+// (so memory cost is flat and CPU differences show):
+//   - multiplicative hash + power-of-two mask  (the library's choice)
+//   - modulo-prime hash                        (division in the loop)
+//   - hash through a function pointer          (call in the loop)
+// And the memory x CPU interaction: the same ablation on a cache-exceeding
+// table, where the paper observes the combined improvement beats the sum
+// of the individual ones.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/hash.h"
+#include "workloads.h"
+
+namespace mammoth {
+namespace {
+
+struct Table {
+  std::vector<uint32_t> buckets;  // 1-based heads
+  std::vector<uint32_t> next;
+  std::vector<int32_t> keys;
+  uint64_t mask = 0;
+  uint64_t nbuckets = 0;
+};
+
+Table BuildMultiplicative(const BatPtr& r) {
+  Table t;
+  const size_t n = r->Count();
+  t.nbuckets = NextPow2(n);
+  t.mask = t.nbuckets - 1;
+  t.buckets.assign(t.nbuckets, 0);
+  t.next.resize(n);
+  t.keys.assign(r->TailData<int32_t>(), r->TailData<int32_t>() + n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t h = HashInt(static_cast<uint64_t>(t.keys[i])) & t.mask;
+    t.next[i] = t.buckets[h];
+    t.buckets[h] = static_cast<uint32_t>(i + 1);
+  }
+  return t;
+}
+
+/// Largest prime below a power of two, for the modulo baseline.
+uint64_t PrimeBelow(uint64_t n) {
+  auto is_prime = [](uint64_t x) {
+    for (uint64_t d = 3; d * d <= x; d += 2) {
+      if (x % d == 0) return false;
+    }
+    return x % 2 != 0;
+  };
+  for (uint64_t p = n - 1;; --p) {
+    if (is_prime(p)) return p;
+  }
+}
+
+Table BuildModulo(const BatPtr& r) {
+  Table t;
+  const size_t n = r->Count();
+  t.nbuckets = PrimeBelow(NextPow2(n));
+  t.buckets.assign(t.nbuckets, 0);
+  t.next.resize(n);
+  t.keys.assign(r->TailData<int32_t>(), r->TailData<int32_t>() + n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t h = static_cast<uint64_t>(
+                           static_cast<uint32_t>(t.keys[i])) %
+                       t.nbuckets;
+    t.next[i] = t.buckets[h];
+    t.buckets[h] = static_cast<uint32_t>(i + 1);
+  }
+  return t;
+}
+
+size_t ProbeMultiplicative(const Table& t, const int32_t* probes, size_t n) {
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t key = probes[i];
+    const uint64_t h = HashInt(static_cast<uint64_t>(key)) & t.mask;
+    for (uint32_t j = t.buckets[h]; j != 0; j = t.next[j - 1]) {
+      hits += t.keys[j - 1] == key;
+    }
+  }
+  return hits;
+}
+
+size_t ProbeModulo(const Table& t, const int32_t* probes, size_t n) {
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t key = probes[i];
+    const uint64_t h =
+        static_cast<uint64_t>(static_cast<uint32_t>(key)) % t.nbuckets;
+    for (uint32_t j = t.buckets[h]; j != 0; j = t.next[j - 1]) {
+      hits += t.keys[j - 1] == key;
+    }
+  }
+  return hits;
+}
+
+using HashFn = uint64_t (*)(uint64_t);
+
+uint64_t CallableHash(uint64_t x) { return HashInt(x); }
+
+size_t ProbeFunctionPointer(const Table& t, const int32_t* probes, size_t n,
+                            HashFn fn) {
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t key = probes[i];
+    const uint64_t h = fn(static_cast<uint64_t>(key)) & t.mask;
+    for (uint32_t j = t.buckets[h]; j != 0; j = t.next[j - 1]) {
+      hits += t.keys[j - 1] == key;
+    }
+  }
+  return hits;
+}
+
+/// Random 32-bit keys on both sides: neither hash gets an accidental
+/// perfect mapping (sequential keys make modulo-prime injective, which
+/// would measure distribution luck, not CPU cost).
+struct Workload {
+  BatPtr left, right;
+};
+
+Workload RandomKeys(size_t n) {
+  Workload w;
+  w.left = bench::UniformInt32(n, 1u << 31, 3);
+  w.right = bench::UniformInt32(n, 1u << 31, 4);
+  return w;
+}
+
+// range(0): inner-table tuples (small = cache-resident, big = RAM).
+void BM_ProbeMultiplicativeHash(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto pair = RandomKeys(n);
+  const Table t = BuildMultiplicative(pair.right);
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = ProbeMultiplicative(t, pair.left->TailData<int32_t>(), n);
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ProbeMultiplicativeHash)->Arg(1 << 14)->Arg(8 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ProbeModuloPrimeHash(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto pair = RandomKeys(n);
+  const Table t = BuildModulo(pair.right);
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = ProbeModulo(t, pair.left->TailData<int32_t>(), n);
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ProbeModuloPrimeHash)->Arg(1 << 14)->Arg(8 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ProbeFunctionPointerHash(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto pair = RandomKeys(n);
+  const Table t = BuildMultiplicative(pair.right);
+  HashFn fn = CallableHash;
+  benchmark::DoNotOptimize(fn);  // defeat devirtualization
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = ProbeFunctionPointer(t, pair.left->TailData<int32_t>(), n, fn);
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ProbeFunctionPointerHash)->Arg(1 << 14)->Arg(8 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mammoth

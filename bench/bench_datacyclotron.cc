@@ -1,0 +1,93 @@
+// E12 (§6.2, [13]): DataCyclotron ring simulation. The hot-set floats
+// around the cluster via CPU-bypassing RDMA-style forwards; queries process
+// whichever partition passes by. Series:
+//   - throughput vs ring size (1..16 nodes) under saturation, vs the
+//     centralized single-server baseline;
+//   - average wait vs hop latency (the cost of a slow interconnect);
+//   - sensitivity to hot-set size (more partitions = longer laps).
+// All numbers come from a deterministic discrete-event model (see
+// DESIGN.md §3 substitution note); the benchmark wall time is the
+// simulation cost, the counters carry the simulated metrics.
+
+#include <benchmark/benchmark.h>
+
+#include "net/datacyclotron.h"
+
+namespace mammoth {
+namespace {
+
+net::RingConfig Saturated() {
+  net::RingConfig c;
+  c.partitions = 64;
+  c.hop_seconds = 0.0001;
+  c.process_seconds = 0.002;
+  c.num_queries = 20000;
+  c.arrival_rate = 1e9;  // back-to-back arrivals: saturation
+  // Throughput/latency sweeps use pure-latency hops; the hot-set sweep
+  // below turns the bandwidth term on explicitly.
+  c.link_bytes_per_second = 0;
+  return c;
+}
+
+void BM_RingThroughputVsNodes(benchmark::State& state) {
+  net::RingConfig c = Saturated();
+  c.nodes = static_cast<size_t>(state.range(0));
+  net::RingStats s;
+  for (auto _ : state) {
+    s = net::SimulateRing(c);
+    benchmark::DoNotOptimize(s.makespan);
+  }
+  state.counters["sim_throughput_qps"] = s.throughput;
+  state.counters["sim_latency_ms"] = s.avg_latency * 1e3;
+  state.counters["sim_cpu_util"] = s.cpu_utilization;
+}
+BENCHMARK(BM_RingThroughputVsNodes)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_CentralizedBaseline(benchmark::State& state) {
+  net::RingConfig c = Saturated();
+  c.nodes = static_cast<size_t>(state.range(0));  // ignored by the baseline
+  net::RingStats s;
+  for (auto _ : state) {
+    s = net::SimulateCentralized(c);
+    benchmark::DoNotOptimize(s.makespan);
+  }
+  state.counters["sim_throughput_qps"] = s.throughput;
+  state.counters["sim_latency_ms"] = s.avg_latency * 1e3;
+}
+BENCHMARK(BM_CentralizedBaseline)->Arg(1);
+
+void BM_RingWaitVsHopLatency(benchmark::State& state) {
+  net::RingConfig c = Saturated();
+  c.nodes = 8;
+  c.arrival_rate = 200;  // light load: wait is data-arrival dominated
+  c.num_queries = 2000;
+  c.hop_seconds = static_cast<double>(state.range(0)) * 1e-6;
+  net::RingStats s;
+  for (auto _ : state) {
+    s = net::SimulateRing(c);
+    benchmark::DoNotOptimize(s.makespan);
+  }
+  state.counters["sim_wait_ms"] = s.avg_wait * 1e3;
+}
+BENCHMARK(BM_RingWaitVsHopLatency)
+    ->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_RingHotSetSize(benchmark::State& state) {
+  net::RingConfig c = Saturated();
+  c.nodes = 8;
+  c.partitions = static_cast<size_t>(state.range(0));
+  c.partition_bytes = 1 << 20;
+  c.link_bytes_per_second = 10e9 / 8;  // hop time grows with the hot set
+  net::RingStats s;
+  for (auto _ : state) {
+    s = net::SimulateRing(c);
+    benchmark::DoNotOptimize(s.makespan);
+  }
+  state.counters["sim_throughput_qps"] = s.throughput;
+  state.counters["sim_wait_ms"] = s.avg_wait * 1e3;
+}
+BENCHMARK(BM_RingHotSetSize)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+}  // namespace mammoth

@@ -1,0 +1,69 @@
+// E2 (§3): tuple-at-a-time Volcano iteration with an interpreted expression
+// tree vs the zero-degree-of-freedom BAT algebra, on
+//   SELECT sum(b) FROM t WHERE a >= lo AND a <= hi
+// over 4M rows at several selectivities. The paper's claim: interpretation
+// overhead + instruction-cache pressure make tuple-at-a-time dramatically
+// slower; bulk operators run tight loops.
+
+#include <benchmark/benchmark.h>
+
+#include "core/group.h"
+#include "core/project.h"
+#include "core/select.h"
+#include "volcano/operators.h"
+#include "workloads.h"
+
+namespace mammoth {
+namespace {
+
+constexpr size_t kRows = 4 << 20;
+constexpr int64_t kDomain = 1000;
+
+struct Data {
+  BatPtr a = bench::UniformInt32(kRows, kDomain, 11);
+  BatPtr b = bench::UniformInt32(kRows, 1000000, 12);
+};
+
+Data& SharedData() {
+  static Data data;
+  return data;
+}
+
+// range(0) = selectivity in percent.
+void BM_VolcanoTupleAtATime(benchmark::State& state) {
+  Data& d = SharedData();
+  const int64_t hi = kDomain * state.range(0) / 100;
+  for (auto _ : state) {
+    using namespace volcano;
+    auto scan = MakeScan({d.a, d.b});
+    auto filt = MakeFilter(
+        std::move(scan),
+        And(Cmp(CmpOp::kGe, ColumnRef(0), Const(Value::Int(0))),
+            Cmp(CmpOp::kLe, ColumnRef(0), Const(Value::Int(hi)))));
+    auto agg = MakeAggregate(std::move(filt), {},
+                             {{AggSpec::Fn::kSum, 1}});
+    auto rows = Collect(agg.get());
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_VolcanoTupleAtATime)->Arg(1)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatColumnAtATime(benchmark::State& state) {
+  Data& d = SharedData();
+  const int64_t hi = kDomain * state.range(0) / 100;
+  for (auto _ : state) {
+    auto sel = algebra::RangeSelect(d.a, nullptr, Value::Int(0),
+                                    Value::Int(hi));
+    auto proj = algebra::Project(*sel, d.b);
+    auto sum = algebra::AggrSum(*proj, nullptr, 1);
+    benchmark::DoNotOptimize(sum->get());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_BatColumnAtATime)->Arg(1)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mammoth

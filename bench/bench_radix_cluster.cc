@@ -1,0 +1,48 @@
+// E3 (Figure 2 + §4.2): radix-clustering time vs radix bits B and pass
+// count P. Single-pass clustering degrades once 2^B exceeds the TLB entry
+// count / cache line budget; multi-pass keeps the number of concurrently
+// written regions small and stays near memory bandwidth.
+//
+// Series: ms per clustering of 4M tuples, B in {4..16}, P in {1,2,3}.
+
+#include <benchmark/benchmark.h>
+
+#include "join/radix_cluster.h"
+#include "workloads.h"
+
+namespace mammoth {
+namespace {
+
+constexpr size_t kTuples = 4 << 20;
+
+void RunCluster(benchmark::State& state, int passes) {
+  const int bits = static_cast<int>(state.range(0));
+  BatPtr column = bench::UniformInt32(kTuples, 1u << 28, 31);
+  auto base = radix::FromBat<int32_t>(*column);
+  const auto plan = radix::SplitBits(bits, passes);
+  for (auto _ : state) {
+    radix::RadixTable<int32_t> t = *base;  // fresh copy each round
+    radix::RadixCluster<int32_t>(&t, plan);
+    benchmark::DoNotOptimize(t.bounds.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kTuples);
+  state.counters["clusters"] = static_cast<double>(1u << bits);
+  state.counters["passes"] = passes;
+}
+
+void BM_RadixCluster1Pass(benchmark::State& state) { RunCluster(state, 1); }
+void BM_RadixCluster2Pass(benchmark::State& state) { RunCluster(state, 2); }
+void BM_RadixCluster3Pass(benchmark::State& state) { RunCluster(state, 3); }
+
+BENCHMARK(BM_RadixCluster1Pass)
+    ->DenseRange(4, 16, 4)->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RadixCluster2Pass)
+    ->DenseRange(4, 16, 4)->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RadixCluster3Pass)
+    ->DenseRange(4, 16, 4)->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mammoth

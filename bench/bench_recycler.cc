@@ -1,0 +1,133 @@
+// E10 (§6.1, [19]): recycling intermediates on a Skyserver-like query log.
+// Substitution (DESIGN.md §3): the production log is synthesized as
+// zipf-repeated range/aggregate templates over an astronomy-style table —
+// the recycler's benefit depends only on the repetition/overlap structure.
+// Series: total time for a 400-query log with recycling off / LRU /
+// benefit-weighted / random eviction, plus hit statistics.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "mal/interpreter.h"
+#include "recycle/recycler.h"
+#include "workloads.h"
+
+namespace mammoth {
+namespace {
+
+constexpr size_t kRows = 1 << 20;
+constexpr size_t kTemplates = 64;  // distinct query templates in the log
+constexpr size_t kLogLength = 400;
+
+std::shared_ptr<Catalog> SkyCatalog() {
+  auto catalog = std::make_shared<Catalog>();
+  auto t = Table::Create("sky", {{"ra", PhysType::kInt32},
+                                 {"mag", PhysType::kDouble}});
+  BatPtr ra = bench::UniformInt32(kRows, 360000, 71);
+  BatPtr mag = bench::UniformDouble(kRows, 72);
+  for (size_t i = 0; i < kRows; ++i) {
+    benchmark::DoNotOptimize(
+        (*t)->Insert({Value::Int(ra->ValueAt<int32_t>(i)),
+                      Value::Real(mag->ValueAt<double>(i))})
+            .ok());
+  }
+  benchmark::DoNotOptimize(catalog->Register(*t).ok());
+  return catalog;
+}
+
+std::shared_ptr<Catalog>& SharedCatalog() {
+  static std::shared_ptr<Catalog> catalog = SkyCatalog();
+  return catalog;
+}
+
+/// avg(mag) over an RA window — the recurring Skyserver cone-search shape.
+mal::Program ConeQuery(int lo, int hi) {
+  mal::Program p;
+  const int ra = p.Bind("sky", "ra");
+  const int cands = p.BindCandidates("sky");
+  const int sel = p.RangeSelect(ra, cands, Value::Int(lo), Value::Int(hi));
+  const int mag = p.Bind("sky", "mag");
+  const int proj = p.Project(sel, mag);
+  const int avg = p.Aggr(mal::OpCode::kAggrAvg, proj, -1, -1);
+  p.Result(avg, "avg_mag");
+  return p;
+}
+
+/// The zipf-repeated query log: rank 0 templates recur most.
+std::vector<mal::Program> MakeLog(uint64_t seed) {
+  ZipfGenerator zipf(kTemplates, 1.0, seed);
+  Rng rng(seed + 1);
+  std::vector<std::pair<int, int>> templates;
+  for (size_t t = 0; t < kTemplates; ++t) {
+    const int lo = static_cast<int>(rng.Uniform(350000));
+    templates.push_back({lo, lo + 2000});
+  }
+  std::vector<mal::Program> log;
+  log.reserve(kLogLength);
+  for (size_t i = 0; i < kLogLength; ++i) {
+    const auto& [lo, hi] = templates[zipf.Next()];
+    log.push_back(ConeQuery(lo, hi));
+  }
+  return log;
+}
+
+void RunLog(benchmark::State& state, recycle::Recycler* rec) {
+  auto catalog = SharedCatalog();
+  auto log = MakeLog(99);
+  mal::Interpreter interp(catalog.get(), rec);
+  size_t recycled = 0;
+  for (auto _ : state) {
+    if (rec != nullptr) rec->Clear();
+    recycled = 0;
+    for (const mal::Program& q : log) {
+      mal::RunStats stats;
+      auto r = interp.Run(q, &stats);
+      benchmark::DoNotOptimize(r.ok());
+      recycled += stats.recycled;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kLogLength);
+  state.counters["recycled_instrs"] = static_cast<double>(recycled);
+  if (rec != nullptr) {
+    state.counters["cache_MB"] =
+        static_cast<double>(rec->stats().bytes) / (1 << 20);
+  }
+}
+
+void BM_NoRecycling(benchmark::State& state) { RunLog(state, nullptr); }
+BENCHMARK(BM_NoRecycling)->Unit(benchmark::kMillisecond);
+
+void BM_RecyclerLru(benchmark::State& state) {
+  recycle::Recycler rec(64 << 20, recycle::Policy::kLru);
+  RunLog(state, &rec);
+}
+BENCHMARK(BM_RecyclerLru)->Unit(benchmark::kMillisecond);
+
+void BM_RecyclerBenefit(benchmark::State& state) {
+  recycle::Recycler rec(64 << 20, recycle::Policy::kBenefit);
+  RunLog(state, &rec);
+}
+BENCHMARK(BM_RecyclerBenefit)->Unit(benchmark::kMillisecond);
+
+void BM_RecyclerRandom(benchmark::State& state) {
+  recycle::Recycler rec(64 << 20, recycle::Policy::kRandom);
+  RunLog(state, &rec);
+}
+BENCHMARK(BM_RecyclerRandom)->Unit(benchmark::kMillisecond);
+
+// Tight-budget variant: eviction policy differences only matter when the
+// cache cannot hold everything.
+void BM_RecyclerLruTight(benchmark::State& state) {
+  recycle::Recycler rec(1 << 20, recycle::Policy::kLru);
+  RunLog(state, &rec);
+}
+BENCHMARK(BM_RecyclerLruTight)->Unit(benchmark::kMillisecond);
+
+void BM_RecyclerBenefitTight(benchmark::State& state) {
+  recycle::Recycler rec(1 << 20, recycle::Policy::kBenefit);
+  RunLog(state, &rec);
+}
+BENCHMARK(BM_RecyclerBenefitTight)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mammoth

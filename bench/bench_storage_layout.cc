@@ -1,0 +1,173 @@
+// E13 (§7; [46] DSM vs NSM, [5] PAX): storage-layout tradeoffs on an
+// 8-column int32 table of 4M rows.
+//   - scan k of 8 columns sequentially (DSM touches only k/8 of the bytes;
+//     NSM drags whole rows through the cache; PAX behaves like DSM);
+//   - reconstruct full tuples at random positions (NSM: one contiguous
+//     row; PAX: one page, several minipages; DSM: 8 scattered arrays).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "layout/nsm.h"
+#include "layout/pax.h"
+#include "workloads.h"
+
+namespace mammoth {
+namespace {
+
+constexpr size_t kRows = 4 << 20;
+constexpr size_t kCols = 8;
+
+layout::RowSchema Schema() {
+  return layout::RowSchema(std::vector<PhysType>(kCols, PhysType::kInt32));
+}
+
+template <typename Store>
+Store& SharedStore() {
+  static Store store = [] {
+    Store s(Schema());
+    Rng rng(91);
+    for (size_t r = 0; r < kRows; ++r) {
+      int32_t row[kCols];
+      for (size_t c = 0; c < kCols; ++c) {
+        row[c] = static_cast<int32_t>(rng.Next());
+      }
+      s.AppendRow(row);
+    }
+    return s;
+  }();
+  return store;
+}
+
+std::vector<BatPtr>& SharedDsm() {
+  static std::vector<BatPtr> columns = [] {
+    std::vector<BatPtr> out;
+    // Same logical content as the row stores.
+    Rng rng(91);
+    for (size_t c = 0; c < kCols; ++c) {
+      out.push_back(Bat::New(PhysType::kInt32));
+      out.back()->Resize(kRows);
+    }
+    for (size_t r = 0; r < kRows; ++r) {
+      for (size_t c = 0; c < kCols; ++c) {
+        out[c]->MutableTailData<int32_t>()[r] =
+            static_cast<int32_t>(rng.Next());
+      }
+    }
+    return out;
+  }();
+  return columns;
+}
+
+// --- Column scans: range(0) = number of columns scanned -------------------
+
+void BM_ScanDsm(benchmark::State& state) {
+  auto& columns = SharedDsm();
+  const size_t k = static_cast<size_t>(state.range(0));
+  int64_t sink = 0;
+  for (auto _ : state) {
+    for (size_t c = 0; c < k; ++c) {
+      const int32_t* v = columns[c]->TailData<int32_t>();
+      for (size_t r = 0; r < kRows; ++r) sink += v[r];
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kRows * k);
+}
+BENCHMARK(BM_ScanDsm)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_ScanNsm(benchmark::State& state) {
+  auto& store = SharedStore<layout::NsmStore>();
+  const size_t k = static_cast<size_t>(state.range(0));
+  int64_t sink = 0;
+  for (auto _ : state) {
+    for (size_t r = 0; r < kRows; ++r) {
+      for (size_t c = 0; c < k; ++c) {
+        sink += store.Field<int32_t>(r, c);
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kRows * k);
+}
+BENCHMARK(BM_ScanNsm)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_ScanPax(benchmark::State& state) {
+  auto& store = SharedStore<layout::PaxStore>();
+  const size_t k = static_cast<size_t>(state.range(0));
+  int64_t sink = 0;
+  for (auto _ : state) {
+    for (size_t r = 0; r < kRows; ++r) {
+      for (size_t c = 0; c < k; ++c) {
+        sink += store.Field<int32_t>(r, c);
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kRows * k);
+}
+BENCHMARK(BM_ScanPax)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- Random full-tuple reconstruction --------------------------------------
+
+constexpr size_t kProbes = 1 << 18;
+
+std::vector<size_t>& ProbeRows() {
+  static std::vector<size_t> probes = [] {
+    Rng rng(92);
+    std::vector<size_t> out(kProbes);
+    for (auto& p : out) p = rng.Uniform(kRows);
+    return out;
+  }();
+  return probes;
+}
+
+void BM_ReconstructNsm(benchmark::State& state) {
+  auto& store = SharedStore<layout::NsmStore>();
+  int32_t row[kCols];
+  int64_t sink = 0;
+  for (auto _ : state) {
+    for (size_t p : ProbeRows()) {
+      store.ReadRow(p, row);
+      sink += row[0] + row[7];
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kProbes);
+}
+BENCHMARK(BM_ReconstructNsm)->Unit(benchmark::kMillisecond);
+
+void BM_ReconstructPax(benchmark::State& state) {
+  auto& store = SharedStore<layout::PaxStore>();
+  int32_t row[kCols];
+  int64_t sink = 0;
+  for (auto _ : state) {
+    for (size_t p : ProbeRows()) {
+      store.ReadRow(p, row);
+      sink += row[0] + row[7];
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kProbes);
+}
+BENCHMARK(BM_ReconstructPax)->Unit(benchmark::kMillisecond);
+
+void BM_ReconstructDsm(benchmark::State& state) {
+  auto& columns = SharedDsm();
+  int32_t row[kCols];
+  int64_t sink = 0;
+  for (auto _ : state) {
+    for (size_t p : ProbeRows()) {
+      for (size_t c = 0; c < kCols; ++c) {
+        row[c] = columns[c]->TailData<int32_t>()[p];
+      }
+      sink += row[0] + row[7];
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kProbes);
+}
+BENCHMARK(BM_ReconstructDsm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mammoth

@@ -1,0 +1,59 @@
+// E7 (§5): the X100 vector-size sweep on a TPC-H-Q1-like aggregation:
+//   SELECT flag, sum(qty), sum(qty * (1 - disc)), count(*)
+//   FROM lineitem WHERE qty <= threshold GROUP BY flag
+// over 4M rows. Expectation (the paper's headline number): vector size 1
+// behaves like a tuple-at-a-time RDBMS; sizes ~100-1000 are about two
+// orders of magnitude faster; a full-column vector (operator-at-a-time)
+// loses ground again once the intermediates exceed the caches.
+
+#include <benchmark/benchmark.h>
+
+#include "vector/pipeline.h"
+#include "workloads.h"
+
+namespace mammoth {
+namespace {
+
+constexpr size_t kRows = 4 << 20;
+
+struct Q1Data {
+  BatPtr flag = bench::UniformInt32(kRows, 4, 21);
+  BatPtr qty = bench::UniformDouble(kRows, 22);
+  BatPtr disc = bench::UniformDouble(kRows, 23);
+};
+
+Q1Data& SharedData() {
+  static Q1Data d;
+  return d;
+}
+
+void BM_VectorSizeSweep(benchmark::State& state) {
+  Q1Data& d = SharedData();
+  const size_t vsize = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    vec::Pipeline p({d.flag, d.qty, d.disc}, vsize);
+    // WHERE qty <= 0.95
+    benchmark::DoNotOptimize(p.AddSelectRange(1, 0.0, 0.95).ok());
+    // revenue = qty * (1 - disc) == qty * ((disc - 1) * -1)
+    auto dm1 = p.AddMapColConst(vec::BinOp::kSub, 2, 1.0);
+    auto one_minus = p.AddMapColConst(vec::BinOp::kMul, *dm1, -1.0);
+    auto revenue = p.AddMapColCol(vec::BinOp::kMul, 1, *one_minus);
+    benchmark::DoNotOptimize(
+        p.SetAggregate(0, 4,
+                       {{vec::AggFn::kSum, 1},
+                        {vec::AggFn::kSum, *revenue},
+                        {vec::AggFn::kCount, 0}})
+            .ok());
+    auto r = p.Run();
+    benchmark::DoNotOptimize(r->aggregates.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+  state.counters["vector_size"] = static_cast<double>(vsize);
+}
+BENCHMARK(BM_VectorSizeSweep)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(128)->Arg(256)->Arg(1024)
+    ->Arg(4096)->Arg(16384)->Arg(65536)->Arg(1 << 20)->Arg(kRows)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mammoth

@@ -1,0 +1,98 @@
+#ifndef MAMMOTH_BENCH_WORKLOADS_H_
+#define MAMMOTH_BENCH_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/bat.h"
+
+namespace mammoth::bench {
+
+/// Synthetic workload generators shared by the experiment harnesses
+/// (DESIGN.md §3: substitutions for TPC-H/Skyserver-style data).
+
+inline BatPtr UniformInt32(size_t n, uint64_t bound, uint64_t seed) {
+  Rng rng(seed);
+  BatPtr b = Bat::New(PhysType::kInt32);
+  b->Resize(n);
+  int32_t* v = b->MutableTailData<int32_t>();
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<int32_t>(rng.Uniform(bound));
+  }
+  return b;
+}
+
+inline BatPtr UniformInt64(size_t n, uint64_t bound, uint64_t seed) {
+  Rng rng(seed);
+  BatPtr b = Bat::New(PhysType::kInt64);
+  b->Resize(n);
+  int64_t* v = b->MutableTailData<int64_t>();
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<int64_t>(rng.Uniform(bound));
+  }
+  return b;
+}
+
+inline BatPtr UniformDouble(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  BatPtr b = Bat::New(PhysType::kDouble);
+  b->Resize(n);
+  double* v = b->MutableTailData<double>();
+  for (size_t i = 0; i < n; ++i) v[i] = rng.NextDouble();
+  return b;
+}
+
+inline BatPtr ZipfInt32(size_t n, uint64_t domain, double theta,
+                        uint64_t seed) {
+  ZipfGenerator zipf(domain, theta, seed);
+  BatPtr b = Bat::New(PhysType::kInt32);
+  b->Resize(n);
+  int32_t* v = b->MutableTailData<int32_t>();
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<int32_t>(zipf.Next());
+  return b;
+}
+
+inline BatPtr SortedInt32(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  BatPtr b = Bat::New(PhysType::kInt32);
+  b->Resize(n);
+  int32_t* v = b->MutableTailData<int32_t>();
+  int32_t cur = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cur += static_cast<int32_t>(rng.Uniform(3));
+    v[i] = cur;
+  }
+  b->mutable_props().sorted = true;
+  return b;
+}
+
+/// A foreign-key style join pair: every left key hits exactly one right row.
+struct JoinPair {
+  BatPtr left;
+  BatPtr right;
+};
+
+inline JoinPair FkJoinPair(size_t left_n, size_t right_n, uint64_t seed) {
+  Rng rng(seed);
+  JoinPair p;
+  p.right = Bat::New(PhysType::kInt32);
+  p.right->Resize(right_n);
+  int32_t* rv = p.right->MutableTailData<int32_t>();
+  for (size_t i = 0; i < right_n; ++i) rv[i] = static_cast<int32_t>(i);
+  // Shuffle the right side so it is not accidentally sorted.
+  for (size_t i = right_n; i > 1; --i) {
+    std::swap(rv[i - 1], rv[rng.Uniform(i)]);
+  }
+  p.left = Bat::New(PhysType::kInt32);
+  p.left->Resize(left_n);
+  int32_t* lv = p.left->MutableTailData<int32_t>();
+  for (size_t i = 0; i < left_n; ++i) {
+    lv[i] = static_cast<int32_t>(rng.Uniform(right_n));
+  }
+  return p;
+}
+
+}  // namespace mammoth::bench
+
+#endif  // MAMMOTH_BENCH_WORKLOADS_H_

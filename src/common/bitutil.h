@@ -1,0 +1,37 @@
+#ifndef MAMMOTH_COMMON_BITUTIL_H_
+#define MAMMOTH_COMMON_BITUTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace mammoth {
+
+/// Smallest power of two >= v (v=0 yields 1).
+inline uint64_t NextPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  return uint64_t{1} << (64 - std::countl_zero(v - 1));
+}
+
+/// floor(log2(v)) for v > 0.
+inline uint32_t FloorLog2(uint64_t v) {
+  return 63 - static_cast<uint32_t>(std::countl_zero(v));
+}
+
+/// ceil(log2(v)) for v > 0.
+inline uint32_t CeilLog2(uint64_t v) {
+  return v <= 1 ? 0 : 64 - static_cast<uint32_t>(std::countl_zero(v - 1));
+}
+
+/// Number of bits needed to represent v (0 needs 0 bits).
+inline uint32_t BitWidth(uint64_t v) {
+  return static_cast<uint32_t>(std::bit_width(v));
+}
+
+/// Rounds n up to a multiple of align (align must be a power of two).
+inline uint64_t AlignUp(uint64_t n, uint64_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_COMMON_BITUTIL_H_

@@ -1,0 +1,52 @@
+#ifndef MAMMOTH_COMMON_HASH_H_
+#define MAMMOTH_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace mammoth {
+
+/// Cheap multiplicative integer hash. The paper (§4.2, [25]) stresses that
+/// cache-conscious joins only reach full speed once divisions and function
+/// calls are removed from inner loops; this hash is a single multiply plus a
+/// shift-xor and is meant to be inlined into kernel loops.
+inline uint64_t HashInt(uint64_t x) {
+  x *= 0x9e3779b97f4a7c15ULL;  // golden-ratio (Fibonacci) hashing
+  return x ^ (x >> 32);
+}
+
+inline uint64_t HashInt(int64_t x) { return HashInt(static_cast<uint64_t>(x)); }
+inline uint64_t HashInt(int32_t x) {
+  return HashInt(static_cast<uint64_t>(static_cast<uint32_t>(x)));
+}
+
+inline uint64_t HashDouble(double x) {
+  uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return HashInt(bits);
+}
+
+/// FNV-1a for variable-width data (string heaps, instruction signatures).
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Mixes a new 64-bit value into an existing hash (for composite keys).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (HashInt(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_COMMON_HASH_H_

@@ -1,0 +1,28 @@
+#ifndef MAMMOTH_COMMON_LOGGING_H_
+#define MAMMOTH_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts the process with a message when `cond` is false. Used for
+/// programmer errors (contract violations), never for data-dependent errors,
+/// which are reported through Status.
+#define MAMMOTH_CHECK(cond, msg)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "MAMMOTH_CHECK failed at %s:%d: %s (%s)\n",  \
+                   __FILE__, __LINE__, msg, #cond);                     \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define MAMMOTH_DCHECK(cond, msg) \
+  do {                            \
+  } while (0)
+#else
+#define MAMMOTH_DCHECK(cond, msg) MAMMOTH_CHECK(cond, msg)
+#endif
+
+#endif  // MAMMOTH_COMMON_LOGGING_H_

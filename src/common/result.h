@@ -1,0 +1,80 @@
+#ifndef MAMMOTH_COMMON_RESULT_H_
+#define MAMMOTH_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace mammoth {
+
+/// Either a value of type T or an error Status. Modeled on
+/// absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit to allow `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error (implicit to allow
+  /// `return Status::...;`). `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Value accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace mammoth
+
+/// Propagates an error Status from an expression returning Status.
+#define MAMMOTH_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::mammoth::Status status_macro_s_ = (expr);    \
+    if (!status_macro_s_.ok()) return status_macro_s_; \
+  } while (0)
+
+#define MAMMOTH_CONCAT_IMPL_(a, b) a##b
+#define MAMMOTH_CONCAT_(a, b) MAMMOTH_CONCAT_IMPL_(a, b)
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise moves the value into `lhs` (which may be a declaration).
+#define MAMMOTH_ASSIGN_OR_RETURN(lhs, expr)                            \
+  MAMMOTH_ASSIGN_OR_RETURN_IMPL_(                                      \
+      MAMMOTH_CONCAT_(result_macro_r_, __LINE__), lhs, expr)
+
+#define MAMMOTH_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+#endif  // MAMMOTH_COMMON_RESULT_H_

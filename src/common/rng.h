@@ -1,0 +1,82 @@
+#ifndef MAMMOTH_COMMON_RNG_H_
+#define MAMMOTH_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mammoth {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG. Deterministic given a
+/// seed, which keeps tests and benchmark workloads reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next 64 random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Zipf-distributed generator over ranks [0, n). Used to synthesize skewed
+/// value distributions and Skyserver-like repeated query logs (DESIGN.md §3).
+///
+/// Uses the classic inverse-CDF-over-precomputed-harmonics approach; O(log n)
+/// per sample after O(n) setup.
+class ZipfGenerator {
+ public:
+  /// `n` distinct ranks, skew `theta` (0 = uniform, ~1 = heavily skewed).
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42)
+      : rng_(seed), cdf_(n) {
+    double sum = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (uint64_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  /// Next rank in [0, n); rank 0 is the most frequent.
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    // Binary search the CDF.
+    uint64_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      uint64_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_COMMON_RNG_H_

@@ -1,0 +1,77 @@
+#ifndef MAMMOTH_COMMON_STATUS_H_
+#define MAMMOTH_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace mammoth {
+
+/// Error categories used across the library. The library never throws;
+/// every fallible operation returns a Status or a Result<T>.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kTypeMismatch,
+  kUnimplemented,
+  kIOError,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap success/error value. Success carries no allocation; errors carry
+/// a code plus a message describing what went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_COMMON_STATUS_H_

@@ -1,0 +1,27 @@
+#include "common/timer.h"
+
+#include <thread>
+
+namespace mammoth {
+
+namespace {
+
+double MeasureCyclesPerSecond() {
+  const uint64_t c0 = ReadCycleCounter();
+  const auto t0 = std::chrono::steady_clock::now();
+  // 20ms is enough for a <1% estimate and cheap enough to do once.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const uint64_t c1 = ReadCycleCounter();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(c1 - c0) / secs;
+}
+
+}  // namespace
+
+double CyclesPerSecond() {
+  static const double cached = MeasureCyclesPerSecond();
+  return cached;
+}
+
+}  // namespace mammoth

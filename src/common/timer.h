@@ -1,0 +1,53 @@
+#ifndef MAMMOTH_COMMON_TIMER_H_
+#define MAMMOTH_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace mammoth {
+
+/// Wall-clock stopwatch on the steady clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Reads the CPU timestamp counter. Used to report cycles/value figures as
+/// the paper does for decompression speed (§5). Falls back to a nanosecond
+/// clock scaled as-if 1 GHz on non-x86 platforms.
+inline uint64_t ReadCycleCounter() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Measures the TSC frequency against the steady clock so cycle counts can
+/// be converted to seconds. Result is cached after the first call.
+double CyclesPerSecond();
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_COMMON_TIMER_H_

@@ -1,0 +1,116 @@
+#include "compress/compressed_bat.h"
+
+#include <cstring>
+
+#include "compress/pdict.h"
+#include "compress/pfor.h"
+#include "compress/rle.h"
+
+namespace mammoth::compress {
+
+const char* CodecName(Codec c) {
+  switch (c) {
+    case Codec::kPfor:
+      return "pfor";
+    case Codec::kPforDelta:
+      return "pfor-delta";
+    case Codec::kPdict:
+      return "pdict";
+    case Codec::kRle:
+      return "rle";
+  }
+  return "?";
+}
+
+Result<CompressedBat> CompressedBat::Compress(const BatPtr& b, Codec codec) {
+  if (b == nullptr || b->type() != PhysType::kInt32) {
+    return Status::TypeMismatch("compress: need a bat[:int]");
+  }
+  CompressedBat out;
+  out.codec_ = codec;
+  out.count_ = b->Count();
+  const int32_t* v = b->TailData<int32_t>();
+  switch (codec) {
+    case Codec::kPfor: {
+      MAMMOTH_RETURN_IF_ERROR(PforEncode(v, out.count_, &out.bytes_));
+      MAMMOTH_ASSIGN_OR_RETURN(out.block_index_,
+                               PforBuildBlockIndex(out.bytes_));
+      break;
+    }
+    case Codec::kPforDelta:
+      MAMMOTH_RETURN_IF_ERROR(PforDeltaEncode(v, out.count_, &out.bytes_));
+      break;
+    case Codec::kPdict:
+      MAMMOTH_RETURN_IF_ERROR(PdictEncode(v, out.count_, &out.bytes_));
+      break;
+    case Codec::kRle:
+      MAMMOTH_RETURN_IF_ERROR(RleEncode(v, out.count_, &out.bytes_));
+      break;
+  }
+  return out;
+}
+
+Result<CompressedBat> CompressedBat::CompressBest(const BatPtr& b) {
+  Result<CompressedBat> best = Status::Internal("no codec succeeded");
+  for (Codec c : {Codec::kPfor, Codec::kPforDelta, Codec::kPdict,
+                  Codec::kRle}) {
+    Result<CompressedBat> attempt = Compress(b, c);
+    if (!attempt.ok()) continue;  // e.g. pdict on high cardinality
+    if (!best.ok() ||
+        attempt->CompressedBytes() < best->CompressedBytes()) {
+      best = std::move(attempt);
+    }
+  }
+  return best;
+}
+
+Result<BatPtr> CompressedBat::Decode() const {
+  std::vector<int32_t> values;
+  switch (codec_) {
+    case Codec::kPfor:
+      MAMMOTH_RETURN_IF_ERROR(PforDecode(bytes_, &values));
+      break;
+    case Codec::kPforDelta:
+      MAMMOTH_RETURN_IF_ERROR(PforDeltaDecode(bytes_, &values));
+      break;
+    case Codec::kPdict:
+      MAMMOTH_RETURN_IF_ERROR(PdictDecode(bytes_, &values));
+      break;
+    case Codec::kRle:
+      MAMMOTH_RETURN_IF_ERROR(RleDecode(bytes_, &values));
+      break;
+  }
+  BatPtr b = Bat::New(PhysType::kInt32);
+  b->AppendRaw(values.data(), values.size());
+  return b;
+}
+
+Status CompressedBat::DecodeRange(size_t start, size_t n,
+                                  int32_t* out) const {
+  if (start + n > count_) {
+    return Status::OutOfRange("decode range beyond column");
+  }
+  switch (codec_) {
+    case Codec::kPfor:
+      return PforDecodeRangeIndexed(bytes_, block_index_, start, n, out);
+    case Codec::kPdict:
+      return PdictDecodeRange(bytes_, start, n, out);
+    case Codec::kPforDelta:
+    case Codec::kRle: {
+      // No random access (running prefix / variable-length runs): decode
+      // once, cache, and serve ranges from the cache.
+      if (decoded_cache_.empty() && count_ > 0) {
+        if (codec_ == Codec::kPforDelta) {
+          MAMMOTH_RETURN_IF_ERROR(PforDeltaDecode(bytes_, &decoded_cache_));
+        } else {
+          MAMMOTH_RETURN_IF_ERROR(RleDecode(bytes_, &decoded_cache_));
+        }
+      }
+      std::memcpy(out, decoded_cache_.data() + start, n * sizeof(int32_t));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace mammoth::compress

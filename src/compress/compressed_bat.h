@@ -1,0 +1,62 @@
+#ifndef MAMMOTH_COMPRESS_COMPRESSED_BAT_H_
+#define MAMMOTH_COMPRESS_COMPRESSED_BAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/bat.h"
+
+namespace mammoth::compress {
+
+/// Codec choices for CompressedBat.
+enum class Codec : uint8_t { kPfor, kPforDelta, kPdict, kRle };
+
+const char* CodecName(Codec c);
+
+/// A compressed :int column in the X100 storage style (§5): the column is
+/// held in its compressed form and decompressed on demand — either wholly
+/// (operator-at-a-time consumers) or vector-at-a-time via DecodeRange
+/// (pipelined consumers decompress into a cache-resident vector right
+/// before use, keeping scans CPU- rather than bandwidth-bound).
+class CompressedBat {
+ public:
+  /// Compresses `b` (must be kInt32) with the chosen codec, or with the
+  /// smallest of all codecs when `codec` is unset.
+  static Result<CompressedBat> Compress(const BatPtr& b, Codec codec);
+  static Result<CompressedBat> CompressBest(const BatPtr& b);
+
+  /// Decompresses the whole column back into a BAT.
+  Result<BatPtr> Decode() const;
+
+  /// Decompresses values [start, start+n) into `out` (vector-at-a-time
+  /// consumption). Codecs here are block- or stream-oriented, so the range
+  /// decode works from an internal block map where available (PFOR family)
+  /// or from a bounded backward scan (RLE).
+  Status DecodeRange(size_t start, size_t n, int32_t* out) const;
+
+  size_t Count() const { return count_; }
+  size_t CompressedBytes() const { return bytes_.size(); }
+  double Ratio() const {
+    return bytes_.empty()
+               ? 0
+               : static_cast<double>(count_ * 4) /
+                     static_cast<double>(bytes_.size());
+  }
+  Codec codec() const { return codec_; }
+
+ private:
+  Codec codec_ = Codec::kPfor;
+  size_t count_ = 0;
+  std::vector<uint8_t> bytes_;
+  std::vector<uint32_t> block_index_;  // kPfor: byte offset per block
+  // Dense cache for codecs without random access (kPforDelta needs the
+  // running prefix; kRle has variable-length runs): decoded lazily on the
+  // first DecodeRange and kept.
+  mutable std::vector<int32_t> decoded_cache_;
+};
+
+}  // namespace mammoth::compress
+
+#endif  // MAMMOTH_COMPRESS_COMPRESSED_BAT_H_

@@ -1,0 +1,51 @@
+#ifndef MAMMOTH_COMPRESS_PFOR_H_
+#define MAMMOTH_COMPRESS_PFOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mammoth::compress {
+
+/// PFOR — Patched Frame-Of-Reference ([44], §5). Values are encoded in
+/// blocks of 128 as small offsets from a per-block base, bit-packed at a
+/// width chosen to minimize size; outliers become *exceptions* patched back
+/// in after the tight unpack loop, so the decoder's hot path stays a
+/// branch-free shift-and-mask per value.
+Status PforEncode(const int32_t* values, size_t n, std::vector<uint8_t>* out);
+
+/// Decodes a PforEncode stream; `out` is resized to the original count.
+Status PforDecode(const std::vector<uint8_t>& in, std::vector<int32_t>* out);
+
+/// Decodes values [start, start+n) from a PforEncode stream without
+/// touching other blocks (blocks are 128 values; the block headers are
+/// walked to locate the range — an O(#blocks) pointer walk, no payload
+/// reads). Enables vector-at-a-time consumption of compressed columns.
+Status PforDecodeRange(const std::vector<uint8_t>& in, size_t start,
+                       size_t n, int32_t* out);
+
+/// Byte offsets of every block in a PforEncode stream (one O(#blocks) walk).
+/// Feeding the index into PforDecodeRangeIndexed makes range decodes O(1)
+/// in the number of preceding blocks — required for vector-at-a-time scans.
+Result<std::vector<uint32_t>> PforBuildBlockIndex(
+    const std::vector<uint8_t>& in);
+
+/// PforDecodeRange with a prebuilt block index.
+Status PforDecodeRangeIndexed(const std::vector<uint8_t>& in,
+                              const std::vector<uint32_t>& block_index,
+                              size_t start, size_t n, int32_t* out);
+
+/// PFOR-DELTA: zig-zag delta encoding chained into PFOR — the variant for
+/// sorted or slowly-varying columns ([44]).
+Status PforDeltaEncode(const int32_t* values, size_t n,
+                       std::vector<uint8_t>* out);
+Status PforDeltaDecode(const std::vector<uint8_t>& in,
+                       std::vector<int32_t>* out);
+
+/// Values per PFOR block.
+inline constexpr size_t kPforBlock = 128;
+
+}  // namespace mammoth::compress
+
+#endif  // MAMMOTH_COMPRESS_PFOR_H_

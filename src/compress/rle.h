@@ -1,0 +1,19 @@
+#ifndef MAMMOTH_COMPRESS_RLE_H_
+#define MAMMOTH_COMPRESS_RLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mammoth::compress {
+
+/// Run-length encoding: (value, run) pairs. The win case is sorted or
+/// low-cardinality clustered columns; the pathological case (no runs)
+/// doubles the size, which the compression benchmark (E8) reports honestly.
+Status RleEncode(const int32_t* values, size_t n, std::vector<uint8_t>* out);
+Status RleDecode(const std::vector<uint8_t>& in, std::vector<int32_t>* out);
+
+}  // namespace mammoth::compress
+
+#endif  // MAMMOTH_COMPRESS_RLE_H_

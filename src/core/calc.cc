@@ -1,0 +1,209 @@
+#include "core/calc.h"
+
+#include "core/dispatch.h"
+
+namespace mammoth::algebra {
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+    case ArithOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+namespace {
+
+PhysType PromoteType(PhysType a, PhysType b) {
+  if (IsFloating(a) || IsFloating(b)) return PhysType::kDouble;
+  if (TypeWidth(a) == 8 || TypeWidth(b) == 8) return PhysType::kInt64;
+  return a;  // both inputs share a (validated) common narrow type
+}
+
+template <typename Out, typename Fa, typename Fb>
+Result<BatPtr> Loop(ArithOp op, size_t n, Fa a_at, Fb b_at, PhysType out_type) {
+  BatPtr r = Bat::New(out_type);
+  r->Resize(n);
+  Out* out = r->MutableTailData<Out>();
+  switch (op) {
+    case ArithOp::kAdd:
+      for (size_t i = 0; i < n; ++i) out[i] = a_at(i) + b_at(i);
+      break;
+    case ArithOp::kSub:
+      for (size_t i = 0; i < n; ++i) out[i] = a_at(i) - b_at(i);
+      break;
+    case ArithOp::kMul:
+      for (size_t i = 0; i < n; ++i) out[i] = a_at(i) * b_at(i);
+      break;
+    case ArithOp::kDiv:
+      if constexpr (std::is_integral_v<Out>) {
+        for (size_t i = 0; i < n; ++i) {
+          if (b_at(i) == 0) return Status::InvalidArgument("division by zero");
+          out[i] = a_at(i) / b_at(i);
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) out[i] = a_at(i) / b_at(i);
+      }
+      break;
+    case ArithOp::kMod:
+      if constexpr (std::is_integral_v<Out>) {
+        for (size_t i = 0; i < n; ++i) {
+          if (b_at(i) == 0) return Status::InvalidArgument("modulo by zero");
+          out[i] = a_at(i) % b_at(i);
+        }
+      } else {
+        return Status::TypeMismatch("modulo on floating type");
+      }
+      break;
+  }
+  return r;
+}
+
+BatPtr MaterializedCopy(const BatPtr& b) {
+  if (!b->IsDenseTail()) return b;
+  BatPtr m = b->Clone();
+  m->MaterializeDense();
+  return m;
+}
+
+template <typename Out>
+Result<BatPtr> RunBinary(ArithOp op, const BatPtr& a, const BatPtr& b,
+                         PhysType out_type) {
+  const size_t n = a->Count();
+  return DispatchNumeric(a->type(), [&](auto ta) -> Result<BatPtr> {
+    using A = typename decltype(ta)::type;
+    const A* av = a->TailData<A>();
+    return DispatchNumeric(b->type(), [&](auto tb) -> Result<BatPtr> {
+      using B = typename decltype(tb)::type;
+      const B* bv = b->TailData<B>();
+      return Loop<Out>(
+          op, n, [av](size_t i) { return static_cast<Out>(av[i]); },
+          [bv](size_t i) { return static_cast<Out>(bv[i]); }, out_type);
+    });
+  });
+}
+
+}  // namespace
+
+Result<BatPtr> CalcBinary(ArithOp op, const BatPtr& a, const BatPtr& b) {
+  if (a == nullptr || b == nullptr) {
+    return Status::InvalidArgument("calc: null input");
+  }
+  if (a->Count() != b->Count()) {
+    return Status::InvalidArgument("calc: inputs misaligned");
+  }
+  if (a->type() == PhysType::kStr || b->type() == PhysType::kStr) {
+    return Status::TypeMismatch("calc: arithmetic on strings");
+  }
+  const BatPtr am = MaterializedCopy(a);
+  const BatPtr bm = MaterializedCopy(b);
+  const PhysType out_type = PromoteType(am->type(), bm->type());
+  if (out_type == PhysType::kDouble) {
+    return RunBinary<double>(op, am, bm, out_type);
+  }
+  if (out_type == PhysType::kInt64) {
+    return RunBinary<int64_t>(op, am, bm, out_type);
+  }
+  return DispatchNumeric(out_type, [&](auto tag) -> Result<BatPtr> {
+    using Out = typename decltype(tag)::type;
+    return RunBinary<Out>(op, am, bm, out_type);
+  });
+}
+
+namespace {
+
+/// True when the integer constant is representable in the column's type,
+/// so `col op const` can stay at the column's width.
+bool FitsIntegral(PhysType t, int64_t v) {
+  switch (t) {
+    case PhysType::kBool:
+    case PhysType::kInt8:
+      return v >= INT8_MIN && v <= INT8_MAX;
+    case PhysType::kInt16:
+      return v >= INT16_MIN && v <= INT16_MAX;
+    case PhysType::kInt32:
+      return v >= INT32_MIN && v <= INT32_MAX;
+    case PhysType::kInt64:
+    case PhysType::kOid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<BatPtr> CalcScalar(ArithOp op, const BatPtr& a, const Value& v) {
+  if (a == nullptr) return Status::InvalidArgument("calc: null input");
+  if (a->type() == PhysType::kStr || !v.is_numeric()) {
+    return Status::TypeMismatch("calc: arithmetic on non-numeric");
+  }
+  const BatPtr am = MaterializedCopy(a);
+  // An integer constant that fits the column's type keeps the column's
+  // width (batcalc semantics); otherwise it forces the usual promotion.
+  const PhysType vtype =
+      v.is_real() ? PhysType::kDouble
+                  : (FitsIntegral(am->type(), v.AsInt()) ? am->type()
+                                                         : PhysType::kInt64);
+  const PhysType out_type = PromoteType(am->type(), vtype);
+  const size_t n = am->Count();
+
+  auto run = [&](auto out_tag) -> Result<BatPtr> {
+    using Out = typename decltype(out_tag)::type;
+    const Out cv = v.As<Out>();
+    return DispatchNumeric(am->type(), [&](auto ta) -> Result<BatPtr> {
+      using A = typename decltype(ta)::type;
+      const A* av = am->TailData<A>();
+      return Loop<Out>(
+          op, n, [av](size_t i) { return static_cast<Out>(av[i]); },
+          [cv](size_t) { return cv; }, out_type);
+    });
+  };
+  if (out_type == PhysType::kDouble) return run(std::type_identity<double>{});
+  if (out_type == PhysType::kInt64) return run(std::type_identity<int64_t>{});
+  return DispatchNumeric(out_type,
+                         [&](auto tag) -> Result<BatPtr> { return run(tag); });
+}
+
+Result<BatPtr> CalcCompare(CmpOp op, const BatPtr& a, const BatPtr& b) {
+  if (a == nullptr || b == nullptr) {
+    return Status::InvalidArgument("calc: null input");
+  }
+  if (a->Count() != b->Count()) {
+    return Status::InvalidArgument("calc: inputs misaligned");
+  }
+  if (a->type() == PhysType::kStr || b->type() == PhysType::kStr) {
+    return Status::Unimplemented("compare on strings");
+  }
+  const BatPtr am = MaterializedCopy(a);
+  const BatPtr bm = MaterializedCopy(b);
+  const size_t n = am->Count();
+  BatPtr r = Bat::New(PhysType::kBool);
+  r->Resize(n);
+  int8_t* out = r->MutableTailData<int8_t>();
+  DispatchNumeric(am->type(), [&](auto ta) {
+    using A = typename decltype(ta)::type;
+    const A* av = am->TailData<A>();
+    DispatchNumeric(bm->type(), [&](auto tb) {
+      using B = typename decltype(tb)::type;
+      const B* bv = bm->TailData<B>();
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = ApplyCmp(op, static_cast<double>(av[i]),
+                          static_cast<double>(bv[i]))
+                     ? 1
+                     : 0;
+      }
+    });
+  });
+  return r;
+}
+
+}  // namespace mammoth::algebra

@@ -1,0 +1,30 @@
+#ifndef MAMMOTH_CORE_CALC_H_
+#define MAMMOTH_CORE_CALC_H_
+
+#include "common/result.h"
+#include "core/bat.h"
+#include "core/value.h"
+
+namespace mammoth::algebra {
+
+/// Arithmetic ops of the batcalc module.
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv, kMod };
+
+const char* ArithOpName(ArithOp op);
+
+/// Element-wise `a op b` over two head-aligned BATs. Result type promotion:
+/// any floating operand -> :dbl, else any 64-bit operand -> :lng, else the
+/// (common) input type. Integer division/modulo by zero is an error.
+Result<BatPtr> CalcBinary(ArithOp op, const BatPtr& a, const BatPtr& b);
+
+/// Element-wise `a op v` against a constant.
+Result<BatPtr> CalcScalar(ArithOp op, const BatPtr& a, const Value& v);
+
+/// Element-wise comparison producing a bat[:bit] of 0/1 — used by the
+/// Volcano baseline's expression trees, not by the BAT algebra itself
+/// (which uses selects over candidate lists instead).
+Result<BatPtr> CalcCompare(CmpOp op, const BatPtr& a, const BatPtr& b);
+
+}  // namespace mammoth::algebra
+
+#endif  // MAMMOTH_CORE_CALC_H_

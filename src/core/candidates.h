@@ -1,0 +1,66 @@
+#ifndef MAMMOTH_CORE_CANDIDATES_H_
+#define MAMMOTH_CORE_CANDIDATES_H_
+
+#include "core/bat.h"
+
+namespace mammoth {
+
+/// Read-only view over a candidate list: the (sorted, key) OID BAT that
+/// restricts which head positions of a base BAT an operator may touch.
+/// A null candidate BAT means "all positions". Dense candidate lists are
+/// read without materialization.
+class CandidateReader {
+ public:
+  /// `cands` may be null. `base` provides hseqbase and the full count.
+  CandidateReader(const Bat* cands, const Bat* base)
+      : cands_(cands), base_hseq_(base->hseqbase()) {
+    if (cands_ == nullptr) {
+      mode_ = Mode::kAll;
+      count_ = base->Count();
+    } else if (cands_->IsDenseTail()) {
+      mode_ = Mode::kDense;
+      count_ = cands_->Count();
+      dense_first_ = cands_->tseqbase();
+    } else {
+      mode_ = Mode::kArray;
+      count_ = cands_->Count();
+      arr_ = cands_->TailData<Oid>();
+    }
+  }
+
+  size_t size() const { return count_; }
+
+  /// Position (array index) within the base BAT of the i-th candidate.
+  size_t PositionAt(size_t i) const {
+    switch (mode_) {
+      case Mode::kAll:
+        return i;
+      case Mode::kDense:
+        return static_cast<size_t>(dense_first_ + i - base_hseq_);
+      case Mode::kArray:
+      default:
+        return static_cast<size_t>(arr_[i] - base_hseq_);
+    }
+  }
+
+  /// Head OID of the i-th candidate.
+  Oid OidAt(size_t i) const {
+    return static_cast<Oid>(PositionAt(i)) + base_hseq_;
+  }
+
+  /// True when candidates cover positions [0, base count) contiguously.
+  bool IsAll() const { return mode_ == Mode::kAll; }
+
+ private:
+  enum class Mode { kAll, kDense, kArray };
+  const Bat* cands_;
+  Oid base_hseq_;
+  Mode mode_ = Mode::kAll;
+  size_t count_ = 0;
+  Oid dense_first_ = 0;
+  const Oid* arr_ = nullptr;
+};
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_CORE_CANDIDATES_H_

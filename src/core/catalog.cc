@@ -1,0 +1,69 @@
+#include "core/catalog.h"
+
+#include <array>
+
+namespace mammoth {
+
+Status Catalog::Register(TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (tables_.count(table->name()) > 0) {
+    return Status::AlreadyExists("table " + table->name() + " exists");
+  }
+  tables_.emplace(table->name(), std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::Drop(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + std::string(name));
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::Get(std::string_view name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + std::string(name));
+  }
+  return it->second;
+}
+
+bool Catalog::Contains(std::string_view name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::RegisterJoinIndex(const std::string& table1,
+                                  const std::string& col1,
+                                  const std::string& table2,
+                                  const std::string& col2) {
+  if (!Contains(table1) || !Contains(table2)) {
+    return Status::NotFound("join index references unknown table");
+  }
+  join_indices_.push_back({table1, col1, table2, col2});
+  return Status::OK();
+}
+
+bool Catalog::HasJoinIndex(const std::string& table1, const std::string& col1,
+                           const std::string& table2,
+                           const std::string& col2) const {
+  for (const auto& ji : join_indices_) {
+    if ((ji[0] == table1 && ji[1] == col1 && ji[2] == table2 &&
+         ji[3] == col2) ||
+        (ji[0] == table2 && ji[1] == col2 && ji[2] == table1 &&
+         ji[3] == col1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mammoth

@@ -1,0 +1,45 @@
+#ifndef MAMMOTH_CORE_CATALOG_H_
+#define MAMMOTH_CORE_CATALOG_H_
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/table.h"
+
+namespace mammoth {
+
+/// Schema catalog: names tables for the front-ends (§3.2). Also stores
+/// declared join indices (pre-computed join results the heuristic optimizer
+/// may exploit, §3.1: "catalogue knowledge on join-indices").
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status Register(TablePtr table);
+  Status Drop(std::string_view name);
+  Result<TablePtr> Get(std::string_view name) const;
+  bool Contains(std::string_view name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Declares a join index between table1.col1 and table2.col2.
+  Status RegisterJoinIndex(const std::string& table1, const std::string& col1,
+                           const std::string& table2, const std::string& col2);
+
+  /// True when a join index was declared for the given column pair (either
+  /// orientation).
+  bool HasJoinIndex(const std::string& table1, const std::string& col1,
+                    const std::string& table2,
+                    const std::string& col2) const;
+
+ private:
+  std::map<std::string, TablePtr, std::less<>> tables_;
+  std::vector<std::array<std::string, 4>> join_indices_;
+};
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_CORE_CATALOG_H_

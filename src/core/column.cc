@@ -1,0 +1,75 @@
+#include "core/column.h"
+
+#include <cstdlib>
+
+#include "common/bitutil.h"
+
+namespace mammoth {
+
+Column& Column::operator=(Column&& other) noexcept {
+  if (this != &other) {
+    Free();
+    type_ = other.type_;
+    width_ = other.width_;
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    owns_ = other.owns_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+    other.owns_ = true;
+  }
+  return *this;
+}
+
+void Column::Free() {
+  if (owns_) std::free(data_);
+  data_ = nullptr;
+  size_ = 0;
+  capacity_ = 0;
+  owns_ = true;
+}
+
+void Column::Reserve(size_t n) {
+  if (n <= capacity_ && owns_) return;
+  if (n < size_) n = size_;
+  const size_t bytes = AlignUp(n * width_, kAlignment);
+  auto* fresh = static_cast<uint8_t*>(std::aligned_alloc(kAlignment, bytes));
+  MAMMOTH_CHECK(fresh != nullptr, "column allocation failed");
+  if (size_ > 0) std::memcpy(fresh, data_, size_ * width_);
+  if (owns_) std::free(data_);
+  data_ = fresh;
+  owns_ = true;
+  capacity_ = bytes / width_;
+}
+
+void Column::AdoptExternal(void* data, size_t n) {
+  Free();
+  data_ = static_cast<uint8_t*>(data);
+  size_ = n;
+  capacity_ = n;
+  owns_ = false;
+}
+
+void Column::Resize(size_t n) {
+  if (n > capacity_) Reserve(n);
+  size_ = n;
+}
+
+void Column::AppendRaw(const void* src, size_t n) {
+  if (n == 0) return;
+  if (size_ + n > capacity_) Reserve(NextPow2(size_ + n));
+  std::memcpy(data_ + size_ * width_, src, n * width_);
+  size_ += n;
+}
+
+Column Column::Clone() const {
+  Column out(type_);
+  out.Reserve(size_);
+  if (size_ > 0) std::memcpy(out.data_, data_, size_ * width_);
+  out.size_ = size_;
+  return out;
+}
+
+}  // namespace mammoth

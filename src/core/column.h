@@ -1,0 +1,94 @@
+#ifndef MAMMOTH_CORE_COLUMN_H_
+#define MAMMOTH_CORE_COLUMN_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "common/logging.h"
+#include "core/types.h"
+
+namespace mammoth {
+
+/// A typed, cache-line-aligned, growable memory array — the "simple memory
+/// array" that backs a BAT tail (§3, Figure 1). Columns own their storage.
+class Column {
+ public:
+  /// Alignment of the data buffer; one x86 cache line.
+  static constexpr size_t kAlignment = 64;
+
+  explicit Column(PhysType type) : type_(type), width_(TypeWidth(type)) {}
+
+  // Move-only: a Column owns a large buffer; copies must be explicit.
+  Column(Column&& other) noexcept { *this = std::move(other); }
+  Column& operator=(Column&& other) noexcept;
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+  ~Column() { Free(); }
+
+  PhysType type() const { return type_; }
+  size_t width() const { return width_; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Raw byte pointer to slot 0.
+  void* raw_data() { return data_; }
+  const void* raw_data() const { return data_; }
+
+  /// Typed pointer to slot 0. T must match the physical width of the
+  /// column's type (checked in debug builds).
+  template <typename T>
+  T* Data() {
+    MAMMOTH_DCHECK(sizeof(T) == width_, "typed access width mismatch");
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* Data() const {
+    MAMMOTH_DCHECK(sizeof(T) == width_, "typed access width mismatch");
+    return reinterpret_cast<const T*>(data_);
+  }
+
+  /// Ensures capacity for at least n elements (never shrinks).
+  void Reserve(size_t n);
+
+  /// Sets the element count; grows capacity as needed. New slots are
+  /// uninitialized.
+  void Resize(size_t n);
+
+  /// Appends a single value.
+  template <typename T>
+  void Append(T v) {
+    MAMMOTH_DCHECK(sizeof(T) == width_, "typed append width mismatch");
+    if (size_ == capacity_) Reserve(size_ < 16 ? 16 : size_ * 2);
+    reinterpret_cast<T*>(data_)[size_++] = v;
+  }
+
+  /// Appends `n` elements from a raw buffer of matching width.
+  void AppendRaw(const void* src, size_t n);
+
+  /// Deep copy of this column.
+  Column Clone() const;
+
+  /// Points the column at externally owned memory (e.g. a memory-mapped
+  /// file, §3). The column will not free it; any growth first copies the
+  /// data into owned storage (copy-on-write).
+  void AdoptExternal(void* data, size_t n);
+
+  /// True when the buffer is owned (and thus writable in place).
+  bool owns() const { return owns_; }
+
+ private:
+  void Free();
+
+  PhysType type_;
+  size_t width_ = 0;
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+  bool owns_ = true;
+};
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_CORE_COLUMN_H_

@@ -1,0 +1,45 @@
+#ifndef MAMMOTH_CORE_DISPATCH_H_
+#define MAMMOTH_CORE_DISPATCH_H_
+
+#include <type_traits>
+
+#include "common/result.h"
+#include "core/types.h"
+
+namespace mammoth {
+
+/// Dispatches a physical type tag to a callable templated over the C++
+/// element type. The callable receives `std::type_identity<T>{}`; kernels
+/// recover T with `using T = typename decltype(tag)::type;`.
+///
+/// This is the mechanism behind "zero degrees of freedom" operators (§3):
+/// the type switch happens once per *column*, and the per-type instantiation
+/// is a tight loop with no interpretation inside.
+template <typename Fn>
+decltype(auto) DispatchNumeric(PhysType t, Fn&& fn) {
+  switch (t) {
+    case PhysType::kBool:
+    case PhysType::kInt8:
+      return fn(std::type_identity<int8_t>{});
+    case PhysType::kInt16:
+      return fn(std::type_identity<int16_t>{});
+    case PhysType::kInt32:
+      return fn(std::type_identity<int32_t>{});
+    case PhysType::kInt64:
+      return fn(std::type_identity<int64_t>{});
+    case PhysType::kOid:
+      return fn(std::type_identity<uint64_t>{});
+    case PhysType::kFloat:
+      return fn(std::type_identity<float>{});
+    case PhysType::kDouble:
+    default:
+      return fn(std::type_identity<double>{});
+  }
+}
+
+/// True when DispatchNumeric may be used on t.
+inline bool DispatchableNumeric(PhysType t) { return t != PhysType::kStr; }
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_CORE_DISPATCH_H_

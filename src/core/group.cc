@@ -1,0 +1,315 @@
+#include "core/group.h"
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/hash.h"
+#include "core/dispatch.h"
+#include "core/project.h"
+
+namespace mammoth::algebra {
+
+namespace {
+
+/// Canonical 64-bit key for one tail slot: integers sign-extend, floats use
+/// the double bit pattern, strings use their (interned, hence canonical)
+/// heap offset.
+template <typename T>
+uint64_t CanonicalKey(T v) {
+  if constexpr (std::is_floating_point_v<T>) {
+    const double d = static_cast<double>(v);
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+  } else {
+    return static_cast<uint64_t>(static_cast<int64_t>(v));
+  }
+}
+
+/// Open-addressing map from (prev group, canonical key) to group id.
+/// Grows (rehashes) at 50% load, so any number of groups is supported.
+class GroupTable {
+ public:
+  explicit GroupTable(size_t expected) {
+    nslots_ = NextPow2(expected * 2 < 16 ? 16 : expected * 2);
+    slots_.assign(nslots_, kEmpty);
+  }
+
+  /// Returns the group id for the composite key, assigning the next id on
+  /// first sight. `next_id` is incremented on inserts.
+  uint32_t GetOrInsert(uint64_t prev, uint64_t key, uint32_t* next_id) {
+    if (prevs_.size() * 2 >= nslots_) Grow();
+    const uint64_t h = HashCombine(HashInt(prev), key);
+    size_t slot = h & (nslots_ - 1);
+    while (true) {
+      const uint32_t gid = slots_[slot];
+      if (gid == kEmpty) {
+        slots_[slot] = *next_id;
+        prevs_.push_back(prev);
+        keys_.push_back(key);
+        return (*next_id)++;
+      }
+      if (prevs_[gid] == prev && keys_[gid] == key) return gid;
+      slot = (slot + 1) & (nslots_ - 1);
+    }
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+
+  void Grow() {
+    nslots_ *= 2;
+    slots_.assign(nslots_, kEmpty);
+    for (uint32_t gid = 0; gid < prevs_.size(); ++gid) {
+      const uint64_t h = HashCombine(HashInt(prevs_[gid]), keys_[gid]);
+      size_t slot = h & (nslots_ - 1);
+      while (slots_[slot] != kEmpty) slot = (slot + 1) & (nslots_ - 1);
+      slots_[slot] = gid;
+    }
+  }
+
+  size_t nslots_;
+  std::vector<uint32_t> slots_;
+  std::vector<uint64_t> prevs_;  // indexed by gid
+  std::vector<uint64_t> keys_;
+};
+
+}  // namespace
+
+Result<GroupResult> Group(const BatPtr& b, const BatPtr& prev,
+                          size_t prev_ngroups) {
+  if (b == nullptr) return Status::InvalidArgument("group: null input");
+  if (prev != nullptr && prev->Count() != b->Count()) {
+    return Status::InvalidArgument("group: prev grouping misaligned");
+  }
+  const size_t n = b->Count();
+
+  GroupResult out;
+  out.groups = Bat::New(PhysType::kOid);
+  out.groups->Resize(n);
+  out.extents = Bat::New(PhysType::kOid);
+  Oid* gids = out.groups->MutableTailData<Oid>();
+
+  BatPtr base = b;
+  if (b->IsDenseTail()) {
+    base = b->Clone();
+    base->MaterializeDense();
+  }
+  BatPtr prevm = prev;
+  if (prevm != nullptr && prevm->IsDenseTail()) {
+    prevm = prevm->Clone();
+    prevm->MaterializeDense();
+  }
+  const Oid* prevg = prevm == nullptr ? nullptr : prevm->TailData<Oid>();
+
+  GroupTable table(prev_ngroups == 0 ? 64 : prev_ngroups * 4);
+  uint32_t next_id = 0;
+  const Oid hseq = base->hseqbase();
+
+  auto run = [&](auto key_at) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t pg = prevg == nullptr ? 0 : prevg[i];
+      const uint32_t gid = table.GetOrInsert(pg, key_at(i), &next_id);
+      gids[i] = gid;
+      if (gid + 1 == next_id &&
+          static_cast<size_t>(gid) == out.extents->Count()) {
+        out.extents->Append<Oid>(hseq + i);
+      }
+    }
+  };
+
+  if (base->type() == PhysType::kStr) {
+    const uint64_t* offs = base->TailData<uint64_t>();
+    run([&](size_t i) { return offs[i]; });
+  } else {
+    DispatchNumeric(base->type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      const T* v = base->TailData<T>();
+      run([&](size_t i) { return CanonicalKey(v[i]); });
+    });
+  }
+
+  out.ngroups = next_id;
+  out.groups->mutable_props().sorted = false;
+  out.extents->mutable_props().sorted = true;
+  out.extents->mutable_props().key = true;
+  return out;
+}
+
+namespace {
+
+Status ValidateAggr(const BatPtr& values, const BatPtr& groups,
+                    size_t ngroups) {
+  if (values == nullptr) return Status::InvalidArgument("aggr: null values");
+  if (groups == nullptr) {
+    if (ngroups != 1) {
+      return Status::InvalidArgument("aggr: global aggregate needs ngroups=1");
+    }
+    return Status::OK();
+  }
+  if (groups->type() != PhysType::kOid) {
+    return Status::TypeMismatch("aggr: groups must be bat[:oid]");
+  }
+  if (groups->Count() != values->Count()) {
+    return Status::InvalidArgument("aggr: groups misaligned with values");
+  }
+  return Status::OK();
+}
+
+const Oid* GroupIds(const BatPtr& groups, BatPtr* holder) {
+  if (groups == nullptr) return nullptr;
+  if (groups->IsDenseTail()) {
+    *holder = groups->Clone();
+    (*holder)->MaterializeDense();
+    return (*holder)->TailData<Oid>();
+  }
+  return groups->TailData<Oid>();
+}
+
+}  // namespace
+
+Result<BatPtr> AggrSum(const BatPtr& values, const BatPtr& groups,
+                       size_t ngroups) {
+  MAMMOTH_RETURN_IF_ERROR(ValidateAggr(values, groups, ngroups));
+  if (values->type() == PhysType::kStr) {
+    return Status::TypeMismatch("sum over strings");
+  }
+  BatPtr holder;
+  const Oid* gids = GroupIds(groups, &holder);
+  const size_t n = values->Count();
+
+  BatPtr vm = values;
+  if (vm->IsDenseTail()) {
+    vm = vm->Clone();
+    vm->MaterializeDense();
+  }
+  return DispatchNumeric(vm->type(), [&](auto tag) -> BatPtr {
+    using T = typename decltype(tag)::type;
+    const T* v = vm->TailData<T>();
+    if constexpr (std::is_floating_point_v<T>) {
+      std::vector<double> acc(ngroups, 0.0);
+      for (size_t i = 0; i < n; ++i) acc[gids ? gids[i] : 0] += v[i];
+      BatPtr r = Bat::New(PhysType::kDouble);
+      r->AppendRaw(acc.data(), ngroups);
+      return r;
+    } else {
+      std::vector<int64_t> acc(ngroups, 0);
+      for (size_t i = 0; i < n; ++i) {
+        acc[gids ? gids[i] : 0] += static_cast<int64_t>(v[i]);
+      }
+      BatPtr r = Bat::New(PhysType::kInt64);
+      r->AppendRaw(acc.data(), ngroups);
+      return r;
+    }
+  });
+}
+
+Result<BatPtr> AggrCount(const BatPtr& groups, size_t ngroups, size_t nrows) {
+  if (groups == nullptr) {
+    BatPtr r = Bat::New(PhysType::kInt64);
+    r->Append<int64_t>(static_cast<int64_t>(nrows));
+    return r;
+  }
+  if (groups->type() != PhysType::kOid) {
+    return Status::TypeMismatch("count: groups must be bat[:oid]");
+  }
+  BatPtr holder;
+  const Oid* gids = GroupIds(groups, &holder);
+  std::vector<int64_t> acc(ngroups, 0);
+  const size_t n = groups->Count();
+  for (size_t i = 0; i < n; ++i) acc[gids[i]] += 1;
+  BatPtr r = Bat::New(PhysType::kInt64);
+  r->AppendRaw(acc.data(), ngroups);
+  return r;
+}
+
+namespace {
+
+template <bool kMin>
+Result<BatPtr> AggrMinMax(const BatPtr& values, const BatPtr& groups,
+                          size_t ngroups) {
+  MAMMOTH_RETURN_IF_ERROR(ValidateAggr(values, groups, ngroups));
+  if (values->type() == PhysType::kStr) {
+    return Status::Unimplemented("min/max over strings");
+  }
+  BatPtr holder;
+  const Oid* gids = GroupIds(groups, &holder);
+  const size_t n = values->Count();
+  BatPtr vm = values;
+  if (vm->IsDenseTail()) {
+    vm = vm->Clone();
+    vm->MaterializeDense();
+  }
+  return DispatchNumeric(vm->type(), [&](auto tag) -> BatPtr {
+    using T = typename decltype(tag)::type;
+    const T* v = vm->TailData<T>();
+    std::vector<T> acc(ngroups,
+                       kMin ? std::numeric_limits<T>::max()
+                            : std::numeric_limits<T>::lowest());
+    for (size_t i = 0; i < n; ++i) {
+      const Oid g = gids ? gids[i] : 0;
+      if constexpr (kMin) {
+        if (v[i] < acc[g]) acc[g] = v[i];
+      } else {
+        if (v[i] > acc[g]) acc[g] = v[i];
+      }
+    }
+    BatPtr r = Bat::New(vm->type());
+    r->AppendRaw(acc.data(), ngroups);
+    return r;
+  });
+}
+
+}  // namespace
+
+Result<BatPtr> AggrMin(const BatPtr& values, const BatPtr& groups,
+                       size_t ngroups) {
+  return AggrMinMax<true>(values, groups, ngroups);
+}
+
+Result<BatPtr> AggrMax(const BatPtr& values, const BatPtr& groups,
+                       size_t ngroups) {
+  return AggrMinMax<false>(values, groups, ngroups);
+}
+
+Result<BatPtr> AggrAvg(const BatPtr& values, const BatPtr& groups,
+                       size_t ngroups) {
+  MAMMOTH_RETURN_IF_ERROR(ValidateAggr(values, groups, ngroups));
+  if (values->type() == PhysType::kStr) {
+    return Status::TypeMismatch("avg over strings");
+  }
+  BatPtr holder;
+  const Oid* gids = GroupIds(groups, &holder);
+  const size_t n = values->Count();
+  BatPtr vm = values;
+  if (vm->IsDenseTail()) {
+    vm = vm->Clone();
+    vm->MaterializeDense();
+  }
+  std::vector<double> sum(ngroups, 0.0);
+  std::vector<int64_t> cnt(ngroups, 0);
+  DispatchNumeric(vm->type(), [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    const T* v = vm->TailData<T>();
+    for (size_t i = 0; i < n; ++i) {
+      const Oid g = gids ? gids[i] : 0;
+      sum[g] += static_cast<double>(v[i]);
+      cnt[g] += 1;
+    }
+  });
+  BatPtr r = Bat::New(PhysType::kDouble);
+  r->Reserve(ngroups);
+  for (size_t g = 0; g < ngroups; ++g) {
+    r->Append<double>(cnt[g] == 0 ? 0.0 : sum[g] / static_cast<double>(cnt[g]));
+  }
+  return r;
+}
+
+Result<BatPtr> Distinct(const BatPtr& b) {
+  MAMMOTH_ASSIGN_OR_RETURN(GroupResult g, Group(b));
+  return Project(g.extents, b);
+}
+
+}  // namespace mammoth::algebra

@@ -1,0 +1,47 @@
+#ifndef MAMMOTH_CORE_GROUP_H_
+#define MAMMOTH_CORE_GROUP_H_
+
+#include "common/result.h"
+#include "core/bat.h"
+
+namespace mammoth::algebra {
+
+/// Result of a grouping step.
+struct GroupResult {
+  /// For every input row, the group id it belongs to (bat[:oid], aligned
+  /// with the input head).
+  BatPtr groups;
+  /// For every group, the head OID of its first member (the group's
+  /// representative row), usable to project group-by key columns.
+  BatPtr extents;
+  size_t ngroups = 0;
+};
+
+/// Groups `b` by tail value. When `prev` (a prior GroupResult::groups) is
+/// given, refines the existing grouping instead — MonetDB's
+/// group.subgroup chain, which is how multi-column GROUP BY is executed
+/// column-at-a-time (§3).
+Result<GroupResult> Group(const BatPtr& b, const BatPtr& prev = nullptr,
+                          size_t prev_ngroups = 0);
+
+/// Per-group aggregates. `groups` maps each row of `values` to a group id
+/// in [0, ngroups); pass groups == nullptr with ngroups == 1 for a global
+/// aggregate. Sums of integer tails widen to :lng, of floating tails to
+/// :dbl. Empty groups yield 0 for sum/count; min/max of an empty group is
+/// unspecified.
+Result<BatPtr> AggrSum(const BatPtr& values, const BatPtr& groups,
+                       size_t ngroups);
+Result<BatPtr> AggrCount(const BatPtr& groups, size_t ngroups, size_t nrows);
+Result<BatPtr> AggrMin(const BatPtr& values, const BatPtr& groups,
+                       size_t ngroups);
+Result<BatPtr> AggrMax(const BatPtr& values, const BatPtr& groups,
+                       size_t ngroups);
+Result<BatPtr> AggrAvg(const BatPtr& values, const BatPtr& groups,
+                       size_t ngroups);
+
+/// Distinct tail values of `b`, in first-appearance order.
+Result<BatPtr> Distinct(const BatPtr& b);
+
+}  // namespace mammoth::algebra
+
+#endif  // MAMMOTH_CORE_GROUP_H_

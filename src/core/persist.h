@@ -1,0 +1,64 @@
+#ifndef MAMMOTH_CORE_PERSIST_H_
+#define MAMMOTH_CORE_PERSIST_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/bat.h"
+
+namespace mammoth {
+
+/// RAII wrapper over an mmap(2)ed file region.
+class MappedFile {
+ public:
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(uint8_t* data, size_t size) : data_(data), size_(size) {}
+  uint8_t* data_;
+  size_t size_;
+};
+
+/// Writes a BAT to `path` in the MBAT binary format (header + tail payload
+/// + optional string heap). Dense tails are materialized on write.
+Status SaveBat(const Bat& b, const std::string& path);
+
+/// Reads a BAT back, copying the payload into owned memory.
+Result<BatPtr> LoadBat(const std::string& path);
+
+/// Maps a numeric BAT zero-copy: the tail array aliases the page cache via
+/// mmap, giving the paper's "columns as memory mapped files" behaviour (§3)
+/// — the OS faults pages in on demand and positional lookup is a plain
+/// array read. String BATs fall back to LoadBat (the interning map must be
+/// rebuilt anyway).
+Result<BatPtr> MapBat(const std::string& path);
+
+class Table;
+class Catalog;
+
+/// Persists the table's *visible* image (deltas merged, deletes compacted)
+/// into `dir`: a text manifest plus one MBAT file per column. Creates the
+/// directory if needed; the table itself is not modified.
+Status SaveTable(const Table& table, const std::string& dir);
+
+/// Loads a table saved by SaveTable. With `use_mmap`, numeric columns are
+/// mapped zero-copy (copy-on-write on first update).
+Result<std::shared_ptr<Table>> LoadTable(const std::string& dir,
+                                         bool use_mmap = false);
+
+/// Persists/restores every table of a catalog under `dir/<table name>/`.
+Status SaveCatalog(const Catalog& catalog, const std::string& dir);
+Result<std::shared_ptr<Catalog>> LoadCatalog(const std::string& dir,
+                                             bool use_mmap = false);
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_CORE_PERSIST_H_

@@ -1,0 +1,62 @@
+#include "core/project.h"
+
+#include "core/candidates.h"
+#include "core/dispatch.h"
+
+namespace mammoth::algebra {
+
+Result<BatPtr> Project(const BatPtr& oids, const BatPtr& values) {
+  if (oids == nullptr || values == nullptr) {
+    return Status::InvalidArgument("project: null input");
+  }
+  if (oids->type() != PhysType::kOid) {
+    return Status::TypeMismatch("project: oid list must be bat[:oid]");
+  }
+  const size_t n = oids->Count();
+  const Oid vbase = values->hseqbase();
+  const size_t vcount = values->Count();
+
+  // Dense OID list over a dense value tail: result stays dense.
+  if (oids->IsDenseTail() && values->IsDenseTail()) {
+    const Oid start =
+        values->tseqbase() + (oids->tseqbase() - vbase);
+    BatPtr r = Bat::NewDense(start, n, oids->hseqbase());
+    return r;
+  }
+
+  // Bounds check once up front (kernel loops stay check-free).
+  CandidateReader cr(oids.get(), values.get());
+  for (size_t i = 0; i < n; ++i) {
+    if (cr.PositionAt(i) >= vcount) {
+      return Status::OutOfRange("project: oid beyond value BAT");
+    }
+  }
+
+  BatPtr base = values;
+  if (values->IsDenseTail()) {
+    base = values->Clone();
+    base->MaterializeDense();
+  }
+
+  BatPtr r;
+  if (base->type() == PhysType::kStr) {
+    r = Bat::NewString(base->heap());
+    r->Resize(n);
+    const uint64_t* in = base->TailData<uint64_t>();
+    uint64_t* out = r->MutableTailData<uint64_t>();
+    for (size_t i = 0; i < n; ++i) out[i] = in[cr.PositionAt(i)];
+  } else {
+    r = Bat::New(base->type());
+    r->Resize(n);
+    DispatchNumeric(base->type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      const T* in = base->TailData<T>();
+      T* out = r->MutableTailData<T>();
+      for (size_t i = 0; i < n; ++i) out[i] = in[cr.PositionAt(i)];
+    });
+  }
+  r->set_hseqbase(oids->hseqbase());
+  return r;
+}
+
+}  // namespace mammoth::algebra

@@ -1,0 +1,26 @@
+#ifndef MAMMOTH_CORE_PROJECT_H_
+#define MAMMOTH_CORE_PROJECT_H_
+
+#include "common/result.h"
+#include "core/bat.h"
+
+namespace mammoth::algebra {
+
+/// Positional projection (MonetDB's leftfetchjoin / projection): for every
+/// OID in `oids`, fetch the tail value of `values` at that head position.
+/// This is the O(1)-per-tuple array lookup the paper credits to virtual
+/// dense heads (§3).
+///
+/// The result's head is aligned with `oids`' head; string results share the
+/// input heap.
+Result<BatPtr> Project(const BatPtr& oids, const BatPtr& values);
+
+/// Tuple reconstruction after a join: same as Project but the OID list is a
+/// join-index column (§4.3 phase two, "column projection").
+inline Result<BatPtr> FetchJoin(const BatPtr& oids, const BatPtr& values) {
+  return Project(oids, values);
+}
+
+}  // namespace mammoth::algebra
+
+#endif  // MAMMOTH_CORE_PROJECT_H_

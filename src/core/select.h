@@ -1,0 +1,29 @@
+#ifndef MAMMOTH_CORE_SELECT_H_
+#define MAMMOTH_CORE_SELECT_H_
+
+#include "common/result.h"
+#include "core/bat.h"
+#include "core/value.h"
+
+namespace mammoth::algebra {
+
+/// BAT algebra select: returns the (sorted, key) OID BAT of head positions
+/// of `b` whose tail value compares `op` against `v`, restricted to the
+/// optional candidate list `cands` (§3: R := select(B, V)).
+///
+/// The kernel is a zero-degree-of-freedom tight loop per (type, op); on a
+/// sorted tail with full candidates it degrades to two binary searches and
+/// returns a *dense* OID BAT with no payload at all.
+Result<BatPtr> ThetaSelect(const BatPtr& b, const BatPtr& cands,
+                           const Value& v, CmpOp op);
+
+/// Range select: lo <= x <= hi with configurable inclusiveness. `anti`
+/// inverts the predicate (x outside the range). Nil bounds mean unbounded.
+Result<BatPtr> RangeSelect(const BatPtr& b, const BatPtr& cands,
+                           const Value& lo, const Value& hi,
+                           bool lo_incl = true, bool hi_incl = true,
+                           bool anti = false);
+
+}  // namespace mammoth::algebra
+
+#endif  // MAMMOTH_CORE_SELECT_H_

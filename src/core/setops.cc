@@ -1,0 +1,183 @@
+#include "core/setops.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/dispatch.h"
+
+namespace mammoth::algebra {
+
+namespace {
+
+Status ValidateCands(const BatPtr& b, const char* what) {
+  if (b == nullptr) return Status::InvalidArgument(std::string(what) + ": null");
+  if (b->type() != PhysType::kOid) {
+    return Status::TypeMismatch(std::string(what) + ": need bat[:oid]");
+  }
+  if (!b->props().sorted && !b->IsDenseTail()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": candidates must be sorted");
+  }
+  return Status::OK();
+}
+
+/// Wraps the result with candidate-list properties, converting contiguous
+/// runs back into dense BATs.
+BatPtr FinishCands(std::vector<Oid> oids) {
+  if (!oids.empty() && oids.back() - oids.front() + 1 == oids.size()) {
+    return Bat::NewDense(oids.front(), oids.size());
+  }
+  BatPtr r = Bat::New(PhysType::kOid);
+  r->AppendRaw(oids.data(), oids.size());
+  r->mutable_props().sorted = true;
+  r->mutable_props().key = true;
+  return r;
+}
+
+}  // namespace
+
+Result<BatPtr> OidUnion(const BatPtr& a, const BatPtr& b) {
+  MAMMOTH_RETURN_IF_ERROR(ValidateCands(a, "union"));
+  MAMMOTH_RETURN_IF_ERROR(ValidateCands(b, "union"));
+  std::vector<Oid> out;
+  out.reserve(a->Count() + b->Count());
+  size_t i = 0, j = 0;
+  while (i < a->Count() || j < b->Count()) {
+    if (j >= b->Count()) {
+      out.push_back(a->OidAt(i++));
+    } else if (i >= a->Count()) {
+      out.push_back(b->OidAt(j++));
+    } else {
+      const Oid x = a->OidAt(i), y = b->OidAt(j);
+      if (x < y) {
+        out.push_back(x);
+        ++i;
+      } else if (y < x) {
+        out.push_back(y);
+        ++j;
+      } else {
+        out.push_back(x);
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return FinishCands(std::move(out));
+}
+
+Result<BatPtr> OidIntersect(const BatPtr& a, const BatPtr& b) {
+  MAMMOTH_RETURN_IF_ERROR(ValidateCands(a, "intersect"));
+  MAMMOTH_RETURN_IF_ERROR(ValidateCands(b, "intersect"));
+  std::vector<Oid> out;
+  size_t i = 0, j = 0;
+  while (i < a->Count() && j < b->Count()) {
+    const Oid x = a->OidAt(i), y = b->OidAt(j);
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      out.push_back(x);
+      ++i;
+      ++j;
+    }
+  }
+  return FinishCands(std::move(out));
+}
+
+Result<BatPtr> OidDiff(const BatPtr& a, const BatPtr& b) {
+  MAMMOTH_RETURN_IF_ERROR(ValidateCands(a, "diff"));
+  MAMMOTH_RETURN_IF_ERROR(ValidateCands(b, "diff"));
+  std::vector<Oid> out;
+  out.reserve(a->Count());
+  size_t i = 0, j = 0;
+  while (i < a->Count()) {
+    const Oid x = a->OidAt(i);
+    while (j < b->Count() && b->OidAt(j) < x) ++j;
+    if (j >= b->Count() || b->OidAt(j) != x) out.push_back(x);
+    ++i;
+  }
+  return FinishCands(std::move(out));
+}
+
+namespace {
+
+template <typename T, bool kAnti>
+BatPtr HashSemiJoin(const Bat& l, const Bat& r) {
+  std::unordered_set<uint64_t> keys;
+  keys.reserve(r.Count() * 2);
+  const T* rv = r.TailData<T>();
+  for (size_t i = 0; i < r.Count(); ++i) {
+    keys.insert(static_cast<uint64_t>(rv[i]));
+  }
+  const T* lv = l.TailData<T>();
+  BatPtr out = Bat::New(PhysType::kOid);
+  const Oid base = l.hseqbase();
+  for (size_t i = 0; i < l.Count(); ++i) {
+    const bool hit = keys.count(static_cast<uint64_t>(lv[i])) > 0;
+    if (hit != kAnti) out->Append<Oid>(base + i);
+  }
+  out->mutable_props().sorted = true;
+  out->mutable_props().key = true;
+  return out;
+}
+
+template <bool kAnti>
+Result<BatPtr> SemiJoinImpl(const BatPtr& l, const BatPtr& r) {
+  if (l == nullptr || r == nullptr) {
+    return Status::InvalidArgument("semijoin: null input");
+  }
+  if (l->type() != r->type()) {
+    return Status::TypeMismatch("semijoin: tail types differ");
+  }
+  if (l->type() == PhysType::kStr) {
+    // Compare string content (heaps may differ between the two BATs); the
+    // views stay valid because nothing is interned during the join.
+    std::unordered_set<std::string_view> keys;
+    for (size_t i = 0; i < r->Count(); ++i) {
+      keys.insert(r->StringAt(i));
+    }
+    BatPtr out = Bat::New(PhysType::kOid);
+    const Oid base = l->hseqbase();
+    for (size_t i = 0; i < l->Count(); ++i) {
+      const bool hit = keys.count(l->StringAt(i)) > 0;
+      if (hit != kAnti) out->Append<Oid>(base + i);
+    }
+    out->mutable_props().sorted = true;
+    out->mutable_props().key = true;
+    return out;
+  }
+  if (l->type() == PhysType::kFloat || l->type() == PhysType::kDouble) {
+    return Status::Unimplemented("semijoin on floating keys");
+  }
+  BatPtr lm = l, rm = r;
+  if (lm->IsDenseTail()) {
+    lm = lm->Clone();
+    lm->MaterializeDense();
+  }
+  if (rm->IsDenseTail()) {
+    rm = rm->Clone();
+    rm->MaterializeDense();
+  }
+  return DispatchNumeric(lm->type(), [&](auto tag) -> BatPtr {
+    using T = typename decltype(tag)::type;
+    if constexpr (std::is_floating_point_v<T>) {
+      return nullptr;  // unreachable: rejected above
+    } else {
+      return HashSemiJoin<T, kAnti>(*lm, *rm);
+    }
+  });
+}
+
+}  // namespace
+
+Result<BatPtr> SemiJoin(const BatPtr& l, const BatPtr& r) {
+  return SemiJoinImpl<false>(l, r);
+}
+
+Result<BatPtr> AntiJoin(const BatPtr& l, const BatPtr& r) {
+  return SemiJoinImpl<true>(l, r);
+}
+
+}  // namespace mammoth::algebra

@@ -1,0 +1,32 @@
+#ifndef MAMMOTH_CORE_SETOPS_H_
+#define MAMMOTH_CORE_SETOPS_H_
+
+#include "common/result.h"
+#include "core/bat.h"
+
+namespace mammoth::algebra {
+
+/// Set operations over *candidate lists* (sorted, duplicate-free bat[:oid]).
+/// These are the glue of column-at-a-time predicate evaluation: disjunction
+/// is a union of candidate lists, conjunction an intersection, NOT a
+/// difference against the live set (§3). Dense inputs are handled without
+/// materialization; results are sorted+key, and dense whenever contiguous.
+
+/// cands_a ∪ cands_b.
+Result<BatPtr> OidUnion(const BatPtr& a, const BatPtr& b);
+
+/// cands_a ∩ cands_b.
+Result<BatPtr> OidIntersect(const BatPtr& a, const BatPtr& b);
+
+/// cands_a \ cands_b.
+Result<BatPtr> OidDiff(const BatPtr& a, const BatPtr& b);
+
+/// Head OIDs of `l` whose tail value appears in `r`'s tail (semijoin).
+Result<BatPtr> SemiJoin(const BatPtr& l, const BatPtr& r);
+
+/// Head OIDs of `l` whose tail value does NOT appear in `r`'s tail.
+Result<BatPtr> AntiJoin(const BatPtr& l, const BatPtr& r);
+
+}  // namespace mammoth::algebra
+
+#endif  // MAMMOTH_CORE_SETOPS_H_

@@ -1,0 +1,112 @@
+#include "core/sort.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/dispatch.h"
+#include "core/project.h"
+
+namespace mammoth::algebra {
+
+namespace {
+
+/// LSB radix sort of (key, position) pairs for 32-bit integer tails.
+/// Three 11-bit passes; stable, O(n) — the kind of bulk-friendly algorithm
+/// column-wise execution favors (§2).
+void RadixSortInt32(const int32_t* v, size_t n, std::vector<uint32_t>* perm) {
+  constexpr int kBitsPerPass = 11;
+  constexpr size_t kBuckets = 1u << kBitsPerPass;
+  constexpr uint32_t kMask = kBuckets - 1;
+
+  std::vector<uint32_t> src(n), dst(n);
+  std::iota(src.begin(), src.end(), 0u);
+  // Bias keys so negative ints sort before positives.
+  auto key_of = [v](uint32_t idx) {
+    return static_cast<uint32_t>(v[idx]) ^ 0x80000000u;
+  };
+  std::vector<uint32_t> hist(kBuckets);
+  for (int pass = 0; pass < 3; ++pass) {
+    const int shift = pass * kBitsPerPass;
+    std::fill(hist.begin(), hist.end(), 0u);
+    for (size_t i = 0; i < n; ++i) {
+      ++hist[(key_of(src[i]) >> shift) & kMask];
+    }
+    uint32_t sum = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      const uint32_t c = hist[b];
+      hist[b] = sum;
+      sum += c;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[hist[(key_of(src[i]) >> shift) & kMask]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  // 33 bits of key over 3 passes of 11 bits: src now holds the permutation.
+  *perm = std::move(src);
+}
+
+}  // namespace
+
+Result<SortResult> Sort(const BatPtr& b, bool descending) {
+  if (b == nullptr) return Status::InvalidArgument("sort: null input");
+  const size_t n = b->Count();
+
+  BatPtr base = b;
+  if (b->IsDenseTail()) {
+    base = b->Clone();
+    base->MaterializeDense();
+  }
+
+  std::vector<uint32_t> perm;
+  if (base->type() == PhysType::kInt32 && !descending && n > 1) {
+    RadixSortInt32(base->TailData<int32_t>(), n, &perm);
+  } else {
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    if (base->type() == PhysType::kStr) {
+      const uint64_t* offs = base->TailData<uint64_t>();
+      const StringHeap& heap = *base->heap();
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](uint32_t a, uint32_t c) {
+                         return descending ? heap.Get(offs[c]) < heap.Get(offs[a])
+                                           : heap.Get(offs[a]) < heap.Get(offs[c]);
+                       });
+    } else {
+      DispatchNumeric(base->type(), [&](auto tag) {
+        using T = typename decltype(tag)::type;
+        const T* v = base->TailData<T>();
+        std::stable_sort(perm.begin(), perm.end(),
+                         [&](uint32_t a, uint32_t c) {
+                           return descending ? v[c] < v[a] : v[a] < v[c];
+                         });
+      });
+    }
+  }
+
+  SortResult out;
+  out.order = Bat::New(PhysType::kOid);
+  out.order->Resize(n);
+  Oid* ord = out.order->MutableTailData<Oid>();
+  const Oid hseq = base->hseqbase();
+  for (size_t i = 0; i < n; ++i) ord[i] = hseq + perm[i];
+  out.order->mutable_props().key = true;
+
+  MAMMOTH_ASSIGN_OR_RETURN(out.sorted, Project(out.order, base));
+  out.sorted->mutable_props().sorted = !descending;
+  out.sorted->mutable_props().revsorted = descending || n <= 1;
+  return out;
+}
+
+Result<BatPtr> TopN(const BatPtr& b, size_t k, bool descending) {
+  if (b == nullptr) return Status::InvalidArgument("topn: null input");
+  MAMMOTH_ASSIGN_OR_RETURN(SortResult s, Sort(b, descending));
+  const size_t n = std::min(k, s.order->Count());
+  BatPtr r = Bat::New(PhysType::kOid);
+  r->AppendRaw(s.order->TailData<Oid>(), n);
+  r->mutable_props().key = true;
+  return r;
+}
+
+}  // namespace mammoth::algebra

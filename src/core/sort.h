@@ -1,0 +1,27 @@
+#ifndef MAMMOTH_CORE_SORT_H_
+#define MAMMOTH_CORE_SORT_H_
+
+#include "common/result.h"
+#include "core/bat.h"
+
+namespace mammoth::algebra {
+
+/// Result of sorting a BAT.
+struct SortResult {
+  /// Tail values in order (ascending unless descending was requested).
+  BatPtr sorted;
+  /// Order index: bat[:oid] such that sorted[i] == b[order[i]]. This is the
+  /// "selective replication with different sort orders" building block (§2).
+  BatPtr order;
+};
+
+/// Stable sort by tail value. O(n log n) comparison sort for all types;
+/// 32-bit integers additionally have an LSB radix-sort fast path.
+Result<SortResult> Sort(const BatPtr& b, bool descending = false);
+
+/// Returns the first `k` head OIDs of `b` in sorted tail order (top-k).
+Result<BatPtr> TopN(const BatPtr& b, size_t k, bool descending = false);
+
+}  // namespace mammoth::algebra
+
+#endif  // MAMMOTH_CORE_SORT_H_

@@ -1,0 +1,44 @@
+#include "core/string_heap.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mammoth {
+
+uint64_t StringHeap::Put(std::string_view s) {
+  auto it = intern_.find(std::string(s));
+  if (it != intern_.end()) return it->second;
+  const uint64_t offset = bytes_.size();
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+  bytes_.push_back('\0');
+  intern_.emplace(std::string(s), offset);
+  return offset;
+}
+
+std::string_view StringHeap::Get(uint64_t offset) const {
+  MAMMOTH_DCHECK(offset < bytes_.size(), "string heap offset out of range");
+  const char* p = bytes_.data() + offset;
+  return std::string_view(p, std::strlen(p));
+}
+
+void StringHeap::Restore(const char* bytes, size_t n) {
+  bytes_.assign(bytes, bytes + n);
+  intern_.clear();
+  size_t offset = 0;
+  while (offset < n) {
+    const char* s = bytes_.data() + offset;
+    const size_t len = std::strlen(s);
+    intern_.emplace(std::string(s, len), offset);
+    offset += len + 1;
+  }
+}
+
+bool StringHeap::Find(std::string_view s, uint64_t* offset) const {
+  auto it = intern_.find(std::string(s));
+  if (it == intern_.end()) return false;
+  *offset = it->second;
+  return true;
+}
+
+}  // namespace mammoth

@@ -1,0 +1,59 @@
+#ifndef MAMMOTH_CORE_STRING_HEAP_H_
+#define MAMMOTH_CORE_STRING_HEAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mammoth {
+
+/// Variable-width value heap backing string BATs: all string bytes are
+/// concatenated (null-terminated) in one buffer, and the BAT tail stores
+/// fixed-width offsets into it (§3). Identical strings are deduplicated so
+/// the heap doubles as a dictionary.
+class StringHeap {
+ public:
+  StringHeap() = default;
+
+  // Heaps are shared between BATs (e.g. a select result reuses its input's
+  // heap); copying would break offset identity.
+  StringHeap(const StringHeap&) = delete;
+  StringHeap& operator=(const StringHeap&) = delete;
+
+  /// Interns `s`, returning its offset. Repeated strings return the same
+  /// offset.
+  uint64_t Put(std::string_view s);
+
+  /// The string stored at `offset`. Offsets must come from Put().
+  std::string_view Get(uint64_t offset) const;
+
+  /// Finds an already-interned string; returns false if absent.
+  bool Find(std::string_view s, uint64_t* offset) const;
+
+  /// Number of distinct strings interned.
+  size_t DistinctCount() const { return intern_.size(); }
+
+  /// Total heap bytes (including terminators).
+  size_t ByteSize() const { return bytes_.size(); }
+
+  /// Raw heap bytes (for persistence).
+  const char* RawBytes() const { return bytes_.data(); }
+
+  /// Replaces the heap content with `n` raw bytes (a sequence of
+  /// null-terminated strings) and rebuilds the interning map. Used when
+  /// loading a BAT from disk.
+  void Restore(const char* bytes, size_t n);
+
+ private:
+  std::vector<char> bytes_;
+  // Owned copies of interned strings -> offset. Keys are copies because
+  // bytes_ reallocates; the memory overhead only matters for huge
+  // high-cardinality string columns, which the experiments do not use.
+  std::unordered_map<std::string, uint64_t> intern_;
+};
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_CORE_STRING_HEAP_H_

@@ -1,0 +1,233 @@
+#include "core/table.h"
+
+#include <algorithm>
+
+#include "core/dispatch.h"
+
+namespace mammoth {
+
+Table::Table(std::string name, std::vector<ColumnDef> schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  mains_.reserve(schema_.size());
+  inserts_.reserve(schema_.size());
+  for (const ColumnDef& def : schema_) {
+    mains_.push_back(NewColumnBat(def));
+    // Insert deltas of string columns share the main column's heap so the
+    // merge step is a plain offset append.
+    if (def.type == PhysType::kStr) {
+      inserts_.push_back(Bat::NewString(mains_.back()->heap()));
+    } else {
+      inserts_.push_back(Bat::New(def.type));
+    }
+  }
+  deleted_ = Bat::New(PhysType::kOid);
+  deleted_->mutable_props().sorted = true;
+  deleted_->mutable_props().key = true;
+}
+
+BatPtr Table::NewColumnBat(const ColumnDef& def) {
+  return def.type == PhysType::kStr ? Bat::NewString(nullptr)
+                                    : Bat::New(def.type);
+}
+
+Result<TablePtr> Table::Create(std::string name,
+                               std::vector<ColumnDef> schema) {
+  if (schema.empty()) {
+    return Status::InvalidArgument("table needs at least one column");
+  }
+  for (size_t i = 0; i < schema.size(); ++i) {
+    for (size_t j = i + 1; j < schema.size(); ++j) {
+      if (schema[i].name == schema[j].name) {
+        return Status::AlreadyExists("duplicate column " + schema[i].name);
+      }
+    }
+  }
+  return TablePtr(new Table(std::move(name), std::move(schema)));
+}
+
+Result<TablePtr> Table::FromColumns(std::string name,
+                                    std::vector<ColumnDef> schema,
+                                    std::vector<BatPtr> columns) {
+  MAMMOTH_ASSIGN_OR_RETURN(TablePtr t,
+                           Create(std::move(name), std::move(schema)));
+  if (columns.size() != t->schema_.size()) {
+    return Status::InvalidArgument("FromColumns: column count mismatch");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == nullptr || columns[i]->type() != t->schema_[i].type) {
+      return Status::TypeMismatch("FromColumns: column " +
+                                  t->schema_[i].name + " type mismatch");
+    }
+    if (columns[i]->Count() != columns[0]->Count()) {
+      return Status::InvalidArgument("FromColumns: column lengths differ");
+    }
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    t->mains_[i] = std::move(columns[i]);
+    // String deltas must share the adopted heap.
+    if (t->schema_[i].type == PhysType::kStr) {
+      t->inserts_[i] = Bat::NewString(t->mains_[i]->heap());
+    }
+  }
+  return t;
+}
+
+Result<size_t> Table::ColumnIndex(std::string_view column_name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == column_name) return i;
+  }
+  return Status::NotFound("no column named " + std::string(column_name));
+}
+
+size_t Table::PhysicalRowCount() const {
+  return mains_[0]->Count() + inserts_[0]->Count();
+}
+
+size_t Table::VisibleRowCount() const {
+  return PhysicalRowCount() - deleted_->Count();
+}
+
+Status Table::Insert(const std::vector<Value>& row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const bool is_str_col = schema_[i].type == PhysType::kStr;
+    if (is_str_col != row[i].is_str()) {
+      return Status::TypeMismatch("column " + schema_[i].name +
+                                  ": value kind mismatch");
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    Bat& delta = *inserts_[i];
+    if (schema_[i].type == PhysType::kStr) {
+      delta.AppendString(row[i].AsStr());
+    } else {
+      DispatchNumeric(schema_[i].type, [&](auto tag) {
+        using T = typename decltype(tag)::type;
+        delta.tail().Append<T>(row[i].As<T>());
+      });
+    }
+  }
+  ++version_;
+  return Status::OK();
+}
+
+Status Table::Delete(const BatPtr& oids) {
+  if (oids == nullptr || oids->type() != PhysType::kOid) {
+    return Status::InvalidArgument("delete: need bat[:oid]");
+  }
+  const size_t nrows = PhysicalRowCount();
+  std::vector<Oid> merged;
+  merged.reserve(deleted_->Count() + oids->Count());
+  for (size_t i = 0; i < deleted_->Count(); ++i) {
+    merged.push_back(deleted_->OidAt(i));
+  }
+  for (size_t i = 0; i < oids->Count(); ++i) {
+    const Oid o = oids->OidAt(i);
+    if (o >= nrows) return Status::OutOfRange("delete: oid beyond table");
+    merged.push_back(o);
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  deleted_ = Bat::New(PhysType::kOid);
+  deleted_->AppendRaw(merged.data(), merged.size());
+  deleted_->mutable_props().sorted = true;
+  deleted_->mutable_props().key = true;
+  ++version_;
+  return Status::OK();
+}
+
+Result<BatPtr> Table::ScanColumn(size_t idx) const {
+  if (idx >= schema_.size()) return Status::OutOfRange("no such column");
+  const BatPtr& main = mains_[idx];
+  const BatPtr& ins = inserts_[idx];
+  if (ins->Count() == 0) return main;
+  // Materialize main ++ inserts. String deltas share the main heap, so the
+  // offsets concatenate directly.
+  BatPtr merged = main->Clone();
+  merged->AppendRaw(ins->tail().raw_data(), ins->Count());
+  merged->mutable_props() = BatProperties{};
+  return merged;
+}
+
+Result<BatPtr> Table::ScanColumn(std::string_view column_name) const {
+  MAMMOTH_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(column_name));
+  return ScanColumn(idx);
+}
+
+BatPtr Table::LiveCandidates() const {
+  const size_t nrows = PhysicalRowCount();
+  if (deleted_->Count() == 0) return Bat::NewDense(0, nrows);
+  BatPtr live = Bat::New(PhysType::kOid);
+  live->Reserve(nrows - deleted_->Count());
+  const Oid* dead = deleted_->TailData<Oid>();
+  const size_t ndead = deleted_->Count();
+  size_t d = 0;
+  for (Oid o = 0; o < nrows; ++o) {
+    if (d < ndead && dead[d] == o) {
+      ++d;
+      continue;
+    }
+    live->Append<Oid>(o);
+  }
+  live->mutable_props().sorted = true;
+  live->mutable_props().key = true;
+  return live;
+}
+
+Status Table::MergeDeltas() {
+  const BatPtr live = LiveCandidates();
+  const bool has_deletes = deleted_->Count() > 0;
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    MAMMOTH_ASSIGN_OR_RETURN(BatPtr merged, ScanColumn(i));
+    if (has_deletes) {
+      // Compact: keep only live positions.
+      BatPtr compacted;
+      if (schema_[i].type == PhysType::kStr) {
+        compacted = Bat::NewString(merged->heap());
+        compacted->Reserve(live->Count());
+        for (size_t j = 0; j < live->Count(); ++j) {
+          compacted->tail().Append<uint64_t>(
+              merged->TailData<uint64_t>()[live->OidAt(j)]);
+        }
+      } else {
+        compacted = Bat::New(schema_[i].type);
+        compacted->Reserve(live->Count());
+        DispatchNumeric(schema_[i].type, [&](auto tag) {
+          using T = typename decltype(tag)::type;
+          const T* src = merged->TailData<T>();
+          for (size_t j = 0; j < live->Count(); ++j) {
+            compacted->tail().Append<T>(src[live->OidAt(j)]);
+          }
+        });
+      }
+      mains_[i] = compacted;
+    } else if (merged.get() != mains_[i].get()) {
+      mains_[i] = merged;
+    }
+    // Fresh empty delta (string deltas re-attach to the main heap).
+    if (schema_[i].type == PhysType::kStr) {
+      inserts_[i] = Bat::NewString(mains_[i]->heap());
+    } else {
+      inserts_[i] = Bat::New(schema_[i].type);
+    }
+  }
+  deleted_ = Bat::New(PhysType::kOid);
+  deleted_->mutable_props().sorted = true;
+  deleted_->mutable_props().key = true;
+  ++version_;
+  return Status::OK();
+}
+
+TablePtr Table::Snapshot() const {
+  TablePtr snap(new Table(name_, schema_));
+  snap->mains_ = mains_;  // shared, immutable until MergeDeltas
+  for (size_t i = 0; i < inserts_.size(); ++i) {
+    snap->inserts_[i] = inserts_[i]->Clone();
+  }
+  snap->deleted_ = deleted_->Clone();
+  return snap;
+}
+
+}  // namespace mammoth

@@ -1,0 +1,109 @@
+#ifndef MAMMOTH_CORE_TABLE_H_
+#define MAMMOTH_CORE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/bat.h"
+#include "core/value.h"
+
+namespace mammoth {
+
+/// One column of a relational schema.
+struct ColumnDef {
+  std::string name;
+  PhysType type;
+};
+
+class Table;
+using TablePtr = std::shared_ptr<Table>;
+
+/// A relational table decomposed by column into BATs with dense (non-stored)
+/// heads, exactly as the SQL front-end of §3.2: per column a main BAT plus a
+/// pending-insert delta BAT, and one shared BAT of deleted positions. Delta
+/// BATs delay updates to the main columns and make snapshots cheap (only the
+/// deltas are copied).
+class Table {
+ public:
+  static Result<TablePtr> Create(std::string name,
+                                 std::vector<ColumnDef> schema);
+
+  /// Creates a table adopting existing column BATs as the main storage
+  /// (used by persistence; `columns` must match the schema arity/types and
+  /// have equal counts).
+  static Result<TablePtr> FromColumns(std::string name,
+                                      std::vector<ColumnDef> schema,
+                                      std::vector<BatPtr> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& schema() const { return schema_; }
+  size_t NumColumns() const { return schema_.size(); }
+
+  /// Index of a named column, or NotFound.
+  Result<size_t> ColumnIndex(std::string_view column_name) const;
+
+  /// Rows visible to readers: main + inserts - deletes.
+  size_t VisibleRowCount() const;
+
+  /// Rows physically present (main + inserts, ignoring deletes).
+  size_t PhysicalRowCount() const;
+
+  /// Appends one row; `row` must match the schema arity and types
+  /// (numeric values are narrowed to the column type).
+  Status Insert(const std::vector<Value>& row);
+
+  /// Marks the given head OIDs deleted (visible effect immediate).
+  Status Delete(const BatPtr& oids);
+
+  /// The *merged* read image of a column: main ++ inserts, one BAT. Cheap
+  /// when no pending inserts exist (returns the main BAT itself).
+  Result<BatPtr> ScanColumn(size_t idx) const;
+  Result<BatPtr> ScanColumn(std::string_view column_name) const;
+
+  /// Candidate list of live (non-deleted) positions, or nullptr when
+  /// nothing was ever deleted ("all rows").
+  BatPtr LiveCandidates() const;
+
+  /// Folds pending inserts into the main BATs and compacts deleted rows
+  /// away (OIDs are renumbered densely). The relational equivalent of a
+  /// checkpoint.
+  Status MergeDeltas();
+
+  /// Snapshot sharing main BATs but with copied deltas: writes to either
+  /// side are invisible to the other as long as neither calls MergeDeltas().
+  TablePtr Snapshot() const;
+
+  /// Number of pending (unmerged) inserted rows.
+  size_t PendingInsertCount() const {
+    return inserts_.empty() ? 0 : inserts_[0]->Count();
+  }
+  /// Number of deleted, not-yet-compacted rows.
+  size_t DeletedCount() const { return deleted_->Count(); }
+
+  /// Direct access to the main BAT of a column (bench/test aid; bypasses
+  /// deltas).
+  const BatPtr& MainColumn(size_t idx) const { return mains_[idx]; }
+
+  /// Monotone version counter, bumped by every Insert/Delete/MergeDeltas.
+  /// Cached intermediates (the recycler, §6.1) key on it to invalidate
+  /// results computed over stale table contents.
+  uint64_t version() const { return version_; }
+
+ private:
+  Table(std::string name, std::vector<ColumnDef> schema);
+
+  static BatPtr NewColumnBat(const ColumnDef& def);
+
+  std::string name_;
+  std::vector<ColumnDef> schema_;
+  std::vector<BatPtr> mains_;
+  std::vector<BatPtr> inserts_;
+  BatPtr deleted_;  // sorted oid BAT of deleted head positions
+  uint64_t version_ = 0;
+};
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_CORE_TABLE_H_

@@ -1,0 +1,29 @@
+#include "core/types.h"
+
+namespace mammoth {
+
+const char* TypeName(PhysType t) {
+  switch (t) {
+    case PhysType::kBool:
+      return "bit";
+    case PhysType::kInt8:
+      return "bte";
+    case PhysType::kInt16:
+      return "sht";
+    case PhysType::kInt32:
+      return "int";
+    case PhysType::kInt64:
+      return "lng";
+    case PhysType::kOid:
+      return "oid";
+    case PhysType::kFloat:
+      return "flt";
+    case PhysType::kDouble:
+      return "dbl";
+    case PhysType::kStr:
+      return "str";
+  }
+  return "unknown";
+}
+
+}  // namespace mammoth

@@ -1,0 +1,104 @@
+#ifndef MAMMOTH_CORE_TYPES_H_
+#define MAMMOTH_CORE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace mammoth {
+
+/// Object identifier: the (virtual) dense surrogate forming the head of
+/// every BAT (§3). OIDs are array positions offset by the BAT's hseqbase.
+using Oid = uint64_t;
+
+/// Sentinel for "no oid" (MonetDB's oid_nil).
+inline constexpr Oid kOidNil = std::numeric_limits<Oid>::max();
+
+/// Physical tail types stored in BATs. Strings are stored as fixed-width
+/// offsets into a variable-width heap, exactly as the paper describes
+/// ("variable-width types are split into two arrays, one with offsets, and
+/// the other with all concatenated data", §3).
+enum class PhysType : uint8_t {
+  kBool = 0,
+  kInt8,
+  kInt16,
+  kInt32,
+  kInt64,
+  kOid,
+  kFloat,
+  kDouble,
+  kStr,
+};
+
+/// Width in bytes of one tail slot of the given type.
+constexpr size_t TypeWidth(PhysType t) {
+  switch (t) {
+    case PhysType::kBool:
+    case PhysType::kInt8:
+      return 1;
+    case PhysType::kInt16:
+      return 2;
+    case PhysType::kInt32:
+    case PhysType::kFloat:
+      return 4;
+    case PhysType::kInt64:
+    case PhysType::kOid:
+    case PhysType::kDouble:
+    case PhysType::kStr:  // heap offset
+      return 8;
+  }
+  return 0;
+}
+
+/// Short lowercase type name matching MonetDB conventions (:int, :lng, ...).
+const char* TypeName(PhysType t);
+
+constexpr bool IsNumeric(PhysType t) {
+  return t != PhysType::kStr;
+}
+
+constexpr bool IsFloating(PhysType t) {
+  return t == PhysType::kFloat || t == PhysType::kDouble;
+}
+
+/// Maps C++ value types to their PhysType tag (primary template undefined on
+/// purpose: using an unsupported type is a compile error).
+template <typename T>
+struct TypeTraits;
+
+template <>
+struct TypeTraits<bool> {
+  static constexpr PhysType kType = PhysType::kBool;
+};
+template <>
+struct TypeTraits<int8_t> {
+  static constexpr PhysType kType = PhysType::kInt8;
+};
+template <>
+struct TypeTraits<int16_t> {
+  static constexpr PhysType kType = PhysType::kInt16;
+};
+template <>
+struct TypeTraits<int32_t> {
+  static constexpr PhysType kType = PhysType::kInt32;
+};
+template <>
+struct TypeTraits<int64_t> {
+  static constexpr PhysType kType = PhysType::kInt64;
+};
+template <>
+struct TypeTraits<uint64_t> {
+  static constexpr PhysType kType = PhysType::kOid;
+};
+template <>
+struct TypeTraits<float> {
+  static constexpr PhysType kType = PhysType::kFloat;
+};
+template <>
+struct TypeTraits<double> {
+  static constexpr PhysType kType = PhysType::kDouble;
+};
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_CORE_TYPES_H_

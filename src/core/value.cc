@@ -1,0 +1,30 @@
+#include "core/value.h"
+
+namespace mammoth {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kEq:
+      return "==";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  if (is_nil()) return "nil";
+  if (is_int()) return std::to_string(std::get<int64_t>(repr_));
+  if (is_real()) return std::to_string(std::get<double>(repr_));
+  return "\"" + std::get<std::string>(repr_) + "\"";
+}
+
+}  // namespace mammoth

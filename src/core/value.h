@@ -1,0 +1,98 @@
+#ifndef MAMMOTH_CORE_VALUE_H_
+#define MAMMOTH_CORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/logging.h"
+#include "core/types.h"
+
+namespace mammoth {
+
+/// A single constant reaching the kernels from a front-end (a SQL literal, a
+/// MAL constant). Kernels immediately narrow it to the BAT's physical type,
+/// so Value deliberately keeps only three logical shapes: integer, real,
+/// string.
+class Value {
+ public:
+  Value() = default;
+
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Real(double v) { return Value(Repr(v)); }
+  static Value Str(std::string v) { return Value(Repr(std::move(v))); }
+  static Value Nil() { return Value(); }
+
+  bool is_nil() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_real() const { return std::holds_alternative<double>(repr_); }
+  bool is_str() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_numeric() const { return is_int() || is_real(); }
+
+  int64_t AsInt() const {
+    if (is_real()) return static_cast<int64_t>(std::get<double>(repr_));
+    MAMMOTH_DCHECK(is_int(), "Value::AsInt on non-numeric");
+    return std::get<int64_t>(repr_);
+  }
+
+  double AsReal() const {
+    if (is_int()) return static_cast<double>(std::get<int64_t>(repr_));
+    MAMMOTH_DCHECK(is_real(), "Value::AsReal on non-numeric");
+    return std::get<double>(repr_);
+  }
+
+  const std::string& AsStr() const {
+    MAMMOTH_DCHECK(is_str(), "Value::AsStr on non-string");
+    return std::get<std::string>(repr_);
+  }
+
+  /// Narrows to the C++ type used by a kernel loop.
+  template <typename T>
+  T As() const {
+    if constexpr (std::is_floating_point_v<T>) {
+      return static_cast<T>(AsReal());
+    } else {
+      return static_cast<T>(AsInt());
+    }
+  }
+
+  /// Printable form for plans and debugging.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+
+ private:
+  using Repr = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Repr r) : repr_(std::move(r)) {}
+  Repr repr_;
+};
+
+/// Comparison operators understood by theta-selects and calc kernels.
+enum class CmpOp : uint8_t { kLt, kLe, kEq, kNe, kGe, kGt };
+
+const char* CmpOpName(CmpOp op);
+
+/// Applies `op` to already-narrowed operands; inlined into kernel loops.
+template <typename T>
+inline bool ApplyCmp(CmpOp op, T a, T b) {
+  switch (op) {
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kGe:
+      return a >= b;
+    case CmpOp::kGt:
+      return a > b;
+  }
+  return false;
+}
+
+}  // namespace mammoth
+
+#endif  // MAMMOTH_CORE_VALUE_H_

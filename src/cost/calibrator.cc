@@ -1,0 +1,172 @@
+#include "cost/calibrator.h"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace mammoth::cost {
+
+namespace {
+
+/// Builds a random Hamiltonian cycle over `n` slots (Sattolo's algorithm),
+/// so chasing `i = next[i]` visits every slot once per lap in random order.
+std::vector<uint32_t> RandomCycle(size_t n, Rng* rng) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (size_t i = n - 1; i > 0; --i) {
+    const size_t j = rng->Uniform(i);  // j < i: guarantees a single cycle
+    std::swap(perm[i], perm[j]);
+  }
+  std::vector<uint32_t> next(n);
+  for (size_t i = 0; i + 1 < n; ++i) next[perm[i]] = perm[i + 1];
+  next[perm[n - 1]] = perm[0];
+  return next;
+}
+
+}  // namespace
+
+double MeasureRandomLatencyNs(size_t bytes, size_t iterations) {
+  const size_t stride = 64;  // one slot per cache line
+  const size_t n = std::max<size_t>(bytes / stride, 16);
+  Rng rng(12345);
+  // Lay the chase out one uint32 per line to avoid spatial locality.
+  std::vector<uint32_t> cycle = RandomCycle(n, &rng);
+  std::vector<uint32_t> arena(n * (stride / sizeof(uint32_t)));
+  const size_t scale = stride / sizeof(uint32_t);
+  for (size_t i = 0; i < n; ++i) arena[i * scale] = cycle[i] * scale;
+
+  // Warm-up lap.
+  uint32_t p = 0;
+  for (size_t i = 0; i < n; ++i) p = arena[p];
+
+  WallTimer timer;
+  for (size_t i = 0; i < iterations; ++i) p = arena[p];
+  const double ns = timer.ElapsedSeconds() * 1e9 / iterations;
+  // Defeat dead-code elimination.
+  volatile uint32_t sink = p;
+  (void)sink;
+  return ns;
+}
+
+double MeasureSequentialLatencyNs(size_t bytes, size_t iterations) {
+  const size_t n = std::max<size_t>(bytes / sizeof(uint64_t), 1024);
+  std::vector<uint64_t> arena(n, 1);
+  uint64_t sum = 0;
+  // Warm-up.
+  for (size_t i = 0; i < n; ++i) sum += arena[i];
+  WallTimer timer;
+  size_t done = 0;
+  while (done < iterations) {
+    for (size_t i = 0; i < n; ++i) sum += arena[i];
+    done += n;
+  }
+  const double ns = timer.ElapsedSeconds() * 1e9 / done;
+  volatile uint64_t sink = sum;
+  (void)sink;
+  return ns;
+}
+
+double MeasureGatherLatencyNs(size_t bytes, size_t iterations) {
+  const size_t stride = 64;
+  const size_t n = std::max<size_t>(bytes / stride, 16);
+  Rng rng(777);
+  // Independent random indexes: the core can keep many loads in flight.
+  std::vector<uint32_t> idx(iterations);
+  for (auto& i : idx) i = static_cast<uint32_t>(rng.Uniform(n));
+  std::vector<uint64_t> arena(n * (stride / sizeof(uint64_t)), 1);
+  const size_t scale = stride / sizeof(uint64_t);
+  uint64_t sum = 0;
+  for (size_t i = 0; i < std::min<size_t>(iterations, n); ++i) {
+    sum += arena[idx[i] * scale];  // warm-up
+  }
+  WallTimer timer;
+  for (size_t i = 0; i < iterations; ++i) sum += arena[idx[i] * scale];
+  const double ns = timer.ElapsedSeconds() * 1e9 / iterations;
+  volatile uint64_t sink = sum;
+  (void)sink;
+  return ns;
+}
+
+namespace {
+
+/// Last-level cache capacity from sysfs; 0 when unavailable. Matters on
+/// hosts with very large shared LLCs, where assuming "8MB L3" makes every
+/// model verdict about cache-resident working sets wrong.
+size_t DetectLlcBytes() {
+  for (int idx = 4; idx >= 0; --idx) {
+    const std::string path = "/sys/devices/system/cpu/cpu0/cache/index" +
+                             std::to_string(idx) + "/size";
+    std::ifstream f(path);
+    if (!f) continue;
+    size_t value = 0;
+    char unit = 0;
+    f >> value >> unit;
+    if (!f || value == 0) continue;
+    if (unit == 'K' || unit == 'k') return value << 10;
+    if (unit == 'M' || unit == 'm') return value << 20;
+    return value;
+  }
+  return 0;
+}
+
+}  // namespace
+
+HardwareProfile Calibrate() {
+  HardwareProfile p = HardwareProfile::Default();
+  const size_t llc = DetectLlcBytes();
+  if (llc > 0) p.levels.back().capacity_bytes = llc;
+  // The "RAM" working set must exceed the (possibly huge) LLC.
+  const size_t ram_ws =
+      std::max<size_t>(256 << 20, 2 * p.levels.back().capacity_bytes);
+
+  // Measure the random-access latency ladder.
+  struct Point {
+    size_t bytes;
+    double ns;
+  };
+  std::vector<Point> ladder;
+  for (size_t kb : {16, 64, 128, 512, 2048, 8192, 32768}) {
+    ladder.push_back({kb << 10, MeasureRandomLatencyNs(kb << 10, 1 << 18)});
+  }
+  // One point inside the (possibly huge) LLC and one beyond it.
+  const size_t llc_ws = p.levels.back().capacity_bytes / 2;
+  if (llc_ws > ladder.back().bytes) {
+    ladder.push_back({llc_ws, MeasureRandomLatencyNs(llc_ws, 1 << 18)});
+  }
+  const double ram_latency = MeasureRandomLatencyNs(ram_ws, 1 << 18);
+  ladder.push_back({ram_ws, ram_latency});
+
+  // Install *incremental* latencies: the model sums per-level miss costs,
+  // so each level carries the latency it adds on top of the levels below.
+  auto latency_at = [&](size_t bytes) {
+    for (const Point& pt : ladder) {
+      if (pt.bytes >= bytes) return pt.ns;
+    }
+    return ladder.back().ns;
+  };
+  if (p.levels.size() >= 3) {
+    const double l1_miss = latency_at(p.levels[1].capacity_bytes / 2);
+    const double l2_miss = latency_at(p.levels[2].capacity_bytes / 2);
+    p.levels[0].rand_miss_ns = l1_miss;
+    p.levels[1].rand_miss_ns = std::max(1.0, l2_miss - l1_miss);
+    p.levels[2].rand_miss_ns = std::max(1.0, ram_latency - l2_miss);
+  }
+  // Sequential bandwidth: per-line cost of streaming a RAM-sized region.
+  const double seq_per_elem = MeasureSequentialLatencyNs(64 << 20, 1 << 22);
+  const double seq_per_line = seq_per_elem * (64.0 / sizeof(uint64_t));
+  for (CacheLevel& l : p.levels) {
+    l.seq_miss_ns = seq_per_line / static_cast<double>(p.levels.size());
+  }
+  // Memory-level parallelism: dependent chase vs independent gather at a
+  // beyond-LLC working set.
+  const double gather = MeasureGatherLatencyNs(ram_ws, 1 << 18);
+  p.mlp = gather > 0 ? std::max(1.0, ram_latency / gather) : 1.0;
+  return p;
+}
+
+}  // namespace mammoth::cost

@@ -1,0 +1,35 @@
+#ifndef MAMMOTH_COST_CALIBRATOR_H_
+#define MAMMOTH_COST_CALIBRATOR_H_
+
+#include <cstddef>
+
+#include "cost/hardware.h"
+
+namespace mammoth::cost {
+
+/// Runtime micro-measurements in the spirit of the Calibrator tool that
+/// accompanied [26,24]: the cost model's inputs are *measured*, not assumed,
+/// so the model self-adapts to the machine it runs on (no knobs, §6.1).
+
+/// Average latency (ns) of one dependent random access within a working set
+/// of `bytes`, measured by pointer-chasing a shuffled cycle. Dependent loads
+/// defeat the prefetcher and the out-of-order window.
+double MeasureRandomLatencyNs(size_t bytes, size_t iterations = 1 << 20);
+
+/// Average per-element cost (ns) of streaming through `bytes` sequentially.
+double MeasureSequentialLatencyNs(size_t bytes, size_t iterations = 1 << 22);
+
+/// Average latency (ns) of one *independent* random access (a gather the
+/// out-of-order core can overlap), within a working set of `bytes`. The
+/// ratio chase/gather estimates the machine's memory-level parallelism.
+double MeasureGatherLatencyNs(size_t bytes, size_t iterations = 1 << 20);
+
+/// Probes a ladder of working-set sizes and derives a 2-3 level
+/// HardwareProfile by locating latency steps. Falls back to
+/// HardwareProfile::Default() capacities when the steps are too noisy to
+/// segment, but always installs the measured latencies.
+HardwareProfile Calibrate();
+
+}  // namespace mammoth::cost
+
+#endif  // MAMMOTH_COST_CALIBRATOR_H_

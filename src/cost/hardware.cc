@@ -1,0 +1,51 @@
+#include "cost/hardware.h"
+
+#include <cstdio>
+
+namespace mammoth::cost {
+
+HardwareProfile HardwareProfile::Default() {
+  HardwareProfile p;
+  p.levels = {
+      {"L1", 32 << 10, 64, 1.0, 2.0},
+      {"L2", 256 << 10, 64, 3.0, 8.0},
+      {"L3", 8 << 20, 64, 10.0, 60.0},
+  };
+  p.tlb_entries = 64;
+  p.page_bytes = 4096;
+  p.tlb_miss_ns = 20.0;
+  p.mlp = 6.0;
+  return p;
+}
+
+HardwareProfile HardwareProfile::Pentium4Era() {
+  HardwareProfile p;
+  // Numbers in the ballpark of a 2002-2004 Pentium4 Xeon: small caches and
+  // a ~300-cycle DRAM access with no overlap between misses.
+  p.levels = {
+      {"L1", 8 << 10, 64, 2.0, 10.0},
+      {"L2", 512 << 10, 128, 25.0, 150.0},
+  };
+  p.tlb_entries = 64;
+  p.page_bytes = 4096;
+  p.tlb_miss_ns = 100.0;
+  p.mlp = 1.0;  // in-order-ish memory system: one outstanding miss
+  return p;
+}
+
+std::string HardwareProfile::ToString() const {
+  std::string out;
+  char buf[128];
+  for (const CacheLevel& l : levels) {
+    std::snprintf(buf, sizeof(buf), "%s: %zuKB line=%zuB seq=%.1fns rand=%.1fns\n",
+                  l.name.c_str(), l.capacity_bytes >> 10, l.line_bytes,
+                  l.seq_miss_ns, l.rand_miss_ns);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "TLB: %zu entries, page=%zuB, miss=%.1fns\n",
+                tlb_entries, page_bytes, tlb_miss_ns);
+  out += buf;
+  return out;
+}
+
+}  // namespace mammoth::cost

@@ -1,0 +1,54 @@
+#ifndef MAMMOTH_COST_HARDWARE_H_
+#define MAMMOTH_COST_HARDWARE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mammoth::cost {
+
+/// One level of the memory hierarchy as seen by the unified hardware model
+/// of §4.4 ([26,24]): capacity, transfer-unit (line) size, and the miss
+/// latencies for sequential and random access. The TLB is modeled as just
+/// another level whose "lines" are pages.
+struct CacheLevel {
+  std::string name;
+  size_t capacity_bytes = 0;
+  size_t line_bytes = 64;
+  double seq_miss_ns = 0;   ///< latency charged per sequential miss
+  double rand_miss_ns = 0;  ///< latency charged per random miss
+};
+
+/// The machine description the cost functions consume. Levels are ordered
+/// from smallest/fastest to largest/slowest; the TLB is carried separately
+/// because its capacity is in *entries*, not bytes.
+struct HardwareProfile {
+  std::vector<CacheLevel> levels;
+  size_t tlb_entries = 64;
+  size_t page_bytes = 4096;
+  double tlb_miss_ns = 20.0;
+
+  /// Memory-level parallelism: how many independent cache misses the core
+  /// overlaps. The single most important hardware change since the paper's
+  /// era — it divides the effective cost of *independent* random accesses
+  /// and decides whether cache-avoiding algorithms (radix-decluster) still
+  /// beat direct gathers (E5). Dependent chains (pointer chasing, bucket
+  /// chains) get no benefit.
+  double mlp = 1.0;
+
+  /// A typical commodity x86 box (32KB L1, 256KB L2, 8MB L3), used when no
+  /// calibration has been run.
+  static HardwareProfile Default();
+
+  /// The class of machine the paper's experiments ran on (§4.3 mentions a
+  /// Pentium4 Xeon with 512KB L2): tiny caches, 64-entry TLB, high miss
+  /// latencies and essentially no memory-level parallelism. Used to
+  /// evaluate era-dependence of algorithm trade-offs (E5/E6).
+  static HardwareProfile Pentium4Era();
+
+  std::string ToString() const;
+};
+
+}  // namespace mammoth::cost
+
+#endif  // MAMMOTH_COST_HARDWARE_H_

@@ -1,0 +1,240 @@
+#include "cost/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+#include "join/radix_cluster.h"
+
+namespace mammoth::cost {
+
+MissProfile& MissProfile::operator+=(const MissProfile& o) {
+  if (per_level.size() < o.per_level.size()) {
+    per_level.resize(o.per_level.size());
+  }
+  for (size_t i = 0; i < o.per_level.size(); ++i) {
+    per_level[i].sequential += o.per_level[i].sequential;
+    per_level[i].random += o.per_level[i].random;
+  }
+  tlb += o.tlb;
+  return *this;
+}
+
+double ScoreNs(const HardwareProfile& hw, const MissProfile& misses) {
+  double ns = 0;
+  const size_t n = std::min(hw.levels.size(), misses.per_level.size());
+  for (size_t i = 0; i < n; ++i) {
+    ns += misses.per_level[i].sequential * hw.levels[i].seq_miss_ns;
+    ns += misses.per_level[i].random * hw.levels[i].rand_miss_ns;
+  }
+  ns += misses.tlb * hw.tlb_miss_ns;
+  return ns;
+}
+
+MissProfile SeqTraversal(const HardwareProfile& hw, size_t bytes) {
+  MissProfile m;
+  m.per_level.resize(hw.levels.size());
+  for (size_t i = 0; i < hw.levels.size(); ++i) {
+    m.per_level[i].sequential =
+        static_cast<double>(bytes) / hw.levels[i].line_bytes;
+  }
+  // Sequential page walk: one TLB fill per page, cheap and mostly hidden;
+  // charge a token fraction.
+  m.tlb = 0.1 * static_cast<double>(bytes) / hw.page_bytes;
+  return m;
+}
+
+MissProfile RandomAccess(const HardwareProfile& hw, size_t bytes,
+                         size_t accesses) {
+  // Independent accesses overlap up to hw.mlp misses; the *effective* miss
+  // count is divided accordingly (dependent chains must not use this
+  // pattern — model them as accesses with mlp forced to 1).
+  const double mlp = hw.mlp < 1.0 ? 1.0 : hw.mlp;
+  MissProfile m;
+  m.per_level.resize(hw.levels.size());
+  const double region = static_cast<double>(bytes);
+  for (size_t i = 0; i < hw.levels.size(); ++i) {
+    const CacheLevel& l = hw.levels[i];
+    const double compulsory =
+        std::min<double>(static_cast<double>(accesses), region / l.line_bytes);
+    double capacity = 0;
+    if (region > static_cast<double>(l.capacity_bytes)) {
+      const double miss_prob = 1.0 - static_cast<double>(l.capacity_bytes) /
+                                         region;
+      capacity = std::max<double>(0.0, static_cast<double>(accesses) -
+                                           compulsory) *
+                 miss_prob;
+    }
+    m.per_level[i].random = (compulsory + capacity) / mlp;
+  }
+  // TLB: reach = entries * page.
+  const double tlb_reach =
+      static_cast<double>(hw.tlb_entries) * hw.page_bytes;
+  const double tlb_compulsory =
+      std::min<double>(static_cast<double>(accesses), region / hw.page_bytes);
+  double tlb_capacity = 0;
+  if (region > tlb_reach) {
+    tlb_capacity =
+        std::max<double>(0.0, static_cast<double>(accesses) - tlb_compulsory) *
+        (1.0 - tlb_reach / region);
+  }
+  m.tlb = (tlb_compulsory + tlb_capacity) / mlp;
+  return m;
+}
+
+MissProfile ScatterRegions(const HardwareProfile& hw, size_t bytes,
+                           size_t regions) {
+  MissProfile m;
+  m.per_level.resize(hw.levels.size());
+  const double lines_written = static_cast<double>(bytes);
+  for (size_t i = 0; i < hw.levels.size(); ++i) {
+    const CacheLevel& l = hw.levels[i];
+    const double seq_misses = lines_written / l.line_bytes;
+    const size_t line_budget = l.capacity_bytes / l.line_bytes;
+    if (regions <= line_budget) {
+      // One open line per region fits: behaves like a sequential write.
+      m.per_level[i].sequential += seq_misses;
+    } else {
+      // Thrashing: a fraction of writes lose their line before finishing
+      // it. Writes per line = line/width is unknown here; charge per-write
+      // granularity via the region overflow ratio.
+      const double keep =
+          static_cast<double>(line_budget) / static_cast<double>(regions);
+      m.per_level[i].sequential += seq_misses * keep;
+      // Each evicted open line costs a random (re-)miss per subsequent
+      // write that would have hit it. Approximate: writes happen every 8
+      // bytes.
+      const double writes = static_cast<double>(bytes) / 8.0;
+      m.per_level[i].random += writes * (1.0 - keep);
+    }
+  }
+  if (regions > hw.tlb_entries) {
+    const double writes = static_cast<double>(bytes) / 8.0;
+    m.tlb += writes * (1.0 - static_cast<double>(hw.tlb_entries) /
+                                 static_cast<double>(regions));
+  } else {
+    m.tlb += 0.1 * static_cast<double>(bytes) / hw.page_bytes;
+  }
+  return m;
+}
+
+double ScanCostNs(const HardwareProfile& hw, size_t n, size_t width) {
+  return ScoreNs(hw, SeqTraversal(hw, n * width));
+}
+
+double HashJoinCostNs(const HardwareProfile& hw, size_t outer, size_t inner,
+                      size_t width) {
+  MissProfile m;
+  // Build: sequential read of inner + random insert into the table region.
+  const size_t table_bytes = inner * (width + 8);
+  m += SeqTraversal(hw, inner * width);
+  m += RandomAccess(hw, table_bytes, inner);
+  // Probe: sequential read of outer + random lookups into the table.
+  m += SeqTraversal(hw, outer * width);
+  m += RandomAccess(hw, table_bytes, outer);
+  return ScoreNs(hw, m);
+}
+
+double RadixClusterCostNs(const HardwareProfile& hw, size_t n, size_t width,
+                          const std::vector<int>& bits_per_pass) {
+  MissProfile m;
+  size_t regions = 1;
+  for (int bits : bits_per_pass) {
+    regions <<= bits;
+    // Each pass reads everything sequentially (twice: histogram + scatter
+    // read) and scatters everything into `regions_this_pass` concurrently
+    // open regions per source cluster. The number of concurrently open
+    // write regions is 2^bits (per source cluster processed one at a time).
+    m += SeqTraversal(hw, 2 * n * width);
+    m += ScatterRegions(hw, n * width, size_t{1} << bits);
+  }
+  return ScoreNs(hw, m);
+}
+
+double PartitionedJoinCostNs(const HardwareProfile& hw, size_t outer,
+                             size_t inner, size_t width, int bits,
+                             int passes) {
+  double ns = 0;
+  if (bits > 0) {
+    const std::vector<int> plan = radix::SplitBits(bits, passes);
+    ns += RadixClusterCostNs(hw, outer, width + 8, plan);
+    ns += RadixClusterCostNs(hw, inner, width + 8, plan);
+  }
+  // Join per partition: inner partition + its hash table as the randomly
+  // accessed region.
+  const size_t h = size_t{1} << bits;
+  const size_t inner_part = std::max<size_t>(inner / h, 1);
+  const size_t outer_part = std::max<size_t>(outer / h, 1);
+  MissProfile m;
+  const size_t table_bytes = inner_part * (width + 8);
+  m += SeqTraversal(hw, inner_part * width);
+  m += RandomAccess(hw, table_bytes, inner_part);
+  m += SeqTraversal(hw, outer_part * width);
+  m += RandomAccess(hw, table_bytes, outer_part);
+  ns += static_cast<double>(h) * ScoreNs(hw, m);
+  // CPU work term: hashing + compares, ~1.5ns per tuple per pass + join.
+  ns += 1.5 * (static_cast<double>(outer + inner) *
+               (bits > 0 ? static_cast<double>(passes) : 0.0)) +
+        2.0 * static_cast<double>(outer + inner);
+  return ns;
+}
+
+double NaiveProjectionCostNs(const HardwareProfile& hw, size_t n,
+                             size_t nvalues, size_t width) {
+  MissProfile m;
+  m += SeqTraversal(hw, n * 8);          // read the join-index positions
+  m += RandomAccess(hw, nvalues * width, n);  // fetch values
+  m += SeqTraversal(hw, n * width);      // write the output
+  return ScoreNs(hw, m);
+}
+
+double DeclusterProjectionCostNs(const HardwareProfile& hw, size_t n,
+                                 size_t nvalues, size_t width) {
+  // The algorithm tunes its cluster counts to the protected cache level:
+  // the last on-chip level, whose misses cost a full memory access.
+  const size_t cache = hw.levels.back().capacity_bytes;
+  const size_t pair = width + 4;  // (rank, value)-ish unit
+
+  MissProfile m;
+  // Phase A: multi-pass radix-cluster of (rank, pos) pairs by position so
+  // each position cluster covers <= cache bytes of the value column.
+  const int bits_v = static_cast<int>(
+      CeilLog2(std::max<size_t>(1, nvalues * width / cache) + 1));
+  const std::vector<int> plan_a = radix::SplitBits(std::max(bits_v, 1), 2);
+  for (int b : plan_a) {
+    m += SeqTraversal(hw, 2 * n * pair);
+    m += ScatterRegions(hw, n * pair, size_t{1} << b);
+  }
+  // Phase B: fetch values cluster by cluster — cache-local by
+  // construction, so it behaves sequentially.
+  m += SeqTraversal(hw, 2 * n * pair);
+  // Phase C: one-pass decluster of (rank, value) pairs on output rank,
+  // then a region-local scatter into the (cache-sized) output regions.
+  const int bits_o = static_cast<int>(
+      CeilLog2(std::max<size_t>(1, n * width / cache) + 1));
+  m += SeqTraversal(hw, 2 * n * pair);
+  m += ScatterRegions(hw, n * pair, size_t{1} << std::max(bits_o, 1));
+  m += SeqTraversal(hw, 2 * n * width);  // region-local scatter + write-out
+  return ScoreNs(hw, m);
+}
+
+RadixPlan PlanRadixJoin(const HardwareProfile& hw, size_t outer, size_t inner,
+                        size_t width, int max_bits, int max_passes) {
+  RadixPlan best;
+  best.predicted_ns = PartitionedJoinCostNs(hw, outer, inner, width, 0, 1);
+  for (int bits = 1; bits <= max_bits; ++bits) {
+    for (int passes = 1; passes <= max_passes && passes <= bits; ++passes) {
+      const double ns =
+          PartitionedJoinCostNs(hw, outer, inner, width, bits, passes);
+      if (ns < best.predicted_ns) {
+        best.bits = bits;
+        best.passes = passes;
+        best.predicted_ns = ns;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace mammoth::cost

@@ -1,0 +1,95 @@
+#ifndef MAMMOTH_COST_MODEL_H_
+#define MAMMOTH_COST_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cost/hardware.h"
+
+namespace mammoth::cost {
+
+/// The unified memory cost model of §4.4 ([26,24,27]): data structures are
+/// abstracted as byte regions, algorithms as compounds of a few basic
+/// access patterns, and the cost is the per-level sum
+///     T_mem = sum_i (Ms_i * ls_i + Mr_i * lr_i)
+/// of sequential and random misses Ms/Mr scored with their latencies.
+
+/// Predicted misses of one pattern at one cache level.
+struct LevelMisses {
+  double sequential = 0;
+  double random = 0;
+};
+
+/// Misses across all levels plus TLB (TLB misses are scored randomly).
+struct MissProfile {
+  std::vector<LevelMisses> per_level;
+  double tlb = 0;
+
+  MissProfile& operator+=(const MissProfile& o);
+};
+
+/// Converts misses into nanoseconds under a profile.
+double ScoreNs(const HardwareProfile& hw, const MissProfile& misses);
+
+/// --- Basic access patterns ------------------------------------------------
+
+/// s_trav: one sequential traversal over a region of `bytes`.
+MissProfile SeqTraversal(const HardwareProfile& hw, size_t bytes);
+
+/// rr_acc: `accesses` independent random accesses into a region of `bytes`.
+/// If the region fits a level, only compulsory (first-touch) misses remain
+/// at that level; otherwise the miss probability is 1 - capacity/region.
+MissProfile RandomAccess(const HardwareProfile& hw, size_t bytes,
+                         size_t accesses);
+
+/// Interleaved scatter: writing `bytes` spread over `regions` concurrently
+/// advancing sequential cursors (one radix-cluster pass). Sequential-like
+/// while `regions` fits the level's line budget (and the TLB), thrashing
+/// once it does not — the effect Figure 2 / §4.2 is about.
+MissProfile ScatterRegions(const HardwareProfile& hw, size_t bytes,
+                           size_t regions);
+
+/// --- Operator models --------------------------------------------------------
+
+/// Sequential scan+predicate over n tuples of `width` bytes.
+double ScanCostNs(const HardwareProfile& hw, size_t n, size_t width);
+
+/// Bucket-chained hash join: build over `inner` tuples, probe with `outer`
+/// (tuple payload `width` + ~8B bucket overhead per inner tuple).
+double HashJoinCostNs(const HardwareProfile& hw, size_t outer, size_t inner,
+                      size_t width);
+
+/// Multi-pass radix-cluster of n tuples of `width` bytes with the given
+/// per-pass bit counts.
+double RadixClusterCostNs(const HardwareProfile& hw, size_t n, size_t width,
+                          const std::vector<int>& bits_per_pass);
+
+/// Full partitioned hash join: cluster both sides on `bits` in `passes`
+/// passes, then per-partition hash join.
+double PartitionedJoinCostNs(const HardwareProfile& hw, size_t outer,
+                             size_t inner, size_t width, int bits,
+                             int passes);
+
+/// Post-projection strategies (§4.3 / E5): naive positional fetch makes
+/// `n` random accesses into a `nvalues * width` byte column.
+double NaiveProjectionCostNs(const HardwareProfile& hw, size_t n,
+                             size_t nvalues, size_t width);
+
+/// Radix-decluster replaces them with ~3 passes over (rank, value) pairs
+/// plus two cache-bounded scatters.
+double DeclusterProjectionCostNs(const HardwareProfile& hw, size_t n,
+                                 size_t nvalues, size_t width);
+
+/// Model-driven tuning (the "automated tuning task" of §4.4): the
+/// (bits, passes) minimizing PartitionedJoinCostNs.
+struct RadixPlan {
+  int bits = 0;
+  int passes = 1;
+  double predicted_ns = 0;
+};
+RadixPlan PlanRadixJoin(const HardwareProfile& hw, size_t outer, size_t inner,
+                        size_t width, int max_bits = 20, int max_passes = 4);
+
+}  // namespace mammoth::cost
+
+#endif  // MAMMOTH_COST_MODEL_H_

@@ -1,0 +1,154 @@
+#include "index/btree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mammoth::index {
+
+/// Node layout: internal nodes hold `keys[i]` separating children i and i+1
+/// (child i covers keys < keys[i]); leaves hold (key, value) pairs sorted by
+/// key and a right-sibling link for range scans.
+struct BPlusTree::Node {
+  bool leaf = true;
+  int count = 0;  // keys in internal nodes, entries in leaves
+  int64_t keys[kFanout];
+  union {
+    Node* children[kFanout + 1];
+    Oid values[kFanout];
+  };
+  Node* next = nullptr;  // leaf chain
+
+  Node() { children[0] = nullptr; }
+};
+
+BPlusTree::BPlusTree() : root_(new Node()) {}
+
+void BPlusTree::DestroySubtree(Node* n) {
+  if (n == nullptr) return;
+  if (!n->leaf) {
+    for (int i = 0; i <= n->count; ++i) DestroySubtree(n->children[i]);
+  }
+  delete n;
+}
+
+BPlusTree::~BPlusTree() { DestroySubtree(root_); }
+
+void BPlusTree::SplitChild(Node* parent, int index) {
+  Node* child = parent->children[index];
+  Node* right = new Node();
+  right->leaf = child->leaf;
+  const int mid = kFanout / 2;
+
+  int64_t up_key;
+  if (child->leaf) {
+    right->count = child->count - mid;
+    std::copy(child->keys + mid, child->keys + child->count, right->keys);
+    std::copy(child->values + mid, child->values + child->count,
+              right->values);
+    child->count = mid;
+    right->next = child->next;
+    child->next = right;
+    up_key = right->keys[0];
+  } else {
+    // Key at mid moves up; right gets keys (mid, count) and their children.
+    up_key = child->keys[mid];
+    right->count = child->count - mid - 1;
+    std::copy(child->keys + mid + 1, child->keys + child->count, right->keys);
+    std::copy(child->children + mid + 1, child->children + child->count + 1,
+              right->children);
+    child->count = mid;
+  }
+
+  // Shift parent slots to insert (up_key, right) after `index`.
+  for (int i = parent->count; i > index; --i) {
+    parent->keys[i] = parent->keys[i - 1];
+    parent->children[i + 1] = parent->children[i];
+  }
+  parent->keys[index] = up_key;
+  parent->children[index + 1] = right;
+  ++parent->count;
+}
+
+void BPlusTree::Insert(int64_t key, Oid value) {
+  if (root_->count == kFanout) {
+    Node* new_root = new Node();
+    new_root->leaf = false;
+    new_root->count = 0;
+    new_root->children[0] = root_;
+    root_ = new_root;
+    SplitChild(root_, 0);
+    ++height_;
+  }
+  Node* n = root_;
+  while (!n->leaf) {
+    int i = static_cast<int>(
+        std::upper_bound(n->keys, n->keys + n->count, key) - n->keys);
+    if (n->children[i]->count == kFanout) {
+      SplitChild(n, i);
+      if (key >= n->keys[i]) ++i;
+    }
+    n = n->children[i];
+  }
+  const int pos = static_cast<int>(
+      std::upper_bound(n->keys, n->keys + n->count, key) - n->keys);
+  for (int i = n->count; i > pos; --i) {
+    n->keys[i] = n->keys[i - 1];
+    n->values[i] = n->values[i - 1];
+  }
+  n->keys[pos] = key;
+  n->values[pos] = value;
+  ++n->count;
+  ++size_;
+}
+
+BPlusTree::Node* BPlusTree::FindLeaf(int64_t key) const {
+  // Reads descend with lower_bound: with duplicate keys the separator only
+  // guarantees "left subtree keys <= separator", so the leftmost candidate
+  // leaf is under the first separator >= key.
+  Node* n = root_;
+  while (!n->leaf) {
+    const int i = static_cast<int>(
+        std::lower_bound(n->keys, n->keys + n->count, key) - n->keys);
+    n = n->children[i];
+  }
+  return n;
+}
+
+Oid BPlusTree::LookupFirst(int64_t key) const {
+  const Node* n = FindLeaf(key);
+  // Equal keys may spill into following leaves; the first match, if any,
+  // is at the lower_bound position in this leaf or at the head of the next.
+  while (n != nullptr) {
+    const int i = static_cast<int>(
+        std::lower_bound(n->keys, n->keys + n->count, key) - n->keys);
+    if (i < n->count) {
+      return n->keys[i] == key ? n->values[i] : kOidNil;
+    }
+    n = n->next;
+  }
+  return kOidNil;
+}
+
+std::vector<Oid> BPlusTree::Lookup(int64_t key) const {
+  return Range(key, key);
+}
+
+std::vector<Oid> BPlusTree::Range(int64_t lo, int64_t hi) const {
+  std::vector<Oid> out;
+  if (lo > hi) return out;
+  const Node* n = FindLeaf(lo);
+  int i = static_cast<int>(
+      std::lower_bound(n->keys, n->keys + n->count, lo) - n->keys);
+  while (n != nullptr) {
+    for (; i < n->count; ++i) {
+      if (n->keys[i] > hi) return out;
+      out.push_back(n->values[i]);
+    }
+    n = n->next;
+    i = 0;
+  }
+  return out;
+}
+
+}  // namespace mammoth::index

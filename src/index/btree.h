@@ -1,0 +1,62 @@
+#ifndef MAMMOTH_INDEX_BTREE_H_
+#define MAMMOTH_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/types.h"
+
+namespace mammoth::index {
+
+/// In-memory B+-tree from int64 keys to OIDs (duplicates allowed). The
+/// pointer-chasing baseline that §3 contrasts with O(1) positional lookup
+/// and that the cracking experiments (§6.1) compare against as the
+/// "pay-up-front" index.
+///
+/// Fixed fanout, pointer-linked nodes — intentionally the *traditional*
+/// layout (one cache miss per level), unlike the CSS-tree in css_tree.h.
+class BPlusTree {
+ public:
+  static constexpr int kFanout = 64;  // max keys per node
+
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  void Insert(int64_t key, Oid value);
+
+  /// All values with exactly this key.
+  std::vector<Oid> Lookup(int64_t key) const;
+
+  /// First value with this key, or kOidNil (fast path for unique keys).
+  Oid LookupFirst(int64_t key) const;
+
+  /// All values with keys in [lo, hi] inclusive.
+  std::vector<Oid> Range(int64_t lo, int64_t hi) const;
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+
+ private:
+  struct Node;
+  struct LeafEntry {
+    int64_t key;
+    Oid value;
+  };
+
+  Node* FindLeaf(int64_t key) const;
+  /// Splits a full child during downward traversal (preemptive split).
+  void SplitChild(Node* parent, int index);
+  static void DestroySubtree(Node* n);
+
+  Node* root_;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace mammoth::index
+
+#endif  // MAMMOTH_INDEX_BTREE_H_

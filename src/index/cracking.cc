@@ -1,0 +1,74 @@
+#include "index/cracking.h"
+
+namespace mammoth::index {
+
+Result<CrackedBat> CrackedBat::Make(const BatPtr& b) {
+  if (b == nullptr) return Status::InvalidArgument("crack: null input");
+  CrackedBat out;
+  out.type_ = b->type();
+  switch (b->type()) {
+    case PhysType::kInt32:
+      out.i32_ = std::make_shared<CrackerIndex<int32_t>>(
+          b->TailData<int32_t>(), b->Count(), b->hseqbase());
+      break;
+    case PhysType::kInt64:
+      out.i64_ = std::make_shared<CrackerIndex<int64_t>>(
+          b->TailData<int64_t>(), b->Count(), b->hseqbase());
+      break;
+    default:
+      return Status::Unimplemented("cracking supports int/lng columns");
+  }
+  return out;
+}
+
+Result<BatPtr> CrackedBat::RangeSelect(const Value& lo, const Value& hi,
+                                       bool lo_incl, bool hi_incl) {
+  if (!lo.is_numeric() || !hi.is_numeric()) {
+    return Status::TypeMismatch("crack select: non-numeric bound");
+  }
+  std::vector<Oid> oids;
+  if (type_ == PhysType::kInt32) {
+    oids = i32_->RangeSelect(lo.As<int32_t>(), hi.As<int32_t>(), lo_incl,
+                             hi_incl);
+  } else {
+    oids = i64_->RangeSelect(lo.As<int64_t>(), hi.As<int64_t>(), lo_incl,
+                             hi_incl);
+  }
+  BatPtr r = Bat::New(PhysType::kOid);
+  r->AppendRaw(oids.data(), oids.size());
+  r->mutable_props().key = true;  // oids are distinct, though unordered
+  return r;
+}
+
+Status CrackedBat::Insert(const Value& v, Oid oid) {
+  if (!v.is_numeric()) return Status::TypeMismatch("crack insert: non-numeric");
+  if (type_ == PhysType::kInt32) {
+    i32_->Insert(v.As<int32_t>(), oid);
+  } else {
+    i64_->Insert(v.As<int64_t>(), oid);
+  }
+  return Status::OK();
+}
+
+Status CrackedBat::Delete(Oid oid) {
+  if (type_ == PhysType::kInt32) {
+    i32_->Delete(oid);
+  } else {
+    i64_->Delete(oid);
+  }
+  return Status::OK();
+}
+
+void CrackedBat::ConsolidatePending() {
+  if (type_ == PhysType::kInt32) {
+    i32_->ConsolidatePending();
+  } else {
+    i64_->ConsolidatePending();
+  }
+}
+
+size_t CrackedBat::PieceCount() const {
+  return type_ == PhysType::kInt32 ? i32_->PieceCount() : i64_->PieceCount();
+}
+
+}  // namespace mammoth::index

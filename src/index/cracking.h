@@ -1,0 +1,243 @@
+#ifndef MAMMOTH_INDEX_CRACKING_H_
+#define MAMMOTH_INDEX_CRACKING_H_
+
+#include <limits>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "core/bat.h"
+#include "core/value.h"
+
+namespace mammoth::index {
+
+/// Database cracking (§6.1, [22,18]): a self-organizing, knob-free partial
+/// index. The column is copied once into a "cracker column"; every range
+/// query physically reorganizes (cracks) exactly the pieces it touches, so
+/// the data gets more sorted where — and only where — queries look.
+///
+/// The cracker index is a map from pivot value v to position p with the
+/// invariant: values at positions [0, p) are < v, values at [p, n) are >= v.
+///
+/// Updates follow the pending-delta scheme of [18]: inserts and deletes
+/// gather in side structures consulted at query time and can be folded in
+/// with ConsolidatePending().
+template <typename T>
+class CrackerIndex {
+ public:
+  /// Copies `values` (tail) and their head OIDs into the cracker column.
+  CrackerIndex(const T* values, size_t n, Oid hseqbase = 0) {
+    data_.assign(values, values + n);
+    oids_.resize(n);
+    for (size_t i = 0; i < n; ++i) oids_[i] = hseqbase + i;
+  }
+
+  /// Positions (head OIDs) of values in [lo, hi] (inclusive bounds chosen
+  /// by flags). Cracks the touched pieces as a side effect. The returned
+  /// OIDs are *unordered* (cracking permutes within pieces).
+  std::vector<Oid> RangeSelect(T lo, T hi, bool lo_incl = true,
+                               bool hi_incl = true);
+
+  /// Queues a pending insert / delete (visible to queries immediately).
+  void Insert(T value, Oid oid);
+  void Delete(Oid oid);
+
+  /// Folds pending inserts into the cracked column (each insert lands in
+  /// its piece) and physically removes deleted tuples.
+  void ConsolidatePending();
+
+  /// Number of pieces the column is currently cracked into.
+  size_t PieceCount() const { return index_.size() + 1; }
+
+  size_t size() const { return data_.size() + pending_.size(); }
+  size_t PendingInsertCount() const { return pending_.size(); }
+  size_t PendingDeleteCount() const { return deleted_.size(); }
+
+  /// Testing aid: verifies the cracker-index invariant over the whole
+  /// column; returns false if any piece violates its bounds.
+  bool CheckInvariant() const;
+
+ private:
+  /// Ensures a crack exists at pivot `v` (all < v left of the returned
+  /// position). Returns that position.
+  size_t CrackAt(T v);
+
+  std::vector<T> data_;
+  std::vector<Oid> oids_;
+  std::map<T, size_t> index_;
+
+  struct PendingInsert {
+    T value;
+    Oid oid;
+  };
+  std::vector<PendingInsert> pending_;
+  std::unordered_set<Oid> deleted_;
+};
+
+/// Type-erased convenience wrapper cracking a numeric BAT.
+class CrackedBat {
+ public:
+  /// `b` must be kInt32 or kInt64.
+  static Result<CrackedBat> Make(const BatPtr& b);
+
+  /// Range select through the cracker index; returns a bat[:oid].
+  Result<BatPtr> RangeSelect(const Value& lo, const Value& hi,
+                             bool lo_incl = true, bool hi_incl = true);
+
+  Status Insert(const Value& v, Oid oid);
+  Status Delete(Oid oid);
+  void ConsolidatePending();
+  size_t PieceCount() const;
+
+ private:
+  CrackedBat() = default;
+  PhysType type_ = PhysType::kInt32;
+  std::shared_ptr<CrackerIndex<int32_t>> i32_;
+  std::shared_ptr<CrackerIndex<int64_t>> i64_;
+};
+
+// ---------------------------------------------------------------------------
+// Template implementation.
+
+template <typename T>
+size_t CrackerIndex<T>::CrackAt(T v) {
+  auto it = index_.find(v);
+  if (it != index_.end()) return it->second;
+
+  // Piece holding v: between the previous and next crack.
+  size_t begin = 0, end = data_.size();
+  auto next = index_.lower_bound(v);
+  if (next != index_.end()) end = next->second;
+  if (next != index_.begin() && !index_.empty()) {
+    auto prev = std::prev(next);
+    begin = prev->second;
+  }
+
+  // Two-sided partition of [begin, end): < v to the left, >= v right.
+  size_t i = begin, j = end;
+  while (i < j) {
+    while (i < j && data_[i] < v) ++i;
+    while (i < j && data_[j - 1] >= v) --j;
+    if (i < j) {
+      std::swap(data_[i], data_[j - 1]);
+      std::swap(oids_[i], oids_[j - 1]);
+      ++i;
+      --j;
+    }
+  }
+  index_.emplace(v, i);
+  return i;
+}
+
+template <typename T>
+std::vector<Oid> CrackerIndex<T>::RangeSelect(T lo, T hi, bool lo_incl,
+                                              bool hi_incl) {
+  // Normalize to [lo', hi') with inclusive lo', exclusive hi' pivots.
+  // Careful at the numeric extremes: <=max has no exclusive pivot, so fall
+  // back to end-of-column.
+  std::vector<Oid> out;
+  if (lo > hi || (lo == hi && (!lo_incl || !hi_incl))) return out;
+
+  size_t from;
+  if (!lo_incl && lo == std::numeric_limits<T>::max()) return out;
+  from = CrackAt(lo_incl ? lo : static_cast<T>(lo + 1));
+
+  size_t to;
+  if (hi_incl && hi == std::numeric_limits<T>::max()) {
+    to = data_.size();
+  } else {
+    to = CrackAt(hi_incl ? static_cast<T>(hi + 1) : hi);
+  }
+
+  out.reserve(to > from ? to - from : 0);
+  for (size_t i = from; i < to; ++i) {
+    if (deleted_.empty() || deleted_.count(oids_[i]) == 0) {
+      out.push_back(oids_[i]);
+    }
+  }
+  // Pending inserts are scanned (they are few between consolidations).
+  for (const PendingInsert& p : pending_) {
+    const bool ge_lo = lo_incl ? (p.value >= lo) : (p.value > lo);
+    const bool le_hi = hi_incl ? (p.value <= hi) : (p.value < hi);
+    if (ge_lo && le_hi && deleted_.count(p.oid) == 0) out.push_back(p.oid);
+  }
+  return out;
+}
+
+template <typename T>
+void CrackerIndex<T>::Insert(T value, Oid oid) {
+  pending_.push_back({value, oid});
+}
+
+template <typename T>
+void CrackerIndex<T>::Delete(Oid oid) {
+  deleted_.insert(oid);
+}
+
+template <typename T>
+void CrackerIndex<T>::ConsolidatePending() {
+  if (!deleted_.empty()) {
+    // Compact the cracker column, shifting crack positions down by the
+    // number of deleted tuples before them.
+    std::vector<T> new_data;
+    std::vector<Oid> new_oids;
+    new_data.reserve(data_.size());
+    new_oids.reserve(oids_.size());
+    std::map<T, size_t> new_index;
+    auto next_crack = index_.begin();
+    for (size_t i = 0; i < data_.size(); ++i) {
+      while (next_crack != index_.end() && next_crack->second == i) {
+        new_index.emplace(next_crack->first, new_data.size());
+        ++next_crack;
+      }
+      if (deleted_.count(oids_[i]) == 0) {
+        new_data.push_back(data_[i]);
+        new_oids.push_back(oids_[i]);
+      }
+    }
+    while (next_crack != index_.end()) {
+      new_index.emplace(next_crack->first, new_data.size());
+      ++next_crack;
+    }
+    data_ = std::move(new_data);
+    oids_ = std::move(new_oids);
+    index_ = std::move(new_index);
+  }
+
+  // Fold pending inserts: each lands at the start of its piece, shifting
+  // later cracks by one (insert-in-the-middle, [18]'s "ripple" simplified
+  // to a vector insert).
+  for (const PendingInsert& p : pending_) {
+    if (deleted_.count(p.oid) > 0) continue;
+    const size_t pos = [&] {
+      auto next = index_.upper_bound(p.value);
+      return next == index_.end() ? data_.size() : next->second;
+    }();
+    data_.insert(data_.begin() + pos, p.value);
+    oids_.insert(oids_.begin() + pos, p.oid);
+    for (auto& [pivot, cpos] : index_) {
+      if (pivot > p.value) ++cpos;
+    }
+  }
+  pending_.clear();
+  deleted_.clear();
+}
+
+template <typename T>
+bool CrackerIndex<T>::CheckInvariant() const {
+  for (const auto& [pivot, pos] : index_) {
+    if (pos > data_.size()) return false;
+    for (size_t i = 0; i < pos; ++i) {
+      if (!(data_[i] < pivot)) return false;
+    }
+    for (size_t i = pos; i < data_.size(); ++i) {
+      if (data_[i] < pivot) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mammoth::index
+
+#endif  // MAMMOTH_INDEX_CRACKING_H_

@@ -1,0 +1,97 @@
+#include "index/css_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mammoth::index {
+
+/// Built bottom-up: the sorted data is divided into groups of kNodeKeys;
+/// each internal level stores, per child group, that group's maximum key.
+/// `nodes_` concatenates the levels top-down; level l occupying
+/// [offset_[l], offset_[l+1]). Implicit fanout-kNodeKeys child arithmetic.
+CssTree::CssTree(const int64_t* keys, size_t n) : data_(keys), n_(n) {
+  std::vector<std::vector<int64_t>> levels;
+  // Level 0 separators: max of each data group.
+  std::vector<int64_t> cur;
+  for (size_t g = 0; g * kNodeKeys < n; ++g) {
+    const size_t end = std::min(n, (g + 1) * static_cast<size_t>(kNodeKeys));
+    cur.push_back(keys[end - 1]);
+  }
+  leaf_nodes_ = cur.size();
+  while (cur.size() > 1) {
+    levels.push_back(cur);
+    std::vector<int64_t> up;
+    for (size_t g = 0; g * kNodeKeys < cur.size(); ++g) {
+      const size_t end =
+          std::min(cur.size(), (g + 1) * static_cast<size_t>(kNodeKeys));
+      up.push_back(cur[end - 1]);
+    }
+    cur = std::move(up);
+  }
+  if (!cur.empty()) levels.push_back(cur);
+
+  // Flatten top-down.
+  levels_ = static_cast<int>(levels.size());
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    if (it == std::prev(levels.rend())) first_leaf_index_ = nodes_.size();
+    nodes_.insert(nodes_.end(), it->begin(), it->end());
+  }
+
+  // Record level offsets for descent.
+  size_t off = 0;
+  offsets_.clear();
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    offsets_.push_back(off);
+    off += it->size();
+  }
+  offsets_.push_back(off);
+  level_sizes_.clear();
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    level_sizes_.push_back(it->size());
+  }
+}
+
+size_t CssTree::LowerBound(int64_t key) const {
+  if (n_ == 0) return 0;
+  // Descend: group index at each level.
+  size_t g = 0;
+  for (int l = 0; l < levels_; ++l) {
+    const size_t level_begin = offsets_[l];
+    const size_t begin = std::min(g * kNodeKeys, level_sizes_[l]);
+    const size_t end =
+        std::min(begin + static_cast<size_t>(kNodeKeys), level_sizes_[l]);
+    // First separator >= key within the node (linear scan: the node is at
+    // most two cache lines).
+    size_t i = begin;
+    while (i < end && nodes_[level_begin + i] < key) ++i;
+    if (i == end) i = end - 1;  // key beyond all: follow the last child
+    g = i;
+  }
+  // g is now the data-group index.
+  const size_t begin = std::min(g * static_cast<size_t>(kNodeKeys), n_);
+  const size_t end = std::min(begin + static_cast<size_t>(kNodeKeys), n_);
+  const int64_t* first = std::lower_bound(data_ + begin, data_ + end, key);
+  size_t pos = static_cast<size_t>(first - data_);
+  return pos;
+}
+
+size_t CssTree::Find(int64_t key) const {
+  const size_t pos = LowerBound(key);
+  if (pos < n_ && data_[pos] == key) return pos;
+  return std::numeric_limits<size_t>::max();
+}
+
+std::pair<size_t, size_t> CssTree::Range(int64_t lo, int64_t hi) const {
+  if (lo > hi) return {0, 0};
+  const size_t first = LowerBound(lo);
+  size_t last;
+  if (hi == std::numeric_limits<int64_t>::max()) {
+    last = n_;
+  } else {
+    last = LowerBound(hi + 1);
+  }
+  if (last < first) last = first;
+  return {first, last};
+}
+
+}  // namespace mammoth::index

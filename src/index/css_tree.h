@@ -1,0 +1,53 @@
+#ifndef MAMMOTH_INDEX_CSS_TREE_H_
+#define MAMMOTH_INDEX_CSS_TREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+
+namespace mammoth::index {
+
+/// Cache-Sensitive Search Tree (Rao & Ross [31], discussed in §7): a
+/// read-only search tree over *sorted* data that stores all internal nodes
+/// in one array with implicit child pointers, sizing nodes to cache lines.
+/// Child of node n at branch b is node n*(m+1)+b+1. No pointers stored —
+/// more keys per cache line than a B+-tree.
+class CssTree {
+ public:
+  /// Keys per node: 16 int64 keys = 128 bytes = two cache lines, the
+  /// layout [31] found effective.
+  static constexpr int kNodeKeys = 16;
+
+  /// Builds over `keys`, which MUST be sorted ascending. The tree keeps a
+  /// pointer to the data; the caller owns it.
+  CssTree(const int64_t* keys, size_t n);
+
+  /// Position of the first element >= key (== n when none).
+  size_t LowerBound(int64_t key) const;
+
+  /// Position of the first element equal to key, or SIZE_MAX.
+  size_t Find(int64_t key) const;
+
+  /// [first, last) positions of elements in [lo, hi] inclusive.
+  std::pair<size_t, size_t> Range(int64_t lo, int64_t hi) const;
+
+  size_t size() const { return n_; }
+  int levels() const { return levels_; }
+  size_t internal_bytes() const { return nodes_.size() * sizeof(int64_t); }
+
+ private:
+  const int64_t* data_;
+  size_t n_;
+  std::vector<int64_t> nodes_;        // internal separators, top level first
+  std::vector<size_t> offsets_;       // start of each level within nodes_
+  std::vector<size_t> level_sizes_;   // separators per level, top first
+  size_t leaf_nodes_ = 0;             // number of data groups
+  int levels_ = 0;
+  size_t first_leaf_index_ = 0;       // node index of the bottom level
+};
+
+}  // namespace mammoth::index
+
+#endif  // MAMMOTH_INDEX_CSS_TREE_H_

@@ -1,0 +1,64 @@
+#ifndef MAMMOTH_INDEX_HASH_INDEX_H_
+#define MAMMOTH_INDEX_HASH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/hash.h"
+#include "core/types.h"
+
+namespace mammoth::index {
+
+/// Bucket-chained hash index from int64 keys to OIDs — the "value index
+/// created on the fly" of MonetDB/SQL (§3.2). Equality lookups only;
+/// duplicates allowed. Same chained layout the join kernels use, so one
+/// build can be reused as the inner side of repeated hash joins.
+class HashIndex {
+ public:
+  /// Builds over `n` keys whose OIDs are hseqbase + position.
+  HashIndex(const int64_t* keys, size_t n, Oid hseqbase = 0)
+      : keys_(keys, keys + n), hseqbase_(hseqbase) {
+    nbuckets_ = NextPow2(n < 8 ? 8 : n);
+    buckets_.assign(nbuckets_, 0);
+    next_.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t h = HashInt(static_cast<uint64_t>(keys_[i])) &
+                         (nbuckets_ - 1);
+      next_[i] = buckets_[h];
+      buckets_[h] = static_cast<uint32_t>(i + 1);
+    }
+  }
+
+  /// All OIDs whose key equals `key`.
+  std::vector<Oid> Lookup(int64_t key) const {
+    std::vector<Oid> out;
+    const uint64_t h = HashInt(static_cast<uint64_t>(key)) & (nbuckets_ - 1);
+    for (uint32_t j = buckets_[h]; j != 0; j = next_[j - 1]) {
+      if (keys_[j - 1] == key) out.push_back(hseqbase_ + (j - 1));
+    }
+    return out;
+  }
+
+  /// First OID with this key, or kOidNil.
+  Oid LookupFirst(int64_t key) const {
+    const uint64_t h = HashInt(static_cast<uint64_t>(key)) & (nbuckets_ - 1);
+    for (uint32_t j = buckets_[h]; j != 0; j = next_[j - 1]) {
+      if (keys_[j - 1] == key) return hseqbase_ + (j - 1);
+    }
+    return kOidNil;
+  }
+
+  size_t size() const { return keys_.size(); }
+
+ private:
+  std::vector<int64_t> keys_;
+  Oid hseqbase_;
+  size_t nbuckets_;
+  std::vector<uint32_t> buckets_;
+  std::vector<uint32_t> next_;
+};
+
+}  // namespace mammoth::index
+
+#endif  // MAMMOTH_INDEX_HASH_INDEX_H_

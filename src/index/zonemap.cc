@@ -1,0 +1,91 @@
+#include "index/zonemap.h"
+
+#include <algorithm>
+
+namespace mammoth::index {
+
+namespace {
+
+template <typename T>
+void BuildBlocks(const T* v, size_t n, size_t block_rows,
+                 std::vector<int64_t>* mins, std::vector<int64_t>* maxs) {
+  for (size_t start = 0; start < n; start += block_rows) {
+    const size_t end = std::min(n, start + block_rows);
+    T lo = v[start], hi = v[start];
+    for (size_t i = start + 1; i < end; ++i) {
+      lo = std::min(lo, v[i]);
+      hi = std::max(hi, v[i]);
+    }
+    mins->push_back(static_cast<int64_t>(lo));
+    maxs->push_back(static_cast<int64_t>(hi));
+  }
+}
+
+template <typename T>
+void ScanBlock(const T* v, size_t begin, size_t end, T lo, T hi, Oid hseq,
+               Bat* out) {
+  for (size_t i = begin; i < end; ++i) {
+    if (v[i] >= lo && v[i] <= hi) out->Append<Oid>(hseq + i);
+  }
+}
+
+}  // namespace
+
+Result<ZoneMap> ZoneMap::Build(const BatPtr& b, size_t block_rows) {
+  if (b == nullptr) return Status::InvalidArgument("zonemap: null input");
+  if (block_rows == 0) {
+    return Status::InvalidArgument("zonemap: block_rows must be > 0");
+  }
+  if (b->type() != PhysType::kInt32 && b->type() != PhysType::kInt64) {
+    return Status::Unimplemented("zonemap supports int/lng columns");
+  }
+  ZoneMap zm;
+  zm.column_ = b;
+  zm.block_rows_ = block_rows;
+  if (b->type() == PhysType::kInt32) {
+    BuildBlocks(b->TailData<int32_t>(), b->Count(), block_rows, &zm.mins_,
+                &zm.maxs_);
+  } else {
+    BuildBlocks(b->TailData<int64_t>(), b->Count(), block_rows, &zm.mins_,
+                &zm.maxs_);
+  }
+  return zm;
+}
+
+size_t ZoneMap::BlocksTouched(const Value& lo, const Value& hi) const {
+  const int64_t l = lo.AsInt(), h = hi.AsInt();
+  size_t touched = 0;
+  for (size_t blk = 0; blk < mins_.size(); ++blk) {
+    if (maxs_[blk] >= l && mins_[blk] <= h) ++touched;
+  }
+  return touched;
+}
+
+Result<BatPtr> ZoneMap::RangeSelect(const Value& lo, const Value& hi) const {
+  if (!lo.is_numeric() || !hi.is_numeric()) {
+    return Status::TypeMismatch("zonemap select: non-numeric bound");
+  }
+  const int64_t l = lo.AsInt(), h = hi.AsInt();
+  BatPtr out = Bat::New(PhysType::kOid);
+  const size_t n = column_->Count();
+  const Oid hseq = column_->hseqbase();
+  for (size_t blk = 0; blk < mins_.size(); ++blk) {
+    if (maxs_[blk] < l || mins_[blk] > h) continue;  // skip the block
+    const size_t begin = blk * block_rows_;
+    const size_t end = std::min(n, begin + block_rows_);
+    if (column_->type() == PhysType::kInt32) {
+      ScanBlock(column_->TailData<int32_t>(), begin, end,
+                static_cast<int32_t>(std::max<int64_t>(l, INT32_MIN)),
+                static_cast<int32_t>(std::min<int64_t>(h, INT32_MAX)), hseq,
+                out.get());
+    } else {
+      ScanBlock(column_->TailData<int64_t>(), begin, end, l, h, hseq,
+                out.get());
+    }
+  }
+  out->mutable_props().sorted = true;
+  out->mutable_props().key = true;
+  return out;
+}
+
+}  // namespace mammoth::index

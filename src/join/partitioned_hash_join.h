@@ -1,0 +1,48 @@
+#ifndef MAMMOTH_JOIN_PARTITIONED_HASH_JOIN_H_
+#define MAMMOTH_JOIN_PARTITIONED_HASH_JOIN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/bat.h"
+#include "core/join.h"
+
+namespace mammoth::radix {
+
+/// Tuning and instrumentation for PartitionedHashJoin.
+struct PartitionedJoinOptions {
+  /// Radix bits B: both relations are clustered into 2^B partitions. 0 means
+  /// "pick from cache size" (see SuggestRadixBits).
+  int bits = 0;
+  /// Number of clustering passes P; bits are split evenly over passes.
+  int passes = 2;
+};
+
+/// Timing breakdown reported by the join (seconds).
+struct PartitionedJoinStats {
+  double cluster_seconds = 0;
+  double join_seconds = 0;
+  int bits = 0;
+  int passes = 0;
+};
+
+/// Radix-partitioned hash join (§4.1-4.2): radix-clusters both inputs on B
+/// bits of the key hash so corresponding partitions fit the CPU cache, then
+/// hash-joins partition pairs with a bucket-chained table. CPU-optimized per
+/// [25]: multiplicative hash, no divisions or function calls in inner loops.
+///
+/// Inputs must share a numeric type (kInt32 or kInt64). Returns the join
+/// index (pairs of head OIDs).
+Result<algebra::JoinResult> PartitionedHashJoin(
+    const BatPtr& l, const BatPtr& r,
+    const PartitionedJoinOptions& options = {},
+    PartitionedJoinStats* stats = nullptr);
+
+/// Picks B so that an inner partition (|r|/2^B tuples of `tuple_bytes` each,
+/// plus its hash table) fits in `cache_bytes`.
+int SuggestRadixBits(size_t inner_count, size_t tuple_bytes,
+                     size_t cache_bytes);
+
+}  // namespace mammoth::radix
+
+#endif  // MAMMOTH_JOIN_PARTITIONED_HASH_JOIN_H_

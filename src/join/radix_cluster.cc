@@ -1,0 +1,13 @@
+#include "join/radix_cluster.h"
+
+namespace mammoth::radix {
+
+std::vector<int> SplitBits(int total_bits, int passes) {
+  MAMMOTH_CHECK(total_bits > 0 && passes > 0, "SplitBits: bad arguments");
+  if (passes > total_bits) passes = total_bits;
+  std::vector<int> out(passes, total_bits / passes);
+  for (int i = 0; i < total_bits % passes; ++i) ++out[i];
+  return out;
+}
+
+}  // namespace mammoth::radix

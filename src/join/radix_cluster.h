@@ -1,0 +1,149 @@
+#ifndef MAMMOTH_JOIN_RADIX_CLUSTER_H_
+#define MAMMOTH_JOIN_RADIX_CLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/result.h"
+#include "core/bat.h"
+
+namespace mammoth::radix {
+
+/// A relation laid out for the radix algorithms of §4: packed binary
+/// <oid,key> units, stored as one array so every clustering pass moves one
+/// cache-friendly stream. OIDs are stored as 32-bit positions relative to
+/// `hseqbase` (the algorithms' own scalability bounds sit far below 2^32
+/// tuples). After clustering, `bounds` holds the H+1 cluster boundaries and
+/// `bits` how many radix bits the layout reflects.
+template <typename T>
+struct RadixTable {
+  struct Entry {
+    uint32_t oid;  // position; head OID = hseqbase + oid
+    T key;
+
+    bool operator==(const Entry&) const = default;
+  };
+
+  std::vector<Entry> entries;
+  std::vector<size_t> bounds;  // size H+1 once clustered; empty before
+  int bits = 0;
+  Oid hseqbase = 0;
+
+  size_t size() const { return entries.size(); }
+  size_t NumClusters() const {
+    return bounds.empty() ? 1 : bounds.size() - 1;
+  }
+};
+
+/// Radix-bits function: the B low bits of the key's hash (the paper clusters
+/// "on the lower B bits of the integer hash-value", §4.2). `kUseHash=false`
+/// clusters on the low bits of the raw value instead — used to reproduce
+/// Figure 2 literally and by tests.
+template <typename T, bool kUseHash = true>
+inline uint64_t RadixBits(T key) {
+  if constexpr (kUseHash) {
+    return HashInt(static_cast<uint64_t>(key));
+  } else {
+    return static_cast<uint64_t>(key);
+  }
+}
+
+/// One clustering pass over [begin, end): splits the region into 2^bits
+/// sub-clusters on hash bits [shift, shift+bits). The histogram + scatter
+/// two-scan radix partition; `cursor` is caller-provided scratch of size
+/// 2^bits. Appends the produced sub-cluster boundaries (absolute) to
+/// `out_bounds`.
+template <typename T, bool kUseHash>
+void ClusterPass(const typename RadixTable<T>::Entry* src,
+                 typename RadixTable<T>::Entry* dst, size_t begin,
+                 size_t end, int shift, int bits,
+                 std::vector<size_t>* cursor,
+                 std::vector<size_t>* out_bounds) {
+  const size_t nclusters = size_t{1} << bits;
+  const uint64_t mask = nclusters - 1;
+  cursor->assign(nclusters, 0);
+  for (size_t i = begin; i < end; ++i) {
+    ++(*cursor)[(RadixBits<T, kUseHash>(src[i].key) >> shift) & mask];
+  }
+  size_t sum = begin;
+  for (size_t c = 0; c < nclusters; ++c) {
+    const size_t count = (*cursor)[c];
+    (*cursor)[c] = sum;
+    sum += count;
+    out_bounds->push_back(sum);
+  }
+  for (size_t i = begin; i < end; ++i) {
+    const size_t c = (RadixBits<T, kUseHash>(src[i].key) >> shift) & mask;
+    dst[(*cursor)[c]++] = src[i];
+  }
+}
+
+/// Multi-pass radix-cluster (§4.2, Figure 2): clusters `table` on the low
+/// `total_bits` of the key hash using `bits_per_pass.size()` passes, pass p
+/// splitting every existing cluster on the next `bits_per_pass[p]` bits,
+/// starting with the *leftmost* bits of the B-bit window. The number of
+/// randomly written regions per pass stays 2^bits_per_pass[p], which is what
+/// avoids TLB and cache-line thrashing.
+template <typename T, bool kUseHash = true>
+void RadixCluster(RadixTable<T>* table,
+                  const std::vector<int>& bits_per_pass) {
+  int total_bits = 0;
+  for (int b : bits_per_pass) {
+    MAMMOTH_CHECK(b > 0, "radix pass must cluster on >= 1 bit");
+    total_bits += b;
+  }
+  const size_t n = table->size();
+  std::vector<typename RadixTable<T>::Entry> tmp(n);
+
+  std::vector<size_t> bounds = {0, n};
+  std::vector<size_t> cursor;
+  int bits_done = 0;
+  bool in_tmp = false;
+  for (int pass_bits : bits_per_pass) {
+    const int shift = total_bits - bits_done - pass_bits;
+    std::vector<size_t> new_bounds = {0};
+    const auto* src = in_tmp ? tmp.data() : table->entries.data();
+    auto* dst = in_tmp ? table->entries.data() : tmp.data();
+    for (size_t c = 0; c + 1 < bounds.size(); ++c) {
+      ClusterPass<T, kUseHash>(src, dst, bounds[c], bounds[c + 1], shift,
+                               pass_bits, &cursor, &new_bounds);
+    }
+    bounds = std::move(new_bounds);
+    bits_done += pass_bits;
+    in_tmp = !in_tmp;
+  }
+  if (in_tmp) table->entries.swap(tmp);
+  table->bounds = std::move(bounds);
+  table->bits = total_bits;
+}
+
+/// Splits `total_bits` over `passes` as evenly as possible (leftmost passes
+/// take the remainder), e.g. (7, 2) -> {4, 3}.
+std::vector<int> SplitBits(int total_bits, int passes);
+
+/// Builds a RadixTable from a numeric BAT (the BAT's type must match T).
+template <typename T>
+Result<RadixTable<T>> FromBat(const Bat& b) {
+  if (b.type() != TypeTraits<T>::kType) {
+    return Status::TypeMismatch("radix table type mismatch");
+  }
+  const size_t n = b.Count();
+  if (n > 0xffffffffull) {
+    return Status::OutOfRange("radix table limited to 2^32 tuples");
+  }
+  RadixTable<T> t;
+  t.hseqbase = b.hseqbase();
+  t.entries.resize(n);
+  const T* v = b.TailData<T>();
+  for (size_t i = 0; i < n; ++i) {
+    t.entries[i].oid = static_cast<uint32_t>(i);
+    t.entries[i].key = v[i];
+  }
+  return t;
+}
+
+}  // namespace mammoth::radix
+
+#endif  // MAMMOTH_JOIN_RADIX_CLUSTER_H_

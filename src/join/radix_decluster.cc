@@ -1,0 +1,57 @@
+#include "join/radix_decluster.h"
+
+#include "core/dispatch.h"
+
+namespace mammoth::radix {
+
+size_t MaxDeclusterTuples(size_t cache_bytes, size_t value_width,
+                          size_t line_bytes) {
+  // Phase C supports at most (#cache lines) clusters, each covering a
+  // cache-sized output region of cache_bytes/value_width tuples.
+  return (cache_bytes / line_bytes) * (cache_bytes / value_width);
+}
+
+Result<BatPtr> DeclusterProject(const BatPtr& positions, const BatPtr& values,
+                                const DeclusterOptions& opt) {
+  if (positions == nullptr || values == nullptr) {
+    return Status::InvalidArgument("decluster: null input");
+  }
+  if (positions->type() != PhysType::kOid) {
+    return Status::TypeMismatch("decluster: positions must be bat[:oid]");
+  }
+  if (values->type() == PhysType::kStr) {
+    return Status::Unimplemented("decluster on string values");
+  }
+  BatPtr posm = positions;
+  if (posm->IsDenseTail()) {
+    posm = posm->Clone();
+    posm->MaterializeDense();
+  }
+  BatPtr valm = values;
+  if (valm->IsDenseTail()) {
+    valm = valm->Clone();
+    valm->MaterializeDense();
+  }
+  const size_t n = posm->Count();
+  const size_t nvalues = valm->Count();
+  const Oid vbase = valm->hseqbase();
+  std::vector<Oid> pos(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Oid o = posm->TailData<Oid>()[i];
+    if (o - vbase >= nvalues) {
+      return Status::OutOfRange("decluster: oid beyond value BAT");
+    }
+    pos[i] = o - vbase;
+  }
+  return DispatchNumeric(valm->type(), [&](auto tag) -> BatPtr {
+    using T = typename decltype(tag)::type;
+    std::vector<T> projected =
+        RadixDeclusterProject<T>(pos, valm->TailData<T>(), nvalues, opt);
+    BatPtr r = Bat::New(valm->type());
+    r->AppendRaw(projected.data(), projected.size());
+    r->set_hseqbase(posm->hseqbase());
+    return r;
+  });
+}
+
+}  // namespace mammoth::radix

@@ -1,0 +1,160 @@
+#ifndef MAMMOTH_JOIN_RADIX_DECLUSTER_H_
+#define MAMMOTH_JOIN_RADIX_DECLUSTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/result.h"
+#include "core/bat.h"
+
+namespace mammoth::radix {
+
+/// Cache-conscious DSM post-projection (§4.3, [28]).
+///
+/// After a join, the join index holds for every output rank i a position
+/// `positions[i]` into a projection column. The naive projection
+/// `out[i] = values[positions[i]]` makes one random access per tuple.
+/// Radix-Decluster replaces it with three cache-friendly phases:
+///
+///   A. one-pass radix-cluster of (rank, position) pairs on the *high* bits
+///      of position -> fetches become localized per position-cluster;
+///   B. fetch values cluster-by-cluster, producing (rank, value) pairs;
+///   C. one-pass radix-cluster of (rank, value) pairs on the high bits of
+///      rank, then scatter each cluster into its contiguous, cache-sized
+///      output region.
+///
+/// Being single-pass, phase C bounds the tuple count by
+/// (#cache lines) x (cache bytes / value width) — "quite generous" and
+/// quadratic in cache size, as the paper notes.
+struct DeclusterOptions {
+  /// Cache the algorithm should stay within; default 256KB (L2-ish).
+  size_t cache_bytes = 256 << 10;
+};
+
+/// Maximum relation size the single-pass decluster supports for a value
+/// width, given the cache size (paper: half a billion 4-byte tuples for a
+/// 512KB cache).
+size_t MaxDeclusterTuples(size_t cache_bytes, size_t value_width,
+                          size_t line_bytes = 64);
+
+namespace internal {
+
+/// Single radix-cluster pass of (tag, payload) pairs on bits
+/// [shift, shift+bits) of the tag. Histogram + scatter.
+template <typename Tag, typename P>
+void ClusterPairs(const Tag* tags, const P* payloads, size_t n, int shift,
+                  int bits, Tag* out_tags, P* out_payloads) {
+  const size_t k = size_t{1} << bits;
+  const uint64_t mask = k - 1;
+  std::vector<size_t> cursor(k, 0);
+  for (size_t i = 0; i < n; ++i) {
+    ++cursor[(static_cast<uint64_t>(tags[i]) >> shift) & mask];
+  }
+  size_t sum = 0;
+  for (size_t c = 0; c < k; ++c) {
+    const size_t count = cursor[c];
+    cursor[c] = sum;
+    sum += count;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = (static_cast<uint64_t>(tags[i]) >> shift) & mask;
+    out_tags[cursor[c]] = tags[i];
+    out_payloads[cursor[c]] = payloads[i];
+    ++cursor[c];
+  }
+}
+
+}  // namespace internal
+
+/// Reusable working memory for RadixDeclusterProject. Allocating ~5 full
+/// relation-sized arrays per call would dominate the measurement with page
+/// faults; production use keeps one scratch per worker.
+template <typename T>
+struct DeclusterScratch {
+  std::vector<uint32_t> ranks, cranks, cpos, dranks;
+  std::vector<T> fetched, dvals;
+
+  void Resize(size_t n) {
+    ranks.resize(n);
+    cranks.resize(n);
+    cpos.resize(n);
+    dranks.resize(n);
+    fetched.resize(n);
+    dvals.resize(n);
+  }
+};
+
+/// Projects `values[positions[i]]` into output rank i using Radix-Decluster.
+/// `positions` are plain array positions (0-based; relation sizes up to
+/// 2^32 — the algorithm's own single-pass bound is far below that). Returns
+/// the projected column in output-rank order.
+template <typename T>
+std::vector<T> RadixDeclusterProject(const std::vector<Oid>& positions,
+                                     const T* values, size_t nvalues,
+                                     const DeclusterOptions& opt = {},
+                                     DeclusterScratch<T>* scratch = nullptr) {
+  const size_t n = positions.size();
+  std::vector<T> out(n);
+  if (n == 0) return out;
+
+  DeclusterScratch<T> local;
+  DeclusterScratch<T>& s = scratch == nullptr ? local : *scratch;
+  s.Resize(n);
+
+  // Cluster counts: enough clusters that one cluster's touched region fits
+  // about half the cache.
+  const size_t budget = opt.cache_bytes / 2;
+  auto clusters_for = [&](size_t total_bytes) {
+    size_t k = 1;
+    while (k < 4096 && total_bytes / k > budget) k <<= 1;
+    return k;
+  };
+
+  // --- Phase A: cluster (rank, position) by high bits of position.
+  const size_t kpos = clusters_for(nvalues * sizeof(T));
+  std::vector<uint32_t> pos32(n);
+  for (size_t i = 0; i < n; ++i) pos32[i] = static_cast<uint32_t>(positions[i]);
+  for (size_t i = 0; i < n; ++i) s.ranks[i] = static_cast<uint32_t>(i);
+  const uint32_t pos_bits = CeilLog2(nvalues == 0 ? 1 : nvalues);
+  const uint32_t kpos_bits = FloorLog2(kpos);
+  const int pos_shift =
+      pos_bits > kpos_bits ? static_cast<int>(pos_bits - kpos_bits) : 0;
+  internal::ClusterPairs<uint32_t, uint32_t>(
+      pos32.data(), s.ranks.data(), n, pos_shift,
+      static_cast<int>(kpos_bits), s.cpos.data(), s.cranks.data());
+
+  // --- Phase B: fetch values in position-clustered order.
+  for (size_t i = 0; i < n; ++i) s.fetched[i] = values[s.cpos[i]];
+
+  // --- Phase C: decluster (rank, value) by high bits of rank, then scatter
+  // per cluster into the cache-sized output region.
+  const size_t kout = clusters_for(n * sizeof(T));
+  const uint32_t rank_bits = CeilLog2(n);
+  const uint32_t kout_bits = FloorLog2(kout);
+  const int rank_shift =
+      rank_bits > kout_bits ? static_cast<int>(rank_bits - kout_bits) : 0;
+  internal::ClusterPairs<uint32_t, T>(
+      s.cranks.data(), s.fetched.data(), n, rank_shift,
+      static_cast<int>(kout_bits), s.dranks.data(), s.dvals.data());
+  for (size_t i = 0; i < n; ++i) out[s.dranks[i]] = s.dvals[i];
+  return out;
+}
+
+/// The naive DSM post-projection baseline: one random access per tuple.
+template <typename T>
+std::vector<T> NaiveFetchProject(const std::vector<Oid>& positions,
+                                 const T* values) {
+  std::vector<T> out(positions.size());
+  for (size_t i = 0; i < positions.size(); ++i) out[i] = values[positions[i]];
+  return out;
+}
+
+/// BAT-level wrapper: projects `values` through the join-index column
+/// `positions` (bat[:oid] of head OIDs of `values`) with Radix-Decluster.
+Result<BatPtr> DeclusterProject(const BatPtr& positions, const BatPtr& values,
+                                const DeclusterOptions& opt = {});
+
+}  // namespace mammoth::radix
+
+#endif  // MAMMOTH_JOIN_RADIX_DECLUSTER_H_

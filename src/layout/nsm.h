@@ -1,0 +1,77 @@
+#ifndef MAMMOTH_LAYOUT_NSM_H_
+#define MAMMOTH_LAYOUT_NSM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "layout/row_schema.h"
+
+namespace mammoth::layout {
+
+/// N-ary Storage Model: the traditional slotted-page row store (§7).
+/// Records live contiguously within fixed-size pages; reading one column
+/// drags every column's bytes through the cache, reading one whole tuple
+/// touches a single page.
+class NsmStore {
+ public:
+  static constexpr size_t kDefaultPageBytes = 8192;
+
+  explicit NsmStore(RowSchema schema, size_t page_bytes = kDefaultPageBytes)
+      : schema_(std::move(schema)),
+        page_bytes_(page_bytes),
+        rows_per_page_(page_bytes / schema_.row_width()) {
+    MAMMOTH_CHECK(rows_per_page_ > 0, "row wider than page");
+  }
+
+  size_t RowCount() const { return nrows_; }
+  size_t PageCount() const { return pages_.size(); }
+  const RowSchema& schema() const { return schema_; }
+
+  /// Appends one row from a packed byte image (schema.row_width() bytes).
+  void AppendRow(const void* row_bytes) {
+    const size_t slot = nrows_ % rows_per_page_;
+    if (slot == 0) {
+      pages_.push_back(std::make_unique<uint8_t[]>(page_bytes_));
+    }
+    std::memcpy(pages_.back().get() + slot * schema_.row_width(), row_bytes,
+                schema_.row_width());
+    ++nrows_;
+  }
+
+  /// Pointer to a field's bytes.
+  const uint8_t* FieldPtr(size_t row, size_t col) const {
+    const size_t page = row / rows_per_page_;
+    const size_t slot = row % rows_per_page_;
+    return pages_[page].get() + slot * schema_.row_width() +
+           schema_.offset(col);
+  }
+
+  template <typename T>
+  T Field(size_t row, size_t col) const {
+    T v;
+    std::memcpy(&v, FieldPtr(row, col), sizeof(T));
+    return v;
+  }
+
+  /// Copies one full row out (tuple reconstruction is a single memcpy).
+  void ReadRow(size_t row, void* out) const {
+    const size_t page = row / rows_per_page_;
+    const size_t slot = row % rows_per_page_;
+    std::memcpy(out, pages_[page].get() + slot * schema_.row_width(),
+                schema_.row_width());
+  }
+
+ private:
+  RowSchema schema_;
+  size_t page_bytes_;
+  size_t rows_per_page_;
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+  size_t nrows_ = 0;
+};
+
+}  // namespace mammoth::layout
+
+#endif  // MAMMOTH_LAYOUT_NSM_H_

@@ -1,0 +1,40 @@
+#ifndef MAMMOTH_LAYOUT_ROW_SCHEMA_H_
+#define MAMMOTH_LAYOUT_ROW_SCHEMA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace mammoth::layout {
+
+/// Fixed-width record schema shared by the NSM and PAX stores (the §7
+/// storage-layout comparison substrates). Numeric columns only: the layout
+/// experiments are about cache behaviour, not type systems.
+class RowSchema {
+ public:
+  explicit RowSchema(std::vector<PhysType> types) : types_(std::move(types)) {
+    offsets_.reserve(types_.size());
+    size_t off = 0;
+    for (PhysType t : types_) {
+      offsets_.push_back(off);
+      off += TypeWidth(t);
+    }
+    row_width_ = off;
+  }
+
+  size_t NumColumns() const { return types_.size(); }
+  PhysType type(size_t col) const { return types_[col]; }
+  size_t offset(size_t col) const { return offsets_[col]; }
+  size_t width(size_t col) const { return TypeWidth(types_[col]); }
+  size_t row_width() const { return row_width_; }
+
+ private:
+  std::vector<PhysType> types_;
+  std::vector<size_t> offsets_;
+  size_t row_width_ = 0;
+};
+
+}  // namespace mammoth::layout
+
+#endif  // MAMMOTH_LAYOUT_ROW_SCHEMA_H_

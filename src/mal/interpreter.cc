@@ -1,0 +1,370 @@
+#include "mal/interpreter.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/timer.h"
+#include "core/group.h"
+#include "core/join.h"
+#include "core/project.h"
+#include "core/select.h"
+#include "core/sort.h"
+
+namespace mammoth::mal {
+
+namespace {
+
+/// Runtime slot for one MAL variable.
+struct Rt {
+  BatPtr bat;
+  Value scalar;
+  uint64_t sig = 0;
+};
+
+uint64_t HashValue(const Value& v) {
+  if (v.is_nil()) return 0x9e37;
+  if (v.is_int()) return HashCombine(1, static_cast<uint64_t>(v.AsInt()));
+  if (v.is_real()) {
+    double d = v.AsReal();
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return HashCombine(2, bits);
+  }
+  return HashCombine(3, HashString(v.AsStr()));
+}
+
+uint64_t InstrSignature(const Instr& ins, const std::vector<Rt>& vars) {
+  uint64_t h = HashInt(static_cast<uint64_t>(ins.op) + uint64_t{0x51});
+  for (int in : ins.inputs) {
+    h = HashCombine(h, in < 0 ? uint64_t{0xfeed} : vars[in].sig);
+  }
+  for (const Value& c : ins.consts) h = HashCombine(h, HashValue(c));
+  h = HashCombine(h, static_cast<uint64_t>(ins.cmp));
+  h = HashCombine(h, static_cast<uint64_t>(ins.arith));
+  h = HashCombine(h, ins.flag ? 1 : 0);
+  h = HashCombine(h, HashString(ins.table));
+  h = HashCombine(h, HashString(ins.column));
+  return h;
+}
+
+bool Recyclable(OpCode op) {
+  switch (op) {
+    case OpCode::kBind:
+    case OpCode::kBindCands:
+    case OpCode::kResult:
+      return false;
+    default:
+      return true;
+  }
+}
+
+Status NeedBat(const std::vector<Rt>& vars, int id, const char* what) {
+  if (id < 0 || vars[id].bat == nullptr) {
+    return Status::Internal(std::string("mal: missing BAT operand for ") +
+                            what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string QueryResult::ToText(size_t max_rows) const {
+  std::string out;
+  for (size_t c = 0; c < names.size(); ++c) {
+    out += c == 0 ? "" : " | ";
+    out += names[c];
+  }
+  out += "\n";
+  for (size_t c = 0; c < names.size(); ++c) {
+    out += c == 0 ? "" : "-+-";
+    out += std::string(names[c].size(), '-');
+  }
+  out += "\n";
+  const size_t rows = RowCount();
+  char buf[64];
+  for (size_t r = 0; r < rows && r < max_rows; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (c > 0) out += " | ";
+      const Bat& b = *columns[c];
+      switch (b.type()) {
+        case PhysType::kStr:
+          out += std::string(b.StringAt(r));
+          break;
+        case PhysType::kDouble:
+          std::snprintf(buf, sizeof(buf), "%.4f", b.ValueAt<double>(r));
+          out += buf;
+          break;
+        case PhysType::kFloat:
+          std::snprintf(buf, sizeof(buf), "%.4f", b.ValueAt<float>(r));
+          out += buf;
+          break;
+        case PhysType::kOid:
+          std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(b.OidAt(r)));
+          out += buf;
+          break;
+        case PhysType::kInt64:
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(b.ValueAt<int64_t>(r)));
+          out += buf;
+          break;
+        case PhysType::kInt32:
+          std::snprintf(buf, sizeof(buf), "%d", b.ValueAt<int32_t>(r));
+          out += buf;
+          break;
+        case PhysType::kInt16:
+          std::snprintf(buf, sizeof(buf), "%d", b.ValueAt<int16_t>(r));
+          out += buf;
+          break;
+        case PhysType::kBool:
+        case PhysType::kInt8:
+          std::snprintf(buf, sizeof(buf), "%d", b.ValueAt<int8_t>(r));
+          out += buf;
+          break;
+      }
+    }
+    out += "\n";
+  }
+  if (rows > max_rows) out += "... (" + std::to_string(rows) + " rows)\n";
+  return out;
+}
+
+Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
+  WallTimer total;
+  std::vector<Rt> vars(program.nvars());
+  QueryResult result;
+  RunStats local;
+
+  for (const Instr& ins : program.instrs()) {
+    ++local.instructions;
+    const uint64_t sig = InstrSignature(ins, vars);
+
+    // --- Recycler: exact match -------------------------------------------
+    if (recycler_ != nullptr && Recyclable(ins.op)) {
+      std::vector<recycle::CachedVal> cached;
+      if (recycler_->Lookup(sig, &cached) &&
+          cached.size() == ins.outputs.size()) {
+        for (size_t o = 0; o < ins.outputs.size(); ++o) {
+          vars[ins.outputs[o]].bat = cached[o].bat;
+          vars[ins.outputs[o]].scalar = cached[o].scalar;
+          vars[ins.outputs[o]].sig = HashCombine(sig, o);
+        }
+        ++local.recycled;
+        continue;
+      }
+    }
+
+    WallTimer timer;
+    BatPtr subsume_cands;  // range-subsumption candidates, when found
+
+    switch (ins.op) {
+      case OpCode::kBind: {
+        MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(ins.table));
+        MAMMOTH_ASSIGN_OR_RETURN(BatPtr col, t->ScanColumn(ins.column));
+        Rt& out = vars[ins.outputs[0]];
+        out.bat = col;
+        out.sig = HashCombine(HashCombine(HashString(ins.table),
+                                          HashString(ins.column)),
+                              t->version());
+        break;
+      }
+      case OpCode::kBindCands: {
+        MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(ins.table));
+        Rt& out = vars[ins.outputs[0]];
+        out.bat = t->LiveCandidates();
+        out.sig = HashCombine(HashCombine(HashString(ins.table), 0x71d),
+                              t->version());
+        break;
+      }
+      case OpCode::kThetaSelect: {
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "thetaselect"));
+        const BatPtr cands =
+            ins.inputs[1] < 0 ? nullptr : vars[ins.inputs[1]].bat;
+        MAMMOTH_ASSIGN_OR_RETURN(
+            BatPtr r, algebra::ThetaSelect(vars[ins.inputs[0]].bat, cands,
+                                           ins.consts[0], ins.cmp));
+        vars[ins.outputs[0]].bat = r;
+        break;
+      }
+      case OpCode::kRangeSelect: {
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "select"));
+        BatPtr cands = ins.inputs[1] < 0 ? nullptr : vars[ins.inputs[1]].bat;
+        // --- Recycler: range subsumption ---------------------------------
+        // A cached wider range over the same (column, candidates) pair can
+        // serve as the candidate list: the cached output already reflects
+        // the original candidate filtering, so refining within it is exact.
+        const uint64_t range_base = HashCombine(
+            vars[ins.inputs[0]].sig,
+            ins.inputs[1] < 0 ? uint64_t{0xfeed} : vars[ins.inputs[1]].sig);
+        if (recycler_ != nullptr && !ins.flag && ins.consts[0].is_numeric() &&
+            ins.consts[1].is_numeric()) {
+          if (recycler_->LookupRangeSuperset(range_base,
+                                             ins.consts[0].AsReal(),
+                                             ins.consts[1].AsReal(),
+                                             &subsume_cands)) {
+            cands = subsume_cands;
+          }
+        }
+        MAMMOTH_ASSIGN_OR_RETURN(
+            BatPtr r,
+            algebra::RangeSelect(vars[ins.inputs[0]].bat, cands,
+                                 ins.consts[0], ins.consts[1], true, true,
+                                 ins.flag));
+        vars[ins.outputs[0]].bat = r;
+        break;
+      }
+      case OpCode::kProject: {
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "projection"));
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[1], "projection"));
+        MAMMOTH_ASSIGN_OR_RETURN(
+            BatPtr r, algebra::Project(vars[ins.inputs[0]].bat,
+                                       vars[ins.inputs[1]].bat));
+        vars[ins.outputs[0]].bat = r;
+        break;
+      }
+      case OpCode::kJoin: {
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "join"));
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[1], "join"));
+        MAMMOTH_ASSIGN_OR_RETURN(
+            algebra::JoinResult jr,
+            algebra::Join(vars[ins.inputs[0]].bat, vars[ins.inputs[1]].bat));
+        vars[ins.outputs[0]].bat = jr.left;
+        vars[ins.outputs[1]].bat = jr.right;
+        break;
+      }
+      case OpCode::kGroup: {
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "group"));
+        BatPtr prev = ins.inputs[1] < 0 ? nullptr : vars[ins.inputs[1]].bat;
+        size_t prev_n = 0;
+        if (ins.inputs[2] >= 0) {
+          prev_n = static_cast<size_t>(vars[ins.inputs[2]].scalar.AsInt());
+        }
+        MAMMOTH_ASSIGN_OR_RETURN(
+            algebra::GroupResult g,
+            algebra::Group(vars[ins.inputs[0]].bat, prev, prev_n));
+        vars[ins.outputs[0]].bat = g.groups;
+        vars[ins.outputs[1]].bat = g.extents;
+        vars[ins.outputs[2]].scalar =
+            Value::Int(static_cast<int64_t>(g.ngroups));
+        break;
+      }
+      case OpCode::kAggrSum:
+      case OpCode::kAggrCount:
+      case OpCode::kAggrMin:
+      case OpCode::kAggrMax:
+      case OpCode::kAggrAvg: {
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "aggr"));
+        const BatPtr values = vars[ins.inputs[0]].bat;
+        BatPtr groups = ins.inputs[1] < 0 ? nullptr : vars[ins.inputs[1]].bat;
+        size_t ngroups = 1;
+        if (ins.inputs[2] >= 0) {
+          ngroups = static_cast<size_t>(vars[ins.inputs[2]].scalar.AsInt());
+        }
+        Result<BatPtr> r = Status::Internal("unreachable");
+        switch (ins.op) {
+          case OpCode::kAggrSum:
+            r = algebra::AggrSum(values, groups, ngroups);
+            break;
+          case OpCode::kAggrCount:
+            r = algebra::AggrCount(groups, ngroups, values->Count());
+            break;
+          case OpCode::kAggrMin:
+            r = algebra::AggrMin(values, groups, ngroups);
+            break;
+          case OpCode::kAggrMax:
+            r = algebra::AggrMax(values, groups, ngroups);
+            break;
+          case OpCode::kAggrAvg:
+            r = algebra::AggrAvg(values, groups, ngroups);
+            break;
+          default:
+            break;
+        }
+        if (!r.ok()) return r.status();
+        vars[ins.outputs[0]].bat = *r;
+        break;
+      }
+      case OpCode::kCalcBin: {
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "batcalc"));
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[1], "batcalc"));
+        MAMMOTH_ASSIGN_OR_RETURN(
+            BatPtr r,
+            algebra::CalcBinary(ins.arith, vars[ins.inputs[0]].bat,
+                                vars[ins.inputs[1]].bat));
+        vars[ins.outputs[0]].bat = r;
+        break;
+      }
+      case OpCode::kCalcConst: {
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "batcalc"));
+        MAMMOTH_ASSIGN_OR_RETURN(
+            BatPtr r, algebra::CalcScalar(ins.arith, vars[ins.inputs[0]].bat,
+                                          ins.consts[0]));
+        vars[ins.outputs[0]].bat = r;
+        break;
+      }
+      case OpCode::kSort: {
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "sort"));
+        MAMMOTH_ASSIGN_OR_RETURN(
+            algebra::SortResult s,
+            algebra::Sort(vars[ins.inputs[0]].bat, ins.flag));
+        vars[ins.outputs[0]].bat = s.sorted;
+        vars[ins.outputs[1]].bat = s.order;
+        break;
+      }
+      case OpCode::kTopN: {
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "firstn"));
+        MAMMOTH_ASSIGN_OR_RETURN(
+            BatPtr r,
+            algebra::TopN(vars[ins.inputs[0]].bat,
+                          static_cast<size_t>(ins.consts[0].AsInt()),
+                          ins.flag));
+        vars[ins.outputs[0]].bat = r;
+        break;
+      }
+      case OpCode::kDistinct: {
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "unique"));
+        MAMMOTH_ASSIGN_OR_RETURN(BatPtr r,
+                                 algebra::Distinct(vars[ins.inputs[0]].bat));
+        vars[ins.outputs[0]].bat = r;
+        break;
+      }
+      case OpCode::kResult: {
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "resultSet"));
+        result.names.push_back(ins.column);
+        result.columns.push_back(vars[ins.inputs[0]].bat);
+        break;
+      }
+    }
+
+    // Derived signatures + recycler insertion.
+    if (Recyclable(ins.op)) {
+      for (size_t o = 0; o < ins.outputs.size(); ++o) {
+        vars[ins.outputs[o]].sig = HashCombine(sig, o);
+      }
+      if (recycler_ != nullptr) {
+        std::vector<recycle::CachedVal> outs;
+        outs.reserve(ins.outputs.size());
+        for (int ov : ins.outputs) {
+          outs.push_back({vars[ov].bat, vars[ov].scalar});
+        }
+        recycler_->Insert(sig, std::move(outs), timer.ElapsedSeconds());
+        if (ins.op == OpCode::kRangeSelect && !ins.flag &&
+            ins.consts[0].is_numeric() && ins.consts[1].is_numeric()) {
+          const uint64_t range_base = HashCombine(
+              vars[ins.inputs[0]].sig, ins.inputs[1] < 0
+                                           ? uint64_t{0xfeed}
+                                           : vars[ins.inputs[1]].sig);
+          recycler_->RegisterRange(range_base, ins.consts[0].AsReal(),
+                                   ins.consts[1].AsReal(), sig);
+        }
+      }
+    }
+  }
+
+  local.seconds = total.ElapsedSeconds();
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+}  // namespace mammoth::mal

@@ -1,0 +1,54 @@
+#ifndef MAMMOTH_MAL_INTERPRETER_H_
+#define MAMMOTH_MAL_INTERPRETER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/catalog.h"
+#include "mal/program.h"
+#include "recycle/recycler.h"
+
+namespace mammoth::mal {
+
+/// Named result columns of a query (the "collection of BATs" a query
+/// evaluates to, §3).
+struct QueryResult {
+  std::vector<std::string> names;
+  std::vector<BatPtr> columns;
+
+  size_t RowCount() const {
+    return columns.empty() || columns[0] == nullptr ? 0
+                                                    : columns[0]->Count();
+  }
+  /// ASCII rendering for examples/debugging; truncates at `max_rows`.
+  std::string ToText(size_t max_rows = 20) const;
+};
+
+/// Per-run instrumentation.
+struct RunStats {
+  size_t instructions = 0;
+  size_t recycled = 0;  ///< instructions answered from the recycler
+  double seconds = 0;
+};
+
+/// The MAL interpreter (§3.1 third tier): walks the SSA instruction list,
+/// calling the optimized BAT kernels and materializing every intermediate.
+/// When a Recycler is attached, each pure instruction first consults the
+/// cache (exact signature, then range subsumption) before executing.
+class Interpreter {
+ public:
+  explicit Interpreter(Catalog* catalog,
+                       recycle::Recycler* recycler = nullptr)
+      : catalog_(catalog), recycler_(recycler) {}
+
+  Result<QueryResult> Run(const Program& program, RunStats* stats = nullptr);
+
+ private:
+  Catalog* catalog_;
+  recycle::Recycler* recycler_;
+};
+
+}  // namespace mammoth::mal
+
+#endif  // MAMMOTH_MAL_INTERPRETER_H_

@@ -1,0 +1,168 @@
+#include "mal/optimizer.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace mammoth::mal {
+
+size_t DeadCodeElimination(Program* p) {
+  auto& instrs = p->mutable_instrs();
+  std::set<int> live;
+  std::vector<bool> keep(instrs.size(), false);
+  for (size_t idx = instrs.size(); idx-- > 0;) {
+    const Instr& ins = instrs[idx];
+    bool needed = ins.op == OpCode::kResult;
+    if (!needed) {
+      for (int o : ins.outputs) {
+        if (live.count(o) > 0) {
+          needed = true;
+          break;
+        }
+      }
+    }
+    if (needed) {
+      keep[idx] = true;
+      for (int in : ins.inputs) {
+        if (in >= 0) live.insert(in);
+      }
+    }
+  }
+  size_t removed = 0;
+  std::vector<Instr> kept;
+  kept.reserve(instrs.size());
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    if (keep[i]) {
+      kept.push_back(std::move(instrs[i]));
+    } else {
+      ++removed;
+    }
+  }
+  instrs = std::move(kept);
+  return removed;
+}
+
+namespace {
+
+/// Exact (collision-free) textual key of an instruction's computation.
+std::string InstrKey(const Instr& ins) {
+  std::string key = std::to_string(static_cast<int>(ins.op));
+  key += '|';
+  key += ins.table;
+  key += '|';
+  key += ins.column;
+  key += '|';
+  for (int in : ins.inputs) {
+    key += std::to_string(in);
+    key += ',';
+  }
+  key += '|';
+  for (const Value& c : ins.consts) {
+    key += c.ToString();
+    key += ',';
+  }
+  key += '|';
+  key += std::to_string(static_cast<int>(ins.cmp));
+  key += '|';
+  key += std::to_string(static_cast<int>(ins.arith));
+  key += '|';
+  key += ins.flag ? '1' : '0';
+  return key;
+}
+
+}  // namespace
+
+size_t CommonSubexpressionElimination(Program* p) {
+  auto& instrs = p->mutable_instrs();
+  std::unordered_map<std::string, std::vector<int>> seen;  // key -> outputs
+  std::unordered_map<int, int> alias;  // var -> canonical var
+  size_t replaced = 0;
+
+  auto canon = [&](int v) {
+    auto it = alias.find(v);
+    return it == alias.end() ? v : it->second;
+  };
+
+  std::vector<Instr> out;
+  out.reserve(instrs.size());
+  for (Instr& ins : instrs) {
+    for (int& in : ins.inputs) {
+      if (in >= 0) in = canon(in);
+    }
+    // Binds depend on table state; they are pure within one program run, so
+    // they participate in CSE too (same table+column -> same BAT).
+    const std::string key = InstrKey(ins);
+    auto it = seen.find(key);
+    if (it != seen.end() && ins.op != OpCode::kResult) {
+      for (size_t o = 0; o < ins.outputs.size(); ++o) {
+        alias[ins.outputs[o]] = it->second[o];
+      }
+      ++replaced;
+      continue;  // drop the duplicate instruction
+    }
+    if (ins.op != OpCode::kResult) {
+      seen.emplace(key, ins.outputs);
+    }
+    out.push_back(std::move(ins));
+  }
+  instrs = std::move(out);
+  return replaced;
+}
+
+size_t SelectFusion(Program* p) {
+  auto& instrs = p->mutable_instrs();
+  // Map output var -> defining instruction index.
+  std::unordered_map<int, size_t> def;
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    for (int o : instrs[i].outputs) def[o] = i;
+  }
+  size_t fused = 0;
+  for (Instr& ins : instrs) {
+    if (ins.op != OpCode::kThetaSelect) continue;
+    if (ins.cmp != CmpOp::kLe && ins.cmp != CmpOp::kGe) continue;
+    if (ins.inputs[1] < 0) continue;
+    auto dit = def.find(ins.inputs[1]);
+    if (dit == def.end()) continue;
+    const Instr& first = instrs[dit->second];
+    if (first.op != OpCode::kThetaSelect) continue;
+    if (first.inputs[0] != ins.inputs[0]) continue;  // different column
+    const bool lo_then_hi =
+        first.cmp == CmpOp::kGe && ins.cmp == CmpOp::kLe;
+    const bool hi_then_lo =
+        first.cmp == CmpOp::kLe && ins.cmp == CmpOp::kGe;
+    if (!lo_then_hi && !hi_then_lo) continue;
+    const Value lo = lo_then_hi ? first.consts[0] : ins.consts[0];
+    const Value hi = lo_then_hi ? ins.consts[0] : first.consts[0];
+    // Rewrite the second select into one range select over the first's
+    // candidates; DCE removes the first when it has no other consumer.
+    ins.op = OpCode::kRangeSelect;
+    ins.inputs = {ins.inputs[0], first.inputs[1]};
+    ins.consts = {lo, hi};
+    ins.flag = false;
+    ++fused;
+  }
+  return fused;
+}
+
+std::string PipelineReport::ToString() const {
+  return "optimizer: fused=" + std::to_string(fused) +
+         " cse=" + std::to_string(cse) + " dce=" + std::to_string(dce) +
+         " rounds=" + std::to_string(rounds);
+}
+
+PipelineReport OptimizePipeline(Program* p, size_t max_rounds) {
+  PipelineReport report;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    const size_t fused = SelectFusion(p);
+    const size_t cse = CommonSubexpressionElimination(p);
+    const size_t dce = DeadCodeElimination(p);
+    report.fused += fused;
+    report.cse += cse;
+    report.dce += dce;
+    report.rounds = round + 1;
+    if (fused + cse + dce == 0) break;
+  }
+  return report;
+}
+
+}  // namespace mammoth::mal

@@ -1,0 +1,41 @@
+#ifndef MAMMOTH_MAL_OPTIMIZER_H_
+#define MAMMOTH_MAL_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "mal/program.h"
+
+namespace mammoth::mal {
+
+/// The optimizer tier of §3.1: "a collection of optimizer modules ...
+/// assembled into optimization pipelines", transforming MAL programs into
+/// more efficient ones. Each pass is symbolic and independent — the
+/// explicit break with one-big-cost-formula optimizers the paper describes.
+
+/// Removes instructions none of whose outputs reach a Result sink.
+/// Returns the number of instructions removed.
+size_t DeadCodeElimination(Program* p);
+
+/// Replaces instructions whose (op, inputs, consts) match an earlier one
+/// with aliases of the earlier outputs. Returns replacements made.
+size_t CommonSubexpressionElimination(Program* p);
+
+/// Fuses a pair of theta-selects (>= lo as candidates into <= hi, in either
+/// order) over the same column into one RangeSelect. Returns fusions made.
+size_t SelectFusion(Program* p);
+
+/// A named pass pipeline, applied in order until fixpoint (at most
+/// `max_rounds`). The default pipeline runs fusion, CSE, then DCE.
+struct PipelineReport {
+  size_t fused = 0;
+  size_t cse = 0;
+  size_t dce = 0;
+  size_t rounds = 0;
+  std::string ToString() const;
+};
+PipelineReport OptimizePipeline(Program* p, size_t max_rounds = 4);
+
+}  // namespace mammoth::mal
+
+#endif  // MAMMOTH_MAL_OPTIMIZER_H_

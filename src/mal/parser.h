@@ -1,0 +1,24 @@
+#ifndef MAMMOTH_MAL_PARSER_H_
+#define MAMMOTH_MAL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "mal/program.h"
+
+namespace mammoth::mal {
+
+/// Parses the textual MAL listing produced by Program::ToString() back into
+/// a Program (MAL *is* a language — Figure 1's front-ends emit exactly this
+/// form). Round-trip guarantee: Parse(p.ToString()) is structurally equal
+/// to p for every valid program.
+///
+/// Accepted line shape:
+///   [(vN[, vN...]) := ] module.op(arg [, arg...]);
+/// with args being vN variables, `nil`, integer/real literals, "strings",
+/// comparison/arithmetic operator tokens, and the `desc`/`anti` flags.
+Result<Program> ParseMal(const std::string& text);
+
+}  // namespace mammoth::mal
+
+#endif  // MAMMOTH_MAL_PARSER_H_

@@ -1,0 +1,103 @@
+#include "net/datacyclotron.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mammoth::net {
+
+std::string RingStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "makespan=%.4fs throughput=%.0f q/s latency=%.2fms "
+                "wait=%.2fms cpu=%.0f%%",
+                makespan, throughput, avg_latency * 1e3, avg_wait * 1e3,
+                cpu_utilization * 100);
+  return buf;
+}
+
+namespace {
+
+struct Arrival {
+  double time;
+  size_t node;
+  size_t partition;
+};
+
+std::vector<Arrival> GenerateArrivals(const RingConfig& c) {
+  Rng rng(c.seed);
+  std::vector<Arrival> out;
+  out.reserve(c.num_queries);
+  double t = 0;
+  for (size_t i = 0; i < c.num_queries; ++i) {
+    // Exponential inter-arrival times (Poisson process).
+    const double u = std::max(rng.NextDouble(), 1e-12);
+    t += -std::log(u) / c.arrival_rate;
+    out.push_back({t, rng.Uniform(c.nodes), rng.Uniform(c.partitions)});
+  }
+  return out;
+}
+
+RingStats Summarize(const std::vector<Arrival>& arrivals,
+                    const std::vector<double>& completion, size_t nodes,
+                    double process_seconds) {
+  RingStats s;
+  double total_latency = 0;
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    s.makespan = std::max(s.makespan, completion[i]);
+    total_latency += completion[i] - arrivals[i].time;
+  }
+  const double n = static_cast<double>(arrivals.size());
+  s.throughput = s.makespan > 0 ? n / s.makespan : 0;
+  s.avg_latency = total_latency / n;
+  s.avg_wait = s.avg_latency - process_seconds;
+  s.cpu_utilization =
+      s.makespan > 0
+          ? n * process_seconds / (static_cast<double>(nodes) * s.makespan)
+          : 0;
+  return s;
+}
+
+}  // namespace
+
+RingStats SimulateRing(const RingConfig& config) {
+  const std::vector<Arrival> arrivals = GenerateArrivals(config);
+  std::vector<double> cpu_free(config.nodes, 0.0);
+  std::vector<double> completion(arrivals.size(), 0.0);
+  const double hop = config.EffectiveHopSeconds();
+  const size_t n = config.nodes;
+
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    const Arrival& a = arrivals[i];
+    // Earliest instant this query could run: data must be resident AND the
+    // node's CPU free.
+    const double ready = std::max(a.time, cpu_free[a.node]);
+    // Partition p is at node (p + k) mod n during [k*hop, (k+1)*hop).
+    const uint64_t k0 = static_cast<uint64_t>(ready / hop);
+    const uint64_t need =
+        (a.node + n - (a.partition + k0) % n) % n;  // laps to wait
+    const uint64_t k = k0 + need;
+    const double start = need == 0 ? ready : static_cast<double>(k) * hop;
+    completion[i] = start + config.process_seconds;
+    cpu_free[a.node] = completion[i];
+  }
+  return Summarize(arrivals, completion, config.nodes,
+                   config.process_seconds);
+}
+
+RingStats SimulateCentralized(const RingConfig& config) {
+  const std::vector<Arrival> arrivals = GenerateArrivals(config);
+  std::vector<double> completion(arrivals.size(), 0.0);
+  double cpu_free = 0;
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    const double start = std::max(arrivals[i].time, cpu_free);
+    completion[i] = start + config.process_seconds;
+    cpu_free = completion[i];
+  }
+  return Summarize(arrivals, completion, 1, config.process_seconds);
+}
+
+}  // namespace mammoth::net

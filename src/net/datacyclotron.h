@@ -1,0 +1,64 @@
+#ifndef MAMMOTH_NET_DATACYCLOTRON_H_
+#define MAMMOTH_NET_DATACYCLOTRON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace mammoth::net {
+
+/// DataCyclotron simulation (§6.2, [13]): the database hot-set floats
+/// around a ring of nodes via RDMA-style transfers that bypass the CPU.
+/// A query waits at its node until the partition it needs passes by, then
+/// processes it locally.
+///
+/// Substitution note (DESIGN.md §3): we have no RDMA cluster, so the ring
+/// is a discrete-event simulation. Partition motion is deterministic
+/// (partition p sits at node (p + floor(t/hop)) mod N for hop time `hop`),
+/// which models CPU-bypassing forwarding: movement consumes *no* node CPU.
+struct RingConfig {
+  size_t nodes = 4;
+  size_t partitions = 16;       ///< hot-set partitions circling the ring
+  double hop_seconds = 0.0005;  ///< per-hop RDMA latency component
+  double process_seconds = 0.002;  ///< CPU time per query
+  size_t num_queries = 1000;
+  double arrival_rate = 10000;  ///< queries/second entering the system
+  uint64_t seed = 42;
+
+  /// Bandwidth model: every hop, each link forwards its node's share of the
+  /// hot set (partitions/nodes x partition_bytes). 0 bandwidth disables the
+  /// term (hop time = hop_seconds).
+  double partition_bytes = 1 << 20;
+  double link_bytes_per_second = 10e9 / 8;  ///< 10 Gbit RDMA NIC
+
+  /// Effective time of one ring step given latency + transfer volume.
+  double EffectiveHopSeconds() const {
+    if (link_bytes_per_second <= 0) return hop_seconds;
+    const double share = partition_bytes *
+                         (static_cast<double>(partitions) /
+                          static_cast<double>(nodes));
+    return hop_seconds + share / link_bytes_per_second;
+  }
+};
+
+struct RingStats {
+  double makespan = 0;        ///< completion time of the last query
+  double throughput = 0;      ///< queries per second (num/makespan)
+  double avg_latency = 0;     ///< arrival -> completion
+  double avg_wait = 0;        ///< time spent waiting for data + CPU
+  double cpu_utilization = 0; ///< busy time / (nodes * makespan)
+
+  std::string ToString() const;
+};
+
+/// Runs the ring simulation. Queries arrive Poisson at random nodes, each
+/// needing one uniformly random hot-set partition.
+RingStats SimulateRing(const RingConfig& config);
+
+/// Baseline: one server owns all data; queries queue for its single CPU.
+RingStats SimulateCentralized(const RingConfig& config);
+
+}  // namespace mammoth::net
+
+#endif  // MAMMOTH_NET_DATACYCLOTRON_H_

@@ -1,0 +1,205 @@
+#include "scan/cooperative.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+namespace mammoth::scan {
+
+std::string ScanStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "loads=%zu io=%.3fs makespan=%.3fs latency=%.3fs",
+                chunk_loads, io_seconds, makespan, avg_latency);
+  return buf;
+}
+
+namespace {
+
+struct QueryState {
+  const ScanQuery* q;
+  std::vector<bool> delivered;  // indexed by chunk - first_chunk
+  size_t remaining = 0;
+  double completion = 0;
+  bool active = false;
+  bool done = false;
+
+  explicit QueryState(const ScanQuery* query) : q(query) {
+    remaining = query->last_chunk - query->first_chunk + 1;
+    delivered.assign(remaining, false);
+  }
+
+  bool Needs(size_t chunk) const {
+    return !done && chunk >= q->first_chunk && chunk <= q->last_chunk &&
+           !delivered[chunk - q->first_chunk];
+  }
+
+  void Deliver(size_t chunk, double now) {
+    delivered[chunk - q->first_chunk] = true;
+    if (--remaining == 0) {
+      done = true;
+      // CPU overlaps I/O of other chunks; it binds only when it exceeds
+      // the total I/O span the query observed.
+      const double total_cpu =
+          q->process_seconds_per_chunk *
+          static_cast<double>(delivered.size());
+      completion = std::max(now, q->arrival_time + total_cpu);
+    }
+  }
+};
+
+/// Simple LRU set of resident chunks.
+class ChunkBuffer {
+ public:
+  explicit ChunkBuffer(size_t capacity) : capacity_(capacity) {}
+
+  bool Contains(size_t chunk) const {
+    return std::find(lru_.begin(), lru_.end(), chunk) != lru_.end();
+  }
+
+  void Touch(size_t chunk) {
+    auto it = std::find(lru_.begin(), lru_.end(), chunk);
+    if (it != lru_.end()) lru_.erase(it);
+    lru_.push_back(chunk);
+    if (lru_.size() > capacity_) lru_.pop_front();
+  }
+
+ private:
+  size_t capacity_;
+  std::deque<size_t> lru_;
+};
+
+ScanStats Summarize(const std::vector<QueryState>& states, size_t loads,
+                    double load_cost) {
+  ScanStats s;
+  s.chunk_loads = loads;
+  s.io_seconds = static_cast<double>(loads) * load_cost;
+  double total_latency = 0;
+  for (const QueryState& st : states) {
+    s.makespan = std::max(s.makespan, st.completion);
+    total_latency += st.completion - st.q->arrival_time;
+  }
+  s.avg_latency =
+      states.empty() ? 0 : total_latency / static_cast<double>(states.size());
+  return s;
+}
+
+}  // namespace
+
+ScanStats RunCooperative(const ScanConfig& config,
+                         const std::vector<ScanQuery>& queries) {
+  std::vector<QueryState> states;
+  states.reserve(queries.size());
+  for (const ScanQuery& q : queries) states.emplace_back(&q);
+  ChunkBuffer buffer(config.buffer_chunks);
+
+  double now = 0;
+  size_t loads = 0;
+  size_t done_count = 0;
+  while (done_count < states.size()) {
+    // Activate arrivals; serve buffered chunks to them for free.
+    bool any_active = false;
+    double next_arrival = -1;
+    for (QueryState& st : states) {
+      if (st.done) continue;
+      if (st.q->arrival_time <= now) {
+        st.active = true;
+        any_active = true;
+      } else if (next_arrival < 0 || st.q->arrival_time < next_arrival) {
+        next_arrival = st.q->arrival_time;
+      }
+    }
+    if (!any_active) {
+      now = next_arrival;
+      continue;
+    }
+
+    // Relevance: the chunk needed by the most active queries.
+    size_t best_chunk = config.total_chunks;
+    size_t best_relevance = 0;
+    for (size_t c = 0; c < config.total_chunks; ++c) {
+      size_t relevance = 0;
+      for (const QueryState& st : states) {
+        if (st.active && st.Needs(c)) ++relevance;
+      }
+      // Buffered chunks are free: deliver them immediately below.
+      if (relevance > 0 && buffer.Contains(c)) {
+        for (QueryState& st : states) {
+          if (st.active && st.Needs(c)) {
+            st.Deliver(c, now);
+            if (st.done) ++done_count;
+          }
+        }
+        continue;
+      }
+      if (relevance > best_relevance) {
+        best_relevance = relevance;
+        best_chunk = c;
+      }
+    }
+    if (best_chunk == config.total_chunks) continue;  // all served from buffer
+
+    now += config.chunk_load_seconds;
+    ++loads;
+    buffer.Touch(best_chunk);
+    for (QueryState& st : states) {
+      if (st.active && st.Needs(best_chunk)) {
+        st.Deliver(best_chunk, now);
+        if (st.done) ++done_count;
+      }
+    }
+  }
+  return Summarize(states, loads, config.chunk_load_seconds);
+}
+
+ScanStats RunIndependent(const ScanConfig& config,
+                         const std::vector<ScanQuery>& queries) {
+  std::vector<QueryState> states;
+  states.reserve(queries.size());
+  for (const ScanQuery& q : queries) states.emplace_back(&q);
+  std::vector<size_t> cursor(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    cursor[i] = queries[i].first_chunk;
+  }
+  ChunkBuffer buffer(config.buffer_chunks);
+
+  double now = 0;
+  size_t loads = 0;
+  size_t done_count = 0;
+  size_t rr = 0;  // round-robin pointer
+  while (done_count < states.size()) {
+    // Find the next active query in round-robin order.
+    size_t picked = states.size();
+    double next_arrival = -1;
+    for (size_t step = 0; step < states.size(); ++step) {
+      const size_t i = (rr + step) % states.size();
+      if (states[i].done) continue;
+      if (states[i].q->arrival_time <= now) {
+        picked = i;
+        break;
+      }
+      if (next_arrival < 0 || states[i].q->arrival_time < next_arrival) {
+        next_arrival = states[i].q->arrival_time;
+      }
+    }
+    if (picked == states.size()) {
+      now = next_arrival;
+      continue;
+    }
+    rr = picked + 1;
+
+    QueryState& st = states[picked];
+    const size_t chunk = cursor[picked]++;
+    if (!buffer.Contains(chunk)) {
+      now += config.chunk_load_seconds;
+      ++loads;
+    }
+    buffer.Touch(chunk);
+    st.Deliver(chunk, now);
+    if (st.done) ++done_count;
+  }
+  return Summarize(states, loads, config.chunk_load_seconds);
+}
+
+}  // namespace mammoth::scan

@@ -1,0 +1,24 @@
+#include "sql/ast.h"
+
+namespace mammoth::sql {
+
+std::string SelectItem::Label() const {
+  const std::string name = column.ToString();
+  switch (agg) {
+    case AggFn::kNone:
+      return star ? "*" : name;
+    case AggFn::kSum:
+      return "sum(" + name + ")";
+    case AggFn::kCount:
+      return column.empty() ? "count(*)" : "count(" + name + ")";
+    case AggFn::kMin:
+      return "min(" + name + ")";
+    case AggFn::kMax:
+      return "max(" + name + ")";
+    case AggFn::kAvg:
+      return "avg(" + name + ")";
+  }
+  return name;
+}
+
+}  // namespace mammoth::sql

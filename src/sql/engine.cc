@@ -1,0 +1,475 @@
+#include "sql/engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/project.h"
+#include "core/select.h"
+#include "core/sort.h"
+#include "sql/parser.h"
+
+namespace mammoth::sql {
+
+namespace {
+
+mal::OpCode AggOpCode(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+      return mal::OpCode::kAggrSum;
+    case AggFn::kCount:
+      return mal::OpCode::kAggrCount;
+    case AggFn::kMin:
+      return mal::OpCode::kAggrMin;
+    case AggFn::kMax:
+      return mal::OpCode::kAggrMax;
+    case AggFn::kAvg:
+      return mal::OpCode::kAggrAvg;
+    case AggFn::kNone:
+      break;
+  }
+  return mal::OpCode::kAggrCount;
+}
+
+}  // namespace
+
+Result<mal::Program> Engine::Compile(const SelectStmt& stmt) const {
+  if (stmt.tables.empty() || stmt.tables.size() > 2) {
+    return Status::Unimplemented("FROM supports one or two tables");
+  }
+  std::vector<TablePtr> tables;
+  for (const std::string& name : stmt.tables) {
+    MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(name));
+    tables.push_back(std::move(t));
+  }
+  const bool is_join_query = tables.size() == 2;
+
+  // Resolves a (possibly qualified) column reference to (table idx, name).
+  struct Resolved {
+    size_t table;
+    std::string column;
+    bool operator==(const Resolved&) const = default;
+  };
+  auto resolve = [&](const ColumnRef& ref) -> Result<Resolved> {
+    if (!ref.table.empty()) {
+      for (size_t t = 0; t < tables.size(); ++t) {
+        if (stmt.tables[t] == ref.table) {
+          MAMMOTH_RETURN_IF_ERROR(
+              tables[t]->ColumnIndex(ref.column).status());
+          return Resolved{t, ref.column};
+        }
+      }
+      return Status::NotFound("table " + ref.table + " not in FROM");
+    }
+    size_t found = tables.size();
+    for (size_t t = 0; t < tables.size(); ++t) {
+      if (tables[t]->ColumnIndex(ref.column).ok()) {
+        if (found != tables.size()) {
+          return Status::InvalidArgument("ambiguous column " + ref.column);
+        }
+        found = t;
+      }
+    }
+    if (found == tables.size()) {
+      return Status::NotFound("no column named " + ref.column);
+    }
+    return Resolved{found, ref.column};
+  };
+
+  // Expand SELECT * and validate shape.
+  std::vector<SelectItem> items;
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (size_t t = 0; t < tables.size(); ++t) {
+        for (const ColumnDef& def : tables[t]->schema()) {
+          SelectItem col;
+          col.column.column = def.name;
+          if (is_join_query) col.column.table = stmt.tables[t];
+          items.push_back(std::move(col));
+        }
+      }
+    } else {
+      items.push_back(item);
+    }
+  }
+  bool has_agg = false, has_plain = false;
+  for (const SelectItem& item : items) {
+    (item.agg == AggFn::kNone ? has_plain : has_agg) = true;
+    if (!item.column.empty()) {
+      MAMMOTH_RETURN_IF_ERROR(resolve(item.column).status());
+    }
+  }
+  if (has_agg && has_plain && stmt.group_by.empty()) {
+    return Status::InvalidArgument(
+        "mixing aggregates and plain columns needs GROUP BY");
+  }
+  std::vector<Resolved> group_cols;
+  for (const ColumnRef& g : stmt.group_by) {
+    MAMMOTH_ASSIGN_OR_RETURN(Resolved r, resolve(g));
+    group_cols.push_back(std::move(r));
+  }
+  if (!group_cols.empty()) {
+    for (const SelectItem& item : items) {
+      if (item.agg != AggFn::kNone) continue;
+      MAMMOTH_ASSIGN_OR_RETURN(Resolved r, resolve(item.column));
+      if (std::find(group_cols.begin(), group_cols.end(), r) ==
+          group_cols.end()) {
+        return Status::InvalidArgument("column " + item.column.ToString() +
+                                       " not in GROUP BY");
+      }
+    }
+  }
+
+  // Split WHERE into per-table filters and the join condition.
+  std::vector<std::vector<const Predicate*>> local(tables.size());
+  const Predicate* join_pred = nullptr;
+  Resolved join_lhs{0, ""}, join_rhs{0, ""};
+  for (const Predicate& p : stmt.where) {
+    if (p.is_join) {
+      MAMMOTH_ASSIGN_OR_RETURN(Resolved lhs, resolve(p.column));
+      MAMMOTH_ASSIGN_OR_RETURN(Resolved rhs, resolve(p.rhs_column));
+      if (!is_join_query || lhs.table == rhs.table) {
+        return Status::Unimplemented(
+            "join predicate must connect the two FROM tables");
+      }
+      if (join_pred != nullptr) {
+        return Status::Unimplemented("only one join predicate supported");
+      }
+      join_pred = &p;
+      // Normalize: lhs on table 0.
+      if (lhs.table == 0) {
+        join_lhs = lhs;
+        join_rhs = rhs;
+      } else {
+        join_lhs = rhs;
+        join_rhs = lhs;
+      }
+    } else {
+      MAMMOTH_ASSIGN_OR_RETURN(Resolved r, resolve(p.column));
+      local[r.table].push_back(&p);
+    }
+  }
+  if (is_join_query && join_pred == nullptr) {
+    return Status::Unimplemented(
+        "two-table queries need an equi-join predicate (no cross products)");
+  }
+
+  mal::Program prog;
+  std::map<std::pair<size_t, std::string>, int> bound, projected, joined;
+  auto bind = [&](size_t t, const std::string& col) {
+    auto key = std::make_pair(t, col);
+    auto it = bound.find(key);
+    if (it != bound.end()) return it->second;
+    const int v = prog.Bind(stmt.tables[t], col);
+    bound.emplace(key, v);
+    return v;
+  };
+
+  // Per-table WHERE: a chain of theta-selects over the shrinking candidate
+  // list — the column-at-a-time evaluation of a conjunction (§3), pushed
+  // below the join. The optimizer's SelectFusion collapses >=/<= pairs.
+  std::vector<int> cands(tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    cands[t] = prog.BindCandidates(stmt.tables[t]);
+    for (const Predicate* p : local[t]) {
+      MAMMOTH_ASSIGN_OR_RETURN(Resolved r, resolve(p->column));
+      cands[t] = prog.ThetaSelect(bind(t, r.column), cands[t], p->literal,
+                                  p->op);
+    }
+  }
+
+  // The pre-join projection of a column: values of the selected rows.
+  auto project_local = [&](size_t t, const std::string& col) {
+    auto key = std::make_pair(t, col);
+    auto it = projected.find(key);
+    if (it != projected.end()) return it->second;
+    const int v = prog.Project(cands[t], bind(t, col));
+    projected.emplace(key, v);
+    return v;
+  };
+
+  // Join: build the join index over the filtered key columns, then map
+  // every later column fetch through it (§4.3's join-index + projection).
+  int jl = -1, jr = -1;
+  if (is_join_query) {
+    const int lkey = project_local(0, join_lhs.column);
+    const int rkey = project_local(1, join_rhs.column);
+    std::tie(jl, jr) = prog.Join(lkey, rkey);
+  }
+
+  // The post-join image of a column, aligned with the join result.
+  auto project_value = [&](const Resolved& r) {
+    if (!is_join_query) return project_local(r.table, r.column);
+    auto key = std::make_pair(r.table, r.column);
+    auto it = joined.find(key);
+    if (it != joined.end()) return it->second;
+    const int base = project_local(r.table, r.column);
+    const int v = prog.Project(r.table == 0 ? jl : jr, base);
+    joined.emplace(key, v);
+    return v;
+  };
+  // Variable whose count equals the output row count (for COUNT(*)).
+  const int rows_var = is_join_query ? jl : cands[0];
+
+  if (!group_cols.empty()) {
+    int groups = -1, extents = -1, ngroups = -1;
+    for (const Resolved& g : group_cols) {
+      std::tie(groups, extents, ngroups) =
+          prog.Group(project_value(g), groups, ngroups);
+    }
+    for (const SelectItem& item : items) {
+      if (item.agg == AggFn::kNone) {
+        MAMMOTH_ASSIGN_OR_RETURN(Resolved r, resolve(item.column));
+        prog.Result(prog.Project(extents, project_value(r)), item.Label());
+      } else if (item.agg == AggFn::kCount && item.column.empty()) {
+        prog.Result(
+            prog.Aggr(mal::OpCode::kAggrCount, groups, groups, ngroups),
+            item.Label());
+      } else {
+        MAMMOTH_ASSIGN_OR_RETURN(Resolved r, resolve(item.column));
+        prog.Result(prog.Aggr(AggOpCode(item.agg), project_value(r), groups,
+                              ngroups),
+                    item.Label());
+      }
+    }
+  } else if (has_agg) {
+    for (const SelectItem& item : items) {
+      if (item.agg == AggFn::kCount && item.column.empty()) {
+        prog.Result(prog.Aggr(mal::OpCode::kAggrCount, rows_var, -1, -1),
+                    item.Label());
+      } else {
+        MAMMOTH_ASSIGN_OR_RETURN(Resolved r, resolve(item.column));
+        prog.Result(
+            prog.Aggr(AggOpCode(item.agg), project_value(r), -1, -1),
+            item.Label());
+      }
+    }
+  } else {
+    for (const SelectItem& item : items) {
+      MAMMOTH_ASSIGN_OR_RETURN(Resolved r, resolve(item.column));
+      prog.Result(project_value(r), item.Label());
+    }
+  }
+  return prog;
+}
+
+Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt) {
+  MAMMOTH_ASSIGN_OR_RETURN(mal::Program prog, Compile(stmt));
+  if (optimize_) {
+    last_opt_ = mal::OptimizePipeline(&prog);
+  } else {
+    last_opt_ = mal::PipelineReport{};
+  }
+  last_plan_ = prog.ToString();
+  mal::Interpreter interp(catalog_.get(), recycler_);
+  MAMMOTH_ASSIGN_OR_RETURN(mal::QueryResult result,
+                           interp.Run(prog, &last_stats_));
+
+  auto find_label = [&](const std::string& label) -> Result<size_t> {
+    for (size_t i = 0; i < result.names.size(); ++i) {
+      if (result.names[i] == label) return i;
+    }
+    return Status::InvalidArgument("column " + label +
+                                   " is not in the select list");
+  };
+
+  // HAVING: post-aggregation filtering, evaluated with the same select
+  // kernels over the materialized result columns.
+  if (!stmt.having.empty()) {
+    BatPtr cands;  // null = all result rows
+    for (const HavingPred& h : stmt.having) {
+      MAMMOTH_ASSIGN_OR_RETURN(size_t idx, find_label(h.label));
+      MAMMOTH_ASSIGN_OR_RETURN(
+          cands, algebra::ThetaSelect(result.columns[idx], cands, h.literal,
+                                      h.op));
+    }
+    for (BatPtr& col : result.columns) {
+      MAMMOTH_ASSIGN_OR_RETURN(col, algebra::Project(cands, col));
+    }
+  }
+
+  // ORDER BY: lexicographic re-ordering via chained *stable* sorts, minor
+  // key first.
+  for (auto it = stmt.order_by.rbegin(); it != stmt.order_by.rend(); ++it) {
+    MAMMOTH_ASSIGN_OR_RETURN(size_t key, find_label(it->label));
+    MAMMOTH_ASSIGN_OR_RETURN(algebra::SortResult s,
+                             algebra::Sort(result.columns[key], it->desc));
+    for (size_t i = 0; i < result.columns.size(); ++i) {
+      if (i == key) {
+        result.columns[i] = s.sorted;
+      } else {
+        MAMMOTH_ASSIGN_OR_RETURN(
+            result.columns[i],
+            algebra::Project(s.order, result.columns[i]));
+      }
+    }
+  }
+  // LIMIT: positional slice — O(k) thanks to the dense-head design.
+  if (stmt.limit >= 0 &&
+      static_cast<size_t>(stmt.limit) < result.RowCount()) {
+    const BatPtr slice =
+        Bat::NewDense(0, static_cast<size_t>(stmt.limit));
+    for (BatPtr& col : result.columns) {
+      MAMMOTH_ASSIGN_OR_RETURN(col, algebra::Project(slice, col));
+    }
+  }
+  return result;
+}
+
+Status Engine::RunCreate(const CreateStmt& stmt) {
+  MAMMOTH_ASSIGN_OR_RETURN(TablePtr t,
+                           Table::Create(stmt.table, stmt.columns));
+  return catalog_->Register(std::move(t));
+}
+
+Status Engine::RunInsert(const InsertStmt& stmt) {
+  MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(stmt.table));
+  for (const std::vector<Value>& row : stmt.rows) {
+    MAMMOTH_RETURN_IF_ERROR(t->Insert(row));
+  }
+  return Status::OK();
+}
+
+Status Engine::RunDelete(const DeleteStmt& stmt) {
+  MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(stmt.table));
+  if (stmt.where.empty()) {
+    BatPtr all = t->LiveCandidates();
+    return t->Delete(all);
+  }
+  // Evaluate the predicate with the select machinery: the qualifying
+  // candidate list *is* the deletion list.
+  mal::Program prog;
+  int cands = prog.BindCandidates(stmt.table);
+  for (const Predicate& p : stmt.where) {
+    if (p.is_join) {
+      return Status::InvalidArgument("DELETE predicates must be literal");
+    }
+    if (!p.column.table.empty() && p.column.table != stmt.table) {
+      return Status::NotFound("table " + p.column.table + " not in DELETE");
+    }
+    MAMMOTH_RETURN_IF_ERROR(t->ColumnIndex(p.column.column).status());
+    const int col = prog.Bind(stmt.table, p.column.column);
+    cands = prog.ThetaSelect(col, cands, p.literal, p.op);
+  }
+  prog.Result(cands, "oids");
+  mal::Interpreter interp(catalog_.get(), nullptr);
+  MAMMOTH_ASSIGN_OR_RETURN(mal::QueryResult r, interp.Run(prog, nullptr));
+  return t->Delete(r.columns[0]);
+}
+
+Status Engine::RunUpdate(const UpdateStmt& stmt) {
+  MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(stmt.table));
+  // Resolve SET targets and validate value kinds.
+  std::vector<std::pair<size_t, Value>> sets;
+  for (const auto& [col, value] : stmt.sets) {
+    MAMMOTH_ASSIGN_OR_RETURN(size_t idx, t->ColumnIndex(col));
+    const bool is_str_col = t->schema()[idx].type == PhysType::kStr;
+    if (is_str_col != value.is_str()) {
+      return Status::TypeMismatch("UPDATE " + col + ": value kind mismatch");
+    }
+    sets.emplace_back(idx, value);
+  }
+
+  // Qualifying rows: the same candidate machinery as DELETE.
+  BatPtr oids;
+  if (stmt.where.empty()) {
+    oids = t->LiveCandidates();
+  } else {
+    mal::Program prog;
+    int cands = prog.BindCandidates(stmt.table);
+    for (const Predicate& p : stmt.where) {
+      if (p.is_join) {
+        return Status::InvalidArgument("UPDATE predicates must be literal");
+      }
+      MAMMOTH_RETURN_IF_ERROR(t->ColumnIndex(p.column.column).status());
+      const int col = prog.Bind(stmt.table, p.column.column);
+      cands = prog.ThetaSelect(col, cands, p.literal, p.op);
+    }
+    prog.Result(cands, "oids");
+    mal::Interpreter interp(catalog_.get(), nullptr);
+    MAMMOTH_ASSIGN_OR_RETURN(mal::QueryResult r, interp.Run(prog, nullptr));
+    oids = r.columns[0];
+  }
+  if (oids->Count() == 0) return Status::OK();
+
+  // MonetDB-style update: re-insert the modified image, delete the old
+  // rows (both through the delta BATs).
+  std::vector<BatPtr> columns;
+  for (size_t c = 0; c < t->NumColumns(); ++c) {
+    MAMMOTH_ASSIGN_OR_RETURN(BatPtr col, t->ScanColumn(c));
+    columns.push_back(std::move(col));
+  }
+  for (size_t i = 0; i < oids->Count(); ++i) {
+    const size_t row = static_cast<size_t>(oids->OidAt(i));
+    std::vector<Value> new_row(t->NumColumns());
+    for (size_t c = 0; c < t->NumColumns(); ++c) {
+      const Bat& col = *columns[c];
+      switch (col.type()) {
+        case PhysType::kStr:
+          new_row[c] = Value::Str(std::string(col.StringAt(row)));
+          break;
+        case PhysType::kDouble:
+          new_row[c] = Value::Real(col.ValueAt<double>(row));
+          break;
+        case PhysType::kFloat:
+          new_row[c] = Value::Real(col.ValueAt<float>(row));
+          break;
+        case PhysType::kInt64:
+          new_row[c] = Value::Int(col.ValueAt<int64_t>(row));
+          break;
+        case PhysType::kOid:
+          new_row[c] = Value::Int(static_cast<int64_t>(col.OidAt(row)));
+          break;
+        case PhysType::kInt32:
+          new_row[c] = Value::Int(col.ValueAt<int32_t>(row));
+          break;
+        case PhysType::kInt16:
+          new_row[c] = Value::Int(col.ValueAt<int16_t>(row));
+          break;
+        case PhysType::kBool:
+        case PhysType::kInt8:
+          new_row[c] = Value::Int(col.ValueAt<int8_t>(row));
+          break;
+      }
+    }
+    for (const auto& [idx, value] : sets) new_row[idx] = value;
+    MAMMOTH_RETURN_IF_ERROR(t->Insert(new_row));
+  }
+  return t->Delete(oids);
+}
+
+Result<mal::QueryResult> Engine::Execute(const std::string& statement) {
+  MAMMOTH_ASSIGN_OR_RETURN(Statement stmt, Parse(statement));
+  if (auto* sel = std::get_if<SelectStmt>(&stmt)) return RunSelect(*sel);
+  if (auto* cre = std::get_if<CreateStmt>(&stmt)) {
+    MAMMOTH_RETURN_IF_ERROR(RunCreate(*cre));
+    return mal::QueryResult{};
+  }
+  if (auto* ins = std::get_if<InsertStmt>(&stmt)) {
+    MAMMOTH_RETURN_IF_ERROR(RunInsert(*ins));
+    return mal::QueryResult{};
+  }
+  if (auto* upd = std::get_if<UpdateStmt>(&stmt)) {
+    MAMMOTH_RETURN_IF_ERROR(RunUpdate(*upd));
+    return mal::QueryResult{};
+  }
+  MAMMOTH_RETURN_IF_ERROR(RunDelete(std::get<DeleteStmt>(stmt)));
+  return mal::QueryResult{};
+}
+
+Result<mal::QueryResult> Engine::ExecuteScript(const std::string& script) {
+  mal::QueryResult last;
+  size_t start = 0;
+  while (start < script.size()) {
+    size_t end = script.find(';', start);
+    if (end == std::string::npos) end = script.size();
+    std::string stmt = script.substr(start, end - start);
+    start = end + 1;
+    // Skip empty fragments (whitespace between statements).
+    if (stmt.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    MAMMOTH_ASSIGN_OR_RETURN(mal::QueryResult r, Execute(stmt));
+    if (!r.names.empty()) last = std::move(r);
+  }
+  return last;
+}
+
+}  // namespace mammoth::sql

@@ -1,0 +1,65 @@
+#ifndef MAMMOTH_SQL_ENGINE_H_
+#define MAMMOTH_SQL_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/catalog.h"
+#include "mal/interpreter.h"
+#include "mal/optimizer.h"
+#include "mal/program.h"
+#include "recycle/recycler.h"
+#include "sql/ast.h"
+
+namespace mammoth::sql {
+
+/// The SQL front-end of Figure 1: parses mini-SQL, compiles SELECTs into
+/// MAL programs over the columnar back-end, runs the optimizer pipeline,
+/// and interprets the result. DDL/DML statements act on the catalog
+/// directly (INSERT/DELETE drive the delta machinery of core/table.h).
+class Engine {
+ public:
+  Engine() : catalog_(std::make_shared<Catalog>()) {}
+
+  /// Executes one statement. DDL/DML return an empty result.
+  Result<mal::QueryResult> Execute(const std::string& statement);
+
+  /// Executes a ';'-separated script, returning the last SELECT's result.
+  Result<mal::QueryResult> ExecuteScript(const std::string& script);
+
+  /// Compiles a parsed SELECT to MAL without running it (also used by
+  /// tests and the quickstart example to print plans).
+  Result<mal::Program> Compile(const SelectStmt& stmt) const;
+
+  Catalog* catalog() { return catalog_.get(); }
+
+  /// Attaches a recycler consulted by every subsequent query (§6.1).
+  void AttachRecycler(recycle::Recycler* recycler) { recycler_ = recycler; }
+
+  /// Toggles the MAL optimizer pipeline (default on).
+  void EnableOptimizer(bool on) { optimize_ = on; }
+
+  /// Introspection for the last executed SELECT.
+  const mal::RunStats& last_run_stats() const { return last_stats_; }
+  const mal::PipelineReport& last_opt_report() const { return last_opt_; }
+  const std::string& last_plan_text() const { return last_plan_; }
+
+ private:
+  Result<mal::QueryResult> RunSelect(const SelectStmt& stmt);
+  Status RunCreate(const CreateStmt& stmt);
+  Status RunInsert(const InsertStmt& stmt);
+  Status RunDelete(const DeleteStmt& stmt);
+  Status RunUpdate(const UpdateStmt& stmt);
+
+  std::shared_ptr<Catalog> catalog_;
+  recycle::Recycler* recycler_ = nullptr;
+  bool optimize_ = true;
+  mal::RunStats last_stats_;
+  mal::PipelineReport last_opt_;
+  std::string last_plan_;
+};
+
+}  // namespace mammoth::sql
+
+#endif  // MAMMOTH_SQL_ENGINE_H_

@@ -1,0 +1,30 @@
+#ifndef MAMMOTH_SQL_PARSER_H_
+#define MAMMOTH_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace mammoth::sql {
+
+/// Parses one SQL statement (trailing ';' optional). Supported grammar:
+///
+///   CREATE TABLE t (col TYPE, ...)
+///   INSERT INTO t VALUES (lit, ...) [, (lit, ...)]*
+///   DELETE FROM t [WHERE conj]
+///   UPDATE t SET col = lit [, col = lit]* [WHERE conj]
+///   SELECT item [, item]* FROM t [, t2] [WHERE conj]
+///     [GROUP BY col [, col]*] [HAVING label op lit [AND ...]]
+///     [ORDER BY label [ASC|DESC] [, ...]] [LIMIT n]
+///
+///   item := * | [t.]col | SUM|MIN|MAX|AVG ([t.]col) | COUNT (* | [t.]col)
+///   conj := [t.]col (= | != | < | <= | > | >=) (literal | [t.]col) [AND ...]
+///           (column = column terms are equi-join conditions)
+///   TYPE := TINYINT|SMALLINT|INT|INTEGER|BIGINT|LONG|DOUBLE|REAL|FLOAT|
+///           VARCHAR[(n)]|TEXT|STRING
+Result<Statement> Parse(const std::string& sql);
+
+}  // namespace mammoth::sql
+
+#endif  // MAMMOTH_SQL_PARSER_H_

@@ -1,0 +1,256 @@
+#include "stream/datacell.h"
+
+#include <map>
+#include <memory>
+
+#include "core/group.h"
+#include "core/project.h"
+#include "core/select.h"
+
+namespace mammoth::stream {
+
+Basket::Basket() {
+  ts_ = Bat::New(PhysType::kInt64);
+  key_ = Bat::New(PhysType::kInt32);
+  value_ = Bat::New(PhysType::kDouble);
+}
+
+void Basket::Append(const Event& e) {
+  ts_->Append<int64_t>(e.ts);
+  key_->Append<int32_t>(e.key);
+  value_->Append<double>(e.value);
+}
+
+void Basket::AppendBatch(const Event* events, size_t n) {
+  ts_->Reserve(ts_->Count() + n);
+  key_->Reserve(key_->Count() + n);
+  value_->Reserve(value_->Count() + n);
+  for (size_t i = 0; i < n; ++i) Append(events[i]);
+}
+
+void Basket::Compact() {
+  if (start_ == 0) return;
+  auto compact = [&](BatPtr& col) {
+    BatPtr fresh = Bat::New(col->type());
+    const size_t remaining = col->Count() - start_;
+    if (remaining > 0) {
+      fresh->AppendRaw(
+          static_cast<const uint8_t*>(col->tail().raw_data()) +
+              start_ * col->tail().width(),
+          remaining);
+    }
+    col = fresh;
+  };
+  compact(ts_);
+  compact(key_);
+  compact(value_);
+  start_ = 0;
+}
+
+BatPtr Basket::Slice(const BatPtr& col, size_t from, size_t to) const {
+  BatPtr out = Bat::New(col->type());
+  const size_t begin = start_ + from;
+  const size_t end = start_ + to;
+  MAMMOTH_DCHECK(end <= col->Count(), "basket slice out of range");
+  out->AppendRaw(static_cast<const uint8_t*>(col->tail().raw_data()) +
+                     begin * col->tail().width(),
+                 end - begin);
+  return out;
+}
+
+BatPtr Basket::SliceTs(size_t from, size_t to) const {
+  return Slice(ts_, from, to);
+}
+BatPtr Basket::SliceKey(size_t from, size_t to) const {
+  return Slice(key_, from, to);
+}
+BatPtr Basket::SliceValue(size_t from, size_t to) const {
+  return Slice(value_, from, to);
+}
+
+Result<std::vector<WindowRow>> BulkWindow(const BatPtr& keys,
+                                          const BatPtr& values, bool filtered,
+                                          double lo, double hi) {
+  BatPtr k = keys, v = values;
+  if (filtered) {
+    MAMMOTH_ASSIGN_OR_RETURN(
+        BatPtr hits, algebra::RangeSelect(values, nullptr, Value::Real(lo),
+                                          Value::Real(hi)));
+    MAMMOTH_ASSIGN_OR_RETURN(k, algebra::Project(hits, keys));
+    MAMMOTH_ASSIGN_OR_RETURN(v, algebra::Project(hits, values));
+  }
+  MAMMOTH_ASSIGN_OR_RETURN(algebra::GroupResult g, algebra::Group(k));
+  MAMMOTH_ASSIGN_OR_RETURN(BatPtr sums,
+                           algebra::AggrSum(v, g.groups, g.ngroups));
+  MAMMOTH_ASSIGN_OR_RETURN(BatPtr counts,
+                           algebra::AggrCount(g.groups, g.ngroups, v->Count()));
+  MAMMOTH_ASSIGN_OR_RETURN(BatPtr mins,
+                           algebra::AggrMin(v, g.groups, g.ngroups));
+  MAMMOTH_ASSIGN_OR_RETURN(BatPtr maxs,
+                           algebra::AggrMax(v, g.groups, g.ngroups));
+  MAMMOTH_ASSIGN_OR_RETURN(BatPtr gkeys, algebra::Project(g.extents, k));
+
+  std::vector<WindowRow> rows(g.ngroups);
+  for (size_t i = 0; i < g.ngroups; ++i) {
+    rows[i].key = gkeys->ValueAt<int32_t>(i);
+    rows[i].sum = sums->ValueAt<double>(i);
+    rows[i].count = counts->ValueAt<int64_t>(i);
+    rows[i].min = mins->ValueAt<double>(i);
+    rows[i].max = maxs->ValueAt<double>(i);
+  }
+  return rows;
+}
+
+std::vector<WindowRow> EventAtATimeWindow(const Event* events, size_t n,
+                                          bool filtered, double lo,
+                                          double hi) {
+  // Deliberately tuple-at-a-time: one ordered-map probe per event.
+  std::map<int32_t, WindowRow> acc;
+  for (size_t i = 0; i < n; ++i) {
+    const Event& e = events[i];
+    if (filtered && (e.value < lo || e.value > hi)) continue;
+    auto [it, fresh] = acc.try_emplace(e.key);
+    WindowRow& row = it->second;
+    if (fresh) {
+      row.key = e.key;
+      row.min = e.value;
+      row.max = e.value;
+    }
+    row.sum += e.value;
+    row.count += 1;
+    if (e.value < row.min) row.min = e.value;
+    if (e.value > row.max) row.max = e.value;
+  }
+  std::vector<WindowRow> rows;
+  rows.reserve(acc.size());
+  for (auto& [key, row] : acc) rows.push_back(row);
+  return rows;
+}
+
+namespace {
+
+/// Minimal per-event operator chain of a conventional DSMS: each event is
+/// dispatched through virtual Process() calls, with the filter predicate
+/// evaluated by a tiny interpreted expression tree. This is the per-tuple
+/// machinery the DataCell eliminates by processing baskets in bulk.
+class EventOperator {
+ public:
+  virtual ~EventOperator() = default;
+  virtual bool Process(const Event& e) = 0;
+};
+
+class EventPredicate {
+ public:
+  virtual ~EventPredicate() = default;
+  virtual bool Eval(const Event& e) const = 0;
+};
+
+class RangePredicate final : public EventPredicate {
+ public:
+  RangePredicate(double lo, double hi) : lo_(lo), hi_(hi) {}
+  bool Eval(const Event& e) const override {
+    return e.value >= lo_ && e.value <= hi_;
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+class TruePredicate final : public EventPredicate {
+ public:
+  bool Eval(const Event&) const override { return true; }
+};
+
+class FilterOperator final : public EventOperator {
+ public:
+  FilterOperator(std::unique_ptr<EventPredicate> pred, EventOperator* next)
+      : pred_(std::move(pred)), next_(next) {}
+  bool Process(const Event& e) override {
+    if (!pred_->Eval(e)) return false;
+    return next_->Process(e);
+  }
+
+ private:
+  std::unique_ptr<EventPredicate> pred_;
+  EventOperator* next_;
+};
+
+class GroupAggOperator final : public EventOperator {
+ public:
+  bool Process(const Event& e) override {
+    auto [it, fresh] = acc_.try_emplace(e.key);
+    WindowRow& row = it->second;
+    if (fresh) {
+      row.key = e.key;
+      row.min = e.value;
+      row.max = e.value;
+    }
+    row.sum += e.value;
+    row.count += 1;
+    if (e.value < row.min) row.min = e.value;
+    if (e.value > row.max) row.max = e.value;
+    return true;
+  }
+
+  std::vector<WindowRow> Rows() const {
+    std::vector<WindowRow> rows;
+    rows.reserve(acc_.size());
+    for (const auto& [key, row] : acc_) rows.push_back(row);
+    return rows;
+  }
+
+ private:
+  std::map<int32_t, WindowRow> acc_;
+};
+
+}  // namespace
+
+std::vector<WindowRow> InterpretedEventAtATimeWindow(const Event* events,
+                                                     size_t n, bool filtered,
+                                                     double lo, double hi) {
+  GroupAggOperator agg;
+  std::unique_ptr<EventPredicate> pred;
+  if (filtered) {
+    pred = std::make_unique<RangePredicate>(lo, hi);
+  } else {
+    pred = std::make_unique<TruePredicate>();
+  }
+  FilterOperator filter(std::move(pred), &agg);
+  EventOperator* root = &filter;
+  for (size_t i = 0; i < n; ++i) root->Process(events[i]);
+  return agg.Rows();
+}
+
+void DataCell::Register(ContinuousQuery query) {
+  queries_.push_back(std::move(query));
+}
+
+Result<size_t> DataCell::Pump() {
+  if (queries_.empty()) return size_t{0};
+  // All queries share one window size in this engine version: the smallest
+  // registered window drives consumption.
+  size_t window = queries_[0].window;
+  for (const ContinuousQuery& q : queries_) {
+    window = std::min(window, q.window);
+  }
+  if (window == 0) return Status::InvalidArgument("window must be > 0");
+
+  size_t emitted = 0;
+  while (basket_.Pending() >= window) {
+    const BatPtr keys = basket_.SliceKey(0, window);
+    const BatPtr values = basket_.SliceValue(0, window);
+    for (const ContinuousQuery& q : queries_) {
+      MAMMOTH_ASSIGN_OR_RETURN(
+          std::vector<WindowRow> rows,
+          BulkWindow(keys, values, q.filtered, q.lo, q.hi));
+      if (q.emit) q.emit(next_window_, rows);
+    }
+    basket_.Consume(window);
+    ++next_window_;
+    ++emitted;
+  }
+  basket_.Compact();
+  return emitted;
+}
+
+}  // namespace mammoth::stream

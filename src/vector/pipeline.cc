@@ -1,0 +1,436 @@
+#include "vector/pipeline.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+namespace mammoth::vec {
+
+namespace {
+
+bool SupportedRegType(PhysType t) {
+  return t == PhysType::kInt32 || t == PhysType::kInt64 ||
+         t == PhysType::kDouble;
+}
+
+/// Dispatches a callable templated over the register's C++ type.
+template <typename Fn>
+decltype(auto) DispatchReg(PhysType t, Fn&& fn) {
+  switch (t) {
+    case PhysType::kInt32:
+      return fn(std::type_identity<int32_t>{});
+    case PhysType::kInt64:
+      return fn(std::type_identity<int64_t>{});
+    default:
+      return fn(std::type_identity<double>{});
+  }
+}
+
+template <typename T>
+void RunBin(BinOp op, const T* a, const T* b, T* out, size_t n,
+            const uint32_t* sel, size_t sel_n) {
+  switch (op) {
+    case BinOp::kAdd:
+      MapColCol<T, BinOp::kAdd>(a, b, out, n, sel, sel_n);
+      break;
+    case BinOp::kSub:
+      MapColCol<T, BinOp::kSub>(a, b, out, n, sel, sel_n);
+      break;
+    case BinOp::kMul:
+      MapColCol<T, BinOp::kMul>(a, b, out, n, sel, sel_n);
+      break;
+    case BinOp::kDiv:
+      MapColCol<T, BinOp::kDiv>(a, b, out, n, sel, sel_n);
+      break;
+  }
+}
+
+template <typename T>
+void RunBinConst(BinOp op, const T* a, T c, T* out, size_t n,
+                 const uint32_t* sel, size_t sel_n) {
+  switch (op) {
+    case BinOp::kAdd:
+      MapColConst<T, BinOp::kAdd>(a, c, out, n, sel, sel_n);
+      break;
+    case BinOp::kSub:
+      MapColConst<T, BinOp::kSub>(a, c, out, n, sel, sel_n);
+      break;
+    case BinOp::kMul:
+      MapColConst<T, BinOp::kMul>(a, c, out, n, sel, sel_n);
+      break;
+    case BinOp::kDiv:
+      MapColConst<T, BinOp::kDiv>(a, c, out, n, sel, sel_n);
+      break;
+  }
+}
+
+}  // namespace
+
+Pipeline::Pipeline(std::vector<PipelineColumn> columns, size_t vector_size)
+    : columns_(std::move(columns)),
+      vector_size_(vector_size == 0 ? 1 : vector_size) {
+  for (const PipelineColumn& c : columns_) {
+    reg_types_.push_back(c.type());
+  }
+  nrows_ = columns_.empty() ? 0 : columns_[0].count();
+}
+
+Status Pipeline::ValidateReg(size_t reg) const {
+  if (reg >= reg_types_.size()) {
+    return Status::InvalidArgument("pipeline: no such register");
+  }
+  if (!SupportedRegType(reg_types_[reg])) {
+    return Status::TypeMismatch("pipeline: register type unsupported");
+  }
+  return Status::OK();
+}
+
+Status Pipeline::AddSelectRange(size_t reg, double lo, double hi) {
+  MAMMOTH_RETURN_IF_ERROR(ValidateReg(reg));
+  Stage s;
+  s.kind = Stage::Kind::kSelect;
+  s.a = reg;
+  s.lo = lo;
+  s.hi = hi;
+  stages_.push_back(s);
+  return Status::OK();
+}
+
+Result<size_t> Pipeline::AddMapColCol(BinOp op, size_t a, size_t b) {
+  MAMMOTH_RETURN_IF_ERROR(ValidateReg(a));
+  MAMMOTH_RETURN_IF_ERROR(ValidateReg(b));
+  if (reg_types_[a] != reg_types_[b]) {
+    return Status::TypeMismatch("pipeline map: operand types differ");
+  }
+  Stage s;
+  s.kind = Stage::Kind::kMapCC;
+  s.op = op;
+  s.a = a;
+  s.b = b;
+  s.dst = reg_types_.size();
+  reg_types_.push_back(reg_types_[a]);
+  stages_.push_back(s);
+  return s.dst;
+}
+
+Result<size_t> Pipeline::AddMapColConst(BinOp op, size_t a, double c) {
+  MAMMOTH_RETURN_IF_ERROR(ValidateReg(a));
+  Stage s;
+  s.kind = Stage::Kind::kMapCK;
+  s.op = op;
+  s.a = a;
+  s.c = c;
+  s.dst = reg_types_.size();
+  reg_types_.push_back(reg_types_[a]);
+  stages_.push_back(s);
+  return s.dst;
+}
+
+Result<size_t> Pipeline::AddCast(size_t src, PhysType to) {
+  MAMMOTH_RETURN_IF_ERROR(ValidateReg(src));
+  if (!SupportedRegType(to)) {
+    return Status::TypeMismatch("pipeline cast: unsupported target");
+  }
+  Stage s;
+  s.kind = Stage::Kind::kCast;
+  s.a = src;
+  s.dst = reg_types_.size();
+  reg_types_.push_back(to);
+  stages_.push_back(s);
+  return s.dst;
+}
+
+Result<size_t> Pipeline::AddHashProbe(size_t key_reg, const VecHashJoin* join,
+                                      BatPtr payload) {
+  MAMMOTH_RETURN_IF_ERROR(ValidateReg(key_reg));
+  if (reg_types_[key_reg] != PhysType::kInt32) {
+    return Status::TypeMismatch("pipeline probe: key register must be :int");
+  }
+  if (join == nullptr || payload == nullptr) {
+    return Status::InvalidArgument("pipeline probe: null join or payload");
+  }
+  if (!SupportedRegType(payload->type()) || payload->IsDenseTail()) {
+    return Status::TypeMismatch(
+        "pipeline probe: payload must be a materialized int/lng/dbl BAT");
+  }
+  if (payload->Count() != join->BuildCount()) {
+    return Status::InvalidArgument(
+        "pipeline probe: payload misaligned with build side");
+  }
+  Stage s;
+  s.kind = Stage::Kind::kHashProbe;
+  s.a = key_reg;
+  s.join = join;
+  s.payload = std::move(payload);
+  s.dst = reg_types_.size();
+  reg_types_.push_back(s.payload->type());
+  stages_.push_back(s);
+  return s.dst;
+}
+
+Status Pipeline::SetAggregate(size_t group_reg, size_t ngroups,
+                              std::vector<AggSpec> specs) {
+  if (group_reg != kNoGroup) {
+    MAMMOTH_RETURN_IF_ERROR(ValidateReg(group_reg));
+    if (reg_types_[group_reg] != PhysType::kInt32) {
+      return Status::TypeMismatch("pipeline: group register must be :int");
+    }
+    if (ngroups == 0) {
+      return Status::InvalidArgument("pipeline: ngroups must be > 0");
+    }
+  }
+  for (const AggSpec& a : specs) {
+    if (a.fn != AggFn::kCount) MAMMOTH_RETURN_IF_ERROR(ValidateReg(a.reg));
+  }
+  has_agg_ = true;
+  group_reg_ = group_reg;
+  ngroups_ = group_reg == kNoGroup ? 1 : ngroups;
+  agg_specs_ = std::move(specs);
+  return Status::OK();
+}
+
+Status Pipeline::LoadBatch(size_t start, size_t n, Batch* batch) {
+  batch->count = n;
+  batch->has_sel = false;
+  batch->sel_count = 0;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c].compressed != nullptr) {
+      // Decompress straight into the cache-resident vector (§5).
+      MAMMOTH_RETURN_IF_ERROR(columns_[c].compressed->DecodeRange(
+          start, n, batch->regs[c].Data<int32_t>()));
+      continue;
+    }
+    const size_t width = batch->regs[c].width();
+    std::memcpy(
+        batch->regs[c].raw(),
+        static_cast<const uint8_t*>(columns_[c].bat->tail().raw_data()) +
+            start * width,
+        n * width);
+  }
+  return Status::OK();
+}
+
+Status Pipeline::RunStages(Batch* batch) {
+  for (const Stage& s : stages_) {
+    const uint32_t* sel = batch->has_sel ? batch->sel.data() : nullptr;
+    const size_t sel_n = batch->sel_count;
+    const size_t n = batch->count;
+    switch (s.kind) {
+      case Stage::Kind::kSelect: {
+        // Reuses the pipeline scratch buffer: no allocation per vector.
+        if (scratch_sel_.size() < n) scratch_sel_.resize(vector_size_);
+        std::vector<uint32_t>& out = scratch_sel_;
+        size_t k = 0;
+        DispatchReg(reg_types_[s.a], [&](auto tag) {
+          using T = typename decltype(tag)::type;
+          const T lo = s.lo <= static_cast<double>(
+                                   std::numeric_limits<T>::lowest())
+                           ? std::numeric_limits<T>::lowest()
+                           : static_cast<T>(s.lo);
+          const T hi =
+              s.hi >= static_cast<double>(std::numeric_limits<T>::max())
+                  ? std::numeric_limits<T>::max()
+                  : static_cast<T>(s.hi);
+          k = SelRange<T>(batch->regs[s.a].Data<T>(), n, lo, hi, sel, sel_n,
+                          out.data());
+        });
+        std::swap(batch->sel, scratch_sel_);
+        batch->has_sel = true;
+        batch->sel_count = k;
+        break;
+      }
+      case Stage::Kind::kMapCC:
+        DispatchReg(reg_types_[s.a], [&](auto tag) {
+          using T = typename decltype(tag)::type;
+          RunBin<T>(s.op, batch->regs[s.a].Data<T>(),
+                    batch->regs[s.b].Data<T>(), batch->regs[s.dst].Data<T>(),
+                    n, sel, sel_n);
+        });
+        break;
+      case Stage::Kind::kMapCK:
+        DispatchReg(reg_types_[s.a], [&](auto tag) {
+          using T = typename decltype(tag)::type;
+          RunBinConst<T>(s.op, batch->regs[s.a].Data<T>(),
+                         static_cast<T>(s.c), batch->regs[s.dst].Data<T>(),
+                         n, sel, sel_n);
+        });
+        break;
+      case Stage::Kind::kHashProbe: {
+        if (scratch_sel_.size() < vector_size_) {
+          scratch_sel_.resize(vector_size_);
+        }
+        if (scratch_rows_.size() < vector_size_) {
+          scratch_rows_.resize(vector_size_);
+        }
+        const size_t k = s.join->ProbeVector(
+            batch->regs[s.a].Data<int32_t>(), n, sel, sel_n,
+            scratch_sel_.data(), scratch_rows_.data());
+        DispatchReg(reg_types_[s.dst], [&](auto tag) {
+          using T = typename decltype(tag)::type;
+          s.join->Gather<T>(s.payload->TailData<T>(), scratch_rows_.data(),
+                            scratch_sel_.data(), k,
+                            batch->regs[s.dst].Data<T>());
+        });
+        std::swap(batch->sel, scratch_sel_);
+        batch->has_sel = true;
+        batch->sel_count = k;
+        break;
+      }
+      case Stage::Kind::kCast:
+        DispatchReg(reg_types_[s.a], [&](auto src_tag) {
+          using Src = typename decltype(src_tag)::type;
+          DispatchReg(reg_types_[s.dst], [&](auto dst_tag) {
+            using Dst = typename decltype(dst_tag)::type;
+            MapCast<Src, Dst>(batch->regs[s.a].Data<Src>(),
+                              batch->regs[s.dst].Data<Dst>(), n, sel, sel_n);
+          });
+        });
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status Pipeline::ValidateColumns() const {
+  for (const PipelineColumn& c : columns_) {
+    if (c.compressed != nullptr) {
+      if (c.compressed->Count() != nrows_) {
+        return Status::InvalidArgument("pipeline: column lengths differ");
+      }
+      continue;
+    }
+    if (c.bat == nullptr || c.bat->IsDenseTail() ||
+        !SupportedRegType(c.bat->type())) {
+      return Status::InvalidArgument(
+          "pipeline: columns must be materialized int/lng/dbl BATs");
+    }
+    if (c.bat->Count() != nrows_) {
+      return Status::InvalidArgument("pipeline: column lengths differ");
+    }
+  }
+  return Status::OK();
+}
+
+Result<AggResult> Pipeline::Run() {
+  if (!has_agg_) {
+    return Status::InvalidArgument("pipeline: no aggregate sink configured");
+  }
+  MAMMOTH_RETURN_IF_ERROR(ValidateColumns());
+
+  Batch batch;
+  for (PhysType t : reg_types_) batch.AddRegister(t, vector_size_);
+
+  AggResult result;
+  result.ngroups = ngroups_;
+  result.aggregates.assign(agg_specs_.size(),
+                           std::vector<double>(ngroups_, 0.0));
+  for (size_t a = 0; a < agg_specs_.size(); ++a) {
+    if (agg_specs_[a].fn == AggFn::kMin) {
+      result.aggregates[a].assign(ngroups_,
+                                  std::numeric_limits<double>::infinity());
+    } else if (agg_specs_[a].fn == AggFn::kMax) {
+      result.aggregates[a].assign(ngroups_,
+                                  -std::numeric_limits<double>::infinity());
+    }
+  }
+  std::vector<uint32_t> gid(vector_size_, 0);
+
+  for (size_t start = 0; start < nrows_; start += vector_size_) {
+    const size_t n = std::min(vector_size_, nrows_ - start);
+    MAMMOTH_RETURN_IF_ERROR(LoadBatch(start, n, &batch));
+    MAMMOTH_RETURN_IF_ERROR(RunStages(&batch));
+    const uint32_t* sel = batch.has_sel ? batch.sel.data() : nullptr;
+    const size_t sel_n = batch.sel_count;
+
+    if (group_reg_ != kNoGroup) {
+      const int32_t* g = batch.regs[group_reg_].Data<int32_t>();
+      if (sel == nullptr) {
+        for (size_t i = 0; i < n; ++i) {
+          if (static_cast<uint32_t>(g[i]) >= ngroups_) {
+            return Status::OutOfRange("pipeline: group id out of range");
+          }
+          gid[i] = static_cast<uint32_t>(g[i]);
+        }
+      } else {
+        for (size_t s = 0; s < sel_n; ++s) {
+          const uint32_t i = sel[s];
+          if (static_cast<uint32_t>(g[i]) >= ngroups_) {
+            return Status::OutOfRange("pipeline: group id out of range");
+          }
+          gid[i] = static_cast<uint32_t>(g[i]);
+        }
+      }
+    }
+
+    for (size_t a = 0; a < agg_specs_.size(); ++a) {
+      const AggSpec& spec = agg_specs_[a];
+      double* acc = result.aggregates[a].data();
+      if (spec.fn == AggFn::kCount) {
+        if (sel == nullptr) {
+          for (size_t i = 0; i < n; ++i) acc[gid[i]] += 1.0;
+        } else {
+          for (size_t s = 0; s < sel_n; ++s) acc[gid[sel[s]]] += 1.0;
+        }
+        continue;
+      }
+      DispatchReg(reg_types_[spec.reg], [&](auto tag) {
+        using T = typename decltype(tag)::type;
+        const T* v = batch.regs[spec.reg].Data<T>();
+        auto update = [&](size_t i) {
+          const double x = static_cast<double>(v[i]);
+          switch (spec.fn) {
+            case AggFn::kSum:
+              acc[gid[i]] += x;
+              break;
+            case AggFn::kMin:
+              if (x < acc[gid[i]]) acc[gid[i]] = x;
+              break;
+            case AggFn::kMax:
+              if (x > acc[gid[i]]) acc[gid[i]] = x;
+              break;
+            case AggFn::kCount:
+              break;
+          }
+        };
+        if (sel == nullptr) {
+          for (size_t i = 0; i < n; ++i) update(i);
+        } else {
+          for (size_t s = 0; s < sel_n; ++s) update(sel[s]);
+        }
+      });
+    }
+  }
+  return result;
+}
+
+Result<BatPtr> Pipeline::RunMaterialize(size_t reg) {
+  if (has_agg_) {
+    return Status::InvalidArgument(
+        "pipeline: aggregate sink configured; use Run()");
+  }
+  MAMMOTH_RETURN_IF_ERROR(ValidateReg(reg));
+  MAMMOTH_RETURN_IF_ERROR(ValidateColumns());
+  Batch batch;
+  for (PhysType t : reg_types_) batch.AddRegister(t, vector_size_);
+
+  BatPtr out = Bat::New(reg_types_[reg]);
+  for (size_t start = 0; start < nrows_; start += vector_size_) {
+    const size_t n = std::min(vector_size_, nrows_ - start);
+    MAMMOTH_RETURN_IF_ERROR(LoadBatch(start, n, &batch));
+    MAMMOTH_RETURN_IF_ERROR(RunStages(&batch));
+    DispatchReg(reg_types_[reg], [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      const T* v = batch.regs[reg].Data<T>();
+      if (batch.has_sel) {
+        for (size_t s = 0; s < batch.sel_count; ++s) {
+          out->tail().Append<T>(v[batch.sel[s]]);
+        }
+      } else {
+        out->AppendRaw(v, n);
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace mammoth::vec

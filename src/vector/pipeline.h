@@ -1,0 +1,137 @@
+#ifndef MAMMOTH_VECTOR_PIPELINE_H_
+#define MAMMOTH_VECTOR_PIPELINE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "compress/compressed_bat.h"
+#include "core/bat.h"
+#include "vector/primitives.h"
+#include "vector/vec.h"
+#include "vector/vec_join.h"
+
+namespace mammoth::vec {
+
+/// One pipeline input column: either a plain BAT or a compressed :int
+/// column decompressed vector-at-a-time during the scan — X100's way of
+/// keeping scans CPU-bound (§5): the decoded vector never leaves the cache
+/// before the next operator consumes it.
+struct PipelineColumn {
+  BatPtr bat;
+  const compress::CompressedBat* compressed = nullptr;
+
+  PipelineColumn(BatPtr b) : bat(std::move(b)) {}  // NOLINT
+  PipelineColumn(const compress::CompressedBat* c) : compressed(c) {}  // NOLINT
+
+  PhysType type() const {
+    return compressed != nullptr ? PhysType::kInt32 : bat->type();
+  }
+  size_t count() const {
+    return compressed != nullptr ? compressed->Count() : bat->Count();
+  }
+};
+
+/// Aggregate functions supported by the pipeline sink.
+enum class AggFn : uint8_t { kSum, kCount, kMin, kMax };
+
+/// Result of an aggregating pipeline run: one slot per group per aggregate.
+struct AggResult {
+  size_t ngroups = 0;
+  /// aggregates[a][g]: value of aggregate a for group g. Sums/min/max are
+  /// doubles, counts are exact integers stored as double.
+  std::vector<std::vector<double>> aggregates;
+};
+
+/// A linear X100-style pipeline over column BATs (§5): data flows as
+/// cache-resident vectors of `vector_size` values through scan -> select ->
+/// map -> aggregate, with *columnar data flow and pipelined control flow*.
+/// With vector_size == 1 it degenerates to tuple-at-a-time; with
+/// vector_size == row count it degenerates to operator-at-a-time (full
+/// materialization), which is how the paper benchmarks the paradigm within
+/// one system.
+///
+/// Registers: 0..k-1 are the scanned input columns; map stages append new
+/// ones. Supported register types: :int, :lng, :dbl.
+class Pipeline {
+ public:
+  /// `columns` must be numeric, equally long, materialized sources; plain
+  /// BatPtrs convert implicitly, compressed columns pass a CompressedBat*.
+  Pipeline(std::vector<PipelineColumn> columns, size_t vector_size);
+
+  /// Keeps lanes with lo <= reg <= hi (conjunctive with prior selects).
+  Status AddSelectRange(size_t reg, double lo, double hi);
+
+  /// Appends a register = a op b; returns its id.
+  Result<size_t> AddMapColCol(BinOp op, size_t a, size_t b);
+
+  /// Appends a register = a op constant; returns its id.
+  Result<size_t> AddMapColConst(BinOp op, size_t a, double c);
+
+  /// Appends a register casting `src` to `to`; returns its id.
+  Result<size_t> AddCast(size_t src, PhysType to);
+
+  /// N:1 hash-join probe stage (§5): lanes whose `key_reg` value misses
+  /// `join`'s build side are dropped from the selection vector; for the
+  /// hits, `payload` (a build-side column, :int/:lng/:dbl) is gathered
+  /// into a fresh register aligned with the surviving lanes. Returns the
+  /// payload register id. `join` and `payload` must outlive the pipeline.
+  Result<size_t> AddHashProbe(size_t key_reg, const VecHashJoin* join,
+                              BatPtr payload);
+
+  /// Declares the aggregation sink. `group_reg` must be an :int register
+  /// with values in [0, ngroups); pass kNoGroup for a global aggregate.
+  static constexpr size_t kNoGroup = static_cast<size_t>(-1);
+  struct AggSpec {
+    AggFn fn;
+    size_t reg = 0;  // ignored for kCount
+  };
+  Status SetAggregate(size_t group_reg, size_t ngroups,
+                      std::vector<AggSpec> specs);
+
+  /// Executes the pipeline and returns the aggregates.
+  Result<AggResult> Run();
+
+  /// Executes the pipeline and materializes register `reg`'s selected lanes
+  /// (requires no aggregate sink).
+  Result<BatPtr> RunMaterialize(size_t reg);
+
+  size_t vector_size() const { return vector_size_; }
+
+ private:
+  struct Stage {
+    enum class Kind : uint8_t {
+      kSelect,
+      kMapCC,
+      kMapCK,
+      kCast,
+      kHashProbe,
+    } kind;
+    BinOp op = BinOp::kAdd;
+    size_t a = 0, b = 0, dst = 0;
+    double lo = 0, hi = 0, c = 0;
+    const VecHashJoin* join = nullptr;
+    BatPtr payload;
+  };
+
+  Status ValidateReg(size_t reg) const;
+  Status ValidateColumns() const;
+  Status LoadBatch(size_t start, size_t n, Batch* batch);
+  Status RunStages(Batch* batch);
+
+  std::vector<PipelineColumn> columns_;
+  std::vector<PhysType> reg_types_;
+  size_t vector_size_;
+  size_t nrows_ = 0;
+  std::vector<Stage> stages_;
+
+  bool has_agg_ = false;
+  size_t group_reg_ = kNoGroup;
+  size_t ngroups_ = 1;
+  std::vector<AggSpec> agg_specs_;
+  std::vector<uint32_t> scratch_sel_;
+  std::vector<uint32_t> scratch_rows_;
+};
+
+}  // namespace mammoth::vec
+
+#endif  // MAMMOTH_VECTOR_PIPELINE_H_

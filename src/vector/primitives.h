@@ -1,0 +1,115 @@
+#ifndef MAMMOTH_VECTOR_PRIMITIVES_H_
+#define MAMMOTH_VECTOR_PRIMITIVES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mammoth::vec {
+
+/// X100-style vectorized primitives (§5): tight loops over one vector,
+/// optionally driven by a selection vector. Zero degrees of freedom per
+/// call — exactly like the BAT algebra kernels, but over cache-resident
+/// slices instead of whole columns.
+
+/// Fills `sel_out` with the indexes i in [0,n) (or in sel_in) where
+/// lo <= v[i] <= hi; returns the match count.
+template <typename T>
+size_t SelRange(const T* v, size_t n, T lo, T hi, const uint32_t* sel_in,
+                size_t sel_n, uint32_t* sel_out) {
+  size_t k = 0;
+  if (sel_in == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (v[i] >= lo && v[i] <= hi) sel_out[k++] = static_cast<uint32_t>(i);
+    }
+  } else {
+    for (size_t s = 0; s < sel_n; ++s) {
+      const uint32_t i = sel_in[s];
+      if (v[i] >= lo && v[i] <= hi) sel_out[k++] = i;
+    }
+  }
+  return k;
+}
+
+enum class BinOp : uint8_t { kAdd, kSub, kMul, kDiv };
+
+/// out[i] = a[i] op b[i] over active lanes.
+template <typename T, BinOp kOp>
+void MapColCol(const T* a, const T* b, T* out, size_t n,
+               const uint32_t* sel, size_t sel_n) {
+  auto apply = [](T x, T y) -> T {
+    if constexpr (kOp == BinOp::kAdd) return x + y;
+    if constexpr (kOp == BinOp::kSub) return x - y;
+    if constexpr (kOp == BinOp::kMul) return x * y;
+    return x / y;
+  };
+  if (sel == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = apply(a[i], b[i]);
+  } else {
+    for (size_t s = 0; s < sel_n; ++s) {
+      const uint32_t i = sel[s];
+      out[i] = apply(a[i], b[i]);
+    }
+  }
+}
+
+/// out[i] = a[i] op c over active lanes.
+template <typename T, BinOp kOp>
+void MapColConst(const T* a, T c, T* out, size_t n, const uint32_t* sel,
+                 size_t sel_n) {
+  auto apply = [](T x, T y) -> T {
+    if constexpr (kOp == BinOp::kAdd) return x + y;
+    if constexpr (kOp == BinOp::kSub) return x - y;
+    if constexpr (kOp == BinOp::kMul) return x * y;
+    return x / y;
+  };
+  if (sel == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = apply(a[i], c);
+  } else {
+    for (size_t s = 0; s < sel_n; ++s) {
+      const uint32_t i = sel[s];
+      out[i] = apply(a[i], c);
+    }
+  }
+}
+
+/// Widening cast over active lanes.
+template <typename Src, typename Dst>
+void MapCast(const Src* a, Dst* out, size_t n, const uint32_t* sel,
+             size_t sel_n) {
+  if (sel == nullptr) {
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<Dst>(a[i]);
+  } else {
+    for (size_t s = 0; s < sel_n; ++s) {
+      const uint32_t i = sel[s];
+      out[i] = static_cast<Dst>(a[i]);
+    }
+  }
+}
+
+/// acc[gid[i]] += v[i] over active lanes (direct-mapped group aggregation).
+template <typename T, typename Acc>
+void AggrSumGrouped(const T* v, const uint32_t* gid, Acc* acc, size_t n,
+                    const uint32_t* sel, size_t sel_n) {
+  if (sel == nullptr) {
+    for (size_t i = 0; i < n; ++i) acc[gid[i]] += static_cast<Acc>(v[i]);
+  } else {
+    for (size_t s = 0; s < sel_n; ++s) {
+      const uint32_t i = sel[s];
+      acc[gid[i]] += static_cast<Acc>(v[i]);
+    }
+  }
+}
+
+/// count[gid[i]] += 1 over active lanes.
+inline void AggrCountGrouped(const uint32_t* gid, int64_t* count, size_t n,
+                             const uint32_t* sel, size_t sel_n) {
+  if (sel == nullptr) {
+    for (size_t i = 0; i < n; ++i) count[gid[i]] += 1;
+  } else {
+    for (size_t s = 0; s < sel_n; ++s) count[gid[sel[s]]] += 1;
+  }
+}
+
+}  // namespace mammoth::vec
+
+#endif  // MAMMOTH_VECTOR_PRIMITIVES_H_

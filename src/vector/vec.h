@@ -1,0 +1,68 @@
+#ifndef MAMMOTH_VECTOR_VEC_H_
+#define MAMMOTH_VECTOR_VEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/types.h"
+
+namespace mammoth::vec {
+
+/// One column slice ("vector") flowing through the X100-style pipeline
+/// (§5): at most `capacity` values of one type, small enough that all
+/// vectors of a query stay CPU-cache resident when the vector size is tuned
+/// right.
+class Vec {
+ public:
+  Vec() = default;
+  Vec(PhysType type, size_t capacity)
+      : type_(type), width_(TypeWidth(type)), storage_(capacity * width_) {}
+
+  PhysType type() const { return type_; }
+  size_t capacity() const { return width_ == 0 ? 0 : storage_.size() / width_; }
+
+  template <typename T>
+  T* Data() {
+    MAMMOTH_DCHECK(sizeof(T) == width_, "vec width mismatch");
+    return reinterpret_cast<T*>(storage_.data());
+  }
+  template <typename T>
+  const T* Data() const {
+    MAMMOTH_DCHECK(sizeof(T) == width_, "vec width mismatch");
+    return reinterpret_cast<const T*>(storage_.data());
+  }
+
+  void* raw() { return storage_.data(); }
+  const void* raw() const { return storage_.data(); }
+  size_t width() const { return width_; }
+
+ private:
+  PhysType type_ = PhysType::kInt32;
+  size_t width_ = 4;
+  std::vector<uint8_t> storage_;
+};
+
+/// A batch: `count` tuples across several register vectors, plus an optional
+/// selection vector listing the active tuple indexes (X100's mechanism for
+/// filtering without copying).
+struct Batch {
+  size_t count = 0;                   ///< tuples materialized in vectors
+  std::vector<Vec> regs;              ///< registers (input cols + temps)
+  std::vector<uint32_t> sel;          ///< active indexes when has_sel
+  bool has_sel = false;
+  size_t sel_count = 0;               ///< active tuples when has_sel
+
+  /// Number of tuples an operator should consider live.
+  size_t ActiveCount() const { return has_sel ? sel_count : count; }
+
+  /// Adds a register of the given type sized to `capacity`; returns its id.
+  size_t AddRegister(PhysType type, size_t capacity) {
+    regs.emplace_back(type, capacity);
+    return regs.size() - 1;
+  }
+};
+
+}  // namespace mammoth::vec
+
+#endif  // MAMMOTH_VECTOR_VEC_H_

@@ -1,0 +1,60 @@
+#include "vector/vec_join.h"
+
+#include "common/bitutil.h"
+#include "common/hash.h"
+
+namespace mammoth::vec {
+
+Result<VecHashJoin> VecHashJoin::Build(const BatPtr& build_keys) {
+  if (build_keys == nullptr || build_keys->type() != PhysType::kInt32) {
+    return Status::TypeMismatch("vec join: build keys must be bat[:int]");
+  }
+  VecHashJoin j;
+  const size_t n = build_keys->Count();
+  const int32_t* v = build_keys->TailData<int32_t>();
+  j.keys_.assign(v, v + n);
+  const size_t nbuckets = NextPow2(n < 8 ? 8 : n);
+  j.mask_ = nbuckets - 1;
+  j.buckets_.assign(nbuckets, 0);
+  j.next_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t h = HashInt(static_cast<uint64_t>(v[i])) & j.mask_;
+    // Reject duplicates: N:1 join semantics.
+    for (uint32_t k = j.buckets_[h]; k != 0; k = j.next_[k - 1]) {
+      if (j.keys_[k - 1] == v[i]) {
+        return Status::InvalidArgument(
+            "vec join: duplicate build key (needs N:1)");
+      }
+    }
+    j.next_[i] = j.buckets_[h];
+    j.buckets_[h] = static_cast<uint32_t>(i + 1);
+  }
+  return j;
+}
+
+size_t VecHashJoin::ProbeVector(const int32_t* keys, size_t n,
+                                const uint32_t* sel_in, size_t sel_n,
+                                uint32_t* sel_out,
+                                uint32_t* rows_out) const {
+  size_t k = 0;
+  auto probe_lane = [&](uint32_t lane) {
+    const int32_t key = keys[lane];
+    const uint64_t h = HashInt(static_cast<uint64_t>(key)) & mask_;
+    for (uint32_t j = buckets_[h]; j != 0; j = next_[j - 1]) {
+      if (keys_[j - 1] == key) {
+        sel_out[k] = lane;
+        rows_out[k] = j - 1;
+        ++k;
+        return;
+      }
+    }
+  };
+  if (sel_in == nullptr) {
+    for (size_t i = 0; i < n; ++i) probe_lane(static_cast<uint32_t>(i));
+  } else {
+    for (size_t s = 0; s < sel_n; ++s) probe_lane(sel_in[s]);
+  }
+  return k;
+}
+
+}  // namespace mammoth::vec

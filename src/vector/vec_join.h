@@ -1,0 +1,51 @@
+#ifndef MAMMOTH_VECTOR_VEC_JOIN_H_
+#define MAMMOTH_VECTOR_VEC_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/bat.h"
+
+namespace mammoth::vec {
+
+/// Vectorized N:1 hash join (§5): the build side (a key column with unique
+/// values — the dimension table of a star query) is hashed once; probing
+/// happens vector-at-a-time, shrinking the selection vector to matching
+/// lanes and recording the build-side row for each, so payload columns can
+/// be gathered per vector while everything is cache-resident.
+class VecHashJoin {
+ public:
+  /// Builds over a unique-key :int column. Duplicate keys are rejected
+  /// (N:1 semantics; use the BAT-algebra join for M:N).
+  static Result<VecHashJoin> Build(const BatPtr& build_keys);
+
+  /// Probes the `n` values of `keys`, restricted to `sel_in`/`sel_n` when
+  /// `sel_in` != nullptr. Matching lane indexes go to `sel_out`, the
+  /// build-side row of each match to `rows_out` (parallel to sel_out).
+  /// Returns the match count.
+  size_t ProbeVector(const int32_t* keys, size_t n, const uint32_t* sel_in,
+                     size_t sel_n, uint32_t* sel_out,
+                     uint32_t* rows_out) const;
+
+  /// Gathers `payload[rows[i]]` into out[sel[i]] for i in [0, k): the
+  /// fetched build-side column lands in lane positions so later stages see
+  /// it as a regular register.
+  template <typename T>
+  void Gather(const T* payload, const uint32_t* rows, const uint32_t* sel,
+              size_t k, T* out) const {
+    for (size_t i = 0; i < k; ++i) out[sel[i]] = payload[rows[i]];
+  }
+
+  size_t BuildCount() const { return keys_.size(); }
+
+ private:
+  std::vector<int32_t> keys_;
+  std::vector<uint32_t> buckets_;  // 1-based heads
+  std::vector<uint32_t> next_;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace mammoth::vec
+
+#endif  // MAMMOTH_VECTOR_VEC_JOIN_H_

@@ -1,0 +1,153 @@
+#include "volcano/expr.h"
+
+#include "common/logging.h"
+
+namespace mammoth::volcano {
+
+namespace {
+
+class ColumnRefExpr final : public Expr {
+ public:
+  explicit ColumnRefExpr(size_t index) : index_(index) {}
+  Datum Eval(const Tuple& t) const override {
+    MAMMOTH_DCHECK(index_ < t.size(), "column ref out of range");
+    return t[index_];
+  }
+
+ private:
+  size_t index_;
+};
+
+class ConstExpr final : public Expr {
+ public:
+  explicit ConstExpr(const Value& v) {
+    if (v.is_str()) {
+      storage_ = v.AsStr();
+      datum_ = Datum::Str(storage_);
+    } else if (v.is_real()) {
+      datum_ = Datum::Real(v.AsReal());
+    } else {
+      datum_ = Datum::Int(v.AsInt());
+    }
+  }
+  Datum Eval(const Tuple&) const override { return datum_; }
+
+ private:
+  std::string storage_;
+  Datum datum_;
+};
+
+class ArithExpr final : public Expr {
+ public:
+  ArithExpr(algebra::ArithOp op, ExprPtr l, ExprPtr r)
+      : op_(op), l_(std::move(l)), r_(std::move(r)) {}
+
+  Datum Eval(const Tuple& t) const override {
+    const Datum a = l_->Eval(t);
+    const Datum b = r_->Eval(t);
+    const bool real =
+        a.kind == Datum::Kind::kReal || b.kind == Datum::Kind::kReal;
+    using algebra::ArithOp;
+    if (real) {
+      const double x = a.AsReal(), y = b.AsReal();
+      switch (op_) {
+        case ArithOp::kAdd:
+          return Datum::Real(x + y);
+        case ArithOp::kSub:
+          return Datum::Real(x - y);
+        case ArithOp::kMul:
+          return Datum::Real(x * y);
+        case ArithOp::kDiv:
+          return Datum::Real(x / y);
+        case ArithOp::kMod:
+          break;
+      }
+      return Datum();
+    }
+    const int64_t x = a.i, y = b.i;
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Datum::Int(x + y);
+      case ArithOp::kSub:
+        return Datum::Int(x - y);
+      case ArithOp::kMul:
+        return Datum::Int(x * y);
+      case ArithOp::kDiv:
+        return y == 0 ? Datum() : Datum::Int(x / y);
+      case ArithOp::kMod:
+        return y == 0 ? Datum() : Datum::Int(x % y);
+    }
+    return Datum();
+  }
+
+ private:
+  algebra::ArithOp op_;
+  ExprPtr l_, r_;
+};
+
+class CmpExpr final : public Expr {
+ public:
+  CmpExpr(CmpOp op, ExprPtr l, ExprPtr r)
+      : op_(op), l_(std::move(l)), r_(std::move(r)) {}
+
+  Datum Eval(const Tuple& t) const override {
+    const Datum a = l_->Eval(t);
+    const Datum b = r_->Eval(t);
+    bool res;
+    if (a.kind == Datum::Kind::kStr && b.kind == Datum::Kind::kStr) {
+      res = ApplyCmp(op_, a.s, b.s);
+    } else if (a.kind == Datum::Kind::kReal || b.kind == Datum::Kind::kReal) {
+      res = ApplyCmp(op_, a.AsReal(), b.AsReal());
+    } else {
+      res = ApplyCmp(op_, a.i, b.i);
+    }
+    return Datum::Int(res ? 1 : 0);
+  }
+
+ private:
+  CmpOp op_;
+  ExprPtr l_, r_;
+};
+
+class LogicalExpr final : public Expr {
+ public:
+  LogicalExpr(bool is_and, ExprPtr l, ExprPtr r)
+      : is_and_(is_and), l_(std::move(l)), r_(std::move(r)) {}
+
+  Datum Eval(const Tuple& t) const override {
+    const bool a = l_->Eval(t).i != 0;
+    if (is_and_ && !a) return Datum::Int(0);
+    if (!is_and_ && a) return Datum::Int(1);
+    return Datum::Int(r_->Eval(t).i != 0 ? 1 : 0);
+  }
+
+ private:
+  bool is_and_;
+  ExprPtr l_, r_;
+};
+
+}  // namespace
+
+ExprPtr ColumnRef(size_t index) {
+  return std::make_shared<ColumnRefExpr>(index);
+}
+
+ExprPtr Const(const Value& v) { return std::make_shared<ConstExpr>(v); }
+
+ExprPtr Arith(algebra::ArithOp op, ExprPtr l, ExprPtr r) {
+  return std::make_shared<ArithExpr>(op, std::move(l), std::move(r));
+}
+
+ExprPtr Cmp(CmpOp op, ExprPtr l, ExprPtr r) {
+  return std::make_shared<CmpExpr>(op, std::move(l), std::move(r));
+}
+
+ExprPtr And(ExprPtr l, ExprPtr r) {
+  return std::make_shared<LogicalExpr>(true, std::move(l), std::move(r));
+}
+
+ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return std::make_shared<LogicalExpr>(false, std::move(l), std::move(r));
+}
+
+}  // namespace mammoth::volcano

@@ -1,0 +1,45 @@
+#ifndef MAMMOTH_VOLCANO_EXPR_H_
+#define MAMMOTH_VOLCANO_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/calc.h"
+#include "core/value.h"
+#include "volcano/tuple.h"
+
+namespace mammoth::volcano {
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Interpreted expression tree — the "expression interpreter in the
+/// critical runtime code-path" that §3 blames for tuple-at-a-time overhead.
+/// Every evaluation is a virtual call per node per tuple, on purpose: this
+/// is the baseline the BAT algebra is measured against.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  virtual Datum Eval(const Tuple& t) const = 0;
+};
+
+/// Reads field `index` of the input tuple.
+ExprPtr ColumnRef(size_t index);
+
+/// A constant.
+ExprPtr Const(const Value& v);
+
+/// Arithmetic node: add/sub/mul/div on numeric operands.
+ExprPtr Arith(algebra::ArithOp op, ExprPtr l, ExprPtr r);
+
+/// Comparison node: yields Int(0/1).
+ExprPtr Cmp(CmpOp op, ExprPtr l, ExprPtr r);
+
+/// Logical and/or over Int(0/1) operands.
+ExprPtr And(ExprPtr l, ExprPtr r);
+ExprPtr Or(ExprPtr l, ExprPtr r);
+
+}  // namespace mammoth::volcano
+
+#endif  // MAMMOTH_VOLCANO_EXPR_H_

@@ -1,0 +1,409 @@
+#include "volcano/operators.h"
+
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "core/dispatch.h"
+
+namespace mammoth::volcano {
+
+namespace {
+
+/// Reads field datums out of a BAT row by row.
+Datum DatumAt(const Bat& b, size_t row) {
+  switch (b.type()) {
+    case PhysType::kStr:
+      return Datum::Str(b.StringAt(row));
+    case PhysType::kFloat:
+      return Datum::Real(b.ValueAt<float>(row));
+    case PhysType::kDouble:
+      return Datum::Real(b.ValueAt<double>(row));
+    case PhysType::kOid:
+      return Datum::Int(static_cast<int64_t>(b.IsDenseTail()
+                                                 ? b.OidAt(row)
+                                                 : b.ValueAt<Oid>(row)));
+    case PhysType::kBool:
+    case PhysType::kInt8:
+      return Datum::Int(b.ValueAt<int8_t>(row));
+    case PhysType::kInt16:
+      return Datum::Int(b.ValueAt<int16_t>(row));
+    case PhysType::kInt32:
+      return Datum::Int(b.ValueAt<int32_t>(row));
+    case PhysType::kInt64:
+      return Datum::Int(b.ValueAt<int64_t>(row));
+  }
+  return Datum();
+}
+
+class ScanIterator final : public Iterator {
+ public:
+  explicit ScanIterator(std::vector<BatPtr> columns)
+      : columns_(std::move(columns)) {}
+
+  void Open() override { row_ = 0; }
+
+  bool Next(Tuple* out) override {
+    if (columns_.empty() || row_ >= columns_[0]->Count()) return false;
+    out->resize(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      (*out)[c] = DatumAt(*columns_[c], row_);
+    }
+    ++row_;
+    return true;
+  }
+
+ private:
+  std::vector<BatPtr> columns_;
+  size_t row_ = 0;
+};
+
+class TableScanIterator final : public Iterator {
+ public:
+  explicit TableScanIterator(TablePtr table) : table_(std::move(table)) {}
+
+  void Open() override {
+    columns_.clear();
+    for (size_t c = 0; c < table_->NumColumns(); ++c) {
+      auto col = table_->ScanColumn(c);
+      MAMMOTH_CHECK(col.ok(), "table scan column failure");
+      columns_.push_back(*col);
+    }
+    live_ = table_->LiveCandidates();
+    idx_ = 0;
+  }
+
+  bool Next(Tuple* out) override {
+    if (idx_ >= live_->Count()) return false;
+    const size_t row = static_cast<size_t>(live_->OidAt(idx_));
+    out->resize(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      (*out)[c] = DatumAt(*columns_[c], row);
+    }
+    ++idx_;
+    return true;
+  }
+
+ private:
+  TablePtr table_;
+  std::vector<BatPtr> columns_;
+  BatPtr live_;
+  size_t idx_ = 0;
+};
+
+class FilterIterator final : public Iterator {
+ public:
+  FilterIterator(IteratorPtr child, ExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  void Open() override { child_->Open(); }
+  void Close() override { child_->Close(); }
+
+  bool Next(Tuple* out) override {
+    while (child_->Next(out)) {
+      if (predicate_->Eval(*out).i != 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  IteratorPtr child_;
+  ExprPtr predicate_;
+};
+
+class MapIterator final : public Iterator {
+ public:
+  MapIterator(IteratorPtr child, std::vector<ExprPtr> exprs)
+      : child_(std::move(child)), exprs_(std::move(exprs)) {}
+
+  void Open() override { child_->Open(); }
+  void Close() override { child_->Close(); }
+
+  bool Next(Tuple* out) override {
+    if (!child_->Next(&scratch_)) return false;
+    out->resize(exprs_.size());
+    for (size_t i = 0; i < exprs_.size(); ++i) {
+      (*out)[i] = exprs_[i]->Eval(scratch_);
+    }
+    return true;
+  }
+
+ private:
+  IteratorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  Tuple scratch_;
+};
+
+uint64_t DatumHash(const Datum& d) {
+  switch (d.kind) {
+    case Datum::Kind::kStr:
+      return HashString(d.s);
+    case Datum::Kind::kReal:
+      return HashDouble(d.d);
+    case Datum::Kind::kInt:
+      return HashInt(static_cast<uint64_t>(d.i));
+    case Datum::Kind::kNull:
+      return 0;
+  }
+  return 0;
+}
+
+class HashJoinIterator final : public Iterator {
+ public:
+  HashJoinIterator(IteratorPtr left, IteratorPtr right, size_t lkey,
+                   size_t rkey)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        lkey_(lkey),
+        rkey_(rkey) {}
+
+  void Open() override {
+    left_->Open();
+    right_->Open();
+    build_.clear();
+    table_.clear();
+    Tuple t;
+    while (right_->Next(&t)) {
+      MAMMOTH_CHECK(rkey_ < t.size(), "join key out of range");
+      table_.emplace(DatumHash(t[rkey_]), build_.size());
+      build_.push_back(t);
+    }
+    match_begin_ = match_end_ = {};
+    have_probe_ = false;
+  }
+
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+
+  bool Next(Tuple* out) override {
+    while (true) {
+      if (have_probe_) {
+        while (match_begin_ != match_end_) {
+          const Tuple& b = build_[match_begin_->second];
+          ++match_begin_;
+          if (b[rkey_].EqualTo(probe_[lkey_])) {
+            *out = probe_;
+            out->insert(out->end(), b.begin(), b.end());
+            return true;
+          }
+        }
+        have_probe_ = false;
+      }
+      if (!left_->Next(&probe_)) return false;
+      MAMMOTH_CHECK(lkey_ < probe_.size(), "join key out of range");
+      std::tie(match_begin_, match_end_) =
+          table_.equal_range(DatumHash(probe_[lkey_]));
+      have_probe_ = true;
+    }
+  }
+
+ private:
+  IteratorPtr left_, right_;
+  size_t lkey_, rkey_;
+  std::vector<Tuple> build_;
+  std::unordered_multimap<uint64_t, size_t> table_;
+  Tuple probe_;
+  bool have_probe_ = false;
+  std::unordered_multimap<uint64_t, size_t>::iterator match_begin_,
+      match_end_;
+};
+
+class AggregateIterator final : public Iterator {
+ public:
+  AggregateIterator(IteratorPtr child, std::vector<size_t> group_fields,
+                    std::vector<AggSpec> aggs)
+      : child_(std::move(child)),
+        group_fields_(std::move(group_fields)),
+        aggs_(std::move(aggs)) {}
+
+  void Open() override {
+    child_->Open();
+    results_.clear();
+    emit_ = 0;
+
+    struct State {
+      Tuple keys;
+      std::vector<double> acc;
+      std::vector<int64_t> count;
+      std::vector<bool> is_real;
+    };
+    std::unordered_map<std::string, State> groups;
+
+    Tuple t;
+    while (child_->Next(&t)) {
+      // Group key rendered to a byte string (simple, and this engine is the
+      // baseline anyway).
+      std::string key;
+      for (size_t f : group_fields_) {
+        const Datum& d = t[f];
+        key.push_back(static_cast<char>(d.kind));
+        if (d.kind == Datum::Kind::kStr) {
+          key.append(d.s);
+        } else {
+          int64_t bits = d.i;
+          if (d.kind == Datum::Kind::kReal) {
+            std::memcpy(&bits, &d.d, sizeof(bits));
+          }
+          key.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+        }
+        key.push_back('\x1f');
+      }
+      auto [it, fresh] = groups.try_emplace(key);
+      State& st = it->second;
+      if (fresh) {
+        for (size_t f : group_fields_) st.keys.push_back(t[f]);
+        st.acc.assign(aggs_.size(), 0.0);
+        st.count.assign(aggs_.size(), 0);
+        st.is_real.assign(aggs_.size(), false);
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          if (aggs_[a].fn == AggSpec::Fn::kMin) {
+            st.acc[a] = std::numeric_limits<double>::infinity();
+          } else if (aggs_[a].fn == AggSpec::Fn::kMax) {
+            st.acc[a] = -std::numeric_limits<double>::infinity();
+          }
+        }
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        const AggSpec& spec = aggs_[a];
+        if (spec.fn == AggSpec::Fn::kCount) {
+          st.count[a] += 1;
+          continue;
+        }
+        const Datum& d = t[spec.field];
+        if (d.kind == Datum::Kind::kReal) st.is_real[a] = true;
+        const double v = d.AsReal();
+        switch (spec.fn) {
+          case AggSpec::Fn::kSum:
+          case AggSpec::Fn::kAvg:
+            st.acc[a] += v;
+            st.count[a] += 1;
+            break;
+          case AggSpec::Fn::kMin:
+            if (v < st.acc[a]) st.acc[a] = v;
+            break;
+          case AggSpec::Fn::kMax:
+            if (v > st.acc[a]) st.acc[a] = v;
+            break;
+          case AggSpec::Fn::kCount:
+            break;
+        }
+      }
+    }
+
+    for (auto& [key, st] : groups) {
+      Tuple out = st.keys;
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        switch (aggs_[a].fn) {
+          case AggSpec::Fn::kCount:
+            out.push_back(Datum::Int(st.count[a]));
+            break;
+          case AggSpec::Fn::kAvg:
+            out.push_back(Datum::Real(
+                st.count[a] == 0 ? 0.0 : st.acc[a] / st.count[a]));
+            break;
+          case AggSpec::Fn::kSum:
+            out.push_back(st.is_real[a]
+                              ? Datum::Real(st.acc[a])
+                              : Datum::Int(static_cast<int64_t>(st.acc[a])));
+            break;
+          case AggSpec::Fn::kMin:
+          case AggSpec::Fn::kMax:
+            out.push_back(st.is_real[a]
+                              ? Datum::Real(st.acc[a])
+                              : Datum::Int(static_cast<int64_t>(st.acc[a])));
+            break;
+        }
+      }
+      results_.push_back(std::move(out));
+    }
+  }
+
+  void Close() override { child_->Close(); }
+
+  bool Next(Tuple* out) override {
+    if (emit_ >= results_.size()) return false;
+    *out = results_[emit_++];
+    return true;
+  }
+
+ private:
+  IteratorPtr child_;
+  std::vector<size_t> group_fields_;
+  std::vector<AggSpec> aggs_;
+  std::vector<Tuple> results_;
+  size_t emit_ = 0;
+};
+
+class LimitIterator final : public Iterator {
+ public:
+  LimitIterator(IteratorPtr child, size_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  void Open() override {
+    child_->Open();
+    produced_ = 0;
+  }
+  void Close() override { child_->Close(); }
+
+  bool Next(Tuple* out) override {
+    if (produced_ >= limit_) return false;
+    if (!child_->Next(out)) return false;
+    ++produced_;
+    return true;
+  }
+
+ private:
+  IteratorPtr child_;
+  size_t limit_;
+  size_t produced_ = 0;
+};
+
+}  // namespace
+
+IteratorPtr MakeScan(std::vector<BatPtr> columns) {
+  return std::make_unique<ScanIterator>(std::move(columns));
+}
+
+IteratorPtr MakeTableScan(const TablePtr& table) {
+  return std::make_unique<TableScanIterator>(table);
+}
+
+IteratorPtr MakeFilter(IteratorPtr child, ExprPtr predicate) {
+  return std::make_unique<FilterIterator>(std::move(child),
+                                          std::move(predicate));
+}
+
+IteratorPtr MakeMap(IteratorPtr child, std::vector<ExprPtr> exprs) {
+  return std::make_unique<MapIterator>(std::move(child), std::move(exprs));
+}
+
+IteratorPtr MakeHashJoin(IteratorPtr left, IteratorPtr right,
+                         size_t left_key_field, size_t right_key_field) {
+  return std::make_unique<HashJoinIterator>(
+      std::move(left), std::move(right), left_key_field, right_key_field);
+}
+
+IteratorPtr MakeAggregate(IteratorPtr child, std::vector<size_t> group_fields,
+                          std::vector<AggSpec> aggs) {
+  return std::make_unique<AggregateIterator>(
+      std::move(child), std::move(group_fields), std::move(aggs));
+}
+
+IteratorPtr MakeLimit(IteratorPtr child, size_t limit) {
+  return std::make_unique<LimitIterator>(std::move(child), limit);
+}
+
+std::vector<Tuple> Collect(Iterator* root) {
+  std::vector<Tuple> out;
+  root->Open();
+  Tuple t;
+  while (root->Next(&t)) out.push_back(t);
+  root->Close();
+  return out;
+}
+
+}  // namespace mammoth::volcano

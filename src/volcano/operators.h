@@ -1,0 +1,64 @@
+#ifndef MAMMOTH_VOLCANO_OPERATORS_H_
+#define MAMMOTH_VOLCANO_OPERATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/bat.h"
+#include "core/table.h"
+#include "volcano/expr.h"
+#include "volcano/tuple.h"
+
+namespace mammoth::volcano {
+
+/// The classic iterator interface: Open / Next / Close, one tuple per call
+/// through a virtual dispatch — the execution paradigm §3 contrasts with
+/// the BAT algebra's bulk operators.
+class Iterator {
+ public:
+  virtual ~Iterator() = default;
+  virtual void Open() = 0;
+  /// Produces the next tuple into *out; returns false at end-of-stream.
+  virtual bool Next(Tuple* out) = 0;
+  virtual void Close() {}
+};
+
+using IteratorPtr = std::unique_ptr<Iterator>;
+
+/// Full scan of a set of column BATs (one tuple assembled per row).
+IteratorPtr MakeScan(std::vector<BatPtr> columns);
+
+/// Scan of a Table's visible rows (merged deltas, deletes skipped).
+IteratorPtr MakeTableScan(const TablePtr& table);
+
+/// Filters child tuples by a boolean expression.
+IteratorPtr MakeFilter(IteratorPtr child, ExprPtr predicate);
+
+/// Computes one output field per expression.
+IteratorPtr MakeMap(IteratorPtr child, std::vector<ExprPtr> exprs);
+
+/// In-memory hash join: builds on the right child, probes with the left;
+/// output tuple = left fields ++ right fields.
+IteratorPtr MakeHashJoin(IteratorPtr left, IteratorPtr right,
+                         size_t left_key_field, size_t right_key_field);
+
+/// Aggregate specification for MakeAggregate.
+struct AggSpec {
+  enum class Fn : uint8_t { kSum, kCount, kMin, kMax, kAvg } fn;
+  size_t field = 0;  // input field (ignored for kCount)
+};
+
+/// Hash aggregation: one output tuple per distinct combination of the
+/// `group_fields`, fields ordered group keys first, then aggregates.
+IteratorPtr MakeAggregate(IteratorPtr child, std::vector<size_t> group_fields,
+                          std::vector<AggSpec> aggs);
+
+/// Passes through the first `limit` tuples.
+IteratorPtr MakeLimit(IteratorPtr child, size_t limit);
+
+/// Drains an iterator tree, returning all produced tuples.
+std::vector<Tuple> Collect(Iterator* root);
+
+}  // namespace mammoth::volcano
+
+#endif  // MAMMOTH_VOLCANO_OPERATORS_H_

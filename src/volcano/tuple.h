@@ -1,0 +1,60 @@
+#ifndef MAMMOTH_VOLCANO_TUPLE_H_
+#define MAMMOTH_VOLCANO_TUPLE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mammoth::volcano {
+
+/// One field of an in-flight tuple. A small tagged union — string payloads
+/// point into the underlying BAT heaps and are not copied, so the measured
+/// slowdown of this engine is interpretation overhead, not gratuitous
+/// copying.
+struct Datum {
+  enum class Kind : uint8_t { kInt, kReal, kStr, kNull } kind = Kind::kNull;
+  int64_t i = 0;
+  double d = 0;
+  std::string_view s;
+
+  static Datum Int(int64_t v) {
+    Datum x;
+    x.kind = Kind::kInt;
+    x.i = v;
+    return x;
+  }
+  static Datum Real(double v) {
+    Datum x;
+    x.kind = Kind::kReal;
+    x.d = v;
+    return x;
+  }
+  static Datum Str(std::string_view v) {
+    Datum x;
+    x.kind = Kind::kStr;
+    x.s = v;
+    return x;
+  }
+
+  double AsReal() const { return kind == Kind::kInt ? static_cast<double>(i) : d; }
+  int64_t AsInt() const { return kind == Kind::kReal ? static_cast<int64_t>(d) : i; }
+
+  bool EqualTo(const Datum& o) const {
+    if (kind == Kind::kStr || o.kind == Kind::kStr) {
+      return kind == Kind::kStr && o.kind == Kind::kStr && s == o.s;
+    }
+    if (kind == Kind::kReal || o.kind == Kind::kReal) {
+      return AsReal() == o.AsReal();
+    }
+    return i == o.i;
+  }
+};
+
+/// A tuple is a row of fields; operators communicate one of these per
+/// Next() call — the paper's "recursive series of method calls ... to
+/// produce a single tuple" (§3).
+using Tuple = std::vector<Datum>;
+
+}  // namespace mammoth::volcano
+
+#endif  // MAMMOTH_VOLCANO_TUPLE_H_

@@ -1,0 +1,477 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/calc.h"
+#include "core/group.h"
+#include "core/join.h"
+#include "core/project.h"
+#include "core/select.h"
+#include "core/sort.h"
+
+namespace mammoth::algebra {
+namespace {
+
+std::vector<Oid> OidsOf(const BatPtr& b) {
+  std::vector<Oid> out;
+  out.reserve(b->Count());
+  for (size_t i = 0; i < b->Count(); ++i) out.push_back(b->OidAt(i));
+  return out;
+}
+
+// ---------------------------------------------------------------- Select --
+
+TEST(SelectTest, PaperExampleSelectEq1927) {
+  // Figure 1 of the paper: select(age, 1927) over {1907,1927,1927,1968}
+  // yields head oids {1,2}.
+  BatPtr age = MakeBat<int32_t>({1907, 1927, 1927, 1968});
+  auto r = ThetaSelect(age, nullptr, Value::Int(1927), CmpOp::kEq);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(OidsOf(*r), (std::vector<Oid>{1, 2}));
+  EXPECT_TRUE((*r)->props().sorted);
+  EXPECT_TRUE((*r)->props().key);
+}
+
+TEST(SelectTest, AllCmpOps) {
+  BatPtr b = MakeBat<int32_t>({5, 1, 3, 5, 9});
+  struct Case {
+    CmpOp op;
+    std::vector<Oid> expect;
+  };
+  const Case cases[] = {
+      {CmpOp::kLt, {1, 2}},       {CmpOp::kLe, {0, 1, 2, 3}},
+      {CmpOp::kEq, {0, 3}},       {CmpOp::kNe, {1, 2, 4}},
+      {CmpOp::kGe, {0, 3, 4}},    {CmpOp::kGt, {4}},
+  };
+  for (const Case& c : cases) {
+    auto r = ThetaSelect(b, nullptr, Value::Int(5), c.op);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(OidsOf(*r), c.expect) << CmpOpName(c.op);
+  }
+}
+
+TEST(SelectTest, SortedInputUsesDenseResult) {
+  BatPtr b = MakeBat<int32_t>({1, 3, 5, 7, 9, 11});
+  b->DeriveProps();
+  ASSERT_TRUE(b->props().sorted);
+  auto r = RangeSelect(b, nullptr, Value::Int(4), Value::Int(10));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->IsDenseTail()) << "sorted select should be dense";
+  EXPECT_EQ(OidsOf(*r), (std::vector<Oid>{2, 3, 4}));
+}
+
+TEST(SelectTest, SortedThetaGtBinarySearch) {
+  BatPtr b = MakeBat<int32_t>({1, 3, 5, 7});
+  b->DeriveProps();
+  auto r = ThetaSelect(b, nullptr, Value::Int(3), CmpOp::kGt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(OidsOf(*r), (std::vector<Oid>{2, 3}));
+}
+
+TEST(SelectTest, CandidateListRestricts) {
+  BatPtr b = MakeBat<int32_t>({5, 5, 5, 5, 5});
+  BatPtr cands = MakeBat<Oid>({Oid{1}, Oid{3}});
+  cands->mutable_props().sorted = true;
+  auto r = ThetaSelect(b, cands, Value::Int(5), CmpOp::kEq);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(OidsOf(*r), (std::vector<Oid>{1, 3}));
+}
+
+TEST(SelectTest, DenseCandidateListRestricts) {
+  BatPtr b = MakeBat<int32_t>({7, 7, 7, 7, 7, 7});
+  BatPtr cands = Bat::NewDense(2, 3);  // positions 2,3,4
+  auto r = ThetaSelect(b, cands, Value::Int(7), CmpOp::kEq);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(OidsOf(*r), (std::vector<Oid>{2, 3, 4}));
+}
+
+TEST(SelectTest, RangeAntiSelect) {
+  BatPtr b = MakeBat<int32_t>({1, 5, 10, 15, 20});
+  auto r = RangeSelect(b, nullptr, Value::Int(5), Value::Int(15), true, true,
+                       /*anti=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(OidsOf(*r), (std::vector<Oid>{0, 4}));
+}
+
+TEST(SelectTest, RangeOpenBounds) {
+  BatPtr b = MakeBat<int32_t>({1, 5, 10});
+  auto lo_only = RangeSelect(b, nullptr, Value::Int(5), Value::Nil());
+  ASSERT_TRUE(lo_only.ok());
+  EXPECT_EQ(OidsOf(*lo_only), (std::vector<Oid>{1, 2}));
+  auto hi_only = RangeSelect(b, nullptr, Value::Nil(), Value::Int(5), true,
+                             /*hi_incl=*/false);
+  ASSERT_TRUE(hi_only.ok());
+  EXPECT_EQ(OidsOf(*hi_only), (std::vector<Oid>{0}));
+}
+
+TEST(SelectTest, StringEqualityViaInterning) {
+  BatPtr names = MakeStringBat({"john", "roger", "bob", "john"});
+  auto r = ThetaSelect(names, nullptr, Value::Str("john"), CmpOp::kEq);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(OidsOf(*r), (std::vector<Oid>{0, 3}));
+  auto missing =
+      ThetaSelect(names, nullptr, Value::Str("nosuch"), CmpOp::kEq);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ((*missing)->Count(), 0u);
+}
+
+TEST(SelectTest, StringOrdering) {
+  BatPtr names = MakeStringBat({"ape", "zebra", "mole"});
+  auto r = ThetaSelect(names, nullptr, Value::Str("mole"), CmpOp::kLe);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(OidsOf(*r), (std::vector<Oid>{0, 2}));
+}
+
+TEST(SelectTest, TypeMismatchIsError) {
+  BatPtr b = MakeBat<int32_t>({1});
+  EXPECT_FALSE(ThetaSelect(b, nullptr, Value::Str("x"), CmpOp::kEq).ok());
+  BatPtr s = MakeStringBat({"x"});
+  EXPECT_FALSE(ThetaSelect(s, nullptr, Value::Int(1), CmpOp::kEq).ok());
+}
+
+TEST(SelectTest, NonZeroHseqbaseOffsetsResults) {
+  BatPtr b = MakeBat<int32_t>({4, 8, 4});
+  b->set_hseqbase(100);
+  auto r = ThetaSelect(b, nullptr, Value::Int(4), CmpOp::kEq);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(OidsOf(*r), (std::vector<Oid>{100, 102}));
+}
+
+// --------------------------------------------------------------- Project --
+
+TEST(ProjectTest, FetchValuesByOid) {
+  BatPtr values = MakeBat<int32_t>({10, 20, 30, 40});
+  BatPtr oids = MakeBat<Oid>({Oid{3}, Oid{0}, Oid{3}});
+  auto r = Project(oids, values);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->Count(), 3u);
+  EXPECT_EQ((*r)->ValueAt<int32_t>(0), 40);
+  EXPECT_EQ((*r)->ValueAt<int32_t>(1), 10);
+  EXPECT_EQ((*r)->ValueAt<int32_t>(2), 40);
+}
+
+TEST(ProjectTest, DenseOverDenseStaysDense) {
+  BatPtr values = Bat::NewDense(1000, 100);
+  BatPtr oids = Bat::NewDense(10, 5);
+  auto r = Project(oids, values);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*r)->IsDenseTail());
+  EXPECT_EQ((*r)->OidAt(0), 1010u);
+}
+
+TEST(ProjectTest, StringsShareHeap) {
+  BatPtr names = MakeStringBat({"a", "b", "c"});
+  BatPtr oids = MakeBat<Oid>({Oid{2}, Oid{0}});
+  auto r = Project(oids, names);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->heap().get(), names->heap().get());
+  EXPECT_EQ((*r)->StringAt(0), "c");
+  EXPECT_EQ((*r)->StringAt(1), "a");
+}
+
+TEST(ProjectTest, OutOfRangeOidRejected) {
+  BatPtr values = MakeBat<int32_t>({1, 2});
+  BatPtr oids = MakeBat<Oid>({Oid{5}});
+  EXPECT_FALSE(Project(oids, values).ok());
+}
+
+TEST(ProjectTest, RespectsValueHseqbase) {
+  BatPtr values = MakeBat<int32_t>({10, 20, 30});
+  values->set_hseqbase(50);
+  BatPtr oids = MakeBat<Oid>({Oid{51}});
+  auto r = Project(oids, values);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->ValueAt<int32_t>(0), 20);
+}
+
+// ------------------------------------------------------------------ Join --
+
+TEST(JoinTest, HashJoinBasic) {
+  BatPtr l = MakeBat<int32_t>({1, 2, 3, 2});
+  BatPtr r = MakeBat<int32_t>({2, 4, 1});
+  auto jr = HashJoin(l, r);
+  ASSERT_TRUE(jr.ok());
+  // Matches: l0-r2 (1), l1-r0 (2), l3-r0 (2).
+  ASSERT_EQ(jr->Count(), 3u);
+  std::vector<std::pair<Oid, Oid>> pairs;
+  for (size_t i = 0; i < jr->Count(); ++i) {
+    pairs.emplace_back(jr->left->OidAt(i), jr->right->OidAt(i));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  EXPECT_EQ(pairs, (std::vector<std::pair<Oid, Oid>>{{0, 2}, {1, 0}, {3, 0}}));
+}
+
+TEST(JoinTest, MergeJoinMatchesHashJoinOnSortedData) {
+  BatPtr l = MakeBat<int32_t>({1, 2, 2, 5, 9});
+  BatPtr r = MakeBat<int32_t>({2, 2, 5, 7});
+  l->DeriveProps();
+  r->DeriveProps();
+  auto mj = MergeJoin(l, r);
+  ASSERT_TRUE(mj.ok());
+  auto hj = HashJoin(l, r);
+  ASSERT_TRUE(hj.ok());
+  ASSERT_EQ(mj->Count(), hj->Count());
+  EXPECT_EQ(mj->Count(), 5u);  // 2x2 cross product + one 5-match
+}
+
+TEST(JoinTest, StringJoinAcrossDifferentHeaps) {
+  BatPtr l = MakeStringBat({"ape", "bee", "cat"});
+  BatPtr r = MakeStringBat({"cat", "dog", "ape"});
+  auto jr = HashJoin(l, r);
+  ASSERT_TRUE(jr.ok());
+  ASSERT_EQ(jr->Count(), 2u);
+}
+
+TEST(JoinTest, EmptyInputsYieldEmptyResult) {
+  BatPtr l = Bat::New(PhysType::kInt32);
+  BatPtr r = MakeBat<int32_t>({1, 2});
+  auto jr = HashJoin(l, r);
+  ASSERT_TRUE(jr.ok());
+  EXPECT_EQ(jr->Count(), 0u);
+}
+
+TEST(JoinTest, TypeMismatchRejected) {
+  BatPtr l = MakeBat<int32_t>({1});
+  BatPtr r = MakeBat<int64_t>({1});
+  EXPECT_FALSE(HashJoin(l, r).ok());
+}
+
+TEST(JoinTest, RandomizedHashVsMergeAgreeOnPairCount) {
+  Rng rng(7);
+  BatPtr l = Bat::New(PhysType::kInt32);
+  BatPtr r = Bat::New(PhysType::kInt32);
+  for (int i = 0; i < 2000; ++i) {
+    l->Append<int32_t>(static_cast<int32_t>(rng.Uniform(100)));
+  }
+  for (int i = 0; i < 1500; ++i) {
+    r->Append<int32_t>(static_cast<int32_t>(rng.Uniform(100)));
+  }
+  auto hj = HashJoin(l, r);
+  ASSERT_TRUE(hj.ok());
+  auto ls = Sort(l);
+  auto rs = Sort(r);
+  ASSERT_TRUE(ls.ok() && rs.ok());
+  auto mj = MergeJoin(ls->sorted, rs->sorted);
+  ASSERT_TRUE(mj.ok());
+  EXPECT_EQ(hj->Count(), mj->Count());
+}
+
+// ----------------------------------------------------------------- Group --
+
+TEST(GroupTest, SingleColumnGrouping) {
+  BatPtr b = MakeBat<int32_t>({7, 3, 7, 3, 9});
+  auto g = Group(b);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->ngroups, 3u);
+  ASSERT_EQ(g->groups->Count(), 5u);
+  EXPECT_EQ(g->groups->OidAt(0), g->groups->OidAt(2));
+  EXPECT_EQ(g->groups->OidAt(1), g->groups->OidAt(3));
+  EXPECT_NE(g->groups->OidAt(0), g->groups->OidAt(4));
+  // extents point at first member rows 0,1,4
+  EXPECT_EQ(OidsOf(g->extents), (std::vector<Oid>{0, 1, 4}));
+}
+
+TEST(GroupTest, SubgroupRefinement) {
+  // Two columns: (a, b) pairs (1,x),(1,y),(2,x),(1,x)
+  BatPtr a = MakeBat<int32_t>({1, 1, 2, 1});
+  BatPtr b = MakeStringBat({"x", "y", "x", "x"});
+  auto ga = Group(a);
+  ASSERT_TRUE(ga.ok());
+  EXPECT_EQ(ga->ngroups, 2u);
+  auto gab = Group(b, ga->groups, ga->ngroups);
+  ASSERT_TRUE(gab.ok());
+  EXPECT_EQ(gab->ngroups, 3u);  // (1,x),(1,y),(2,x)
+  EXPECT_EQ(gab->groups->OidAt(0), gab->groups->OidAt(3));
+}
+
+TEST(GroupTest, AggregatesPerGroup) {
+  BatPtr key = MakeBat<int32_t>({1, 2, 1, 2, 1});
+  BatPtr val = MakeBat<int32_t>({10, 20, 30, 40, 50});
+  auto g = Group(key);
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->ngroups, 2u);
+  auto sum = AggrSum(val, g->groups, g->ngroups);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ((*sum)->ValueAt<int64_t>(0), 90);  // 10+30+50
+  EXPECT_EQ((*sum)->ValueAt<int64_t>(1), 60);  // 20+40
+  auto cnt = AggrCount(g->groups, g->ngroups, 5);
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ((*cnt)->ValueAt<int64_t>(0), 3);
+  EXPECT_EQ((*cnt)->ValueAt<int64_t>(1), 2);
+  auto mn = AggrMin(val, g->groups, g->ngroups);
+  auto mx = AggrMax(val, g->groups, g->ngroups);
+  ASSERT_TRUE(mn.ok() && mx.ok());
+  EXPECT_EQ((*mn)->ValueAt<int32_t>(0), 10);
+  EXPECT_EQ((*mx)->ValueAt<int32_t>(0), 50);
+  auto avg = AggrAvg(val, g->groups, g->ngroups);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ((*avg)->ValueAt<double>(0), 30.0);
+}
+
+TEST(GroupTest, GlobalAggregates) {
+  BatPtr val = MakeBat<double>({1.5, 2.5, 3.0});
+  auto sum = AggrSum(val, nullptr, 1);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ((*sum)->ValueAt<double>(0), 7.0);
+  auto cnt = AggrCount(nullptr, 1, 3);
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ((*cnt)->ValueAt<int64_t>(0), 3);
+}
+
+TEST(GroupTest, ManyGroupsForceTableGrowth) {
+  // Regression: the group hash table must rehash past its initial 128
+  // slots (found by optimizer_fuzz_test hanging on >128 distinct values).
+  BatPtr b = Bat::New(PhysType::kInt32);
+  for (int32_t i = 0; i < 5000; ++i) b->Append<int32_t>(i % 1733);
+  auto g = Group(b);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->ngroups, 1733u);
+  auto cnt = AggrCount(g->groups, g->ngroups, 5000);
+  ASSERT_TRUE(cnt.ok());
+  int64_t total = 0;
+  for (size_t i = 0; i < g->ngroups; ++i) {
+    total += (*cnt)->ValueAt<int64_t>(i);
+  }
+  EXPECT_EQ(total, 5000);
+}
+
+TEST(GroupTest, DistinctPreservesFirstAppearance) {
+  BatPtr b = MakeBat<int32_t>({5, 1, 5, 2, 1});
+  auto d = Distinct(b);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ((*d)->Count(), 3u);
+  EXPECT_EQ((*d)->ValueAt<int32_t>(0), 5);
+  EXPECT_EQ((*d)->ValueAt<int32_t>(1), 1);
+  EXPECT_EQ((*d)->ValueAt<int32_t>(2), 2);
+}
+
+// ------------------------------------------------------------------ Sort --
+
+TEST(SortTest, SortsAndProducesOrderIndex) {
+  BatPtr b = MakeBat<int32_t>({30, 10, 20});
+  auto s = Sort(b);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->sorted->ValueAt<int32_t>(0), 10);
+  EXPECT_EQ(s->sorted->ValueAt<int32_t>(1), 20);
+  EXPECT_EQ(s->sorted->ValueAt<int32_t>(2), 30);
+  EXPECT_EQ(OidsOf(s->order), (std::vector<Oid>{1, 2, 0}));
+  EXPECT_TRUE(s->sorted->props().sorted);
+}
+
+TEST(SortTest, RadixPathMatchesComparisonPath) {
+  Rng rng(13);
+  BatPtr a = Bat::New(PhysType::kInt32);
+  for (int i = 0; i < 5000; ++i) {
+    a->Append<int32_t>(static_cast<int32_t>(rng.Next()));  // incl. negatives
+  }
+  auto s = Sort(a);  // radix path (int32 ascending)
+  ASSERT_TRUE(s.ok());
+  const int32_t* v = s->sorted->TailData<int32_t>();
+  for (size_t i = 1; i < s->sorted->Count(); ++i) {
+    ASSERT_LE(v[i - 1], v[i]) << "at " << i;
+  }
+}
+
+TEST(SortTest, DescendingSort) {
+  BatPtr b = MakeBat<int32_t>({1, 3, 2});
+  auto s = Sort(b, /*descending=*/true);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->sorted->ValueAt<int32_t>(0), 3);
+  EXPECT_EQ(s->sorted->ValueAt<int32_t>(2), 1);
+  EXPECT_TRUE(s->sorted->props().revsorted);
+}
+
+TEST(SortTest, StringSortLexicographic) {
+  BatPtr b = MakeStringBat({"mole", "ape", "zebra"});
+  auto s = Sort(b);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->sorted->StringAt(0), "ape");
+  EXPECT_EQ(s->sorted->StringAt(2), "zebra");
+}
+
+TEST(SortTest, TopN) {
+  BatPtr b = MakeBat<int32_t>({50, 10, 40, 20, 30});
+  auto top2 = TopN(b, 2);
+  ASSERT_TRUE(top2.ok());
+  EXPECT_EQ(OidsOf(*top2), (std::vector<Oid>{1, 3}));  // values 10, 20
+  auto bottom2 = TopN(b, 2, /*descending=*/true);
+  ASSERT_TRUE(bottom2.ok());
+  EXPECT_EQ(OidsOf(*bottom2), (std::vector<Oid>{0, 2}));  // values 50, 40
+}
+
+TEST(SortTest, StableForEqualKeys) {
+  BatPtr b = MakeBat<int64_t>({2, 1, 2, 1});
+  auto s = Sort(b);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(OidsOf(s->order), (std::vector<Oid>{1, 3, 0, 2}));
+}
+
+// ------------------------------------------------------------------ Calc --
+
+TEST(CalcTest, BinaryArithmetic) {
+  BatPtr a = MakeBat<int32_t>({1, 2, 3});
+  BatPtr b = MakeBat<int32_t>({10, 20, 30});
+  auto add = CalcBinary(ArithOp::kAdd, a, b);
+  ASSERT_TRUE(add.ok());
+  EXPECT_EQ((*add)->type(), PhysType::kInt32);
+  EXPECT_EQ((*add)->ValueAt<int32_t>(2), 33);
+  auto mul = CalcBinary(ArithOp::kMul, a, b);
+  ASSERT_TRUE(mul.ok());
+  EXPECT_EQ((*mul)->ValueAt<int32_t>(1), 40);
+}
+
+TEST(CalcTest, PromotionToDouble) {
+  BatPtr a = MakeBat<int32_t>({1, 2});
+  BatPtr b = MakeBat<double>({0.5, 0.25});
+  auto r = CalcBinary(ArithOp::kMul, a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), PhysType::kDouble);
+  EXPECT_DOUBLE_EQ((*r)->ValueAt<double>(0), 0.5);
+}
+
+TEST(CalcTest, PromotionToInt64) {
+  BatPtr a = MakeBat<int32_t>({1 << 30});
+  BatPtr b = MakeBat<int64_t>({int64_t{1} << 40});
+  auto r = CalcBinary(ArithOp::kAdd, a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->type(), PhysType::kInt64);
+  EXPECT_EQ((*r)->ValueAt<int64_t>(0), (int64_t{1} << 40) + (1 << 30));
+}
+
+TEST(CalcTest, IntegerDivisionByZeroIsError) {
+  BatPtr a = MakeBat<int32_t>({1});
+  BatPtr b = MakeBat<int32_t>({0});
+  EXPECT_FALSE(CalcBinary(ArithOp::kDiv, a, b).ok());
+}
+
+TEST(CalcTest, ScalarOps) {
+  BatPtr a = MakeBat<int32_t>({10, 20});
+  auto r = CalcScalar(ArithOp::kSub, a, Value::Int(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->ValueAt<int32_t>(0), 5);
+  auto d = CalcScalar(ArithOp::kMul, a, Value::Real(0.5));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->type(), PhysType::kDouble);
+  EXPECT_DOUBLE_EQ((*d)->ValueAt<double>(1), 10.0);
+}
+
+TEST(CalcTest, CompareProducesBitmask) {
+  BatPtr a = MakeBat<int32_t>({1, 5, 3});
+  BatPtr b = MakeBat<int32_t>({2, 2, 3});
+  auto r = CalcCompare(CmpOp::kLt, a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->ValueAt<int8_t>(0), 1);
+  EXPECT_EQ((*r)->ValueAt<int8_t>(1), 0);
+  EXPECT_EQ((*r)->ValueAt<int8_t>(2), 0);
+}
+
+TEST(CalcTest, MisalignedInputsRejected) {
+  BatPtr a = MakeBat<int32_t>({1, 2});
+  BatPtr b = MakeBat<int32_t>({1});
+  EXPECT_FALSE(CalcBinary(ArithOp::kAdd, a, b).ok());
+}
+
+}  // namespace
+}  // namespace mammoth::algebra

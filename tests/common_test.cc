@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace mammoth {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "Ok");
+  const Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: thing");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTypeMismatch), "TypeMismatch");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  MAMMOTH_ASSIGN_OR_RETURN(int h, Half(x));
+  MAMMOTH_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, ValueAndErrorPropagation) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto second_fails = Quarter(6);  // 6/2=3 is odd
+  ASSERT_FALSE(second_fails.ok());
+  EXPECT_EQ(second_fails.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformBoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+    const int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> hist(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hist[rng.Uniform(10)];
+  for (int count : hist) {
+    EXPECT_NEAR(count, n / 10, n / 100);  // within 10% relative
+  }
+}
+
+TEST(ZipfTest, RankZeroDominates) {
+  ZipfGenerator zipf(1000, 1.0, 3);
+  std::map<uint64_t, int> hist;
+  for (int i = 0; i < 20000; ++i) ++hist[zipf.Next()];
+  EXPECT_GT(hist[0], hist[10] * 2);
+  EXPECT_GT(hist[0], 1000);
+  // All ranks in range.
+  for (const auto& [rank, count] : hist) EXPECT_LT(rank, 1000u);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  ZipfGenerator zipf(10, 0.0, 5);
+  std::map<uint64_t, int> hist;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++hist[zipf.Next()];
+  for (const auto& [rank, count] : hist) {
+    EXPECT_NEAR(count, n / 10, n / 50);
+  }
+}
+
+TEST(BitutilTest, NextPow2) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+  EXPECT_EQ(NextPow2(1025), 2048u);
+}
+
+TEST(BitutilTest, Logs) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(7), 2u);
+  EXPECT_EQ(FloorLog2(8), 3u);
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(7), 3u);
+  EXPECT_EQ(CeilLog2(8), 3u);
+  EXPECT_EQ(CeilLog2(9), 4u);
+  EXPECT_EQ(BitWidth(0), 0u);
+  EXPECT_EQ(BitWidth(255), 8u);
+}
+
+TEST(BitutilTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 64), 0u);
+  EXPECT_EQ(AlignUp(1, 64), 64u);
+  EXPECT_EQ(AlignUp(64, 64), 64u);
+  EXPECT_EQ(AlignUp(65, 64), 128u);
+}
+
+TEST(HashTest, DistinctInputsRarelyCollide) {
+  std::map<uint64_t, int> seen;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    ++seen[HashInt(i)];
+  }
+  EXPECT_EQ(seen.size(), 100000u);  // 64-bit: collisions ~impossible here
+}
+
+TEST(HashTest, LowBitsWellDistributed) {
+  // The radix algorithms take the LOW bits of HashInt: sequential keys must
+  // spread evenly over 2^8 buckets.
+  std::vector<int> hist(256, 0);
+  const int n = 1 << 16;
+  for (int i = 0; i < n; ++i) ++hist[HashInt(uint64_t(i)) & 255];
+  for (int count : hist) EXPECT_NEAR(count, n / 256, n / 256 / 2);
+}
+
+TEST(HashTest, StringsAndCombine) {
+  EXPECT_EQ(HashString("mammoth"), HashString("mammoth"));
+  EXPECT_NE(HashString("mammoth"), HashString("mammotH"));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_NE(HashDouble(1.0), HashDouble(-1.0));
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 1000000; ++i) x += i;
+  EXPECT_GT(t.ElapsedSeconds(), 0.0);
+  EXPECT_GT(t.ElapsedMicros(), t.ElapsedSeconds());  // unit sanity
+}
+
+TEST(TimerTest, CycleCounterMonotoneAndCalibrated) {
+  const uint64_t a = ReadCycleCounter();
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  const uint64_t b = ReadCycleCounter();
+  EXPECT_GT(b, a);
+  const double hz = CyclesPerSecond();
+  EXPECT_GT(hz, 1e8);   // >100 MHz
+  EXPECT_LT(hz, 1e11);  // <100 GHz
+}
+
+}  // namespace
+}  // namespace mammoth

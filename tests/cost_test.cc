@@ -1,0 +1,171 @@
+#include "cost/model.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/calibrator.h"
+
+namespace mammoth::cost {
+namespace {
+
+HardwareProfile Hw() { return HardwareProfile::Default(); }
+
+TEST(HardwareProfileTest, DefaultIsOrdered) {
+  const HardwareProfile hw = Hw();
+  ASSERT_GE(hw.levels.size(), 2u);
+  for (size_t i = 1; i < hw.levels.size(); ++i) {
+    EXPECT_GT(hw.levels[i].capacity_bytes, hw.levels[i - 1].capacity_bytes);
+    EXPECT_GE(hw.levels[i].rand_miss_ns, hw.levels[i - 1].rand_miss_ns);
+  }
+  EXPECT_FALSE(hw.ToString().empty());
+}
+
+TEST(AccessPatternTest, SeqTraversalLinearInBytes) {
+  const HardwareProfile hw = Hw();
+  const double one = ScoreNs(hw, SeqTraversal(hw, 1 << 20));
+  const double two = ScoreNs(hw, SeqTraversal(hw, 2 << 20));
+  EXPECT_NEAR(two / one, 2.0, 0.01);
+}
+
+TEST(AccessPatternTest, RandomAccessCheapWhileCacheResident) {
+  const HardwareProfile hw = Hw();
+  const size_t accesses = 1 << 20;
+  // Region within L1 vs region far beyond L3.
+  const double small = ScoreNs(hw, RandomAccess(hw, 16 << 10, accesses));
+  const double large = ScoreNs(hw, RandomAccess(hw, 256 << 20, accesses));
+  EXPECT_GT(large / small, 20.0);
+}
+
+TEST(AccessPatternTest, RandomAccessMonotoneInRegion) {
+  const HardwareProfile hw = Hw();
+  const size_t accesses = 1 << 18;
+  double prev = 0;
+  for (size_t bytes = 16 << 10; bytes <= (64 << 20); bytes *= 4) {
+    const double ns = ScoreNs(hw, RandomAccess(hw, bytes, accesses));
+    EXPECT_GE(ns, prev * 0.999) << bytes;
+    prev = ns;
+  }
+}
+
+TEST(AccessPatternTest, ScatterThrashesBeyondLineBudget) {
+  const HardwareProfile hw = Hw();
+  const size_t bytes = 64 << 20;
+  // 2^6 regions: fine. 2^16 regions: way past L1/L2 lines and TLB entries.
+  const double few = ScoreNs(hw, ScatterRegions(hw, bytes, 1u << 6));
+  const double many = ScoreNs(hw, ScatterRegions(hw, bytes, 1u << 16));
+  EXPECT_GT(many / few, 5.0);
+}
+
+TEST(OperatorModelTest, HashJoinDegradesWithInnerSize) {
+  const HardwareProfile hw = Hw();
+  // Per-probe cost should rise sharply once the inner table leaves cache.
+  const double fits =
+      HashJoinCostNs(hw, 1 << 20, 1 << 12, 12) / static_cast<double>(1 << 20);
+  const double spills =
+      HashJoinCostNs(hw, 1 << 20, 1 << 22, 12) / static_cast<double>(1 << 20);
+  EXPECT_GT(spills / fits, 3.0);
+}
+
+TEST(OperatorModelTest, MultiPassClusterBeatsSinglePassAtHighBits) {
+  const HardwareProfile hw = Hw();
+  const size_t n = 8 << 20;
+  const double one_pass = RadixClusterCostNs(hw, n, 12, {14});
+  const double two_pass = RadixClusterCostNs(hw, n, 12, {7, 7});
+  EXPECT_LT(two_pass, one_pass);
+  // And at low bits a single pass is not worse than two.
+  const double low_one = RadixClusterCostNs(hw, n, 12, {4});
+  const double low_two = RadixClusterCostNs(hw, n, 12, {2, 2});
+  EXPECT_LE(low_one, low_two * 1.05);
+}
+
+TEST(OperatorModelTest, PartitionedBeatsSimpleJoinForLargeInputs) {
+  // The order-of-magnitude claim is from hardware with no memory-level
+  // parallelism; evaluate the model under the paper-era profile.
+  const HardwareProfile hw = HardwareProfile::Pentium4Era();
+  const size_t n = 8 << 20;
+  const double simple = PartitionedJoinCostNs(hw, n, n, 12, 0, 1);
+  const RadixPlan plan = PlanRadixJoin(hw, n, n, 12);
+  EXPECT_GT(plan.bits, 0);
+  EXPECT_LT(plan.predicted_ns, simple);
+  // The planned partition should make the inner side cache-resident-ish.
+  const size_t part_bytes = (n >> plan.bits) * (12 + 8);
+  EXPECT_LT(part_bytes, 4 * hw.levels.back().capacity_bytes);
+}
+
+TEST(OperatorModelTest, MlpShrinksThePartitioningWin) {
+  // On a deep-MLP machine the same join gains much less from partitioning
+  // — the modern-hardware effect the measured E4 numbers show.
+  const size_t n = 8 << 20;
+  HardwareProfile modern = HardwareProfile::Default();
+  modern.mlp = 8.0;
+  const double simple_modern = PartitionedJoinCostNs(modern, n, n, 12, 0, 1);
+  const RadixPlan plan_modern = PlanRadixJoin(modern, n, n, 12);
+  const double gain_modern = simple_modern / plan_modern.predicted_ns;
+
+  const HardwareProfile old_hw = HardwareProfile::Pentium4Era();
+  const double simple_old = PartitionedJoinCostNs(old_hw, n, n, 12, 0, 1);
+  const RadixPlan plan_old = PlanRadixJoin(old_hw, n, n, 12);
+  const double gain_old = simple_old / plan_old.predicted_ns;
+  EXPECT_GT(gain_old, gain_modern);
+  EXPECT_GT(gain_old, 3.0);  // paper-era: large multiple
+}
+
+TEST(OperatorModelTest, PlanPrefersNoClusteringForTinyInputs) {
+  const HardwareProfile hw = Hw();
+  const RadixPlan plan = PlanRadixJoin(hw, 1000, 1000, 12);
+  EXPECT_EQ(plan.bits, 0);
+}
+
+TEST(OperatorModelTest, ScanCostLinear) {
+  const HardwareProfile hw = Hw();
+  EXPECT_NEAR(ScanCostNs(hw, 2000, 4) / ScanCostNs(hw, 1000, 4), 2.0, 0.05);
+}
+
+TEST(OperatorModelTest, EraDecidesProjectionStrategy) {
+  // On the paper's hardware the cost model must prefer radix-decluster; on
+  // a modern deep-MLP machine it must prefer the naive gather (see E5 in
+  // EXPERIMENTS.md).
+  const size_t n = 32 << 20, nvalues = 128 << 20;
+  const HardwareProfile old_hw = HardwareProfile::Pentium4Era();
+  EXPECT_LT(DeclusterProjectionCostNs(old_hw, n, nvalues, 4),
+            NaiveProjectionCostNs(old_hw, n, nvalues, 4));
+  HardwareProfile modern = HardwareProfile::Default();
+  modern.mlp = 10.0;
+  modern.levels[2].capacity_bytes = 256 << 20;  // this host's giant LLC
+  EXPECT_GT(DeclusterProjectionCostNs(modern, n, nvalues, 4),
+            NaiveProjectionCostNs(modern, n, nvalues, 4));
+}
+
+TEST(OperatorModelTest, MlpDiscountsIndependentAccesses) {
+  HardwareProfile hw = HardwareProfile::Default();
+  hw.mlp = 1.0;
+  const double serial = ScoreNs(hw, RandomAccess(hw, 1 << 30, 1 << 20));
+  hw.mlp = 8.0;
+  const double overlapped = ScoreNs(hw, RandomAccess(hw, 1 << 30, 1 << 20));
+  EXPECT_NEAR(serial / overlapped, 8.0, 0.01);
+}
+
+TEST(CalibratorTest, MlpAtLeastOne) {
+  const double chase = MeasureRandomLatencyNs(64 << 20, 1 << 15);
+  const double gather = MeasureGatherLatencyNs(64 << 20, 1 << 15);
+  EXPECT_GT(chase, 0.0);
+  EXPECT_GT(gather, 0.0);
+  // Modern OoO cores overlap independent misses: gather must be faster.
+  EXPECT_LT(gather, chase);
+}
+
+TEST(CalibratorTest, RandomLatencyGrowsWithWorkingSet) {
+  // Keep iterations small: this is a smoke test, not a benchmark.
+  const double small = MeasureRandomLatencyNs(16 << 10, 1 << 16);
+  const double large = MeasureRandomLatencyNs(32 << 20, 1 << 16);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);  // RAM must be slower than L1
+}
+
+TEST(CalibratorTest, SequentialFasterThanRandom) {
+  const double seq = MeasureSequentialLatencyNs(32 << 20, 1 << 20);
+  const double rnd = MeasureRandomLatencyNs(32 << 20, 1 << 16);
+  EXPECT_GT(rnd / seq, 4.0);
+}
+
+}  // namespace
+}  // namespace mammoth::cost

@@ -1,0 +1,125 @@
+// Engine paths not covered by sql_test: optimizer-off equivalence, empty
+// inputs, string grouping, degenerate LIMIT, COUNT(col), and the
+// introspection accessors.
+
+#include <gtest/gtest.h>
+
+#include "sql/engine.h"
+
+namespace mammoth::sql {
+namespace {
+
+class EngineExtraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_
+                    .ExecuteScript(
+                        "CREATE TABLE pets (species VARCHAR(16), legs INT, "
+                        "mass DOUBLE);"
+                        "INSERT INTO pets VALUES ('dog', 4, 12.0), "
+                        "('cat', 4, 4.5), ('parrot', 2, 0.4), "
+                        "('dog', 4, 30.0), ('snake', 0, 2.0);")
+                    .ok());
+  }
+  Engine engine_;
+};
+
+TEST_F(EngineExtraTest, OptimizerOffGivesSameAnswer) {
+  const std::string q =
+      "SELECT species, count(*), sum(mass) FROM pets "
+      "WHERE legs >= 1 AND legs <= 4 GROUP BY species ORDER BY species";
+  auto on = engine_.Execute(q);
+  ASSERT_TRUE(on.ok());
+  const size_t optimized_instrs = engine_.last_run_stats().instructions;
+
+  engine_.EnableOptimizer(false);
+  auto off = engine_.Execute(q);
+  ASSERT_TRUE(off.ok());
+  EXPECT_GT(engine_.last_run_stats().instructions, optimized_instrs);
+  EXPECT_EQ(engine_.last_opt_report().fused, 0u);
+
+  ASSERT_EQ(on->RowCount(), off->RowCount());
+  for (size_t i = 0; i < on->RowCount(); ++i) {
+    EXPECT_EQ(on->columns[0]->StringAt(i), off->columns[0]->StringAt(i));
+    EXPECT_EQ(on->columns[1]->ValueAt<int64_t>(i),
+              off->columns[1]->ValueAt<int64_t>(i));
+    EXPECT_DOUBLE_EQ(on->columns[2]->ValueAt<double>(i),
+                     off->columns[2]->ValueAt<double>(i));
+  }
+}
+
+TEST_F(EngineExtraTest, GroupByStringColumn) {
+  auto r = engine_.Execute(
+      "SELECT species, count(*) FROM pets GROUP BY species "
+      "ORDER BY species");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->RowCount(), 4u);
+  EXPECT_EQ(r->columns[0]->StringAt(1), "dog");
+  EXPECT_EQ(r->columns[1]->ValueAt<int64_t>(1), 2);
+}
+
+TEST_F(EngineExtraTest, CountColumnEqualsCountStar) {
+  auto r = engine_.Execute("SELECT count(legs), count(*) FROM pets");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->columns[0]->ValueAt<int64_t>(0), 5);
+  EXPECT_EQ(r->columns[1]->ValueAt<int64_t>(0), 5);
+}
+
+TEST_F(EngineExtraTest, LimitZeroAndBeyondRowCount) {
+  auto zero = engine_.Execute("SELECT species FROM pets LIMIT 0");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->RowCount(), 0u);
+  auto big = engine_.Execute("SELECT species FROM pets LIMIT 99");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->RowCount(), 5u);
+}
+
+TEST_F(EngineExtraTest, EmptyTableQueries) {
+  ASSERT_TRUE(engine_.Execute("CREATE TABLE void (x INT)").ok());
+  auto scan = engine_.Execute("SELECT x FROM void");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->RowCount(), 0u);
+  auto agg = engine_.Execute("SELECT count(*), sum(x) FROM void");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->columns[0]->ValueAt<int64_t>(0), 0);
+  EXPECT_EQ(agg->columns[1]->ValueAt<int64_t>(0), 0);
+  auto grouped = engine_.Execute("SELECT x, count(*) FROM void GROUP BY x");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->RowCount(), 0u);
+}
+
+TEST_F(EngineExtraTest, SelectAfterEveryMutationKind) {
+  ASSERT_TRUE(
+      engine_.Execute("UPDATE pets SET mass = 1.0 WHERE species = 'snake'")
+          .ok());
+  ASSERT_TRUE(engine_.Execute("DELETE FROM pets WHERE legs = 2").ok());
+  ASSERT_TRUE(
+      engine_.Execute("INSERT INTO pets VALUES ('gecko', 4, 0.05)").ok());
+  auto r = engine_.Execute(
+      "SELECT count(*), min(mass), max(legs) FROM pets");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->columns[0]->ValueAt<int64_t>(0), 5);  // 5 -1 +1
+  EXPECT_DOUBLE_EQ(r->columns[1]->ValueAt<double>(0), 0.05);
+  EXPECT_EQ(r->columns[2]->ValueAt<int32_t>(0), 4);
+}
+
+TEST_F(EngineExtraTest, HavingOnStringLabel) {
+  auto r = engine_.Execute(
+      "SELECT species, count(*) FROM pets GROUP BY species "
+      "HAVING species != 'dog' ORDER BY species");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->RowCount(), 3u);
+  for (size_t i = 0; i < r->RowCount(); ++i) {
+    EXPECT_NE(r->columns[0]->StringAt(i), "dog");
+  }
+}
+
+TEST_F(EngineExtraTest, PlanTextExposesPipeline) {
+  ASSERT_TRUE(
+      engine_.Execute("SELECT sum(mass) FROM pets WHERE legs = 4").ok());
+  EXPECT_NE(engine_.last_plan_text().find("aggr.sum"), std::string::npos);
+  EXPECT_NE(engine_.last_plan_text().find("sql.tid"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mammoth::sql

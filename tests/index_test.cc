@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/select.h"
+#include "index/btree.h"
+#include "index/cracking.h"
+#include "index/css_tree.h"
+#include "index/hash_index.h"
+
+namespace mammoth::index {
+namespace {
+
+// ------------------------------------------------------------- Cracking --
+
+std::multiset<int32_t> ScanRange(const std::vector<int32_t>& data, int32_t lo,
+                                 int32_t hi) {
+  std::multiset<int32_t> out;
+  for (int32_t v : data) {
+    if (v >= lo && v <= hi) out.insert(v);
+  }
+  return out;
+}
+
+TEST(CrackingTest, FirstQueryCracksColumn) {
+  std::vector<int32_t> data = {13, 16, 4, 9, 2, 12, 7, 1, 19, 3, 14, 11, 8};
+  CrackerIndex<int32_t> idx(data.data(), data.size());
+  EXPECT_EQ(idx.PieceCount(), 1u);
+  auto oids = idx.RangeSelect(5, 12);
+  EXPECT_EQ(idx.PieceCount(), 3u);  // cracks at 5 and 13
+  EXPECT_TRUE(idx.CheckInvariant());
+  std::multiset<int32_t> got;
+  for (Oid o : oids) got.insert(data[o]);
+  EXPECT_EQ(got, ScanRange(data, 5, 12));
+}
+
+TEST(CrackingTest, RepeatedQueriesRefine) {
+  Rng rng(99);
+  std::vector<int32_t> data(5000);
+  for (auto& v : data) v = static_cast<int32_t>(rng.Uniform(10000));
+  CrackerIndex<int32_t> idx(data.data(), data.size());
+  size_t prev_pieces = idx.PieceCount();
+  for (int q = 0; q < 50; ++q) {
+    const int32_t lo = static_cast<int32_t>(rng.Uniform(9000));
+    const int32_t hi = lo + static_cast<int32_t>(rng.Uniform(1000));
+    auto oids = idx.RangeSelect(lo, hi);
+    std::multiset<int32_t> got;
+    for (Oid o : oids) got.insert(data[o]);
+    ASSERT_EQ(got, ScanRange(data, lo, hi)) << "query " << q;
+    ASSERT_TRUE(idx.CheckInvariant()) << "query " << q;
+    ASSERT_GE(idx.PieceCount(), prev_pieces);
+    prev_pieces = idx.PieceCount();
+  }
+  EXPECT_GT(idx.PieceCount(), 10u);
+}
+
+TEST(CrackingTest, ExclusiveBounds) {
+  std::vector<int32_t> data = {1, 2, 3, 4, 5};
+  CrackerIndex<int32_t> idx(data.data(), data.size());
+  auto oids = idx.RangeSelect(2, 4, /*lo_incl=*/false, /*hi_incl=*/false);
+  ASSERT_EQ(oids.size(), 1u);
+  EXPECT_EQ(data[oids[0]], 3);
+}
+
+TEST(CrackingTest, EmptyAndInvertedRanges) {
+  std::vector<int32_t> data = {5, 1, 9};
+  CrackerIndex<int32_t> idx(data.data(), data.size());
+  EXPECT_TRUE(idx.RangeSelect(7, 3).empty());
+  EXPECT_TRUE(idx.RangeSelect(3, 3, false, true).empty());
+  EXPECT_TRUE(idx.RangeSelect(100, 200).empty());
+}
+
+TEST(CrackingTest, FullDomainQuery) {
+  std::vector<int32_t> data = {5, 1, 9};
+  CrackerIndex<int32_t> idx(data.data(), data.size());
+  auto oids = idx.RangeSelect(std::numeric_limits<int32_t>::min(),
+                              std::numeric_limits<int32_t>::max());
+  EXPECT_EQ(oids.size(), 3u);
+}
+
+TEST(CrackingTest, PendingInsertsVisible) {
+  std::vector<int32_t> data = {10, 20, 30};
+  CrackerIndex<int32_t> idx(data.data(), data.size());
+  idx.Insert(15, 100);
+  idx.Insert(25, 101);
+  auto oids = idx.RangeSelect(12, 22);
+  std::set<Oid> got(oids.begin(), oids.end());
+  EXPECT_EQ(got, (std::set<Oid>{1, 100}));  // stored 20 plus pending 15
+}
+
+TEST(CrackingTest, DeletesHidden) {
+  std::vector<int32_t> data = {10, 20, 30};
+  CrackerIndex<int32_t> idx(data.data(), data.size());
+  idx.Delete(1);
+  auto oids = idx.RangeSelect(0, 100);
+  std::set<Oid> got(oids.begin(), oids.end());
+  EXPECT_EQ(got, (std::set<Oid>{0, 2}));
+}
+
+TEST(CrackingTest, ConsolidateFoldsPendingAndKeepsInvariant) {
+  Rng rng(7);
+  std::vector<int32_t> data(2000);
+  for (auto& v : data) v = static_cast<int32_t>(rng.Uniform(1000));
+  CrackerIndex<int32_t> idx(data.data(), data.size());
+  // Crack a few times first.
+  idx.RangeSelect(100, 300);
+  idx.RangeSelect(500, 700);
+  ASSERT_TRUE(idx.CheckInvariant());
+  // Queue updates.
+  std::vector<int32_t> extra;
+  for (int i = 0; i < 100; ++i) {
+    const int32_t v = static_cast<int32_t>(rng.Uniform(1000));
+    idx.Insert(v, 10000 + i);
+    extra.push_back(v);
+  }
+  idx.Delete(0);
+  idx.Delete(1);
+  idx.ConsolidatePending();
+  EXPECT_EQ(idx.PendingInsertCount(), 0u);
+  EXPECT_EQ(idx.PendingDeleteCount(), 0u);
+  EXPECT_TRUE(idx.CheckInvariant());
+  EXPECT_EQ(idx.size(), 2000u - 2 + 100);
+
+  // Counts must match a scan of the merged logical content.
+  auto oids = idx.RangeSelect(200, 600);
+  size_t expect = 0;
+  for (size_t i = 2; i < data.size(); ++i) {  // oids 0,1 deleted
+    if (data[i] >= 200 && data[i] <= 600) ++expect;
+  }
+  for (int32_t v : extra) {
+    if (v >= 200 && v <= 600) ++expect;
+  }
+  EXPECT_EQ(oids.size(), expect);
+  ASSERT_TRUE(idx.CheckInvariant());
+}
+
+TEST(CrackedBatTest, WrapperMatchesAlgebraSelect) {
+  Rng rng(21);
+  BatPtr b = Bat::New(PhysType::kInt64);
+  for (int i = 0; i < 3000; ++i) {
+    b->Append<int64_t>(static_cast<int64_t>(rng.Uniform(500)));
+  }
+  auto cracked = CrackedBat::Make(b);
+  ASSERT_TRUE(cracked.ok());
+  for (int q = 0; q < 20; ++q) {
+    const int64_t lo = static_cast<int64_t>(rng.Uniform(400));
+    const int64_t hi = lo + static_cast<int64_t>(rng.Uniform(100));
+    auto got = cracked->RangeSelect(Value::Int(lo), Value::Int(hi));
+    ASSERT_TRUE(got.ok());
+    auto want =
+        algebra::RangeSelect(b, nullptr, Value::Int(lo), Value::Int(hi));
+    ASSERT_TRUE(want.ok());
+    std::set<Oid> sg, sw;
+    for (size_t i = 0; i < (*got)->Count(); ++i) sg.insert((*got)->OidAt(i));
+    for (size_t i = 0; i < (*want)->Count(); ++i) {
+      sw.insert((*want)->OidAt(i));
+    }
+    ASSERT_EQ(sg, sw) << "query " << q;
+  }
+}
+
+TEST(CrackedBatTest, RejectsUnsupportedTypes) {
+  BatPtr s = MakeStringBat({"a"});
+  EXPECT_FALSE(CrackedBat::Make(s).ok());
+  BatPtr d = MakeBat<double>({1.0});
+  EXPECT_FALSE(CrackedBat::Make(d).ok());
+}
+
+// ---------------------------------------------------------------- BTree --
+
+TEST(BPlusTreeTest, InsertLookupSmall) {
+  BPlusTree t;
+  t.Insert(5, 50);
+  t.Insert(3, 30);
+  t.Insert(9, 90);
+  EXPECT_EQ(t.LookupFirst(3), 30u);
+  EXPECT_EQ(t.LookupFirst(5), 50u);
+  EXPECT_EQ(t.LookupFirst(9), 90u);
+  EXPECT_EQ(t.LookupFirst(4), kOidNil);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(BPlusTreeTest, ManyKeysSplitAndStayFindable) {
+  BPlusTree t;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    t.Insert((i * 2654435761LL) % 1000003, static_cast<Oid>(i));
+  }
+  EXPECT_GT(t.height(), 2);
+  Rng rng(5);
+  for (int q = 0; q < 1000; ++q) {
+    const int i = static_cast<int>(rng.Uniform(n));
+    const int64_t key = (i * 2654435761LL) % 1000003;
+    auto hits = t.Lookup(key);
+    EXPECT_FALSE(hits.empty()) << key;
+    EXPECT_TRUE(std::find(hits.begin(), hits.end(), static_cast<Oid>(i)) !=
+                hits.end());
+  }
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllReturned) {
+  BPlusTree t;
+  for (int i = 0; i < 500; ++i) t.Insert(42, static_cast<Oid>(i));
+  for (int i = 0; i < 500; ++i) t.Insert(7, static_cast<Oid>(1000 + i));
+  auto hits = t.Lookup(42);
+  EXPECT_EQ(hits.size(), 500u);
+  EXPECT_EQ(t.Lookup(7).size(), 500u);
+  EXPECT_TRUE(t.Lookup(8).empty());
+}
+
+TEST(BPlusTreeTest, RangeScan) {
+  BPlusTree t;
+  for (int i = 0; i < 1000; ++i) t.Insert(i, static_cast<Oid>(i));
+  auto hits = t.Range(100, 199);
+  ASSERT_EQ(hits.size(), 100u);
+  EXPECT_EQ(hits.front(), 100u);
+  EXPECT_EQ(hits.back(), 199u);
+  EXPECT_TRUE(t.Range(5000, 6000).empty());
+  EXPECT_TRUE(t.Range(10, 5).empty());
+}
+
+TEST(BPlusTreeTest, SortedInsertionOrderWorks) {
+  BPlusTree t;
+  for (int i = 0; i < 10000; ++i) t.Insert(i, static_cast<Oid>(i * 10));
+  EXPECT_EQ(t.LookupFirst(9999), 99990u);
+  EXPECT_EQ(t.LookupFirst(0), 0u);
+  EXPECT_EQ(t.Range(0, 9999).size(), 10000u);
+}
+
+// ------------------------------------------------------------- CSS-tree --
+
+TEST(CssTreeTest, LowerBoundMatchesStd) {
+  Rng rng(31);
+  std::vector<int64_t> keys(10000);
+  for (auto& k : keys) k = static_cast<int64_t>(rng.Uniform(100000));
+  std::sort(keys.begin(), keys.end());
+  CssTree t(keys.data(), keys.size());
+  EXPECT_GT(t.levels(), 1);
+  for (int q = 0; q < 2000; ++q) {
+    const int64_t probe = static_cast<int64_t>(rng.Uniform(110000));
+    const size_t want = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+    ASSERT_EQ(t.LowerBound(probe), want) << probe;
+  }
+}
+
+TEST(CssTreeTest, FindExact) {
+  std::vector<int64_t> keys = {2, 4, 6, 8, 10};
+  CssTree t(keys.data(), keys.size());
+  EXPECT_EQ(t.Find(6), 2u);
+  EXPECT_EQ(t.Find(7), std::numeric_limits<size_t>::max());
+  EXPECT_EQ(t.Find(2), 0u);
+  EXPECT_EQ(t.Find(10), 4u);
+}
+
+TEST(CssTreeTest, RangePositions) {
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back(i * 3);
+  CssTree t(keys.data(), keys.size());
+  auto [first, last] = t.Range(30, 60);
+  EXPECT_EQ(first, 10u);
+  EXPECT_EQ(last, 21u);  // 30,33,...,60 inclusive
+  auto [e1, e2] = t.Range(10000, 20000);
+  EXPECT_EQ(e1, e2);
+}
+
+TEST(CssTreeTest, EmptyAndTiny) {
+  std::vector<int64_t> none;
+  CssTree t0(none.data(), 0);
+  EXPECT_EQ(t0.LowerBound(5), 0u);
+  std::vector<int64_t> one = {7};
+  CssTree t1(one.data(), 1);
+  EXPECT_EQ(t1.LowerBound(3), 0u);
+  EXPECT_EQ(t1.LowerBound(7), 0u);
+  EXPECT_EQ(t1.LowerBound(9), 1u);
+}
+
+// ----------------------------------------------------------- Hash index --
+
+TEST(HashIndexTest, LookupAllDuplicates) {
+  std::vector<int64_t> keys = {5, 7, 5, 9, 5};
+  HashIndex h(keys.data(), keys.size());
+  auto hits = h.Lookup(5);
+  std::set<Oid> got(hits.begin(), hits.end());
+  EXPECT_EQ(got, (std::set<Oid>{0, 2, 4}));
+  EXPECT_TRUE(h.Lookup(6).empty());
+  EXPECT_EQ(h.LookupFirst(6), kOidNil);
+  EXPECT_NE(h.LookupFirst(9), kOidNil);
+}
+
+TEST(HashIndexTest, HseqbaseOffsets) {
+  std::vector<int64_t> keys = {1, 2};
+  HashIndex h(keys.data(), keys.size(), 100);
+  EXPECT_EQ(h.LookupFirst(2), 101u);
+}
+
+}  // namespace
+}  // namespace mammoth::index

@@ -1,0 +1,98 @@
+#include "net/datacyclotron.h"
+
+#include <gtest/gtest.h>
+
+namespace mammoth::net {
+namespace {
+
+RingConfig BaseConfig() {
+  RingConfig c;
+  c.nodes = 4;
+  c.partitions = 16;
+  c.hop_seconds = 0.0001;
+  c.process_seconds = 0.002;
+  c.num_queries = 2000;
+  c.arrival_rate = 1e9;  // effectively all-at-once: saturation test
+  c.seed = 1;
+  c.link_bytes_per_second = 0;  // pure-latency hops for deterministic math
+  return c;
+}
+
+TEST(DataCyclotronTest, BandwidthTermGrowsWithHotSet) {
+  RingConfig c = BaseConfig();
+  c.link_bytes_per_second = 1.25e9;  // 10 Gbit
+  c.partition_bytes = 1 << 20;
+  c.partitions = 16;
+  const double small = c.EffectiveHopSeconds();
+  c.partitions = 256;
+  const double large = c.EffectiveHopSeconds();
+  EXPECT_GT(large, small * 8.0);
+  // And a bigger hot set costs wait time under light load.
+  c.arrival_rate = 50;
+  c.num_queries = 300;
+  c.partitions = 16;
+  const double wait_small = SimulateRing(c).avg_wait;
+  c.partitions = 256;
+  const double wait_large = SimulateRing(c).avg_wait;
+  EXPECT_GT(wait_large, wait_small * 2.0);
+}
+
+TEST(DataCyclotronTest, StatsAreConsistent) {
+  const RingStats s = SimulateRing(BaseConfig());
+  EXPECT_GT(s.makespan, 0.0);
+  EXPECT_GT(s.throughput, 0.0);
+  EXPECT_GE(s.avg_latency, 0.0);
+  EXPECT_GE(s.avg_wait, 0.0);
+  EXPECT_GT(s.cpu_utilization, 0.0);
+  EXPECT_LE(s.cpu_utilization, 1.0 + 1e-9);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(DataCyclotronTest, Deterministic) {
+  const RingStats a = SimulateRing(BaseConfig());
+  const RingStats b = SimulateRing(BaseConfig());
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
+}
+
+TEST(DataCyclotronTest, ThroughputScalesWithNodes) {
+  RingConfig c = BaseConfig();
+  c.nodes = 1;
+  const double t1 = SimulateRing(c).throughput;
+  c.nodes = 4;
+  const double t4 = SimulateRing(c).throughput;
+  c.nodes = 8;
+  const double t8 = SimulateRing(c).throughput;
+  EXPECT_GT(t4, t1 * 2.0);
+  EXPECT_GT(t8, t4 * 1.3);
+}
+
+TEST(DataCyclotronTest, RingBeatsCentralizedUnderLoad) {
+  RingConfig c = BaseConfig();
+  c.nodes = 8;
+  const RingStats ring = SimulateRing(c);
+  const RingStats central = SimulateCentralized(c);
+  EXPECT_GT(ring.throughput, central.throughput * 3.0);
+}
+
+TEST(DataCyclotronTest, SlowerHopsIncreaseWait) {
+  RingConfig c = BaseConfig();
+  c.arrival_rate = 100;  // light load: wait dominated by data arrival
+  c.num_queries = 500;
+  c.hop_seconds = 0.0001;
+  const double fast_wait = SimulateRing(c).avg_wait;
+  c.hop_seconds = 0.01;
+  const double slow_wait = SimulateRing(c).avg_wait;
+  EXPECT_GT(slow_wait, fast_wait * 5.0);
+}
+
+TEST(DataCyclotronTest, CentralizedSaturatesAtSingleCpu) {
+  RingConfig c = BaseConfig();
+  const RingStats s = SimulateCentralized(c);
+  // Saturated single CPU: throughput ~= 1/process_seconds.
+  EXPECT_NEAR(s.throughput, 1.0 / c.process_seconds,
+              0.05 / c.process_seconds);
+}
+
+}  // namespace
+}  // namespace mammoth::net

@@ -1,0 +1,214 @@
+#include "vector/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mammoth::vec {
+namespace {
+
+BatPtr UniformInts(size_t n, uint64_t bound, uint64_t seed) {
+  Rng rng(seed);
+  BatPtr b = Bat::New(PhysType::kInt32);
+  b->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    b->Append<int32_t>(static_cast<int32_t>(rng.Uniform(bound)));
+  }
+  return b;
+}
+
+BatPtr UniformDoubles(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  BatPtr b = Bat::New(PhysType::kDouble);
+  b->Reserve(n);
+  for (size_t i = 0; i < n; ++i) b->Append<double>(rng.NextDouble());
+  return b;
+}
+
+TEST(PipelineTest, GlobalSum) {
+  BatPtr col = MakeBat<int32_t>({1, 2, 3, 4});
+  Pipeline p({col}, 2);
+  ASSERT_TRUE(p.SetAggregate(Pipeline::kNoGroup, 1,
+                             {{AggFn::kSum, 0}, {AggFn::kCount, 0}})
+                  .ok());
+  auto r = p.Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->aggregates[0][0], 10.0);
+  EXPECT_DOUBLE_EQ(r->aggregates[1][0], 4.0);
+}
+
+TEST(PipelineTest, SelectThenSum) {
+  BatPtr col = MakeBat<int32_t>({1, 5, 10, 15, 20});
+  Pipeline p({col}, 3);
+  ASSERT_TRUE(p.AddSelectRange(0, 5, 15).ok());
+  ASSERT_TRUE(p.SetAggregate(Pipeline::kNoGroup, 1, {{AggFn::kSum, 0}}).ok());
+  auto r = p.Run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->aggregates[0][0], 30.0);  // 5+10+15
+}
+
+TEST(PipelineTest, ConjunctiveSelects) {
+  BatPtr a = MakeBat<int32_t>({1, 2, 3, 4, 5});
+  BatPtr b = MakeBat<int32_t>({5, 4, 3, 2, 1});
+  Pipeline p({a, b}, 2);
+  ASSERT_TRUE(p.AddSelectRange(0, 2, 5).ok());  // rows 1..4
+  ASSERT_TRUE(p.AddSelectRange(1, 3, 5).ok());  // rows 0..2
+  ASSERT_TRUE(p.SetAggregate(Pipeline::kNoGroup, 1, {{AggFn::kCount, 0}}).ok());
+  auto r = p.Run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->aggregates[0][0], 2.0);  // rows 1,2
+}
+
+TEST(PipelineTest, MapChainsAndGroups) {
+  // Mini Q1: group by flag in {0,1,2}, sum(qty * (1 - disc)).
+  BatPtr flag = MakeBat<int32_t>({0, 1, 2, 0, 1});
+  BatPtr qty = MakeBat<double>({10, 20, 30, 40, 50});
+  BatPtr disc = MakeBat<double>({0.5, 0.0, 0.1, 0.25, 1.0});
+  Pipeline p({flag, qty, disc}, 2);
+  auto one_minus = p.AddMapColConst(BinOp::kSub, 2, 1.0);  // disc - 1
+  ASSERT_TRUE(one_minus.ok());
+  auto neg = p.AddMapColConst(BinOp::kMul, *one_minus, -1.0);  // 1 - disc
+  ASSERT_TRUE(neg.ok());
+  auto revenue = p.AddMapColCol(BinOp::kMul, 1, *neg);
+  ASSERT_TRUE(revenue.ok());
+  ASSERT_TRUE(p.SetAggregate(0, 3, {{AggFn::kSum, *revenue}}).ok());
+  auto r = p.Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->aggregates[0][0], 10 * 0.5 + 40 * 0.75);
+  EXPECT_DOUBLE_EQ(r->aggregates[0][1], 20 * 1.0 + 50 * 0.0);
+  EXPECT_DOUBLE_EQ(r->aggregates[0][2], 30 * 0.9);
+}
+
+TEST(PipelineTest, MinMaxAggregates) {
+  BatPtr g = MakeBat<int32_t>({0, 0, 1, 1});
+  BatPtr v = MakeBat<int32_t>({7, 3, 10, 20});
+  Pipeline p({g, v}, 4);
+  ASSERT_TRUE(
+      p.SetAggregate(0, 2, {{AggFn::kMin, 1}, {AggFn::kMax, 1}}).ok());
+  auto r = p.Run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->aggregates[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(r->aggregates[1][0], 7.0);
+  EXPECT_DOUBLE_EQ(r->aggregates[0][1], 10.0);
+  EXPECT_DOUBLE_EQ(r->aggregates[1][1], 20.0);
+}
+
+TEST(PipelineTest, CastWidens) {
+  BatPtr a = MakeBat<int32_t>({1, 2, 3});
+  Pipeline p({a}, 2);
+  auto d = p.AddCast(0, PhysType::kDouble);
+  ASSERT_TRUE(d.ok());
+  auto half = p.AddMapColConst(BinOp::kDiv, *d, 2.0);
+  ASSERT_TRUE(half.ok());
+  ASSERT_TRUE(p.SetAggregate(Pipeline::kNoGroup, 1, {{AggFn::kSum, *half}}).ok());
+  auto r = p.Run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->aggregates[0][0], 3.0);  // 0.5+1+1.5
+}
+
+TEST(PipelineTest, RunMaterializeSelectedLanes) {
+  BatPtr a = MakeBat<int32_t>({1, 5, 10, 15});
+  Pipeline p({a}, 2);
+  ASSERT_TRUE(p.AddSelectRange(0, 5, 10).ok());
+  auto doubled = p.AddMapColConst(BinOp::kMul, 0, 2);
+  ASSERT_TRUE(doubled.ok());
+  auto out = p.RunMaterialize(*doubled);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ((*out)->Count(), 2u);
+  EXPECT_EQ((*out)->ValueAt<int32_t>(0), 10);
+  EXPECT_EQ((*out)->ValueAt<int32_t>(1), 20);
+}
+
+TEST(PipelineTest, GroupIdOutOfRangeRejected) {
+  BatPtr g = MakeBat<int32_t>({0, 7});
+  Pipeline p({g}, 2);
+  ASSERT_TRUE(p.SetAggregate(0, 2, {{AggFn::kCount, 0}}).ok());
+  EXPECT_FALSE(p.Run().ok());
+}
+
+TEST(PipelineTest, MixedTypeMapRejected) {
+  BatPtr a = MakeBat<int32_t>({1});
+  BatPtr b = MakeBat<double>({1.0});
+  Pipeline p({a, b}, 1);
+  EXPECT_FALSE(p.AddMapColCol(BinOp::kAdd, 0, 1).ok());
+}
+
+TEST(PipelineTest, CompressedColumnSourceMatchesPlain) {
+  // A compressed :int column decompressed vector-at-a-time must yield the
+  // same aggregates as the plain column (§5's compressed scan).
+  const size_t n = 20000;
+  BatPtr flag = UniformInts(n, 4, 31);
+  BatPtr key = UniformInts(n, 1000, 32);
+  auto compressed = compress::CompressedBat::Compress(
+      key, compress::Codec::kPfor);
+  ASSERT_TRUE(compressed.ok());
+
+  auto run = [&](std::vector<PipelineColumn> cols) {
+    Pipeline p(std::move(cols), 777);
+    EXPECT_TRUE(p.AddSelectRange(1, 100, 800).ok());
+    EXPECT_TRUE(
+        p.SetAggregate(0, 4, {{AggFn::kSum, 1}, {AggFn::kCount, 0}}).ok());
+    auto r = p.Run();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  };
+  const AggResult plain = run({flag, key});
+  const AggResult packed = run({flag, &*compressed});
+  for (size_t a = 0; a < plain.aggregates.size(); ++a) {
+    for (size_t g = 0; g < plain.ngroups; ++g) {
+      EXPECT_DOUBLE_EQ(packed.aggregates[a][g], plain.aggregates[a][g]);
+    }
+  }
+}
+
+TEST(PipelineTest, CompressedColumnLengthMismatchRejected) {
+  BatPtr flag = UniformInts(100, 4, 1);
+  BatPtr other = UniformInts(50, 10, 2);
+  auto compressed =
+      compress::CompressedBat::Compress(other, compress::Codec::kPfor);
+  ASSERT_TRUE(compressed.ok());
+  Pipeline p({flag, &*compressed}, 8);
+  ASSERT_TRUE(p.SetAggregate(Pipeline::kNoGroup, 1, {{AggFn::kCount, 0}}).ok());
+  EXPECT_FALSE(p.Run().ok());
+}
+
+// Property: the result must not depend on the vector size.
+class VectorSizeInvarianceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(VectorSizeInvarianceTest, SameResultAnyVectorSize) {
+  const size_t n = 10001;  // deliberately not a multiple of any vector size
+  BatPtr flag = UniformInts(n, 4, 1);
+  BatPtr key = UniformInts(n, 1000, 2);
+  BatPtr val = UniformDoubles(n, 3);
+
+  auto run = [&](size_t vsize) {
+    Pipeline p({flag, key, val}, vsize);
+    EXPECT_TRUE(p.AddSelectRange(1, 100, 800).ok());
+    auto scaled = p.AddMapColConst(BinOp::kMul, 2, 3.5);
+    EXPECT_TRUE(scaled.ok());
+    EXPECT_TRUE(p.SetAggregate(0, 4,
+                               {{AggFn::kSum, *scaled},
+                                {AggFn::kCount, 0},
+                                {AggFn::kMax, 2}})
+                    .ok());
+    auto r = p.Run();
+    EXPECT_TRUE(r.ok());
+    return *r;
+  };
+
+  const AggResult reference = run(n);  // operator-at-a-time
+  const AggResult got = run(GetParam());
+  for (size_t a = 0; a < reference.aggregates.size(); ++a) {
+    for (size_t g = 0; g < reference.ngroups; ++g) {
+      EXPECT_NEAR(got.aggregates[a][g], reference.aggregates[a][g], 1e-6)
+          << "agg " << a << " group " << g;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VectorSizes, VectorSizeInvarianceTest,
+                         ::testing::Values(1, 2, 7, 64, 100, 1000, 4096,
+                                           100000));
+
+}  // namespace
+}  // namespace mammoth::vec

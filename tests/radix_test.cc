@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/join.h"
+#include "join/partitioned_hash_join.h"
+#include "join/radix_cluster.h"
+#include "join/radix_decluster.h"
+
+namespace mammoth::radix {
+namespace {
+
+using ::mammoth::algebra::HashJoin;
+
+TEST(SplitBitsTest, EvenAndRemainder) {
+  EXPECT_EQ(SplitBits(6, 2), (std::vector<int>{3, 3}));
+  EXPECT_EQ(SplitBits(7, 2), (std::vector<int>{4, 3}));
+  EXPECT_EQ(SplitBits(8, 3), (std::vector<int>{3, 3, 2}));
+  EXPECT_EQ(SplitBits(2, 5), (std::vector<int>{1, 1}));  // clamps passes
+}
+
+RadixTable<int32_t> FigureTwoRelationL() {
+  // The L column of Figure 2 (low-3-bit patterns in parentheses in the
+  // paper): 57(001) 17(001) 81(001) 66(010) 06(110) 96(000) 75(011)
+  // 03(011) 20(100) 37(101) 47(111) 92(100).
+  RadixTable<int32_t> t;
+  const int32_t keys[] = {57, 17, 81, 66, 6, 96, 75, 3, 20, 37, 47, 92};
+  for (size_t i = 0; i < std::size(keys); ++i) {
+    t.entries.push_back({static_cast<uint32_t>(i), keys[i]});
+  }
+  return t;
+}
+
+std::vector<int32_t> KeysIn(const RadixTable<int32_t>& t, size_t from,
+                            size_t to) {
+  std::vector<int32_t> out;
+  for (size_t i = from; i < to; ++i) out.push_back(t.entries[i].key);
+  return out;
+}
+
+TEST(RadixClusterTest, FigureTwoTwoPassCluster) {
+  // Reproduce Figure 2: a 2-pass radix-cluster into H=8 clusters (B=3),
+  // first pass on the 2 leftmost of the lower 3 bits, second pass on the
+  // remaining bit. Clustering is on raw values (kUseHash=false) as in the
+  // figure.
+  RadixTable<int32_t> t = FigureTwoRelationL();
+  RadixCluster<int32_t, /*kUseHash=*/false>(&t, {2, 1});
+  ASSERT_EQ(t.NumClusters(), 8u);
+  ASSERT_EQ(t.bounds.size(), 9u);
+  // Every cluster c contains exactly the values with low-3-bits == c,
+  // consecutively.
+  for (size_t c = 0; c < 8; ++c) {
+    for (size_t i = t.bounds[c]; i < t.bounds[c + 1]; ++i) {
+      EXPECT_EQ(static_cast<uint32_t>(t.entries[i].key) & 7u, c)
+          << "value " << t.entries[i].key << " in cluster " << c;
+    }
+  }
+  // Spot-check the figure: cluster 001 holds {57,17,81}, cluster 100 holds
+  // {20,92}, cluster 110 holds {06}.
+  EXPECT_EQ(KeysIn(t, t.bounds[1], t.bounds[2]),
+            (std::vector<int32_t>{57, 17, 81}));
+  EXPECT_EQ(KeysIn(t, t.bounds[4], t.bounds[5]),
+            (std::vector<int32_t>{20, 92}));
+  EXPECT_EQ(KeysIn(t, t.bounds[6], t.bounds[7]),
+            (std::vector<int32_t>{6}));
+}
+
+TEST(RadixClusterTest, MultiPassEqualsSinglePass) {
+  Rng rng(3);
+  RadixTable<int32_t> one, two, three;
+  for (uint32_t i = 0; i < 10000; ++i) {
+    const auto v = static_cast<int32_t>(rng.Next());
+    one.entries.push_back({i, v});
+  }
+  two = one;
+  three = one;
+  RadixCluster<int32_t>(&one, {6});
+  RadixCluster<int32_t>(&two, {3, 3});
+  RadixCluster<int32_t>(&three, {2, 2, 2});
+  // Leftmost-bits-first multi-pass clustering is stable per pass, so the
+  // final layout is identical to the single-pass one.
+  EXPECT_EQ(one.entries, two.entries);
+  EXPECT_EQ(one.bounds, two.bounds);
+  EXPECT_EQ(one.entries, three.entries);
+  EXPECT_EQ(one.bounds, three.bounds);
+}
+
+TEST(RadixClusterTest, BoundsPartitionAndClustersHomogeneous) {
+  Rng rng(11);
+  RadixTable<int64_t> t;
+  std::vector<int64_t> original_keys;
+  for (uint32_t i = 0; i < 5000; ++i) {
+    const auto v = static_cast<int64_t>(rng.Uniform(1u << 20));
+    t.entries.push_back({i, v});
+    original_keys.push_back(v);
+  }
+  RadixCluster<int64_t>(&t, {4, 3});
+  ASSERT_EQ(t.bounds.front(), 0u);
+  ASSERT_EQ(t.bounds.back(), t.size());
+  for (size_t c = 0; c + 1 < t.bounds.size(); ++c) {
+    ASSERT_LE(t.bounds[c], t.bounds[c + 1]);
+    for (size_t i = t.bounds[c]; i < t.bounds[c + 1]; ++i) {
+      EXPECT_EQ(RadixBits<int64_t>(t.entries[i].key) & 127u, c);
+    }
+  }
+  // Clustering is a permutation: same multiset of keys.
+  auto a = original_keys;
+  std::vector<int64_t> b;
+  for (const auto& e : t.entries) b.push_back(e.key);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  // OIDs still pair with their keys.
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(original_keys[t.entries[i].oid], t.entries[i].key);
+  }
+}
+
+TEST(SuggestRadixBitsTest, GrowsWithInnerSize) {
+  const int small = SuggestRadixBits(1000, 12, 256 << 10);
+  const int large = SuggestRadixBits(8 << 20, 12, 256 << 10);
+  EXPECT_EQ(small, 0);
+  EXPECT_GT(large, 5);
+  EXPECT_LE(large, 20);
+}
+
+// Parameterized equivalence: PartitionedHashJoin must produce exactly the
+// pair set of the simple hash join for any (bits, passes) configuration.
+class PartitionedJoinParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionedJoinParamTest, MatchesSimpleHashJoin) {
+  const auto [bits, passes] = GetParam();
+  Rng rng(bits * 31 + passes);
+  BatPtr l = Bat::New(PhysType::kInt32);
+  BatPtr r = Bat::New(PhysType::kInt32);
+  for (int i = 0; i < 4000; ++i) {
+    l->Append<int32_t>(static_cast<int32_t>(rng.Uniform(500)));
+  }
+  for (int i = 0; i < 3000; ++i) {
+    r->Append<int32_t>(static_cast<int32_t>(rng.Uniform(500)));
+  }
+  PartitionedJoinOptions opt;
+  opt.bits = bits;
+  opt.passes = passes;
+  PartitionedJoinStats stats;
+  auto pj = PartitionedHashJoin(l, r, opt, &stats);
+  ASSERT_TRUE(pj.ok()) << pj.status().ToString();
+  auto hj = HashJoin(l, r);
+  ASSERT_TRUE(hj.ok());
+
+  auto pair_set = [](const algebra::JoinResult& jr) {
+    std::set<std::pair<Oid, Oid>> s;
+    for (size_t i = 0; i < jr.Count(); ++i) {
+      s.emplace(jr.left->OidAt(i), jr.right->OidAt(i));
+    }
+    return s;
+  };
+  EXPECT_EQ(pj->Count(), hj->Count());
+  EXPECT_EQ(pair_set(*pj), pair_set(*hj));
+  EXPECT_EQ(stats.bits, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsAndPasses, PartitionedJoinParamTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(4, 1),
+                      std::make_tuple(4, 2), std::make_tuple(6, 2),
+                      std::make_tuple(6, 3), std::make_tuple(9, 3),
+                      std::make_tuple(12, 2)));
+
+TEST(PartitionedJoinTest, DefaultBitsAutoTunes) {
+  Rng rng(5);
+  BatPtr l = Bat::New(PhysType::kInt64);
+  BatPtr r = Bat::New(PhysType::kInt64);
+  for (int i = 0; i < 20000; ++i) {
+    l->Append<int64_t>(static_cast<int64_t>(rng.Uniform(10000)));
+    r->Append<int64_t>(static_cast<int64_t>(rng.Uniform(10000)));
+  }
+  PartitionedJoinStats stats;
+  auto pj = PartitionedHashJoin(l, r, {}, &stats);
+  ASSERT_TRUE(pj.ok());
+  auto hj = HashJoin(l, r);
+  ASSERT_TRUE(hj.ok());
+  EXPECT_EQ(pj->Count(), hj->Count());
+}
+
+TEST(PartitionedJoinTest, RejectsMixedTypes) {
+  BatPtr l = MakeBat<int32_t>({1});
+  BatPtr r = MakeBat<int64_t>({1});
+  EXPECT_FALSE(PartitionedHashJoin(l, r).ok());
+}
+
+// ------------------------------------------------------------ Decluster --
+
+class DeclusterParamTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DeclusterParamTest, MatchesNaiveFetch) {
+  const size_t n = GetParam();
+  Rng rng(n);
+  const size_t nvalues = 10000;
+  std::vector<int32_t> values(nvalues);
+  for (size_t i = 0; i < nvalues; ++i) {
+    values[i] = static_cast<int32_t>(rng.Next());
+  }
+  std::vector<Oid> positions(n);
+  for (size_t i = 0; i < n; ++i) positions[i] = rng.Uniform(nvalues);
+
+  DeclusterOptions opt;
+  opt.cache_bytes = 16 << 10;  // tiny cache to force many clusters
+  const auto fast = RadixDeclusterProject<int32_t>(positions, values.data(),
+                                                   nvalues, opt);
+  const auto slow = NaiveFetchProject<int32_t>(positions, values.data());
+  EXPECT_EQ(fast, slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DeclusterParamTest,
+                         ::testing::Values(0, 1, 7, 100, 4096, 50000));
+
+TEST(DeclusterTest, BatWrapperRespectsHseqbase) {
+  BatPtr values = MakeBat<int32_t>({10, 20, 30, 40});
+  values->set_hseqbase(100);
+  BatPtr pos = MakeBat<Oid>({Oid{103}, Oid{100}, Oid{102}});
+  auto r = DeclusterProject(pos, values);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ((*r)->Count(), 3u);
+  EXPECT_EQ((*r)->ValueAt<int32_t>(0), 40);
+  EXPECT_EQ((*r)->ValueAt<int32_t>(1), 10);
+  EXPECT_EQ((*r)->ValueAt<int32_t>(2), 30);
+}
+
+TEST(DeclusterTest, OutOfRangeRejected) {
+  BatPtr values = MakeBat<int32_t>({1, 2});
+  BatPtr pos = MakeBat<Oid>({Oid{7}});
+  EXPECT_FALSE(DeclusterProject(pos, values).ok());
+}
+
+TEST(DeclusterTest, MaxTuplesMatchesPaperShape) {
+  // Paper: 512KB cache, 4-byte values -> up to half a billion tuples, and
+  // the bound scales quadratically with cache size.
+  const size_t p4 = MaxDeclusterTuples(512 << 10, 4);
+  EXPECT_GE(p4, 500u << 20);  // >= ~0.5 billion
+  const size_t big = MaxDeclusterTuples(1 << 20, 4);
+  EXPECT_EQ(big, p4 * 4);  // doubling cache quadruples the bound
+}
+
+}  // namespace
+}  // namespace mammoth::radix

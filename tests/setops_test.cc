@@ -1,0 +1,156 @@
+#include "core/setops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mammoth::algebra {
+namespace {
+
+BatPtr Cands(std::initializer_list<Oid> oids) {
+  BatPtr b = MakeBat<Oid>(oids);
+  b->mutable_props().sorted = true;
+  b->mutable_props().key = true;
+  return b;
+}
+
+std::vector<Oid> OidsOf(const BatPtr& b) {
+  std::vector<Oid> out;
+  for (size_t i = 0; i < b->Count(); ++i) out.push_back(b->OidAt(i));
+  return out;
+}
+
+TEST(OidSetOpsTest, UnionMergesSorted) {
+  auto r = OidUnion(Cands({1, 3, 5}), Cands({2, 3, 6}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(OidsOf(*r), (std::vector<Oid>{1, 2, 3, 5, 6}));
+  EXPECT_TRUE((*r)->props().sorted);
+  EXPECT_TRUE((*r)->props().key);
+}
+
+TEST(OidSetOpsTest, IntersectKeepsCommon) {
+  auto r = OidIntersect(Cands({1, 3, 5, 7}), Cands({3, 4, 7, 9}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(OidsOf(*r), (std::vector<Oid>{3, 7}));
+}
+
+TEST(OidSetOpsTest, DiffRemoves) {
+  auto r = OidDiff(Cands({1, 2, 3, 4}), Cands({2, 4, 6}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(OidsOf(*r), (std::vector<Oid>{1, 3}));
+}
+
+TEST(OidSetOpsTest, DenseInputsAndDenseResults) {
+  BatPtr a = Bat::NewDense(10, 10);  // 10..19
+  BatPtr b = Bat::NewDense(15, 10);  // 15..24
+  auto u = OidUnion(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE((*u)->IsDenseTail());  // 10..24 is contiguous
+  EXPECT_EQ((*u)->Count(), 15u);
+  auto i = OidIntersect(a, b);
+  ASSERT_TRUE(i.ok());
+  EXPECT_TRUE((*i)->IsDenseTail());  // 15..19
+  EXPECT_EQ((*i)->OidAt(0), 15u);
+  EXPECT_EQ((*i)->Count(), 5u);
+  auto d = OidDiff(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(OidsOf(*d), (std::vector<Oid>{10, 11, 12, 13, 14}));
+}
+
+TEST(OidSetOpsTest, EmptyOperands) {
+  BatPtr empty = Bat::New(PhysType::kOid);
+  empty->mutable_props().sorted = true;
+  auto u = OidUnion(empty, Cands({1, 2}));
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ((*u)->Count(), 2u);
+  auto i = OidIntersect(Cands({1, 2}), empty);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ((*i)->Count(), 0u);
+  auto d = OidDiff(Cands({1, 2}), empty);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->Count(), 2u);
+}
+
+TEST(OidSetOpsTest, UnsortedRejected) {
+  BatPtr unsorted = MakeBat<Oid>({Oid{5}, Oid{1}});
+  EXPECT_FALSE(OidUnion(unsorted, Cands({1})).ok());
+  EXPECT_FALSE(OidIntersect(Cands({1}), unsorted).ok());
+}
+
+TEST(OidSetOpsTest, RandomizedAgainstStdSet) {
+  Rng rng(17);
+  for (int round = 0; round < 20; ++round) {
+    std::set<Oid> sa, sb;
+    for (int i = 0; i < 200; ++i) {
+      sa.insert(rng.Uniform(300));
+      sb.insert(rng.Uniform(300));
+    }
+    BatPtr a = Bat::New(PhysType::kOid);
+    BatPtr b = Bat::New(PhysType::kOid);
+    for (Oid o : sa) a->Append<Oid>(o);
+    for (Oid o : sb) b->Append<Oid>(o);
+    a->mutable_props().sorted = true;
+    b->mutable_props().sorted = true;
+
+    std::vector<Oid> want_u, want_i, want_d;
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                   std::back_inserter(want_u));
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::back_inserter(want_i));
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(want_d));
+    auto u = OidUnion(a, b);
+    auto i = OidIntersect(a, b);
+    auto d = OidDiff(a, b);
+    ASSERT_TRUE(u.ok() && i.ok() && d.ok());
+    EXPECT_EQ(OidsOf(*u), want_u);
+    EXPECT_EQ(OidsOf(*i), want_i);
+    EXPECT_EQ(OidsOf(*d), want_d);
+  }
+}
+
+TEST(SemiJoinTest, KeepsMatchingRows) {
+  BatPtr l = MakeBat<int32_t>({5, 7, 9, 7, 11});
+  BatPtr r = MakeBat<int32_t>({7, 11, 13});
+  auto s = SemiJoin(l, r);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(OidsOf(*s), (std::vector<Oid>{1, 3, 4}));
+  auto a = AntiJoin(l, r);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(OidsOf(*a), (std::vector<Oid>{0, 2}));
+}
+
+TEST(SemiJoinTest, StringKeysAcrossHeaps) {
+  BatPtr l = MakeStringBat({"ape", "bee", "cat"});
+  BatPtr r = MakeStringBat({"cat", "ape", "dog"});
+  auto s = SemiJoin(l, r);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(OidsOf(*s), (std::vector<Oid>{0, 2}));
+  auto a = AntiJoin(l, r);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(OidsOf(*a), (std::vector<Oid>{1}));
+}
+
+TEST(SemiJoinTest, HseqbaseRespected) {
+  BatPtr l = MakeBat<int32_t>({1, 2});
+  l->set_hseqbase(100);
+  BatPtr r = MakeBat<int32_t>({2});
+  auto s = SemiJoin(l, r);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(OidsOf(*s), (std::vector<Oid>{101}));
+}
+
+TEST(SemiJoinTest, TypeChecks) {
+  BatPtr l = MakeBat<int32_t>({1});
+  BatPtr r = MakeBat<int64_t>({1});
+  EXPECT_FALSE(SemiJoin(l, r).ok());
+  BatPtr f = MakeBat<double>({1.0});
+  EXPECT_FALSE(SemiJoin(f, f).ok());
+}
+
+}  // namespace
+}  // namespace mammoth::algebra

@@ -1,0 +1,156 @@
+#include "stream/datacell.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+
+namespace mammoth::stream {
+namespace {
+
+std::vector<Event> MakeEvents(size_t n, uint64_t seed, int keys = 8) {
+  Rng rng(seed);
+  std::vector<Event> events(n);
+  for (size_t i = 0; i < n; ++i) {
+    events[i].ts = static_cast<int64_t>(i);
+    events[i].key = static_cast<int32_t>(rng.Uniform(keys));
+    events[i].value = rng.NextDouble() * 100.0;
+  }
+  return events;
+}
+
+std::map<int32_t, WindowRow> ByKey(const std::vector<WindowRow>& rows) {
+  std::map<int32_t, WindowRow> m;
+  for (const WindowRow& r : rows) m[r.key] = r;
+  return m;
+}
+
+TEST(BasketTest, AppendSliceConsume) {
+  Basket b;
+  auto events = MakeEvents(100, 1);
+  b.AppendBatch(events.data(), events.size());
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Pending(), 100u);
+  BatPtr keys = b.SliceKey(10, 20);
+  ASSERT_EQ(keys->Count(), 10u);
+  EXPECT_EQ(keys->ValueAt<int32_t>(0), events[10].key);
+  b.Consume(50);
+  EXPECT_EQ(b.Pending(), 50u);
+  BatPtr vals = b.SliceValue(0, 5);
+  EXPECT_DOUBLE_EQ(vals->ValueAt<double>(0), events[50].value);
+  b.Compact();
+  EXPECT_EQ(b.Pending(), 50u);
+  BatPtr vals2 = b.SliceValue(0, 5);
+  EXPECT_DOUBLE_EQ(vals2->ValueAt<double>(0), events[50].value);
+}
+
+TEST(WindowTest, BulkMatchesEventAtATime) {
+  auto events = MakeEvents(10000, 7, 16);
+  Basket b;
+  b.AppendBatch(events.data(), events.size());
+  auto bulk = BulkWindow(b.SliceKey(0, events.size()),
+                         b.SliceValue(0, events.size()),
+                         /*filtered=*/false, 0, 0);
+  ASSERT_TRUE(bulk.ok());
+  auto naive = EventAtATimeWindow(events.data(), events.size(), false, 0, 0);
+  auto mb = ByKey(*bulk);
+  auto mn = ByKey(naive);
+  ASSERT_EQ(mb.size(), mn.size());
+  for (const auto& [key, want] : mn) {
+    ASSERT_TRUE(mb.count(key) == 1) << key;
+    const WindowRow& got = mb[key];
+    EXPECT_NEAR(got.sum, want.sum, 1e-6);
+    EXPECT_EQ(got.count, want.count);
+    EXPECT_DOUBLE_EQ(got.min, want.min);
+    EXPECT_DOUBLE_EQ(got.max, want.max);
+  }
+}
+
+TEST(WindowTest, FilteredBulkMatchesEventAtATime) {
+  auto events = MakeEvents(5000, 9, 4);
+  Basket b;
+  b.AppendBatch(events.data(), events.size());
+  auto bulk = BulkWindow(b.SliceKey(0, events.size()),
+                         b.SliceValue(0, events.size()),
+                         /*filtered=*/true, 25.0, 75.0);
+  ASSERT_TRUE(bulk.ok());
+  auto naive =
+      EventAtATimeWindow(events.data(), events.size(), true, 25.0, 75.0);
+  auto mb = ByKey(*bulk);
+  auto mn = ByKey(naive);
+  ASSERT_EQ(mb.size(), mn.size());
+  for (const auto& [key, want] : mn) {
+    EXPECT_NEAR(mb[key].sum, want.sum, 1e-6);
+    EXPECT_EQ(mb[key].count, want.count);
+  }
+}
+
+TEST(DataCellTest, PumpsCompleteWindowsOnly) {
+  DataCell cell;
+  size_t windows_seen = 0;
+  size_t rows_seen = 0;
+  ContinuousQuery q;
+  q.window = 256;
+  q.emit = [&](int64_t, const std::vector<WindowRow>& rows) {
+    ++windows_seen;
+    rows_seen += rows.size();
+  };
+  cell.Register(q);
+
+  auto events = MakeEvents(1000, 11);
+  cell.basket().AppendBatch(events.data(), events.size());
+  auto pumped = cell.Pump();
+  ASSERT_TRUE(pumped.ok());
+  EXPECT_EQ(*pumped, 3u);  // 3 complete windows of 256, 232 pending
+  EXPECT_EQ(windows_seen, 3u);
+  EXPECT_GT(rows_seen, 0u);
+  EXPECT_EQ(cell.basket().Pending(), 1000u - 3 * 256);
+
+  // More events complete the fourth window.
+  auto more = MakeEvents(100, 12);
+  cell.basket().AppendBatch(more.data(), more.size());
+  pumped = cell.Pump();
+  ASSERT_TRUE(pumped.ok());
+  EXPECT_EQ(*pumped, 1u);
+  EXPECT_EQ(cell.windows_emitted(), 4);
+}
+
+TEST(DataCellTest, MultipleQueriesShareWindows) {
+  DataCell cell;
+  double sum_all = 0, sum_filtered = 0;
+  ContinuousQuery q1;
+  q1.window = 100;
+  q1.emit = [&](int64_t, const std::vector<WindowRow>& rows) {
+    for (const auto& r : rows) sum_all += r.sum;
+  };
+  ContinuousQuery q2;
+  q2.window = 100;
+  q2.filtered = true;
+  q2.lo = 0.0;
+  q2.hi = 50.0;
+  q2.emit = [&](int64_t, const std::vector<WindowRow>& rows) {
+    for (const auto& r : rows) sum_filtered += r.sum;
+  };
+  cell.Register(q1);
+  cell.Register(q2);
+  auto events = MakeEvents(100, 13);
+  cell.basket().AppendBatch(events.data(), events.size());
+  ASSERT_TRUE(cell.Pump().ok());
+  EXPECT_GT(sum_all, sum_filtered);
+  EXPECT_GT(sum_filtered, 0.0);
+}
+
+TEST(DataCellTest, ZeroWindowRejected) {
+  DataCell cell;
+  ContinuousQuery q;
+  q.window = 0;
+  cell.Register(q);
+  auto events = MakeEvents(10, 14);
+  cell.basket().AppendBatch(events.data(), events.size());
+  EXPECT_FALSE(cell.Pump().ok());
+}
+
+}  // namespace
+}  // namespace mammoth::stream

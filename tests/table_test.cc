@@ -1,0 +1,161 @@
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "core/select.h"
+
+namespace mammoth {
+namespace {
+
+TablePtr MakePeople() {
+  auto t = Table::Create(
+      "people", {{"name", PhysType::kStr}, {"age", PhysType::kInt32}});
+  EXPECT_TRUE(t.ok());
+  TablePtr people = *t;
+  // Figure 1's BATs: name/age of four actors.
+  EXPECT_TRUE(
+      people->Insert({Value::Str("John Wayne"), Value::Int(1907)}).ok());
+  EXPECT_TRUE(
+      people->Insert({Value::Str("Roger Moore"), Value::Int(1927)}).ok());
+  EXPECT_TRUE(
+      people->Insert({Value::Str("Bob Fosse"), Value::Int(1927)}).ok());
+  EXPECT_TRUE(
+      people->Insert({Value::Str("Will Smith"), Value::Int(1968)}).ok());
+  return people;
+}
+
+TEST(TableTest, CreateValidatesSchema) {
+  EXPECT_FALSE(Table::Create("t", {}).ok());
+  EXPECT_FALSE(Table::Create("t", {{"a", PhysType::kInt32},
+                                   {"a", PhysType::kInt32}})
+                   .ok());
+}
+
+TEST(TableTest, InsertGoesToDelta) {
+  TablePtr t = MakePeople();
+  EXPECT_EQ(t->VisibleRowCount(), 4u);
+  EXPECT_EQ(t->PendingInsertCount(), 4u);
+  EXPECT_EQ(t->MainColumn(0)->Count(), 0u);  // main untouched until merge
+}
+
+TEST(TableTest, InsertValidatesArityAndTypes) {
+  TablePtr t = MakePeople();
+  EXPECT_FALSE(t->Insert({Value::Str("x")}).ok());
+  EXPECT_FALSE(t->Insert({Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_FALSE(t->Insert({Value::Str("x"), Value::Str("y")}).ok());
+}
+
+TEST(TableTest, ScanSeesPendingInserts) {
+  TablePtr t = MakePeople();
+  auto age = t->ScanColumn("age");
+  ASSERT_TRUE(age.ok());
+  ASSERT_EQ((*age)->Count(), 4u);
+  EXPECT_EQ((*age)->ValueAt<int32_t>(3), 1968);
+}
+
+TEST(TableTest, SelectOverScan) {
+  TablePtr t = MakePeople();
+  auto age = t->ScanColumn("age");
+  ASSERT_TRUE(age.ok());
+  auto r = algebra::ThetaSelect(*age, t->LiveCandidates(), Value::Int(1927),
+                                CmpOp::kEq);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->Count(), 2u);
+}
+
+TEST(TableTest, DeleteHidesRows) {
+  TablePtr t = MakePeople();
+  BatPtr dead = MakeBat<Oid>({Oid{1}});
+  ASSERT_TRUE(t->Delete(dead).ok());
+  EXPECT_EQ(t->VisibleRowCount(), 3u);
+  BatPtr live = t->LiveCandidates();
+  ASSERT_EQ(live->Count(), 3u);
+  EXPECT_EQ(live->OidAt(0), 0u);
+  EXPECT_EQ(live->OidAt(1), 2u);
+}
+
+TEST(TableTest, DeleteIsIdempotentPerOid) {
+  TablePtr t = MakePeople();
+  ASSERT_TRUE(t->Delete(MakeBat<Oid>({Oid{1}})).ok());
+  ASSERT_TRUE(t->Delete(MakeBat<Oid>({Oid{1}, Oid{2}})).ok());
+  EXPECT_EQ(t->DeletedCount(), 2u);
+  EXPECT_EQ(t->VisibleRowCount(), 2u);
+}
+
+TEST(TableTest, DeleteOutOfRangeRejected) {
+  TablePtr t = MakePeople();
+  EXPECT_FALSE(t->Delete(MakeBat<Oid>({Oid{99}})).ok());
+}
+
+TEST(TableTest, MergeDeltasCompacts) {
+  TablePtr t = MakePeople();
+  ASSERT_TRUE(t->Delete(MakeBat<Oid>({Oid{0}, Oid{3}})).ok());
+  ASSERT_TRUE(t->MergeDeltas().ok());
+  EXPECT_EQ(t->VisibleRowCount(), 2u);
+  EXPECT_EQ(t->PendingInsertCount(), 0u);
+  EXPECT_EQ(t->DeletedCount(), 0u);
+  auto name = t->ScanColumn("name");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ((*name)->StringAt(0), "Roger Moore");
+  EXPECT_EQ((*name)->StringAt(1), "Bob Fosse");
+}
+
+TEST(TableTest, InsertAfterMergeAppends) {
+  TablePtr t = MakePeople();
+  ASSERT_TRUE(t->MergeDeltas().ok());
+  EXPECT_EQ(t->MainColumn(0)->Count(), 4u);
+  ASSERT_TRUE(t->Insert({Value::Str("Ada"), Value::Int(1815)}).ok());
+  EXPECT_EQ(t->VisibleRowCount(), 5u);
+  auto age = t->ScanColumn("age");
+  ASSERT_TRUE(age.ok());
+  EXPECT_EQ((*age)->ValueAt<int32_t>(4), 1815);
+}
+
+TEST(TableTest, SnapshotIsolatesDeltas) {
+  TablePtr t = MakePeople();
+  TablePtr snap = t->Snapshot();
+  ASSERT_TRUE(t->Insert({Value::Str("New"), Value::Int(2000)}).ok());
+  ASSERT_TRUE(snap->Delete(MakeBat<Oid>({Oid{0}})).ok());
+  EXPECT_EQ(t->VisibleRowCount(), 5u);
+  EXPECT_EQ(snap->VisibleRowCount(), 3u);
+}
+
+TEST(TableTest, ColumnIndexLookup) {
+  TablePtr t = MakePeople();
+  auto idx = t->ColumnIndex("age");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(t->ColumnIndex("salary").ok());
+}
+
+TEST(CatalogTest, RegisterGetDrop) {
+  Catalog cat;
+  ASSERT_TRUE(cat.Register(MakePeople()).ok());
+  EXPECT_TRUE(cat.Contains("people"));
+  EXPECT_FALSE(cat.Register(MakePeople()).ok());  // duplicate
+  auto t = cat.Get("people");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->name(), "people");
+  EXPECT_FALSE(cat.Get("nope").ok());
+  ASSERT_TRUE(cat.Drop("people").ok());
+  EXPECT_FALSE(cat.Contains("people"));
+  EXPECT_FALSE(cat.Drop("people").ok());
+}
+
+TEST(CatalogTest, JoinIndexRegistry) {
+  Catalog cat;
+  ASSERT_TRUE(cat.Register(MakePeople()).ok());
+  auto t2 = Table::Create("movies", {{"star", PhysType::kStr}});
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(cat.Register(*t2).ok());
+  ASSERT_TRUE(cat.RegisterJoinIndex("people", "name", "movies", "star").ok());
+  EXPECT_TRUE(cat.HasJoinIndex("people", "name", "movies", "star"));
+  EXPECT_TRUE(cat.HasJoinIndex("movies", "star", "people", "name"));
+  EXPECT_FALSE(cat.HasJoinIndex("people", "age", "movies", "star"));
+  EXPECT_FALSE(
+      cat.RegisterJoinIndex("people", "name", "ghosts", "boo").ok());
+}
+
+}  // namespace
+}  // namespace mammoth

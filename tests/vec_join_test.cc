@@ -1,0 +1,158 @@
+#include "vector/vec_join.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "core/group.h"
+#include "core/join.h"
+#include "core/project.h"
+#include "core/select.h"
+#include "vector/pipeline.h"
+
+namespace mammoth::vec {
+namespace {
+
+TEST(VecHashJoinTest, BuildRejectsDuplicatesAndWrongTypes) {
+  BatPtr dup = MakeBat<int32_t>({1, 2, 1});
+  EXPECT_FALSE(VecHashJoin::Build(dup).ok());
+  BatPtr lng = MakeBat<int64_t>({1});
+  EXPECT_FALSE(VecHashJoin::Build(lng).ok());
+}
+
+TEST(VecHashJoinTest, ProbeFindsMatchesAndDropsMisses) {
+  BatPtr build = MakeBat<int32_t>({10, 20, 30, 40});
+  auto join = VecHashJoin::Build(build);
+  ASSERT_TRUE(join.ok());
+  const int32_t probes[] = {20, 5, 40, 40, 99, 10};
+  uint32_t sel[6], rows[6];
+  const size_t k = join->ProbeVector(probes, 6, nullptr, 0, sel, rows);
+  ASSERT_EQ(k, 4u);
+  EXPECT_EQ(sel[0], 0u);  // lane of 20
+  EXPECT_EQ(rows[0], 1u);
+  EXPECT_EQ(sel[1], 2u);  // first 40
+  EXPECT_EQ(rows[1], 3u);
+  EXPECT_EQ(sel[3], 5u);  // 10
+  EXPECT_EQ(rows[3], 0u);
+}
+
+TEST(VecHashJoinTest, ProbeHonorsSelectionVector) {
+  BatPtr build = MakeBat<int32_t>({1, 2, 3});
+  auto join = VecHashJoin::Build(build);
+  ASSERT_TRUE(join.ok());
+  const int32_t probes[] = {1, 2, 3, 1};
+  const uint32_t sel_in[] = {1, 3};  // only lanes 1 and 3 active
+  uint32_t sel[4], rows[4];
+  const size_t k = join->ProbeVector(probes, 4, sel_in, 2, sel, rows);
+  ASSERT_EQ(k, 2u);
+  EXPECT_EQ(sel[0], 1u);
+  EXPECT_EQ(rows[0], 1u);
+  EXPECT_EQ(sel[1], 3u);
+  EXPECT_EQ(rows[1], 0u);
+}
+
+TEST(VecJoinPipelineTest, StarQueryMatchesBatAlgebra) {
+  // fact(key fk -> dim.id, measure) joined with dim(id, weight):
+  //   SELECT sum(measure * weight) WHERE measure in range
+  Rng rng(5);
+  const size_t dim_n = 500, fact_n = 30000;
+  BatPtr dim_id = Bat::New(PhysType::kInt32);
+  BatPtr dim_weight = Bat::New(PhysType::kDouble);
+  for (size_t i = 0; i < dim_n; ++i) {
+    dim_id->Append<int32_t>(static_cast<int32_t>(i * 3));  // sparse ids
+    dim_weight->Append<double>(rng.NextDouble());
+  }
+  BatPtr fact_key = Bat::New(PhysType::kInt32);
+  BatPtr fact_measure = Bat::New(PhysType::kDouble);
+  for (size_t i = 0; i < fact_n; ++i) {
+    // ~2/3 of the keys hit the dimension.
+    fact_key->Append<int32_t>(static_cast<int32_t>(rng.Uniform(dim_n * 2)));
+    fact_measure->Append<double>(rng.NextDouble() * 10);
+  }
+
+  // Vectorized: probe-filter + gather + multiply + sum.
+  auto join = VecHashJoin::Build(dim_id);
+  ASSERT_TRUE(join.ok());
+  Pipeline p({fact_key, fact_measure}, 512);
+  ASSERT_TRUE(p.AddSelectRange(1, 2.0, 8.0).ok());
+  auto weight_reg = p.AddHashProbe(0, &*join, dim_weight);
+  ASSERT_TRUE(weight_reg.ok()) << weight_reg.status().ToString();
+  auto product = p.AddMapColCol(BinOp::kMul, 1, *weight_reg);
+  ASSERT_TRUE(product.ok());
+  ASSERT_TRUE(p.SetAggregate(Pipeline::kNoGroup, 1,
+                             {{AggFn::kSum, *product}, {AggFn::kCount, 0}})
+                  .ok());
+  auto got = p.Run();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  // Reference: BAT algebra (select, join, projections, sum).
+  auto sel = algebra::RangeSelect(fact_measure, nullptr, mammoth::Value::Real(2.0),
+                                  mammoth::Value::Real(8.0));
+  ASSERT_TRUE(sel.ok());
+  auto keys = algebra::Project(*sel, fact_key);
+  auto measures = algebra::Project(*sel, fact_measure);
+  ASSERT_TRUE(keys.ok() && measures.ok());
+  auto jr = algebra::HashJoin(*keys, dim_id);
+  ASSERT_TRUE(jr.ok());
+  auto m = algebra::Project(jr->left, *measures);
+  auto w = algebra::Project(jr->right, dim_weight);
+  ASSERT_TRUE(m.ok() && w.ok());
+  double want_sum = 0;
+  for (size_t i = 0; i < (*m)->Count(); ++i) {
+    want_sum += (*m)->ValueAt<double>(i) * (*w)->ValueAt<double>(i);
+  }
+  EXPECT_NEAR(got->aggregates[0][0], want_sum, 1e-6);
+  EXPECT_DOUBLE_EQ(got->aggregates[1][0],
+                   static_cast<double>((*m)->Count()));
+}
+
+TEST(VecJoinPipelineTest, ProbeValidation) {
+  BatPtr keys = MakeBat<int32_t>({1, 2});
+  BatPtr build = MakeBat<int32_t>({1});
+  BatPtr payload = MakeBat<double>({0.5});
+  BatPtr wrong_len = MakeBat<double>({0.5, 0.6});
+  auto join = VecHashJoin::Build(build);
+  ASSERT_TRUE(join.ok());
+  Pipeline p({keys}, 4);
+  EXPECT_FALSE(p.AddHashProbe(0, nullptr, payload).ok());
+  EXPECT_FALSE(p.AddHashProbe(0, &*join, wrong_len).ok());
+  EXPECT_FALSE(p.AddHashProbe(5, &*join, payload).ok());
+  EXPECT_TRUE(p.AddHashProbe(0, &*join, payload).ok());
+}
+
+TEST(VecJoinPipelineTest, VectorSizeInvariantWithProbe) {
+  Rng rng(9);
+  BatPtr dim_id = Bat::New(PhysType::kInt32);
+  BatPtr dim_val = Bat::New(PhysType::kInt32);
+  for (int i = 0; i < 100; ++i) {
+    dim_id->Append<int32_t>(i);
+    dim_val->Append<int32_t>(i * 10);
+  }
+  BatPtr fact = Bat::New(PhysType::kInt32);
+  for (int i = 0; i < 9973; ++i) {  // prime: exercises partial batches
+    fact->Append<int32_t>(static_cast<int32_t>(rng.Uniform(150)));
+  }
+  auto join = VecHashJoin::Build(dim_id);
+  ASSERT_TRUE(join.ok());
+  auto run = [&](size_t vsize) {
+    Pipeline p({fact}, vsize);
+    auto v = p.AddHashProbe(0, &*join, dim_val);
+    EXPECT_TRUE(v.ok());
+    EXPECT_TRUE(p.SetAggregate(Pipeline::kNoGroup, 1,
+                               {{AggFn::kSum, *v}, {AggFn::kCount, 0}})
+                    .ok());
+    auto r = p.Run();
+    EXPECT_TRUE(r.ok());
+    return *r;
+  };
+  const AggResult a = run(1);
+  const AggResult b = run(128);
+  const AggResult c = run(9973);
+  EXPECT_DOUBLE_EQ(a.aggregates[0][0], b.aggregates[0][0]);
+  EXPECT_DOUBLE_EQ(a.aggregates[1][0], b.aggregates[1][0]);
+  EXPECT_DOUBLE_EQ(a.aggregates[0][0], c.aggregates[0][0]);
+}
+
+}  // namespace
+}  // namespace mammoth::vec

@@ -1,0 +1,142 @@
+#include "volcano/operators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/table.h"
+
+namespace mammoth::volcano {
+namespace {
+
+using algebra::ArithOp;
+
+BatPtr IntBat(std::initializer_list<int32_t> v) { return MakeBat<int32_t>(v); }
+
+TEST(VolcanoScanTest, ProducesOneTuplePerRow) {
+  auto it = MakeScan({IntBat({1, 2, 3}), MakeStringBat({"a", "b", "c"})});
+  auto rows = Collect(it.get());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1][0].i, 2);
+  EXPECT_EQ(rows[1][1].s, "b");
+}
+
+TEST(VolcanoFilterTest, PredicateInterpretation) {
+  auto it = MakeFilter(MakeScan({IntBat({5, 10, 15, 20})}),
+                       Cmp(CmpOp::kGt, ColumnRef(0), Const(Value::Int(10))));
+  auto rows = Collect(it.get());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].i, 15);
+  EXPECT_EQ(rows[1][0].i, 20);
+}
+
+TEST(VolcanoFilterTest, ConjunctionShortCircuits) {
+  auto pred = And(Cmp(CmpOp::kGe, ColumnRef(0), Const(Value::Int(10))),
+                  Cmp(CmpOp::kLt, ColumnRef(0), Const(Value::Int(20))));
+  auto it = MakeFilter(MakeScan({IntBat({5, 10, 15, 20, 25})}), pred);
+  auto rows = Collect(it.get());
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST(VolcanoMapTest, ArithmeticExpressions) {
+  auto it = MakeMap(
+      MakeScan({IntBat({1, 2}), IntBat({10, 20})}),
+      {Arith(ArithOp::kAdd, ColumnRef(0), ColumnRef(1)),
+       Arith(ArithOp::kMul, ColumnRef(1), Const(Value::Real(0.5)))});
+  auto rows = Collect(it.get());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].i, 11);
+  EXPECT_DOUBLE_EQ(rows[0][1].d, 5.0);
+  EXPECT_EQ(rows[1][0].i, 22);
+}
+
+TEST(VolcanoJoinTest, MatchesExpectedPairs) {
+  auto l = MakeScan({IntBat({1, 2, 3}), IntBat({100, 200, 300})});
+  auto r = MakeScan({IntBat({2, 3, 2})});
+  auto it = MakeHashJoin(std::move(l), std::move(r), 0, 0);
+  auto rows = Collect(it.get());
+  ASSERT_EQ(rows.size(), 3u);  // 2 matches twice, 3 once
+  for (const Tuple& t : rows) {
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0].i, t[2].i);  // join keys equal
+  }
+}
+
+TEST(VolcanoJoinTest, StringKeys) {
+  auto l = MakeScan({MakeStringBat({"ape", "bee"})});
+  auto r = MakeScan({MakeStringBat({"bee", "cow", "bee"})});
+  auto it = MakeHashJoin(std::move(l), std::move(r), 0, 0);
+  auto rows = Collect(it.get());
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST(VolcanoAggregateTest, GroupedSumCountMinMaxAvg) {
+  // key: 1,2,1,2,1  val: 10,20,30,40,50
+  auto it = MakeAggregate(
+      MakeScan({IntBat({1, 2, 1, 2, 1}), IntBat({10, 20, 30, 40, 50})}), {0},
+      {{AggSpec::Fn::kSum, 1},
+       {AggSpec::Fn::kCount, 0},
+       {AggSpec::Fn::kMin, 1},
+       {AggSpec::Fn::kMax, 1},
+       {AggSpec::Fn::kAvg, 1}});
+  auto rows = Collect(it.get());
+  ASSERT_EQ(rows.size(), 2u);
+  std::sort(rows.begin(), rows.end(),
+            [](const Tuple& a, const Tuple& b) { return a[0].i < b[0].i; });
+  EXPECT_EQ(rows[0][0].i, 1);
+  EXPECT_EQ(rows[0][1].i, 90);
+  EXPECT_EQ(rows[0][2].i, 3);
+  EXPECT_EQ(rows[0][3].i, 10);
+  EXPECT_EQ(rows[0][4].i, 50);
+  EXPECT_DOUBLE_EQ(rows[0][5].d, 30.0);
+  EXPECT_EQ(rows[1][1].i, 60);
+}
+
+TEST(VolcanoAggregateTest, GlobalAggregate) {
+  auto it = MakeAggregate(MakeScan({IntBat({1, 2, 3})}), {},
+                          {{AggSpec::Fn::kSum, 0}});
+  auto rows = Collect(it.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].i, 6);
+}
+
+TEST(VolcanoLimitTest, StopsEarly) {
+  auto it = MakeLimit(MakeScan({IntBat({1, 2, 3, 4, 5})}), 2);
+  auto rows = Collect(it.get());
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST(VolcanoTableScanTest, SkipsDeletedSeesInserts) {
+  auto t = Table::Create("t", {{"x", PhysType::kInt32}});
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*t)->Insert({Value::Int(i)}).ok());
+  }
+  ASSERT_TRUE((*t)->Delete(MakeBat<Oid>({Oid{1}, Oid{3}})).ok());
+  auto it = MakeTableScan(*t);
+  auto rows = Collect(it.get());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0].i, 0);
+  EXPECT_EQ(rows[1][0].i, 2);
+  EXPECT_EQ(rows[2][0].i, 4);
+}
+
+TEST(VolcanoPipelineTest, SelectProjectAggregateEndToEnd) {
+  // SELECT sum(b*2) FROM t WHERE a >= 2 AND a <= 4  over a=1..5, b=10x.
+  auto scan = MakeScan({IntBat({1, 2, 3, 4, 5}),
+                        IntBat({10, 20, 30, 40, 50})});
+  auto filt = MakeFilter(
+      std::move(scan),
+      And(Cmp(CmpOp::kGe, ColumnRef(0), Const(Value::Int(2))),
+          Cmp(CmpOp::kLe, ColumnRef(0), Const(Value::Int(4)))));
+  auto map = MakeMap(std::move(filt),
+                     {Arith(ArithOp::kMul, ColumnRef(1),
+                            Const(Value::Int(2)))});
+  auto agg = MakeAggregate(std::move(map), {}, {{AggSpec::Fn::kSum, 0}});
+  auto rows = Collect(agg.get());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].i, (20 + 30 + 40) * 2);
+}
+
+}  // namespace
+}  // namespace mammoth::volcano

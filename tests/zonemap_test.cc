@@ -1,0 +1,115 @@
+#include "index/zonemap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/select.h"
+
+namespace mammoth::index {
+namespace {
+
+BatPtr ClusteredInts(size_t n, uint64_t seed) {
+  // Nearly sorted (timestamps-like): value grows with position plus noise.
+  Rng rng(seed);
+  BatPtr b = Bat::New(PhysType::kInt32);
+  for (size_t i = 0; i < n; ++i) {
+    b->Append<int32_t>(static_cast<int32_t>(i * 4 + rng.Uniform(16)));
+  }
+  return b;
+}
+
+TEST(ZoneMapTest, MatchesKernelRangeSelect) {
+  Rng rng(3);
+  BatPtr b = Bat::New(PhysType::kInt32);
+  for (int i = 0; i < 20000; ++i) {
+    b->Append<int32_t>(static_cast<int32_t>(rng.Uniform(100000)));
+  }
+  auto zm = ZoneMap::Build(b, 512);
+  ASSERT_TRUE(zm.ok());
+  for (int q = 0; q < 30; ++q) {
+    const int64_t lo = static_cast<int64_t>(rng.Uniform(90000));
+    const int64_t hi = lo + static_cast<int64_t>(rng.Uniform(10000));
+    auto got = zm->RangeSelect(Value::Int(lo), Value::Int(hi));
+    ASSERT_TRUE(got.ok());
+    auto want =
+        algebra::RangeSelect(b, nullptr, Value::Int(lo), Value::Int(hi));
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ((*got)->Count(), (*want)->Count()) << "query " << q;
+    for (size_t i = 0; i < (*got)->Count(); ++i) {
+      ASSERT_EQ((*got)->OidAt(i), (*want)->OidAt(i));
+    }
+  }
+}
+
+TEST(ZoneMapTest, SkipsBlocksOnClusteredData) {
+  BatPtr b = ClusteredInts(100000, 5);
+  auto zm = ZoneMap::Build(b, 1024);
+  ASSERT_TRUE(zm.ok());
+  EXPECT_EQ(zm->NumBlocks(), (100000 + 1023) / 1024);
+  // A narrow range on clustered data touches very few blocks.
+  const size_t touched = zm->BlocksTouched(Value::Int(200000),
+                                           Value::Int(201000));
+  EXPECT_LE(touched, 2u);
+  // Results still exact.
+  auto got = zm->RangeSelect(Value::Int(200000), Value::Int(201000));
+  auto want = algebra::RangeSelect(b, nullptr, Value::Int(200000),
+                                   Value::Int(201000));
+  ASSERT_TRUE(got.ok() && want.ok());
+  EXPECT_EQ((*got)->Count(), (*want)->Count());
+}
+
+TEST(ZoneMapTest, RandomDataTouchesEverything) {
+  Rng rng(9);
+  BatPtr b = Bat::New(PhysType::kInt32);
+  for (int i = 0; i < 50000; ++i) {
+    b->Append<int32_t>(static_cast<int32_t>(rng.Next()));
+  }
+  auto zm = ZoneMap::Build(b, 1024);
+  ASSERT_TRUE(zm.ok());
+  // A wide range over random data: no skipping possible.
+  EXPECT_EQ(zm->BlocksTouched(Value::Int(INT32_MIN / 2),
+                              Value::Int(INT32_MAX / 2)),
+            zm->NumBlocks());
+}
+
+TEST(ZoneMapTest, EmptyRangeAndEdges) {
+  BatPtr b = ClusteredInts(5000, 7);
+  auto zm = ZoneMap::Build(b, 128);
+  ASSERT_TRUE(zm.ok());
+  auto none = zm->RangeSelect(Value::Int(-100), Value::Int(-1));
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ((*none)->Count(), 0u);
+  auto all = zm->RangeSelect(Value::Int(0), Value::Int(1 << 30));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ((*all)->Count(), 5000u);
+  // Out-of-domain bounds beyond int32: no false positives.
+  auto big = zm->RangeSelect(Value::Int(int64_t{1} << 40),
+                             Value::Int(int64_t{1} << 41));
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ((*big)->Count(), 0u);
+}
+
+TEST(ZoneMapTest, Int64Columns) {
+  BatPtr b = Bat::New(PhysType::kInt64);
+  for (int i = 0; i < 10000; ++i) {
+    b->Append<int64_t>(static_cast<int64_t>(i) << 33);
+  }
+  auto zm = ZoneMap::Build(b, 256);
+  ASSERT_TRUE(zm.ok());
+  auto got = zm->RangeSelect(Value::Int(int64_t{100} << 33),
+                             Value::Int(int64_t{200} << 33));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->Count(), 101u);
+}
+
+TEST(ZoneMapTest, Validation) {
+  BatPtr s = MakeStringBat({"a"});
+  EXPECT_FALSE(ZoneMap::Build(s).ok());
+  BatPtr b = MakeBat<int32_t>({1});
+  EXPECT_FALSE(ZoneMap::Build(b, 0).ok());
+}
+
+}  // namespace
+}  // namespace mammoth::index
