@@ -1,0 +1,46 @@
+// Shared main for all bench_* binaries: runs Google Benchmark as usual but
+// additionally writes the full machine-readable result to
+// BENCH_<name>.json in the working directory (name = binary name without
+// the bench_ prefix), so the perf trajectory can be tracked across PRs.
+// Passing an explicit --benchmark_out=... disables the default sidecar.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string BinaryBaseName(const char* argv0) {
+  std::string name = argv0 == nullptr ? "bench" : argv0;
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const char* prefix = "bench_";
+  if (name.rfind(prefix, 0) == 0) name = name.substr(std::strlen(prefix));
+  return name.empty() ? "bench" : name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  // Own the injected flags for the duration of Initialize.
+  std::string out_flag =
+      "--benchmark_out=BENCH_" + BinaryBaseName(argv[0]) + ".json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

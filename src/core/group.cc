@@ -13,6 +13,21 @@ namespace mammoth::algebra {
 
 namespace {
 
+using parallel::ExecContext;
+using parallel::TaskPool;
+
+/// Kernels switch to per-worker partials only past this row count (below
+/// it the scan is cheaper than waking the pool)...
+constexpr size_t kParallelGrain = TaskPool::kDefaultGrain;
+/// ...and only while the per-worker accumulator arrays stay reasonably
+/// sized (nworkers copies of ngroups slots).
+constexpr size_t kMaxPartialGroups = size_t{1} << 20;
+
+bool UseParallel(const ExecContext& ctx, size_t n, size_t ngroups) {
+  return ctx.threads() > 1 && n > 2 * kParallelGrain &&
+         ngroups <= kMaxPartialGroups;
+}
+
 /// Canonical 64-bit key for one tail slot: integers sign-extend, floats use
 /// the double bit pattern, strings use their (interned, hence canonical)
 /// heap offset.
@@ -56,6 +71,11 @@ class GroupTable {
     }
   }
 
+  /// Composite key of a previously assigned group id (for the renumber
+  /// pass of the parallel grouping).
+  uint64_t PrevOf(uint32_t gid) const { return prevs_[gid]; }
+  uint64_t KeyOf(uint32_t gid) const { return keys_[gid]; }
+
  private:
   static constexpr uint32_t kEmpty = 0xffffffffu;
 
@@ -79,7 +99,8 @@ class GroupTable {
 }  // namespace
 
 Result<GroupResult> Group(const BatPtr& b, const BatPtr& prev,
-                          size_t prev_ngroups) {
+                          size_t prev_ngroups,
+                          const parallel::ExecContext& ctx) {
   if (b == nullptr) return Status::InvalidArgument("group: null input");
   if (prev != nullptr && prev->Count() != b->Count()) {
     return Status::InvalidArgument("group: prev grouping misaligned");
@@ -103,12 +124,12 @@ Result<GroupResult> Group(const BatPtr& b, const BatPtr& prev,
     prevm->MaterializeDense();
   }
   const Oid* prevg = prevm == nullptr ? nullptr : prevm->TailData<Oid>();
-
-  GroupTable table(prev_ngroups == 0 ? 64 : prev_ngroups * 4);
-  uint32_t next_id = 0;
   const Oid hseq = base->hseqbase();
 
-  auto run = [&](auto key_at) {
+  uint32_t next_id = 0;
+
+  auto run_serial = [&](auto key_at) {
+    GroupTable table(prev_ngroups == 0 ? 64 : prev_ngroups * 4);
     for (size_t i = 0; i < n; ++i) {
       const uint64_t pg = prevg == nullptr ? 0 : prevg[i];
       const uint32_t gid = table.GetOrInsert(pg, key_at(i), &next_id);
@@ -117,6 +138,69 @@ Result<GroupResult> Group(const BatPtr& b, const BatPtr& prev,
           static_cast<size_t>(gid) == out.extents->Count()) {
         out.extents->Append<Oid>(hseq + i);
       }
+    }
+  };
+
+  /// Parallel grouping in two phases. Phase 1 (parallel): every worker
+  /// hashes its morsels into a private table, storing *local* group ids in
+  /// the output array. Phase 2 (serial): walk the rows in order, mapping
+  /// each (worker, local id) pair to a global id assigned at its first
+  /// appearance — exactly the id order the serial kernel produces. Phase 2
+  /// does one array lookup per row; the hash work stays in phase 1.
+  auto run_parallel = [&](auto key_at) {
+    const int nworkers = ctx.threads();
+    const size_t grain = kParallelGrain;
+    const size_t nmorsels = (n + grain - 1) / grain;
+    std::vector<GroupTable> local;
+    local.reserve(static_cast<size_t>(nworkers));
+    for (int w = 0; w < nworkers; ++w) {
+      local.emplace_back(prev_ngroups == 0 ? 64 : prev_ngroups * 4);
+    }
+    std::vector<uint32_t> local_next(static_cast<size_t>(nworkers), 0);
+    std::vector<int> morsel_worker(nmorsels, 0);
+
+    Status s = ctx.ParallelFor(
+        n, grain, [&](size_t begin, size_t end, int worker) {
+          morsel_worker[begin / grain] = worker;
+          GroupTable& table = local[static_cast<size_t>(worker)];
+          uint32_t* next = &local_next[static_cast<size_t>(worker)];
+          for (size_t i = begin; i < end; ++i) {
+            const uint64_t pg = prevg == nullptr ? 0 : prevg[i];
+            gids[i] = table.GetOrInsert(pg, key_at(i), next);
+          }
+          return Status::OK();
+        });
+    MAMMOTH_CHECK(s.ok(), "group phase 1 cannot fail");
+
+    constexpr uint32_t kUnset = 0xffffffffu;
+    std::vector<std::vector<uint32_t>> remap(static_cast<size_t>(nworkers));
+    for (int w = 0; w < nworkers; ++w) {
+      remap[static_cast<size_t>(w)].assign(
+          local_next[static_cast<size_t>(w)], kUnset);
+    }
+    GroupTable global(prev_ngroups == 0 ? 64 : prev_ngroups * 4);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t w = static_cast<size_t>(morsel_worker[i / grain]);
+      const uint32_t lg = static_cast<uint32_t>(gids[i]);
+      uint32_t g = remap[w][lg];
+      if (g == kUnset) {
+        g = global.GetOrInsert(local[w].PrevOf(lg), local[w].KeyOf(lg),
+                               &next_id);
+        remap[w][lg] = g;
+        if (g + 1 == next_id &&
+            static_cast<size_t>(g) == out.extents->Count()) {
+          out.extents->Append<Oid>(hseq + i);
+        }
+      }
+      gids[i] = g;
+    }
+  };
+
+  auto run = [&](auto key_at) {
+    if (UseParallel(ctx, n, kMaxPartialGroups)) {
+      run_parallel(key_at);
+    } else {
+      run_serial(key_at);
     }
   };
 
@@ -168,10 +252,43 @@ const Oid* GroupIds(const BatPtr& groups, BatPtr* holder) {
   return groups->TailData<Oid>();
 }
 
+/// Folds rows [0, n) into `acc` (size ngroups) with `fold(acc_slot, i)`,
+/// using per-worker partial accumulators merged in worker order by
+/// `merge(acc_slot, partial_slot)`. Requires fold/merge to be exactly
+/// associative and commutative (integer adds, min, max) so the merged
+/// result is bit-identical to the serial fold.
+template <typename A, typename FoldFn, typename MergeFn>
+void FoldGroups(const ExecContext& ctx, size_t n, const Oid* gids,
+                std::vector<A>* acc, const FoldFn& fold,
+                const MergeFn& merge) {
+  const size_t ngroups = acc->size();
+  if (ngroups == 0 || !UseParallel(ctx, n, ngroups)) {
+    A* a = acc->data();
+    for (size_t i = 0; i < n; ++i) fold(&a[gids ? gids[i] : 0], i);
+    return;
+  }
+  const int nworkers = ctx.threads();
+  const A init = (*acc)[0];  // caller-provided identity fills the array
+  std::vector<std::vector<A>> partial(static_cast<size_t>(nworkers));
+  Status s = ctx.ParallelFor(
+      n, kParallelGrain, [&](size_t begin, size_t end, int worker) {
+        std::vector<A>& p = partial[static_cast<size_t>(worker)];
+        if (p.empty()) p.assign(ngroups, init);
+        A* a = p.data();
+        for (size_t i = begin; i < end; ++i) fold(&a[gids ? gids[i] : 0], i);
+        return Status::OK();
+      });
+  MAMMOTH_CHECK(s.ok(), "aggregate fold cannot fail");
+  for (const std::vector<A>& p : partial) {
+    if (p.empty()) continue;
+    for (size_t g = 0; g < ngroups; ++g) merge(&(*acc)[g], p[g]);
+  }
+}
+
 }  // namespace
 
 Result<BatPtr> AggrSum(const BatPtr& values, const BatPtr& groups,
-                       size_t ngroups) {
+                       size_t ngroups, const parallel::ExecContext& ctx) {
   MAMMOTH_RETURN_IF_ERROR(ValidateAggr(values, groups, ngroups));
   if (values->type() == PhysType::kStr) {
     return Status::TypeMismatch("sum over strings");
@@ -189,6 +306,8 @@ Result<BatPtr> AggrSum(const BatPtr& values, const BatPtr& groups,
     using T = typename decltype(tag)::type;
     const T* v = vm->TailData<T>();
     if constexpr (std::is_floating_point_v<T>) {
+      // Serial on purpose: float addition is not associative, and the
+      // kernels guarantee results independent of the thread count.
       std::vector<double> acc(ngroups, 0.0);
       for (size_t i = 0; i < n; ++i) acc[gids ? gids[i] : 0] += v[i];
       BatPtr r = Bat::New(PhysType::kDouble);
@@ -196,9 +315,10 @@ Result<BatPtr> AggrSum(const BatPtr& values, const BatPtr& groups,
       return r;
     } else {
       std::vector<int64_t> acc(ngroups, 0);
-      for (size_t i = 0; i < n; ++i) {
-        acc[gids ? gids[i] : 0] += static_cast<int64_t>(v[i]);
-      }
+      FoldGroups<int64_t>(
+          ctx, n, gids, &acc,
+          [&](int64_t* a, size_t i) { *a += static_cast<int64_t>(v[i]); },
+          [](int64_t* a, int64_t p) { *a += p; });
       BatPtr r = Bat::New(PhysType::kInt64);
       r->AppendRaw(acc.data(), ngroups);
       return r;
@@ -206,7 +326,8 @@ Result<BatPtr> AggrSum(const BatPtr& values, const BatPtr& groups,
   });
 }
 
-Result<BatPtr> AggrCount(const BatPtr& groups, size_t ngroups, size_t nrows) {
+Result<BatPtr> AggrCount(const BatPtr& groups, size_t ngroups, size_t nrows,
+                         const parallel::ExecContext& ctx) {
   if (groups == nullptr) {
     BatPtr r = Bat::New(PhysType::kInt64);
     r->Append<int64_t>(static_cast<int64_t>(nrows));
@@ -219,7 +340,9 @@ Result<BatPtr> AggrCount(const BatPtr& groups, size_t ngroups, size_t nrows) {
   const Oid* gids = GroupIds(groups, &holder);
   std::vector<int64_t> acc(ngroups, 0);
   const size_t n = groups->Count();
-  for (size_t i = 0; i < n; ++i) acc[gids[i]] += 1;
+  FoldGroups<int64_t>(
+      ctx, n, gids, &acc, [](int64_t* a, size_t) { *a += 1; },
+      [](int64_t* a, int64_t p) { *a += p; });
   BatPtr r = Bat::New(PhysType::kInt64);
   r->AppendRaw(acc.data(), ngroups);
   return r;
@@ -229,7 +352,7 @@ namespace {
 
 template <bool kMin>
 Result<BatPtr> AggrMinMax(const BatPtr& values, const BatPtr& groups,
-                          size_t ngroups) {
+                          size_t ngroups, const ExecContext& ctx) {
   MAMMOTH_RETURN_IF_ERROR(ValidateAggr(values, groups, ngroups));
   if (values->type() == PhysType::kStr) {
     return Status::Unimplemented("min/max over strings");
@@ -248,14 +371,22 @@ Result<BatPtr> AggrMinMax(const BatPtr& values, const BatPtr& groups,
     std::vector<T> acc(ngroups,
                        kMin ? std::numeric_limits<T>::max()
                             : std::numeric_limits<T>::lowest());
-    for (size_t i = 0; i < n; ++i) {
-      const Oid g = gids ? gids[i] : 0;
-      if constexpr (kMin) {
-        if (v[i] < acc[g]) acc[g] = v[i];
-      } else {
-        if (v[i] > acc[g]) acc[g] = v[i];
-      }
-    }
+    FoldGroups<T>(
+        ctx, n, gids, &acc,
+        [&](T* a, size_t i) {
+          if constexpr (kMin) {
+            if (v[i] < *a) *a = v[i];
+          } else {
+            if (v[i] > *a) *a = v[i];
+          }
+        },
+        [](T* a, T p) {
+          if constexpr (kMin) {
+            if (p < *a) *a = p;
+          } else {
+            if (p > *a) *a = p;
+          }
+        });
     BatPtr r = Bat::New(vm->type());
     r->AppendRaw(acc.data(), ngroups);
     return r;
@@ -265,13 +396,13 @@ Result<BatPtr> AggrMinMax(const BatPtr& values, const BatPtr& groups,
 }  // namespace
 
 Result<BatPtr> AggrMin(const BatPtr& values, const BatPtr& groups,
-                       size_t ngroups) {
-  return AggrMinMax<true>(values, groups, ngroups);
+                       size_t ngroups, const parallel::ExecContext& ctx) {
+  return AggrMinMax<true>(values, groups, ngroups, ctx);
 }
 
 Result<BatPtr> AggrMax(const BatPtr& values, const BatPtr& groups,
-                       size_t ngroups) {
-  return AggrMinMax<false>(values, groups, ngroups);
+                       size_t ngroups, const parallel::ExecContext& ctx) {
+  return AggrMinMax<false>(values, groups, ngroups, ctx);
 }
 
 Result<BatPtr> AggrAvg(const BatPtr& values, const BatPtr& groups,
@@ -307,9 +438,9 @@ Result<BatPtr> AggrAvg(const BatPtr& values, const BatPtr& groups,
   return r;
 }
 
-Result<BatPtr> Distinct(const BatPtr& b) {
-  MAMMOTH_ASSIGN_OR_RETURN(GroupResult g, Group(b));
-  return Project(g.extents, b);
+Result<BatPtr> Distinct(const BatPtr& b, const parallel::ExecContext& ctx) {
+  MAMMOTH_ASSIGN_OR_RETURN(GroupResult g, Group(b, nullptr, 0, ctx));
+  return Project(g.extents, b, ctx);
 }
 
 }  // namespace mammoth::algebra

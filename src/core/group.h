@@ -3,6 +3,7 @@
 
 #include "common/result.h"
 #include "core/bat.h"
+#include "parallel/exec_context.h"
 
 namespace mammoth::algebra {
 
@@ -21,26 +22,44 @@ struct GroupResult {
 /// given, refines the existing grouping instead — MonetDB's
 /// group.subgroup chain, which is how multi-column GROUP BY is executed
 /// column-at-a-time (§3).
-Result<GroupResult> Group(const BatPtr& b, const BatPtr& prev = nullptr,
-                          size_t prev_ngroups = 0);
+///
+/// Under a parallel `ctx` the hash probes run morsel-parallel into
+/// per-worker local tables; a final single-threaded pass renumbers local
+/// ids by first appearance in row order, so group ids and extents are
+/// bit-identical to the serial kernel for any context.
+Result<GroupResult> Group(
+    const BatPtr& b, const BatPtr& prev = nullptr, size_t prev_ngroups = 0,
+    const parallel::ExecContext& ctx = parallel::ExecContext::Default());
 
 /// Per-group aggregates. `groups` maps each row of `values` to a group id
 /// in [0, ngroups); pass groups == nullptr with ngroups == 1 for a global
 /// aggregate. Sums of integer tails widen to :lng, of floating tails to
 /// :dbl. Empty groups yield 0 for sum/count; min/max of an empty group is
 /// unspecified.
-Result<BatPtr> AggrSum(const BatPtr& values, const BatPtr& groups,
-                       size_t ngroups);
-Result<BatPtr> AggrCount(const BatPtr& groups, size_t ngroups, size_t nrows);
-Result<BatPtr> AggrMin(const BatPtr& values, const BatPtr& groups,
-                       size_t ngroups);
-Result<BatPtr> AggrMax(const BatPtr& values, const BatPtr& groups,
-                       size_t ngroups);
+///
+/// Sum (integer), count, min and max compute per-worker partials merged in
+/// a single-threaded pass; these are exactly associative, so results are
+/// bit-identical for any context. Floating-point sums and averages always
+/// run serially to preserve the serial rounding order.
+Result<BatPtr> AggrSum(
+    const BatPtr& values, const BatPtr& groups, size_t ngroups,
+    const parallel::ExecContext& ctx = parallel::ExecContext::Default());
+Result<BatPtr> AggrCount(
+    const BatPtr& groups, size_t ngroups, size_t nrows,
+    const parallel::ExecContext& ctx = parallel::ExecContext::Default());
+Result<BatPtr> AggrMin(
+    const BatPtr& values, const BatPtr& groups, size_t ngroups,
+    const parallel::ExecContext& ctx = parallel::ExecContext::Default());
+Result<BatPtr> AggrMax(
+    const BatPtr& values, const BatPtr& groups, size_t ngroups,
+    const parallel::ExecContext& ctx = parallel::ExecContext::Default());
 Result<BatPtr> AggrAvg(const BatPtr& values, const BatPtr& groups,
                        size_t ngroups);
 
 /// Distinct tail values of `b`, in first-appearance order.
-Result<BatPtr> Distinct(const BatPtr& b);
+Result<BatPtr> Distinct(
+    const BatPtr& b,
+    const parallel::ExecContext& ctx = parallel::ExecContext::Default());
 
 }  // namespace mammoth::algebra
 

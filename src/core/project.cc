@@ -5,7 +5,35 @@
 
 namespace mammoth::algebra {
 
-Result<BatPtr> Project(const BatPtr& oids, const BatPtr& values) {
+namespace {
+
+using parallel::ExecContext;
+using parallel::TaskPool;
+
+/// The typed gather loop: out[i] = in[position of oid i], bounds-checked.
+/// Each morsel owns the disjoint output slice [begin, end), so the parallel
+/// and serial schedules write identical bytes.
+template <typename T>
+Status GatherSlices(const CandidateReader& cr, const T* in, T* out,
+                    size_t n, size_t vcount, const ExecContext& ctx) {
+  return ctx.ParallelFor(
+      n, TaskPool::kDefaultGrain,
+      [&](size_t begin, size_t end, int /*worker*/) {
+        for (size_t i = begin; i < end; ++i) {
+          const size_t pos = cr.PositionAt(i);
+          if (pos >= vcount) {
+            return Status::OutOfRange("project: oid beyond value BAT");
+          }
+          out[i] = in[pos];
+        }
+        return Status::OK();
+      });
+}
+
+}  // namespace
+
+Result<BatPtr> Project(const BatPtr& oids, const BatPtr& values,
+                       const parallel::ExecContext& ctx) {
   if (oids == nullptr || values == nullptr) {
     return Status::InvalidArgument("project: null input");
   }
@@ -24,13 +52,7 @@ Result<BatPtr> Project(const BatPtr& oids, const BatPtr& values) {
     return r;
   }
 
-  // Bounds check once up front (kernel loops stay check-free).
   CandidateReader cr(oids.get(), values.get());
-  for (size_t i = 0; i < n; ++i) {
-    if (cr.PositionAt(i) >= vcount) {
-      return Status::OutOfRange("project: oid beyond value BAT");
-    }
-  }
 
   BatPtr base = values;
   if (values->IsDenseTail()) {
@@ -42,18 +64,17 @@ Result<BatPtr> Project(const BatPtr& oids, const BatPtr& values) {
   if (base->type() == PhysType::kStr) {
     r = Bat::NewString(base->heap());
     r->Resize(n);
-    const uint64_t* in = base->TailData<uint64_t>();
-    uint64_t* out = r->MutableTailData<uint64_t>();
-    for (size_t i = 0; i < n; ++i) out[i] = in[cr.PositionAt(i)];
+    MAMMOTH_RETURN_IF_ERROR(GatherSlices<uint64_t>(
+        cr, base->TailData<uint64_t>(), r->MutableTailData<uint64_t>(), n,
+        vcount, ctx));
   } else {
     r = Bat::New(base->type());
     r->Resize(n);
-    DispatchNumeric(base->type(), [&](auto tag) {
+    MAMMOTH_RETURN_IF_ERROR(DispatchNumeric(base->type(), [&](auto tag) {
       using T = typename decltype(tag)::type;
-      const T* in = base->TailData<T>();
-      T* out = r->MutableTailData<T>();
-      for (size_t i = 0; i < n; ++i) out[i] = in[cr.PositionAt(i)];
-    });
+      return GatherSlices<T>(cr, base->TailData<T>(), r->MutableTailData<T>(),
+                             n, vcount, ctx);
+    }));
   }
   r->set_hseqbase(oids->hseqbase());
   return r;

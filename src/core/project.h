@@ -3,6 +3,7 @@
 
 #include "common/result.h"
 #include "core/bat.h"
+#include "parallel/exec_context.h"
 
 namespace mammoth::algebra {
 
@@ -12,13 +13,20 @@ namespace mammoth::algebra {
 /// dense heads (§3).
 ///
 /// The result's head is aligned with `oids`' head; string results share the
-/// input heap.
-Result<BatPtr> Project(const BatPtr& oids, const BatPtr& values);
+/// input heap. The gather writes disjoint output slices, so it runs
+/// morsel-parallel under `ctx` with bit-identical results for any context;
+/// an out-of-range OID cancels the remaining morsels and is reported as
+/// OutOfRange.
+Result<BatPtr> Project(
+    const BatPtr& oids, const BatPtr& values,
+    const parallel::ExecContext& ctx = parallel::ExecContext::Default());
 
 /// Tuple reconstruction after a join: same as Project but the OID list is a
 /// join-index column (§4.3 phase two, "column projection").
-inline Result<BatPtr> FetchJoin(const BatPtr& oids, const BatPtr& values) {
-  return Project(oids, values);
+inline Result<BatPtr> FetchJoin(
+    const BatPtr& oids, const BatPtr& values,
+    const parallel::ExecContext& ctx = parallel::ExecContext::Default()) {
+  return Project(oids, values, ctx);
 }
 
 }  // namespace mammoth::algebra

@@ -5,10 +5,15 @@
 
 #include "core/candidates.h"
 #include "core/dispatch.h"
+#include "parallel/stitch.h"
 
 namespace mammoth::algebra {
 
 namespace {
+
+using parallel::ExecContext;
+using parallel::MorselCollector;
+using parallel::TaskPool;
 
 /// Marks a freshly built select result with its guaranteed properties.
 void StampSelectResult(const BatPtr& r) {
@@ -17,17 +22,56 @@ void StampSelectResult(const BatPtr& r) {
   r->mutable_props().revsorted = r->Count() <= 1;
 }
 
+/// Parallel candidate scan: each worker filters its morsels into a private
+/// buffer through `emit(sink, pos_begin, pos_end)`; the runs are stitched
+/// back in morsel order, so the output equals the serial left-to-right scan
+/// exactly. Returns false when the range is too small (or the context
+/// serial), in which case the caller runs its serial loop.
+template <typename EmitFn>
+bool ParallelScan(const ExecContext& ctx, size_t n, BatPtr* out,
+                  const EmitFn& emit) {
+  constexpr size_t kGrain = TaskPool::kDefaultGrain;
+  if (ctx.threads() <= 1 || n <= kGrain * 2) return false;
+  MorselCollector<Oid> collect(ctx.threads(), n, kGrain);
+  Status s = ctx.ParallelFor(
+      n, kGrain, [&](size_t begin, size_t end, int worker) {
+        auto sink = collect.BeginMorsel(begin, worker);
+        emit(sink, begin, end);
+        return Status::OK();
+      });
+  MAMMOTH_CHECK(s.ok(), "select scan cannot fail");
+  BatPtr r = Bat::New(PhysType::kOid);
+  r->Resize(collect.Total());
+  collect.Stitch(r->MutableTailData<Oid>());
+  StampSelectResult(r);
+  *out = std::move(r);
+  return true;
+}
+
 /// Scan select over numeric tails. One instantiation per element type; the
 /// comparison op stays a parameter but the loop body is branch-predictable
 /// (op is loop-invariant).
 template <typename T>
-BatPtr ScanThetaSelect(const Bat& b, const Bat* cands, T v, CmpOp op) {
+BatPtr ScanThetaSelect(const Bat& b, const Bat* cands, T v, CmpOp op,
+                       const ExecContext& ctx) {
   CandidateReader cr(cands, &b);
   const T* tail = b.TailData<T>();
   const Oid hseq = b.hseqbase();
-  BatPtr r = Bat::New(PhysType::kOid);
-  r->Reserve(cr.size() / 4 + 16);
   const size_t n = cr.size();
+
+  BatPtr parallel_result;
+  const bool went_parallel = ParallelScan(
+      ctx, n, &parallel_result,
+      [&](MorselCollector<Oid>::Sink& sink, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const size_t pos = cr.PositionAt(i);
+          if (ApplyCmp(op, tail[pos], v)) sink.Append(hseq + pos);
+        }
+      });
+  if (went_parallel) return parallel_result;
+
+  BatPtr r = Bat::New(PhysType::kOid);
+  r->Reserve(n / 4 + 16);
   for (size_t i = 0; i < n; ++i) {
     const size_t pos = cr.PositionAt(i);
     if (ApplyCmp(op, tail[pos], v)) r->Append<Oid>(hseq + pos);
@@ -56,20 +100,34 @@ BatPtr SortedRangeSelect(const Bat& b, T lo, T hi, bool lo_incl,
 template <typename T>
 BatPtr ScanRangeSelect(const Bat& b, const Bat* cands, T lo, T hi,
                        bool lo_incl, bool hi_incl, bool has_lo, bool has_hi,
-                       bool anti) {
+                       bool anti, const ExecContext& ctx) {
   CandidateReader cr(cands, &b);
   const T* tail = b.TailData<T>();
   const Oid hseq = b.hseqbase();
-  BatPtr r = Bat::New(PhysType::kOid);
-  r->Reserve(cr.size() / 4 + 16);
   const size_t n = cr.size();
-  for (size_t i = 0; i < n; ++i) {
-    const size_t pos = cr.PositionAt(i);
-    const T x = tail[pos];
+  const auto keep = [&](T x) {
     bool in = true;
     if (has_lo) in = lo_incl ? (x >= lo) : (x > lo);
     if (in && has_hi) in = hi_incl ? (x <= hi) : (x < hi);
-    if (in != anti) r->Append<Oid>(hseq + pos);
+    return in != anti;
+  };
+
+  BatPtr parallel_result;
+  const bool went_parallel = ParallelScan(
+      ctx, n, &parallel_result,
+      [&](MorselCollector<Oid>::Sink& sink, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const size_t pos = cr.PositionAt(i);
+          if (keep(tail[pos])) sink.Append(hseq + pos);
+        }
+      });
+  if (went_parallel) return parallel_result;
+
+  BatPtr r = Bat::New(PhysType::kOid);
+  r->Reserve(n / 4 + 16);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t pos = cr.PositionAt(i);
+    if (keep(tail[pos])) r->Append<Oid>(hseq + pos);
   }
   StampSelectResult(r);
   return r;
@@ -77,6 +135,8 @@ BatPtr ScanRangeSelect(const Bat& b, const Bat* cands, T lo, T hi,
 
 /// String theta-select. Equality exploits heap interning (string equality
 /// becomes offset equality); ordering falls back to lexicographic compare.
+/// Stays serial: the ordered cases chase heap pointers, and the eq case is
+/// already a plain offset-compare scan.
 BatPtr StringThetaSelect(const Bat& b, const Bat* cands,
                          const std::string& v, CmpOp op) {
   CandidateReader cr(cands, &b);
@@ -126,7 +186,8 @@ BatPtr StringThetaSelect(const Bat& b, const Bat* cands,
 }  // namespace
 
 Result<BatPtr> ThetaSelect(const BatPtr& b, const BatPtr& cands,
-                           const Value& v, CmpOp op) {
+                           const Value& v, CmpOp op,
+                           const parallel::ExecContext& ctx) {
   if (b == nullptr) return Status::InvalidArgument("select: null input");
   if (b->type() == PhysType::kStr) {
     if (!v.is_str()) {
@@ -159,7 +220,7 @@ Result<BatPtr> ThetaSelect(const BatPtr& b, const BatPtr& cands,
                                       false, true);
         case CmpOp::kNe:
         default:
-          return ScanThetaSelect<T>(*b, cands.get(), tv, op);
+          return ScanThetaSelect<T>(*b, cands.get(), tv, op, ctx);
       }
     });
   }
@@ -170,13 +231,14 @@ Result<BatPtr> ThetaSelect(const BatPtr& b, const BatPtr& cands,
   }
   return DispatchNumeric(base->type(), [&](auto tag) -> BatPtr {
     using T = typename decltype(tag)::type;
-    return ScanThetaSelect<T>(*base, cands.get(), v.As<T>(), op);
+    return ScanThetaSelect<T>(*base, cands.get(), v.As<T>(), op, ctx);
   });
 }
 
 Result<BatPtr> RangeSelect(const BatPtr& b, const BatPtr& cands,
                            const Value& lo, const Value& hi, bool lo_incl,
-                           bool hi_incl, bool anti) {
+                           bool hi_incl, bool anti,
+                           const parallel::ExecContext& ctx) {
   if (b == nullptr) return Status::InvalidArgument("select: null input");
   if (b->type() == PhysType::kStr) {
     return Status::Unimplemented("range select on strings");
@@ -205,7 +267,7 @@ Result<BatPtr> RangeSelect(const BatPtr& b, const BatPtr& cands,
     const T tlo = has_lo ? lo.As<T>() : T{};
     const T thi = has_hi ? hi.As<T>() : T{};
     return ScanRangeSelect<T>(*base, cands.get(), tlo, thi, lo_incl, hi_incl,
-                              has_lo, has_hi, anti);
+                              has_lo, has_hi, anti, ctx);
   });
 }
 

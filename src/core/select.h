@@ -4,6 +4,7 @@
 #include "common/result.h"
 #include "core/bat.h"
 #include "core/value.h"
+#include "parallel/exec_context.h"
 
 namespace mammoth::algebra {
 
@@ -14,15 +15,19 @@ namespace mammoth::algebra {
 /// The kernel is a zero-degree-of-freedom tight loop per (type, op); on a
 /// sorted tail with full candidates it degrades to two binary searches and
 /// returns a *dense* OID BAT with no payload at all.
-Result<BatPtr> ThetaSelect(const BatPtr& b, const BatPtr& cands,
-                           const Value& v, CmpOp op);
+///
+/// Numeric scans run morsel-parallel under `ctx`; results are bit-identical
+/// (values and properties) for any context.
+Result<BatPtr> ThetaSelect(
+    const BatPtr& b, const BatPtr& cands, const Value& v, CmpOp op,
+    const parallel::ExecContext& ctx = parallel::ExecContext::Default());
 
 /// Range select: lo <= x <= hi with configurable inclusiveness. `anti`
 /// inverts the predicate (x outside the range). Nil bounds mean unbounded.
-Result<BatPtr> RangeSelect(const BatPtr& b, const BatPtr& cands,
-                           const Value& lo, const Value& hi,
-                           bool lo_incl = true, bool hi_incl = true,
-                           bool anti = false);
+Result<BatPtr> RangeSelect(
+    const BatPtr& b, const BatPtr& cands, const Value& lo, const Value& hi,
+    bool lo_incl = true, bool hi_incl = true, bool anti = false,
+    const parallel::ExecContext& ctx = parallel::ExecContext::Default());
 
 }  // namespace mammoth::algebra
 

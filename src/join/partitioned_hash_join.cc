@@ -3,25 +3,31 @@
 #include "common/bitutil.h"
 #include "common/timer.h"
 #include "join/radix_cluster.h"
+#include "parallel/stitch.h"
 
 namespace mammoth::radix {
 
 namespace {
 
+using parallel::ExecContext;
+using parallel::MorselCollector;
+
 /// Bucket-chained hash join of two clustered partitions. Buckets and chain
 /// links are uint32 indices local to the partition, so the working set is
-/// the partition plus ~8 bytes per inner tuple.
+/// the partition plus ~8 bytes per inner tuple. Matches stream through
+/// `emit(left_oid, right_oid)` so the caller decides where pairs land
+/// (output BATs serially, per-worker stitch buffers in parallel).
 ///
 /// CRITICAL ([9]): all keys in this partition share the low `radix_bits`
 /// of their hash — bucket selection must use the bits *above* them, or
 /// every tuple collides into nbuckets/2^B chains and the join degenerates
 /// to quadratic.
-template <typename T>
+template <typename T, typename EmitFn>
 void JoinPartition(const typename RadixTable<T>::Entry* l, size_t ln,
                    const typename RadixTable<T>::Entry* r, size_t rn,
                    Oid lbase, Oid rbase, int radix_bits,
                    std::vector<uint32_t>* buckets,
-                   std::vector<uint32_t>* next, Bat* out_l, Bat* out_r) {
+                   std::vector<uint32_t>* next, const EmitFn& emit) {
   if (ln == 0 || rn == 0) return;
   const size_t nbuckets = NextPow2(rn < 8 ? 8 : rn);
   const uint64_t mask = nbuckets - 1;
@@ -39,8 +45,7 @@ void JoinPartition(const typename RadixTable<T>::Entry* l, size_t ln,
         (HashInt(static_cast<uint64_t>(key)) >> radix_bits) & mask;
     for (uint32_t j = (*buckets)[h]; j != 0; j = (*next)[j - 1]) {
       if (r[j - 1].key == key) {
-        out_l->Append<Oid>(lbase + l[i].oid);
-        out_r->Append<Oid>(rbase + r[j - 1].oid);
+        emit(lbase + l[i].oid, rbase + r[j - 1].oid);
       }
     }
   }
@@ -50,8 +55,10 @@ template <typename T>
 Result<algebra::JoinResult> Run(const BatPtr& l, const BatPtr& r,
                                 const PartitionedJoinOptions& options,
                                 PartitionedJoinStats* stats) {
-  MAMMOTH_ASSIGN_OR_RETURN(RadixTable<T> lt, FromBat<T>(*l));
-  MAMMOTH_ASSIGN_OR_RETURN(RadixTable<T> rt, FromBat<T>(*r));
+  const ExecContext& ctx =
+      options.ctx != nullptr ? *options.ctx : ExecContext::Default();
+  MAMMOTH_ASSIGN_OR_RETURN(RadixTable<T> lt, FromBat<T>(*l, ctx));
+  MAMMOTH_ASSIGN_OR_RETURN(RadixTable<T> rt, FromBat<T>(*r, ctx));
 
   int bits = options.bits;
   if (bits <= 0) {
@@ -63,8 +70,8 @@ Result<algebra::JoinResult> Run(const BatPtr& l, const BatPtr& r,
 
   WallTimer timer;
   if (!plan.empty()) {
-    RadixCluster<T>(&lt, plan);
-    RadixCluster<T>(&rt, plan);
+    RadixCluster<T>(&lt, plan, ctx);
+    RadixCluster<T>(&rt, plan, ctx);
   } else {
     lt.bounds = {0, lt.size()};
     rt.bounds = {0, rt.size()};
@@ -75,19 +82,62 @@ Result<algebra::JoinResult> Run(const BatPtr& l, const BatPtr& r,
   algebra::JoinResult out;
   out.left = Bat::New(PhysType::kOid);
   out.right = Bat::New(PhysType::kOid);
-  out.left->Reserve(lt.size());
-  out.right->Reserve(lt.size());
-  std::vector<uint32_t> buckets, next;
   const size_t nclusters = lt.NumClusters();
   MAMMOTH_CHECK(nclusters == rt.NumClusters(),
                 "cluster plans diverged between inputs");
-  for (size_t c = 0; c < nclusters; ++c) {
-    JoinPartition<T>(lt.entries.data() + lt.bounds[c],
-                     lt.bounds[c + 1] - lt.bounds[c],
-                     rt.entries.data() + rt.bounds[c],
-                     rt.bounds[c + 1] - rt.bounds[c], lt.hseqbase,
-                     rt.hseqbase, bits, &buckets, &next, out.left.get(),
-                     out.right.get());
+
+  if (ctx.threads() > 1 && nclusters > 1) {
+    // Partition fan-out: one partition per morsel, per-worker hash-table
+    // scratch, per-worker match buffers stitched back in partition order
+    // (identical to the serial partition loop's output).
+    struct Scratch {
+      std::vector<uint32_t> buckets;
+      std::vector<uint32_t> next;
+    };
+    const int nworkers = ctx.threads();
+    std::vector<Scratch> scratch(static_cast<size_t>(nworkers));
+    MorselCollector<Oid> lmatch(nworkers, nclusters, 1);
+    MorselCollector<Oid> rmatch(nworkers, nclusters, 1);
+    Status s = ctx.ParallelFor(
+        nclusters, /*grain=*/1, [&](size_t cbegin, size_t cend, int worker) {
+          Scratch& sc = scratch[static_cast<size_t>(worker)];
+          for (size_t c = cbegin; c < cend; ++c) {
+            auto lsink = lmatch.BeginMorsel(c, worker);
+            auto rsink = rmatch.BeginMorsel(c, worker);
+            JoinPartition<T>(
+                lt.entries.data() + lt.bounds[c],
+                lt.bounds[c + 1] - lt.bounds[c],
+                rt.entries.data() + rt.bounds[c],
+                rt.bounds[c + 1] - rt.bounds[c], lt.hseqbase, rt.hseqbase,
+                bits, &sc.buckets, &sc.next, [&](Oid lo, Oid ro) {
+                  lsink.Append(lo);
+                  rsink.Append(ro);
+                });
+          }
+          return Status::OK();
+        });
+    MAMMOTH_CHECK(s.ok(), "partition join cannot fail");
+    out.left->Resize(lmatch.Total());
+    lmatch.Stitch(out.left->MutableTailData<Oid>());
+    out.right->Resize(rmatch.Total());
+    rmatch.Stitch(out.right->MutableTailData<Oid>());
+  } else {
+    out.left->Reserve(lt.size());
+    out.right->Reserve(lt.size());
+    std::vector<uint32_t> buckets, next;
+    Bat* out_l = out.left.get();
+    Bat* out_r = out.right.get();
+    for (size_t c = 0; c < nclusters; ++c) {
+      JoinPartition<T>(lt.entries.data() + lt.bounds[c],
+                       lt.bounds[c + 1] - lt.bounds[c],
+                       rt.entries.data() + rt.bounds[c],
+                       rt.bounds[c + 1] - rt.bounds[c], lt.hseqbase,
+                       rt.hseqbase, bits, &buckets, &next,
+                       [&](Oid lo, Oid ro) {
+                         out_l->Append<Oid>(lo);
+                         out_r->Append<Oid>(ro);
+                       });
+    }
   }
   if (stats != nullptr) {
     stats->cluster_seconds = cluster_s;

@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "core/bat.h"
 #include "core/join.h"
+#include "parallel/exec_context.h"
 
 namespace mammoth::radix {
 
@@ -14,8 +15,14 @@ struct PartitionedJoinOptions {
   /// Radix bits B: both relations are clustered into 2^B partitions. 0 means
   /// "pick from cache size" (see SuggestRadixBits).
   int bits = 0;
-  /// Number of clustering passes P; bits are split evenly over passes.
+  /// Number of clustering passes P; bits are split evenly over passes. The
+  /// effective pass count is min(passes, bits) — see SplitBits.
   int passes = 2;
+  /// Execution context for the clustering and per-partition join phases
+  /// (partitions are independent by construction, §4.2). Null means
+  /// parallel::ExecContext::Default(); results are bit-identical for any
+  /// context.
+  const parallel::ExecContext* ctx = nullptr;
 };
 
 /// Timing breakdown reported by the join (seconds).

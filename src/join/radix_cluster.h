@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/result.h"
 #include "core/bat.h"
+#include "parallel/exec_context.h"
 
 namespace mammoth::radix {
 
@@ -119,13 +120,149 @@ void RadixCluster(RadixTable<T>* table,
   table->bits = total_bits;
 }
 
+/// One clustering pass over [begin, end), morsel-parallel: phase A builds a
+/// per-chunk histogram, a serial prefix walk turns the histograms into
+/// per-chunk scatter cursors (cluster-major, chunk-minor), and phase B lets
+/// every chunk scatter through its own cursors into disjoint destination
+/// slots. The resulting layout — within a cluster, rows keep their source
+/// order — is byte-identical to the serial ClusterPass. Falls back to the
+/// serial pass for small regions, serial contexts, or histogram footprints
+/// past ~32MB.
+template <typename T, bool kUseHash>
+void ParallelClusterPass(const typename RadixTable<T>::Entry* src,
+                         typename RadixTable<T>::Entry* dst, size_t begin,
+                         size_t end, int shift, int bits,
+                         const parallel::ExecContext& ctx,
+                         std::vector<size_t>* out_bounds) {
+  const size_t n = end - begin;
+  const size_t nclusters = size_t{1} << bits;
+  const size_t grain = parallel::TaskPool::kDefaultGrain;
+  const size_t nchunks = (n + grain - 1) / grain;
+  if (ctx.threads() <= 1 || n <= 2 * grain ||
+      nchunks * nclusters > (size_t{1} << 22)) {
+    std::vector<size_t> cursor;
+    ClusterPass<T, kUseHash>(src, dst, begin, end, shift, bits, &cursor,
+                             out_bounds);
+    return;
+  }
+  const uint64_t mask = nclusters - 1;
+
+  // Phase A: per-chunk histograms (chunks own disjoint hist rows).
+  std::vector<std::vector<size_t>> hist(nchunks);
+  Status s = ctx.ParallelFor(
+      n, grain, [&](size_t mbegin, size_t mend, int /*worker*/) {
+        std::vector<size_t>& h = hist[mbegin / grain];
+        h.assign(nclusters, 0);
+        for (size_t i = mbegin; i < mend; ++i) {
+          ++h[(RadixBits<T, kUseHash>(src[begin + i].key) >> shift) & mask];
+        }
+        return Status::OK();
+      });
+  MAMMOTH_CHECK(s.ok(), "cluster histogram cannot fail");
+
+  // Serial prefix walk: chunk k's cursor for cluster c starts after all of
+  // cluster c's rows from chunks < k and all rows of clusters < c.
+  size_t sum = begin;
+  for (size_t c = 0; c < nclusters; ++c) {
+    for (size_t k = 0; k < nchunks; ++k) {
+      const size_t count = hist[k][c];
+      hist[k][c] = sum;
+      sum += count;
+    }
+    out_bounds->push_back(sum);
+  }
+
+  // Phase B: scatter; every chunk advances only its own cursors, and the
+  // prefix walk made all destination slots disjoint.
+  s = ctx.ParallelFor(
+      n, grain, [&](size_t mbegin, size_t mend, int /*worker*/) {
+        std::vector<size_t>& cur = hist[mbegin / grain];
+        for (size_t i = mbegin; i < mend; ++i) {
+          const size_t c =
+              (RadixBits<T, kUseHash>(src[begin + i].key) >> shift) & mask;
+          dst[cur[c]++] = src[begin + i];
+        }
+        return Status::OK();
+      });
+  MAMMOTH_CHECK(s.ok(), "cluster scatter cannot fail");
+}
+
+/// Morsel-parallel multi-pass radix-cluster: identical decomposition and
+/// output to the serial RadixCluster above for any context (§4.2 is doing
+/// the scheduling for us — clusters are independent by construction). Early
+/// passes with few clusters parallelize inside each cluster region
+/// (ParallelClusterPass); once a pass has at least 2x threads() clusters it
+/// fans whole clusters out to workers instead.
+template <typename T, bool kUseHash = true>
+void RadixCluster(RadixTable<T>* table, const std::vector<int>& bits_per_pass,
+                  const parallel::ExecContext& ctx) {
+  int total_bits = 0;
+  for (int b : bits_per_pass) {
+    MAMMOTH_CHECK(b > 0, "radix pass must cluster on >= 1 bit");
+    total_bits += b;
+  }
+  const size_t n = table->size();
+  std::vector<typename RadixTable<T>::Entry> tmp(n);
+  const int nworkers = ctx.threads();
+
+  std::vector<size_t> bounds = {0, n};
+  int bits_done = 0;
+  bool in_tmp = false;
+  for (int pass_bits : bits_per_pass) {
+    const int shift = total_bits - bits_done - pass_bits;
+    const size_t ncur = bounds.size() - 1;
+    std::vector<size_t> new_bounds = {0};
+    const auto* src = in_tmp ? tmp.data() : table->entries.data();
+    auto* dst = in_tmp ? table->entries.data() : tmp.data();
+    if (ncur < 2 * static_cast<size_t>(nworkers)) {
+      for (size_t c = 0; c + 1 < bounds.size(); ++c) {
+        ParallelClusterPass<T, kUseHash>(src, dst, bounds[c], bounds[c + 1],
+                                         shift, pass_bits, ctx, &new_bounds);
+      }
+    } else {
+      // Enough clusters to keep every worker busy: one cluster per morsel,
+      // per-worker cursor scratch, per-cluster bounds stitched in order.
+      std::vector<std::vector<size_t>> cluster_bounds(ncur);
+      std::vector<std::vector<size_t>> cursors(
+          static_cast<size_t>(nworkers));
+      Status s = ctx.ParallelFor(
+          ncur, /*grain=*/1, [&](size_t cbegin, size_t cend, int worker) {
+            for (size_t c = cbegin; c < cend; ++c) {
+              ClusterPass<T, kUseHash>(
+                  src, dst, bounds[c], bounds[c + 1], shift, pass_bits,
+                  &cursors[static_cast<size_t>(worker)], &cluster_bounds[c]);
+            }
+            return Status::OK();
+          });
+      MAMMOTH_CHECK(s.ok(), "cluster pass cannot fail");
+      for (const std::vector<size_t>& cb : cluster_bounds) {
+        new_bounds.insert(new_bounds.end(), cb.begin(), cb.end());
+      }
+    }
+    bounds = std::move(new_bounds);
+    bits_done += pass_bits;
+    in_tmp = !in_tmp;
+  }
+  if (in_tmp) table->entries.swap(tmp);
+  table->bounds = std::move(bounds);
+  table->bits = total_bits;
+}
+
 /// Splits `total_bits` over `passes` as evenly as possible (leftmost passes
-/// take the remainder), e.g. (7, 2) -> {4, 3}.
+/// take the remainder), e.g. (7, 2) -> {4, 3}. When `passes > total_bits`
+/// the pass count is clamped: the returned plan's size() — not the
+/// requested `passes` — is the authoritative number of passes, and every
+/// entry is >= 1 bit. Callers sizing per-pass state (the parallel join's
+/// partition fan-out included) must use plan.size().
 std::vector<int> SplitBits(int total_bits, int passes);
 
 /// Builds a RadixTable from a numeric BAT (the BAT's type must match T).
+/// The <oid,key> packing writes disjoint slots, so it morsel-parallelizes
+/// under `ctx` (identical bytes for any context).
 template <typename T>
-Result<RadixTable<T>> FromBat(const Bat& b) {
+Result<RadixTable<T>> FromBat(
+    const Bat& b,
+    const parallel::ExecContext& ctx = parallel::ExecContext::Serial()) {
   if (b.type() != TypeTraits<T>::kType) {
     return Status::TypeMismatch("radix table type mismatch");
   }
@@ -137,10 +274,17 @@ Result<RadixTable<T>> FromBat(const Bat& b) {
   t.hseqbase = b.hseqbase();
   t.entries.resize(n);
   const T* v = b.TailData<T>();
-  for (size_t i = 0; i < n; ++i) {
-    t.entries[i].oid = static_cast<uint32_t>(i);
-    t.entries[i].key = v[i];
-  }
+  auto* entries = t.entries.data();
+  Status s = ctx.ParallelFor(
+      n, parallel::TaskPool::kDefaultGrain,
+      [&](size_t begin, size_t end, int /*worker*/) {
+        for (size_t i = begin; i < end; ++i) {
+          entries[i].oid = static_cast<uint32_t>(i);
+          entries[i].key = v[i];
+        }
+        return Status::OK();
+      });
+  MAMMOTH_CHECK(s.ok(), "radix table build cannot fail");
   return t;
 }
 

@@ -1,0 +1,40 @@
+#include "parallel/exec_context.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace mammoth::parallel {
+
+int ParseThreadCount(const char* value, int fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0 || parsed > 4096) {
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
+int DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int fallback = hw == 0 ? 1 : static_cast<int>(hw);
+  return ParseThreadCount(std::getenv("MAMMOTH_THREADS"), fallback);
+}
+
+const ExecContext& ExecContext::Default() {
+  // Function-local statics: the pool is built on first use and torn down
+  // (joining its workers) at process exit.
+  static TaskPool* pool = [] {
+    const int threads = DefaultThreadCount();
+    return threads <= 1 ? nullptr : new TaskPool(threads);
+  }();
+  static const ExecContext ctx(pool);
+  return ctx;
+}
+
+const ExecContext& ExecContext::Serial() {
+  static const ExecContext ctx;
+  return ctx;
+}
+
+}  // namespace mammoth::parallel

@@ -1,0 +1,100 @@
+#ifndef MAMMOTH_PARALLEL_STITCH_H_
+#define MAMMOTH_PARALLEL_STITCH_H_
+
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mammoth::parallel {
+
+/// Deterministic gather for parallel scans with data-dependent output sizes
+/// (select, join): each worker appends its matches to a private buffer,
+/// tagged with the morsel index they came from; Stitch() then concatenates
+/// the per-morsel runs in morsel order, which reproduces the serial
+/// kernel's output byte for byte no matter how morsels were scheduled.
+///
+/// Workers never share buffers, so the collection phase is synchronization
+/// free; the only cross-worker step is the final stitch copy.
+template <typename T>
+class MorselCollector {
+ public:
+  /// `n`/`grain` must match the ParallelFor the collector is used under;
+  /// they define the morsel grid (morsel m covers [m*grain, ...)).
+  MorselCollector(int nworkers, size_t n, size_t grain)
+      : grain_(grain == 0 ? 1 : grain),
+        nmorsels_((n + grain_ - 1) / grain_),
+        workers_(static_cast<size_t>(nworkers)) {}
+
+  /// Appends values for one worker; obtained per morsel via BeginMorsel.
+  class Sink {
+   public:
+    void Append(T v) { buf_->push_back(v); }
+
+   private:
+    friend class MorselCollector;
+    explicit Sink(std::vector<T>* buf) : buf_(buf) {}
+    std::vector<T>* buf_;
+  };
+
+  /// Declares that `worker` is about to process the morsel starting at
+  /// `begin`. Must be called exactly once per morsel, before any Append.
+  Sink BeginMorsel(size_t begin, int worker) {
+    PerWorker& w = workers_[static_cast<size_t>(worker)];
+    w.runs.push_back(Run{begin / grain_, w.buf.size()});
+    return Sink(&w.buf);
+  }
+
+  /// Total values collected across all workers.
+  size_t Total() const {
+    size_t total = 0;
+    for (const PerWorker& w : workers_) total += w.buf.size();
+    return total;
+  }
+
+  /// Copies all runs into `out` (capacity >= Total()) in morsel order.
+  void Stitch(T* out) const {
+    // Resolve each morsel's run: exactly one worker processed it.
+    struct Resolved {
+      const T* src = nullptr;
+      size_t len = 0;
+    };
+    std::vector<Resolved> by_morsel(nmorsels_);
+    for (const PerWorker& w : workers_) {
+      for (size_t j = 0; j < w.runs.size(); ++j) {
+        const Run& r = w.runs[j];
+        const size_t run_end =
+            j + 1 < w.runs.size() ? w.runs[j + 1].start : w.buf.size();
+        MAMMOTH_DCHECK(r.morsel < nmorsels_, "run outside morsel grid");
+        by_morsel[r.morsel] = Resolved{w.buf.data() + r.start,
+                                       run_end - r.start};
+      }
+    }
+    size_t off = 0;
+    for (const Resolved& r : by_morsel) {
+      if (r.len == 0) continue;
+      std::memcpy(out + off, r.src, r.len * sizeof(T));
+      off += r.len;
+    }
+  }
+
+ private:
+  struct Run {
+    size_t morsel;
+    size_t start;  // offset into the worker's buffer
+  };
+  /// Cache-line separated so workers growing their vectors do not false
+  /// share the bookkeeping fields.
+  struct alignas(64) PerWorker {
+    std::vector<T> buf;
+    std::vector<Run> runs;
+  };
+
+  size_t grain_;
+  size_t nmorsels_;
+  std::vector<PerWorker> workers_;
+};
+
+}  // namespace mammoth::parallel
+
+#endif  // MAMMOTH_PARALLEL_STITCH_H_

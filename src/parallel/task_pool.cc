@@ -1,0 +1,108 @@
+#include "parallel/task_pool.h"
+
+#include <algorithm>
+
+namespace mammoth::parallel {
+
+namespace {
+
+/// True while this thread is executing a morsel; nested ParallelFor calls
+/// from inside a morsel run inline instead of dead-locking on the pool.
+thread_local bool t_in_morsel = false;
+
+}  // namespace
+
+TaskPool::TaskPool(int threads) : threads_(std::max(threads, 1)) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this, i] {
+      // Each background thread is permanently worker `i`; the ParallelFor
+      // caller is worker 0.
+      uint64_t seen_epoch = 0;
+      std::unique_lock<std::mutex> lock(mu_);
+      while (true) {
+        wake_cv_.wait(lock, [&] {
+          return stop_ || (job_ != nullptr && epoch_ != seen_epoch);
+        });
+        if (stop_) return;
+        seen_epoch = epoch_;
+        Job* job = job_;
+        ++job->active;
+        lock.unlock();
+        RunMorsels(job, i);
+        lock.lock();
+        if (--job->active == 0) done_cv_.notify_all();
+      }
+    });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+Status TaskPool::RunInline(size_t n, size_t grain, const MorselFn& fn) {
+  if (grain == 0) grain = 1;
+  for (size_t begin = 0; begin < n; begin += grain) {
+    Status s = fn(begin, std::min(begin + grain, n), 0);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+void TaskPool::RunMorsels(Job* job, int worker) {
+  t_in_morsel = true;
+  while (!job->failed.load(std::memory_order_relaxed)) {
+    const size_t begin =
+        job->cursor.fetch_add(job->grain, std::memory_order_relaxed);
+    if (begin >= job->n) break;
+    const size_t end = std::min(begin + job->grain, job->n);
+    Status s = (*job->fn)(begin, end, worker);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(job->err_mu);
+      if (job->error.ok()) job->error = std::move(s);
+      job->failed.store(true, std::memory_order_relaxed);
+    }
+  }
+  t_in_morsel = false;
+}
+
+Status TaskPool::ParallelFor(size_t n, size_t grain, const MorselFn& fn) {
+  if (n == 0) return Status::OK();
+  if (grain == 0) grain = 1;
+  // Inline when parallelism cannot help (one worker, one morsel) or when
+  // called from inside a morsel of this or another pool.
+  if (threads_ <= 1 || n <= grain || t_in_morsel) {
+    return RunInline(n, grain, fn);
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  Job job;
+  job.n = n;
+  job.grain = grain;
+  job.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+  RunMorsels(&job, /*worker=*/0);
+  {
+    // Unpublish the job, then wait for workers that joined it to drain.
+    // Workers that never woke up see job_ == nullptr and go back to sleep,
+    // so `job` cannot be touched after this scope exits.
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = nullptr;
+    done_cv_.wait(lock, [&] { return job.active == 0; });
+  }
+  std::lock_guard<std::mutex> err_lock(job.err_mu);
+  return std::move(job.error);
+}
+
+}  // namespace mammoth::parallel

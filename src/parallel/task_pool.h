@@ -1,0 +1,95 @@
+#ifndef MAMMOTH_PARALLEL_TASK_POOL_H_
+#define MAMMOTH_PARALLEL_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mammoth::parallel {
+
+/// A fixed-size worker pool driving morsel-driven parallelism (Leis et al.,
+/// "Morsel-Driven Parallelism"): a dense index range [0, n) is split into
+/// cache-sized morsels that workers claim through a single atomic cursor.
+/// There is no per-morsel allocation or queueing — claiming a morsel is one
+/// fetch_add — so the scheduling overhead stays negligible next to the
+/// column kernels the morsels run.
+///
+/// The pool owns `threads() - 1` background threads; the caller of
+/// ParallelFor is always worker 0 and executes morsels itself. With
+/// `threads() <= 1` (or when the range is a single morsel) ParallelFor
+/// degrades to inline execution on the calling thread, which keeps
+/// single-threaded configurations free of any synchronization.
+class TaskPool {
+ public:
+  /// Morsel body: processes [begin, end). `worker` is a stable id in
+  /// [0, threads()) identifying the executing worker, usable to index
+  /// per-worker scratch. Returning a non-OK status cancels the remaining
+  /// morsels and is propagated out of ParallelFor.
+  using MorselFn = std::function<Status(size_t begin, size_t end, int worker)>;
+
+  /// Default morsel grain: 64K values keeps an int32 morsel at 256KB —
+  /// roughly one L2 — so a worker's working set stays cache-resident.
+  static constexpr size_t kDefaultGrain = size_t{1} << 16;
+
+  /// Spawns `threads - 1` background workers (clamped to >= 1 total).
+  explicit TaskPool(int threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Total worker slots, including the calling thread.
+  int threads() const { return threads_; }
+
+  /// Runs `fn` over the morsel grid of [0, n): morsel m covers
+  /// [m*grain, min((m+1)*grain, n)). The grid is identical whether the call
+  /// executes inline or across workers, so kernels that key scratch off the
+  /// morsel index (begin / grain) see the same decomposition either way.
+  ///
+  /// Returns the first (by completion time) error any morsel produced;
+  /// remaining morsels are skipped once an error is observed. Concurrent
+  /// ParallelFor calls on one pool serialize; a ParallelFor issued from
+  /// inside a morsel runs inline on that worker (no deadlock).
+  Status ParallelFor(size_t n, size_t grain, const MorselFn& fn);
+
+  /// The inline (no pool) morsel loop — shared by the degraded path and by
+  /// ExecContext instances with no pool attached.
+  static Status RunInline(size_t n, size_t grain, const MorselFn& fn);
+
+ private:
+  struct Job {
+    std::atomic<size_t> cursor{0};
+    size_t n = 0;
+    size_t grain = 1;
+    const MorselFn* fn = nullptr;
+    std::atomic<bool> failed{false};
+    int active = 0;  // workers currently inside the job; guarded by mu_
+    std::mutex err_mu;
+    Status error;
+  };
+
+  void WorkerLoop();
+  static void RunMorsels(Job* job, int worker);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;  // signals workers: new job or stop
+  std::condition_variable done_cv_;  // signals caller: job drained
+  Job* job_ = nullptr;               // guarded by mu_
+  uint64_t epoch_ = 0;               // guarded by mu_; bumps per ParallelFor
+  bool stop_ = false;                // guarded by mu_
+
+  std::mutex run_mu_;  // serializes concurrent ParallelFor callers
+};
+
+}  // namespace mammoth::parallel
+
+#endif  // MAMMOTH_PARALLEL_TASK_POOL_H_

@@ -95,6 +95,65 @@ TEST(SelectTest, RangeAntiSelect) {
   EXPECT_EQ(OidsOf(*r), (std::vector<Oid>{0, 4}));
 }
 
+TEST(SelectTest, EmptyCandidateListYieldsEmptyResult) {
+  BatPtr b = MakeBat<int32_t>({1, 2, 3, 4});
+  BatPtr cands = Bat::New(PhysType::kOid);  // empty candidate list
+  cands->mutable_props().sorted = true;
+  cands->mutable_props().key = true;
+  auto r = ThetaSelect(b, cands, Value::Int(2), CmpOp::kGe);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->Count(), 0u);
+  EXPECT_TRUE((*r)->props().sorted);
+  EXPECT_TRUE((*r)->props().key);
+  auto rr = RangeSelect(b, cands, Value::Int(1), Value::Int(4));
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ((*rr)->Count(), 0u);
+}
+
+TEST(SelectTest, AntiRangeWithNilBounds) {
+  BatPtr b = MakeBat<int32_t>({1, 5, 10, 15, 20});
+  // anti with both bounds nil: nothing is outside (-inf, +inf).
+  auto none = RangeSelect(b, nullptr, Value::Nil(), Value::Nil(), true, true,
+                          /*anti=*/true);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ((*none)->Count(), 0u);
+  // anti with nil hi: complement of x >= 5 is x < 5.
+  auto below = RangeSelect(b, nullptr, Value::Int(5), Value::Nil(), true,
+                           true, /*anti=*/true);
+  ASSERT_TRUE(below.ok());
+  EXPECT_EQ(OidsOf(*below), (std::vector<Oid>{0}));
+  // anti with nil lo: complement of x <= 15 is x > 15.
+  auto above = RangeSelect(b, nullptr, Value::Nil(), Value::Int(15), true,
+                           true, /*anti=*/true);
+  ASSERT_TRUE(above.ok());
+  EXPECT_EQ(OidsOf(*above), (std::vector<Oid>{4}));
+}
+
+TEST(SelectTest, SortedTailFastPathReturnsDenseOidBat) {
+  BatPtr b = MakeBat<int32_t>({2, 4, 6, 8, 10, 12});
+  b->DeriveProps();
+  ASSERT_TRUE(b->props().sorted);
+  // Theta ops on a sorted tail come from two binary searches; the result
+  // carries no payload at all.
+  auto ge = ThetaSelect(b, nullptr, Value::Int(6), CmpOp::kGe);
+  ASSERT_TRUE(ge.ok());
+  EXPECT_TRUE((*ge)->IsDenseTail());
+  EXPECT_EQ((*ge)->PayloadBytes(), 0u);
+  EXPECT_EQ((*ge)->tseqbase(), Oid{2});
+  EXPECT_EQ(OidsOf(*ge), (std::vector<Oid>{2, 3, 4, 5}));
+  // A miss inside the domain still returns a (zero-length) dense BAT.
+  auto miss = ThetaSelect(b, nullptr, Value::Int(7), CmpOp::kEq);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE((*miss)->IsDenseTail());
+  EXPECT_EQ((*miss)->Count(), 0u);
+  // Range over a non-zero hseqbase keeps OIDs in head space.
+  b->set_hseqbase(100);
+  auto range = RangeSelect(b, nullptr, Value::Int(4), Value::Int(9));
+  ASSERT_TRUE(range.ok());
+  EXPECT_TRUE((*range)->IsDenseTail());
+  EXPECT_EQ(OidsOf(*range), (std::vector<Oid>{101, 102, 103}));
+}
+
 TEST(SelectTest, RangeOpenBounds) {
   BatPtr b = MakeBat<int32_t>({1, 5, 10});
   auto lo_only = RangeSelect(b, nullptr, Value::Int(5), Value::Nil());

@@ -22,6 +22,44 @@ TEST(SplitBitsTest, EvenAndRemainder) {
   EXPECT_EQ(SplitBits(2, 5), (std::vector<int>{1, 1}));  // clamps passes
 }
 
+TEST(SplitBitsTest, ClampedPlanIsTheRealFanout) {
+  // When passes > total_bits the plan is clamped; plan.size() — not the
+  // requested pass count — is the authoritative fan-out, every pass moves
+  // at least one bit, and the bits always sum to total_bits. The parallel
+  // join sizes its per-pass state off this contract.
+  for (int total_bits = 1; total_bits <= 16; ++total_bits) {
+    for (int passes = 1; passes <= 20; ++passes) {
+      const std::vector<int> plan = SplitBits(total_bits, passes);
+      EXPECT_EQ(static_cast<int>(plan.size()),
+                std::min(passes, total_bits));
+      int sum = 0;
+      for (int b : plan) {
+        EXPECT_GE(b, 1);
+        sum += b;
+      }
+      EXPECT_EQ(sum, total_bits);
+    }
+  }
+}
+
+TEST(SplitBitsTest, JoinStatsReportEffectivePasses) {
+  Rng rng(5);
+  BatPtr l = Bat::New(PhysType::kInt32);
+  BatPtr r = Bat::New(PhysType::kInt32);
+  for (int i = 0; i < 4096; ++i) {
+    l->Append<int32_t>(static_cast<int32_t>(rng.Uniform(512)));
+    r->Append<int32_t>(static_cast<int32_t>(rng.Uniform(512)));
+  }
+  PartitionedJoinOptions opt;
+  opt.bits = 2;
+  opt.passes = 8;  // more passes than bits: must clamp to 2
+  PartitionedJoinStats stats;
+  auto res = PartitionedHashJoin(l, r, opt, &stats);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(stats.bits, 2);
+  EXPECT_EQ(stats.passes, 2);
+}
+
 RadixTable<int32_t> FigureTwoRelationL() {
   // The L column of Figure 2 (low-3-bit patterns in parentheses in the
   // paper): 57(001) 17(001) 81(001) 66(010) 06(110) 96(000) 75(011)
