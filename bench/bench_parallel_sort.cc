@@ -1,0 +1,148 @@
+// Parallel ordering layer: sweep the worker count over Sort (radix and
+// merge paths), TopN and the RefineSort ORDER-BY chain at 16M rows. Every
+// kernel is bit-identical to its serial schedule, so the only variable is
+// wall clock. BM_TopNViaSortSlice is the baseline TopN replaces: a full
+// sort that keeps only the first k positions — the heap-based TopN does
+// O(n + k log k) work instead.
+//
+// Row count is tunable via MAMMOTH_BENCH_ROWS (CI smoke runs use a small N;
+// the default is the full 16M). Counters record the thread count so
+// BENCH_parallel_sort.json reduces to a speedup-vs-threads curve per
+// kernel. On a single-core host every thread count collapses to ~1x.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "core/sort.h"
+#include "parallel/exec_context.h"
+#include "parallel/task_pool.h"
+#include "workloads.h"
+
+namespace mammoth {
+namespace {
+
+size_t BenchRows() {
+  static const size_t rows = [] {
+    if (const char* env = std::getenv("MAMMOTH_BENCH_ROWS")) {
+      const long long v = std::atoll(env);
+      if (v > 0) return static_cast<size_t>(v);
+    }
+    return size_t{16} << 20;
+  }();
+  return rows;
+}
+
+// Workloads are built once and shared across all thread counts so the sweep
+// measures the kernels, not the generators.
+const BatPtr& Int32Column() {
+  static BatPtr b = bench::UniformInt32(BenchRows(), 1u << 30, 41);
+  return b;
+}
+
+const BatPtr& DoubleColumn() {
+  static BatPtr b = bench::UniformDouble(BenchRows(), 42);
+  return b;
+}
+
+const BatPtr& MajorKeyColumn() {
+  static BatPtr b = bench::UniformInt32(BenchRows(), 1000, 43);
+  return b;
+}
+
+class ScopedCtx {
+ public:
+  explicit ScopedCtx(int threads) : pool_(threads), ctx_(&pool_) {}
+  const parallel::ExecContext& get() const { return ctx_; }
+
+ private:
+  parallel::TaskPool pool_;
+  parallel::ExecContext ctx_;
+};
+
+void BM_ParallelSortInt32(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const BatPtr& col = Int32Column();
+  ScopedCtx ctx(threads);
+  for (auto _ : state) {
+    auto r = algebra::Sort(col, false, ctx.get());
+    benchmark::DoNotOptimize(r->order.get());
+  }
+  state.SetItemsProcessed(state.iterations() * col->Count());
+  state.counters["threads"] = threads;
+}
+
+void BM_ParallelSortDouble(benchmark::State& state) {
+  // Doubles take the run-formation + loser-tree-merge path (no radix).
+  const int threads = static_cast<int>(state.range(0));
+  const BatPtr& col = DoubleColumn();
+  ScopedCtx ctx(threads);
+  for (auto _ : state) {
+    auto r = algebra::Sort(col, false, ctx.get());
+    benchmark::DoNotOptimize(r->order.get());
+  }
+  state.SetItemsProcessed(state.iterations() * col->Count());
+  state.counters["threads"] = threads;
+}
+
+void BM_ParallelTopN(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const BatPtr& col = Int32Column();
+  ScopedCtx ctx(threads);
+  for (auto _ : state) {
+    auto r = algebra::TopN(col, 100, false, ctx.get());
+    benchmark::DoNotOptimize(r->get());
+  }
+  state.SetItemsProcessed(state.iterations() * col->Count());
+  state.counters["threads"] = threads;
+  state.counters["k"] = 100;
+}
+
+void BM_TopNViaSortSlice(benchmark::State& state) {
+  // The plan TopN replaces: full sort, keep the first k order entries.
+  const int threads = static_cast<int>(state.range(0));
+  const BatPtr& col = Int32Column();
+  ScopedCtx ctx(threads);
+  for (auto _ : state) {
+    auto r = algebra::Sort(col, false, ctx.get());
+    BatPtr top = Bat::New(PhysType::kOid);
+    top->Reserve(100);
+    for (size_t i = 0; i < 100 && i < r->order->Count(); ++i) {
+      top->Append<Oid>(r->order->OidAt(i));
+    }
+    benchmark::DoNotOptimize(top.get());
+  }
+  state.SetItemsProcessed(state.iterations() * col->Count());
+  state.counters["threads"] = threads;
+  state.counters["k"] = 100;
+}
+
+void BM_ParallelRefineSortChain(benchmark::State& state) {
+  // Two-key ORDER BY: major key (1000 distinct) then a minor int32 key
+  // refined inside the ~16K-row tie groups the first pass leaves.
+  const int threads = static_cast<int>(state.range(0));
+  const BatPtr& major = MajorKeyColumn();
+  const BatPtr& minor = Int32Column();
+  ScopedCtx ctx(threads);
+  for (auto _ : state) {
+    auto r1 = algebra::RefineSort(major, nullptr, nullptr, false, ctx.get());
+    auto r2 = algebra::RefineSort(minor, r1->order, r1->tie_groups, false,
+                                  ctx.get());
+    benchmark::DoNotOptimize(r2->order.get());
+  }
+  state.SetItemsProcessed(state.iterations() * major->Count());
+  state.counters["threads"] = threads;
+}
+
+#define THREAD_SWEEP ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1) \
+    ->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_ParallelSortInt32) THREAD_SWEEP;
+BENCHMARK(BM_ParallelSortDouble) THREAD_SWEEP;
+BENCHMARK(BM_ParallelTopN) THREAD_SWEEP;
+BENCHMARK(BM_TopNViaSortSlice) THREAD_SWEEP;
+BENCHMARK(BM_ParallelRefineSortChain) THREAD_SWEEP;
+
+}  // namespace
+}  // namespace mammoth

@@ -1,0 +1,99 @@
+#ifndef MAMMOTH_PARALLEL_LOSER_TREE_H_
+#define MAMMOTH_PARALLEL_LOSER_TREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace mammoth::parallel {
+
+/// K-way loser-tree merge (Knuth's tournament of replacement selection,
+/// TAOCP §5.4.1) over sorted runs of a permutation array. Each Pop() costs
+/// log2(k) comparisons: the winning run replays only the path from its leaf
+/// to the root, against the losers parked on that path.
+///
+/// `Less` must be a *strict total order* on the positions stored in the
+/// runs (key comparison with position tie-break). Totality makes the merged
+/// sequence unique, which is what lets a parallel run-formation + merge
+/// pipeline reproduce the serial stable sort byte for byte regardless of
+/// how the runs were cut.
+template <typename Less>
+class LoserTree {
+ public:
+  /// `perm` holds the positions; `runs` are k disjoint [begin, end) ranges
+  /// into it, each sorted w.r.t. `less`. `perm` must outlive the tree.
+  LoserTree(const uint32_t* perm, std::vector<std::pair<size_t, size_t>> runs,
+            Less less)
+      : perm_(perm), less_(less), k_(runs.size()), loser_(k_, -1) {
+    MAMMOTH_CHECK(k_ >= 1, "loser tree needs at least one run");
+    cur_.reserve(k_);
+    end_.reserve(k_);
+    remaining_ = 0;
+    for (const auto& [begin, end] : runs) {
+      cur_.push_back(begin);
+      end_.push_back(end);
+      remaining_ += end - begin;
+    }
+    winner_ = k_ == 1 ? 0 : Build(1);
+  }
+
+  size_t remaining() const { return remaining_; }
+  bool empty() const { return remaining_ == 0; }
+
+  /// Removes and returns the globally next position.
+  uint32_t Pop() {
+    MAMMOTH_DCHECK(!empty(), "Pop on drained loser tree");
+    const int w = winner_;
+    const uint32_t out = perm_[cur_[w]++];
+    // Replay the leaf-to-root path: the parked loser that beats the
+    // advanced run takes its place as the contender.
+    int cand = w;
+    for (size_t node = (static_cast<size_t>(w) + k_) >> 1; node >= 1;
+         node >>= 1) {
+      if (Beats(loser_[node], cand)) std::swap(loser_[node], cand);
+    }
+    winner_ = cand;
+    --remaining_;
+    return out;
+  }
+
+ private:
+  bool Exhausted(int r) const { return cur_[r] == end_[r]; }
+
+  /// True when run `a`'s head element must be emitted before run `b`'s.
+  /// Exhausted runs lose to everything (and to each other arbitrarily but
+  /// deterministically).
+  bool Beats(int a, int b) const {
+    if (Exhausted(a)) return false;
+    if (Exhausted(b)) return true;
+    return less_(perm_[cur_[a]], perm_[cur_[b]]);
+  }
+
+  /// Builds the tree over the complete binary tree with leaves k_..2k_-1
+  /// (leaf j+k_ holds run j): returns the subtree winner, parking losers.
+  int Build(size_t node) {
+    if (node >= k_) return static_cast<int>(node - k_);
+    const int l = Build(2 * node);
+    const int r = Build(2 * node + 1);
+    if (Beats(r, l)) {
+      loser_[node] = l;
+      return r;
+    }
+    loser_[node] = r;
+    return l;
+  }
+
+  const uint32_t* perm_;
+  Less less_;
+  size_t k_;
+  std::vector<int> loser_;  // loser_[1..k_-1]: run parked at internal node
+  std::vector<size_t> cur_, end_;
+  int winner_ = 0;
+  size_t remaining_ = 0;
+};
+
+}  // namespace mammoth::parallel
+
+#endif  // MAMMOTH_PARALLEL_LOSER_TREE_H_

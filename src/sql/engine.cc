@@ -287,20 +287,22 @@ Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt) {
     }
   }
 
-  // ORDER BY: lexicographic re-ordering via chained *stable* sorts, minor
-  // key first.
-  for (auto it = stmt.order_by.rbegin(); it != stmt.order_by.rend(); ++it) {
-    MAMMOTH_ASSIGN_OR_RETURN(size_t key, find_label(it->label));
-    MAMMOTH_ASSIGN_OR_RETURN(algebra::SortResult s,
-                             algebra::Sort(result.columns[key], it->desc));
-    for (size_t i = 0; i < result.columns.size(); ++i) {
-      if (i == key) {
-        result.columns[i] = s.sorted;
-      } else {
-        MAMMOTH_ASSIGN_OR_RETURN(
-            result.columns[i],
-            algebra::Project(s.order, result.columns[i]));
-      }
+  // ORDER BY: lexicographic re-ordering via the RefineSort chain, major
+  // key first — each subsequent key only sorts inside the tie groups the
+  // previous keys left, instead of re-sorting the whole table per key.
+  if (!stmt.order_by.empty()) {
+    BatPtr order, ties;
+    for (const OrderKey& key : stmt.order_by) {
+      MAMMOTH_ASSIGN_OR_RETURN(size_t idx, find_label(key.label));
+      MAMMOTH_ASSIGN_OR_RETURN(
+          algebra::RefineSortResult r,
+          algebra::RefineSort(result.columns[idx], order, ties, key.desc));
+      order = std::move(r.order);
+      ties = std::move(r.tie_groups);
+      if (r.ngroups == order->Count()) break;  // order is already total
+    }
+    for (BatPtr& col : result.columns) {
+      MAMMOTH_ASSIGN_OR_RETURN(col, algebra::Project(order, col));
     }
   }
   // LIMIT: positional slice — O(k) thanks to the dense-head design.

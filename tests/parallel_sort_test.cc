@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/bat.h"
+#include "core/sort.h"
+#include "parallel/exec_context.h"
+#include "parallel/task_pool.h"
+
+namespace mammoth {
+namespace {
+
+using algebra::RefineSort;
+using algebra::Sort;
+using algebra::TopN;
+using parallel::ExecContext;
+using parallel::TaskPool;
+
+// Acceptance bar for the parallel ordering layer: Sort (radix and merge
+// paths), TopN and RefineSort must be *byte-identical* — values, hseqbase,
+// density, properties — to the serial schedule for thread counts 1, 2, 4
+// and 8. Inputs are sized past the 2*64K parallel threshold so the pool
+// path actually runs, plus one sub-threshold size for the inline fallback.
+
+void ExpectBatsIdentical(const BatPtr& serial, const BatPtr& par) {
+  ASSERT_NE(serial, nullptr);
+  ASSERT_NE(par, nullptr);
+  ASSERT_EQ(serial->type(), par->type());
+  ASSERT_EQ(serial->Count(), par->Count());
+  EXPECT_EQ(serial->hseqbase(), par->hseqbase());
+  ASSERT_EQ(serial->IsDenseTail(), par->IsDenseTail());
+  EXPECT_EQ(serial->props().sorted, par->props().sorted);
+  EXPECT_EQ(serial->props().revsorted, par->props().revsorted);
+  EXPECT_EQ(serial->props().key, par->props().key);
+  if (serial->IsDenseTail()) {
+    EXPECT_EQ(serial->tseqbase(), par->tseqbase());
+    return;
+  }
+  if (serial->Count() == 0) return;
+  EXPECT_EQ(std::memcmp(serial->tail().raw_data(), par->tail().raw_data(),
+                        serial->Count() * serial->tail().width()),
+            0);
+}
+
+constexpr size_t kRows = 300000;  // past the 2*64K parallel threshold
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+template <typename T>
+BatPtr RandomNumeric(size_t n, uint64_t seed, uint64_t bound = 0) {
+  Rng rng(seed);
+  BatPtr b = Bat::New(TypeTraits<T>::kType);
+  b->Resize(n);
+  T* v = b->MutableTailData<T>();
+  for (size_t i = 0; i < n; ++i) {
+    if constexpr (std::is_floating_point_v<T>) {
+      v[i] = static_cast<T>(rng.NextDouble() - 0.5);
+    } else if (bound != 0) {
+      v[i] = static_cast<T>(rng.Uniform(bound));
+    } else {
+      v[i] = static_cast<T>(rng.Next());  // full width, incl. negatives
+    }
+  }
+  return b;
+}
+
+BatPtr RandomStrings(size_t n, uint64_t seed, size_t vocab) {
+  Rng rng(seed);
+  BatPtr b = Bat::NewString(nullptr);
+  for (size_t i = 0; i < n; ++i) {
+    b->AppendString("w" + std::to_string(rng.Uniform(vocab)));
+  }
+  return b;
+}
+
+/// Runs `fn(ctx)` serially and under pools of 1/2/4/8 threads and checks
+/// every parallel schedule reproduces the serial result byte for byte.
+template <typename Fn>
+void CrossCheck(Fn fn) {
+  auto serial = fn(ExecContext::Serial());
+  for (int t : kThreadCounts) {
+    TaskPool pool(t);
+    ExecContext par(&pool);
+    auto with_pool = fn(par);
+    ASSERT_EQ(serial.size(), with_pool.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(t) + " bat#" +
+                   std::to_string(i));
+      ExpectBatsIdentical(serial[i], with_pool[i]);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ Sort --
+
+TEST(ParallelSortTest, Int32RadixMatchesSerial) {
+  for (uint64_t seed : {1u, 2u}) {
+    BatPtr b = RandomNumeric<int32_t>(kRows, seed);
+    for (bool desc : {false, true}) {
+      CrossCheck([&](const ExecContext& ctx) -> std::vector<BatPtr> {
+        auto s = Sort(b, desc, ctx);
+        MAMMOTH_CHECK(s.ok(), "sort failed");
+        return {s->sorted, s->order};
+      });
+    }
+  }
+}
+
+TEST(ParallelSortTest, Int32HeavyDuplicatesMatchesSerial) {
+  // Bound 100: each radix bucket and merge run is packed with ties, so any
+  // stability slip between schedules would surface in the order BAT.
+  BatPtr b = RandomNumeric<int32_t>(kRows, 3, /*bound=*/100);
+  for (bool desc : {false, true}) {
+    CrossCheck([&](const ExecContext& ctx) -> std::vector<BatPtr> {
+      auto s = Sort(b, desc, ctx);
+      MAMMOTH_CHECK(s.ok(), "sort failed");
+      return {s->sorted, s->order};
+    });
+  }
+}
+
+TEST(ParallelSortTest, AllEqualKeysMatchesSerial) {
+  BatPtr b = RandomNumeric<int32_t>(kRows, 4, /*bound=*/1);
+  CrossCheck([&](const ExecContext& ctx) -> std::vector<BatPtr> {
+    auto s = Sort(b, false, ctx);
+    MAMMOTH_CHECK(s.ok(), "sort failed");
+    // All-equal stable sort is the identity permutation.
+    for (size_t i = 0; i < kRows; ++i) {
+      MAMMOTH_CHECK(s->order->OidAt(i) == i, "stability violated");
+    }
+    return {s->sorted, s->order};
+  });
+}
+
+TEST(ParallelSortTest, Int64RadixMatchesSerial) {
+  BatPtr b = RandomNumeric<int64_t>(kRows, 5);
+  for (bool desc : {false, true}) {
+    CrossCheck([&](const ExecContext& ctx) -> std::vector<BatPtr> {
+      auto s = Sort(b, desc, ctx);
+      MAMMOTH_CHECK(s.ok(), "sort failed");
+      return {s->sorted, s->order};
+    });
+  }
+}
+
+TEST(ParallelSortTest, DoubleMergePathMatchesSerial) {
+  BatPtr b = RandomNumeric<double>(kRows, 6);
+  for (bool desc : {false, true}) {
+    CrossCheck([&](const ExecContext& ctx) -> std::vector<BatPtr> {
+      auto s = Sort(b, desc, ctx);
+      MAMMOTH_CHECK(s.ok(), "sort failed");
+      return {s->sorted, s->order};
+    });
+  }
+}
+
+TEST(ParallelSortTest, StringMergePathMatchesSerial) {
+  BatPtr b = RandomStrings(kRows, 7, /*vocab=*/1000);
+  for (bool desc : {false, true}) {
+    CrossCheck([&](const ExecContext& ctx) -> std::vector<BatPtr> {
+      auto s = Sort(b, desc, ctx);
+      MAMMOTH_CHECK(s.ok(), "sort failed");
+      return {s->sorted, s->order};
+    });
+  }
+}
+
+TEST(ParallelSortTest, SubThresholdInputMatchesSerial) {
+  BatPtr b = RandomNumeric<int32_t>(1000, 8, /*bound=*/50);
+  CrossCheck([&](const ExecContext& ctx) -> std::vector<BatPtr> {
+    auto s = Sort(b, false, ctx);
+    MAMMOTH_CHECK(s.ok(), "sort failed");
+    return {s->sorted, s->order};
+  });
+}
+
+TEST(ParallelSortTest, NonZeroHseqbaseMatchesSerial) {
+  BatPtr b = RandomNumeric<int32_t>(kRows, 9, /*bound=*/5000);
+  b->set_hseqbase(1 << 20);
+  CrossCheck([&](const ExecContext& ctx) -> std::vector<BatPtr> {
+    auto s = Sort(b, false, ctx);
+    MAMMOTH_CHECK(s.ok(), "sort failed");
+    return {s->sorted, s->order};
+  });
+}
+
+// ------------------------------------------------------------------ TopN --
+
+TEST(ParallelTopNTest, MatchesSerialAcrossKSweep) {
+  BatPtr b = RandomNumeric<int32_t>(kRows, 10, /*bound=*/10000);
+  for (size_t k : {size_t{0}, size_t{1}, size_t{100}, size_t{4096},
+                   kRows, kRows + 7}) {
+    for (bool desc : {false, true}) {
+      CrossCheck([&](const ExecContext& ctx) -> std::vector<BatPtr> {
+        auto top = TopN(b, k, desc, ctx);
+        MAMMOTH_CHECK(top.ok(), "topn failed");
+        return {*top};
+      });
+    }
+  }
+}
+
+TEST(ParallelTopNTest, EqualsSortPrefix) {
+  BatPtr b = RandomNumeric<int32_t>(kRows, 11, /*bound=*/300);  // heavy ties
+  TaskPool pool(4);
+  ExecContext par(&pool);
+  for (bool desc : {false, true}) {
+    auto s = Sort(b, desc, ExecContext::Serial());
+    auto top = TopN(b, 257, desc, par);
+    ASSERT_TRUE(s.ok() && top.ok());
+    ASSERT_EQ((*top)->Count(), 257u);
+    for (size_t i = 0; i < 257; ++i) {
+      ASSERT_EQ((*top)->OidAt(i), s->order->OidAt(i)) << "desc=" << desc;
+    }
+  }
+}
+
+TEST(ParallelTopNTest, StringsMatchSerial) {
+  BatPtr b = RandomStrings(kRows, 12, /*vocab=*/500);
+  CrossCheck([&](const ExecContext& ctx) -> std::vector<BatPtr> {
+    auto top = TopN(b, 100, false, ctx);
+    MAMMOTH_CHECK(top.ok(), "topn failed");
+    return {*top};
+  });
+}
+
+// ------------------------------------------------------------ RefineSort --
+
+TEST(ParallelRefineSortTest, ChainMatchesSerialAndOracle) {
+  const size_t n = kRows;
+  BatPtr major = RandomNumeric<int32_t>(n, 13, /*bound=*/100);
+  BatPtr minor = RandomNumeric<int32_t>(n, 14, /*bound=*/50);
+  const int32_t* a = major->TailData<int32_t>();
+  const int32_t* c = minor->TailData<int32_t>();
+
+  std::vector<uint32_t> oracle(n);
+  std::iota(oracle.begin(), oracle.end(), 0u);
+  std::stable_sort(oracle.begin(), oracle.end(), [&](uint32_t x, uint32_t y) {
+    if (a[x] != a[y]) return a[x] < a[y];
+    if (c[x] != c[y]) return c[y] < c[x];  // minor key descending
+    return false;
+  });
+
+  CrossCheck([&](const ExecContext& ctx) -> std::vector<BatPtr> {
+    auto r1 = RefineSort(major, nullptr, nullptr, false, ctx);
+    MAMMOTH_CHECK(r1.ok(), "refine #1 failed");
+    auto r2 = RefineSort(minor, r1->order, r1->tie_groups, true, ctx);
+    MAMMOTH_CHECK(r2.ok(), "refine #2 failed");
+    for (size_t i = 0; i < n; ++i) {
+      MAMMOTH_CHECK(r2->order->OidAt(i) == oracle[i], "oracle mismatch");
+    }
+    return {r1->order, r1->tie_groups, r2->order, r2->tie_groups};
+  });
+}
+
+TEST(ParallelRefineSortTest, StringMinorKeyMatchesSerial) {
+  BatPtr major = RandomNumeric<int32_t>(kRows, 15, /*bound=*/64);
+  BatPtr minor = RandomStrings(kRows, 16, /*vocab=*/200);
+  CrossCheck([&](const ExecContext& ctx) -> std::vector<BatPtr> {
+    auto r1 = RefineSort(major, nullptr, nullptr, false, ctx);
+    MAMMOTH_CHECK(r1.ok(), "refine #1 failed");
+    auto r2 = RefineSort(minor, r1->order, r1->tie_groups, false, ctx);
+    MAMMOTH_CHECK(r2.ok(), "refine #2 failed");
+    return {r2->order, r2->tie_groups};
+  });
+}
+
+TEST(ParallelRefineSortTest, HighCardinalityFirstKeyMatchesSerial) {
+  // Nearly every row its own tie group after key #1: stresses the
+  // per-group fan-out with tiny groups.
+  BatPtr major = RandomNumeric<int32_t>(kRows, 17);
+  BatPtr minor = RandomNumeric<int32_t>(kRows, 18, /*bound=*/10);
+  CrossCheck([&](const ExecContext& ctx) -> std::vector<BatPtr> {
+    auto r1 = RefineSort(major, nullptr, nullptr, false, ctx);
+    MAMMOTH_CHECK(r1.ok(), "refine #1 failed");
+    auto r2 = RefineSort(minor, r1->order, r1->tie_groups, false, ctx);
+    MAMMOTH_CHECK(r2.ok(), "refine #2 failed");
+    return {r2->order, r2->tie_groups};
+  });
+}
+
+}  // namespace
+}  // namespace mammoth

@@ -1,0 +1,429 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/bat.h"
+#include "core/sort.h"
+#include "parallel/exec_context.h"
+
+namespace mammoth {
+namespace {
+
+using algebra::RefineSort;
+using algebra::RefineSortResult;
+using algebra::Sort;
+using algebra::SortResult;
+using algebra::TopN;
+using parallel::ExecContext;
+
+std::vector<Oid> OidsOf(const BatPtr& b) {
+  std::vector<Oid> out;
+  out.reserve(b->Count());
+  for (size_t i = 0; i < b->Count(); ++i) out.push_back(b->OidAt(i));
+  return out;
+}
+
+// ------------------------------------------------- trivial-size properties --
+// A 0/1-row result is both sorted and reverse-sorted; the old kernel set
+// only one flag depending on the requested direction.
+
+TEST(SortPropsTest, EmptySortSetsBothOrderFlags) {
+  for (bool desc : {false, true}) {
+    BatPtr b = Bat::New(PhysType::kInt32);
+    auto s = Sort(b, desc, ExecContext::Serial());
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(s->sorted->Count(), 0u);
+    EXPECT_TRUE(s->sorted->props().sorted) << "desc=" << desc;
+    EXPECT_TRUE(s->sorted->props().revsorted) << "desc=" << desc;
+    EXPECT_TRUE(s->sorted->props().key);
+    EXPECT_EQ(s->order->Count(), 0u);
+  }
+}
+
+TEST(SortPropsTest, SingleRowSortSetsBothOrderFlags) {
+  for (bool desc : {false, true}) {
+    BatPtr b = MakeBat<int32_t>({42});
+    auto s = Sort(b, desc, ExecContext::Serial());
+    ASSERT_TRUE(s.ok());
+    ASSERT_EQ(s->sorted->Count(), 1u);
+    EXPECT_EQ(s->sorted->ValueAt<int32_t>(0), 42);
+    EXPECT_TRUE(s->sorted->props().sorted) << "desc=" << desc;
+    EXPECT_TRUE(s->sorted->props().revsorted) << "desc=" << desc;
+    EXPECT_TRUE(s->sorted->props().key);
+    EXPECT_EQ(OidsOf(s->order), (std::vector<Oid>{0}));
+  }
+}
+
+// --------------------------------------------------- property fast paths --
+
+TEST(SortFastPathTest, SortedInputYieldsDenseIdentityOrder) {
+  BatPtr b = MakeBat<int32_t>({1, 3, 3, 7});
+  b->mutable_props().sorted = true;
+  auto s = Sort(b, /*descending=*/false, ExecContext::Serial());
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->order->IsDenseTail()) << "fast path must not materialize";
+  EXPECT_EQ(OidsOf(s->order), (std::vector<Oid>{0, 1, 2, 3}));
+  EXPECT_EQ(s->sorted->ValueAt<int32_t>(0), 1);
+  EXPECT_EQ(s->sorted->ValueAt<int32_t>(3), 7);
+  EXPECT_TRUE(s->sorted->props().sorted);
+}
+
+TEST(SortFastPathTest, RevsortedInputYieldsDenseIdentityOrderDescending) {
+  BatPtr b = MakeBat<int32_t>({7, 3, 3, 1});
+  b->mutable_props().revsorted = true;
+  auto s = Sort(b, /*descending=*/true, ExecContext::Serial());
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->order->IsDenseTail());
+  EXPECT_EQ(OidsOf(s->order), (std::vector<Oid>{0, 1, 2, 3}));
+  EXPECT_TRUE(s->sorted->props().revsorted);
+}
+
+TEST(SortFastPathTest, FastPathRespectsHseqbase) {
+  BatPtr b = MakeBat<int32_t>({1, 2, 3});
+  b->set_hseqbase(100);
+  b->mutable_props().sorted = true;
+  auto s = Sort(b, /*descending=*/false, ExecContext::Serial());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(OidsOf(s->order), (std::vector<Oid>{100, 101, 102}));
+}
+
+TEST(SortFastPathTest, KeyedSortedInputReversesForDescending) {
+  BatPtr b = MakeBat<int32_t>({1, 3, 5, 7});
+  b->mutable_props().sorted = true;
+  b->mutable_props().key = true;
+  auto s = Sort(b, /*descending=*/true, ExecContext::Serial());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(OidsOf(s->order), (std::vector<Oid>{3, 2, 1, 0}));
+  EXPECT_EQ(s->sorted->ValueAt<int32_t>(0), 7);
+  EXPECT_EQ(s->sorted->ValueAt<int32_t>(3), 1);
+  EXPECT_TRUE(s->sorted->props().revsorted);
+  EXPECT_TRUE(s->sorted->props().key);
+}
+
+TEST(SortFastPathTest, SortedInputWithTiesIsNotBlindlyReversed) {
+  // sorted (not key): a descending ask must keep head order inside each
+  // tie group — plain reversal would flip it.
+  BatPtr b = MakeBat<int32_t>({1, 3, 3, 7});
+  b->mutable_props().sorted = true;
+  auto s = Sort(b, /*descending=*/true, ExecContext::Serial());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(OidsOf(s->order), (std::vector<Oid>{3, 1, 2, 0}));
+}
+
+TEST(SortFastPathTest, DenseTailInputSortsWithoutMaterializing) {
+  BatPtr b = Bat::NewDense(50, 4, /*hseqbase=*/10);
+  auto s = Sort(b, /*descending=*/false, ExecContext::Serial());
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->order->IsDenseTail());
+  EXPECT_EQ(OidsOf(s->order), (std::vector<Oid>{10, 11, 12, 13}));
+  EXPECT_EQ(s->sorted->OidAt(0), 50u);
+  EXPECT_EQ(s->sorted->OidAt(3), 53u);
+}
+
+// ----------------------------------------------------------- correctness --
+
+TEST(SortKernelTest, StableForAllEqualKeysIsIdentity) {
+  BatPtr b = Bat::New(PhysType::kInt32);
+  b->Resize(1000);
+  int32_t* v = b->MutableTailData<int32_t>();
+  for (size_t i = 0; i < 1000; ++i) v[i] = 7;
+  for (bool desc : {false, true}) {
+    auto s = Sort(b, desc, ExecContext::Serial());
+    ASSERT_TRUE(s.ok());
+    for (size_t i = 0; i < 1000; ++i) {
+      ASSERT_EQ(s->order->OidAt(i), i) << "desc=" << desc;
+    }
+  }
+}
+
+TEST(SortKernelTest, DescendingStrings) {
+  BatPtr b = MakeStringBat({"mole", "ape", "zebra", "ape"});
+  auto s = Sort(b, /*descending=*/true, ExecContext::Serial());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->sorted->StringAt(0), "zebra");
+  EXPECT_EQ(s->sorted->StringAt(1), "mole");
+  EXPECT_EQ(s->sorted->StringAt(2), "ape");
+  EXPECT_EQ(s->sorted->StringAt(3), "ape");
+  // Stability: the two "ape" rows keep head order.
+  EXPECT_EQ(OidsOf(s->order), (std::vector<Oid>{2, 0, 1, 3}));
+  EXPECT_TRUE(s->sorted->props().revsorted);
+}
+
+/// Oracle: the stable sort permutation computed the textbook way.
+template <typename T>
+std::vector<uint32_t> StableSortOracle(const BatPtr& b, bool desc) {
+  const T* v = b->TailData<T>();
+  std::vector<uint32_t> perm(b->Count());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t c) {
+    return desc ? v[c] < v[a] : v[a] < v[c];
+  });
+  return perm;
+}
+
+TEST(SortKernelTest, Int64RadixMatchesStableSortOracle) {
+  Rng rng(5);
+  BatPtr b = Bat::New(PhysType::kInt64);
+  b->Resize(5000);
+  int64_t* v = b->MutableTailData<int64_t>();
+  for (size_t i = 0; i < 5000; ++i) {
+    v[i] = static_cast<int64_t>(rng.Next());  // incl. negatives
+  }
+  for (bool desc : {false, true}) {
+    auto s = Sort(b, desc, ExecContext::Serial());
+    ASSERT_TRUE(s.ok());
+    const std::vector<uint32_t> oracle = StableSortOracle<int64_t>(b, desc);
+    for (size_t i = 0; i < 5000; ++i) {
+      ASSERT_EQ(s->order->OidAt(i), oracle[i]) << "desc=" << desc;
+    }
+  }
+}
+
+TEST(SortKernelTest, Int32DescendingRadixMatchesStableSortOracle) {
+  Rng rng(6);
+  BatPtr b = Bat::New(PhysType::kInt32);
+  b->Resize(5000);
+  int32_t* v = b->MutableTailData<int32_t>();
+  for (size_t i = 0; i < 5000; ++i) {
+    v[i] = static_cast<int32_t>(rng.Uniform(100));  // heavy duplicates
+  }
+  auto s = Sort(b, /*descending=*/true, ExecContext::Serial());
+  ASSERT_TRUE(s.ok());
+  const std::vector<uint32_t> oracle = StableSortOracle<int32_t>(b, true);
+  for (size_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(s->order->OidAt(i), oracle[i]);
+  }
+}
+
+TEST(SortKernelTest, DoubleSortMatchesStableSortOracle) {
+  Rng rng(7);
+  BatPtr b = Bat::New(PhysType::kDouble);
+  b->Resize(4000);
+  double* v = b->MutableTailData<double>();
+  for (size_t i = 0; i < 4000; ++i) v[i] = rng.NextDouble() - 0.5;
+  for (bool desc : {false, true}) {
+    auto s = Sort(b, desc, ExecContext::Serial());
+    ASSERT_TRUE(s.ok());
+    const std::vector<uint32_t> oracle = StableSortOracle<double>(b, desc);
+    for (size_t i = 0; i < 4000; ++i) {
+      ASSERT_EQ(s->order->OidAt(i), oracle[i]) << "desc=" << desc;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ TopN --
+
+TEST(TopNTest, KLargerThanInputClampsToFullOrder) {
+  BatPtr b = MakeBat<int32_t>({50, 10, 40, 20, 30});
+  auto top = TopN(b, 99, /*descending=*/false, ExecContext::Serial());
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(OidsOf(*top), (std::vector<Oid>{1, 3, 4, 2, 0}));
+}
+
+TEST(TopNTest, KZeroYieldsEmpty) {
+  BatPtr b = MakeBat<int32_t>({3, 1, 2});
+  auto top = TopN(b, 0, /*descending=*/false, ExecContext::Serial());
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ((*top)->Count(), 0u);
+  EXPECT_TRUE((*top)->props().key);
+}
+
+TEST(TopNTest, EmptyInput) {
+  BatPtr b = Bat::New(PhysType::kInt32);
+  auto top = TopN(b, 5, /*descending=*/false, ExecContext::Serial());
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ((*top)->Count(), 0u);
+}
+
+TEST(TopNTest, TiesAtTheBoundaryResolveByHeadOrder) {
+  // Three 2s straddle k=2: the stable order keeps the earliest heads.
+  BatPtr b = MakeBat<int32_t>({2, 1, 2, 2, 3});
+  auto top = TopN(b, 3, /*descending=*/false, ExecContext::Serial());
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(OidsOf(*top), (std::vector<Oid>{1, 0, 2}));
+}
+
+TEST(TopNTest, MatchesSortPrefixOnRandomInput) {
+  Rng rng(11);
+  BatPtr b = Bat::New(PhysType::kInt32);
+  b->Resize(10000);
+  int32_t* v = b->MutableTailData<int32_t>();
+  for (size_t i = 0; i < 10000; ++i) {
+    v[i] = static_cast<int32_t>(rng.Uniform(500));
+  }
+  for (bool desc : {false, true}) {
+    auto s = Sort(b, desc, ExecContext::Serial());
+    auto top = TopN(b, 137, desc, ExecContext::Serial());
+    ASSERT_TRUE(s.ok() && top.ok());
+    ASSERT_EQ((*top)->Count(), 137u);
+    for (size_t i = 0; i < 137; ++i) {
+      ASSERT_EQ((*top)->OidAt(i), s->order->OidAt(i)) << "desc=" << desc;
+    }
+  }
+}
+
+TEST(TopNTest, SortedInputFastPathIsDensePrefix) {
+  BatPtr b = MakeBat<int32_t>({1, 2, 3, 4, 5});
+  b->mutable_props().sorted = true;
+  auto top = TopN(b, 2, /*descending=*/false, ExecContext::Serial());
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE((*top)->IsDenseTail());
+  EXPECT_EQ(OidsOf(*top), (std::vector<Oid>{0, 1}));
+}
+
+TEST(TopNTest, KeyedSortedInputDescendingTakesTailReversed) {
+  BatPtr b = MakeBat<int32_t>({1, 2, 3, 4, 5});
+  b->mutable_props().sorted = true;
+  b->mutable_props().key = true;
+  auto top = TopN(b, 2, /*descending=*/true, ExecContext::Serial());
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(OidsOf(*top), (std::vector<Oid>{4, 3}));
+}
+
+TEST(TopNTest, Strings) {
+  BatPtr b = MakeStringBat({"mole", "ape", "zebra", "bison"});
+  auto top = TopN(b, 2, /*descending=*/false, ExecContext::Serial());
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(OidsOf(*top), (std::vector<Oid>{1, 3}));  // ape, bison
+}
+
+// ------------------------------------------------------------ RefineSort --
+
+TEST(RefineSortTest, FirstKeyMatchesSort) {
+  Rng rng(21);
+  BatPtr b = Bat::New(PhysType::kInt32);
+  b->Resize(3000);
+  int32_t* v = b->MutableTailData<int32_t>();
+  for (size_t i = 0; i < 3000; ++i) {
+    v[i] = static_cast<int32_t>(rng.Uniform(50));
+  }
+  for (bool desc : {false, true}) {
+    auto s = Sort(b, desc, ExecContext::Serial());
+    auto r = RefineSort(b, nullptr, nullptr, desc, ExecContext::Serial());
+    ASSERT_TRUE(s.ok() && r.ok());
+    ASSERT_EQ(r->order->Count(), 3000u);
+    for (size_t i = 0; i < 3000; ++i) {
+      ASSERT_EQ(r->order->OidAt(i), s->order->OidAt(i)) << "desc=" << desc;
+    }
+    // Tie ids are non-decreasing and count the distinct values.
+    EXPECT_TRUE(r->tie_groups->props().sorted);
+    size_t distinct = 1;
+    for (size_t i = 1; i < 3000; ++i) {
+      const Oid prev = r->tie_groups->OidAt(i - 1);
+      const Oid cur = r->tie_groups->OidAt(i);
+      ASSERT_LE(prev, cur);
+      ASSERT_LE(cur - prev, 1u);
+      distinct += cur != prev;
+    }
+    EXPECT_EQ(r->ngroups, distinct);
+  }
+}
+
+TEST(RefineSortTest, TwoKeysMatchLexicographicOracle) {
+  Rng rng(22);
+  const size_t n = 4000;
+  BatPtr major = Bat::New(PhysType::kInt32);
+  BatPtr minor = Bat::New(PhysType::kInt32);
+  major->Resize(n);
+  minor->Resize(n);
+  int32_t* a = major->MutableTailData<int32_t>();
+  int32_t* c = minor->MutableTailData<int32_t>();
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<int32_t>(rng.Uniform(20));  // many ties
+    c[i] = static_cast<int32_t>(rng.Uniform(1000));
+  }
+  for (bool desc_minor : {false, true}) {
+    auto r1 = RefineSort(major, nullptr, nullptr, false,
+                         ExecContext::Serial());
+    ASSERT_TRUE(r1.ok());
+    auto r2 = RefineSort(minor, r1->order, r1->tie_groups, desc_minor,
+                         ExecContext::Serial());
+    ASSERT_TRUE(r2.ok());
+
+    std::vector<uint32_t> oracle(n);
+    std::iota(oracle.begin(), oracle.end(), 0u);
+    std::stable_sort(oracle.begin(), oracle.end(),
+                     [&](uint32_t x, uint32_t y) {
+                       if (a[x] != a[y]) return a[x] < a[y];
+                       if (c[x] != c[y]) {
+                         return desc_minor ? c[y] < c[x] : c[x] < c[y];
+                       }
+                       return false;
+                     });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(r2->order->OidAt(i), oracle[i]) << "desc_minor=" << desc_minor;
+    }
+    // Refined groups: one per distinct (major, minor) pair in the output.
+    for (size_t i = 1; i < n; ++i) {
+      const uint32_t x = oracle[i - 1], y = oracle[i];
+      const bool same = a[x] == a[y] && c[x] == c[y];
+      ASSERT_EQ(r2->tie_groups->OidAt(i) == r2->tie_groups->OidAt(i - 1),
+                same)
+          << i;
+    }
+  }
+}
+
+TEST(RefineSortTest, StringMinorKey) {
+  BatPtr major = MakeBat<int32_t>({1, 0, 1, 0, 1});
+  BatPtr minor = MakeStringBat({"b", "z", "a", "z", "a"});
+  auto r1 = RefineSort(major, nullptr, nullptr, false, ExecContext::Serial());
+  ASSERT_TRUE(r1.ok());
+  auto r2 = RefineSort(minor, r1->order, r1->tie_groups, false,
+                       ExecContext::Serial());
+  ASSERT_TRUE(r2.ok());
+  // (0,"z")@1, (0,"z")@3, (1,"a")@2, (1,"a")@4, (1,"b")@0
+  EXPECT_EQ(OidsOf(r2->order), (std::vector<Oid>{1, 3, 2, 4, 0}));
+  EXPECT_EQ(r2->ngroups, 3u);
+}
+
+TEST(RefineSortTest, TotalOrderShortCircuitKeepsOrder) {
+  // When every tie group is a singleton, refinement must be the identity.
+  BatPtr key_col = MakeBat<int32_t>({5, 1, 3});
+  auto r1 = RefineSort(key_col, nullptr, nullptr, false,
+                       ExecContext::Serial());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->ngroups, 3u);
+  EXPECT_TRUE(r1->tie_groups->props().key);
+  BatPtr next = MakeBat<int32_t>({9, 9, 9});
+  auto r2 = RefineSort(next, r1->order, r1->tie_groups, true,
+                       ExecContext::Serial());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(OidsOf(r2->order), OidsOf(r1->order));
+  EXPECT_EQ(r2->ngroups, 3u);
+}
+
+TEST(RefineSortTest, EmptyInput) {
+  BatPtr b = Bat::New(PhysType::kInt32);
+  auto r = RefineSort(b, nullptr, nullptr, false, ExecContext::Serial());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->order->Count(), 0u);
+  EXPECT_EQ(r->tie_groups->Count(), 0u);
+  EXPECT_EQ(r->ngroups, 0u);
+}
+
+TEST(RefineSortTest, RejectsMisalignedTieGroups) {
+  BatPtr b = MakeBat<int32_t>({1, 2, 3});
+  BatPtr order = Bat::NewDense(0, 3);
+  BatPtr ties = Bat::NewDense(0, 2);  // wrong length
+  auto r = RefineSort(b, order, ties, false, ExecContext::Serial());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RefineSortTest, RejectsOutOfRangeOrder) {
+  BatPtr b = MakeBat<int32_t>({1, 2, 3});
+  BatPtr order = Bat::New(PhysType::kOid);
+  order->Append<Oid>(0);
+  order->Append<Oid>(7);  // beyond the column
+  auto r = RefineSort(b, order, nullptr, false, ExecContext::Serial());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace mammoth
