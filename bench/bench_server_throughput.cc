@@ -1,0 +1,146 @@
+// End-to-end server throughput: N concurrent wire-protocol clients
+// hammer one server over loopback with a small SELECT mix. Sweeps the
+// client count 1..64 and reports qps plus p50/p99 per-query latency, so
+// BENCH_server_throughput.json tracks how session handling, admission
+// control and the engine's reader lock scale together.
+//
+// MAMMOTH_BENCH_ROWS overrides the table size (default 20000).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace mammoth;
+
+size_t BenchRows() {
+  const char* env = std::getenv("MAMMOTH_BENCH_ROWS");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 20000;
+}
+
+void Populate(sql::Engine* engine, size_t rows) {
+  auto st = engine->Execute(
+      "CREATE TABLE metrics (id INT, value INT, tag VARCHAR(16))");
+  if (!st.ok()) std::abort();
+  constexpr size_t kBatch = 1000;
+  for (size_t base = 0; base < rows; base += kBatch) {
+    std::string insert = "INSERT INTO metrics VALUES ";
+    const size_t end = std::min(base + kBatch, rows);
+    for (size_t i = base; i < end; ++i) {
+      if (i > base) insert += ", ";
+      const char* tag = i % 2 == 0 ? "even" : "odd";
+      insert += "(" + std::to_string(i) + ", " +
+                std::to_string((i * 131) % 10000) + ", '" + tag + "')";
+    }
+    if (!engine->Execute(insert).ok()) std::abort();
+  }
+}
+
+const std::vector<std::string>& QueryMix() {
+  static const std::vector<std::string> mix = {
+      "SELECT COUNT(*) FROM metrics WHERE value >= 2500 AND value <= 7500",
+      "SELECT tag, SUM(value) FROM metrics GROUP BY tag",
+      "SELECT id FROM metrics WHERE value < 200 ORDER BY id LIMIT 50",
+  };
+  return mix;
+}
+
+void BM_ServerThroughput(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  constexpr int kQueriesPerClient = 8;
+
+  server::ServerConfig config;
+  config.max_sessions = clients + 4;
+  config.admission.max_inflight = 8;
+  config.admission.queue_timeout_ms = 60000;
+  server::Server server(config);
+  Populate(server.engine(), BenchRows());
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  // Connect once, outside the timed region: we measure query
+  // throughput, not handshakes.
+  std::vector<server::Client> conns;
+  conns.reserve(clients);
+  for (int i = 0; i < clients; ++i) {
+    auto c = server::Client::Connect("127.0.0.1", server.port());
+    if (!c.ok()) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+    conns.push_back(std::move(*c));
+  }
+
+  std::vector<double> latencies_ms;
+  std::atomic<bool> failed{false};
+  int64_t total_queries = 0;
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_thread(clients);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t) {
+      threads.emplace_back([&, t] {
+        per_thread[t].reserve(kQueriesPerClient);
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          const std::string& sql =
+              QueryMix()[(t + q) % QueryMix().size()];
+          const auto q0 = std::chrono::steady_clock::now();
+          if (!conns[t].Query(sql).ok()) failed.store(true);
+          per_thread[t].push_back(
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - q0)
+                  .count());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    state.SetIterationTime(seconds);
+    total_queries += static_cast<int64_t>(clients) * kQueriesPerClient;
+    for (auto& v : per_thread) {
+      latencies_ms.insert(latencies_ms.end(), v.begin(), v.end());
+    }
+  }
+  if (failed.load()) state.SkipWithError("query failed");
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  auto percentile = [&](double p) {
+    if (latencies_ms.empty()) return 0.0;
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(latencies_ms.size() - 1));
+    return latencies_ms[idx];
+  };
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(total_queries), benchmark::Counter::kIsRate);
+  state.counters["p50_ms"] = percentile(0.50);
+  state.counters["p99_ms"] = percentile(0.99);
+  state.counters["clients"] = clients;
+}
+
+BENCHMARK(BM_ServerThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

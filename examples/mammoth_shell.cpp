@@ -9,6 +9,12 @@
 //   .quit
 //
 // Works interactively or scripted:  ./build/examples/mammoth_shell < run.sql
+//
+// With `--connect host:port` the shell becomes a wire-protocol client of
+// a running mammoth_server instead of embedding an engine: statements
+// travel as Query frames, results come back as columnar Result frames
+// (`SERVER STATUS` shows the server's counters). Dot-commands other than
+// .help/.quit are local-engine features and are unavailable remotely.
 
 #include <cstdio>
 #include <fstream>
@@ -21,6 +27,7 @@
 #include "core/persist.h"
 #include "mal/parser.h"
 #include "recycle/recycler.h"
+#include "server/client.h"
 #include "sql/engine.h"
 #include "sql/parser.h"
 
@@ -32,9 +39,69 @@ void PrintStatus(const Status& status) {
   if (!status.ok()) std::printf("!! %s\n", status.ToString().c_str());
 }
 
+int RunRemote(const std::string& target) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect expects host:port\n");
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  auto client = server::Client::Connect(
+      host, static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "!! connect %s failed: %s\n", target.c_str(),
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s (server '%s', session %llu) — "
+              "SQL ends with ';', '.quit' exits\n",
+              target.c_str(), client->hello().server_name.c_str(),
+              static_cast<unsigned long long>(client->hello().session_id));
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "mammoth> " : "    ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (buffer.empty() && !line.empty() && line[0] == '.') {
+      if (line.rfind(".quit", 0) == 0 || line.rfind(".exit", 0) == 0) break;
+      std::printf(".quit — everything else runs server-side "
+                  "(try SERVER STATUS;)\n");
+      continue;
+    }
+    buffer += line + "\n";
+    if (line.find(';') == std::string::npos) continue;
+    buffer = buffer.substr(0, buffer.find(';'));
+
+    WallTimer timer;
+    auto result = client->Query(buffer);
+    buffer.clear();
+    if (!result.ok()) {
+      PrintStatus(result.status());
+      if (!client->connected()) return 1;  // transport gone
+      continue;
+    }
+    if (!result->names.empty()) {
+      std::printf("%s", result->ToText(40).c_str());
+    }
+    std::printf("-- %.2f ms (%zu rows)\n", timer.ElapsedMillis(),
+                result->RowCount());
+  }
+  client->Close();
+  std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--connect" && i + 1 < argc) {
+      return RunRemote(argv[i + 1]);
+    }
+  }
+
   sql::Engine engine;
   std::unique_ptr<recycle::Recycler> recycler;
 

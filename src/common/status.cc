@@ -22,6 +22,10 @@ const char* StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kTimedOut:
+      return "TimedOut";
   }
   return "Unknown";
 }

@@ -19,6 +19,8 @@ enum class StatusCode : uint8_t {
   kUnimplemented,
   kIOError,
   kInternal,
+  kUnavailable,  ///< service refusing work (e.g. server draining)
+  kTimedOut,     ///< deadline elapsed (e.g. admission queue timeout)
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -58,6 +60,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

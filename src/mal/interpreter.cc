@@ -183,7 +183,7 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
             ins.inputs[1] < 0 ? nullptr : vars[ins.inputs[1]].bat;
         MAMMOTH_ASSIGN_OR_RETURN(
             BatPtr r, algebra::ThetaSelect(vars[ins.inputs[0]].bat, cands,
-                                           ins.consts[0], ins.cmp));
+                                           ins.consts[0], ins.cmp, ctx_));
         vars[ins.outputs[0]].bat = r;
         break;
       }
@@ -210,7 +210,7 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
             BatPtr r,
             algebra::RangeSelect(vars[ins.inputs[0]].bat, cands,
                                  ins.consts[0], ins.consts[1], true, true,
-                                 ins.flag));
+                                 ins.flag, ctx_));
         vars[ins.outputs[0]].bat = r;
         break;
       }
@@ -219,7 +219,7 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
         MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[1], "projection"));
         MAMMOTH_ASSIGN_OR_RETURN(
             BatPtr r, algebra::Project(vars[ins.inputs[0]].bat,
-                                       vars[ins.inputs[1]].bat));
+                                       vars[ins.inputs[1]].bat, ctx_));
         vars[ins.outputs[0]].bat = r;
         break;
       }
@@ -242,7 +242,7 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
         }
         MAMMOTH_ASSIGN_OR_RETURN(
             algebra::GroupResult g,
-            algebra::Group(vars[ins.inputs[0]].bat, prev, prev_n));
+            algebra::Group(vars[ins.inputs[0]].bat, prev, prev_n, ctx_));
         vars[ins.outputs[0]].bat = g.groups;
         vars[ins.outputs[1]].bat = g.extents;
         vars[ins.outputs[2]].scalar =
@@ -264,16 +264,16 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
         Result<BatPtr> r = Status::Internal("unreachable");
         switch (ins.op) {
           case OpCode::kAggrSum:
-            r = algebra::AggrSum(values, groups, ngroups);
+            r = algebra::AggrSum(values, groups, ngroups, ctx_);
             break;
           case OpCode::kAggrCount:
-            r = algebra::AggrCount(groups, ngroups, values->Count());
+            r = algebra::AggrCount(groups, ngroups, values->Count(), ctx_);
             break;
           case OpCode::kAggrMin:
-            r = algebra::AggrMin(values, groups, ngroups);
+            r = algebra::AggrMin(values, groups, ngroups, ctx_);
             break;
           case OpCode::kAggrMax:
-            r = algebra::AggrMax(values, groups, ngroups);
+            r = algebra::AggrMax(values, groups, ngroups, ctx_);
             break;
           case OpCode::kAggrAvg:
             r = algebra::AggrAvg(values, groups, ngroups);
@@ -307,7 +307,7 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
         MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "sort"));
         MAMMOTH_ASSIGN_OR_RETURN(
             algebra::SortResult s,
-            algebra::Sort(vars[ins.inputs[0]].bat, ins.flag));
+            algebra::Sort(vars[ins.inputs[0]].bat, ins.flag, ctx_));
         vars[ins.outputs[0]].bat = s.sorted;
         vars[ins.outputs[1]].bat = s.order;
         break;
@@ -318,14 +318,14 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
             BatPtr r,
             algebra::TopN(vars[ins.inputs[0]].bat,
                           static_cast<size_t>(ins.consts[0].AsInt()),
-                          ins.flag));
+                          ins.flag, ctx_));
         vars[ins.outputs[0]].bat = r;
         break;
       }
       case OpCode::kDistinct: {
         MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "unique"));
         MAMMOTH_ASSIGN_OR_RETURN(BatPtr r,
-                                 algebra::Distinct(vars[ins.inputs[0]].bat));
+                                 algebra::Distinct(vars[ins.inputs[0]].bat, ctx_));
         vars[ins.outputs[0]].bat = r;
         break;
       }

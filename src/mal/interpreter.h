@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "core/catalog.h"
 #include "mal/program.h"
+#include "parallel/exec_context.h"
 #include "recycle/recycler.h"
 
 namespace mammoth::mal {
@@ -36,17 +37,22 @@ struct RunStats {
 /// calling the optimized BAT kernels and materializing every intermediate.
 /// When a Recycler is attached, each pure instruction first consults the
 /// cache (exact signature, then range subsumption) before executing.
+/// `ctx` scopes the kernel parallelism of every instruction this
+/// interpreter runs (a server passes each query's admission-granted
+/// slice of the shared pool; the default is the process-wide context).
 class Interpreter {
  public:
-  explicit Interpreter(Catalog* catalog,
-                       recycle::Recycler* recycler = nullptr)
-      : catalog_(catalog), recycler_(recycler) {}
+  explicit Interpreter(
+      Catalog* catalog, recycle::Recycler* recycler = nullptr,
+      const parallel::ExecContext& ctx = parallel::ExecContext::Default())
+      : catalog_(catalog), recycler_(recycler), ctx_(ctx) {}
 
   Result<QueryResult> Run(const Program& program, RunStats* stats = nullptr);
 
  private:
   Catalog* catalog_;
   recycle::Recycler* recycler_;
+  parallel::ExecContext ctx_;
 };
 
 }  // namespace mammoth::mal

@@ -1,0 +1,98 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mammoth::server {
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release();
+    controller_ = nullptr;
+  }
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    ++rejected_;
+    return Status::Unavailable("server shutting down");
+  }
+  // Fast path: capacity free and nobody queued ahead of us.
+  if (inflight_ < config_.max_inflight && queue_.empty()) {
+    ++inflight_;
+    peak_inflight_ = std::max(peak_inflight_, inflight_);
+    ++admitted_;
+    return Ticket(this);
+  }
+  if (queue_.size() >= config_.max_queue) {
+    ++rejected_;
+    return Status::Unavailable("admission queue full (" +
+                               std::to_string(config_.max_queue) +
+                               " waiters)");
+  }
+  Waiter me;
+  queue_.push_back(&me);
+  ++queued_total_;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.queue_timeout_ms);
+  // GrantLocked pops us off the queue and sets `granted` when our turn
+  // comes; Shutdown sets `abandoned`.
+  cv_.wait_until(lock, deadline,
+                 [&] { return me.granted || me.abandoned; });
+  if (me.granted) {
+    ++admitted_;
+    return Ticket(this);
+  }
+  if (!me.abandoned) {
+    // Timed out while still queued: unlink ourselves.
+    queue_.erase(std::find(queue_.begin(), queue_.end(), &me));
+    ++timed_out_;
+    return Status::TimedOut("queued past " +
+                            std::to_string(config_.queue_timeout_ms) +
+                            " ms admission timeout");
+  }
+  ++rejected_;
+  return Status::Unavailable("server shutting down");
+}
+
+void AdmissionController::GrantLocked() {
+  while (!queue_.empty() && inflight_ < config_.max_inflight) {
+    Waiter* next = queue_.front();
+    queue_.pop_front();
+    next->granted = true;
+    ++inflight_;
+    peak_inflight_ = std::max(peak_inflight_, inflight_);
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --inflight_;
+  GrantLocked();
+}
+
+void AdmissionController::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  for (Waiter* w : queue_) w->abandoned = true;
+  queue_.clear();
+  cv_.notify_all();
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats s;
+  s.admitted = admitted_;
+  s.timed_out = timed_out_;
+  s.rejected = rejected_;
+  s.queued_total = queued_total_;
+  s.inflight = inflight_;
+  s.queued = static_cast<int>(queue_.size());
+  s.peak_inflight = peak_inflight_;
+  return s;
+}
+
+}  // namespace mammoth::server

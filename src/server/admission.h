@@ -1,0 +1,117 @@
+#ifndef MAMMOTH_SERVER_ADMISSION_H_
+#define MAMMOTH_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/result.h"
+#include "parallel/exec_context.h"
+
+namespace mammoth::server {
+
+struct AdmissionConfig {
+  /// Queries running concurrently. 0 is legal (everything times out /
+  /// is rejected) and is used by tests to exercise the timeout path.
+  int max_inflight = 4;
+  /// Queries waiting beyond the in-flight bound; arrivals past this are
+  /// rejected immediately (kUnavailable) instead of queueing.
+  size_t max_queue = 256;
+  /// How long a queued query may wait before it fails with kTimedOut.
+  int64_t queue_timeout_ms = 5000;
+};
+
+/// Counter snapshot (all values since construction, except the gauges).
+struct AdmissionStats {
+  uint64_t admitted = 0;      ///< queries granted a slot
+  uint64_t timed_out = 0;     ///< queries that waited past the timeout
+  uint64_t rejected = 0;      ///< queries bounced on a full queue / shutdown
+  uint64_t queued_total = 0;  ///< queries that had to wait at all
+  int inflight = 0;           ///< gauge: slots currently held
+  int queued = 0;             ///< gauge: waiters currently queued
+  int peak_inflight = 0;      ///< high-water mark of `inflight`
+};
+
+/// Front-door concurrency control (the Vertica-retrospective lesson that
+/// productizing a column store is mostly this): at most `max_inflight`
+/// queries execute at once, the rest wait FIFO with a deadline. Each
+/// admitted query receives an ExecContext over the shared server
+/// TaskPool, so however many sessions are connected, kernel parallelism
+/// stays bounded by the one pool (whose ParallelFor calls serialize).
+class AdmissionController {
+ public:
+  /// `pool` (borrowed, may be null for serial execution) backs the
+  /// ExecContext handed to every admitted query.
+  AdmissionController(const AdmissionConfig& config,
+                      parallel::TaskPool* pool)
+      : config_(config), ctx_(pool) {}
+
+  /// RAII admission slot: releasing it (destruction) wakes the next
+  /// FIFO waiter. Move-only.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& o) noexcept : controller_(o.controller_) {
+      o.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& o) noexcept {
+      if (this != &o) {
+        Release();
+        controller_ = o.controller_;
+        o.controller_ = nullptr;
+      }
+      return *this;
+    }
+    ~Ticket() { Release(); }
+
+    /// Execution context for the admitted query (shared server pool).
+    const parallel::ExecContext& context() const {
+      return controller_->ctx_;
+    }
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* c) : controller_(c) {}
+    void Release();
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Blocks until a slot is free (FIFO among waiters) or the queue
+  /// timeout elapses. Errors: kTimedOut (deadline), kUnavailable (queue
+  /// full or controller shut down).
+  Result<Ticket> Admit();
+
+  /// Fails all waiters and future Admit() calls with kUnavailable.
+  void Shutdown();
+
+  AdmissionStats stats() const;
+
+ private:
+  struct Waiter {
+    bool granted = false;
+    bool abandoned = false;
+  };
+
+  /// Grants slots to queued waiters while capacity remains; requires mu_.
+  void GrantLocked();
+  void Release();
+
+  const AdmissionConfig config_;
+  const parallel::ExecContext ctx_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Waiter*> queue_;  // FIFO; entries live on waiter stacks
+  bool shutdown_ = false;
+  int inflight_ = 0;
+  int peak_inflight_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t timed_out_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t queued_total_ = 0;
+};
+
+}  // namespace mammoth::server
+
+#endif  // MAMMOTH_SERVER_ADMISSION_H_

@@ -1,0 +1,131 @@
+#include "server/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace mammoth::server {
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& o) noexcept
+    : fd_(o.fd_), hello_(std::move(o.hello_)), buffer_(std::move(o.buffer_)) {
+  o.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = o.fd_;
+    hello_ = std::move(o.hello_);
+    buffer_ = std::move(o.buffer_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &found);
+  if (rc != 0 || found == nullptr) {
+    return Status::IOError("resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  for (addrinfo* ai = found; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(found);
+  if (fd < 0) {
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Client client;
+  client.fd_ = fd;
+  MAMMOTH_ASSIGN_OR_RETURN(Frame frame, client.ReadFrame());
+  if (frame.type == FrameType::kError) {
+    MAMMOTH_ASSIGN_OR_RETURN(WireError e, DecodeError(frame.payload));
+    return e.ToStatus();
+  }
+  if (frame.type != FrameType::kHello) {
+    return Status::InvalidArgument("expected Hello frame from server");
+  }
+  MAMMOTH_ASSIGN_OR_RETURN(client.hello_, DecodeHello(frame.payload));
+  return client;
+}
+
+Result<mal::QueryResult> Client::Query(const std::string& sql) {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  MAMMOTH_RETURN_IF_ERROR(WriteAll(EncodeFrame(FrameType::kQuery, sql)));
+  MAMMOTH_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  switch (frame.type) {
+    case FrameType::kResult:
+      return DecodeResult(frame.payload);
+    case FrameType::kError: {
+      MAMMOTH_ASSIGN_OR_RETURN(WireError e, DecodeError(frame.payload));
+      return e.ToStatus();
+    }
+    case FrameType::kClose:
+      Close();
+      return Status::Unavailable("server closed the session");
+    default:
+      return Status::InvalidArgument("unexpected frame type " +
+                                     std::to_string(static_cast<int>(
+                                         frame.type)));
+  }
+}
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  WriteAll(EncodeFrame(FrameType::kClose, ""));
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Status Client::WriteAll(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return Status::IOError("send(): connection lost");
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> Client::ReadFrame() {
+  while (true) {
+    Frame frame;
+    MAMMOTH_ASSIGN_OR_RETURN(
+        size_t consumed, DecodeFrame(buffer_.data(), buffer_.size(), &frame));
+    if (consumed > 0) {
+      buffer_.erase(0, consumed);
+      return frame;
+    }
+    char chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return Status::IOError("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace mammoth::server

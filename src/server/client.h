@@ -1,0 +1,56 @@
+#ifndef MAMMOTH_SERVER_CLIENT_H_
+#define MAMMOTH_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "server/wire.h"
+
+namespace mammoth::server {
+
+/// Blocking client for the wire.h protocol: one TCP connection, one
+/// outstanding query at a time (the protocol answers every Query frame
+/// with exactly one Result or Error frame). Used by tests, the
+/// throughput benchmark and `mammoth_shell --connect`.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& o) noexcept;
+  Client& operator=(Client&& o) noexcept;
+
+  /// Connects and performs the Hello handshake. `host` is resolved with
+  /// getaddrinfo, so both numeric addresses and names work. A draining
+  /// server answers with an Error frame, surfaced as its typed Status
+  /// (kUnavailable) here.
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  /// Executes one statement, returning the decoded columnar result.
+  /// Server-side failures carry their wire status code (e.g. kTimedOut
+  /// for an admission-queue timeout); transport failures are kIOError.
+  Result<mal::QueryResult> Query(const std::string& sql);
+
+  /// Sends a Close frame and closes the socket. Safe to skip: the
+  /// destructor closes the socket either way.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  const HelloInfo& hello() const { return hello_; }
+
+ private:
+  Status WriteAll(std::string_view bytes);
+  /// Reads frames off the socket until one is complete.
+  Result<Frame> ReadFrame();
+
+  int fd_ = -1;
+  HelloInfo hello_;
+  std::string buffer_;  // bytes received past the last decoded frame
+};
+
+}  // namespace mammoth::server
+
+#endif  // MAMMOTH_SERVER_CLIENT_H_

@@ -1,0 +1,291 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "core/bat.h"
+#include "parallel/exec_context.h"
+
+namespace mammoth::server {
+
+namespace {
+
+/// Accept/read loops wake at this cadence to observe drain/stop flags,
+/// so shutdown latency is bounded even with idle peers.
+constexpr int kPollMillis = 100;
+constexpr size_t kRecvChunk = 64 * 1024;
+
+/// True when `sql` is the SERVER STATUS command (case-insensitive,
+/// surrounding whitespace and a trailing ';' ignored).
+bool IsStatusCommand(const std::string& sql) {
+  size_t b = sql.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return false;
+  size_t e = sql.find_last_not_of(" \t\r\n;");
+  std::string t = sql.substr(b, e - b + 1);
+  for (char& c : t) c = static_cast<char>(std::toupper(c));
+  // Collapse interior whitespace runs to single spaces.
+  std::string norm;
+  for (char c : t) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!norm.empty() && norm.back() != ' ') norm += ' ';
+    } else {
+      norm += c;
+    }
+  }
+  return norm == "SERVER STATUS";
+}
+
+}  // namespace
+
+Server::Server(const ServerConfig& config)
+    : config_(config),
+      pool_(std::make_unique<parallel::TaskPool>(
+          config.threads > 0 ? config.threads
+                             : parallel::DefaultThreadCount())),
+      admission_(config.admission, pool_.get()) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_.exchange(true)) {
+    return Status::InvalidArgument("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IOError("socket(): failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("unparsable host " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind(" + config_.host + ":" +
+                           std::to_string(config_.port) +
+                           "): " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError(std::string("listen(): ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::BeginDrain() {
+  draining_.store(true);
+  admission_.Shutdown();
+}
+
+void Server::Stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  BeginDrain();
+  // Sessions notice draining_ within one poll tick, finish their
+  // in-flight query (delivering its result), send a final Error frame
+  // and exit. The accept loop keeps rejecting new connections with an
+  // Error frame for the whole drain window.
+  while (sessions_open_.load() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (std::thread& t : session_threads_) {
+      if (t.joinable()) t.join();
+    }
+    session_threads_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (stopping_.load()) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (draining_.load()) {
+      ++sessions_rejected_;
+      SendError(fd, Status::Unavailable("server draining"));
+      ::close(fd);
+      continue;
+    }
+    if (sessions_open_.load() >= config_.max_sessions) {
+      ++sessions_rejected_;
+      SendError(fd, Status::Unavailable(
+                        "session limit (" +
+                        std::to_string(config_.max_sessions) + ") reached"));
+      ::close(fd);
+      continue;
+    }
+    const uint64_t id = next_session_id_.fetch_add(1);
+    ++sessions_total_;
+    ++sessions_open_;
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session_threads_.emplace_back(
+        [this, fd, id] { SessionLoop(fd, id); });
+  }
+}
+
+void Server::SessionLoop(int fd, uint64_t session_id) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  HelloInfo hello;
+  hello.session_id = session_id;
+  hello.server_name = config_.name;
+  if (SendFrame(fd, FrameType::kHello, EncodeHello(hello)).ok()) {
+    std::string buffer;
+    bool alive = true;
+    while (alive) {
+      // Drain complete frames already buffered before blocking again.
+      Frame frame;
+      auto consumed = DecodeFrame(buffer.data(), buffer.size(), &frame);
+      if (!consumed.ok()) {
+        SendError(fd, consumed.status());
+        break;
+      }
+      if (*consumed > 0) {
+        buffer.erase(0, *consumed);
+        if (frame.type == FrameType::kClose) break;
+        if (frame.type != FrameType::kQuery) {
+          SendError(fd, Status::InvalidArgument(
+                            "unexpected frame type from client"));
+          break;
+        }
+        if (!HandleQuery(fd, frame.payload).ok()) break;
+        continue;
+      }
+      if (draining_.load()) {
+        SendError(fd, Status::Unavailable("server draining"));
+        break;
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, kPollMillis);
+      if (ready < 0) break;
+      if (ready == 0) continue;
+      char chunk[kRecvChunk];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;  // peer closed or error
+      bytes_in_ += static_cast<uint64_t>(n);
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+  }
+  ::close(fd);
+  --sessions_open_;
+}
+
+Status Server::HandleQuery(int fd, const std::string& sql) {
+  if (IsStatusCommand(sql)) {
+    MAMMOTH_ASSIGN_OR_RETURN(std::string payload,
+                             EncodeResult(StatusResult(stats())));
+    return SendFrame(fd, FrameType::kResult, payload);
+  }
+  auto ticket = admission_.Admit();
+  if (!ticket.ok()) {
+    // Typed rejection (kTimedOut / kUnavailable); the session survives.
+    return SendError(fd, ticket.status());
+  }
+  auto result = engine_.Execute(sql, ticket->context());
+  if (!result.ok()) {
+    ++queries_failed_;
+    return SendError(fd, result.status());
+  }
+  auto payload = EncodeResult(*result);
+  if (!payload.ok()) {
+    ++queries_failed_;
+    return SendError(fd, payload.status());
+  }
+  ++queries_ok_;
+  return SendFrame(fd, FrameType::kResult, *payload);
+}
+
+Status Server::SendFrame(int fd, FrameType type, std::string_view payload) {
+  const std::string bytes = EncodeFrame(type, payload);
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return Status::IOError("send(): connection lost");
+    sent += static_cast<size_t>(n);
+    bytes_out_ += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Server::SendError(int fd, const Status& error) {
+  return SendFrame(fd, FrameType::kError, EncodeError(error));
+}
+
+ServerStatsSnapshot Server::stats() const {
+  ServerStatsSnapshot s;
+  s.sessions_total = sessions_total_.load();
+  s.sessions_rejected = sessions_rejected_.load();
+  s.queries_ok = queries_ok_.load();
+  s.queries_failed = queries_failed_.load();
+  s.bytes_in = bytes_in_.load();
+  s.bytes_out = bytes_out_.load();
+  s.sessions_open = sessions_open_.load();
+  s.draining = draining_.load();
+  s.admission = admission_.stats();
+  return s;
+}
+
+mal::QueryResult Server::StatusResult(const ServerStatsSnapshot& s) {
+  BatPtr counters = Bat::NewString(nullptr);
+  BatPtr values = Bat::New(PhysType::kInt64);
+  auto row = [&](std::string_view name, uint64_t value) {
+    counters->AppendString(name);
+    values->Append<int64_t>(static_cast<int64_t>(value));
+  };
+  row("wire_version", kWireVersion);
+  row("draining", s.draining ? 1 : 0);
+  row("sessions_open", static_cast<uint64_t>(s.sessions_open));
+  row("sessions_total", s.sessions_total);
+  row("sessions_rejected", s.sessions_rejected);
+  row("queries_ok", s.queries_ok);
+  row("queries_failed", s.queries_failed);
+  row("queries_admitted", s.admission.admitted);
+  row("queries_queued_total", s.admission.queued_total);
+  row("queries_queued_now", static_cast<uint64_t>(s.admission.queued));
+  row("queries_inflight", static_cast<uint64_t>(s.admission.inflight));
+  row("queries_peak_inflight",
+      static_cast<uint64_t>(s.admission.peak_inflight));
+  row("queries_timed_out", s.admission.timed_out);
+  row("queries_rejected", s.admission.rejected);
+  row("bytes_in", s.bytes_in);
+  row("bytes_out", s.bytes_out);
+  mal::QueryResult result;
+  result.names = {"counter", "value"};
+  result.columns = {std::move(counters), std::move(values)};
+  return result;
+}
+
+}  // namespace mammoth::server

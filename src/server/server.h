@@ -1,0 +1,131 @@
+#ifndef MAMMOTH_SERVER_SERVER_H_
+#define MAMMOTH_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "parallel/task_pool.h"
+#include "server/admission.h"
+#include "server/wire.h"
+#include "sql/engine.h"
+
+namespace mammoth::server {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one back via port().
+  uint16_t port = 0;
+  /// Bound on concurrently connected sessions (each holds one thread);
+  /// connections past the bound are rejected with an Error frame.
+  int max_sessions = 32;
+  /// Front-door query concurrency control (see admission.h).
+  AdmissionConfig admission;
+  /// Workers in the shared kernel TaskPool; 0 uses DefaultThreadCount().
+  int threads = 0;
+  /// Name reported in the Hello frame.
+  std::string name = "mammothdb";
+};
+
+/// Monotonic counters + gauges exposed through stats() and the
+/// `SERVER STATUS` wire command.
+struct ServerStatsSnapshot {
+  uint64_t sessions_total = 0;  ///< connections ever accepted as sessions
+  uint64_t sessions_rejected = 0;  ///< bounced: session cap or draining
+  uint64_t queries_ok = 0;
+  uint64_t queries_failed = 0;  ///< SQL/protocol errors (not admission)
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  int sessions_open = 0;
+  bool draining = false;
+  AdmissionStats admission;
+};
+
+/// The MammothDB network front-end: a TCP server speaking the wire.h
+/// protocol, thread-per-connection over a bounded session pool. Each
+/// session runs statements through the shared sql::Engine (which
+/// serializes DDL/DML against concurrent SELECTs; see engine.h) after
+/// passing the AdmissionController, which bounds in-flight queries and
+/// hands each one an ExecContext over the server's single TaskPool.
+///
+/// Lifecycle: Start() binds and spawns the accept loop; BeginDrain()
+/// flips the server into reject mode (new connections and new queries
+/// get a kUnavailable Error frame; in-flight queries finish and deliver
+/// their results); Stop() drains and joins everything. The destructor
+/// calls Stop().
+class Server {
+ public:
+  explicit Server(const ServerConfig& config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts accepting. Fails with kIOError when the
+  /// address cannot be bound.
+  Status Start();
+
+  /// Stops admitting work: queued queries and new connections/queries
+  /// are rejected with typed Error frames; in-flight queries drain.
+  void BeginDrain();
+
+  /// BeginDrain() + waits for sessions to drain, then joins all server
+  /// threads and closes the listening socket. Idempotent.
+  void Stop();
+
+  /// The actual listening port (after Start()).
+  uint16_t port() const { return port_; }
+
+  /// The embedded engine. Populate it (e.g. CREATE/INSERT) before
+  /// Start(); once sessions are live all access must go through
+  /// Execute(), whose internal lock arbitrates readers and writers.
+  sql::Engine* engine() { return &engine_; }
+
+  ServerStatsSnapshot stats() const;
+
+  /// The `SERVER STATUS` result relation: (counter:str, value:lng).
+  static mal::QueryResult StatusResult(const ServerStatsSnapshot& s);
+
+ private:
+  void AcceptLoop();
+  void SessionLoop(int fd, uint64_t session_id);
+  /// Handles one Query frame's SQL; always answers with exactly one
+  /// Result or Error frame.
+  Status HandleQuery(int fd, const std::string& sql);
+  Status SendFrame(int fd, FrameType type, std::string_view payload);
+  Status SendError(int fd, const Status& error);
+
+  const ServerConfig config_;
+  sql::Engine engine_;
+  std::unique_ptr<parallel::TaskPool> pool_;
+  AdmissionController admission_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};  // accept loop exit (after drain)
+  std::atomic<bool> stopped_{false};   // Stop() idempotence
+  std::thread accept_thread_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::thread> session_threads_;  // joined in Stop()
+  std::atomic<int> sessions_open_{0};
+  std::atomic<uint64_t> next_session_id_{1};
+
+  std::atomic<uint64_t> sessions_total_{0};
+  std::atomic<uint64_t> sessions_rejected_{0};
+  std::atomic<uint64_t> queries_ok_{0};
+  std::atomic<uint64_t> queries_failed_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+};
+
+}  // namespace mammoth::server
+
+#endif  // MAMMOTH_SERVER_SERVER_H_

@@ -1,0 +1,286 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+#include "core/bat.h"
+#include "core/string_heap.h"
+
+namespace mammoth::server {
+
+namespace {
+
+// --- little-endian primitives ---------------------------------------------
+
+template <typename T>
+void AppendInt(std::string* out, T v) {
+  char buf[sizeof(T)];
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<char>((static_cast<uint64_t>(v) >> (8 * i)) & 0xff);
+  }
+  out->append(buf, sizeof(T));
+}
+
+/// Sequential bounds-checked reader over a payload. Every Read* returns
+/// false once the payload is exhausted; callers turn that into one
+/// "truncated" error instead of checking lengths inline.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool ReadInt(T* v) {
+    if (data_.size() - pos_ < sizeof(T)) return false;
+    uint64_t acc = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      acc |= static_cast<uint64_t>(
+                 static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *v = static_cast<T>(acc);
+    return true;
+  }
+
+  bool ReadBytes(size_t n, std::string_view* out) {
+    if (data_.size() - pos_ < n) return false;
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("wire: truncated ") + what);
+}
+
+void AppendString(std::string* out, std::string_view s) {
+  AppendInt<uint16_t>(out, static_cast<uint16_t>(s.size()));
+  out->append(s);
+}
+
+bool ReadString(Reader* r, std::string* out) {
+  uint16_t len = 0;
+  std::string_view bytes;
+  if (!r->ReadInt(&len) || !r->ReadBytes(len, &bytes)) return false;
+  out->assign(bytes);
+  return true;
+}
+
+bool ValidType(uint8_t t) {
+  return t <= static_cast<uint8_t>(PhysType::kStr);
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  AppendInt<uint32_t>(&out, kMagic);
+  AppendInt<uint16_t>(&out, kWireVersion);
+  AppendInt<uint8_t>(&out, static_cast<uint8_t>(type));
+  AppendInt<uint8_t>(&out, 0);  // reserved
+  AppendInt<uint32_t>(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+Result<size_t> DecodeFrame(const char* data, size_t size, Frame* out) {
+  if (size < kHeaderBytes) return size_t{0};
+  Reader r(std::string_view(data, kHeaderBytes));
+  uint32_t magic = 0, length = 0;
+  uint16_t version = 0;
+  uint8_t type = 0, reserved = 0;
+  r.ReadInt(&magic);
+  r.ReadInt(&version);
+  r.ReadInt(&type);
+  r.ReadInt(&reserved);
+  r.ReadInt(&length);
+  if (magic != kMagic) return Status::InvalidArgument("wire: bad magic");
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("wire: protocol version " +
+                                   std::to_string(version) + " != " +
+                                   std::to_string(kWireVersion));
+  }
+  if (type < static_cast<uint8_t>(FrameType::kHello) ||
+      type > static_cast<uint8_t>(FrameType::kClose)) {
+    return Status::InvalidArgument("wire: unknown frame type " +
+                                   std::to_string(type));
+  }
+  if (reserved != 0) {
+    return Status::InvalidArgument("wire: nonzero reserved byte");
+  }
+  if (length > kMaxPayloadBytes) {
+    return Status::InvalidArgument("wire: oversized payload (" +
+                                   std::to_string(length) + " bytes)");
+  }
+  if (size - kHeaderBytes < length) return size_t{0};
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(data + kHeaderBytes, length);
+  return kHeaderBytes + static_cast<size_t>(length);
+}
+
+// --- Hello -----------------------------------------------------------------
+
+std::string EncodeHello(const HelloInfo& hello) {
+  std::string out;
+  AppendInt<uint64_t>(&out, hello.session_id);
+  AppendString(&out, hello.server_name);
+  return out;
+}
+
+Result<HelloInfo> DecodeHello(std::string_view payload) {
+  Reader r(payload);
+  HelloInfo hello;
+  if (!r.ReadInt(&hello.session_id) || !ReadString(&r, &hello.server_name) ||
+      !r.done()) {
+    return Truncated("hello");
+  }
+  return hello;
+}
+
+// --- Error -----------------------------------------------------------------
+
+std::string EncodeError(const Status& error) {
+  std::string out;
+  AppendInt<uint8_t>(&out, static_cast<uint8_t>(error.code()));
+  AppendInt<uint32_t>(&out, static_cast<uint32_t>(error.message().size()));
+  out.append(error.message());
+  return out;
+}
+
+Result<WireError> DecodeError(std::string_view payload) {
+  Reader r(payload);
+  uint8_t code = 0;
+  uint32_t len = 0;
+  std::string_view msg;
+  if (!r.ReadInt(&code) || !r.ReadInt(&len) || !r.ReadBytes(len, &msg) ||
+      !r.done()) {
+    return Truncated("error frame");
+  }
+  if (code > static_cast<uint8_t>(StatusCode::kTimedOut)) {
+    return Status::InvalidArgument("wire: unknown status code " +
+                                   std::to_string(code));
+  }
+  WireError e;
+  e.code = static_cast<StatusCode>(code);
+  e.message.assign(msg);
+  return e;
+}
+
+// --- Result ----------------------------------------------------------------
+
+Result<std::string> EncodeResult(const mal::QueryResult& result) {
+  std::string out;
+  AppendInt<uint32_t>(&out, static_cast<uint32_t>(result.columns.size()));
+  const size_t nrows = result.RowCount();
+  AppendInt<uint64_t>(&out, nrows);
+  for (size_t c = 0; c < result.columns.size(); ++c) {
+    const BatPtr& col = result.columns[c];
+    if (col == nullptr) return Status::Internal("wire: null result column");
+    if (col->Count() != nrows) {
+      return Status::Internal("wire: misaligned result columns");
+    }
+    AppendString(&out, c < result.names.size() ? result.names[c] : "");
+    AppendInt<uint8_t>(&out, static_cast<uint8_t>(col->type()));
+    AppendInt<uint8_t>(&out, col->IsDenseTail() ? 1 : 0);
+    if (col->IsDenseTail()) {
+      AppendInt<uint64_t>(&out, col->tseqbase());
+    } else if (col->type() == PhysType::kStr) {
+      // Re-intern into a compact per-column heap: the slice carries
+      // exactly this column's strings, and the offsets we ship are
+      // offsets into that slice, so the decoder restores it as-is.
+      StringHeap slice;
+      std::string offsets;
+      offsets.reserve(nrows * sizeof(uint64_t));
+      for (size_t i = 0; i < nrows; ++i) {
+        AppendInt<uint64_t>(&offsets, slice.Put(col->StringAt(i)));
+      }
+      AppendInt<uint64_t>(&out, slice.ByteSize());
+      out.append(slice.RawBytes(), slice.ByteSize());
+      out.append(offsets);
+    } else {
+      AppendInt<uint64_t>(&out, 0);  // heap_len: none for fixed width
+      out.append(
+          static_cast<const char*>(
+              static_cast<const void*>(col->tail().raw_data())),
+          nrows * TypeWidth(col->type()));
+    }
+  }
+  return out;
+}
+
+Result<mal::QueryResult> DecodeResult(std::string_view payload) {
+  Reader r(payload);
+  uint32_t ncols = 0;
+  uint64_t nrows = 0;
+  if (!r.ReadInt(&ncols) || !r.ReadInt(&nrows)) return Truncated("result");
+  mal::QueryResult result;
+  for (uint32_t c = 0; c < ncols; ++c) {
+    std::string name;
+    uint8_t type = 0, dense = 0;
+    uint64_t heap_len = 0;
+    if (!ReadString(&r, &name) || !r.ReadInt(&type) || !r.ReadInt(&dense) ||
+        !r.ReadInt(&heap_len)) {
+      return Truncated("result column header");
+    }
+    if (!ValidType(type)) {
+      return Status::InvalidArgument("wire: unknown column type " +
+                                     std::to_string(type));
+    }
+    const PhysType pt = static_cast<PhysType>(type);
+    BatPtr col;
+    if (dense != 0) {
+      if (pt != PhysType::kOid) {
+        return Status::InvalidArgument("wire: dense tail on non-oid column");
+      }
+      col = Bat::NewDense(heap_len, nrows);  // heap_len slot = tseqbase
+    } else if (pt == PhysType::kStr) {
+      std::string_view heap_bytes, offset_bytes;
+      if (!r.ReadBytes(heap_len, &heap_bytes) ||
+          !r.ReadBytes(nrows * sizeof(uint64_t), &offset_bytes)) {
+        return Truncated("string column");
+      }
+      if (nrows > 0 &&
+          (heap_len == 0 || heap_bytes[heap_len - 1] != '\0')) {
+        return Status::InvalidArgument("wire: unterminated string heap");
+      }
+      auto heap = std::make_shared<StringHeap>();
+      heap->Restore(heap_bytes.data(), heap_bytes.size());
+      col = Bat::NewString(heap);
+      col->Reserve(nrows);
+      for (uint64_t i = 0; i < nrows; ++i) {
+        uint64_t off = 0;
+        std::memcpy(&off, offset_bytes.data() + i * sizeof(uint64_t),
+                    sizeof(uint64_t));
+        if (off >= heap_len) {
+          return Status::InvalidArgument("wire: string offset out of heap");
+        }
+        col->tail().Append<uint64_t>(off);
+      }
+    } else {
+      if (heap_len != 0) {
+        return Status::InvalidArgument("wire: heap on fixed-width column");
+      }
+      std::string_view tail_bytes;
+      if (!r.ReadBytes(nrows * TypeWidth(pt), &tail_bytes)) {
+        return Truncated("column tail");
+      }
+      col = Bat::New(pt);
+      col->AppendRaw(tail_bytes.data(), nrows);
+    }
+    result.names.push_back(std::move(name));
+    result.columns.push_back(std::move(col));
+  }
+  if (!r.done()) {
+    return Status::InvalidArgument("wire: trailing bytes after result");
+  }
+  return result;
+}
+
+}  // namespace mammoth::server

@@ -1,0 +1,108 @@
+#ifndef MAMMOTH_SERVER_WIRE_H_
+#define MAMMOTH_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "mal/interpreter.h"
+
+namespace mammoth::server {
+
+/// The MammothDB wire protocol: a small MAPI-inspired framing layer.
+/// MonetDB's MAPI ships query results as text blocks; ours keeps the
+/// *columnar* shape of the kernel all the way to the socket — a Result
+/// frame is a sequence of typed tail arrays plus compact string-heap
+/// slices, never tuple-at-a-time rows.
+///
+/// Every frame is `Header ++ payload`, header fixed at 12 bytes, all
+/// integers little-endian:
+///
+///   offset  size  field
+///   0       4     magic   0x4D4D5448 ("MMTH")
+///   4       2     version (kWireVersion; mismatch is a hard error)
+///   6       1     frame type (FrameType)
+///   7       1     reserved (must be 0)
+///   8       4     payload length in bytes (<= kMaxPayloadBytes)
+///
+/// Conversation: server sends Hello on accept; the client then issues
+/// Query frames and receives exactly one Result *or* Error frame per
+/// query; Close (either side) ends the session. A server that is
+/// draining answers new connections/queries with an Error frame whose
+/// status code is kUnavailable; an admission-queue timeout produces
+/// kTimedOut.
+inline constexpr uint32_t kMagic = 0x4D4D5448;  // "MMTH"
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 28;  // 256 MB
+inline constexpr size_t kHeaderBytes = 12;
+
+enum class FrameType : uint8_t {
+  kHello = 1,  ///< server -> client: session id + server name
+  kQuery = 2,  ///< client -> server: payload is the SQL text
+  kResult = 3, ///< server -> client: columnar result set (see below)
+  kError = 4,  ///< server -> client: status code + message
+  kClose = 5,  ///< either side: end of session (empty payload)
+};
+
+/// A decoded frame (payload still in wire encoding).
+struct Frame {
+  FrameType type = FrameType::kClose;
+  std::string payload;
+};
+
+/// Frames `payload` under `type`.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Attempts to decode one frame from the front of [data, data+size).
+/// Returns the number of bytes consumed (header + payload) on success,
+/// 0 when the buffer does not yet hold a complete frame, or an error
+/// Status for a corrupt header (bad magic / version / type / length) —
+/// corrupt streams cannot be resynchronized and must be dropped.
+Result<size_t> DecodeFrame(const char* data, size_t size, Frame* out);
+
+/// --- Hello ---------------------------------------------------------------
+struct HelloInfo {
+  uint64_t session_id = 0;
+  std::string server_name;
+};
+std::string EncodeHello(const HelloInfo& hello);
+Result<HelloInfo> DecodeHello(std::string_view payload);
+
+/// --- Error ---------------------------------------------------------------
+/// Error payloads carry the StatusCode as a typed byte, so clients can
+/// distinguish e.g. an admission timeout (kTimedOut) from a SQL error.
+std::string EncodeError(const Status& error);
+/// Decodes an Error payload back into the Status it encodes.
+/// (Returned inside a wrapper: Result<Status> would conflate transport
+/// failure with the transported error.)
+struct WireError {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  Status ToStatus() const { return Status(code, message); }
+};
+Result<WireError> DecodeError(std::string_view payload);
+
+/// --- Result --------------------------------------------------------------
+/// Columnar result encoding:
+///
+///   u32 ncols, u64 nrows
+///   per column:
+///     u16 name_len, name bytes
+///     u8  phys type (PhysType)
+///     u8  dense flag (oid columns only)
+///     dense:   u64 tseqbase                      (no tail array)
+///     string:  u64 heap_len, heap bytes,         (compact slice: only the
+///              nrows x u64 offsets into it        strings this column uses)
+///     other:   nrows x TypeWidth(type) raw tail bytes
+///
+/// The string-heap slice is rebuilt per column by interning the column's
+/// values into a fresh heap, so the frame never leaks unrelated strings
+/// from the (shared, table-wide) source heap, and the decoder restores
+/// it zero-copy: heap bytes + offsets are usable as-is.
+Result<std::string> EncodeResult(const mal::QueryResult& result);
+Result<mal::QueryResult> DecodeResult(std::string_view payload);
+
+}  // namespace mammoth::server
+
+#endif  // MAMMOTH_SERVER_WIRE_H_

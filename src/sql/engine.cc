@@ -252,17 +252,25 @@ Result<mal::Program> Engine::Compile(const SelectStmt& stmt) const {
   return prog;
 }
 
-Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt) {
+Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt,
+                                           const parallel::ExecContext& ctx) {
   MAMMOTH_ASSIGN_OR_RETURN(mal::Program prog, Compile(stmt));
-  if (optimize_) {
-    last_opt_ = mal::OptimizePipeline(&prog);
-  } else {
-    last_opt_ = mal::PipelineReport{};
+  mal::PipelineReport opt_report;
+  if (optimize_) opt_report = mal::OptimizePipeline(&prog);
+  std::string plan = prog.ToString();
+  mal::Interpreter interp(catalog_.get(), recycler_, ctx);
+  mal::RunStats run_stats;
+  {
+    std::lock_guard<std::mutex> lock(intro_mu_);
+    last_opt_ = opt_report;
+    last_plan_ = std::move(plan);
   }
-  last_plan_ = prog.ToString();
-  mal::Interpreter interp(catalog_.get(), recycler_);
   MAMMOTH_ASSIGN_OR_RETURN(mal::QueryResult result,
-                           interp.Run(prog, &last_stats_));
+                           interp.Run(prog, &run_stats));
+  {
+    std::lock_guard<std::mutex> lock(intro_mu_);
+    last_stats_ = run_stats;
+  }
 
   auto find_label = [&](const std::string& label) -> Result<size_t> {
     for (size_t i = 0; i < result.names.size(); ++i) {
@@ -280,10 +288,10 @@ Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt) {
       MAMMOTH_ASSIGN_OR_RETURN(size_t idx, find_label(h.label));
       MAMMOTH_ASSIGN_OR_RETURN(
           cands, algebra::ThetaSelect(result.columns[idx], cands, h.literal,
-                                      h.op));
+                                      h.op, ctx));
     }
     for (BatPtr& col : result.columns) {
-      MAMMOTH_ASSIGN_OR_RETURN(col, algebra::Project(cands, col));
+      MAMMOTH_ASSIGN_OR_RETURN(col, algebra::Project(cands, col, ctx));
     }
   }
 
@@ -296,13 +304,14 @@ Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt) {
       MAMMOTH_ASSIGN_OR_RETURN(size_t idx, find_label(key.label));
       MAMMOTH_ASSIGN_OR_RETURN(
           algebra::RefineSortResult r,
-          algebra::RefineSort(result.columns[idx], order, ties, key.desc));
+          algebra::RefineSort(result.columns[idx], order, ties, key.desc,
+                              ctx));
       order = std::move(r.order);
       ties = std::move(r.tie_groups);
       if (r.ngroups == order->Count()) break;  // order is already total
     }
     for (BatPtr& col : result.columns) {
-      MAMMOTH_ASSIGN_OR_RETURN(col, algebra::Project(order, col));
+      MAMMOTH_ASSIGN_OR_RETURN(col, algebra::Project(order, col, ctx));
     }
   }
   // LIMIT: positional slice — O(k) thanks to the dense-head design.
@@ -311,8 +320,23 @@ Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt) {
     const BatPtr slice =
         Bat::NewDense(0, static_cast<size_t>(stmt.limit));
     for (BatPtr& col : result.columns) {
-      MAMMOTH_ASSIGN_OR_RETURN(col, algebra::Project(slice, col));
+      MAMMOTH_ASSIGN_OR_RETURN(col, algebra::Project(slice, col, ctx));
     }
+  }
+  // Snapshot rule (see engine.h): string result columns share the
+  // table's StringHeap, which a later INSERT may append to (and
+  // reallocate) once the shared lock is gone — re-intern them into
+  // private compact heaps so the result is immutable.
+  for (BatPtr& col : result.columns) {
+    if (col == nullptr || col->type() != PhysType::kStr) continue;
+    BatPtr detached = Bat::NewString(nullptr);
+    detached->Reserve(col->Count());
+    for (size_t i = 0; i < col->Count(); ++i) {
+      detached->AppendString(col->StringAt(i));
+    }
+    detached->set_hseqbase(col->hseqbase());
+    detached->mutable_props() = col->props();
+    col = std::move(detached);
   }
   return result;
 }
@@ -439,9 +463,16 @@ Status Engine::RunUpdate(const UpdateStmt& stmt) {
   return t->Delete(oids);
 }
 
-Result<mal::QueryResult> Engine::Execute(const std::string& statement) {
+Result<mal::QueryResult> Engine::Execute(const std::string& statement,
+                                         const parallel::ExecContext& ctx) {
   MAMMOTH_ASSIGN_OR_RETURN(Statement stmt, Parse(statement));
-  if (auto* sel = std::get_if<SelectStmt>(&stmt)) return RunSelect(*sel);
+  // Reads share the lock; everything that mutates catalog or table
+  // state is exclusive (concurrency rule in engine.h).
+  if (auto* sel = std::get_if<SelectStmt>(&stmt)) {
+    std::shared_lock<std::shared_mutex> lock(rw_mu_);
+    return RunSelect(*sel, ctx);
+  }
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
   if (auto* cre = std::get_if<CreateStmt>(&stmt)) {
     MAMMOTH_RETURN_IF_ERROR(RunCreate(*cre));
     return mal::QueryResult{};
@@ -458,7 +489,9 @@ Result<mal::QueryResult> Engine::Execute(const std::string& statement) {
   return mal::QueryResult{};
 }
 
-Result<mal::QueryResult> Engine::ExecuteScript(const std::string& script) {
+Result<mal::QueryResult> Engine::ExecuteScript(const std::string& script,
+                                               const parallel::ExecContext&
+                                                   ctx) {
   mal::QueryResult last;
   size_t start = 0;
   while (start < script.size()) {
@@ -468,10 +501,25 @@ Result<mal::QueryResult> Engine::ExecuteScript(const std::string& script) {
     start = end + 1;
     // Skip empty fragments (whitespace between statements).
     if (stmt.find_first_not_of(" \t\r\n") == std::string::npos) continue;
-    MAMMOTH_ASSIGN_OR_RETURN(mal::QueryResult r, Execute(stmt));
+    MAMMOTH_ASSIGN_OR_RETURN(mal::QueryResult r, Execute(stmt, ctx));
     if (!r.names.empty()) last = std::move(r);
   }
   return last;
+}
+
+mal::RunStats Engine::last_run_stats() const {
+  std::lock_guard<std::mutex> lock(intro_mu_);
+  return last_stats_;
+}
+
+mal::PipelineReport Engine::last_opt_report() const {
+  std::lock_guard<std::mutex> lock(intro_mu_);
+  return last_opt_;
+}
+
+std::string Engine::last_plan_text() const {
+  std::lock_guard<std::mutex> lock(intro_mu_);
+  return last_plan_;
 }
 
 }  // namespace mammoth::sql

@@ -2,6 +2,8 @@
 #define MAMMOTH_SQL_ENGINE_H_
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "common/result.h"
@@ -9,6 +11,7 @@
 #include "mal/interpreter.h"
 #include "mal/optimizer.h"
 #include "mal/program.h"
+#include "parallel/exec_context.h"
 #include "recycle/recycler.h"
 #include "sql/ast.h"
 
@@ -18,15 +21,44 @@ namespace mammoth::sql {
 /// MAL programs over the columnar back-end, runs the optimizer pipeline,
 /// and interprets the result. DDL/DML statements act on the catalog
 /// directly (INSERT/DELETE drive the delta machinery of core/table.h).
+///
+/// ### Concurrency rule (server sessions)
+///
+/// Execute() is safe to call from many threads at once. Internally a
+/// reader/writer lock arbitrates statement classes:
+///
+///   - SELECT takes the lock *shared*: any number of reads run in
+///     parallel (their kernel parallelism is whatever ExecContext each
+///     one carries; concurrent ParallelFor calls on one pool serialize).
+///   - CREATE / INSERT / UPDATE / DELETE take the lock *exclusive*: a
+///     write waits for in-flight reads and blocks new ones, so readers
+///     never observe a half-applied delta or a reallocating StringHeap.
+///
+/// Returned results are immutable snapshots: string result columns are
+/// re-interned into private heaps before the lock is released, so a
+/// result outlives any later DML on the tables it came from.
+///
+/// Not covered by the lock (single-threaded use only): catalog() and
+/// Compile() direct access, AttachRecycler()/EnableOptimizer() setup
+/// (do it before going concurrent; the recycler itself is not
+/// thread-safe, so servers leave it detached), and the last_*()
+/// introspection accessors — those are internally synchronized but
+/// report *some* recent SELECT under concurrency, not a specific one.
 class Engine {
  public:
   Engine() : catalog_(std::make_shared<Catalog>()) {}
 
-  /// Executes one statement. DDL/DML return an empty result.
-  Result<mal::QueryResult> Execute(const std::string& statement);
+  /// Executes one statement. DDL/DML return an empty result. `ctx`
+  /// scopes the kernel parallelism of this statement (a server passes
+  /// the admission-granted slice of its shared pool).
+  Result<mal::QueryResult> Execute(
+      const std::string& statement,
+      const parallel::ExecContext& ctx = parallel::ExecContext::Default());
 
   /// Executes a ';'-separated script, returning the last SELECT's result.
-  Result<mal::QueryResult> ExecuteScript(const std::string& script);
+  Result<mal::QueryResult> ExecuteScript(
+      const std::string& script,
+      const parallel::ExecContext& ctx = parallel::ExecContext::Default());
 
   /// Compiles a parsed SELECT to MAL without running it (also used by
   /// tests and the quickstart example to print plans).
@@ -40,13 +72,15 @@ class Engine {
   /// Toggles the MAL optimizer pipeline (default on).
   void EnableOptimizer(bool on) { optimize_ = on; }
 
-  /// Introspection for the last executed SELECT.
-  const mal::RunStats& last_run_stats() const { return last_stats_; }
-  const mal::PipelineReport& last_opt_report() const { return last_opt_; }
-  const std::string& last_plan_text() const { return last_plan_; }
+  /// Introspection for the last executed SELECT (by value: the fields
+  /// are mutex-guarded against concurrent SELECTs).
+  mal::RunStats last_run_stats() const;
+  mal::PipelineReport last_opt_report() const;
+  std::string last_plan_text() const;
 
  private:
-  Result<mal::QueryResult> RunSelect(const SelectStmt& stmt);
+  Result<mal::QueryResult> RunSelect(const SelectStmt& stmt,
+                                     const parallel::ExecContext& ctx);
   Status RunCreate(const CreateStmt& stmt);
   Status RunInsert(const InsertStmt& stmt);
   Status RunDelete(const DeleteStmt& stmt);
@@ -55,6 +89,12 @@ class Engine {
   std::shared_ptr<Catalog> catalog_;
   recycle::Recycler* recycler_ = nullptr;
   bool optimize_ = true;
+
+  /// Readers (SELECT) shared, writers (DDL/DML) exclusive; see above.
+  std::shared_mutex rw_mu_;
+  /// Guards the last_* introspection fields (written under rw_mu_ held
+  /// shared, so they need their own lock).
+  mutable std::mutex intro_mu_;
   mal::RunStats last_stats_;
   mal::PipelineReport last_opt_;
   std::string last_plan_;

@@ -1,0 +1,416 @@
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/admission.h"
+#include "server/client.h"
+#include "server/wire.h"
+#include "sql/engine.h"
+
+namespace mammoth {
+namespace {
+
+using server::AdmissionConfig;
+using server::AdmissionController;
+using server::Client;
+using server::EncodeResult;
+using server::Server;
+using server::ServerConfig;
+
+// Deterministic dataset shared by the server engine and the in-process
+// reference engine; sized to stay quick under TSan.
+constexpr int kRows = 2000;
+
+std::string SetupScript() {
+  std::string script =
+      "CREATE TABLE sensors (id INT, temp INT, room VARCHAR(16));"
+      "CREATE TABLE rooms (room VARCHAR(16), floor INT);"
+      "INSERT INTO rooms VALUES ('lab', 1), ('office', 2), ('hall', 3);";
+  script += "INSERT INTO sensors VALUES ";
+  for (int i = 0; i < kRows; ++i) {
+    if (i > 0) script += ", ";
+    const char* room =
+        i % 3 == 0 ? "lab" : (i % 3 == 1 ? "office" : "hall");
+    script += "(" + std::to_string(i) + ", " +
+              std::to_string((i * 37) % 500) + ", '" + room + "')";
+  }
+  script += ";";
+  return script;
+}
+
+const std::vector<std::string>& Queries() {
+  static const std::vector<std::string> queries = {
+      "SELECT id, temp FROM sensors WHERE temp >= 100 AND temp <= 200",
+      "SELECT room, COUNT(*), SUM(temp) FROM sensors GROUP BY room",
+      "SELECT temp FROM sensors WHERE room = 'lab' ORDER BY temp DESC "
+      "LIMIT 25",
+      "SELECT MIN(temp), MAX(temp), COUNT(*) FROM sensors",
+      "SELECT sensors.id, rooms.floor FROM sensors, rooms "
+      "WHERE sensors.room = rooms.room AND sensors.temp < 40",
+  };
+  return queries;
+}
+
+/// Wire encodings of every query run on a fresh in-process engine — the
+/// byte-exact yardstick remote sessions must reproduce.
+std::vector<std::string> InProcessEncodings() {
+  sql::Engine engine;
+  auto setup = engine.ExecuteScript(SetupScript());
+  EXPECT_TRUE(setup.ok()) << setup.status().ToString();
+  std::vector<std::string> encodings;
+  for (const std::string& q : Queries()) {
+    auto result = engine.Execute(q);
+    EXPECT_TRUE(result.ok()) << q << ": " << result.status().ToString();
+    auto payload = EncodeResult(*result);
+    EXPECT_TRUE(payload.ok());
+    encodings.push_back(*payload);
+  }
+  return encodings;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerConfig config = {}) {
+    config.port = 0;  // ephemeral
+    server_ = std::make_unique<Server>(config);
+    auto setup = server_->engine()->ExecuteScript(SetupScript());
+    ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  Client Connect() {
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  std::map<std::string, int64_t> ServerStatus(Client* client) {
+    auto r = client->Query("SERVER STATUS");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    std::map<std::string, int64_t> counters;
+    for (size_t i = 0; i < r->RowCount(); ++i) {
+      counters[std::string(r->columns[0]->StringAt(i))] =
+          r->columns[1]->ValueAt<int64_t>(i);
+    }
+    return counters;
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+// -------------------------------------------------- admission (direct) --
+
+TEST(AdmissionTest, FifoGrantOrder) {
+  AdmissionConfig config;
+  config.max_inflight = 1;
+  config.queue_timeout_ms = 5000;
+  AdmissionController ctrl(config, nullptr);
+  auto first = ctrl.Admit();
+  ASSERT_TRUE(first.ok());
+
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&, i] {
+      // Stagger arrival so the FIFO queue order is deterministic.
+      std::this_thread::sleep_for(std::chrono::milliseconds(30 * (i + 1)));
+      auto t = ctrl.Admit();
+      ASSERT_TRUE(t.ok());
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(i);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  { auto release = std::move(*first); }  // frees the slot: waiter 0's turn
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  const auto s = ctrl.stats();
+  EXPECT_EQ(s.admitted, 4u);
+  EXPECT_EQ(s.queued_total, 3u);
+  EXPECT_EQ(s.peak_inflight, 1);
+  EXPECT_EQ(s.timed_out, 0u);
+}
+
+TEST(AdmissionTest, QueueTimeoutIsTyped) {
+  AdmissionConfig config;
+  config.max_inflight = 0;  // nothing ever admitted
+  config.queue_timeout_ms = 20;
+  AdmissionController ctrl(config, nullptr);
+  auto t = ctrl.Admit();
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kTimedOut);
+  EXPECT_EQ(ctrl.stats().timed_out, 1u);
+  EXPECT_EQ(ctrl.stats().queued, 0);  // timed-out waiter unlinked itself
+}
+
+TEST(AdmissionTest, FullQueueRejectsImmediately) {
+  AdmissionConfig config;
+  config.max_inflight = 0;
+  config.max_queue = 0;
+  AdmissionController ctrl(config, nullptr);
+  auto t = ctrl.Admit();
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ctrl.stats().rejected, 1u);
+}
+
+TEST(AdmissionTest, ShutdownAbandonsWaiters) {
+  AdmissionConfig config;
+  config.max_inflight = 0;
+  config.queue_timeout_ms = 10000;
+  AdmissionController ctrl(config, nullptr);
+  std::thread waiter([&] {
+    auto t = ctrl.Admit();
+    ASSERT_FALSE(t.ok());
+    EXPECT_EQ(t.status().code(), StatusCode::kUnavailable);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ctrl.Shutdown();
+  waiter.join();
+  EXPECT_FALSE(ctrl.Admit().ok());  // post-shutdown admits fail too
+}
+
+// ----------------------------------------------------- server sessions --
+
+TEST_F(ServerTest, HelloHandshake) {
+  StartServer();
+  Client client = Connect();
+  EXPECT_GT(client.hello().session_id, 0u);
+  EXPECT_EQ(client.hello().server_name, "mammothdb");
+}
+
+TEST_F(ServerTest, SingleSessionMatchesInProcessBitForBit) {
+  StartServer();
+  const std::vector<std::string> expected = InProcessEncodings();
+  Client client = Connect();
+  for (size_t q = 0; q < Queries().size(); ++q) {
+    auto remote = client.Query(Queries()[q]);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    auto encoded = EncodeResult(*remote);
+    ASSERT_TRUE(encoded.ok());
+    EXPECT_EQ(*encoded, expected[q]) << Queries()[q];
+  }
+  client.Close();
+}
+
+TEST_F(ServerTest, SqlErrorsAreTypedAndSessionSurvives) {
+  StartServer();
+  Client client = Connect();
+  auto bad = client.Query("SELECT nope FROM sensors");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  auto good = client.Query("SELECT COUNT(*) FROM sensors");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good->columns[0]->ValueAt<int64_t>(0), kRows);
+}
+
+TEST_F(ServerTest, SixteenConcurrentSessionsBitIdentical) {
+  ServerConfig config;
+  config.max_sessions = 24;
+  config.admission.max_inflight = 8;
+  StartServer(config);
+  const std::vector<std::string> expected = InProcessEncodings();
+
+  constexpr int kClients = 16;
+  constexpr int kReps = 3;
+  std::atomic<int> mismatches{0}, failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int rep = 0; rep < kReps; ++rep) {
+        // Different clients walk the query list from different offsets.
+        for (size_t q = 0; q < Queries().size(); ++q) {
+          const size_t idx = (q + t) % Queries().size();
+          auto remote = client->Query(Queries()[idx]);
+          if (!remote.ok()) {
+            ++failures;
+            continue;
+          }
+          auto encoded = EncodeResult(*remote);
+          if (!encoded.ok() || *encoded != expected[idx]) ++mismatches;
+        }
+      }
+      client->Close();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  Client probe = Connect();
+  auto counters = ServerStatus(&probe);
+  EXPECT_EQ(counters["queries_ok"],
+            kClients * kReps * static_cast<int64_t>(Queries().size()));
+  EXPECT_EQ(counters["queries_failed"], 0);
+  EXPECT_LE(counters["queries_peak_inflight"], 8);
+  EXPECT_EQ(counters["sessions_total"], kClients + 1);
+}
+
+TEST_F(ServerTest, ConcurrentReadersAndWriters) {
+  StartServer();
+  // Writers build private tables while readers hammer the shared one:
+  // exercises the engine's reader/writer lock under TSan.
+  constexpr int kWriters = 3, kReaders = 5, kWriterRows = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      auto client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      const std::string table = "w" + std::to_string(w);
+      if (!client->Query("CREATE TABLE " + table + " (v INT)").ok()) {
+        ++failures;
+      }
+      for (int i = 0; i < kWriterRows; ++i) {
+        if (!client
+                 ->Query("INSERT INTO " + table + " VALUES (" +
+                         std::to_string(i) + ")")
+                 .ok()) {
+          ++failures;
+        }
+      }
+      auto sum = client->Query("SELECT SUM(v) FROM " + table);
+      if (!sum.ok() ||
+          sum->columns[0]->ValueAt<int64_t>(0) !=
+              kWriterRows * (kWriterRows - 1) / 2) {
+        ++failures;
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      auto client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < 10; ++i) {
+        auto count = client->Query(
+            "SELECT room, COUNT(*) FROM sensors GROUP BY room");
+        if (!count.ok() || count->RowCount() != 3) ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ------------------------------------------------ admission (over wire) --
+
+TEST_F(ServerTest, AdmissionTimeoutSendsTypedErrorFrame) {
+  ServerConfig config;
+  config.admission.max_inflight = 0;  // every query must time out
+  config.admission.queue_timeout_ms = 20;
+  StartServer(config);
+  Client client = Connect();
+  auto r = client.Query("SELECT COUNT(*) FROM sensors");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut);
+  // SERVER STATUS bypasses admission, so the session can still report.
+  auto counters = ServerStatus(&client);
+  EXPECT_GE(counters["queries_timed_out"], 1);
+  EXPECT_EQ(counters["queries_admitted"], 0);
+}
+
+TEST_F(ServerTest, InflightBoundHoldsUnderHammering) {
+  ServerConfig config;
+  config.admission.max_inflight = 2;
+  config.admission.queue_timeout_ms = 30000;
+  StartServer(config);
+  constexpr int kClients = 8, kQueriesEach = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      auto client = Client::Connect("127.0.0.1", server_->port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kQueriesEach; ++i) {
+        if (!client->Query("SELECT SUM(temp) FROM sensors").ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  Client probe = Connect();
+  auto counters = ServerStatus(&probe);
+  EXPECT_EQ(counters["queries_admitted"], kClients * kQueriesEach);
+  EXPECT_GE(counters["queries_peak_inflight"], 1);
+  EXPECT_LE(counters["queries_peak_inflight"], 2);  // the enforced bound
+  EXPECT_EQ(counters["queries_timed_out"], 0);
+}
+
+// ------------------------------------------------------------ shutdown --
+
+TEST_F(ServerTest, SessionLimitRejectsWithErrorFrame) {
+  ServerConfig config;
+  config.max_sessions = 1;
+  StartServer(config);
+  Client first = Connect();
+  ASSERT_TRUE(first.connected());
+  auto second = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ServerTest, DrainRejectsNewWorkAndStops) {
+  StartServer();
+  Client client = Connect();
+  ASSERT_TRUE(client.Query("SELECT COUNT(*) FROM sensors").ok());
+
+  server_->BeginDrain();
+  // New connections bounce with a typed Error frame instead of hanging.
+  auto late = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+  // The existing session is told off too (or, if the race goes the
+  // other way, sees the connection close).
+  auto r = client.Query("SELECT COUNT(*) FROM sensors");
+  EXPECT_FALSE(r.ok());
+
+  server_->Stop();  // must not hang; sessions all drained
+  EXPECT_TRUE(server_->stats().draining);
+  EXPECT_EQ(server_->stats().sessions_open, 0);
+}
+
+TEST_F(ServerTest, StopIsIdempotentAndDestructorSafe) {
+  StartServer();
+  { Client client = Connect(); }
+  server_->Stop();
+  server_->Stop();
+  server_.reset();  // destructor Stop() on a stopped server
+}
+
+TEST_F(ServerTest, StatusCountersTrackBytes) {
+  StartServer();
+  Client client = Connect();
+  ASSERT_TRUE(client.Query(Queries()[0]).ok());
+  auto counters = ServerStatus(&client);
+  EXPECT_EQ(counters["wire_version"], server::kWireVersion);
+  EXPECT_EQ(counters["sessions_open"], 1);
+  EXPECT_GT(counters["bytes_in"], 0);
+  EXPECT_GT(counters["bytes_out"], 0);
+  EXPECT_EQ(counters["draining"], 0);
+}
+
+}  // namespace
+}  // namespace mammoth

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "core/bat.h"
+#include "server/wire.h"
+
+namespace mammoth {
+namespace {
+
+using server::DecodeError;
+using server::DecodeFrame;
+using server::DecodeHello;
+using server::DecodeResult;
+using server::EncodeError;
+using server::EncodeFrame;
+using server::EncodeHello;
+using server::EncodeResult;
+using server::Frame;
+using server::FrameType;
+using server::HelloInfo;
+using server::kHeaderBytes;
+using server::WireError;
+
+// ------------------------------------------------------------- framing --
+
+TEST(WireFrameTest, RoundTripEveryType) {
+  for (FrameType type :
+       {FrameType::kHello, FrameType::kQuery, FrameType::kResult,
+        FrameType::kError, FrameType::kClose}) {
+    const std::string payload = "payload for type " +
+                                std::to_string(static_cast<int>(type));
+    const std::string bytes = EncodeFrame(type, payload);
+    ASSERT_EQ(bytes.size(), kHeaderBytes + payload.size());
+    Frame frame;
+    auto consumed = DecodeFrame(bytes.data(), bytes.size(), &frame);
+    ASSERT_TRUE(consumed.ok()) << consumed.status().ToString();
+    EXPECT_EQ(*consumed, bytes.size());
+    EXPECT_EQ(frame.type, type);
+    EXPECT_EQ(frame.payload, payload);
+  }
+}
+
+TEST(WireFrameTest, EmptyPayload) {
+  const std::string bytes = EncodeFrame(FrameType::kClose, "");
+  Frame frame;
+  auto consumed = DecodeFrame(bytes.data(), bytes.size(), &frame);
+  ASSERT_TRUE(consumed.ok());
+  EXPECT_EQ(*consumed, kHeaderBytes);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(WireFrameTest, TruncationReportsIncompleteNotError) {
+  const std::string bytes = EncodeFrame(FrameType::kQuery, "SELECT 1;");
+  // Every strict prefix — including a partial header — must decode to
+  // "0 bytes consumed, no error": the frame is simply not complete yet.
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    Frame frame;
+    auto consumed = DecodeFrame(bytes.data(), n, &frame);
+    ASSERT_TRUE(consumed.ok()) << "prefix " << n;
+    EXPECT_EQ(*consumed, 0u) << "prefix " << n;
+  }
+}
+
+TEST(WireFrameTest, TwoFramesBackToBack) {
+  const std::string a = EncodeFrame(FrameType::kQuery, "first");
+  const std::string b = EncodeFrame(FrameType::kClose, "");
+  std::string stream = a + b;
+  Frame frame;
+  auto c1 = DecodeFrame(stream.data(), stream.size(), &frame);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ(*c1, a.size());
+  EXPECT_EQ(frame.payload, "first");
+  stream.erase(0, *c1);
+  auto c2 = DecodeFrame(stream.data(), stream.size(), &frame);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(*c2, b.size());
+  EXPECT_EQ(frame.type, FrameType::kClose);
+}
+
+TEST(WireFrameTest, GarbageMagicIsError) {
+  std::string bytes = EncodeFrame(FrameType::kQuery, "x");
+  bytes[0] = 'z';
+  Frame frame;
+  auto consumed = DecodeFrame(bytes.data(), bytes.size(), &frame);
+  ASSERT_FALSE(consumed.ok());
+  EXPECT_EQ(consumed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFrameTest, WrongVersionIsError) {
+  std::string bytes = EncodeFrame(FrameType::kQuery, "x");
+  bytes[4] = static_cast<char>(server::kWireVersion + 1);
+  Frame frame;
+  auto consumed = DecodeFrame(bytes.data(), bytes.size(), &frame);
+  ASSERT_FALSE(consumed.ok());
+  EXPECT_NE(consumed.status().message().find("version"), std::string::npos);
+}
+
+TEST(WireFrameTest, UnknownTypeAndReservedByteAreErrors) {
+  std::string bytes = EncodeFrame(FrameType::kQuery, "x");
+  bytes[6] = 99;  // type
+  Frame frame;
+  EXPECT_FALSE(DecodeFrame(bytes.data(), bytes.size(), &frame).ok());
+  bytes = EncodeFrame(FrameType::kQuery, "x");
+  bytes[7] = 1;  // reserved
+  EXPECT_FALSE(DecodeFrame(bytes.data(), bytes.size(), &frame).ok());
+}
+
+TEST(WireFrameTest, OversizedLengthIsError) {
+  std::string bytes = EncodeFrame(FrameType::kQuery, "x");
+  const uint32_t huge = server::kMaxPayloadBytes + 1;
+  std::memcpy(bytes.data() + 8, &huge, sizeof(huge));
+  Frame frame;
+  auto consumed = DecodeFrame(bytes.data(), bytes.size(), &frame);
+  ASSERT_FALSE(consumed.ok());
+  EXPECT_NE(consumed.status().message().find("oversized"), std::string::npos);
+}
+
+// ------------------------------------------------------- hello / error --
+
+TEST(WireHelloTest, RoundTrip) {
+  HelloInfo hello;
+  hello.session_id = 42;
+  hello.server_name = "mammothdb-test";
+  auto decoded = DecodeHello(EncodeHello(hello));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->session_id, 42u);
+  EXPECT_EQ(decoded->server_name, "mammothdb-test");
+}
+
+TEST(WireHelloTest, TruncatedPayloadIsError) {
+  HelloInfo hello;
+  hello.server_name = "mammothdb";
+  std::string payload = EncodeHello(hello);
+  payload.resize(payload.size() - 3);
+  EXPECT_FALSE(DecodeHello(payload).ok());
+}
+
+TEST(WireErrorTest, RoundTripPreservesTypedCode) {
+  for (const Status& error :
+       {Status::TimedOut("queued too long"), Status::Unavailable("draining"),
+        Status::NotFound("no table t"), Status::InvalidArgument("parse")}) {
+    auto decoded = DecodeError(EncodeError(error));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->code, error.code());
+    EXPECT_EQ(decoded->message, error.message());
+    EXPECT_EQ(decoded->ToStatus().ToString(), error.ToString());
+  }
+}
+
+TEST(WireErrorTest, GarbageIsError) {
+  EXPECT_FALSE(DecodeError("").ok());
+  EXPECT_FALSE(DecodeError("\xff\xff\xff").ok());
+}
+
+// ------------------------------------------------------------- results --
+
+mal::QueryResult SampleResult() {
+  mal::QueryResult result;
+  result.names = {"i32", "i64", "dbl", "city", "oids"};
+  result.columns.push_back(MakeBat<int32_t>({1, -2, 3, 2000000000}));
+  result.columns.push_back(
+      MakeBat<int64_t>({int64_t{1} << 40, -5, 0, 7}));
+  result.columns.push_back(MakeBat<double>({0.5, -1.25, 3.75, 1e300}));
+  result.columns.push_back(
+      MakeStringBat({"amsterdam", "tokyo", "amsterdam", ""}));
+  BatPtr oids = Bat::New(PhysType::kOid);
+  for (Oid o : {Oid{3}, Oid{1}, Oid{4}, Oid{1}}) oids->Append<Oid>(o);
+  result.columns.push_back(std::move(oids));
+  return result;
+}
+
+void ExpectSameResult(const mal::QueryResult& a, const mal::QueryResult& b) {
+  ASSERT_EQ(a.names, b.names);
+  ASSERT_EQ(a.columns.size(), b.columns.size());
+  ASSERT_EQ(a.RowCount(), b.RowCount());
+  for (size_t c = 0; c < a.columns.size(); ++c) {
+    const Bat& x = *a.columns[c];
+    const Bat& y = *b.columns[c];
+    ASSERT_EQ(x.type(), y.type()) << "column " << c;
+    ASSERT_EQ(x.Count(), y.Count()) << "column " << c;
+    for (size_t i = 0; i < x.Count(); ++i) {
+      switch (x.type()) {
+        case PhysType::kStr:
+          EXPECT_EQ(x.StringAt(i), y.StringAt(i)) << c << "/" << i;
+          break;
+        case PhysType::kOid:
+          EXPECT_EQ(x.OidAt(i), y.OidAt(i)) << c << "/" << i;
+          break;
+        case PhysType::kDouble:
+          EXPECT_EQ(x.ValueAt<double>(i), y.ValueAt<double>(i));
+          break;
+        case PhysType::kInt64:
+          EXPECT_EQ(x.ValueAt<int64_t>(i), y.ValueAt<int64_t>(i));
+          break;
+        case PhysType::kInt32:
+          EXPECT_EQ(x.ValueAt<int32_t>(i), y.ValueAt<int32_t>(i));
+          break;
+        default:
+          FAIL() << "unexpected type in sample";
+      }
+    }
+  }
+}
+
+TEST(WireResultTest, ColumnarRoundTrip) {
+  const mal::QueryResult original = SampleResult();
+  auto payload = EncodeResult(original);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  auto decoded = DecodeResult(*payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameResult(original, *decoded);
+}
+
+TEST(WireResultTest, EncodingIsDeterministic) {
+  // Byte-identical re-encoding is what the server tests lean on to
+  // prove remote results match in-process execution bit-for-bit.
+  auto a = EncodeResult(SampleResult());
+  auto b = EncodeResult(SampleResult());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(WireResultTest, DenseOidColumnStaysVirtual) {
+  mal::QueryResult result;
+  result.names = {"cands"};
+  result.columns = {Bat::NewDense(100, 5)};
+  auto payload = EncodeResult(result);
+  ASSERT_TRUE(payload.ok());
+  auto decoded = DecodeResult(*payload);
+  ASSERT_TRUE(decoded.ok());
+  const Bat& col = *decoded->columns[0];
+  ASSERT_TRUE(col.IsDenseTail());  // no materialization on the wire
+  ASSERT_EQ(col.Count(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(col.OidAt(i), 100 + i);
+}
+
+TEST(WireResultTest, EmptyResultRoundTrip) {
+  mal::QueryResult empty;  // what DDL/DML answer with
+  auto payload = EncodeResult(empty);
+  ASSERT_TRUE(payload.ok());
+  auto decoded = DecodeResult(*payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->names.empty());
+  EXPECT_EQ(decoded->RowCount(), 0u);
+}
+
+TEST(WireResultTest, StringHeapSliceIsCompact) {
+  // A result column re-interns into a per-column heap: the slice must
+  // carry each distinct string once, not the source table's whole heap.
+  auto heap = std::make_shared<StringHeap>();
+  heap->Put("unrelated-giant-string-that-must-not-ship");
+  BatPtr col = Bat::NewString(heap);
+  col->AppendString("a");
+  col->AppendString("b");
+  col->AppendString("a");
+  mal::QueryResult result;
+  result.names = {"s"};
+  result.columns = {col};
+  auto payload = EncodeResult(result);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(payload->find("unrelated-giant-string"), std::string::npos);
+  auto decoded = DecodeResult(*payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->columns[0]->StringAt(2), "a");
+  EXPECT_EQ(decoded->columns[0]->heap()->DistinctCount(), 2u);
+}
+
+TEST(WireResultTest, TruncatedAndGarbagePayloadsAreErrors) {
+  auto payload = EncodeResult(SampleResult());
+  ASSERT_TRUE(payload.ok());
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{11}, payload->size() / 2,
+                     payload->size() - 1}) {
+    EXPECT_FALSE(DecodeResult(std::string_view(*payload).substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+  // Trailing junk after a well-formed result is also rejected.
+  EXPECT_FALSE(DecodeResult(*payload + "junk").ok());
+  EXPECT_FALSE(DecodeResult("\xff\xfe\xfd\xfc garbage").ok());
+}
+
+TEST(WireResultTest, MisalignedColumnsRejectedAtEncode) {
+  mal::QueryResult result;
+  result.names = {"a", "b"};
+  result.columns = {MakeBat<int32_t>({1, 2, 3}), MakeBat<int32_t>({1})};
+  EXPECT_FALSE(EncodeResult(result).ok());
+}
+
+}  // namespace
+}  // namespace mammoth
