@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cctype>
@@ -24,6 +25,11 @@ namespace {
 constexpr int kPollMillis = 100;
 constexpr size_t kRecvChunk = 64 * 1024;
 
+/// Per-send() bound on session sockets: a peer that stops reading makes
+/// send() fail with EAGAIN after this long instead of wedging the
+/// session (and thereby Stop()) forever.
+constexpr int kSendTimeoutSec = 5;
+
 /// True when `sql` is the SERVER STATUS command (case-insensitive,
 /// surrounding whitespace and a trailing ';' ignored).
 bool IsStatusCommand(const std::string& sql) {
@@ -31,7 +37,9 @@ bool IsStatusCommand(const std::string& sql) {
   if (b == std::string::npos) return false;
   size_t e = sql.find_last_not_of(" \t\r\n;");
   std::string t = sql.substr(b, e - b + 1);
-  for (char& c : t) c = static_cast<char>(std::toupper(c));
+  for (char& c : t) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
   // Collapse interior whitespace runs to single spaces.
   std::string norm;
   for (char c : t) {
@@ -105,18 +113,38 @@ void Server::Stop() {
   // Sessions notice draining_ within one poll tick, finish their
   // in-flight query (delivering its result), send a final Error frame
   // and exit. The accept loop keeps rejecting new connections with an
-  // Error frame for the whole drain window.
+  // Error frame for the whole drain window. Past the force deadline,
+  // surviving session sockets are shut down so a peer blocked in
+  // send()/recv() (e.g. a client that stopped reading its result)
+  // cannot wedge shutdown; SO_SNDTIMEO bounds each send regardless.
+  const auto force_at =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(config_.drain_force_millis);
+  bool forced = false;
   while (sessions_open_.load() > 0) {
+    if (!forced && std::chrono::steady_clock::now() >= force_at) {
+      forced = true;
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      for (auto& [id, handle] : sessions_) {
+        if (handle.fd >= 0) ::shutdown(handle.fd, SHUT_RDWR);
+      }
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   stopping_.store(true);
   if (accept_thread_.joinable()) accept_thread_.join();
+  ReapFinishedSessions();
+  std::vector<std::thread> leftovers;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (std::thread& t : session_threads_) {
-      if (t.joinable()) t.join();
+    for (auto& [id, handle] : sessions_) {
+      leftovers.push_back(std::move(handle.thread));
     }
-    session_threads_.clear();
+    sessions_.clear();
+    finished_sessions_.clear();
+  }
+  for (std::thread& t : leftovers) {
+    if (t.joinable()) t.join();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -124,8 +152,29 @@ void Server::Stop() {
   }
 }
 
+void Server::ReapFinishedSessions() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (uint64_t id : finished_sessions_) {
+      auto it = sessions_.find(id);
+      if (it == sessions_.end()) continue;
+      done.push_back(std::move(it->second.thread));
+      sessions_.erase(it);
+    }
+    finished_sessions_.clear();
+  }
+  // Join outside the lock: these threads have already passed their last
+  // sessions_mu_ acquisition, so the joins cannot deadlock and only
+  // wait out thread teardown.
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
+  }
+}
+
 void Server::AcceptLoop() {
   while (true) {
+    ReapFinishedSessions();
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollMillis);
     if (stopping_.load()) break;
@@ -150,14 +199,19 @@ void Server::AcceptLoop() {
     ++sessions_total_;
     ++sessions_open_;
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    session_threads_.emplace_back(
-        [this, fd, id] { SessionLoop(fd, id); });
+    SessionHandle& handle = sessions_[id];
+    handle.fd = fd;
+    handle.thread = std::thread([this, fd, id] { SessionLoop(fd, id); });
   }
 }
 
 void Server::SessionLoop(int fd, uint64_t session_id) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval send_timeout{};
+  send_timeout.tv_sec = kSendTimeoutSec;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+               sizeof(send_timeout));
   HelloInfo hello;
   hello.session_id = session_id;
   hello.server_name = config_.name;
@@ -198,6 +252,15 @@ void Server::SessionLoop(int fd, uint64_t session_id) {
       buffer.append(chunk, static_cast<size_t>(n));
     }
   }
+  {
+    // Invalidate the handle's fd before closing so Stop()'s forced
+    // shutdown() cannot touch a recycled descriptor, and announce
+    // completion so the accept loop reaps (joins) this thread.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(session_id);
+    if (it != sessions_.end()) it->second.fd = -1;
+    finished_sessions_.push_back(session_id);
+  }
   ::close(fd);
   --sessions_open_;
 }
@@ -233,7 +296,12 @@ Status Server::SendFrame(int fd, FrameType type, std::string_view payload) {
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
                              MSG_NOSIGNAL);
-    if (n <= 0) return Status::IOError("send(): connection lost");
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      // Includes EAGAIN from SO_SNDTIMEO: a peer that stopped reading
+      // forfeits the session rather than wedging it.
+      return Status::IOError("send(): connection lost or timed out");
+    }
     sent += static_cast<size_t>(n);
     bytes_out_ += static_cast<uint64_t>(n);
   }

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -30,6 +31,10 @@ struct ServerConfig {
   int threads = 0;
   /// Name reported in the Hello frame.
   std::string name = "mammothdb";
+  /// Stop() gives draining sessions this long to finish and deliver
+  /// results; past the deadline remaining session sockets are shut
+  /// down so a wedged peer cannot hold up shutdown.
+  int drain_force_millis = 10000;
 };
 
 /// Monotonic counters + gauges exposed through stats() and the
@@ -92,8 +97,20 @@ class Server {
   static mal::QueryResult StatusResult(const ServerStatsSnapshot& s);
 
  private:
+  /// A live session: its thread plus the socket it owns. fd is reset to
+  /// -1 (under sessions_mu_) before the session closes it, so Stop()'s
+  /// forced-drain shutdown() can never hit a recycled descriptor.
+  struct SessionHandle {
+    std::thread thread;
+    int fd = -1;
+  };
+
   void AcceptLoop();
   void SessionLoop(int fd, uint64_t session_id);
+  /// Joins session threads that have announced completion, so a
+  /// long-running server does not accumulate one zombie thread per
+  /// connection ever served. Called from the accept loop and Stop().
+  void ReapFinishedSessions();
   /// Handles one Query frame's SQL; always answers with exactly one
   /// Result or Error frame.
   Status HandleQuery(int fd, const std::string& sql);
@@ -114,7 +131,8 @@ class Server {
   std::thread accept_thread_;
 
   std::mutex sessions_mu_;
-  std::vector<std::thread> session_threads_;  // joined in Stop()
+  std::unordered_map<uint64_t, SessionHandle> sessions_;
+  std::vector<uint64_t> finished_sessions_;  // ids awaiting join/reap
   std::atomic<int> sessions_open_{0};
   std::atomic<uint64_t> next_session_id_{1};
 

@@ -60,6 +60,9 @@ Status Truncated(const char* what) {
 }
 
 void AppendString(std::string* out, std::string_view s) {
+  // Clamp length prefix AND bytes together: a name over the u16 limit
+  // ships truncated but decodable, never a corrupt payload.
+  if (s.size() > UINT16_MAX) s = s.substr(0, UINT16_MAX);
   AppendInt<uint16_t>(out, static_cast<uint16_t>(s.size()));
   out->append(s);
 }
@@ -220,6 +223,16 @@ Result<mal::QueryResult> DecodeResult(std::string_view payload) {
   uint32_t ncols = 0;
   uint64_t nrows = 0;
   if (!r.ReadInt(&ncols) || !r.ReadInt(&nrows)) return Truncated("result");
+  // nrows comes off the wire: bound it before any size arithmetic. With
+  // nrows <= kMaxPayloadBytes and element widths <= 8, the per-column
+  // `nrows * width` products below stay far under SIZE_MAX, so each
+  // ReadBytes is an honest bounds check (an unchecked u64 like 2^61
+  // would wrap the byte count to 0 and "succeed" on an empty view), and
+  // no allocation happens until the bytes are known to be present.
+  if (nrows > kMaxPayloadBytes) {
+    return Status::InvalidArgument("wire: implausible row count " +
+                                   std::to_string(nrows));
+  }
   mal::QueryResult result;
   for (uint32_t c = 0; c < ncols; ++c) {
     std::string name;

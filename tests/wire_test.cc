@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "core/bat.h"
@@ -278,6 +279,43 @@ TEST(WireResultTest, TruncatedAndGarbagePayloadsAreErrors) {
   // Trailing junk after a well-formed result is also rejected.
   EXPECT_FALSE(DecodeResult(*payload + "junk").ok());
   EXPECT_FALSE(DecodeResult("\xff\xfe\xfd\xfc garbage").ok());
+}
+
+TEST(WireResultTest, WireSuppliedRowCountIsBounded) {
+  // Patch the nrows field of a valid payload to hostile values: the
+  // decoder must reject them cleanly instead of overflowing its byte
+  // arithmetic (2^61 * 8 wraps to 0) or attempting a giant allocation.
+  auto payload = EncodeResult(SampleResult());
+  ASSERT_TRUE(payload.ok());
+  for (uint64_t hostile :
+       {uint64_t{1} << 61, std::numeric_limits<uint64_t>::max(),
+        uint64_t{server::kMaxPayloadBytes} + 1}) {
+    std::string patched = *payload;
+    std::memcpy(patched.data() + sizeof(uint32_t), &hostile, sizeof(hostile));
+    auto decoded = DecodeResult(patched);
+    ASSERT_FALSE(decoded.ok()) << "nrows " << hostile;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Plausible-but-wrong nrows (within the cap, beyond the bytes that
+  // actually follow) is a plain truncation error, not a crash.
+  std::string patched = *payload;
+  const uint64_t too_many = 1000000;
+  std::memcpy(patched.data() + sizeof(uint32_t), &too_many, sizeof(too_many));
+  EXPECT_FALSE(DecodeResult(patched).ok());
+}
+
+TEST(WireResultTest, OverlongColumnNameClampedButDecodable) {
+  // Names beyond the u16 length prefix are clamped (length and bytes
+  // together); the payload must stay well-formed.
+  mal::QueryResult result;
+  result.names = {std::string(70000, 'n')};
+  result.columns = {MakeBat<int32_t>({1, 2})};
+  auto payload = EncodeResult(result);
+  ASSERT_TRUE(payload.ok());
+  auto decoded = DecodeResult(*payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->names[0], std::string(65535, 'n'));
+  EXPECT_EQ(decoded->columns[0]->ValueAt<int32_t>(1), 2);
 }
 
 TEST(WireResultTest, MisalignedColumnsRejectedAtEncode) {
