@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
+#include "core/table.h"
 #include "server/client.h"
 #include "server/server.h"
 
@@ -140,6 +142,121 @@ BENCHMARK(BM_ServerThroughput)
     ->Arg(16)
     ->Arg(32)
     ->Arg(64)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Scan-heavy mix: every query is a wide range scan over one big table,
+// so concurrent sessions pile onto the same column pass and the server's
+// shared-scan scheduler (§5) gets to merge them. Reports the physical
+// chunk loads per query alongside qps so the sharing win is visible in
+// BENCH_server_throughput.json (loads_per_query should shrink as the
+// client count grows; compare bench_shared_scan.cc for the in-process
+// version of the same sweep).
+
+mammoth::TablePtr BigScanTable(size_t nrows) {
+  using namespace mammoth;
+  BatPtr id = Bat::New(PhysType::kInt64);
+  id->Resize(nrows);
+  int64_t* idp = id->MutableTailData<int64_t>();
+  BatPtr val = Bat::New(PhysType::kInt64);
+  val->Resize(nrows);
+  int64_t* valp = val->MutableTailData<int64_t>();
+  Rng rng(77);
+  for (size_t i = 0; i < nrows; ++i) {
+    idp[i] = static_cast<int64_t>(i);
+    valp[i] = static_cast<int64_t>(rng.Next() % 100000);
+  }
+  auto t = Table::FromColumns(
+      "metrics_big",
+      {{"id", PhysType::kInt64}, {"val", PhysType::kInt64}},
+      {id, val});
+  if (!t.ok()) std::abort();
+  return *t;
+}
+
+std::string ScanHeavyQuery(int i) {
+  const int lo = 2500 * (i % 4);
+  const int hi = lo + 85000;
+  return "SELECT COUNT(*), SUM(val) FROM metrics_big WHERE val >= " +
+         std::to_string(lo) + " AND val <= " + std::to_string(hi);
+}
+
+void BM_ServerScanHeavy(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  constexpr int kQueriesPerClient = 4;
+  constexpr size_t kChunkRows = size_t{1} << 16;
+
+  server::ServerConfig config;
+  config.max_sessions = clients + 4;
+  config.admission.max_inflight = 8;
+  config.admission.queue_timeout_ms = 60000;
+  config.shared_scan.chunk_rows = kChunkRows;
+  config.shared_scan.min_share_rows = kChunkRows;
+  server::Server server(config);
+  if (!server.engine()
+           ->catalog()
+           ->Register(BigScanTable(16 * kChunkRows + 321))
+           .ok()) {
+    state.SkipWithError("register failed");
+    return;
+  }
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  std::vector<server::Client> conns;
+  conns.reserve(clients);
+  for (int i = 0; i < clients; ++i) {
+    auto c = server::Client::Connect("127.0.0.1", server.port());
+    if (!c.ok()) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+    conns.push_back(std::move(*c));
+  }
+
+  std::atomic<bool> failed{false};
+  int64_t total_queries = 0;
+  uint64_t loads = 0;
+  for (auto _ : state) {
+    const auto before = server.stats().shared_scans;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t) {
+      threads.emplace_back([&, t] {
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          if (!conns[t].Query(ScanHeavyQuery(t + q)).ok()) {
+            failed.store(true);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+    total_queries += static_cast<int64_t>(clients) * kQueriesPerClient;
+    const auto after = server.stats().shared_scans;
+    loads += (after.chunks_loaded - before.chunks_loaded) +
+             (after.chunks_direct - before.chunks_direct);
+  }
+  if (failed.load()) state.SkipWithError("query failed");
+
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(total_queries), benchmark::Counter::kIsRate);
+  state.counters["loads_per_query"] =
+      total_queries == 0
+          ? 0.0
+          : static_cast<double>(loads) / static_cast<double>(total_queries);
+  state.counters["clients"] = clients;
+}
+
+BENCHMARK(BM_ServerScanHeavy)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

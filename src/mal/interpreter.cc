@@ -10,6 +10,7 @@
 #include "core/project.h"
 #include "core/select.h"
 #include "core/sort.h"
+#include "scan/shared_scan.h"
 
 namespace mammoth::mal {
 
@@ -20,6 +21,12 @@ struct Rt {
   BatPtr bat;
   Value scalar;
   uint64_t sig = 0;
+  /// Base-table provenance, set by kBind (and only kBind): marks this BAT
+  /// as a whole base column, which makes a downstream full-column select
+  /// eligible for the shared-scan path. `bind` points into the program's
+  /// instruction list (stable for the run).
+  const Instr* bind = nullptr;
+  uint64_t bind_version = 0;
 };
 
 uint64_t HashValue(const Value& v) {
@@ -65,6 +72,16 @@ Status NeedBat(const std::vector<Rt>& vars, int id, const char* what) {
                             what);
   }
   return Status::OK();
+}
+
+/// Whether `cands` filters nothing: absent, or a dense list spanning every
+/// row of `col` (what Table::LiveCandidates returns for delete-free
+/// tables). Such a select is a full-column scan and may be routed through
+/// the shared-scan scheduler.
+bool CoversWholeColumn(const BatPtr& cands, const BatPtr& col) {
+  return cands == nullptr ||
+         (cands->IsDenseTail() && cands->Count() == col->Count() &&
+          cands->tseqbase() == col->hseqbase());
 }
 
 }  // namespace
@@ -164,6 +181,8 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
         MAMMOTH_ASSIGN_OR_RETURN(BatPtr col, t->ScanColumn(ins.column));
         Rt& out = vars[ins.outputs[0]];
         out.bat = col;
+        out.bind = &ins;
+        out.bind_version = t->version();
         out.sig = HashCombine(HashCombine(HashString(ins.table),
                                           HashString(ins.column)),
                               t->version());
@@ -179,10 +198,24 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
       }
       case OpCode::kThetaSelect: {
         MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "thetaselect"));
+        const Rt& in = vars[ins.inputs[0]];
         const BatPtr cands =
             ins.inputs[1] < 0 ? nullptr : vars[ins.inputs[1]].bat;
+        // Full-column scans of a base table route through the shared-scan
+        // scheduler (bit-identical to the kernel; shares a physical pass
+        // with concurrent scans of the same table when one is in flight).
+        if (ctx_.shared_scans() != nullptr && in.bind != nullptr &&
+            CoversWholeColumn(cands, in.bat)) {
+          MAMMOTH_ASSIGN_OR_RETURN(
+              BatPtr r,
+              ctx_.shared_scans()->Select(
+                  in.bat, in.bind->table, in.bind->column, in.bind_version,
+                  scan::ScanPredicate::Theta(ins.consts[0], ins.cmp), ctx_));
+          vars[ins.outputs[0]].bat = r;
+          break;
+        }
         MAMMOTH_ASSIGN_OR_RETURN(
-            BatPtr r, algebra::ThetaSelect(vars[ins.inputs[0]].bat, cands,
+            BatPtr r, algebra::ThetaSelect(in.bat, cands,
                                            ins.consts[0], ins.cmp, ctx_));
         vars[ins.outputs[0]].bat = r;
         break;
@@ -206,9 +239,22 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
             cands = subsume_cands;
           }
         }
+        const Rt& in = vars[ins.inputs[0]];
+        if (ctx_.shared_scans() != nullptr && in.bind != nullptr &&
+            subsume_cands == nullptr && CoversWholeColumn(cands, in.bat)) {
+          MAMMOTH_ASSIGN_OR_RETURN(
+              BatPtr r,
+              ctx_.shared_scans()->Select(
+                  in.bat, in.bind->table, in.bind->column, in.bind_version,
+                  scan::ScanPredicate::Range(ins.consts[0], ins.consts[1],
+                                             ins.flag),
+                  ctx_));
+          vars[ins.outputs[0]].bat = r;
+          break;
+        }
         MAMMOTH_ASSIGN_OR_RETURN(
             BatPtr r,
-            algebra::RangeSelect(vars[ins.inputs[0]].bat, cands,
+            algebra::RangeSelect(in.bat, cands,
                                  ins.consts[0], ins.consts[1], true, true,
                                  ins.flag, ctx_));
         vars[ins.outputs[0]].bat = r;

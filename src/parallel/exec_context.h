@@ -4,6 +4,10 @@
 #include "common/status.h"
 #include "parallel/task_pool.h"
 
+namespace mammoth::scan {
+class SharedScanScheduler;  // parallel/ cannot depend on scan/ headers
+}  // namespace mammoth::scan
+
 namespace mammoth::parallel {
 
 /// Execution context handed to the parallel-aware kernels. It carries the
@@ -43,8 +47,24 @@ class ExecContext {
   /// The no-pool context (kernels run their serial schedule).
   static const ExecContext& Serial();
 
+  /// The shared-scan scheduler eligible base-table scans route through,
+  /// or null (the default) for the plain kernel path. Sharing never
+  /// changes results — every routed scan is bit-identical to the direct
+  /// kernels — so contexts with and without a scheduler are
+  /// interchangeable correctness-wise.
+  scan::SharedScanScheduler* shared_scans() const { return shared_scans_; }
+
+  /// A copy of this context that routes scans through `scheduler`
+  /// (null detaches).
+  ExecContext WithSharedScans(scan::SharedScanScheduler* scheduler) const {
+    ExecContext ctx = *this;
+    ctx.shared_scans_ = scheduler;
+    return ctx;
+  }
+
  private:
   TaskPool* pool_ = nullptr;
+  scan::SharedScanScheduler* shared_scans_ = nullptr;
 };
 
 /// Parses a MAMMOTH_THREADS-style value: returns the thread count, or

@@ -27,6 +27,7 @@ size_t Recycler::EntryBytes(const Entry& e) const {
 }
 
 bool Recycler::Lookup(uint64_t sig, std::vector<CachedVal>* outputs) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(sig);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -42,6 +43,7 @@ bool Recycler::Lookup(uint64_t sig, std::vector<CachedVal>* outputs) {
 
 void Recycler::Insert(uint64_t sig, std::vector<CachedVal> outputs,
                       double cost_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (entries_.count(sig) > 0) return;
   Entry e;
   e.outputs = std::move(outputs);
@@ -56,8 +58,8 @@ void Recycler::Insert(uint64_t sig, std::vector<CachedVal> outputs,
   stats_.bytes = used_bytes_;
 }
 
+// Requires mu_ held (called from Insert).
 void Recycler::EvictUntilFits(size_t incoming_bytes) {
-  static Rng rng(0xdecaf);
   while (used_bytes_ + incoming_bytes > capacity_bytes_ && !entries_.empty()) {
     auto victim = entries_.begin();
     switch (policy_) {
@@ -78,7 +80,7 @@ void Recycler::EvictUntilFits(size_t incoming_bytes) {
         break;
       }
       case Policy::kRandom: {
-        size_t skip = rng.Uniform(entries_.size());
+        size_t skip = rng_.Uniform(entries_.size());
         victim = entries_.begin();
         std::advance(victim, skip);
         break;
@@ -102,12 +104,14 @@ void Recycler::EvictUntilFits(size_t incoming_bytes) {
 
 void Recycler::RegisterRange(uint64_t base_sig, double lo, double hi,
                              uint64_t sig) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (entries_.count(sig) == 0) return;  // only index entries we hold
   ranges_[base_sig].push_back({lo, hi, sig});
 }
 
 bool Recycler::LookupRangeSuperset(uint64_t base_sig, double lo, double hi,
                                    BatPtr* cands) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = ranges_.find(base_sig);
   if (it == ranges_.end()) return false;
   const RangeEntry* best = nullptr;
@@ -131,6 +135,7 @@ bool Recycler::LookupRangeSuperset(uint64_t base_sig, double lo, double hi,
 }
 
 void Recycler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   ranges_.clear();
   used_bytes_ = 0;

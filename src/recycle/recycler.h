@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/bat.h"
 #include "core/value.h"
 
@@ -33,6 +35,10 @@ const char* PolicyName(Policy p);
 /// Beyond exact matches it supports *subsumption* for range selects: a
 /// cached select over a wider range answers a narrower one by re-selecting
 /// within the cached candidate list.
+///
+/// Thread-safe: all operations take an internal mutex, so one recycler may
+/// serve concurrent sessions (cached BATs are immutable once inserted, so
+/// sharing the BatPtrs across threads is safe).
 class Recycler {
  public:
   explicit Recycler(size_t capacity_bytes, Policy policy = Policy::kLru)
@@ -68,7 +74,10 @@ class Recycler {
     size_t bytes = 0;
     double seconds_saved = 0;  ///< sum of cached costs served from cache
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   size_t capacity_bytes() const { return capacity_bytes_; }
   Policy policy() const { return policy_; }
 
@@ -86,6 +95,10 @@ class Recycler {
 
   size_t capacity_bytes_;
   Policy policy_;
+
+  /// Guards everything below (entries, ranges, stats, rng).
+  mutable std::mutex mu_;
+  Rng rng_{0xdecaf};  ///< kRandom eviction draws
   uint64_t tick_ = 0;
   size_t used_bytes_ = 0;
   std::unordered_map<uint64_t, Entry> entries_;

@@ -1,0 +1,446 @@
+#include "scan/shared_scan.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "core/select.h"
+#include "parallel/task_pool.h"
+
+namespace mammoth::scan {
+
+namespace {
+
+/// Matches StampSelectResult in core/select.cc: the guarantees every
+/// select kernel stamps on its result, replicated so the assembled
+/// shared-scan result is bit-identical (values *and* properties).
+void StampSelectResult(const BatPtr& r) {
+  r->mutable_props().sorted = true;
+  r->mutable_props().key = true;
+  r->mutable_props().revsorted = r->Count() <= 1;
+}
+
+/// Runs the predicate through the direct kernels over the whole column
+/// (the fallback path; exactly what the interpreter did before routing).
+Result<BatPtr> RunKernel(const BatPtr& column, const ScanPredicate& pred,
+                         const parallel::ExecContext& ctx) {
+  if (pred.kind == ScanPredicate::Kind::kTheta) {
+    return algebra::ThetaSelect(column, nullptr, pred.v, pred.op, ctx);
+  }
+  return algebra::RangeSelect(column, nullptr, pred.lo, pred.hi, true, true,
+                              pred.anti, ctx);
+}
+
+/// Evaluates the predicate over rows [begin, end) only, via a dense
+/// candidate list. The kernels append qualifying OIDs in position order
+/// (parallel and serial contexts produce identical outputs), so
+/// concatenating chunk results by chunk index reproduces the full kernel
+/// output exactly.
+Result<BatPtr> EvalChunk(const BatPtr& column, const ScanPredicate& pred,
+                         size_t begin, size_t end,
+                         const parallel::ExecContext& ctx) {
+  const BatPtr cands =
+      Bat::NewDense(column->hseqbase() + begin, end - begin);
+  if (pred.kind == ScanPredicate::Kind::kTheta) {
+    return algebra::ThetaSelect(column, cands, pred.v, pred.op, ctx);
+  }
+  return algebra::RangeSelect(column, cands, pred.lo, pred.hi, true, true,
+                              pred.anti, ctx);
+}
+
+/// Whether any value in [block_min, block_max] can satisfy the predicate,
+/// with the predicate operand converted exactly as the kernels convert it
+/// (Value::As<T> on the column type), so pruning never disagrees with the
+/// scan.
+bool BlockMaySatisfy(const ScanPredicate& pred, int64_t bmin, int64_t bmax,
+                     PhysType type) {
+  const auto as_col = [&](const Value& v) -> int64_t {
+    return type == PhysType::kInt32
+               ? static_cast<int64_t>(v.As<int32_t>())
+               : v.As<int64_t>();
+  };
+  if (pred.kind == ScanPredicate::Kind::kTheta) {
+    const int64_t v = as_col(pred.v);
+    switch (pred.op) {
+      case CmpOp::kEq:
+        return v >= bmin && v <= bmax;
+      case CmpOp::kNe:
+        return !(bmin == bmax && bmin == v);
+      case CmpOp::kLt:
+        return bmin < v;
+      case CmpOp::kLe:
+        return bmin <= v;
+      case CmpOp::kGe:
+        return bmax >= v;
+      case CmpOp::kGt:
+        return bmax > v;
+    }
+    return true;
+  }
+  const bool has_lo = !pred.lo.is_nil();
+  const bool has_hi = !pred.hi.is_nil();
+  const int64_t lo = has_lo ? as_col(pred.lo) : 0;
+  const int64_t hi = has_hi ? as_col(pred.hi) : 0;
+  if (pred.anti) {
+    // Keep x outside [lo, hi]: the block is prunable only when it lies
+    // entirely inside the rejected range.
+    return !(has_lo && has_hi && lo <= bmin && bmax <= hi) ||
+           (has_lo && lo > bmin) || (has_hi && hi < bmax);
+  }
+  if (has_lo && bmax < lo) return false;
+  if (has_hi && bmin > hi) return false;
+  return true;
+}
+
+}  // namespace
+
+/// One consumer of a shared pass. All fields except `fn`'s captured
+/// buffers are guarded by the owning group's mutex; the buffers are only
+/// touched by chunk deliveries (never two at once for one consumer) and
+/// handed back to the owner through that same mutex.
+class SharedScanScheduler::Consumer {
+ public:
+  std::shared_ptr<Group> group;
+  std::vector<bool> needed;  ///< per chunk: wanted and not yet delivered
+  size_t remaining = 0;      ///< count of true bits in `needed`
+  int inflight = 0;          ///< deliveries currently running our fn
+  ChunkFn fn;
+  Status error = Status::OK();
+  bool failed = false;
+};
+
+/// Per-table pass state. `version`/`nrows`/`nchunks` describe the shape
+/// of the in-flight pass; they may only change while the group is idle.
+struct SharedScanScheduler::Group {
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t version = 0;
+  size_t nrows = 0;
+  size_t nchunks = 0;
+  int attaching = 0;  ///< arrivals between route decision and Attach
+  bool driver_active = false;
+  std::vector<Consumer*> consumers;
+};
+
+SharedScanScheduler::SharedScanScheduler(const SharedScanConfig& config)
+    : config_([&] {
+        SharedScanConfig c = config;
+        // Morsel-align the chunk grain so chunk boundaries coincide with
+        // TaskPool morsel boundaries.
+        constexpr size_t kGrain = parallel::TaskPool::kDefaultGrain;
+        if (c.chunk_rows == 0) c.chunk_rows = kGrain;
+        c.chunk_rows = (c.chunk_rows + kGrain - 1) / kGrain * kGrain;
+        return c;
+      }()) {}
+
+SharedScanScheduler::~SharedScanScheduler() = default;
+
+std::shared_ptr<SharedScanScheduler::Group> SharedScanScheduler::GetGroup(
+    const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<Group>& g = groups_[table];
+  if (g == nullptr) g = std::make_shared<Group>();
+  return g;
+}
+
+size_t SharedScanScheduler::ActiveScans(const std::string& table) const {
+  std::shared_ptr<Group> g;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = groups_.find(table);
+    if (it == groups_.end()) return 0;
+    g = it->second;
+  }
+  std::lock_guard<std::mutex> lock(g->mu);
+  return g->consumers.size() + static_cast<size_t>(g->attaching);
+}
+
+std::vector<bool> SharedScanScheduler::PruneChunks(
+    const BatPtr& column, const std::string& table,
+    const std::string& column_name, uint64_t version,
+    const ScanPredicate& pred) {
+  if (column->type() != PhysType::kInt32 &&
+      column->type() != PhysType::kInt64) {
+    return {};
+  }
+  if (pred.kind == ScanPredicate::Kind::kTheta && !pred.v.is_numeric()) {
+    return {};
+  }
+  std::shared_ptr<index::ZoneMap> zm;
+  const std::string key = table + '\0' + column_name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = zonemaps_.find(key);
+    if (it != zonemaps_.end() && it->second.version == version) {
+      zm = it->second.zonemap;
+    }
+  }
+  if (zm == nullptr) {
+    // Build outside the lock (O(n)); concurrent builders duplicate the
+    // work at most once, last insert wins.
+    auto built = index::ZoneMap::Build(column, config_.chunk_rows);
+    if (!built.ok()) return {};
+    zm = std::make_shared<index::ZoneMap>(std::move(*built));
+    std::lock_guard<std::mutex> lock(mu_);
+    zonemaps_[key] = CachedZoneMap{version, zm};
+  }
+  std::vector<bool> needed(zm->NumBlocks());
+  for (size_t blk = 0; blk < needed.size(); ++blk) {
+    needed[blk] = BlockMaySatisfy(pred, zm->BlockMin(blk), zm->BlockMax(blk),
+                                  column->type());
+  }
+  return needed;
+}
+
+SharedScanScheduler::Consumer* SharedScanScheduler::Attach(
+    const std::string& table, uint64_t version, size_t nrows,
+    std::vector<bool> needed, ChunkFn fn) {
+  auto group = GetGroup(table);
+  std::lock_guard<std::mutex> lock(group->mu);
+  const size_t nchunks =
+      (nrows + config_.chunk_rows - 1) / config_.chunk_rows;
+  const bool idle = group->consumers.empty() && group->attaching == 0;
+  if (idle) {
+    group->version = version;
+    group->nrows = nrows;
+    group->nchunks = nchunks;
+  } else if (group->version != version || group->nrows != nrows) {
+    return nullptr;  // pass shape mismatch: caller scans directly
+  }
+  Consumer* c = new Consumer;
+  c->group = group;
+  if (needed.empty()) needed.assign(nchunks, true);
+  c->needed = std::move(needed);
+  c->remaining = static_cast<size_t>(
+      std::count(c->needed.begin(), c->needed.end(), true));
+  c->fn = std::move(fn);
+  group->consumers.push_back(c);
+  ++scans_attached_;
+  return c;
+}
+
+size_t SharedScanScheduler::PickChunkLocked(Group& group,
+                                            const Consumer& driver) const {
+  size_t best_chunk = group.nchunks;
+  size_t best_relevance = 0;
+  for (size_t c = 0; c < group.nchunks; ++c) {
+    if (!driver.needed[c]) continue;
+    size_t relevance = 0;
+    for (const Consumer* con : group.consumers) {
+      if (con->needed[c]) ++relevance;
+    }
+    if (relevance > best_relevance) {  // ties resolve to the lowest index
+      best_relevance = relevance;
+      best_chunk = c;
+    }
+  }
+  return best_chunk;
+}
+
+void SharedScanScheduler::DriveLocked(Group& group, Consumer* driver,
+                                      std::unique_lock<std::mutex>& lock,
+                                      const parallel::ExecContext& ctx) {
+  while (driver->remaining > 0) {
+    const size_t chunk = PickChunkLocked(group, *driver);
+    MAMMOTH_CHECK(chunk < group.nchunks, "driver with remaining needs a pick");
+    // Snapshot the receivers and mark the chunk taken under the lock;
+    // inflight keeps each receiver attached until its callback finished.
+    std::vector<Consumer*> recv;
+    for (Consumer* con : group.consumers) {
+      if (!con->needed[chunk]) continue;
+      con->needed[chunk] = false;
+      --con->remaining;
+      ++con->inflight;
+      recv.push_back(con);
+    }
+    const size_t begin = chunk * config_.chunk_rows;
+    const size_t end = std::min(group.nrows, begin + config_.chunk_rows);
+    ++chunks_loaded_;
+    chunks_delivered_ += recv.size();
+    lock.unlock();
+
+    // One physical pass over the chunk, fanned out to every consumer that
+    // wants it; the TaskPool spreads the consumers' predicate evaluations
+    // over the workers while the chunk's cache lines are hot. When the
+    // driver is the chunk's sole receiver there is nothing to fan out, so
+    // it evaluates inline with its own context (morsel-parallel within
+    // the chunk) instead.
+    std::vector<Status> results(recv.size());
+    if (recv.size() == 1) {
+      results[0] = recv[0]->fn(chunk, begin, end, ctx);
+    } else {
+      Status st = ctx.ParallelFor(
+          recv.size(), 1, [&](size_t b, size_t e, int) {
+            for (size_t i = b; i < e; ++i) {
+              results[i] = recv[i]->fn(chunk, begin, end,
+                                       parallel::ExecContext::Serial());
+            }
+            return Status::OK();
+          });
+      MAMMOTH_CHECK(st.ok(), "delivery morsels never fail");
+    }
+
+    lock.lock();
+    for (size_t i = 0; i < recv.size(); ++i) {
+      --recv[i]->inflight;
+      if (!results[i].ok() && !recv[i]->failed) {
+        // Cancel the failed consumer's outstanding chunks so its Drain
+        // returns the error instead of waiting for pointless deliveries.
+        recv[i]->failed = true;
+        recv[i]->error = results[i];
+        std::fill(recv[i]->needed.begin(), recv[i]->needed.end(), false);
+        recv[i]->remaining = 0;
+      }
+    }
+    group.cv.notify_all();
+  }
+}
+
+Status SharedScanScheduler::Drain(Consumer* consumer,
+                                  const parallel::ExecContext& ctx) {
+  std::shared_ptr<Group> group = consumer->group;
+  std::unique_lock<std::mutex> lock(group->mu);
+  for (;;) {
+    if (consumer->remaining == 0 && consumer->inflight == 0) break;
+    if (!group->driver_active && consumer->remaining > 0) {
+      group->driver_active = true;
+      DriveLocked(*group, consumer, lock, ctx);
+      group->driver_active = false;
+      group->cv.notify_all();
+      continue;  // recheck inflight (a prior driver may still deliver to us)
+    }
+    group->cv.wait(lock);
+  }
+  auto it = std::find(group->consumers.begin(), group->consumers.end(),
+                      consumer);
+  MAMMOTH_CHECK(it != group->consumers.end(), "consumer drained twice");
+  group->consumers.erase(it);
+  Status error = consumer->error;
+  lock.unlock();
+  delete consumer;
+  return error;
+}
+
+Result<BatPtr> SharedScanScheduler::Select(const BatPtr& column,
+                                           const std::string& table,
+                                           const std::string& column_name,
+                                           uint64_t version,
+                                           const ScanPredicate& pred,
+                                           const parallel::ExecContext& ctx) {
+  // Ineligible shapes go straight to the kernels: sorted columns select
+  // in O(log n), dense tails and strings have their own specialized
+  // paths, and short columns cost more to coordinate than to rescan.
+  const bool eligible = column != nullptr &&
+                        column->type() != PhysType::kStr &&
+                        !column->props().sorted && !column->IsDenseTail() &&
+                        column->Count() >= config_.min_share_rows;
+  if (!eligible) return RunKernel(column, pred, ctx);
+
+  const size_t nrows = column->Count();
+  const size_t nchunks =
+      (nrows + config_.chunk_rows - 1) / config_.chunk_rows;
+  auto group = GetGroup(table);
+
+  // Route: a lone scan *starts* a chunk-at-a-time pass (counted direct —
+  // it joined nobody — but later arrivals can join it mid-flight, which a
+  // monolithic kernel sweep would make impossible); arrivals on a busy
+  // group of matching (version, nrows) shape join the in-flight pass.
+  // Only a shape mismatch keeps a scan out entirely: it cannot mix rows
+  // with the other snapshot's pass, so it pays the plain kernel.
+  enum class Mode { kStart, kJoin, kFallback };
+  Mode mode;
+  {
+    std::lock_guard<std::mutex> lock(group->mu);
+    const bool busy = !group->consumers.empty() || group->attaching > 0;
+    if (!busy) {
+      group->version = version;
+      group->nrows = nrows;
+      group->nchunks = nchunks;
+      mode = Mode::kStart;
+    } else if (group->version != version || group->nrows != nrows) {
+      mode = Mode::kFallback;  // cannot mix rows with the other snapshot
+    } else {
+      mode = Mode::kJoin;
+    }
+    if (mode != Mode::kFallback) {
+      ++group->attaching;  // keeps the group busy while we prune chunks
+    }
+  }
+  if (mode == Mode::kFallback) {
+    ++scans_direct_;
+    chunks_direct_ += nchunks;
+    return RunKernel(column, pred, ctx);
+  }
+  const bool starts_pass = mode == Mode::kStart;
+
+  // Prune chunks the zone map proves empty, attach, let the pass deliver
+  // our chunks (driving it whenever no one else does), and assemble the
+  // per-chunk results in chunk order.
+  std::vector<bool> needed =
+      PruneChunks(column, table, column_name, version, pred);
+  size_t skipped = 0;
+  if (!needed.empty()) {
+    skipped = nchunks - static_cast<size_t>(
+                            std::count(needed.begin(), needed.end(), true));
+  }
+  chunks_skipped_ += skipped;
+
+  std::vector<BatPtr> parts(nchunks);
+  Consumer* consumer = nullptr;
+  {
+    auto fn = [&parts, column, pred](
+                  size_t chunk, size_t begin, size_t end,
+                  const parallel::ExecContext& eval_ctx) -> Status {
+      MAMMOTH_ASSIGN_OR_RETURN(
+          parts[chunk], EvalChunk(column, pred, begin, end, eval_ctx));
+      return Status::OK();
+    };
+    std::lock_guard<std::mutex> lock(group->mu);
+    // Attach inline (the shape cannot have changed: `attaching` kept the
+    // group busy), releasing the placeholder in the same critical section.
+    --group->attaching;
+    consumer = new Consumer;
+    consumer->group = group;
+    consumer->needed =
+        needed.empty() ? std::vector<bool>(nchunks, true) : std::move(needed);
+    consumer->remaining = static_cast<size_t>(std::count(
+        consumer->needed.begin(), consumer->needed.end(), true));
+    consumer->fn = std::move(fn);
+    group->consumers.push_back(consumer);
+    if (starts_pass) {
+      ++scans_direct_;
+    } else {
+      ++scans_attached_;
+    }
+  }
+  MAMMOTH_RETURN_IF_ERROR(Drain(consumer, ctx));
+
+  size_t total = 0;
+  for (const BatPtr& p : parts) {
+    if (p != nullptr) total += p->Count();
+  }
+  BatPtr out = Bat::New(PhysType::kOid);
+  out->Resize(total);
+  Oid* dst = out->MutableTailData<Oid>();
+  for (const BatPtr& p : parts) {
+    if (p == nullptr || p->Count() == 0) continue;
+    std::memcpy(dst, p->TailData<Oid>(), p->Count() * sizeof(Oid));
+    dst += p->Count();
+  }
+  StampSelectResult(out);
+  return out;
+}
+
+SharedScanStats SharedScanScheduler::stats() const {
+  SharedScanStats s;
+  s.scans_attached = scans_attached_.load();
+  s.scans_direct = scans_direct_.load();
+  s.chunks_loaded = chunks_loaded_.load();
+  s.chunks_delivered = chunks_delivered_.load();
+  s.chunks_skipped = chunks_skipped_.load();
+  s.chunks_direct = chunks_direct_.load();
+  s.loads_saved = s.chunks_delivered - s.chunks_loaded;
+  return s;
+}
+
+}  // namespace mammoth::scan

@@ -1,0 +1,197 @@
+#ifndef MAMMOTH_SCAN_SHARED_SCAN_H_
+#define MAMMOTH_SCAN_SHARED_SCAN_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/bat.h"
+#include "core/value.h"
+#include "index/zonemap.h"
+#include "parallel/exec_context.h"
+
+namespace mammoth::scan {
+
+/// The execution-side counterpart of the Cooperative Scans simulation in
+/// scan/cooperative.h (§5): instead of *modelling* queries that share one
+/// physical pass, the SharedScanScheduler makes real concurrent SELECTs
+/// over one table ride a single chunk-at-a-time sweep over the BATs.
+///
+/// A table pass is divided into morsel-aligned chunks. Every routed scan
+/// attaches as a *consumer* with the chunk set it still needs (zone-map
+/// pruned for selective range predicates); one attached consumer at a time
+/// acts as the *driver*: it repeatedly picks the next chunk with the
+/// relevance policy of the simulation (the chunk needed by the most
+/// attached consumers, ties to the lowest index, restricted to chunks the
+/// driver itself needs) and delivers it to every consumer that wants it in
+/// one go — the in-memory analogue of loading a disk chunk once and
+/// handing it to all waiting queries: the chunk's cache lines are streamed
+/// once per delivery instead of once per query. Late-arriving consumers
+/// attach to the in-flight pass and circle back for the chunks they
+/// missed, exactly like the simulation's mid-flight arrivals.
+
+/// The predicate of a routed scan, normalized from the MAL select ops.
+struct ScanPredicate {
+  enum class Kind : uint8_t { kTheta, kRange };
+  Kind kind = Kind::kTheta;
+  Value v;                 ///< theta operand
+  CmpOp op = CmpOp::kEq;   ///< theta comparison
+  Value lo, hi;            ///< inclusive range bounds; nil = unbounded
+  bool anti = false;       ///< range inversion
+
+  static ScanPredicate Theta(Value value, CmpOp cmp) {
+    ScanPredicate p;
+    p.kind = Kind::kTheta;
+    p.v = std::move(value);
+    p.op = cmp;
+    return p;
+  }
+  static ScanPredicate Range(Value range_lo, Value range_hi, bool anti_sel) {
+    ScanPredicate p;
+    p.kind = Kind::kRange;
+    p.lo = std::move(range_lo);
+    p.hi = std::move(range_hi);
+    p.anti = anti_sel;
+    return p;
+  }
+};
+
+struct SharedScanConfig {
+  /// Rows per chunk; rounded up to a multiple of the 64K morsel grain so
+  /// chunk boundaries coincide with TaskPool morsel boundaries.
+  size_t chunk_rows = size_t{1} << 18;
+  /// Columns shorter than this always take the direct kernel path —
+  /// coordinating a scan that fits in one cache-resident sweep costs more
+  /// than it shares.
+  size_t min_share_rows = size_t{1} << 18;
+};
+
+/// Monotonic sharing counters (all values since construction).
+struct SharedScanStats {
+  uint64_t scans_attached = 0;   ///< scans that joined an in-flight pass
+  uint64_t scans_direct = 0;     ///< eligible scans that started their own pass
+  uint64_t chunks_loaded = 0;    ///< physical chunk deliveries (one sweep each)
+  uint64_t chunks_delivered = 0; ///< per-consumer chunk deliveries
+  uint64_t chunks_skipped = 0;   ///< consumer chunks pruned by zone maps
+  /// Chunk-equivalents scanned outside the pass protocol entirely (the
+  /// monolithic-kernel fallback for pass-shape mismatches).
+  uint64_t chunks_direct = 0;
+  /// Deliveries that rode along another consumer's load instead of paying
+  /// their own: chunks_delivered - chunks_loaded.
+  uint64_t loads_saved = 0;
+};
+
+class SharedScanScheduler {
+ public:
+  /// Per-chunk consumer body: processes rows [begin, end) of the pass.
+  /// Chunks arrive in relevance order, not position order; a consumer
+  /// buffers per-chunk results and assembles them by chunk index. May be
+  /// invoked from any attached consumer's thread (or a TaskPool worker),
+  /// but never twice for the same chunk and never concurrently with
+  /// another chunk of the same consumer. `eval_ctx` is the context the
+  /// body should evaluate with: the driver's own context when it is the
+  /// chunk's sole receiver (the evaluation may morsel-parallelize), the
+  /// serial context when the delivery fans out — the receivers themselves
+  /// already spread over the pool then.
+  using ChunkFn = std::function<Status(size_t chunk, size_t begin, size_t end,
+                                       const parallel::ExecContext& eval_ctx)>;
+
+  class Consumer;
+
+  explicit SharedScanScheduler(const SharedScanConfig& config = {});
+  ~SharedScanScheduler();
+
+  SharedScanScheduler(const SharedScanScheduler&) = delete;
+  SharedScanScheduler& operator=(const SharedScanScheduler&) = delete;
+
+  /// The routed select: evaluates `pred` over the merged column image
+  /// `column` of `table`@`version`, returning the qualifying OID BAT —
+  /// bit-identical (values, hseqbase, properties) to the direct kernels in
+  /// core/select.h. When >= 1 other scan of the same table is active it
+  /// joins that pass; a lone scan starts a chunk-at-a-time pass of its own
+  /// (so later arrivals can join it mid-flight). The monolithic kernel
+  /// path remains for ineligible scans (sorted/dense/string columns, short
+  /// columns) and for arrivals whose (version, nrows) shape mismatches the
+  /// busy pass.
+  Result<BatPtr> Select(const BatPtr& column, const std::string& table,
+                        const std::string& column_name, uint64_t version,
+                        const ScanPredicate& pred,
+                        const parallel::ExecContext& ctx);
+
+  /// --- Low-level pass protocol (used by Select, tests and benches) ------
+  /// Attaches a consumer to the pass over `nrows` rows of `table`@
+  /// `version`. `needed` marks the chunks the consumer wants (empty = all);
+  /// unneeded chunks count as skipped. Returns null when the group is
+  /// already busy with a different (version, nrows) shape — the caller
+  /// must then run its scan directly. May be called from inside a ChunkFn
+  /// (a late arrival attaching mid-pass).
+  Consumer* Attach(const std::string& table, uint64_t version, size_t nrows,
+                   std::vector<bool> needed, ChunkFn fn);
+
+  /// Drives and/or waits until every needed chunk of `consumer` has been
+  /// delivered, then detaches and destroys it. Exactly one Drain per
+  /// Attach. Returns the first error any of this consumer's chunk
+  /// callbacks produced.
+  Status Drain(Consumer* consumer, const parallel::ExecContext& ctx);
+
+  /// Number of scans (attached consumers + arrivals mid-attach) of
+  /// `table` right now; a new arrival joins an existing pass iff this
+  /// is >= 1.
+  size_t ActiveScans(const std::string& table) const;
+
+  SharedScanStats stats() const;
+
+  size_t chunk_rows() const { return config_.chunk_rows; }
+
+ private:
+  struct Group;
+
+  /// Builds (or fetches the cached) zone map of the column and returns the
+  /// chunk mask `pred` cannot prove empty, or an empty vector ("need all")
+  /// when the predicate/type does not support pruning.
+  std::vector<bool> PruneChunks(const BatPtr& column,
+                                const std::string& table,
+                                const std::string& column_name,
+                                uint64_t version, const ScanPredicate& pred);
+
+  /// Relevance policy of the simulation: among chunks `driver` still
+  /// needs, the one wanted by the most attached consumers (ties: lowest
+  /// index). Requires the group lock.
+  size_t PickChunkLocked(Group& group, const Consumer& driver) const;
+
+  void DriveLocked(Group& group, Consumer* driver,
+                   std::unique_lock<std::mutex>& lock,
+                   const parallel::ExecContext& ctx);
+
+  std::shared_ptr<Group> GetGroup(const std::string& table);
+
+  const SharedScanConfig config_;
+
+  mutable std::mutex mu_;  ///< guards groups_ and zonemaps_
+  std::unordered_map<std::string, std::shared_ptr<Group>> groups_;
+
+  /// Zone maps cached per (table\0column), invalidated by version.
+  struct CachedZoneMap {
+    uint64_t version = 0;
+    std::shared_ptr<index::ZoneMap> zonemap;
+  };
+  std::unordered_map<std::string, CachedZoneMap> zonemaps_;
+
+  std::atomic<uint64_t> scans_attached_{0};
+  std::atomic<uint64_t> scans_direct_{0};
+  std::atomic<uint64_t> chunks_loaded_{0};
+  std::atomic<uint64_t> chunks_delivered_{0};
+  std::atomic<uint64_t> chunks_skipped_{0};
+  std::atomic<uint64_t> chunks_direct_{0};
+};
+
+}  // namespace mammoth::scan
+
+#endif  // MAMMOTH_SCAN_SHARED_SCAN_H_

@@ -56,10 +56,13 @@ bool IsStatusCommand(const std::string& sql) {
 
 Server::Server(const ServerConfig& config)
     : config_(config),
+      shared_scans_(config.shared_scan),
       pool_(std::make_unique<parallel::TaskPool>(
           config.threads > 0 ? config.threads
                              : parallel::DefaultThreadCount())),
-      admission_(config.admission, pool_.get()) {}
+      admission_(config.admission, pool_.get()) {
+  engine_.AttachSharedScans(&shared_scans_);
+}
 
 Server::~Server() { Stop(); }
 
@@ -323,6 +326,7 @@ ServerStatsSnapshot Server::stats() const {
   s.sessions_open = sessions_open_.load();
   s.draining = draining_.load();
   s.admission = admission_.stats();
+  s.shared_scans = shared_scans_.stats();
   return s;
 }
 
@@ -350,6 +354,12 @@ mal::QueryResult Server::StatusResult(const ServerStatsSnapshot& s) {
   row("queries_rejected", s.admission.rejected);
   row("bytes_in", s.bytes_in);
   row("bytes_out", s.bytes_out);
+  row("shared_scans_attached", s.shared_scans.scans_attached);
+  row("shared_scans_direct", s.shared_scans.scans_direct);
+  row("shared_chunks_loaded", s.shared_scans.chunks_loaded);
+  row("shared_chunks_delivered", s.shared_scans.chunks_delivered);
+  row("shared_chunks_skipped", s.shared_scans.chunks_skipped);
+  row("shared_loads_saved", s.shared_scans.loads_saved);
   mal::QueryResult result;
   result.names = {"counter", "value"};
   result.columns = {std::move(counters), std::move(values)};

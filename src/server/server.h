@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "parallel/task_pool.h"
+#include "scan/shared_scan.h"
 #include "server/admission.h"
 #include "server/wire.h"
 #include "sql/engine.h"
@@ -31,6 +32,9 @@ struct ServerConfig {
   int threads = 0;
   /// Name reported in the Hello frame.
   std::string name = "mammothdb";
+  /// Shared-scan scheduler tuning (chunk grain, sharing threshold);
+  /// concurrent sessions scanning one table share a physical pass (§5).
+  scan::SharedScanConfig shared_scan;
   /// Stop() gives draining sessions this long to finish and deliver
   /// results; past the deadline remaining session sockets are shut
   /// down so a wedged peer cannot hold up shutdown.
@@ -49,6 +53,7 @@ struct ServerStatsSnapshot {
   int sessions_open = 0;
   bool draining = false;
   AdmissionStats admission;
+  scan::SharedScanStats shared_scans;
 };
 
 /// The MammothDB network front-end: a TCP server speaking the wire.h
@@ -118,6 +123,9 @@ class Server {
   Status SendError(int fd, const Status& error);
 
   const ServerConfig config_;
+  /// Declared before engine_ (which holds a pointer to it) so it is
+  /// destroyed after every engine user is gone.
+  scan::SharedScanScheduler shared_scans_;
   sql::Engine engine_;
   std::unique_ptr<parallel::TaskPool> pool_;
   AdmissionController admission_;

@@ -258,7 +258,13 @@ Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt,
   mal::PipelineReport opt_report;
   if (optimize_) opt_report = mal::OptimizePipeline(&prog);
   std::string plan = prog.ToString();
-  mal::Interpreter interp(catalog_.get(), recycler_, ctx);
+  // Route base-table scans through the attached shared-scan scheduler
+  // (if any) unless the caller's context already carries one.
+  parallel::ExecContext run_ctx = ctx;
+  if (shared_scans_ != nullptr && ctx.shared_scans() == nullptr) {
+    run_ctx = ctx.WithSharedScans(shared_scans_);
+  }
+  mal::Interpreter interp(catalog_.get(), recycler_, run_ctx);
   mal::RunStats run_stats;
   {
     std::lock_guard<std::mutex> lock(intro_mu_);
@@ -477,15 +483,26 @@ Result<mal::QueryResult> Engine::Execute(const std::string& statement,
     MAMMOTH_RETURN_IF_ERROR(RunCreate(*cre));
     return mal::QueryResult{};
   }
+  // DML invalidates the recycler wholesale — even on failure, since a
+  // multi-row INSERT/UPDATE can mutate the table before the failing row.
+  // (Cached entries could never be *served* stale — their signatures
+  // chain through bind signatures that include the table version — but
+  // dead entries would pin memory and crowd out live ones.)
   if (auto* ins = std::get_if<InsertStmt>(&stmt)) {
-    MAMMOTH_RETURN_IF_ERROR(RunInsert(*ins));
+    Status st = RunInsert(*ins);
+    if (recycler_ != nullptr) recycler_->Clear();
+    MAMMOTH_RETURN_IF_ERROR(st);
     return mal::QueryResult{};
   }
   if (auto* upd = std::get_if<UpdateStmt>(&stmt)) {
-    MAMMOTH_RETURN_IF_ERROR(RunUpdate(*upd));
+    Status st = RunUpdate(*upd);
+    if (recycler_ != nullptr) recycler_->Clear();
+    MAMMOTH_RETURN_IF_ERROR(st);
     return mal::QueryResult{};
   }
-  MAMMOTH_RETURN_IF_ERROR(RunDelete(std::get<DeleteStmt>(stmt)));
+  Status st = RunDelete(std::get<DeleteStmt>(stmt));
+  if (recycler_ != nullptr) recycler_->Clear();
+  MAMMOTH_RETURN_IF_ERROR(st);
   return mal::QueryResult{};
 }
 

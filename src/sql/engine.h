@@ -39,11 +39,13 @@ namespace mammoth::sql {
 /// result outlives any later DML on the tables it came from.
 ///
 /// Not covered by the lock (single-threaded use only): catalog() and
-/// Compile() direct access, AttachRecycler()/EnableOptimizer() setup
-/// (do it before going concurrent; the recycler itself is not
-/// thread-safe, so servers leave it detached), and the last_*()
-/// introspection accessors — those are internally synchronized but
-/// report *some* recent SELECT under concurrency, not a specific one.
+/// Compile() direct access, and the AttachRecycler()/
+/// AttachSharedScans()/EnableOptimizer() setup calls (do them before
+/// going concurrent — the attached recycler and scheduler themselves
+/// are internally synchronized and safe under concurrent sessions).
+/// The last_*() introspection accessors are internally synchronized
+/// but report *some* recent SELECT under concurrency, not a specific
+/// one.
 class Engine {
  public:
   Engine() : catalog_(std::make_shared<Catalog>()) {}
@@ -67,7 +69,16 @@ class Engine {
   Catalog* catalog() { return catalog_.get(); }
 
   /// Attaches a recycler consulted by every subsequent query (§6.1).
+  /// DML (INSERT/UPDATE/DELETE) clears it wholesale.
   void AttachRecycler(recycle::Recycler* recycler) { recycler_ = recycler; }
+
+  /// Attaches a shared-scan scheduler (§5): subsequent SELECTs route
+  /// their base-table scans through it, sharing one physical pass with
+  /// any concurrent scan of the same table. Results are bit-identical
+  /// to the direct kernel path.
+  void AttachSharedScans(scan::SharedScanScheduler* scheduler) {
+    shared_scans_ = scheduler;
+  }
 
   /// Toggles the MAL optimizer pipeline (default on).
   void EnableOptimizer(bool on) { optimize_ = on; }
@@ -88,6 +99,7 @@ class Engine {
 
   std::shared_ptr<Catalog> catalog_;
   recycle::Recycler* recycler_ = nullptr;
+  scan::SharedScanScheduler* shared_scans_ = nullptr;
   bool optimize_ = true;
 
   /// Readers (SELECT) shared, writers (DDL/DML) exclusive; see above.

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
+#include "core/table.h"
 #include "server/admission.h"
 #include "server/client.h"
 #include "server/wire.h"
@@ -410,6 +412,121 @@ TEST_F(ServerTest, StatusCountersTrackBytes) {
   EXPECT_GT(counters["bytes_in"], 0);
   EXPECT_GT(counters["bytes_out"], 0);
   EXPECT_EQ(counters["draining"], 0);
+}
+
+// ------------------------------------------------------- shared scans --
+
+/// A table big enough to clear the sharing threshold of the shrunken
+/// shared-scan config below (one 64K-row chunk).
+TablePtr BigScanTable() {
+  constexpr size_t kBigRows = 3 * (size_t{1} << 16) + 500;
+  BatPtr id = Bat::New(PhysType::kInt64);
+  BatPtr val = Bat::New(PhysType::kInt64);
+  id->Resize(kBigRows);
+  val->Resize(kBigRows);
+  int64_t* idp = id->MutableTailData<int64_t>();
+  int64_t* vp = val->MutableTailData<int64_t>();
+  Rng rng(4242);
+  for (size_t i = 0; i < kBigRows; ++i) {
+    idp[i] = static_cast<int64_t>(i);
+    vp[i] = static_cast<int64_t>(rng.Uniform(100000));
+  }
+  auto t = Table::FromColumns(
+      "metrics_big",
+      {{"id", PhysType::kInt64}, {"val", PhysType::kInt64}},
+      {std::move(id), std::move(val)});
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return *t;
+}
+
+const std::vector<std::string>& ScanQueries() {
+  static const std::vector<std::string> queries = {
+      "SELECT id, val FROM metrics_big WHERE val >= 1000 AND val <= 60000",
+      "SELECT id FROM metrics_big WHERE val >= 20000 AND val <= 80000",
+      "SELECT COUNT(*), SUM(val) FROM metrics_big WHERE val >= 5000 AND "
+      "val <= 95000",
+      "SELECT val FROM metrics_big WHERE val >= 40000 AND val <= 41000",
+  };
+  return queries;
+}
+
+/// N wire sessions issuing overlapping range scans share physical passes
+/// through the server's SharedScanScheduler and stay bit-identical to a
+/// plain serial in-process engine, for worker pools of 1/2/4/8.
+TEST_F(ServerTest, SharedScanSessionsBitIdenticalAcrossPools) {
+  // Serial in-process yardstick: no scheduler, no pool.
+  std::vector<std::string> expected;
+  {
+    sql::Engine plain;
+    ASSERT_TRUE(plain.catalog()->Register(BigScanTable()).ok());
+    for (const std::string& q : ScanQueries()) {
+      auto r = plain.Execute(q, parallel::ExecContext::Serial());
+      ASSERT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+      auto payload = EncodeResult(*r);
+      ASSERT_TRUE(payload.ok());
+      expected.push_back(*payload);
+    }
+  }
+
+  for (int threads : {1, 2, 4, 8}) {
+    ServerConfig config;
+    config.threads = threads;
+    config.max_sessions = 16;
+    config.shared_scan.chunk_rows = size_t{1} << 16;
+    config.shared_scan.min_share_rows = size_t{1} << 16;
+    config.port = 0;
+    server_ = std::make_unique<Server>(config);
+    ASSERT_TRUE(server_->engine()->catalog()->Register(BigScanTable()).ok());
+    ASSERT_TRUE(server_->Start().ok());
+
+    constexpr int kClients = 8;
+    constexpr int kReps = 2;
+    std::atomic<int> mismatches{0}, failures{0};
+    std::vector<std::thread> sessions;
+    for (int t = 0; t < kClients; ++t) {
+      sessions.emplace_back([&, t] {
+        auto client = Client::Connect("127.0.0.1", server_->port());
+        if (!client.ok()) {
+          ++failures;
+          return;
+        }
+        for (int rep = 0; rep < kReps; ++rep) {
+          for (size_t q = 0; q < ScanQueries().size(); ++q) {
+            const size_t idx = (q + t) % ScanQueries().size();
+            auto remote = client->Query(ScanQueries()[idx]);
+            if (!remote.ok()) {
+              ++failures;
+              continue;
+            }
+            auto encoded = EncodeResult(*remote);
+            if (!encoded.ok() || *encoded != expected[idx]) ++mismatches;
+          }
+        }
+        client->Close();
+      });
+    }
+    for (std::thread& t : sessions) t.join();
+    EXPECT_EQ(failures.load(), 0) << "pool " << threads;
+    EXPECT_EQ(mismatches.load(), 0) << "pool " << threads;
+
+    Client probe = Connect();
+    auto counters = ServerStatus(&probe);
+    // Every query scans metrics_big (eligible), so each one either
+    // attached to a shared pass or ran registered-direct.
+    const int64_t total_scans = counters["shared_scans_attached"] +
+                                counters["shared_scans_direct"];
+    EXPECT_GE(total_scans,
+              static_cast<int64_t>(kClients * kReps *
+                                   ScanQueries().size()))
+        << "pool " << threads;
+    EXPECT_EQ(counters["shared_loads_saved"],
+              counters["shared_chunks_delivered"] -
+                  counters["shared_chunks_loaded"]);
+    EXPECT_GE(counters["shared_chunks_skipped"], 0);
+    probe.Close();
+    server_->Stop();
+    server_.reset();
+  }
 }
 
 }  // namespace
