@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -254,6 +255,111 @@ void BM_ServerScanHeavy(benchmark::State& state) {
 }
 
 BENCHMARK(BM_ServerScanHeavy)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Mixed read/write sessions against a *durable* server: each client
+// interleaves INSERT/UPDATE/DELETE (write-ahead-logged, group-committed)
+// with the SELECT mix. The interesting counters are qps under the
+// engine's writer lock plus fsyncs_per_commit from the WAL — concurrent
+// sessions' commits should batch well below one fsync each.
+
+std::string DmlMixQuery(int client, int seq, std::atomic<int64_t>* next_id) {
+  switch (seq % 5) {
+    case 0:
+    case 1: {
+      const int64_t id = 1000000 + next_id->fetch_add(1);
+      return "INSERT INTO metrics VALUES (" + std::to_string(id) + ", " +
+             std::to_string((id * 131) % 10000) + ", 'fresh')";
+    }
+    case 2:
+      return "UPDATE metrics SET value = " +
+             std::to_string((client * 97 + seq) % 10000) +
+             " WHERE id = " + std::to_string(client * 7 + seq);
+    case 3:
+      return "DELETE FROM metrics WHERE id = " +
+             std::to_string(1000000 + client * 131 + seq);
+    default:
+      return QueryMix()[(client + seq) % QueryMix().size()];
+  }
+}
+
+void BM_ServerDmlMix(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  constexpr int kQueriesPerClient = 8;
+
+  const std::string dir =
+      "bench_server_dml_db_" + std::to_string(clients);
+  std::filesystem::remove_all(dir);
+  server::ServerConfig config;
+  config.max_sessions = clients + 4;
+  config.admission.max_inflight = 8;
+  config.admission.queue_timeout_ms = 60000;
+  config.db_dir = dir;
+  config.db.wal.checkpoint_log_bytes = 0;  // measure commits, not snapshots
+  server::Server server(config);
+  if (!server.OpenDurableStorage().ok()) {
+    state.SkipWithError("durable open failed");
+    return;
+  }
+  Populate(server.engine(), BenchRows());
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  std::vector<server::Client> conns;
+  conns.reserve(clients);
+  for (int i = 0; i < clients; ++i) {
+    auto c = server::Client::Connect("127.0.0.1", server.port());
+    if (!c.ok()) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+    conns.push_back(std::move(*c));
+  }
+
+  std::atomic<bool> failed{false};
+  std::atomic<int64_t> next_id{0};
+  int64_t total_queries = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t) {
+      threads.emplace_back([&, t] {
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          if (!conns[t].Query(DmlMixQuery(t, q, &next_id)).ok()) {
+            failed.store(true);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+    total_queries += static_cast<int64_t>(clients) * kQueriesPerClient;
+  }
+  if (failed.load()) state.SkipWithError("query failed");
+
+  const auto stats = server.stats();
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(total_queries), benchmark::Counter::kIsRate);
+  state.counters["fsyncs_per_commit"] =
+      stats.wal.commits_synced == 0
+          ? 0.0
+          : static_cast<double>(stats.wal.fsyncs) /
+                static_cast<double>(stats.wal.commits_synced);
+  state.counters["clients"] = clients;
+  server.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+BENCHMARK(BM_ServerDmlMix)
     ->Arg(1)
     ->Arg(4)
     ->Arg(16)

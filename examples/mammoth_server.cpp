@@ -11,6 +11,13 @@
 //   --timeout-ms <n>    admission queue timeout        (default 5000)
 //   --threads <n>       kernel TaskPool workers, 0 = hardware (default 0)
 //   --init <file>       SQL script executed before accepting connections
+//                       (with --db-dir: only when the directory is fresh —
+//                       a recovered catalog is never re-seeded)
+//   --db-dir <dir>      durable database directory: recovered on startup,
+//                       every DDL/DML write-ahead-logged with group commit
+//   --checkpoint-bytes <n>  log bytes between automatic checkpoints
+//                           (0 = only explicit CHECKPOINT; default 64 MiB)
+//   --no-group-commit   one fsync per commit (benchmark baseline)
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight queries drain,
 // new connections and queries are rejected with a typed Error frame,
@@ -65,6 +72,13 @@ int main(int argc, char** argv) {
       config.threads = std::atoi(need("--threads"));
     } else if (arg == "--init") {
       init_file = need("--init");
+    } else if (arg == "--db-dir") {
+      config.db_dir = need("--db-dir");
+    } else if (arg == "--checkpoint-bytes") {
+      config.db.wal.checkpoint_log_bytes =
+          static_cast<size_t>(std::atoll(need("--checkpoint-bytes")));
+    } else if (arg == "--no-group-commit") {
+      config.db.wal.group_commit = false;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -72,6 +86,26 @@ int main(int argc, char** argv) {
   }
 
   server::Server server(config);
+  if (!config.db_dir.empty()) {
+    // Open (and recover) durable storage before the init script so the
+    // script's DML is logged too — but only seed a *fresh* directory:
+    // recovered data must not be re-seeded on every restart.
+    const mammoth::Status opened = server.OpenDurableStorage();
+    if (!opened.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   opened.ToString().c_str());
+      return 1;
+    }
+    const auto& info = server.recovery_info();
+    std::printf("recovered %s: checkpoint lsn %llu, %llu txns replayed%s\n",
+                config.db_dir.c_str(),
+                static_cast<unsigned long long>(info.checkpoint_lsn),
+                static_cast<unsigned long long>(info.txns_applied),
+                info.torn_tail ? " (torn tail truncated)" : "");
+    if (!server.engine()->catalog()->TableNames().empty()) {
+      init_file.clear();
+    }
+  }
   if (!init_file.empty()) {
     std::ifstream f(init_file);
     if (!f) {

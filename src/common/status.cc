@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kTimedOut:
       return "TimedOut";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode : uint8_t {
   kInternal,
   kUnavailable,  ///< service refusing work (e.g. server draining)
   kTimedOut,     ///< deadline elapsed (e.g. admission queue timeout)
+  kCorruption,   ///< on-disk state fails validation (e.g. mid-log CRC)
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -66,6 +67,9 @@ class Status {
   }
   static Status TimedOut(std::string msg) {
     return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -253,4 +253,43 @@ Result<std::shared_ptr<Catalog>> LoadCatalog(const std::string& dir,
   return catalog;
 }
 
+namespace {
+
+Status SyncFd(const std::string& path, int flags) {
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return Status::IOError("open for fsync " + path + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SyncFile(const std::string& path) { return SyncFd(path, O_RDONLY); }
+
+Status SyncDir(const std::string& dir) {
+  return SyncFd(dir, O_RDONLY | O_DIRECTORY);
+}
+
+Status SyncTree(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec)) {
+      MAMMOTH_RETURN_IF_ERROR(SyncFile(it->path().string()));
+    } else if (it->is_directory(ec)) {
+      MAMMOTH_RETURN_IF_ERROR(SyncDir(it->path().string()));
+    }
+  }
+  if (ec) return Status::IOError("walk " + dir + ": " + ec.message());
+  return SyncDir(dir);
+}
+
 }  // namespace mammoth

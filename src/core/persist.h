@@ -59,6 +59,16 @@ Status SaveCatalog(const Catalog& catalog, const std::string& dir);
 Result<std::shared_ptr<Catalog>> LoadCatalog(const std::string& dir,
                                              bool use_mmap = false);
 
+/// fsync(2) a file / directory. Directory sync is what makes a rename or
+/// file creation itself durable — the WAL checkpoint protocol needs both.
+Status SyncFile(const std::string& path);
+Status SyncDir(const std::string& dir);
+
+/// Recursively fsyncs every regular file under `dir`, then the directories
+/// bottom-up. Used to make a freshly written snapshot durable before the
+/// atomic rename publishes it.
+Status SyncTree(const std::string& dir);
+
 }  // namespace mammoth
 
 #endif  // MAMMOTH_CORE_PERSIST_H_

@@ -220,6 +220,23 @@ Status Table::MergeDeltas() {
   return Status::OK();
 }
 
+Table::DeltaMark Table::Mark() const {
+  return DeltaMark{inserts_[0]->Count(), deleted_, version_};
+}
+
+void Table::Rollback(const DeltaMark& mark) {
+  for (const BatPtr& delta : inserts_) {
+    // Shrink the delta back; interned strings appended since the mark
+    // stay in the heap (harmless garbage) but their offsets vanish.
+    delta->Resize(mark.insert_rows);
+  }
+  deleted_ = mark.deleted;
+  // Restoring the version is safe: the table content is bit-identical to
+  // what that version number described, so recycler entries keyed on it
+  // are valid again.
+  version_ = mark.version;
+}
+
 TablePtr Table::Snapshot() const {
   TablePtr snap(new Table(name_, schema_));
   snap->mains_ = mains_;  // shared, immutable until MergeDeltas

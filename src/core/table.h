@@ -75,6 +75,25 @@ class Table {
   /// side are invisible to the other as long as neither calls MergeDeltas().
   TablePtr Snapshot() const;
 
+  /// A point-in-time marker of the delta state, cheap to take (no data is
+  /// copied: Delete() replaces the deleted-list BAT wholesale, so holding
+  /// the old pointer preserves it). Valid until the next MergeDeltas().
+  struct DeltaMark {
+    size_t insert_rows = 0;  ///< pending insert-delta length at the mark
+    BatPtr deleted;          ///< deleted-list BAT at the mark
+    uint64_t version = 0;
+  };
+
+  /// Marks the current delta state so a failing multi-row statement can
+  /// be rolled back to it (statement atomicity: the engine takes a mark,
+  /// applies every row, and restores the mark if any row fails).
+  DeltaMark Mark() const;
+
+  /// Reverts all Insert()/Delete() calls made since `mark` was taken.
+  /// Undefined if MergeDeltas() ran in between (the engine's exclusive
+  /// lock prevents that).
+  void Rollback(const DeltaMark& mark);
+
   /// Number of pending (unmerged) inserted rows.
   size_t PendingInsertCount() const {
     return inserts_.empty() ? 0 : inserts_[0]->Count();

@@ -109,13 +109,15 @@ class SharedScanScheduler::Consumer {
   bool failed = false;
 };
 
-/// Per-table pass state. `version`/`nrows`/`nchunks` describe the shape
-/// of the in-flight pass; they may only change while the group is idle.
+/// Per-table pass state. `version`/`nrows`/`chunk_rows`/`nchunks`
+/// describe the shape of the in-flight pass; they may only change while
+/// the group is idle.
 struct SharedScanScheduler::Group {
   std::mutex mu;
   std::condition_variable cv;
   uint64_t version = 0;
   size_t nrows = 0;
+  size_t chunk_rows = 0;
   size_t nchunks = 0;
   int attaching = 0;  ///< arrivals between route decision and Attach
   bool driver_active = false;
@@ -134,6 +136,16 @@ SharedScanScheduler::SharedScanScheduler(const SharedScanConfig& config)
       }()) {}
 
 SharedScanScheduler::~SharedScanScheduler() = default;
+
+size_t SharedScanScheduler::RowsPerChunk(size_t value_width) const {
+  if (config_.chunk_bytes == 0 || value_width == 0) {
+    return config_.chunk_rows;
+  }
+  constexpr size_t kGrain = parallel::TaskPool::kDefaultGrain;
+  const size_t rows =
+      std::max(config_.chunk_bytes / value_width, kGrain);
+  return (rows + kGrain - 1) / kGrain * kGrain;
+}
 
 std::shared_ptr<SharedScanScheduler::Group> SharedScanScheduler::GetGroup(
     const std::string& table) {
@@ -158,7 +170,7 @@ size_t SharedScanScheduler::ActiveScans(const std::string& table) const {
 std::vector<bool> SharedScanScheduler::PruneChunks(
     const BatPtr& column, const std::string& table,
     const std::string& column_name, uint64_t version,
-    const ScanPredicate& pred) {
+    const ScanPredicate& pred, size_t chunk_rows) {
   if (column->type() != PhysType::kInt32 &&
       column->type() != PhysType::kInt64) {
     return {};
@@ -171,18 +183,19 @@ std::vector<bool> SharedScanScheduler::PruneChunks(
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = zonemaps_.find(key);
-    if (it != zonemaps_.end() && it->second.version == version) {
+    if (it != zonemaps_.end() && it->second.version == version &&
+        it->second.block_rows == chunk_rows) {
       zm = it->second.zonemap;
     }
   }
   if (zm == nullptr) {
     // Build outside the lock (O(n)); concurrent builders duplicate the
     // work at most once, last insert wins.
-    auto built = index::ZoneMap::Build(column, config_.chunk_rows);
+    auto built = index::ZoneMap::Build(column, chunk_rows);
     if (!built.ok()) return {};
     zm = std::make_shared<index::ZoneMap>(std::move(*built));
     std::lock_guard<std::mutex> lock(mu_);
-    zonemaps_[key] = CachedZoneMap{version, zm};
+    zonemaps_[key] = CachedZoneMap{version, chunk_rows, zm};
   }
   std::vector<bool> needed(zm->NumBlocks());
   for (size_t blk = 0; blk < needed.size(); ++blk) {
@@ -194,17 +207,19 @@ std::vector<bool> SharedScanScheduler::PruneChunks(
 
 SharedScanScheduler::Consumer* SharedScanScheduler::Attach(
     const std::string& table, uint64_t version, size_t nrows,
-    std::vector<bool> needed, ChunkFn fn) {
+    std::vector<bool> needed, ChunkFn fn, size_t chunk_rows) {
+  if (chunk_rows == 0) chunk_rows = config_.chunk_rows;
   auto group = GetGroup(table);
   std::lock_guard<std::mutex> lock(group->mu);
-  const size_t nchunks =
-      (nrows + config_.chunk_rows - 1) / config_.chunk_rows;
+  const size_t nchunks = (nrows + chunk_rows - 1) / chunk_rows;
   const bool idle = group->consumers.empty() && group->attaching == 0;
   if (idle) {
     group->version = version;
     group->nrows = nrows;
+    group->chunk_rows = chunk_rows;
     group->nchunks = nchunks;
-  } else if (group->version != version || group->nrows != nrows) {
+  } else if (group->version != version || group->nrows != nrows ||
+             group->chunk_rows != chunk_rows) {
     return nullptr;  // pass shape mismatch: caller scans directly
   }
   Consumer* c = new Consumer;
@@ -253,8 +268,8 @@ void SharedScanScheduler::DriveLocked(Group& group, Consumer* driver,
       ++con->inflight;
       recv.push_back(con);
     }
-    const size_t begin = chunk * config_.chunk_rows;
-    const size_t end = std::min(group.nrows, begin + config_.chunk_rows);
+    const size_t begin = chunk * group.chunk_rows;
+    const size_t end = std::min(group.nrows, begin + group.chunk_rows);
     ++chunks_loaded_;
     chunks_delivered_ += recv.size();
     lock.unlock();
@@ -337,8 +352,12 @@ Result<BatPtr> SharedScanScheduler::Select(const BatPtr& column,
   if (!eligible) return RunKernel(column, pred, ctx);
 
   const size_t nrows = column->Count();
-  const size_t nchunks =
-      (nrows + config_.chunk_rows - 1) / config_.chunk_rows;
+  // The pass's chunk grain adapts to the column width (comparable chunk
+  // *bytes* across types); a joiner adopts the grain of the pass it
+  // joins — the chunk grid lives over row positions, so any column of
+  // the table can ride it.
+  size_t pass_chunk_rows = RowsPerChunk(TypeWidth(column->type()));
+  size_t nchunks = (nrows + pass_chunk_rows - 1) / pass_chunk_rows;
   auto group = GetGroup(table);
 
   // Route: a lone scan *starts* a chunk-at-a-time pass (counted direct —
@@ -355,12 +374,15 @@ Result<BatPtr> SharedScanScheduler::Select(const BatPtr& column,
     if (!busy) {
       group->version = version;
       group->nrows = nrows;
+      group->chunk_rows = pass_chunk_rows;
       group->nchunks = nchunks;
       mode = Mode::kStart;
     } else if (group->version != version || group->nrows != nrows) {
       mode = Mode::kFallback;  // cannot mix rows with the other snapshot
     } else {
       mode = Mode::kJoin;
+      pass_chunk_rows = group->chunk_rows;
+      nchunks = group->nchunks;
     }
     if (mode != Mode::kFallback) {
       ++group->attaching;  // keeps the group busy while we prune chunks
@@ -377,7 +399,8 @@ Result<BatPtr> SharedScanScheduler::Select(const BatPtr& column,
   // our chunks (driving it whenever no one else does), and assemble the
   // per-chunk results in chunk order.
   std::vector<bool> needed =
-      PruneChunks(column, table, column_name, version, pred);
+      PruneChunks(column, table, column_name, version, pred,
+                  pass_chunk_rows);
   size_t skipped = 0;
   if (!needed.empty()) {
     skipped = nchunks - static_cast<size_t>(

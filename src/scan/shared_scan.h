@@ -64,9 +64,20 @@ struct ScanPredicate {
 };
 
 struct SharedScanConfig {
-  /// Rows per chunk; rounded up to a multiple of the 64K morsel grain so
-  /// chunk boundaries coincide with TaskPool morsel boundaries.
+  /// Default rows per chunk; rounded up to a multiple of the 64K morsel
+  /// grain so chunk boundaries coincide with TaskPool morsel boundaries.
+  /// Used by the low-level Attach protocol and whenever `chunk_bytes` is
+  /// disabled.
   size_t chunk_rows = size_t{1} << 18;
+  /// Target *bytes* per chunk for routed scans: each pass derives its row
+  /// grain from the width of the column that starts it
+  /// (chunk_bytes / width, morsel-aligned), so an int64 pass uses half
+  /// the rows of an int32 pass and both sweep comparably sized chunks —
+  /// the unit the relevance policy reasons about is then cache footprint,
+  /// not row count. 0 disables the adaptation (every pass uses
+  /// `chunk_rows`). The default (1 MiB) makes an int32 pass match the
+  /// legacy 256Ki-row grain exactly.
+  size_t chunk_bytes = size_t{1} << 20;
   /// Columns shorter than this always take the direct kernel path —
   /// coordinating a scan that fits in one cache-resident sweep costs more
   /// than it shares.
@@ -129,11 +140,14 @@ class SharedScanScheduler {
   /// Attaches a consumer to the pass over `nrows` rows of `table`@
   /// `version`. `needed` marks the chunks the consumer wants (empty = all);
   /// unneeded chunks count as skipped. Returns null when the group is
-  /// already busy with a different (version, nrows) shape — the caller
-  /// must then run its scan directly. May be called from inside a ChunkFn
-  /// (a late arrival attaching mid-pass).
+  /// already busy with a different (version, nrows, chunk grain) shape —
+  /// the caller must then run its scan directly. May be called from
+  /// inside a ChunkFn (a late arrival attaching mid-pass).
+  /// `chunk_rows` sets the pass's chunk grain (0: the config default);
+  /// it only takes effect when this Attach starts the pass.
   Consumer* Attach(const std::string& table, uint64_t version, size_t nrows,
-                   std::vector<bool> needed, ChunkFn fn);
+                   std::vector<bool> needed, ChunkFn fn,
+                   size_t chunk_rows = 0);
 
   /// Drives and/or waits until every needed chunk of `consumer` has been
   /// delivered, then detaches and destroys it. Exactly one Drain per
@@ -148,18 +162,26 @@ class SharedScanScheduler {
 
   SharedScanStats stats() const;
 
+  /// The default (non-adaptive) chunk grain, morsel-aligned.
   size_t chunk_rows() const { return config_.chunk_rows; }
+
+  /// The chunk grain a routed pass uses for columns of the given value
+  /// width: chunk_bytes / width, morsel-aligned (or the fixed chunk_rows
+  /// when byte-adaptation is disabled).
+  size_t RowsPerChunk(size_t value_width) const;
 
  private:
   struct Group;
 
-  /// Builds (or fetches the cached) zone map of the column and returns the
-  /// chunk mask `pred` cannot prove empty, or an empty vector ("need all")
-  /// when the predicate/type does not support pruning.
+  /// Builds (or fetches the cached) zone map of the column at the pass's
+  /// chunk grain and returns the chunk mask `pred` cannot prove empty, or
+  /// an empty vector ("need all") when the predicate/type does not
+  /// support pruning.
   std::vector<bool> PruneChunks(const BatPtr& column,
                                 const std::string& table,
                                 const std::string& column_name,
-                                uint64_t version, const ScanPredicate& pred);
+                                uint64_t version, const ScanPredicate& pred,
+                                size_t chunk_rows);
 
   /// Relevance policy of the simulation: among chunks `driver` still
   /// needs, the one wanted by the most attached consumers (ties: lowest
@@ -177,9 +199,11 @@ class SharedScanScheduler {
   mutable std::mutex mu_;  ///< guards groups_ and zonemaps_
   std::unordered_map<std::string, std::shared_ptr<Group>> groups_;
 
-  /// Zone maps cached per (table\0column), invalidated by version.
+  /// Zone maps cached per (table\0column), invalidated by version or by
+  /// a block-granularity change (a pass at a different chunk grain).
   struct CachedZoneMap {
     uint64_t version = 0;
+    size_t block_rows = 0;
     std::shared_ptr<index::ZoneMap> zonemap;
   };
   std::unordered_map<std::string, CachedZoneMap> zonemaps_;

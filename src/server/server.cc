@@ -66,9 +66,24 @@ Server::Server(const ServerConfig& config)
 
 Server::~Server() { Stop(); }
 
+Status Server::OpenDurableStorage() {
+  if (config_.db_dir.empty() || storage_opened_) return Status::OK();
+  MAMMOTH_ASSIGN_OR_RETURN(
+      wal::OpenedDb db,
+      wal::OpenDatabase(config_.db_dir, &engine_, config_.db));
+  wal_ = std::move(db.wal);
+  recovery_info_ = db.info;
+  storage_opened_ = true;
+  return Status::OK();
+}
+
 Status Server::Start() {
   if (started_.exchange(true)) {
     return Status::InvalidArgument("server already started");
+  }
+  if (Status st = OpenDurableStorage(); !st.ok()) {
+    started_.store(false);
+    return st;
   }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return Status::IOError("socket(): failed");
@@ -327,6 +342,11 @@ ServerStatsSnapshot Server::stats() const {
   s.draining = draining_.load();
   s.admission = admission_.stats();
   s.shared_scans = shared_scans_.stats();
+  if (wal_ != nullptr) {
+    s.durable = true;
+    s.wal = wal_->stats();
+    s.wal_recovered_txns = recovery_info_.txns_applied;
+  }
   return s;
 }
 
@@ -360,6 +380,14 @@ mal::QueryResult Server::StatusResult(const ServerStatsSnapshot& s) {
   row("shared_chunks_delivered", s.shared_scans.chunks_delivered);
   row("shared_chunks_skipped", s.shared_scans.chunks_skipped);
   row("shared_loads_saved", s.shared_scans.loads_saved);
+  row("durable", s.durable ? 1 : 0);
+  row("wal_txns", s.wal.txns_logged);
+  row("wal_commits_synced", s.wal.commits_synced);
+  row("wal_fsyncs", s.wal.fsyncs);
+  row("wal_bytes", s.wal.bytes_logged);
+  row("wal_checkpoints", s.wal.checkpoints);
+  row("wal_durable_lsn", s.wal.durable_lsn);
+  row("wal_recovered_txns", s.wal_recovered_txns);
   mal::QueryResult result;
   result.names = {"counter", "value"};
   result.columns = {std::move(counters), std::move(values)};

@@ -16,6 +16,7 @@
 #include "server/admission.h"
 #include "server/wire.h"
 #include "sql/engine.h"
+#include "wal/db.h"
 
 namespace mammoth::server {
 
@@ -39,6 +40,13 @@ struct ServerConfig {
   /// results; past the deadline remaining session sockets are shut
   /// down so a wedged peer cannot hold up shutdown.
   int drain_force_millis = 10000;
+  /// Durable database directory. Empty runs fully in memory (the
+  /// pre-durability behaviour); set, the server recovers the directory
+  /// into its engine on Start() and write-ahead-logs every DDL/DML with
+  /// group commit (see src/wal/).
+  std::string db_dir;
+  /// WAL/recovery tuning used when `db_dir` is set.
+  wal::DbOptions db;
 };
 
 /// Monotonic counters + gauges exposed through stats() and the
@@ -54,6 +62,9 @@ struct ServerStatsSnapshot {
   bool draining = false;
   AdmissionStats admission;
   scan::SharedScanStats shared_scans;
+  bool durable = false;  ///< a WAL is attached (db_dir was set)
+  wal::WalStats wal;
+  uint64_t wal_recovered_txns = 0;  ///< transactions replayed at startup
 };
 
 /// The MammothDB network front-end: a TCP server speaking the wire.h
@@ -77,8 +88,19 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Binds, listens and starts accepting. Fails with kIOError when the
-  /// address cannot be bound.
+  /// address cannot be bound. Opens durable storage first when
+  /// `db_dir` is configured (unless already opened explicitly).
   Status Start();
+
+  /// Recovers `config.db_dir` into the engine and attaches the WAL.
+  /// Called by Start(); callable earlier to inspect the recovered
+  /// catalog before going live (e.g. to seed a fresh database only).
+  /// Idempotent; no-op when `db_dir` is empty.
+  Status OpenDurableStorage();
+
+  /// Recovery outcome of OpenDurableStorage() (default-constructed when
+  /// the server runs in memory).
+  const wal::RecoveryInfo& recovery_info() const { return recovery_info_; }
 
   /// Stops admitting work: queued queries and new connections/queries
   /// are rejected with typed Error frames; in-flight queries drain.
@@ -123,9 +145,12 @@ class Server {
   Status SendError(int fd, const Status& error);
 
   const ServerConfig config_;
-  /// Declared before engine_ (which holds a pointer to it) so it is
+  /// Declared before engine_ (which holds pointers to them) so they are
   /// destroyed after every engine user is gone.
   scan::SharedScanScheduler shared_scans_;
+  std::unique_ptr<wal::Wal> wal_;
+  wal::RecoveryInfo recovery_info_;
+  bool storage_opened_ = false;
   sql::Engine engine_;
   std::unique_ptr<parallel::TaskPool> pool_;
   AdmissionController admission_;

@@ -166,7 +166,7 @@ Result<WireError> DecodeError(std::string_view payload) {
       !r.done()) {
     return Truncated("error frame");
   }
-  if (code > static_cast<uint8_t>(StatusCode::kTimedOut)) {
+  if (code > static_cast<uint8_t>(StatusCode::kCorruption)) {
     return Status::InvalidArgument("wire: unknown status code " +
                                    std::to_string(code));
   }

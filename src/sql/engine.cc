@@ -1,16 +1,32 @@
 #include "sql/engine.h"
 
 #include <algorithm>
+#include <cctype>
 #include <map>
 
 #include "core/project.h"
 #include "core/select.h"
 #include "core/sort.h"
 #include "sql/parser.h"
+#include "wal/record.h"
+#include "wal/wal.h"
 
 namespace mammoth::sql {
 
 namespace {
+
+/// Matches the CHECKPOINT admin command (case-insensitive, surrounding
+/// whitespace ignored) — intercepted before the SQL parser, like the
+/// server's SERVER STATUS.
+bool IsCheckpointCommand(const std::string& statement) {
+  std::string t;
+  for (char c : statement) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      t.push_back(static_cast<char>(std::toupper(c)));
+    }
+  }
+  return t == "CHECKPOINT";
+}
 
 mal::OpCode AggOpCode(AggFn fn) {
   switch (fn) {
@@ -347,25 +363,37 @@ Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt,
   return result;
 }
 
-Status Engine::RunCreate(const CreateStmt& stmt) {
+Status Engine::RunCreate(const CreateStmt& stmt, wal::TxnBuilder* txn) {
   MAMMOTH_ASSIGN_OR_RETURN(TablePtr t,
                            Table::Create(stmt.table, stmt.columns));
-  return catalog_->Register(std::move(t));
-}
-
-Status Engine::RunInsert(const InsertStmt& stmt) {
-  MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(stmt.table));
-  for (const std::vector<Value>& row : stmt.rows) {
-    MAMMOTH_RETURN_IF_ERROR(t->Insert(row));
-  }
+  MAMMOTH_RETURN_IF_ERROR(catalog_->Register(std::move(t)));
+  txn->CreateTable(stmt.table, stmt.columns);
   return Status::OK();
 }
 
-Status Engine::RunDelete(const DeleteStmt& stmt) {
+Status Engine::RunInsert(const InsertStmt& stmt, wal::TxnBuilder* txn) {
+  MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(stmt.table));
+  // Statement atomicity: rows are appended one at a time, so a failure on
+  // the Nth row (arity/kind mismatch) must not leave rows 1..N-1 behind.
+  const Table::DeltaMark mark = t->Mark();
+  for (const std::vector<Value>& row : stmt.rows) {
+    Status st = t->Insert(row);
+    if (!st.ok()) {
+      t->Rollback(mark);
+      return st;
+    }
+  }
+  txn->InsertRows(stmt.table, t->schema(), stmt.rows);
+  return Status::OK();
+}
+
+Status Engine::RunDelete(const DeleteStmt& stmt, wal::TxnBuilder* txn) {
   MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(stmt.table));
   if (stmt.where.empty()) {
     BatPtr all = t->LiveCandidates();
-    return t->Delete(all);
+    MAMMOTH_RETURN_IF_ERROR(t->Delete(all));
+    txn->DeletePositions(stmt.table, *all);
+    return Status::OK();
   }
   // Evaluate the predicate with the select machinery: the qualifying
   // candidate list *is* the deletion list.
@@ -385,10 +413,12 @@ Status Engine::RunDelete(const DeleteStmt& stmt) {
   prog.Result(cands, "oids");
   mal::Interpreter interp(catalog_.get(), nullptr);
   MAMMOTH_ASSIGN_OR_RETURN(mal::QueryResult r, interp.Run(prog, nullptr));
-  return t->Delete(r.columns[0]);
+  MAMMOTH_RETURN_IF_ERROR(t->Delete(r.columns[0]));
+  txn->DeletePositions(stmt.table, *r.columns[0]);
+  return Status::OK();
 }
 
-Status Engine::RunUpdate(const UpdateStmt& stmt) {
+Status Engine::RunUpdate(const UpdateStmt& stmt, wal::TxnBuilder* txn) {
   MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(stmt.table));
   // Resolve SET targets and validate value kinds.
   std::vector<std::pair<size_t, Value>> sets;
@@ -430,6 +460,8 @@ Status Engine::RunUpdate(const UpdateStmt& stmt) {
     MAMMOTH_ASSIGN_OR_RETURN(BatPtr col, t->ScanColumn(c));
     columns.push_back(std::move(col));
   }
+  std::vector<std::vector<Value>> new_rows;
+  new_rows.reserve(oids->Count());
   for (size_t i = 0; i < oids->Count(); ++i) {
     const size_t row = static_cast<size_t>(oids->OidAt(i));
     std::vector<Value> new_row(t->NumColumns());
@@ -464,13 +496,85 @@ Status Engine::RunUpdate(const UpdateStmt& stmt) {
       }
     }
     for (const auto& [idx, value] : sets) new_row[idx] = value;
-    MAMMOTH_RETURN_IF_ERROR(t->Insert(new_row));
+    new_rows.push_back(std::move(new_row));
   }
-  return t->Delete(oids);
+  // Apply insert+delete as one atomic unit: any failure rolls the table
+  // back to the pre-statement delta state.
+  const Table::DeltaMark mark = t->Mark();
+  for (const std::vector<Value>& new_row : new_rows) {
+    Status st = t->Insert(new_row);
+    if (!st.ok()) {
+      t->Rollback(mark);
+      return st;
+    }
+  }
+  if (Status st = t->Delete(oids); !st.ok()) {
+    t->Rollback(mark);
+    return st;
+  }
+  txn->UpdateCells(stmt.table, t->schema(), *oids, new_rows);
+  return Status::OK();
+}
+
+namespace {
+
+/// Folds every table's deltas into its main BATs before a checkpoint.
+/// The snapshot is saved merged and compacted (OIDs renumbered densely),
+/// so the live tables must adopt that same OID space — otherwise the
+/// positions in post-checkpoint Delete/Update log records would not
+/// resolve against the snapshot at recovery. Requires the exclusive
+/// lock; shared BATs are replaced, never mutated, so results already
+/// handed out stay valid.
+Status MergeForCheckpoint(Catalog* catalog) {
+  for (const auto& name : catalog->TableNames()) {
+    MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog->Get(name));
+    MAMMOTH_RETURN_IF_ERROR(t->MergeDeltas());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<mal::QueryResult> Engine::RunCheckpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "CHECKPOINT: no durable storage attached (open a database "
+        "directory first)");
+  }
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  MAMMOTH_RETURN_IF_ERROR(MergeForCheckpoint(catalog_.get()));
+  MAMMOTH_ASSIGN_OR_RETURN(uint64_t lsn, wal_->Checkpoint(*catalog_));
+  mal::QueryResult r;
+  BatPtr col = Bat::New(PhysType::kInt64);
+  col->Append<int64_t>(static_cast<int64_t>(lsn));
+  r.names = {"checkpoint_lsn"};
+  r.columns = {std::move(col)};
+  return r;
+}
+
+Result<mal::QueryResult> Engine::CommitDurable(
+    const wal::TxnBuilder& txn, std::unique_lock<std::shared_mutex>* lock) {
+  if (wal_ == nullptr || txn.empty()) return mal::QueryResult{};
+  MAMMOTH_ASSIGN_OR_RETURN(uint64_t lsn, wal_->LogTransaction(txn.ops()));
+  if (wal_->ShouldCheckpoint()) {
+    // Log-size trigger: keep the exclusive lock (the checkpoint needs a
+    // quiescent catalog), make the log durable, fold it into a snapshot.
+    MAMMOTH_RETURN_IF_ERROR(wal_->Sync(lsn));
+    MAMMOTH_RETURN_IF_ERROR(MergeForCheckpoint(catalog_.get()));
+    MAMMOTH_RETURN_IF_ERROR(wal_->Checkpoint(*catalog_).status());
+    return mal::QueryResult{};
+  }
+  // Group commit: release the exclusive lock *before* waiting on the
+  // fsync, so commits of concurrent sessions pile into one sync batch
+  // (the append above already fixed this transaction's log position).
+  lock->unlock();
+  MAMMOTH_RETURN_IF_ERROR(wal_->Sync(lsn));
+  return mal::QueryResult{};
 }
 
 Result<mal::QueryResult> Engine::Execute(const std::string& statement,
                                          const parallel::ExecContext& ctx) {
+  if (IsCheckpointCommand(statement)) return RunCheckpoint();
   MAMMOTH_ASSIGN_OR_RETURN(Statement stmt, Parse(statement));
   // Reads share the lock; everything that mutates catalog or table
   // state is exclusive (concurrency rule in engine.h).
@@ -479,31 +583,27 @@ Result<mal::QueryResult> Engine::Execute(const std::string& statement,
     return RunSelect(*sel, ctx);
   }
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  wal::TxnBuilder txn;
   if (auto* cre = std::get_if<CreateStmt>(&stmt)) {
-    MAMMOTH_RETURN_IF_ERROR(RunCreate(*cre));
-    return mal::QueryResult{};
+    MAMMOTH_RETURN_IF_ERROR(RunCreate(*cre, &txn));
+    return CommitDurable(txn, &lock);
   }
-  // DML invalidates the recycler wholesale — even on failure, since a
-  // multi-row INSERT/UPDATE can mutate the table before the failing row.
-  // (Cached entries could never be *served* stale — their signatures
-  // chain through bind signatures that include the table version — but
-  // dead entries would pin memory and crowd out live ones.)
+  // DML invalidates the recycler wholesale — even on failure: although a
+  // failing statement now rolls its partial effect back (so cached
+  // entries keyed on the restored table version stay *valid*), dead
+  // entries of the pre-statement version would pin memory anyway once a
+  // later statement succeeds.
+  Status st;
   if (auto* ins = std::get_if<InsertStmt>(&stmt)) {
-    Status st = RunInsert(*ins);
-    if (recycler_ != nullptr) recycler_->Clear();
-    MAMMOTH_RETURN_IF_ERROR(st);
-    return mal::QueryResult{};
+    st = RunInsert(*ins, &txn);
+  } else if (auto* upd = std::get_if<UpdateStmt>(&stmt)) {
+    st = RunUpdate(*upd, &txn);
+  } else {
+    st = RunDelete(std::get<DeleteStmt>(stmt), &txn);
   }
-  if (auto* upd = std::get_if<UpdateStmt>(&stmt)) {
-    Status st = RunUpdate(*upd);
-    if (recycler_ != nullptr) recycler_->Clear();
-    MAMMOTH_RETURN_IF_ERROR(st);
-    return mal::QueryResult{};
-  }
-  Status st = RunDelete(std::get<DeleteStmt>(stmt));
   if (recycler_ != nullptr) recycler_->Clear();
   MAMMOTH_RETURN_IF_ERROR(st);
-  return mal::QueryResult{};
+  return CommitDurable(txn, &lock);
 }
 
 Result<mal::QueryResult> Engine::ExecuteScript(const std::string& script,

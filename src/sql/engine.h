@@ -15,6 +15,11 @@
 #include "recycle/recycler.h"
 #include "sql/ast.h"
 
+namespace mammoth::wal {
+class TxnBuilder;
+class Wal;
+}  // namespace mammoth::wal
+
 namespace mammoth::sql {
 
 /// The SQL front-end of Figure 1: parses mini-SQL, compiles SELECTs into
@@ -80,6 +85,15 @@ class Engine {
     shared_scans_ = scheduler;
   }
 
+  /// Attaches a write-ahead log (normally via wal::OpenDatabase): every
+  /// subsequent DDL/DML statement is logged as one transaction and not
+  /// acknowledged until durable. The append happens under the exclusive
+  /// lock (log order = apply order); the fsync wait happens *after* the
+  /// lock is released, so concurrent sessions' commits batch under a
+  /// single fsync (group commit). Also enables the CHECKPOINT command
+  /// and the log-size checkpoint trigger.
+  void AttachWal(wal::Wal* wal) { wal_ = wal; }
+
   /// Toggles the MAL optimizer pipeline (default on).
   void EnableOptimizer(bool on) { optimize_ = on; }
 
@@ -92,12 +106,26 @@ class Engine {
  private:
   Result<mal::QueryResult> RunSelect(const SelectStmt& stmt,
                                      const parallel::ExecContext& ctx);
-  Status RunCreate(const CreateStmt& stmt);
-  Status RunInsert(const InsertStmt& stmt);
-  Status RunDelete(const DeleteStmt& stmt);
-  Status RunUpdate(const UpdateStmt& stmt);
+  /// The mutating statements. Each applies its full effect or none of it
+  /// (statement atomicity via Table::Mark/Rollback) and, on success,
+  /// appends its logical ops to `txn` for the WAL.
+  Status RunCreate(const CreateStmt& stmt, wal::TxnBuilder* txn);
+  Status RunInsert(const InsertStmt& stmt, wal::TxnBuilder* txn);
+  Status RunDelete(const DeleteStmt& stmt, wal::TxnBuilder* txn);
+  Status RunUpdate(const UpdateStmt& stmt, wal::TxnBuilder* txn);
+
+  /// Commit tail of a successful mutating statement: logs `txn`, drops
+  /// the exclusive lock, and waits for durability (group commit). When
+  /// the log-size trigger fires, checkpoints first — under the lock.
+  Result<mal::QueryResult> CommitDurable(const wal::TxnBuilder& txn,
+                                         std::unique_lock<std::shared_mutex>*
+                                             lock);
+
+  /// The CHECKPOINT admin command (intercepted before the SQL parser).
+  Result<mal::QueryResult> RunCheckpoint();
 
   std::shared_ptr<Catalog> catalog_;
+  wal::Wal* wal_ = nullptr;
   recycle::Recycler* recycler_ = nullptr;
   scan::SharedScanScheduler* shared_scans_ = nullptr;
   bool optimize_ = true;

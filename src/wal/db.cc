@@ -1,0 +1,301 @@
+#include "wal/db.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/catalog.h"
+#include "core/persist.h"
+#include "core/table.h"
+#include "sql/engine.h"
+
+namespace mammoth::wal {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// One segment file located on disk.
+struct SegmentInfo {
+  std::string path;
+  uint64_t start_lsn = 0;
+  std::string payload;  ///< record stream (header stripped)
+};
+
+Result<std::vector<SegmentInfo>> ReadSegments(const std::string& dir) {
+  std::vector<SegmentInfo> segs;
+  std::error_code ec;
+  fs::directory_iterator it(WalSubdir(dir), ec);
+  if (ec) return segs;  // no wal/ subdir yet: nothing to replay
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal_", 0) != 0) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+      return Status::IOError("read " + entry.path().string());
+    }
+    std::string bytes = std::move(buf).str();
+    if (bytes.size() < kSegmentHeaderBytes) {
+      return Status::Corruption("wal: segment " + name + " shorter than its header");
+    }
+    uint64_t magic = 0;
+    SegmentInfo seg;
+    std::memcpy(&magic, bytes.data(), sizeof(magic));
+    std::memcpy(&seg.start_lsn, bytes.data() + 8, sizeof(seg.start_lsn));
+    if (magic != kSegmentMagic) {
+      return Status::Corruption("wal: bad magic in segment " + name);
+    }
+    seg.path = entry.path().string();
+    seg.payload = bytes.substr(kSegmentHeaderBytes);
+    segs.push_back(std::move(seg));
+  }
+  std::sort(segs.begin(), segs.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              return a.start_lsn < b.start_lsn;
+            });
+  for (size_t i = 1; i < segs.size(); ++i) {
+    const uint64_t expected =
+        segs[i - 1].start_lsn + segs[i - 1].payload.size();
+    if (segs[i].start_lsn != expected) {
+      return Status::Corruption(
+          "wal: segment gap — " + segs[i].path + " starts at lsn " +
+          std::to_string(segs[i].start_lsn) + ", expected " +
+          std::to_string(expected));
+    }
+  }
+  return segs;
+}
+
+/// Parsed CURRENT file, absent on a fresh database.
+struct CurrentInfo {
+  bool present = false;
+  uint64_t checkpoint_lsn = 0;
+  std::string snapshot_dir;
+  uint64_t next_txn_id = 1;
+};
+
+Result<CurrentInfo> ReadCurrent(const std::string& dir) {
+  CurrentInfo info;
+  std::ifstream in(CurrentFilePath(dir));
+  if (!in.is_open()) return info;  // fresh database
+  info.present = true;
+  if (!(in >> info.checkpoint_lsn >> info.snapshot_dir >> info.next_txn_id)) {
+    return Status::Corruption("wal: malformed CURRENT file in " + dir);
+  }
+  return info;
+}
+
+Status ApplyRecord(Catalog* catalog, const Record& rec) {
+  switch (rec.type) {
+    case RecordType::kCreateTable: {
+      MAMMOTH_ASSIGN_OR_RETURN(TablePtr t,
+                               Table::Create(rec.table, rec.schema));
+      return catalog->Register(std::move(t));
+    }
+    case RecordType::kInsertRows: {
+      MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog->Get(rec.table));
+      for (const std::vector<Value>& row : rec.rows) {
+        MAMMOTH_RETURN_IF_ERROR(t->Insert(row));
+      }
+      return Status::OK();
+    }
+    case RecordType::kDeletePositions: {
+      MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog->Get(rec.table));
+      BatPtr oids = Bat::New(PhysType::kOid);
+      oids->Reserve(rec.oids.size());
+      for (Oid o : rec.oids) oids->Append(o);
+      return t->Delete(oids);
+    }
+    case RecordType::kUpdateCells: {
+      // Same order as Engine::RunUpdate: append the new row images, then
+      // delete the replaced positions — so replay reproduces the exact
+      // physical layout (OIDs, delta contents) of the pre-crash table.
+      MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog->Get(rec.table));
+      for (const std::vector<Value>& row : rec.rows) {
+        MAMMOTH_RETURN_IF_ERROR(t->Insert(row));
+      }
+      BatPtr oids = Bat::New(PhysType::kOid);
+      oids->Reserve(rec.oids.size());
+      for (Oid o : rec.oids) oids->Append(o);
+      return t->Delete(oids);
+    }
+    case RecordType::kBegin:
+    case RecordType::kCommit:
+      return Status::Internal("wal: txn marker reached ApplyRecord");
+  }
+  return Status::Internal("wal: unhandled record type");
+}
+
+}  // namespace
+
+Result<RecoveryInfo> Recover(const std::string& dir, Catalog* catalog,
+                             bool use_mmap) {
+  RecoveryInfo info;
+
+  MAMMOTH_ASSIGN_OR_RETURN(CurrentInfo current, ReadCurrent(dir));
+  info.checkpoint_lsn = current.checkpoint_lsn;
+  info.resume.checkpoint_lsn = current.checkpoint_lsn;
+  info.resume.next_lsn = current.checkpoint_lsn;
+  info.resume.next_txn_id = current.next_txn_id;
+
+  if (current.present) {
+    info.snapshot_dir = dir + "/" + current.snapshot_dir;
+    MAMMOTH_ASSIGN_OR_RETURN(std::shared_ptr<Catalog> snap,
+                             LoadCatalog(info.snapshot_dir, use_mmap));
+    for (const std::string& name : snap->TableNames()) {
+      MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, snap->Get(name));
+      MAMMOTH_RETURN_IF_ERROR(catalog->Register(std::move(t)));
+    }
+  }
+
+  MAMMOTH_ASSIGN_OR_RETURN(std::vector<SegmentInfo> segs, ReadSegments(dir));
+  if (segs.empty()) return info;
+
+  // Decode every surviving frame, in LSN order. Only the final segment
+  // may end torn.
+  std::vector<Record> records;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    const bool last = i + 1 == segs.size();
+    size_t valid = 0;
+    MAMMOTH_ASSIGN_OR_RETURN(
+        TailState tail,
+        DecodeFrames(segs[i].payload, segs[i].start_lsn, last, &records,
+                     &valid));
+    if (tail == TailState::kTorn) info.torn_tail = true;
+  }
+
+  // Replay committed transactions. A transaction's frames never straddle
+  // segments (group commit writes whole transactions to one file), so a
+  // trailing Begin without Commit sits wholly in the final segment.
+  const SegmentInfo& tail_seg = segs.back();
+  uint64_t resume_lsn = tail_seg.start_lsn;  // past the last surviving txn
+  uint64_t max_txn_id = 0;
+  bool in_txn = false;
+  std::vector<const Record*> txn_ops;
+  for (const Record& rec : records) {
+    switch (rec.type) {
+      case RecordType::kBegin:
+        if (in_txn) {
+          return Status::Corruption("wal: nested Begin at lsn " +
+                                    std::to_string(rec.lsn));
+        }
+        in_txn = true;
+        txn_ops.clear();
+        break;
+      case RecordType::kCommit: {
+        if (!in_txn) {
+          return Status::Corruption("wal: Commit without Begin at lsn " +
+                                    std::to_string(rec.lsn));
+        }
+        in_txn = false;
+        max_txn_id = std::max(max_txn_id, rec.txn_id);
+        if (rec.end_lsn > resume_lsn) resume_lsn = rec.end_lsn;
+        if (rec.lsn < current.checkpoint_lsn) {
+          // Already folded into the snapshot (a stale segment a crash
+          // kept around); committed, so it still anchors the resume point.
+          ++info.txns_skipped;
+          break;
+        }
+        for (const Record* op : txn_ops) {
+          MAMMOTH_RETURN_IF_ERROR(ApplyRecord(catalog, *op));
+          ++info.records_applied;
+        }
+        ++info.txns_applied;
+        break;
+      }
+      default:
+        if (!in_txn) {
+          return Status::Corruption("wal: op outside a transaction at lsn " +
+                                    std::to_string(rec.lsn));
+        }
+        txn_ops.push_back(&rec);
+        break;
+    }
+  }
+  if (in_txn) ++info.txns_uncommitted;
+
+  info.resume.next_txn_id = std::max(current.next_txn_id, max_txn_id + 1);
+  info.resume.tail_segment = tail_seg.path;
+  info.resume.tail_valid_bytes = resume_lsn - tail_seg.start_lsn;
+  info.resume.next_lsn = resume_lsn;
+  return info;
+}
+
+Result<OpenedDb> OpenDatabase(const std::string& dir, sql::Engine* engine,
+                              const DbOptions& options) {
+  OpenedDb db;
+  MAMMOTH_ASSIGN_OR_RETURN(
+      db.info, Recover(dir, engine->catalog(), options.use_mmap));
+  MAMMOTH_ASSIGN_OR_RETURN(db.wal,
+                           Wal::Open(dir, options.wal, db.info.resume));
+  engine->AttachWal(db.wal.get());
+  return db;
+}
+
+namespace {
+
+Status Differ(const std::string& what) {
+  return Status::Internal("catalogs differ: " + what);
+}
+
+}  // namespace
+
+Status CompareCatalogs(const Catalog& a, const Catalog& b) {
+  std::vector<std::string> na = a.TableNames(), nb = b.TableNames();
+  std::sort(na.begin(), na.end());
+  std::sort(nb.begin(), nb.end());
+  if (na != nb) return Differ("table sets");
+  for (const std::string& name : na) {
+    MAMMOTH_ASSIGN_OR_RETURN(TablePtr ta, a.Get(name));
+    MAMMOTH_ASSIGN_OR_RETURN(TablePtr tb, b.Get(name));
+    if (ta->schema().size() != tb->schema().size()) {
+      return Differ(name + ": column count");
+    }
+    for (size_t c = 0; c < ta->schema().size(); ++c) {
+      if (ta->schema()[c].name != tb->schema()[c].name ||
+          ta->schema()[c].type != tb->schema()[c].type) {
+        return Differ(name + ": schema of column " + std::to_string(c));
+      }
+    }
+    if (ta->VisibleRowCount() != tb->VisibleRowCount()) {
+      return Differ(name + ": visible row count (" +
+                    std::to_string(ta->VisibleRowCount()) + " vs " +
+                    std::to_string(tb->VisibleRowCount()) + ")");
+    }
+    const BatPtr live_a = ta->LiveCandidates();
+    const BatPtr live_b = tb->LiveCandidates();
+    const size_t nrows = ta->VisibleRowCount();
+    for (size_t c = 0; c < ta->schema().size(); ++c) {
+      MAMMOTH_ASSIGN_OR_RETURN(BatPtr col_a, ta->ScanColumn(c));
+      MAMMOTH_ASSIGN_OR_RETURN(BatPtr col_b, tb->ScanColumn(c));
+      const PhysType type = ta->schema()[c].type;
+      const size_t width = TypeWidth(type);
+      for (size_t i = 0; i < nrows; ++i) {
+        const size_t ia = live_a ? live_a->OidAt(i) : i;
+        const size_t ib = live_b ? live_b->OidAt(i) : i;
+        bool equal;
+        if (type == PhysType::kStr) {
+          equal = col_a->StringAt(ia) == col_b->StringAt(ib);
+        } else {
+          // Bit-exact compare (covers NaN payloads in doubles).
+          const auto* pa =
+              static_cast<const uint8_t*>(col_a->tail().raw_data()) + ia * width;
+          const auto* pb =
+              static_cast<const uint8_t*>(col_b->tail().raw_data()) + ib * width;
+          equal = std::memcmp(pa, pb, width) == 0;
+        }
+        if (!equal) {
+          return Differ(name + "." + ta->schema()[c].name + " row " +
+                        std::to_string(i));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mammoth::wal

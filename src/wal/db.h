@@ -1,0 +1,78 @@
+#ifndef MAMMOTH_WAL_DB_H_
+#define MAMMOTH_WAL_DB_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "wal/wal.h"
+
+namespace mammoth {
+class Catalog;
+}
+namespace mammoth::sql {
+class Engine;
+}
+
+namespace mammoth::wal {
+
+/// A durable database directory:
+///
+///   <dir>/CURRENT                 "cp_lsn snap_name next_txn_id\n",
+///                                 swung atomically (tmp + rename)
+///   <dir>/snap_<lsn>/<table>/...  checkpoint snapshot (SaveCatalog format)
+///   <dir>/wal/wal_<lsn>.log       log segments; 16-byte header
+///                                 (magic + start LSN), then CRC frames
+///
+/// The LSN is the byte offset in the *logical* record stream — segment
+/// headers don't count — and is monotone across the database's lifetime.
+
+/// What recovery found and replayed.
+struct RecoveryInfo {
+  uint64_t checkpoint_lsn = 0;
+  uint64_t txns_applied = 0;      ///< committed after the checkpoint
+  uint64_t txns_skipped = 0;      ///< committed before it (stale segments)
+  uint64_t txns_uncommitted = 0;  ///< trailing Begin without Commit
+  uint64_t records_applied = 0;
+  bool torn_tail = false;         ///< final segment ended mid-frame
+  std::string snapshot_dir;       ///< loaded snapshot (empty: none)
+  WalResume resume;               ///< where the reopened Wal appends next
+};
+
+/// Replays `dir` into `catalog` (which should be empty): loads the
+/// checkpoint snapshot, then re-applies every transaction whose Commit
+/// record is past the checkpoint, in log order. A torn tail and trailing
+/// uncommitted records are ignored (reported in the info); a bad frame
+/// anywhere else is kCorruption. Replay is idempotent: recovering the
+/// same directory twice into fresh catalogs yields bit-identical tables.
+Result<RecoveryInfo> Recover(const std::string& dir, Catalog* catalog,
+                             bool use_mmap = false);
+
+struct DbOptions {
+  WalOptions wal;
+  bool use_mmap = false;  ///< map snapshot columns zero-copy on recovery
+};
+
+struct OpenedDb {
+  std::unique_ptr<Wal> wal;
+  RecoveryInfo info;
+};
+
+/// Opens (or creates) the database at `dir` into `engine`: recovers into
+/// the engine's catalog, opens the log positioned after the last
+/// surviving record, and attaches it so subsequent DML is logged and
+/// group-committed. The engine must not have executed any DML yet.
+Result<OpenedDb> OpenDatabase(const std::string& dir, sql::Engine* engine,
+                              const DbOptions& options = {});
+
+/// Compares the *visible images* of two catalogs (schemas plus live rows
+/// in position order, bit-exact cells) — visible-image because a
+/// checkpointed table is stored merged while an in-memory reference may
+/// still hold deltas. OK when identical; kInternal naming the first
+/// difference otherwise. Used by the recovery tests and the crash
+/// harness.
+Status CompareCatalogs(const Catalog& a, const Catalog& b);
+
+}  // namespace mammoth::wal
+
+#endif  // MAMMOTH_WAL_DB_H_

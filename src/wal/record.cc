@@ -1,0 +1,337 @@
+#include "wal/record.h"
+
+#include <cstring>
+
+namespace mammoth::wal {
+
+namespace {
+
+/// --- CRC-32 (IEEE, reflected), table-driven --------------------------------
+
+const uint32_t* CrcTable() {
+  static const auto table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// --- Little-endian put/get helpers ----------------------------------------
+
+template <typename T>
+void PutInt(std::string* out, T v) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutInt<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutCell(std::string* out, PhysType type, const Value& v) {
+  switch (type) {
+    case PhysType::kStr:
+      PutString(out, v.AsStr());
+      break;
+    case PhysType::kDouble:
+    case PhysType::kFloat:
+      PutInt<double>(out, v.AsReal());
+      break;
+    default:
+      PutInt<int64_t>(out, v.AsInt());
+      break;
+  }
+}
+
+void PutSchema(std::string* out, const std::vector<ColumnDef>& schema) {
+  PutInt<uint32_t>(out, static_cast<uint32_t>(schema.size()));
+  for (const ColumnDef& def : schema) {
+    PutString(out, def.name);
+    PutInt<uint8_t>(out, static_cast<uint8_t>(def.type));
+  }
+}
+
+struct Reader {
+  const char* p;
+  const char* end;
+  explicit Reader(std::string_view s) : p(s.data()), end(s.data() + s.size()) {}
+
+  template <typename T>
+  bool ReadInt(T* v) {
+    if (end - p < static_cast<ptrdiff_t>(sizeof(T))) return false;
+    std::memcpy(v, p, sizeof(T));
+    p += sizeof(T);
+    return true;
+  }
+  bool ReadString(std::string* s) {
+    uint32_t len = 0;
+    if (!ReadInt(&len) || end - p < static_cast<ptrdiff_t>(len)) return false;
+    s->assign(p, len);
+    p += len;
+    return true;
+  }
+  bool done() const { return p == end; }
+};
+
+bool ReadSchema(Reader* r, std::vector<ColumnDef>* schema) {
+  uint32_t ncols = 0;
+  if (!r->ReadInt(&ncols) || ncols == 0 || ncols > 4096) return false;
+  schema->resize(ncols);
+  for (ColumnDef& def : *schema) {
+    uint8_t type = 0;
+    if (!r->ReadString(&def.name) || !r->ReadInt(&type) ||
+        type > static_cast<uint8_t>(PhysType::kStr)) {
+      return false;
+    }
+    def.type = static_cast<PhysType>(type);
+  }
+  return true;
+}
+
+bool ReadRows(Reader* r, const std::vector<ColumnDef>& schema,
+              std::vector<std::vector<Value>>* rows) {
+  uint64_t nrows = 0;
+  if (!r->ReadInt(&nrows)) return false;
+  // One cell is at least one byte on the wire; bound before allocating.
+  if (nrows * schema.size() >
+      static_cast<uint64_t>(r->end - r->p)) {
+    return false;
+  }
+  rows->resize(nrows);
+  for (std::vector<Value>& row : *rows) {
+    row.resize(schema.size());
+    for (size_t c = 0; c < schema.size(); ++c) {
+      switch (schema[c].type) {
+        case PhysType::kStr: {
+          std::string s;
+          if (!r->ReadString(&s)) return false;
+          row[c] = Value::Str(std::move(s));
+          break;
+        }
+        case PhysType::kDouble:
+        case PhysType::kFloat: {
+          double d = 0;
+          if (!r->ReadInt(&d)) return false;
+          row[c] = Value::Real(d);
+          break;
+        }
+        default: {
+          int64_t i = 0;
+          if (!r->ReadInt(&i)) return false;
+          row[c] = Value::Int(i);
+          break;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool ReadOids(Reader* r, std::vector<Oid>* oids) {
+  uint64_t n = 0;
+  if (!r->ReadInt(&n) ||
+      n * sizeof(Oid) > static_cast<uint64_t>(r->end - r->p)) {
+    return false;
+  }
+  oids->resize(n);
+  for (Oid& o : *oids) {
+    if (!r->ReadInt(&o)) return false;
+  }
+  return true;
+}
+
+void PutOids(std::string* out, const Bat& oids) {
+  PutInt<uint64_t>(out, oids.Count());
+  for (size_t i = 0; i < oids.Count(); ++i) {
+    PutInt<Oid>(out, oids.OidAt(i));
+  }
+}
+
+std::string EncodeTxnMarker(RecordType type, uint64_t txn_id) {
+  std::string out;
+  PutInt<uint8_t>(&out, static_cast<uint8_t>(type));
+  PutInt<uint64_t>(&out, txn_id);
+  return out;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  const uint32_t* table = CrcTable();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeBegin(uint64_t txn_id) {
+  return EncodeTxnMarker(RecordType::kBegin, txn_id);
+}
+
+std::string EncodeCommit(uint64_t txn_id) {
+  return EncodeTxnMarker(RecordType::kCommit, txn_id);
+}
+
+std::string EncodeCreateTable(const std::string& table,
+                              const std::vector<ColumnDef>& schema) {
+  std::string out;
+  PutInt<uint8_t>(&out, static_cast<uint8_t>(RecordType::kCreateTable));
+  PutString(&out, table);
+  PutSchema(&out, schema);
+  return out;
+}
+
+std::string EncodeInsertRows(const std::string& table,
+                             const std::vector<ColumnDef>& schema,
+                             const std::vector<std::vector<Value>>& rows) {
+  std::string out;
+  PutInt<uint8_t>(&out, static_cast<uint8_t>(RecordType::kInsertRows));
+  PutString(&out, table);
+  PutSchema(&out, schema);
+  PutInt<uint64_t>(&out, rows.size());
+  for (const std::vector<Value>& row : rows) {
+    for (size_t c = 0; c < schema.size(); ++c) {
+      PutCell(&out, schema[c].type, row[c]);
+    }
+  }
+  return out;
+}
+
+std::string EncodeDeletePositions(const std::string& table, const Bat& oids) {
+  std::string out;
+  PutInt<uint8_t>(&out, static_cast<uint8_t>(RecordType::kDeletePositions));
+  PutString(&out, table);
+  PutOids(&out, oids);
+  return out;
+}
+
+std::string EncodeUpdateCells(const std::string& table,
+                              const std::vector<ColumnDef>& schema,
+                              const Bat& oids,
+                              const std::vector<std::vector<Value>>& rows) {
+  std::string out;
+  PutInt<uint8_t>(&out, static_cast<uint8_t>(RecordType::kUpdateCells));
+  PutString(&out, table);
+  PutOids(&out, oids);
+  PutSchema(&out, schema);
+  PutInt<uint64_t>(&out, rows.size());
+  for (const std::vector<Value>& row : rows) {
+    for (size_t c = 0; c < schema.size(); ++c) {
+      PutCell(&out, schema[c].type, row[c]);
+    }
+  }
+  return out;
+}
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  PutInt<uint32_t>(out, static_cast<uint32_t>(payload.size()));
+  PutInt<uint32_t>(out, Crc32(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+Result<Record> DecodeRecord(std::string_view payload) {
+  Reader r(payload);
+  uint8_t type = 0;
+  if (!r.ReadInt(&type)) return Status::Corruption("wal: empty payload");
+  Record rec;
+  switch (static_cast<RecordType>(type)) {
+    case RecordType::kBegin:
+    case RecordType::kCommit:
+      rec.type = static_cast<RecordType>(type);
+      if (!r.ReadInt(&rec.txn_id) || !r.done()) {
+        return Status::Corruption("wal: bad txn marker");
+      }
+      return rec;
+    case RecordType::kCreateTable:
+      rec.type = RecordType::kCreateTable;
+      if (!r.ReadString(&rec.table) || !ReadSchema(&r, &rec.schema) ||
+          !r.done()) {
+        return Status::Corruption("wal: bad CreateTable record");
+      }
+      return rec;
+    case RecordType::kInsertRows:
+      rec.type = RecordType::kInsertRows;
+      if (!r.ReadString(&rec.table) || !ReadSchema(&r, &rec.schema) ||
+          !ReadRows(&r, rec.schema, &rec.rows) || !r.done()) {
+        return Status::Corruption("wal: bad InsertRows record");
+      }
+      return rec;
+    case RecordType::kDeletePositions:
+      rec.type = RecordType::kDeletePositions;
+      if (!r.ReadString(&rec.table) || !ReadOids(&r, &rec.oids) ||
+          !r.done()) {
+        return Status::Corruption("wal: bad DeletePositions record");
+      }
+      return rec;
+    case RecordType::kUpdateCells:
+      rec.type = RecordType::kUpdateCells;
+      if (!r.ReadString(&rec.table) || !ReadOids(&r, &rec.oids) ||
+          !ReadSchema(&r, &rec.schema) ||
+          !ReadRows(&r, rec.schema, &rec.rows) || !r.done()) {
+        return Status::Corruption("wal: bad UpdateCells record");
+      }
+      return rec;
+    default:
+      return Status::Corruption("wal: unknown record type " +
+                                std::to_string(type));
+  }
+}
+
+Result<TailState> DecodeFrames(std::string_view bytes, uint64_t base_lsn,
+                               bool last_segment, std::vector<Record>* out,
+                               size_t* valid_bytes) {
+  size_t off = 0;
+  if (valid_bytes != nullptr) *valid_bytes = 0;
+  while (off < bytes.size()) {
+    // A frame that cannot even declare its length is torn if nothing
+    // follows it — which is always true here, since we stop on the first
+    // bad frame — but only a *final* segment may legally end that way.
+    const size_t remaining = bytes.size() - off;
+    auto torn_or_corrupt = [&](const char* what) -> Result<TailState> {
+      if (last_segment) return TailState::kTorn;
+      return Status::Corruption(std::string("wal: ") + what +
+                                " at lsn " + std::to_string(base_lsn + off) +
+                                " with later segments present");
+    };
+    if (remaining < kFrameHeaderBytes) return torn_or_corrupt("short header");
+    uint32_t len = 0, crc = 0;
+    std::memcpy(&len, bytes.data() + off, sizeof(len));
+    std::memcpy(&crc, bytes.data() + off + sizeof(len), sizeof(crc));
+    if (len > kMaxRecordBytes) return torn_or_corrupt("absurd record length");
+    if (remaining < kFrameHeaderBytes + len) {
+      return torn_or_corrupt("truncated record");
+    }
+    const char* payload = bytes.data() + off + kFrameHeaderBytes;
+    if (Crc32(payload, len) != crc) {
+      // A complete frame with a bad CRC at the very end of the final
+      // segment is a torn write of the payload; the same mismatch with
+      // valid data after it can only be mid-log corruption.
+      if (last_segment && off + kFrameHeaderBytes + len == bytes.size()) {
+        return TailState::kTorn;
+      }
+      return Status::Corruption("wal: CRC mismatch at lsn " +
+                                std::to_string(base_lsn + off));
+    }
+    MAMMOTH_ASSIGN_OR_RETURN(Record rec,
+                             DecodeRecord(std::string_view(payload, len)));
+    rec.lsn = base_lsn + off;
+    off += kFrameHeaderBytes + len;
+    rec.end_lsn = base_lsn + off;
+    out->push_back(std::move(rec));
+    if (valid_bytes != nullptr) *valid_bytes = off;
+  }
+  return TailState::kClean;
+}
+
+}  // namespace mammoth::wal

@@ -1,0 +1,140 @@
+#ifndef MAMMOTH_WAL_RECORD_H_
+#define MAMMOTH_WAL_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/bat.h"
+#include "core/table.h"
+#include "core/value.h"
+
+namespace mammoth::wal {
+
+/// The WAL is a stream of length-prefixed, CRC32-framed logical records:
+///
+///   frame   := [u32 payload_len][u32 crc32(payload)][payload]
+///   payload := [u8 type][body]
+///
+/// Statements are logged as transactions — `Begin, op..., Commit` appended
+/// contiguously (the engine serializes DML, so transactions never
+/// interleave in the log). Ops carry *values*, not physical bytes: replay
+/// re-drives the delta machinery (`Table::Insert`/`Delete`) from identical
+/// state, which reproduces the pre-crash tables bit-identically.
+///
+/// Decoding distinguishes the two ways a log can end badly:
+///   - a *torn tail* — the final frame of the final segment is incomplete
+///     or fails its CRC. Normal after a crash mid-append; recovery stops
+///     at the last whole frame.
+///   - *mid-log corruption* — a bad frame with valid data after it (or in
+///     a non-final segment). Never produced by a crash; surfaced as a
+///     typed kCorruption error instead of silently dropping records.
+enum class RecordType : uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kInsertRows = 3,
+  kDeletePositions = 4,
+  kUpdateCells = 5,
+  kCreateTable = 6,
+};
+
+/// Frame overhead per record: u32 length + u32 CRC.
+constexpr size_t kFrameHeaderBytes = 8;
+
+/// Upper bound on a single record payload; a length prefix beyond it is
+/// treated like a CRC failure (garbage, not a huge record).
+constexpr size_t kMaxRecordBytes = size_t{1} << 30;
+
+/// CRC-32 (IEEE 802.3, reflected) over `n` bytes.
+uint32_t Crc32(const void* data, size_t n);
+
+/// A decoded record. Which fields are meaningful depends on `type`:
+///   kBegin/kCommit      txn_id
+///   kCreateTable        table, schema
+///   kInsertRows         table, schema, rows
+///   kDeletePositions    table, oids
+///   kUpdateCells        table, schema, rows (new images), oids (replaced)
+struct Record {
+  RecordType type = RecordType::kBegin;
+  uint64_t lsn = 0;      ///< byte offset of this frame in the logical log
+  uint64_t end_lsn = 0;  ///< offset just past this frame (next record's lsn)
+  uint64_t txn_id = 0;
+  std::string table;
+  std::vector<ColumnDef> schema;
+  std::vector<std::vector<Value>> rows;
+  std::vector<Oid> oids;
+};
+
+/// --- Encoding --------------------------------------------------------------
+
+std::string EncodeBegin(uint64_t txn_id);
+std::string EncodeCommit(uint64_t txn_id);
+std::string EncodeCreateTable(const std::string& table,
+                              const std::vector<ColumnDef>& schema);
+std::string EncodeInsertRows(const std::string& table,
+                             const std::vector<ColumnDef>& schema,
+                             const std::vector<std::vector<Value>>& rows);
+std::string EncodeDeletePositions(const std::string& table, const Bat& oids);
+std::string EncodeUpdateCells(const std::string& table,
+                              const std::vector<ColumnDef>& schema,
+                              const Bat& oids,
+                              const std::vector<std::vector<Value>>& rows);
+
+/// Wraps a payload in a `[len][crc][payload]` frame appended to `out`.
+void AppendFrame(std::string* out, std::string_view payload);
+
+/// Convenience used by the engine: the op payloads of one statement.
+/// Empty when the statement had no durable effect (e.g. UPDATE of 0 rows).
+class TxnBuilder {
+ public:
+  void CreateTable(const std::string& table,
+                   const std::vector<ColumnDef>& schema) {
+    ops_.push_back(EncodeCreateTable(table, schema));
+  }
+  void InsertRows(const std::string& table,
+                  const std::vector<ColumnDef>& schema,
+                  const std::vector<std::vector<Value>>& rows) {
+    if (!rows.empty()) ops_.push_back(EncodeInsertRows(table, schema, rows));
+  }
+  void DeletePositions(const std::string& table, const Bat& oids) {
+    if (oids.Count() > 0) ops_.push_back(EncodeDeletePositions(table, oids));
+  }
+  void UpdateCells(const std::string& table,
+                   const std::vector<ColumnDef>& schema, const Bat& oids,
+                   const std::vector<std::vector<Value>>& rows) {
+    if (oids.Count() > 0) {
+      ops_.push_back(EncodeUpdateCells(table, schema, oids, rows));
+    }
+  }
+  bool empty() const { return ops_.empty(); }
+  const std::vector<std::string>& ops() const { return ops_; }
+
+ private:
+  std::vector<std::string> ops_;
+};
+
+/// --- Decoding --------------------------------------------------------------
+
+/// Decodes one payload (without the frame header) into a Record.
+Result<Record> DecodeRecord(std::string_view payload);
+
+/// How a decoded byte stream ended.
+enum class TailState : uint8_t {
+  kClean,  ///< stream ends exactly on a frame boundary
+  kTorn,   ///< incomplete/CRC-failed final frame (normal after a crash)
+};
+
+/// Decodes every frame in `bytes` (one segment's record stream, starting
+/// at logical offset `base_lsn`) and appends the records to `out`. With
+/// `last_segment`, a bad final frame is reported as a torn tail via the
+/// return value and `valid_bytes` (the prefix worth keeping); in any
+/// other position a bad frame is mid-log corruption → typed error.
+Result<TailState> DecodeFrames(std::string_view bytes, uint64_t base_lsn,
+                               bool last_segment, std::vector<Record>* out,
+                               size_t* valid_bytes);
+
+}  // namespace mammoth::wal
+
+#endif  // MAMMOTH_WAL_RECORD_H_

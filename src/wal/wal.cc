@@ -1,0 +1,268 @@
+#include "wal/wal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "core/catalog.h"
+#include "core/persist.h"
+
+namespace mammoth::wal {
+
+namespace fs = std::filesystem;
+
+std::string WalSubdir(const std::string& dir) { return dir + "/wal"; }
+
+std::string CurrentFilePath(const std::string& dir) { return dir + "/CURRENT"; }
+
+std::string SegmentFileName(uint64_t start_lsn) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "wal_%020" PRIu64 ".log", start_lsn);
+  return buf;
+}
+
+std::string SnapshotDirName(uint64_t checkpoint_lsn) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "snap_%020" PRIu64, checkpoint_lsn);
+  return buf;
+}
+
+namespace {
+
+std::string EncodeSegmentHeader(uint64_t start_lsn) {
+  std::string out(kSegmentHeaderBytes, '\0');
+  std::memcpy(out.data(), &kSegmentMagic, sizeof(kSegmentMagic));
+  std::memcpy(out.data() + 8, &start_lsn, sizeof(start_lsn));
+  return out;
+}
+
+}  // namespace
+
+Wal::Wal(std::string dir, const WalOptions& options, const WalResume& resume)
+    : dir_(std::move(dir)),
+      options_(options),
+      next_lsn_(resume.next_lsn),
+      durable_lsn_(resume.next_lsn),
+      checkpoint_lsn_(resume.checkpoint_lsn),
+      next_txn_id_(resume.next_txn_id) {}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir,
+                                       const WalOptions& options,
+                                       const WalResume& resume) {
+  std::error_code ec;
+  fs::create_directories(WalSubdir(dir), ec);
+  if (ec) return Status::IOError("mkdir " + WalSubdir(dir) + ": " + ec.message());
+  std::unique_ptr<Wal> wal(new Wal(dir, options, resume));
+  std::unique_lock<std::mutex> lock(wal->mu_);
+  MAMMOTH_RETURN_IF_ERROR(wal->OpenSegmentLocked(
+      resume.next_lsn, resume.tail_segment, resume.tail_valid_bytes));
+  lock.unlock();
+  return wal;
+}
+
+Status Wal::OpenSegmentLocked(uint64_t start_lsn,
+                              const std::string& reuse_path,
+                              uint64_t valid_bytes) {
+  if (!reuse_path.empty()) {
+    // Resume inside a recovered segment: drop everything past the last
+    // surviving record (torn tail or trailing uncommitted frames) so new
+    // appends continue a clean committed prefix.
+    MAMMOTH_ASSIGN_OR_RETURN(
+        file_, WalFile::OpenAppend(
+                   reuse_path, options_.fault,
+                   static_cast<int64_t>(kSegmentHeaderBytes + valid_bytes)));
+    segment_start_lsn_ = start_lsn - valid_bytes;
+    return Status::OK();
+  }
+  const std::string path =
+      WalSubdir(dir_) + "/" + SegmentFileName(start_lsn);
+  MAMMOTH_ASSIGN_OR_RETURN(file_,
+                           WalFile::OpenAppend(path, options_.fault, 0));
+  MAMMOTH_RETURN_IF_ERROR(file_->Append(EncodeSegmentHeader(start_lsn)));
+  segment_start_lsn_ = start_lsn;
+  ++segments_created_;
+  // Make the file's existence durable; its contents are covered by the
+  // next commit's fsync.
+  return SyncDir(WalSubdir(dir_));
+}
+
+Result<uint64_t> Wal::LogTransaction(const std::vector<std::string>& ops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!poison_.ok()) return poison_;
+  const uint64_t txn_id = next_txn_id_++;
+  std::string buf;
+  AppendFrame(&buf, EncodeBegin(txn_id));
+  for (const std::string& op : ops) AppendFrame(&buf, op);
+  AppendFrame(&buf, EncodeCommit(txn_id));
+  pending_.append(buf);
+  next_lsn_ += buf.size();
+  ++txns_logged_;
+  records_logged_ += 2 + ops.size();
+  bytes_logged_ += buf.size();
+  return next_lsn_;
+}
+
+Status Wal::WriteAndSync(const std::string& buf) {
+  if (!buf.empty()) {
+    MAMMOTH_RETURN_IF_ERROR(file_->Append(buf));
+  }
+  if (options_.sync_on_commit) {
+    MAMMOTH_RETURN_IF_ERROR(file_->Sync());
+  }
+  return Status::OK();
+}
+
+Status Wal::Sync(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool did_fsync = false;
+  for (;;) {
+    if (!poison_.ok()) return poison_;
+    if (durable_lsn_ >= lsn && (options_.group_commit || did_fsync ||
+                                !options_.sync_on_commit)) {
+      ++commits_synced_;
+      return Status::OK();
+    }
+    if (sync_active_) {
+      cv_.wait(lock);
+      continue;
+    }
+    // Become the leader: write and fsync everything buffered so far.
+    // Committers that arrive while we hold no lock buffer more bytes and
+    // wait for the next leader round.
+    sync_active_ = true;
+    std::string buf = std::move(pending_);
+    pending_.clear();
+    const uint64_t target = next_lsn_;
+    lock.unlock();
+    Status st = WriteAndSync(buf);
+    lock.lock();
+    sync_active_ = false;
+    if (!st.ok()) {
+      poison_ = st;
+      cv_.notify_all();
+      return st;
+    }
+    durable_lsn_ = target;
+    did_fsync = true;
+    if (options_.sync_on_commit) ++fsyncs_;
+    // Rotate once a segment is oversized; the next append goes to a fresh
+    // file. Safe here: everything written so far is durable.
+    if (file_->size() >= kSegmentHeaderBytes + options_.segment_bytes) {
+      Status rot = OpenSegmentLocked(durable_lsn_, "", 0);
+      if (!rot.ok()) {
+        poison_ = rot;
+        cv_.notify_all();
+        return rot;
+      }
+    }
+    cv_.notify_all();
+  }
+}
+
+Result<uint64_t> Wal::Checkpoint(const Catalog& catalog) {
+  // 1. Flush and fsync the whole log. The engine's exclusive lock keeps
+  //    new transactions out, so next_lsn_ is stable once pending drains.
+  uint64_t cp_lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!poison_.ok()) return poison_;
+    cp_lsn = next_lsn_;
+  }
+  MAMMOTH_RETURN_IF_ERROR(Sync(cp_lsn));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --commits_synced_;  // Sync() counted a commit; a checkpoint is not one.
+  }
+
+  // 2. Save the catalog's visible image into a temp dir, make it durable,
+  //    then publish it with an atomic rename.
+  const std::string tmp = dir_ + "/snap.tmp";
+  const std::string snap = dir_ + "/" + SnapshotDirName(cp_lsn);
+  std::error_code ec;
+  fs::remove_all(tmp, ec);
+  fs::remove_all(snap, ec);
+  fs::create_directories(tmp, ec);
+  if (ec) return Status::IOError("mkdir " + tmp + ": " + ec.message());
+  MAMMOTH_RETURN_IF_ERROR(SaveCatalog(catalog, tmp));
+  MAMMOTH_RETURN_IF_ERROR(SyncTree(tmp));
+  fs::rename(tmp, snap, ec);
+  if (ec) return Status::IOError("rename " + snap + ": " + ec.message());
+  MAMMOTH_RETURN_IF_ERROR(SyncDir(dir_));
+
+  // 3. Swing the CURRENT pointer (same temp + rename dance). After this
+  //    rename the checkpoint is the recovery baseline.
+  {
+    const std::string cur_tmp = CurrentFilePath(dir_) + ".tmp";
+    std::string body = std::to_string(cp_lsn) + " " + SnapshotDirName(cp_lsn);
+    uint64_t txn_snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      txn_snapshot = next_txn_id_;
+    }
+    body += " " + std::to_string(txn_snapshot) + "\n";
+    FILE* f = std::fopen(cur_tmp.c_str(), "wb");
+    if (f == nullptr) return Status::IOError("open " + cur_tmp);
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    if (!ok) return Status::IOError("write " + cur_tmp);
+    MAMMOTH_RETURN_IF_ERROR(SyncFile(cur_tmp));
+    fs::rename(cur_tmp, CurrentFilePath(dir_), ec);
+    if (ec) {
+      return Status::IOError("rename CURRENT: " + ec.message());
+    }
+    MAMMOTH_RETURN_IF_ERROR(SyncDir(dir_));
+  }
+
+  // 4. Rotate to a segment starting at the checkpoint LSN, then drop the
+  //    segments and snapshots it obsoleted. Rotation must not race an
+  //    active leader (there is none for new commits — the engine lock —
+  //    but a straggling Sync for an already-durable lsn may hold it).
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !sync_active_; });
+    if (segment_start_lsn_ != cp_lsn || file_ == nullptr) {
+      MAMMOTH_RETURN_IF_ERROR(OpenSegmentLocked(cp_lsn, "", 0));
+    }
+    checkpoint_lsn_ = cp_lsn;
+    ++checkpoints_;
+  }
+  for (const auto& entry : fs::directory_iterator(WalSubdir(dir_), ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal_", 0) == 0 && name < SegmentFileName(cp_lsn)) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snap_", 0) == 0 && name != SnapshotDirName(cp_lsn)) {
+      fs::remove_all(entry.path(), ec);
+    }
+  }
+  return cp_lsn;
+}
+
+bool Wal::ShouldCheckpoint() const {
+  if (options_.checkpoint_log_bytes == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_ - checkpoint_lsn_ >= options_.checkpoint_log_bytes;
+}
+
+WalStats Wal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalStats s;
+  s.txns_logged = txns_logged_;
+  s.records_logged = records_logged_;
+  s.bytes_logged = bytes_logged_;
+  s.commits_synced = commits_synced_;
+  s.fsyncs = fsyncs_;
+  s.segments_created = segments_created_;
+  s.checkpoints = checkpoints_;
+  s.next_lsn = next_lsn_;
+  s.durable_lsn = durable_lsn_;
+  s.checkpoint_lsn = checkpoint_lsn_;
+  return s;
+}
+
+}  // namespace mammoth::wal

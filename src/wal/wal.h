@@ -1,0 +1,166 @@
+#ifndef MAMMOTH_WAL_WAL_H_
+#define MAMMOTH_WAL_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "wal/record.h"
+#include "wal/wal_file.h"
+
+namespace mammoth {
+class Catalog;
+}
+
+namespace mammoth::wal {
+
+/// Tuning for a durable database directory.
+struct WalOptions {
+  /// Rotate to a fresh segment once the current one grows past this.
+  size_t segment_bytes = size_t{8} << 20;
+  /// Amortize concurrent commits under one fsync (leader/follower on the
+  /// WAL mutex). Off forces one fsync per committer — the bench's
+  /// baseline, not a mode anyone should serve traffic with.
+  bool group_commit = true;
+  /// Skip fsync entirely (commit = buffered write). For benchmarking the
+  /// fsync cost itself; acknowledged commits can be lost on crash.
+  bool sync_on_commit = true;
+  /// Auto-checkpoint once this many log bytes accumulate past the last
+  /// checkpoint (0 disables; explicit CHECKPOINT still works).
+  size_t checkpoint_log_bytes = size_t{64} << 20;
+  /// Crash-point injection for the durability tests (null in production).
+  std::shared_ptr<WalFaultInjector> fault;
+};
+
+/// Monotonic counters; `fsyncs` vs `commits_synced` is the group-commit
+/// headline number (fsyncs-per-commit < 1 under concurrent writers).
+struct WalStats {
+  uint64_t txns_logged = 0;      ///< transactions appended
+  uint64_t records_logged = 0;   ///< records appended (incl. Begin/Commit)
+  uint64_t bytes_logged = 0;     ///< framed bytes appended
+  uint64_t commits_synced = 0;   ///< successful Sync() returns
+  uint64_t fsyncs = 0;           ///< physical fsync batches
+  uint64_t segments_created = 0;
+  uint64_t checkpoints = 0;
+  uint64_t next_lsn = 0;
+  uint64_t durable_lsn = 0;
+  uint64_t checkpoint_lsn = 0;
+};
+
+/// Where an opened log resumes appending; produced by recovery (db.h).
+struct WalResume {
+  uint64_t next_lsn = 0;     ///< logical offset of the next record
+  uint64_t next_txn_id = 1;
+  uint64_t checkpoint_lsn = 0;
+  std::string tail_segment;  ///< path to reuse (empty: start a new one)
+  /// Record-stream bytes of the tail segment that survive recovery; the
+  /// rest (a torn tail, or trailing uncommitted records) is truncated
+  /// away before the first new append.
+  uint64_t tail_valid_bytes = 0;
+};
+
+/// The write-ahead log of a database directory (layout in db.h): numbered
+/// segment files of CRC-framed records plus checkpoint bookkeeping.
+///
+/// ### Group commit
+///
+/// `LogTransaction` (serialized by the engine's exclusive DML lock) only
+/// buffers the transaction's frames and hands back its commit LSN; the
+/// caller then *releases the engine lock* and calls `Sync(lsn)`. The
+/// first syncer becomes the leader: it writes and fsyncs everything
+/// buffered so far in one batch while later committers wait on the
+/// condition variable; when the leader finishes, every transaction at or
+/// below the durable LSN is acknowledged without an fsync of its own.
+///
+/// A failed write or fsync *poisons* the log: the in-memory catalog may
+/// now be ahead of durable storage, so every later commit is refused
+/// with the original error rather than pretending to be durable.
+class Wal {
+ public:
+  /// Opens the log of `dir` (creating the directory and `wal/` subdir as
+  /// needed), resuming at `resume`.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& dir,
+                                           const WalOptions& options,
+                                           const WalResume& resume = {});
+
+  ~Wal() = default;
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Buffers one transaction (Begin + ops + Commit, framed contiguously)
+  /// and returns its commit LSN — the position that must become durable
+  /// before the statement may be acknowledged. Does not block on I/O.
+  Result<uint64_t> LogTransaction(const std::vector<std::string>& ops);
+
+  /// Blocks until the log is durable through `lsn` (group commit; see
+  /// class comment). Counts one acknowledged commit.
+  Status Sync(uint64_t lsn);
+
+  /// Writes a checkpoint: flushes + fsyncs the log, saves `catalog`'s
+  /// visible image atomically (temp dir + rename + CURRENT pointer),
+  /// rotates to a fresh segment and deletes segments and snapshots the
+  /// checkpoint obsoleted. Caller must hold the engine's exclusive lock
+  /// (no concurrent DML). Returns the checkpoint LSN.
+  Result<uint64_t> Checkpoint(const Catalog& catalog);
+
+  /// True once `checkpoint_log_bytes` have accumulated past the last
+  /// checkpoint (the log-size trigger; the engine checks after DML).
+  bool ShouldCheckpoint() const;
+
+  WalStats stats() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Wal(std::string dir, const WalOptions& options, const WalResume& resume);
+
+  /// Opens/creates the segment that starts at `start_lsn`; registers the
+  /// new file durably (fsync of the wal dir).
+  Status OpenSegmentLocked(uint64_t start_lsn, const std::string& reuse_path,
+                           uint64_t valid_bytes);
+
+  /// Leader body: writes + fsyncs `buf` (rotating past segment_bytes),
+  /// without holding mu_.
+  Status WriteAndSync(const std::string& buf);
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::string pending_;         ///< framed bytes not yet written
+  uint64_t next_lsn_;           ///< lsn after pending_
+  uint64_t durable_lsn_;        ///< fsynced through here
+  uint64_t checkpoint_lsn_;
+  uint64_t next_txn_id_;
+  bool sync_active_ = false;    ///< a leader is writing/fsyncing
+  Status poison_ = Status::OK();
+
+  std::unique_ptr<WalFile> file_;  ///< current segment (never null)
+  uint64_t segment_start_lsn_ = 0;
+
+  // Stats (under mu_).
+  uint64_t txns_logged_ = 0;
+  uint64_t records_logged_ = 0;
+  uint64_t bytes_logged_ = 0;
+  uint64_t commits_synced_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t segments_created_ = 0;
+  uint64_t checkpoints_ = 0;
+};
+
+/// On-disk naming shared by the Wal and recovery.
+constexpr uint64_t kSegmentMagic = 0x314C41574D4DULL;  // "MMWAL1"
+constexpr size_t kSegmentHeaderBytes = 16;              // magic + start lsn
+std::string SegmentFileName(uint64_t start_lsn);
+std::string WalSubdir(const std::string& dir);
+std::string CurrentFilePath(const std::string& dir);
+std::string SnapshotDirName(uint64_t checkpoint_lsn);
+
+}  // namespace mammoth::wal
+
+#endif  // MAMMOTH_WAL_WAL_H_

@@ -1,0 +1,87 @@
+#include "wal/wal_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mammoth::wal {
+
+Result<std::unique_ptr<WalFile>> WalFile::OpenAppend(
+    const std::string& path, std::shared_ptr<WalFaultInjector> fault,
+    int64_t truncate_to) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  if (truncate_to >= 0 && ::ftruncate(fd, truncate_to) != 0) {
+    ::close(fd);
+    return Status::IOError("ftruncate " + path + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("fstat " + path);
+  }
+  return std::unique_ptr<WalFile>(new WalFile(
+      fd, path, static_cast<uint64_t>(st.st_size), std::move(fault)));
+}
+
+WalFile::~WalFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalFile::Append(std::string_view bytes) {
+  if (!failed_.ok()) return failed_;
+  std::string mutated;
+  if (fault_ != nullptr && fault_->mutate_write) {
+    mutated.assign(bytes);
+    fault_->mutate_write(&mutated);
+    bytes = mutated;
+  }
+  size_t want = bytes.size();
+  bool torn = false;
+  if (fault_ != nullptr && fault_->clamp_write) {
+    const size_t clamped = fault_->clamp_write(bytes.size());
+    if (clamped < want) {
+      want = clamped;
+      torn = true;
+    }
+  }
+  size_t done = 0;
+  while (done < want) {
+    const ssize_t n = ::write(fd_, bytes.data() + done, want - done);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      failed_ = Status::IOError("write " + path_ + ": " +
+                                std::strerror(errno));
+      return failed_;
+    }
+    done += static_cast<size_t>(n);
+    size_ += static_cast<uint64_t>(n);
+  }
+  if (torn) {
+    failed_ = Status::IOError("injected crash: torn write to " + path_);
+    return failed_;
+  }
+  return Status::OK();
+}
+
+Status WalFile::Sync() {
+  if (!failed_.ok()) return failed_;
+  if (fault_ != nullptr && fault_->before_sync) fault_->before_sync();
+  if (fault_ != nullptr && fault_->fail_sync && fault_->fail_sync()) {
+    failed_ = Status::IOError("injected crash: fsync failed on " + path_);
+    return failed_;
+  }
+  if (::fsync(fd_) != 0) {
+    failed_ =
+        Status::IOError("fsync " + path_ + ": " + std::strerror(errno));
+    return failed_;
+  }
+  return Status::OK();
+}
+
+}  // namespace mammoth::wal

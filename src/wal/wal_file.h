@@ -1,0 +1,80 @@
+#ifndef MAMMOTH_WAL_WAL_FILE_H_
+#define MAMMOTH_WAL_WAL_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace mammoth::wal {
+
+/// Injectable crash points for the durability tests: every hook defaults
+/// to "do nothing". A triggered fault puts the WalFile into a permanently
+/// failed state (every later Append/Sync returns the same error), which
+/// models a crashed process whose file contents stop exactly where the
+/// fault hit — the recovery tests then reopen the directory and verify
+/// the committed prefix survives.
+struct WalFaultInjector {
+  /// Called with the size of each physical write; returning fewer bytes
+  /// simulates a torn write (the tail of the write is dropped on the
+  /// floor, as after a power cut mid-append).
+  std::function<size_t(size_t len)> clamp_write;
+  /// May mutate the outgoing bytes (e.g. flip CRC bits) before they hit
+  /// the file. A mutated write still "succeeds" — the corruption is only
+  /// discovered by recovery, like silent media corruption.
+  std::function<void(std::string* bytes)> mutate_write;
+  /// Returning true fails the next fsync (models a dying disk; the WAL
+  /// poisons itself and refuses further commits).
+  std::function<bool()> fail_sync;
+  /// Called right before each fsync; tests use it to hold the syncing
+  /// leader long enough that followers pile onto one group commit.
+  std::function<void()> before_sync;
+};
+
+/// Append-only file handle used for WAL segments: every byte passes
+/// through the fault injector (when one is attached), and a triggered
+/// fault latches the file into a failed state.
+class WalFile {
+ public:
+  /// Opens `path` for appending, creating it when absent. Appends resume
+  /// at `truncate_to` when >= 0 (the file is truncated first — recovery
+  /// uses this to drop a torn tail before new records go in).
+  static Result<std::unique_ptr<WalFile>> OpenAppend(
+      const std::string& path, std::shared_ptr<WalFaultInjector> fault,
+      int64_t truncate_to = -1);
+
+  ~WalFile();
+  WalFile(const WalFile&) = delete;
+  WalFile& operator=(const WalFile&) = delete;
+
+  /// Appends all bytes (through the injector). On a torn write the file
+  /// keeps the clamped prefix and the error latches.
+  Status Append(std::string_view bytes);
+
+  /// fsync(2) (through the injector).
+  Status Sync();
+
+  /// Bytes successfully appended so far (file offset of the next write).
+  uint64_t size() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WalFile(int fd, std::string path, uint64_t size,
+          std::shared_ptr<WalFaultInjector> fault)
+      : fd_(fd), path_(std::move(path)), size_(size),
+        fault_(std::move(fault)) {}
+
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+  Status failed_ = Status::OK();  ///< latched first fault/IO error
+  std::shared_ptr<WalFaultInjector> fault_;
+};
+
+}  // namespace mammoth::wal
+
+#endif  // MAMMOTH_WAL_WAL_FILE_H_

@@ -6,6 +6,7 @@
 #include "core/persist.h"
 #include "core/table.h"
 #include "sql/engine.h"
+#include "wal/db.h"
 
 namespace mammoth {
 namespace {
@@ -111,6 +112,70 @@ TEST_F(TablePersistTest, CatalogRoundTripThroughSql) {
   auto a = (*catalog)->Get("a");
   ASSERT_TRUE(a.ok());
   EXPECT_EQ((*a)->VisibleRowCount(), 2u);
+}
+
+/// Edge shapes through a full catalog round trip, with and without mmap:
+/// a table with uncompacted deletes, a delta-only table (all rows still
+/// pending in insert deltas) and an empty table.
+TEST_F(TablePersistTest, CatalogEdgeShapesRoundTripWithAndWithoutMmap) {
+  sql::Engine engine;
+  ASSERT_TRUE(engine
+                  .ExecuteScript(
+                      "CREATE TABLE holed (x INT, s VARCHAR(8));"
+                      "INSERT INTO holed VALUES (1, 'a'), (2, 'b'), "
+                      "(3, 'c'), (4, 'd');"
+                      "DELETE FROM holed WHERE x = 2;"
+                      "CREATE TABLE delta_only (y DOUBLE);"
+                      "INSERT INTO delta_only VALUES (0.5), (1.5);"
+                      "CREATE TABLE never_used (z BIGINT)")
+                  .ok());
+  // The shapes are what the test claims: nothing has been compacted.
+  auto holed = engine.catalog()->Get("holed");
+  ASSERT_TRUE(holed.ok());
+  ASSERT_EQ((*holed)->DeletedCount(), 1u);
+  auto delta_only = engine.catalog()->Get("delta_only");
+  ASSERT_TRUE(delta_only.ok());
+  ASSERT_EQ((*delta_only)->PendingInsertCount(), 2u);
+  ASSERT_EQ((*delta_only)->MainColumn(0)->Count(), 0u);
+
+  ASSERT_TRUE(SaveCatalog(*engine.catalog(), dir_).ok());
+
+  for (const bool use_mmap : {false, true}) {
+    SCOPED_TRACE(use_mmap ? "mmap" : "copy");
+    auto loaded = LoadCatalog(dir_, use_mmap);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_TRUE(wal::CompareCatalogs(*engine.catalog(), **loaded).ok());
+
+    // The hole was compacted away on disk.
+    auto h = (*loaded)->Get("holed");
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ((*h)->VisibleRowCount(), 3u);
+    EXPECT_EQ((*h)->DeletedCount(), 0u);
+    auto x = (*h)->ScanColumn("x");
+    ASSERT_TRUE(x.ok());
+    EXPECT_EQ((*x)->ValueAt<int32_t>(1), 3);
+
+    // An empty table must load empty and still accept DML.
+    auto e = (*loaded)->Get("never_used");
+    ASSERT_TRUE(e.ok());
+    EXPECT_EQ((*e)->VisibleRowCount(), 0u);
+    ASSERT_TRUE((*e)->Insert({Value::Int(9)}).ok());
+    EXPECT_EQ((*e)->VisibleRowCount(), 1u);
+  }
+}
+
+TEST_F(TablePersistTest, EmptyTableSurvivesDirectSaveLoad) {
+  auto created = Table::Create(
+      "empty", {{"n", PhysType::kInt64}, {"s", PhysType::kStr}});
+  ASSERT_TRUE(created.ok());
+  ASSERT_TRUE(SaveTable(**created, dir_).ok());
+  for (const bool use_mmap : {false, true}) {
+    SCOPED_TRACE(use_mmap ? "mmap" : "copy");
+    auto loaded = LoadTable(dir_, use_mmap);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ((*loaded)->VisibleRowCount(), 0u);
+    EXPECT_EQ((*loaded)->NumColumns(), 2u);
+  }
 }
 
 TEST_F(TablePersistTest, FromColumnsValidates) {

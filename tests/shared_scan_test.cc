@@ -24,6 +24,9 @@ constexpr size_t kChunk = size_t{1} << 16;  // minimum (one morsel) grain
 SharedScanConfig SmallConfig() {
   SharedScanConfig config;
   config.chunk_rows = kChunk;
+  // These tests assert exact chunk counts at a fixed grain; the
+  // byte-adaptive grain has its own tests below.
+  config.chunk_bytes = 0;
   config.min_share_rows = kChunk;
   return config;
 }
@@ -533,6 +536,83 @@ TEST(SharedScanEngineTest, RecyclerApiThreadSafe) {
     });
   }
   for (auto& t : threads) t.join();
+}
+
+// --------------------------------------------- byte-adaptive chunking --
+
+/// The pass grain derives from chunk_bytes / width, morsel-aligned with a
+/// one-morsel floor; chunk_bytes = 0 falls back to the fixed row grain.
+TEST(SharedScanAdaptiveTest, RowsPerChunkScalesWithValueWidth) {
+  SharedScanConfig config;  // default: chunk_bytes = 1 MiB
+  SharedScanScheduler sched(config);
+  EXPECT_EQ(sched.RowsPerChunk(4), size_t{1} << 18);  // int32
+  EXPECT_EQ(sched.RowsPerChunk(8), size_t{1} << 17);  // int64/double
+  EXPECT_EQ(sched.RowsPerChunk(2), size_t{1} << 19);  // int16
+  // Very wide values clamp at one morsel, never below.
+  EXPECT_EQ(sched.RowsPerChunk(size_t{1} << 10), size_t{1} << 16);
+  // Non-power-of-two widths still come out morsel-aligned.
+  EXPECT_EQ(sched.RowsPerChunk(3) % (size_t{1} << 16), 0u);
+
+  SharedScanConfig fixed;
+  fixed.chunk_bytes = 0;
+  fixed.chunk_rows = 3 * kChunk;
+  SharedScanScheduler fsched(fixed);
+  EXPECT_EQ(fsched.RowsPerChunk(8), 3 * kChunk);
+  EXPECT_EQ(fsched.RowsPerChunk(4), 3 * kChunk);
+}
+
+/// An int64 pass sweeps half the rows per chunk of an int32 pass (equal
+/// chunk bytes), visible in the physical load count — and the result
+/// stays bit-identical to the kernel at any grain.
+TEST(SharedScanAdaptiveTest, PassGrainFollowsColumnWidth) {
+  const size_t n = size_t{1} << 19;  // 512Ki rows, >= min_share_rows
+  SharedScanConfig config;           // 1 MiB chunks
+  SharedScanScheduler sched(config);
+  const BatPtr col64 = RandomColumn(n, 11, 1000);
+  const auto pred = ScanPredicate::Theta(Value::Int(500), CmpOp::kLt);
+
+  auto got =
+      sched.Select(col64, "t", "v", 1, pred, parallel::ExecContext::Serial());
+  ASSERT_TRUE(got.ok());
+  const auto want = algebra::ThetaSelect(col64, nullptr, pred.v, pred.op,
+                                         parallel::ExecContext::Serial());
+  ASSERT_TRUE(want.ok());
+  ExpectBitIdentical(*got, *want);
+  // 2^19 int64 rows at 2^17 rows/chunk = 4 loads (int32 would be 2).
+  EXPECT_EQ(sched.stats().chunks_loaded, 4u);
+}
+
+/// A scan joining an in-flight pass adopts that pass's grain (the chunk
+/// grid lives over row positions), keeping deliveries shareable across
+/// columns instead of falling back.
+TEST(SharedScanAdaptiveTest, JoinerAdoptsPassGrain) {
+  const size_t n = size_t{1} << 19;
+  SharedScanScheduler sched;  // adaptive default config
+  const BatPtr col = RandomColumn(n, 13, 1000);
+  const auto pred = ScanPredicate::Theta(Value::Int(100), CmpOp::kGe);
+
+  // Pin a pass at the one-morsel grain via the low-level protocol...
+  const size_t pinned = kChunk;
+  auto* holder = sched.Attach(
+      "t", 1, n, std::vector<bool>(n / pinned, false),
+      [](size_t, size_t, size_t, const parallel::ExecContext&) {
+        return Status::OK();
+      },
+      pinned);
+  ASSERT_NE(holder, nullptr);
+
+  // ...then a routed Select must join it at that grain, not its own.
+  auto got =
+      sched.Select(col, "t", "v", 1, pred, parallel::ExecContext::Serial());
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(sched.Drain(holder, parallel::ExecContext::Serial()).ok());
+
+  const auto want = algebra::ThetaSelect(col, nullptr, pred.v, pred.op,
+                                         parallel::ExecContext::Serial());
+  ASSERT_TRUE(want.ok());
+  ExpectBitIdentical(*got, *want);
+  EXPECT_EQ(sched.stats().scans_attached, 2u);  // holder + joiner
+  EXPECT_EQ(sched.stats().chunks_loaded, n / pinned);  // pinned grain won
 }
 
 }  // namespace
