@@ -8,13 +8,25 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/timer.h"
 #include "compress/pdict.h"
 #include "compress/pfor.h"
 #include "compress/compressed_bat.h"
 #include "compress/rle.h"
+#include "core/table.h"
+#include "parallel/exec_context.h"
+#include "parallel/task_pool.h"
+#include "scan/shared_scan.h"
+#include "sql/engine.h"
 #include "vector/pipeline.h"
 #include "workloads.h"
 
@@ -193,6 +205,163 @@ void BM_VectorizedScanPforBlocks(benchmark::State& state) {
 }
 BENCHMARK(BM_VectorizedScanPlain)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_VectorizedScanPforBlocks)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------- end-to-end --
+// Compression as an execution path, measured through the whole engine:
+// 8 closed-loop sessions each run 4 queries (a 32-scan mix over four
+// columns with different codec affinities) against one sql::Engine with
+// a SharedScanScheduler attached — once over plain storage, once after
+// ALTER TABLE ... COMPRESS. Counters report the physical work per query:
+// bytes_per_query (chunk-load bytes: tail bytes when plain, pro-rated
+// codec bytes when compressed) and loads_per_query (driven chunk loads
+// plus direct passes), so the compressed variant's byte reduction is the
+// end-to-end I/O win. MAMMOTH_BENCH_ROWS overrides the table size
+// (default 32 chunks of 64Ki rows).
+
+constexpr size_t kMixChunkRows = size_t{1} << 16;
+
+size_t MixRows() {
+  const char* env = std::getenv("MAMMOTH_BENCH_ROWS");
+  return env != nullptr ? std::strtoull(env, nullptr, 10)
+                        : 32 * kMixChunkRows + 777;
+}
+
+// Fresh per variant: ALTER TABLE COMPRESS rewrites storage in place, so
+// the raw and compressed runs must not share a TablePtr.
+TablePtr MixTable() {
+  const size_t nrows = MixRows();
+  BatPtr id = Bat::New(PhysType::kInt32);
+  BatPtr val = Bat::New(PhysType::kInt32);
+  BatPtr tag = Bat::New(PhysType::kInt32);
+  BatPtr big = Bat::New(PhysType::kInt64);
+  id->Resize(nrows);
+  val->Resize(nrows);
+  tag->Resize(nrows);
+  big->Resize(nrows);
+  int32_t* idp = id->MutableTailData<int32_t>();
+  int32_t* vp = val->MutableTailData<int32_t>();
+  int32_t* tp = tag->MutableTailData<int32_t>();
+  int64_t* bp = big->MutableTailData<int64_t>();
+  Rng rng(20260807);
+  for (size_t i = 0; i < nrows; ++i) {
+    idp[i] = static_cast<int32_t>(i);                     // sorted: PFOR-DELTA
+    vp[i] = static_cast<int32_t>(rng.Uniform(10000));     // small range: PFOR
+    tp[i] = static_cast<int32_t>(i / 1000);               // runs: RLE
+    bp[i] = (int64_t{1} << 34) +
+            static_cast<int64_t>(rng.Uniform(512));       // wide, clustered
+  }
+  auto t = Table::FromColumns("events",
+                              {{"id", PhysType::kInt32},
+                               {"val", PhysType::kInt32},
+                               {"tag", PhysType::kInt32},
+                               {"big", PhysType::kInt64}},
+                              {id, val, tag, big});
+  if (!t.ok()) std::abort();
+  return *t;
+}
+
+// Overlapping aggregates over all four columns; single-row results keep
+// the scan (not the wire) as the measured cost.
+std::string MixQuery(int i, size_t nrows) {
+  switch (i % 4) {
+    case 0: {
+      const int lo = 250 * (i % 3);
+      return "SELECT COUNT(*), SUM(val) FROM events WHERE val >= " +
+             std::to_string(lo) + " AND val <= " + std::to_string(lo + 8500);
+    }
+    case 1:
+      return "SELECT COUNT(*), SUM(tag) FROM events WHERE tag >= 0 AND "
+             "tag <= " +
+             std::to_string(nrows / 1000);
+    case 2:
+      return "SELECT COUNT(*), SUM(id) FROM events WHERE id >= 0 AND id <= " +
+             std::to_string(nrows);
+    case 3:
+      return "SELECT COUNT(*) FROM events WHERE big >= 17179869184 AND "
+             "big <= 17179869600";
+  }
+  return "";
+}
+
+void EndToEndScanMix(benchmark::State& state, bool compressed) {
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 4;  // 8 x 4 = the 32-scan mix
+
+  sql::Engine engine;
+  if (!engine.catalog()->Register(MixTable()).ok()) {
+    state.SkipWithError("register failed");
+    return;
+  }
+  if (compressed &&
+      !engine.Execute("ALTER TABLE events COMPRESS").ok()) {
+    state.SkipWithError("compress failed");
+    return;
+  }
+  scan::SharedScanConfig cfg;
+  cfg.chunk_rows = kMixChunkRows;
+  cfg.min_share_rows = kMixChunkRows;
+  scan::SharedScanScheduler sched(cfg);
+  engine.AttachSharedScans(&sched);
+  parallel::TaskPool pool(parallel::DefaultThreadCount());
+  parallel::ExecContext ctx(&pool);
+  const size_t nrows = MixRows();
+
+  std::atomic<bool> failed{false};
+  int64_t total_queries = 0;
+  uint64_t bytes = 0;
+  uint64_t loads = 0;
+  for (auto _ : state) {
+    const scan::SharedScanStats before = sched.stats();
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int q = 0; q < kQueriesPerThread; ++q) {
+          if (!engine.Execute(MixQuery(t + q, nrows), ctx).ok()) {
+            failed.store(true);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    state.SetIterationTime(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+    total_queries += kThreads * kQueriesPerThread;
+    const scan::SharedScanStats after = sched.stats();
+    bytes += after.bytes_loaded - before.bytes_loaded;
+    loads += (after.chunks_loaded - before.chunks_loaded) +
+             (after.chunks_direct - before.chunks_direct);
+  }
+  if (failed.load()) state.SkipWithError("query failed");
+
+  const double queries = static_cast<double>(total_queries);
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(total_queries), benchmark::Counter::kIsRate);
+  state.counters["bytes_per_query"] =
+      total_queries == 0 ? 0.0 : static_cast<double>(bytes) / queries;
+  state.counters["loads_per_query"] =
+      total_queries == 0 ? 0.0 : static_cast<double>(loads) / queries;
+  const auto cs = engine.compression_stats();
+  state.counters["storage_ratio"] =
+      cs.compressed_bytes == 0
+          ? 1.0
+          : static_cast<double>(cs.logical_bytes) /
+                static_cast<double>(cs.compressed_bytes);
+}
+
+void BM_EndToEndScanMixRaw(benchmark::State& state) {
+  EndToEndScanMix(state, false);
+}
+void BM_EndToEndScanMixCompressed(benchmark::State& state) {
+  EndToEndScanMix(state, true);
+}
+BENCHMARK(BM_EndToEndScanMixRaw)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEndScanMixCompressed)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace mammoth

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "TimedOut";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode : uint8_t {
   kUnavailable,  ///< service refusing work (e.g. server draining)
   kTimedOut,     ///< deadline elapsed (e.g. admission queue timeout)
   kCorruption,   ///< on-disk state fails validation (e.g. mid-log CRC)
+  kUnsupported,  ///< valid request the implementation declines (e.g. codec/type)
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -70,6 +71,9 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

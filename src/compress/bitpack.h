@@ -55,6 +55,58 @@ inline size_t PackedBytes(size_t n, int bits) {
   return (n * static_cast<size_t>(bits) + 7) / 8;
 }
 
+/// 64-bit variant: packs `n` values of `bits` significant bits each,
+/// `bits` in [0, 64]. A value can straddle the 8-byte window a single
+/// unaligned u64 access covers, so writes and reads spill the ninth byte
+/// explicitly when `bitpos % 8 + bits > 64`.
+inline void PackBits64(const uint64_t* values, size_t n, int bits,
+                       std::vector<uint8_t>* out) {
+  if (bits == 0) return;
+  const size_t start = out->size();
+  out->resize(start + (n * bits + 7) / 8 + 16, 0);  // +16 slack for u64 writes
+  uint8_t* base = out->data() + start;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t bitpos = i * static_cast<size_t>(bits);
+    const size_t byte = bitpos / 8;
+    const int shift = static_cast<int>(bitpos % 8);
+    const uint64_t v =
+        bits == 64 ? values[i]
+                   : values[i] & ((uint64_t{1} << bits) - 1);
+    uint64_t word;
+    std::memcpy(&word, base + byte, sizeof(word));
+    word |= v << shift;
+    std::memcpy(base + byte, &word, sizeof(word));
+    if (shift + bits > 64) {
+      base[byte + 8] |= static_cast<uint8_t>(v >> (64 - shift));
+    }
+  }
+  out->resize(start + (n * bits + 7) / 8);
+}
+
+/// Unpacks `n` values of `bits` (in [0, 64]) bits each; the source must be
+/// readable 9 bytes past the last touched bit (encoders leave slack).
+inline void UnpackBits64(const uint8_t* src, size_t n, int bits,
+                         uint64_t* out) {
+  if (bits == 0) {
+    std::memset(out, 0, n * sizeof(uint64_t));
+    return;
+  }
+  const uint64_t mask =
+      bits == 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t bitpos = i * static_cast<size_t>(bits);
+    const size_t byte = bitpos / 8;
+    const int shift = static_cast<int>(bitpos % 8);
+    uint64_t word;
+    std::memcpy(&word, src + byte, sizeof(word));
+    uint64_t v = word >> shift;
+    if (shift + bits > 64) {
+      v |= static_cast<uint64_t>(src[byte + 8]) << (64 - shift);
+    }
+    out[i] = v & mask;
+  }
+}
+
 }  // namespace mammoth::compress
 
 #endif  // MAMMOTH_COMPRESS_BITPACK_H_

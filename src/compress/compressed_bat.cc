@@ -1,12 +1,61 @@
 #include "compress/compressed_bat.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "compress/pdict.h"
 #include "compress/pfor.h"
+#include "compress/pfor64.h"
 #include "compress/rle.h"
 
 namespace mammoth::compress {
+
+namespace {
+
+template <typename T>
+void BlockStats(const T* v, size_t n, std::vector<int64_t>* mins,
+                std::vector<int64_t>* maxes) {
+  mins->clear();
+  maxes->clear();
+  for (size_t start = 0; start < n; start += CompressedBat::kStatBlockRows) {
+    const size_t bn = std::min(CompressedBat::kStatBlockRows, n - start);
+    T lo = v[start], hi = v[start];
+    for (size_t i = 1; i < bn; ++i) {
+      lo = std::min(lo, v[start + i]);
+      hi = std::max(hi, v[start + i]);
+    }
+    mins->push_back(static_cast<int64_t>(lo));
+    maxes->push_back(static_cast<int64_t>(hi));
+  }
+}
+
+void PutBytes(std::string* out, const void* p, size_t n) {
+  out->append(static_cast<const char*>(p), n);
+}
+
+template <typename T>
+void PutInt(std::string* out, T v) {
+  PutBytes(out, &v, sizeof(v));
+}
+
+struct ByteReader {
+  const uint8_t* p;
+  const uint8_t* end;
+  explicit ByteReader(std::string_view s)
+      : p(reinterpret_cast<const uint8_t*>(s.data())),
+        end(reinterpret_cast<const uint8_t*>(s.data()) + s.size()) {}
+  template <typename T>
+  bool Read(T* v) {
+    if (end - p < static_cast<ptrdiff_t>(sizeof(T))) return false;
+    std::memcpy(v, p, sizeof(T));
+    p += sizeof(T);
+    return true;
+  }
+};
+
+constexpr uint32_t kCbatMagic = 0x31544243;  // "CBT1"
+
+}  // namespace
 
 const char* CodecName(Codec c) {
   switch (c) {
@@ -23,29 +72,61 @@ const char* CodecName(Codec c) {
 }
 
 Result<CompressedBat> CompressedBat::Compress(const BatPtr& b, Codec codec) {
-  if (b == nullptr || b->type() != PhysType::kInt32) {
-    return Status::TypeMismatch("compress: need a bat[:int]");
+  if (b == nullptr) {
+    return Status::InvalidArgument("compress: null input BAT");
+  }
+  if (b->type() != PhysType::kInt32 && b->type() != PhysType::kInt64) {
+    return Status::Unsupported(std::string("compress: bat[:") +
+                               TypeName(b->type()) +
+                               "] has no codec (int/bigint only)");
+  }
+  if (b->IsDenseTail()) {
+    return Status::Unsupported("compress: dense virtual tail");
   }
   CompressedBat out;
   out.codec_ = codec;
+  out.type_ = b->type();
   out.count_ = b->Count();
-  const int32_t* v = b->TailData<int32_t>();
-  switch (codec) {
-    case Codec::kPfor: {
-      MAMMOTH_RETURN_IF_ERROR(PforEncode(v, out.count_, &out.bytes_));
-      MAMMOTH_ASSIGN_OR_RETURN(out.block_index_,
-                               PforBuildBlockIndex(out.bytes_));
-      break;
+  out.props_ = b->props();
+  if (out.type_ == PhysType::kInt32) {
+    const int32_t* v = b->TailData<int32_t>();
+    switch (codec) {
+      case Codec::kPfor: {
+        MAMMOTH_RETURN_IF_ERROR(PforEncode(v, out.count_, &out.bytes_));
+        MAMMOTH_ASSIGN_OR_RETURN(out.block_index_,
+                                 PforBuildBlockIndex(out.bytes_));
+        break;
+      }
+      case Codec::kPforDelta:
+        MAMMOTH_RETURN_IF_ERROR(PforDeltaEncode(v, out.count_, &out.bytes_));
+        break;
+      case Codec::kPdict:
+        MAMMOTH_RETURN_IF_ERROR(PdictEncode(v, out.count_, &out.bytes_));
+        break;
+      case Codec::kRle:
+        MAMMOTH_RETURN_IF_ERROR(RleEncode(v, out.count_, &out.bytes_));
+        break;
     }
-    case Codec::kPforDelta:
-      MAMMOTH_RETURN_IF_ERROR(PforDeltaEncode(v, out.count_, &out.bytes_));
-      break;
-    case Codec::kPdict:
-      MAMMOTH_RETURN_IF_ERROR(PdictEncode(v, out.count_, &out.bytes_));
-      break;
-    case Codec::kRle:
-      MAMMOTH_RETURN_IF_ERROR(RleEncode(v, out.count_, &out.bytes_));
-      break;
+    BlockStats(v, out.count_, &out.stat_min_, &out.stat_max_);
+  } else {
+    const int64_t* v = b->TailData<int64_t>();
+    switch (codec) {
+      case Codec::kPfor: {
+        MAMMOTH_RETURN_IF_ERROR(Pfor64Encode(v, out.count_, &out.bytes_));
+        MAMMOTH_ASSIGN_OR_RETURN(out.block_index_,
+                                 Pfor64BuildBlockIndex(out.bytes_));
+        break;
+      }
+      case Codec::kPforDelta:
+        MAMMOTH_RETURN_IF_ERROR(Pfor64DeltaEncode(v, out.count_, &out.bytes_));
+        break;
+      case Codec::kPdict:
+        return Status::Unsupported("compress: pdict has no int64 variant");
+      case Codec::kRle:
+        MAMMOTH_RETURN_IF_ERROR(Rle64Encode(v, out.count_, &out.bytes_));
+        break;
+    }
+    BlockStats(v, out.count_, &out.stat_min_, &out.stat_max_);
   }
   return out;
 }
@@ -55,7 +136,15 @@ Result<CompressedBat> CompressedBat::CompressBest(const BatPtr& b) {
   for (Codec c : {Codec::kPfor, Codec::kPforDelta, Codec::kPdict,
                   Codec::kRle}) {
     Result<CompressedBat> attempt = Compress(b, c);
-    if (!attempt.ok()) continue;  // e.g. pdict on high cardinality
+    if (!attempt.ok()) {
+      // Unsupported *types* fail every codec identically — surface that
+      // instead of "no codec succeeded".
+      if (attempt.status().code() == StatusCode::kUnsupported &&
+          c == Codec::kPfor) {
+        return attempt;
+      }
+      continue;  // e.g. pdict on high cardinality
+    }
     if (!best.ok() ||
         attempt->CompressedBytes() < best->CompressedBytes()) {
       best = std::move(attempt);
@@ -65,29 +154,75 @@ Result<CompressedBat> CompressedBat::CompressBest(const BatPtr& b) {
 }
 
 Result<BatPtr> CompressedBat::Decode() const {
-  std::vector<int32_t> values;
-  switch (codec_) {
-    case Codec::kPfor:
-      MAMMOTH_RETURN_IF_ERROR(PforDecode(bytes_, &values));
-      break;
-    case Codec::kPforDelta:
-      MAMMOTH_RETURN_IF_ERROR(PforDeltaDecode(bytes_, &values));
-      break;
-    case Codec::kPdict:
-      MAMMOTH_RETURN_IF_ERROR(PdictDecode(bytes_, &values));
-      break;
-    case Codec::kRle:
-      MAMMOTH_RETURN_IF_ERROR(RleDecode(bytes_, &values));
-      break;
+  BatPtr b = Bat::New(type_);
+  if (type_ == PhysType::kInt32) {
+    std::vector<int32_t> values;
+    switch (codec_) {
+      case Codec::kPfor:
+        MAMMOTH_RETURN_IF_ERROR(PforDecode(bytes_, &values));
+        break;
+      case Codec::kPforDelta:
+        MAMMOTH_RETURN_IF_ERROR(PforDeltaDecode(bytes_, &values));
+        break;
+      case Codec::kPdict:
+        MAMMOTH_RETURN_IF_ERROR(PdictDecode(bytes_, &values));
+        break;
+      case Codec::kRle:
+        MAMMOTH_RETURN_IF_ERROR(RleDecode(bytes_, &values));
+        break;
+    }
+    if (values.size() != count_) {
+      return Status::Corruption("compressed bat: count drifted on decode");
+    }
+    b->AppendRaw(values.data(), values.size());
+  } else {
+    std::vector<int64_t> values;
+    switch (codec_) {
+      case Codec::kPfor:
+        MAMMOTH_RETURN_IF_ERROR(Pfor64Decode(bytes_, &values));
+        break;
+      case Codec::kPforDelta:
+        MAMMOTH_RETURN_IF_ERROR(Pfor64DeltaDecode(bytes_, &values));
+        break;
+      case Codec::kPdict:
+        return Status::Unsupported("compress: pdict has no int64 variant");
+      case Codec::kRle:
+        MAMMOTH_RETURN_IF_ERROR(Rle64Decode(bytes_, &values));
+        break;
+    }
+    if (values.size() != count_) {
+      return Status::Corruption("compressed bat: count drifted on decode");
+    }
+    b->AppendRaw(values.data(), values.size());
   }
-  BatPtr b = Bat::New(PhysType::kInt32);
-  b->AppendRaw(values.data(), values.size());
+  b->mutable_props() = props_;
   return b;
+}
+
+Status CompressedBat::FillCache() const {
+  std::call_once(cache_->once, [this] {
+    Result<BatPtr> full = Decode();
+    if (full.ok()) {
+      cache_->bat = *std::move(full);
+    } else {
+      cache_->status = full.status();
+    }
+  });
+  return cache_->status;
+}
+
+Result<BatPtr> CompressedBat::DecodedBat() const {
+  MAMMOTH_RETURN_IF_ERROR(FillCache());
+  return cache_->bat;
 }
 
 Status CompressedBat::DecodeRange(size_t start, size_t n,
                                   int32_t* out) const {
-  if (start + n > count_) {
+  if (type_ != PhysType::kInt32) {
+    return Status::TypeMismatch("decode range: column is not bat[:int]");
+  }
+  if (n == 0) return Status::OK();  // empty range: no-op at any start
+  if (start >= count_ || n > count_ - start) {
     return Status::OutOfRange("decode range beyond column");
   }
   switch (codec_) {
@@ -98,19 +233,121 @@ Status CompressedBat::DecodeRange(size_t start, size_t n,
     case Codec::kPforDelta:
     case Codec::kRle: {
       // No random access (running prefix / variable-length runs): decode
-      // once, cache, and serve ranges from the cache.
-      if (decoded_cache_.empty() && count_ > 0) {
-        if (codec_ == Codec::kPforDelta) {
-          MAMMOTH_RETURN_IF_ERROR(PforDeltaDecode(bytes_, &decoded_cache_));
-        } else {
-          MAMMOTH_RETURN_IF_ERROR(RleDecode(bytes_, &decoded_cache_));
-        }
-      }
-      std::memcpy(out, decoded_cache_.data() + start, n * sizeof(int32_t));
+      // once into the shared cache and serve ranges from it.
+      MAMMOTH_RETURN_IF_ERROR(FillCache());
+      std::memcpy(out, cache_->bat->TailData<int32_t>() + start,
+                  n * sizeof(int32_t));
       return Status::OK();
     }
   }
   return Status::Internal("unreachable");
+}
+
+Status CompressedBat::DecodeRange(size_t start, size_t n,
+                                  int64_t* out) const {
+  if (type_ != PhysType::kInt64) {
+    return Status::TypeMismatch("decode range: column is not bat[:long]");
+  }
+  if (n == 0) return Status::OK();  // empty range: no-op at any start
+  if (start >= count_ || n > count_ - start) {
+    return Status::OutOfRange("decode range beyond column");
+  }
+  switch (codec_) {
+    case Codec::kPfor:
+      return Pfor64DecodeRangeIndexed(bytes_, block_index_, start, n, out);
+    case Codec::kPdict:
+      return Status::Unsupported("compress: pdict has no int64 variant");
+    case Codec::kPforDelta:
+    case Codec::kRle: {
+      MAMMOTH_RETURN_IF_ERROR(FillCache());
+      std::memcpy(out, cache_->bat->TailData<int64_t>() + start,
+                  n * sizeof(int64_t));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status CompressedBat::DecodeRangeRaw(size_t start, size_t n,
+                                     void* out) const {
+  return type_ == PhysType::kInt32
+             ? DecodeRange(start, n, static_cast<int32_t*>(out))
+             : DecodeRange(start, n, static_cast<int64_t*>(out));
+}
+
+void CompressedBat::Serialize(std::string* out) const {
+  PutInt<uint32_t>(out, kCbatMagic);
+  PutInt<uint8_t>(out, static_cast<uint8_t>(codec_));
+  PutInt<uint8_t>(out, static_cast<uint8_t>(type_));
+  const uint8_t props = (props_.sorted ? 1 : 0) | (props_.revsorted ? 2 : 0) |
+                        (props_.key ? 4 : 0);
+  PutInt<uint8_t>(out, props);
+  PutInt<uint8_t>(out, 0);  // reserved
+  PutInt<uint64_t>(out, count_);
+  PutInt<uint32_t>(out, static_cast<uint32_t>(stat_min_.size()));
+  for (size_t i = 0; i < stat_min_.size(); ++i) {
+    PutInt<int64_t>(out, stat_min_[i]);
+    PutInt<int64_t>(out, stat_max_[i]);
+  }
+  PutInt<uint64_t>(out, bytes_.size());
+  PutBytes(out, bytes_.data(), bytes_.size());
+}
+
+Result<CompressedBat> CompressedBat::Deserialize(std::string_view in) {
+  ByteReader r(in);
+  uint32_t magic = 0;
+  uint8_t codec = 0, type = 0, props = 0, reserved = 0;
+  uint64_t count = 0, stream_bytes = 0;
+  uint32_t nstats = 0;
+  if (!r.Read(&magic) || magic != kCbatMagic) {
+    return Status::Corruption("compressed bat: bad magic");
+  }
+  if (!r.Read(&codec) || codec > static_cast<uint8_t>(Codec::kRle) ||
+      !r.Read(&type) || !r.Read(&props) || !r.Read(&reserved) ||
+      !r.Read(&count) || !r.Read(&nstats)) {
+    return Status::Corruption("compressed bat: truncated header");
+  }
+  const PhysType t = static_cast<PhysType>(type);
+  if (t != PhysType::kInt32 && t != PhysType::kInt64) {
+    return Status::Corruption("compressed bat: bad column type");
+  }
+  const uint64_t want_stats =
+      (count + CompressedBat::kStatBlockRows - 1) /
+      CompressedBat::kStatBlockRows;
+  if (nstats != want_stats) {
+    return Status::Corruption("compressed bat: stat block count mismatch");
+  }
+  CompressedBat out;
+  out.codec_ = static_cast<Codec>(codec);
+  out.type_ = t;
+  out.count_ = count;
+  out.props_.sorted = (props & 1) != 0;
+  out.props_.revsorted = (props & 2) != 0;
+  out.props_.key = (props & 4) != 0;
+  out.stat_min_.resize(nstats);
+  out.stat_max_.resize(nstats);
+  for (uint32_t i = 0; i < nstats; ++i) {
+    if (!r.Read(&out.stat_min_[i]) || !r.Read(&out.stat_max_[i])) {
+      return Status::Corruption("compressed bat: truncated stats");
+    }
+  }
+  if (!r.Read(&stream_bytes) ||
+      stream_bytes > static_cast<uint64_t>(r.end - r.p)) {
+    return Status::Corruption("compressed bat: truncated stream");
+  }
+  out.bytes_.assign(r.p, r.p + stream_bytes);
+  MAMMOTH_RETURN_IF_ERROR(out.RebuildIndexes());
+  return out;
+}
+
+Status CompressedBat::RebuildIndexes() {
+  if (codec_ != Codec::kPfor) return Status::OK();
+  if (type_ == PhysType::kInt32) {
+    MAMMOTH_ASSIGN_OR_RETURN(block_index_, PforBuildBlockIndex(bytes_));
+  } else {
+    MAMMOTH_ASSIGN_OR_RETURN(block_index_, Pfor64BuildBlockIndex(bytes_));
+  }
+  return Status::OK();
 }
 
 }  // namespace mammoth::compress

@@ -2,7 +2,10 @@
 #define MAMMOTH_COMPRESS_COMPRESSED_BAT_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -15,46 +18,101 @@ enum class Codec : uint8_t { kPfor, kPforDelta, kPdict, kRle };
 
 const char* CodecName(Codec c);
 
-/// A compressed :int column in the X100 storage style (§5): the column is
-/// held in its compressed form and decompressed on demand — either wholly
-/// (operator-at-a-time consumers) or vector-at-a-time via DecodeRange
-/// (pipelined consumers decompress into a cache-resident vector right
-/// before use, keeping scans CPU- rather than bandwidth-bound).
+/// A compressed integer column in the X100 storage style (§5): the column
+/// is held in its compressed form and decompressed on demand — either
+/// wholly (operator-at-a-time consumers) or vector-at-a-time via
+/// DecodeRange (pipelined consumers decompress into a cache-resident
+/// vector right before use, keeping scans CPU- rather than bandwidth-bound).
+///
+/// Supported tail types: kInt32 (all codecs) and kInt64 (PFOR,
+/// PFOR-DELTA, RLE). Anything else yields a typed kUnsupported error.
+///
+/// Alongside the byte stream the column keeps per-block min/max statistics
+/// (blocks of kStatBlockRows rows, aligned with the shared-scan morsel
+/// grain) that double as a zone map: block skipping over a compressed
+/// column never needs to decompress the skipped blocks.
+///
+/// Instances are cheaply copyable; copies share the compressed bytes and
+/// the lazily-decoded cache (both immutable after construction, the cache
+/// filled exactly once under std::call_once — safe for concurrent
+/// DecodeRange callers).
 class CompressedBat {
  public:
-  /// Compresses `b` (must be kInt32) with the chosen codec, or with the
-  /// smallest of all codecs when `codec` is unset.
+  /// Rows per statistics block. Matches TaskPool::kDefaultGrain so a
+  /// morsel-aligned scan chunk covers whole stat blocks.
+  static constexpr size_t kStatBlockRows = size_t{1} << 16;
+
+  /// Compresses `b` (kInt32 or kInt64) with the chosen codec, or with the
+  /// smallest of the codecs applicable to the type when unset.
   static Result<CompressedBat> Compress(const BatPtr& b, Codec codec);
   static Result<CompressedBat> CompressBest(const BatPtr& b);
 
-  /// Decompresses the whole column back into a BAT.
+  /// Decompresses the whole column into a fresh BAT (tail properties are
+  /// the ones captured at compression time).
   Result<BatPtr> Decode() const;
 
+  /// Whole-column decode backed by the shared cache: the first caller
+  /// decodes, every later caller gets the same immutable BAT. This is the
+  /// operator-at-a-time entry point (ScanColumn, fallback kernels).
+  Result<BatPtr> DecodedBat() const;
+
   /// Decompresses values [start, start+n) into `out` (vector-at-a-time
-  /// consumption). Codecs here are block- or stream-oriented, so the range
-  /// decode works from an internal block map where available (PFOR family)
-  /// or from a bounded backward scan (RLE).
+  /// consumption). PFOR and PDICT decode only the touched blocks; the
+  /// stream codecs without random access (PFOR-DELTA's running prefix,
+  /// RLE's variable-length runs) serve ranges from the shared decoded
+  /// cache. The overload must match the column type.
   Status DecodeRange(size_t start, size_t n, int32_t* out) const;
+  Status DecodeRange(size_t start, size_t n, int64_t* out) const;
+  /// Type-erased range decode into a buffer of `width()`-sized slots.
+  Status DecodeRangeRaw(size_t start, size_t n, void* out) const;
 
   size_t Count() const { return count_; }
+  PhysType type() const { return type_; }
+  size_t width() const { return TypeWidth(type_); }
   size_t CompressedBytes() const { return bytes_.size(); }
+  /// Bytes of the uncompressed tail this column stands for.
+  size_t LogicalBytes() const { return count_ * width(); }
   double Ratio() const {
-    return bytes_.empty()
-               ? 0
-               : static_cast<double>(count_ * 4) /
-                     static_cast<double>(bytes_.size());
+    return bytes_.empty() ? 0
+                          : static_cast<double>(LogicalBytes()) /
+                                static_cast<double>(bytes_.size());
   }
   Codec codec() const { return codec_; }
+  /// Tail properties of the column at compression time.
+  const BatProperties& props() const { return props_; }
+
+  /// --- Per-block statistics (zone map) --------------------------------
+  size_t NumStatBlocks() const { return stat_min_.size(); }
+  int64_t StatMin(size_t block) const { return stat_min_[block]; }
+  int64_t StatMax(size_t block) const { return stat_max_[block]; }
+
+  /// --- Persistence ----------------------------------------------------
+  /// Self-describing byte image (codec, type, props, stats, stream); the
+  /// catalog snapshot writes one per compressed column.
+  void Serialize(std::string* out) const;
+  static Result<CompressedBat> Deserialize(std::string_view in);
 
  private:
+  /// Fill-once decode cache shared by copies; call_once makes concurrent
+  /// lazy fills race-free (the fix for the old mutable vector).
+  struct DecodedCache {
+    std::once_flag once;
+    Status status = Status::OK();
+    BatPtr bat;
+  };
+
+  Status FillCache() const;
+  Status RebuildIndexes();
+
   Codec codec_ = Codec::kPfor;
+  PhysType type_ = PhysType::kInt32;
   size_t count_ = 0;
   std::vector<uint8_t> bytes_;
-  std::vector<uint32_t> block_index_;  // kPfor: byte offset per block
-  // Dense cache for codecs without random access (kPforDelta needs the
-  // running prefix; kRle has variable-length runs): decoded lazily on the
-  // first DecodeRange and kept.
-  mutable std::vector<int32_t> decoded_cache_;
+  std::vector<uint32_t> block_index_;  // kPfor: byte offset per codec block
+  std::vector<int64_t> stat_min_;      // per kStatBlockRows block
+  std::vector<int64_t> stat_max_;
+  BatProperties props_;
+  std::shared_ptr<DecodedCache> cache_ = std::make_shared<DecodedCache>();
 };
 
 }  // namespace mammoth::compress

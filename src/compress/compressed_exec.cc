@@ -1,0 +1,36 @@
+#include "compress/compressed_exec.h"
+
+#include "core/project.h"
+
+namespace mammoth::compress {
+
+Result<BatPtr> CompressedProject(
+    const BatPtr& oids, const std::shared_ptr<const CompressedBat>& values,
+    const parallel::ExecContext& ctx) {
+  if (oids == nullptr || values == nullptr) {
+    return Status::InvalidArgument("project: null input");
+  }
+  if (oids->type() != PhysType::kOid) {
+    return Status::TypeMismatch("project: oid list must be bat[:oid]");
+  }
+  const size_t n = oids->Count();
+  if (oids->IsDenseTail()) {
+    // Contiguous positions: decode exactly [tseqbase, tseqbase + n).
+    const size_t start = oids->tseqbase();
+    if (start + n > values->Count()) {
+      return Status::OutOfRange("project: oid beyond value BAT");
+    }
+    BatPtr r = Bat::New(values->type());
+    r->Resize(n);
+    MAMMOTH_RETURN_IF_ERROR(
+        values->DecodeRangeRaw(start, n, r->tail().raw_data()));
+    r->mutable_props() = BatProperties{};
+    r->set_hseqbase(oids->hseqbase());
+    return r;
+  }
+  // Arbitrary OID list: gather from the shared whole-column decode.
+  MAMMOTH_ASSIGN_OR_RETURN(BatPtr full, values->DecodedBat());
+  return algebra::Project(oids, full, ctx);
+}
+
+}  // namespace mammoth::compress

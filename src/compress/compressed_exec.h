@@ -1,0 +1,27 @@
+#ifndef MAMMOTH_COMPRESS_COMPRESSED_EXEC_H_
+#define MAMMOTH_COMPRESS_COMPRESSED_EXEC_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "compress/compressed_bat.h"
+#include "core/bat.h"
+#include "parallel/exec_context.h"
+
+namespace mammoth::compress {
+
+/// algebra::Project over a compressed value column: out[i] = value at the
+/// position named by oids[i]. Semantics match the uncompressed kernel
+/// bit-for-bit (result hseqbase = oids->hseqbase(), same bounds error).
+///
+/// Dense OID lists (the common shape: a contiguous select result) decode
+/// exactly the touched range; arbitrary OID lists fall back to the shared
+/// whole-column decode (cached — at most one decompression per column
+/// lifetime) and the stock gather kernel.
+Result<BatPtr> CompressedProject(
+    const BatPtr& oids, const std::shared_ptr<const CompressedBat>& values,
+    const parallel::ExecContext& ctx);
+
+}  // namespace mammoth::compress
+
+#endif  // MAMMOTH_COMPRESS_COMPRESSED_EXEC_H_

@@ -1,0 +1,290 @@
+#include "compress/pfor64.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "compress/bitpack.h"
+#include "compress/pfor.h"  // kPforBlock
+
+namespace mammoth::compress {
+
+namespace {
+
+constexpr uint32_t kPfor64Magic = 0x38524650;   // "PFR8"
+constexpr uint32_t kPfor64DMagic = 0x38444650;  // "PFD8"
+
+/// 64-bit frames need a wider base and may pack up to 64 bits per value,
+/// so payload_bytes grows to 16 bits and exceptions to 1 + 8 bytes.
+struct BlockHeader64 {
+  int64_t base;
+  uint16_t payload_bytes;
+  uint8_t bits;
+  uint8_t n_exceptions;
+  uint32_t pad;
+};
+static_assert(sizeof(BlockHeader64) == 16);
+
+constexpr size_t kExceptionBytes64 = 9;  // u8 slot + i64 value
+
+void Append(std::vector<uint8_t>* out, const void* p, size_t n) {
+  const auto* b = static_cast<const uint8_t*>(p);
+  out->insert(out->end(), b, b + n);
+}
+
+/// Densest-window frame selection, as in the 32-bit ChooseFrame but over
+/// modular uint64 distances.
+void ChooseFrame64(const int64_t* v, size_t n, int64_t* base_out,
+                   int* bits_out) {
+  int64_t sorted[kPforBlock];
+  std::copy(v, v + n, sorted);
+  std::sort(sorted, sorted + n);
+
+  size_t best_cost = std::numeric_limits<size_t>::max();
+  int best_bits = 64;
+  int64_t best_base = sorted[0];
+  for (int b = 0; b <= 64; ++b) {
+    size_t covered = 0;
+    size_t base_idx = 0;
+    if (b == 64) {
+      covered = n;  // everything fits a 64-bit frame
+    } else {
+      const uint64_t span = uint64_t{1} << b;
+      size_t j = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (j < i) j = i;
+        while (j < n && static_cast<uint64_t>(sorted[j]) -
+                                static_cast<uint64_t>(sorted[i]) <
+                            span) {
+          ++j;
+        }
+        if (j - i > covered) {
+          covered = j - i;
+          base_idx = i;
+        }
+      }
+    }
+    const size_t exceptions = n - covered;
+    if (exceptions > 255) continue;
+    const size_t cost = PackedBytes(n, b) + exceptions * kExceptionBytes64;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_bits = b;
+      best_base = sorted[base_idx];
+    }
+  }
+  *base_out = best_base;
+  *bits_out = best_bits;
+}
+
+Status EncodeStream64(uint32_t magic, const int64_t* values, size_t n,
+                      std::vector<uint8_t>* out) {
+  out->clear();
+  Append(out, &magic, 4);
+  const uint32_t count = static_cast<uint32_t>(n);
+  Append(out, &count, 4);
+
+  for (size_t start = 0; start < n; start += kPforBlock) {
+    const size_t bn = std::min(kPforBlock, n - start);
+    const int64_t* v = values + start;
+    int64_t base;
+    int bits;
+    ChooseFrame64(v, bn, &base, &bits);
+    const uint64_t limit =
+        bits == 64 ? ~uint64_t{0} : (uint64_t{1} << bits);
+
+    uint8_t ex_pos[kPforBlock];
+    int64_t ex_val[kPforBlock];
+    size_t n_ex = 0;
+    uint64_t packed[kPforBlock];
+    for (size_t i = 0; i < bn; ++i) {
+      // Modular delta: values below the base wrap high and become
+      // exceptions, exactly like values above the frame.
+      const uint64_t d =
+          static_cast<uint64_t>(v[i]) - static_cast<uint64_t>(base);
+      if (bits < 64 && d >= limit) {
+        ex_pos[n_ex] = static_cast<uint8_t>(i);
+        ex_val[n_ex] = v[i];
+        ++n_ex;
+        packed[i] = 0;
+      } else {
+        packed[i] = d;
+      }
+    }
+
+    BlockHeader64 hdr;
+    hdr.base = base;
+    hdr.payload_bytes = static_cast<uint16_t>(PackedBytes(bn, bits));
+    hdr.bits = static_cast<uint8_t>(bits);
+    hdr.n_exceptions = static_cast<uint8_t>(n_ex);
+    hdr.pad = 0;
+    Append(out, &hdr, sizeof(hdr));
+    PackBits64(packed, bn, bits, out);
+    for (size_t e = 0; e < n_ex; ++e) {
+      Append(out, &ex_pos[e], 1);
+      Append(out, &ex_val[e], 8);
+    }
+  }
+  // Slack so UnpackBits64's straddling loads never read past the buffer.
+  out->resize(out->size() + 16, 0);
+  return Status::OK();
+}
+
+/// Decodes the block at byte `off` (rows [block_start, block_start+bn))
+/// and copies the slice overlapping [start, start+n).
+Status DecodeBlockSlice64(const std::vector<uint8_t>& in, size_t off,
+                          size_t block_start, size_t bn, size_t start,
+                          size_t n, int64_t* out) {
+  if (off + sizeof(BlockHeader64) > in.size()) {
+    return Status::IOError("pfor64: truncated block header");
+  }
+  BlockHeader64 hdr;
+  std::memcpy(&hdr, in.data() + off, sizeof(hdr));
+  if (hdr.bits > 64) return Status::IOError("pfor64: bad block width");
+  if (hdr.payload_bytes != PackedBytes(bn, hdr.bits)) {
+    return Status::IOError("pfor64: inconsistent block header");
+  }
+  const size_t body = sizeof(hdr) + hdr.payload_bytes +
+                      static_cast<size_t>(hdr.n_exceptions) * kExceptionBytes64;
+  // +16: UnpackBits64 loads into the encoder-guaranteed slack.
+  if (off + body + 16 > in.size()) {
+    return Status::IOError("pfor64: truncated block payload");
+  }
+  uint64_t unpacked[kPforBlock];
+  UnpackBits64(in.data() + off + sizeof(hdr), bn, hdr.bits, unpacked);
+  int64_t block_vals[kPforBlock];
+  for (size_t i = 0; i < bn; ++i) {
+    block_vals[i] = static_cast<int64_t>(static_cast<uint64_t>(hdr.base) +
+                                         unpacked[i]);
+  }
+  const uint8_t* ex = in.data() + off + sizeof(hdr) + hdr.payload_bytes;
+  for (size_t e = 0; e < hdr.n_exceptions; ++e) {
+    const uint8_t pos = ex[e * kExceptionBytes64];
+    if (pos >= bn) return Status::IOError("pfor64: bad exception slot");
+    std::memcpy(&block_vals[pos], ex + e * kExceptionBytes64 + 1, 8);
+  }
+  const size_t lo = std::max(start, block_start);
+  const size_t hi = std::min(start + n, block_start + bn);
+  for (size_t i = lo; i < hi; ++i) {
+    out[i - start] = block_vals[i - block_start];
+  }
+  return Status::OK();
+}
+
+Status DecodeStream64(uint32_t magic, const std::vector<uint8_t>& in,
+                      std::vector<int64_t>* out) {
+  if (in.size() < 8) return Status::IOError("pfor64: truncated header");
+  uint32_t got_magic, count;
+  std::memcpy(&got_magic, in.data(), 4);
+  std::memcpy(&count, in.data() + 4, 4);
+  if (got_magic != magic) return Status::IOError("pfor64: bad magic");
+  if (static_cast<uint64_t>(count) >
+      (in.size() / sizeof(BlockHeader64) + 1) * kPforBlock) {
+    return Status::IOError("pfor64: implausible count");
+  }
+  out->resize(count);
+  size_t off = 8;
+  for (size_t start = 0; start < count; start += kPforBlock) {
+    const size_t bn = std::min(kPforBlock, count - start);
+    MAMMOTH_RETURN_IF_ERROR(
+        DecodeBlockSlice64(in, off, start, bn, start, bn, out->data() + start));
+    BlockHeader64 hdr;
+    std::memcpy(&hdr, in.data() + off, sizeof(hdr));
+    off += sizeof(hdr) + hdr.payload_bytes +
+           static_cast<size_t>(hdr.n_exceptions) * kExceptionBytes64;
+  }
+  return Status::OK();
+}
+
+inline uint64_t ZigZag64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t UnZigZag64(uint64_t z) {
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+}  // namespace
+
+Status Pfor64Encode(const int64_t* values, size_t n,
+                    std::vector<uint8_t>* out) {
+  return EncodeStream64(kPfor64Magic, values, n, out);
+}
+
+Status Pfor64Decode(const std::vector<uint8_t>& in,
+                    std::vector<int64_t>* out) {
+  return DecodeStream64(kPfor64Magic, in, out);
+}
+
+Result<std::vector<uint32_t>> Pfor64BuildBlockIndex(
+    const std::vector<uint8_t>& in) {
+  if (in.size() < 8) return Status::IOError("pfor64: truncated header");
+  uint32_t magic, count;
+  std::memcpy(&magic, in.data(), 4);
+  std::memcpy(&count, in.data() + 4, 4);
+  if (magic != kPfor64Magic) return Status::IOError("pfor64: bad magic");
+  std::vector<uint32_t> offsets;
+  size_t off = 8;
+  for (size_t block_start = 0; block_start < count;
+       block_start += kPforBlock) {
+    if (off + sizeof(BlockHeader64) > in.size()) {
+      return Status::IOError("pfor64: truncated block header");
+    }
+    offsets.push_back(static_cast<uint32_t>(off));
+    BlockHeader64 hdr;
+    std::memcpy(&hdr, in.data() + off, sizeof(hdr));
+    off += sizeof(hdr) + hdr.payload_bytes +
+           static_cast<size_t>(hdr.n_exceptions) * kExceptionBytes64;
+  }
+  return offsets;
+}
+
+Status Pfor64DecodeRangeIndexed(const std::vector<uint8_t>& in,
+                                const std::vector<uint32_t>& block_index,
+                                size_t start, size_t n, int64_t* out) {
+  if (in.size() < 8) return Status::IOError("pfor64: truncated header");
+  uint32_t count;
+  std::memcpy(&count, in.data() + 4, 4);
+  if (start + n > count) {
+    return Status::OutOfRange("pfor64: range beyond column");
+  }
+  if (n == 0) return Status::OK();
+  const size_t first_block = start / kPforBlock;
+  const size_t last_block = (start + n - 1) / kPforBlock;
+  if (last_block >= block_index.size()) {
+    return Status::IOError("pfor64: block index too short");
+  }
+  for (size_t b = first_block; b <= last_block; ++b) {
+    const size_t block_start = b * kPforBlock;
+    const size_t bn = std::min(kPforBlock, count - block_start);
+    MAMMOTH_RETURN_IF_ERROR(DecodeBlockSlice64(in, block_index[b], block_start,
+                                               bn, start, n, out));
+  }
+  return Status::OK();
+}
+
+Status Pfor64DeltaEncode(const int64_t* values, size_t n,
+                         std::vector<uint8_t>* out) {
+  std::vector<int64_t> zz(n);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t d = static_cast<uint64_t>(values[i]) - prev;
+    zz[i] = static_cast<int64_t>(ZigZag64(static_cast<int64_t>(d)));
+    prev = static_cast<uint64_t>(values[i]);
+  }
+  return EncodeStream64(kPfor64DMagic, zz.data(), n, out);
+}
+
+Status Pfor64DeltaDecode(const std::vector<uint8_t>& in,
+                         std::vector<int64_t>* out) {
+  MAMMOTH_RETURN_IF_ERROR(DecodeStream64(kPfor64DMagic, in, out));
+  uint64_t prev = 0;
+  for (int64_t& v : *out) {
+    prev += static_cast<uint64_t>(UnZigZag64(static_cast<uint64_t>(v)));
+    v = static_cast<int64_t>(prev);
+  }
+  return Status::OK();
+}
+
+}  // namespace mammoth::compress

@@ -1,0 +1,36 @@
+#ifndef MAMMOTH_COMPRESS_PFOR64_H_
+#define MAMMOTH_COMPRESS_PFOR64_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mammoth::compress {
+
+/// 64-bit PFOR — the int64 counterpart of pfor.h, same block structure
+/// (128 values, densest-window frame, patched exceptions) with wider
+/// headers (16 bytes) and 9-byte exceptions. Stream magics differ so a
+/// 32-bit decoder can never misread a 64-bit stream.
+Status Pfor64Encode(const int64_t* values, size_t n,
+                    std::vector<uint8_t>* out);
+Status Pfor64Decode(const std::vector<uint8_t>& in, std::vector<int64_t>* out);
+
+/// Byte offsets of every block (one O(#blocks) walk), for O(1) range
+/// decodes via Pfor64DecodeRangeIndexed.
+Result<std::vector<uint32_t>> Pfor64BuildBlockIndex(
+    const std::vector<uint8_t>& in);
+
+Status Pfor64DecodeRangeIndexed(const std::vector<uint8_t>& in,
+                                const std::vector<uint32_t>& block_index,
+                                size_t start, size_t n, int64_t* out);
+
+/// PFOR-DELTA over int64: zig-zag modular deltas chained into Pfor64.
+Status Pfor64DeltaEncode(const int64_t* values, size_t n,
+                         std::vector<uint8_t>* out);
+Status Pfor64DeltaDecode(const std::vector<uint8_t>& in,
+                         std::vector<int64_t>* out);
+
+}  // namespace mammoth::compress
+
+#endif  // MAMMOTH_COMPRESS_PFOR64_H_

@@ -5,7 +5,8 @@
 namespace mammoth::compress {
 
 namespace {
-constexpr uint32_t kMagic = 0x31454C52;  // "RLE1"
+constexpr uint32_t kMagic = 0x31454C52;    // "RLE1"
+constexpr uint32_t kMagic64 = 0x38454C52;  // "RLE8"
 }  // namespace
 
 Status RleEncode(const int32_t* values, size_t n, std::vector<uint8_t>* out) {
@@ -49,6 +50,54 @@ Status RleDecode(const std::vector<uint8_t>& in, std::vector<int32_t>* out) {
     std::memcpy(&run, in.data() + off + 4, 4);
     off += 8;
     if (out->size() + run > count) return Status::IOError("rle: run overflow");
+    out->insert(out->end(), run, v);
+  }
+  return Status::OK();
+}
+
+Status Rle64Encode(const int64_t* values, size_t n,
+                   std::vector<uint8_t>* out) {
+  out->clear();
+  const uint32_t count = static_cast<uint32_t>(n);
+  out->insert(out->end(), reinterpret_cast<const uint8_t*>(&kMagic64),
+              reinterpret_cast<const uint8_t*>(&kMagic64) + 4);
+  out->insert(out->end(), reinterpret_cast<const uint8_t*>(&count),
+              reinterpret_cast<const uint8_t*>(&count) + 4);
+  size_t i = 0;
+  while (i < n) {
+    const int64_t v = values[i];
+    uint32_t run = 1;
+    while (i + run < n && values[i + run] == v) ++run;
+    out->insert(out->end(), reinterpret_cast<const uint8_t*>(&v),
+                reinterpret_cast<const uint8_t*>(&v) + 8);
+    out->insert(out->end(), reinterpret_cast<const uint8_t*>(&run),
+                reinterpret_cast<const uint8_t*>(&run) + 4);
+    i += run;
+  }
+  return Status::OK();
+}
+
+Status Rle64Decode(const std::vector<uint8_t>& in,
+                   std::vector<int64_t>* out) {
+  if (in.size() < 8) return Status::IOError("rle64: truncated header");
+  uint32_t magic, count;
+  std::memcpy(&magic, in.data(), 4);
+  std::memcpy(&count, in.data() + 4, 4);
+  if (magic != kMagic64) return Status::IOError("rle64: bad magic");
+  if (count > (1u << 28)) return Status::IOError("rle64: implausible count");
+  out->clear();
+  out->reserve(count);
+  size_t off = 8;
+  while (out->size() < count) {
+    if (off + 12 > in.size()) return Status::IOError("rle64: truncated run");
+    int64_t v;
+    uint32_t run;
+    std::memcpy(&v, in.data() + off, 8);
+    std::memcpy(&run, in.data() + off + 8, 4);
+    off += 12;
+    if (out->size() + run > count) {
+      return Status::IOError("rle64: run overflow");
+    }
     out->insert(out->end(), run, v);
   }
   return Status::OK();

@@ -14,6 +14,10 @@ namespace mammoth::compress {
 Status RleEncode(const int32_t* values, size_t n, std::vector<uint8_t>* out);
 Status RleDecode(const std::vector<uint8_t>& in, std::vector<int32_t>* out);
 
+/// 64-bit variant: (i64 value, u32 run) pairs under a distinct magic.
+Status Rle64Encode(const int64_t* values, size_t n, std::vector<uint8_t>* out);
+Status Rle64Decode(const std::vector<uint8_t>& in, std::vector<int64_t>* out);
+
 }  // namespace mammoth::compress
 
 #endif  // MAMMOTH_COMPRESS_RLE_H_

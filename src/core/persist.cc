@@ -10,6 +10,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "core/catalog.h"
 #include "core/table.h"
@@ -180,7 +181,8 @@ Status SaveTable(const Table& table, const std::string& dir) {
   if (ec) return Status::IOError("cannot create " + dir);
 
   // Snapshot + merge: persist the visible image without touching the
-  // original's deltas.
+  // original's deltas. Compressed columns keep their compressed image
+  // (MergeDeltas re-encodes only when deltas were pending).
   TablePtr snap = table.Snapshot();
   MAMMOTH_RETURN_IF_ERROR(snap->MergeDeltas());
 
@@ -189,10 +191,25 @@ Status SaveTable(const Table& table, const std::string& dir) {
   manifest << snap->name() << "\n" << snap->schema().size() << "\n";
   for (size_t i = 0; i < snap->schema().size(); ++i) {
     const ColumnDef& def = snap->schema()[i];
-    manifest << def.name << " " << TypeToken(def.type) << "\n";
-    MAMMOTH_RETURN_IF_ERROR(SaveBat(
-        *snap->MainColumn(i), dir + "/col_" + std::to_string(i) + ".mbat"));
+    const auto& comp = snap->CompressedColumn(i);
+    if (comp != nullptr) {
+      // Third token marks the column file as a compressed image
+      // (col_<i>.cbat instead of col_<i>.mbat).
+      manifest << def.name << " " << TypeToken(def.type) << " czip\n";
+      std::string image;
+      comp->Serialize(&image);
+      const std::string path = dir + "/col_" + std::to_string(i) + ".cbat";
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(image.data(), static_cast<std::streamsize>(image.size()));
+      out.flush();
+      if (!out) return Status::IOError("short write to " + path);
+    } else {
+      manifest << def.name << " " << TypeToken(def.type) << "\n";
+      MAMMOTH_RETURN_IF_ERROR(SaveBat(
+          *snap->MainColumn(i), dir + "/col_" + std::to_string(i) + ".mbat"));
+    }
   }
+  if (snap->compression_enabled()) manifest << "compressed\n";
   manifest.flush();
   if (!manifest) return Status::IOError("short manifest write in " + dir);
   return Status::OK();
@@ -208,6 +225,7 @@ Result<TablePtr> LoadTable(const std::string& dir, bool use_mmap) {
   }
   std::vector<ColumnDef> schema;
   std::vector<BatPtr> columns;
+  std::vector<std::shared_ptr<const compress::CompressedBat>> comps;
   for (size_t i = 0; i < ncols; ++i) {
     ColumnDef def;
     std::string type_token;
@@ -215,18 +233,38 @@ Result<TablePtr> LoadTable(const std::string& dir, bool use_mmap) {
       return Status::IOError("truncated manifest in " + dir);
     }
     MAMMOTH_ASSIGN_OR_RETURN(def.type, TypeFromToken(type_token));
-    const std::string path = dir + "/col_" + std::to_string(i) + ".mbat";
+    // Optional per-column flags occupy the rest of the line.
+    std::string rest;
+    std::getline(manifest, rest);
+    const bool compressed = rest.find("czip") != std::string::npos;
     BatPtr col;
-    if (use_mmap) {
-      MAMMOTH_ASSIGN_OR_RETURN(col, MapBat(path));
+    std::shared_ptr<const compress::CompressedBat> comp;
+    if (compressed) {
+      const std::string path = dir + "/col_" + std::to_string(i) + ".cbat";
+      std::ifstream in(path, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      if (!in.good() && !in.eof()) return Status::IOError("read " + path);
+      std::string image = std::move(buf).str();
+      MAMMOTH_ASSIGN_OR_RETURN(compress::CompressedBat cb,
+                               compress::CompressedBat::Deserialize(image));
+      comp = std::make_shared<const compress::CompressedBat>(std::move(cb));
     } else {
-      MAMMOTH_ASSIGN_OR_RETURN(col, LoadBat(path));
+      const std::string path = dir + "/col_" + std::to_string(i) + ".mbat";
+      if (use_mmap) {
+        MAMMOTH_ASSIGN_OR_RETURN(col, MapBat(path));
+      } else {
+        MAMMOTH_ASSIGN_OR_RETURN(col, LoadBat(path));
+      }
     }
     schema.push_back(std::move(def));
     columns.push_back(std::move(col));
+    comps.push_back(std::move(comp));
   }
-  return Table::FromColumns(std::move(name), std::move(schema),
-                            std::move(columns));
+  std::string policy_token;
+  const bool policy = (manifest >> policy_token) && policy_token == "compressed";
+  return Table::FromStorage(std::move(name), std::move(schema),
+                            std::move(columns), std::move(comps), policy);
 }
 
 Status SaveCatalog(const Catalog& catalog, const std::string& dir) {

@@ -9,6 +9,7 @@ namespace mammoth {
 Table::Table(std::string name, std::vector<ColumnDef> schema)
     : name_(std::move(name)), schema_(std::move(schema)) {
   mains_.reserve(schema_.size());
+  compressed_.resize(schema_.size());
   inserts_.reserve(schema_.size());
   for (const ColumnDef& def : schema_) {
     mains_.push_back(NewColumnBat(def));
@@ -80,7 +81,7 @@ Result<size_t> Table::ColumnIndex(std::string_view column_name) const {
 }
 
 size_t Table::PhysicalRowCount() const {
-  return mains_[0]->Count() + inserts_[0]->Count();
+  return MainRowCount() + inserts_[0]->Count();
 }
 
 size_t Table::VisibleRowCount() const {
@@ -140,7 +141,12 @@ Status Table::Delete(const BatPtr& oids) {
 
 Result<BatPtr> Table::ScanColumn(size_t idx) const {
   if (idx >= schema_.size()) return Status::OutOfRange("no such column");
-  const BatPtr& main = mains_[idx];
+  BatPtr main = mains_[idx];
+  if (compressed_[idx] != nullptr) {
+    // Transparent read path: the shared decode cache makes repeated scans
+    // pay for at most one decompression per compressed image.
+    MAMMOTH_ASSIGN_OR_RETURN(main, compressed_[idx]->DecodedBat());
+  }
   const BatPtr& ins = inserts_[idx];
   if (ins->Count() == 0) return main;
   // Materialize main ++ inserts. String deltas share the main heap, so the
@@ -179,7 +185,14 @@ BatPtr Table::LiveCandidates() const {
 Status Table::MergeDeltas() {
   const BatPtr live = LiveCandidates();
   const bool has_deletes = deleted_->Count() > 0;
+  const bool has_inserts = inserts_[0]->Count() > 0;
   for (size_t i = 0; i < schema_.size(); ++i) {
+    // A compressed column with no pending deltas is already its merged
+    // image: skip the decode/re-encode churn (checkpoints call MergeDeltas
+    // on every snapshot).
+    if (compressed_[i] != nullptr && !has_deletes && !has_inserts) {
+      continue;
+    }
     MAMMOTH_ASSIGN_OR_RETURN(BatPtr merged, ScanColumn(i));
     if (has_deletes) {
       // Compact: keep only live positions.
@@ -205,6 +218,18 @@ Status Table::MergeDeltas() {
       mains_[i] = compacted;
     } else if (merged.get() != mains_[i].get()) {
       mains_[i] = merged;
+    }
+    compressed_[i] = nullptr;
+    if (compress_policy_ && Compressible(schema_[i].type)) {
+      // Re-encode the merged image; on failure (nothing to gain, or an
+      // empty column) the plain BAT simply stays.
+      Result<compress::CompressedBat> comp =
+          compress::CompressedBat::CompressBest(mains_[i]);
+      if (comp.ok()) {
+        compressed_[i] =
+            std::make_shared<const compress::CompressedBat>(*std::move(comp));
+        mains_[i] = NewColumnBat(schema_[i]);
+      }
     }
     // Fresh empty delta (string deltas re-attach to the main heap).
     if (schema_[i].type == PhysType::kStr) {
@@ -239,12 +264,102 @@ void Table::Rollback(const DeltaMark& mark) {
 
 TablePtr Table::Snapshot() const {
   TablePtr snap(new Table(name_, schema_));
-  snap->mains_ = mains_;  // shared, immutable until MergeDeltas
+  snap->mains_ = mains_;            // shared, immutable until MergeDeltas
+  snap->compressed_ = compressed_;  // immutable byte streams: share
+  snap->compress_policy_ = compress_policy_;
   for (size_t i = 0; i < inserts_.size(); ++i) {
     snap->inserts_[i] = inserts_[i]->Clone();
   }
   snap->deleted_ = deleted_->Clone();
   return snap;
+}
+
+Status Table::SetCompression(bool on) {
+  compress_policy_ = on;
+  if (on) {
+    // Fold pending deltas into the mains and re-encode under the new
+    // policy in one step (MergeDeltas does both), so the compressed
+    // image covers every visible row — not just the merged prefix.
+    return MergeDeltas();
+  }
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (compressed_[i] != nullptr) {
+      MAMMOTH_ASSIGN_OR_RETURN(mains_[i], compressed_[i]->DecodedBat());
+      compressed_[i] = nullptr;
+    }
+  }
+  // Contents are unchanged, but cached plans/results key on the version
+  // and the representation they bound to; be conservative.
+  ++version_;
+  return Status::OK();
+}
+
+Result<TablePtr> Table::FromStorage(
+    std::string name, std::vector<ColumnDef> schema,
+    std::vector<BatPtr> mains,
+    std::vector<std::shared_ptr<const compress::CompressedBat>> comps,
+    bool policy) {
+  MAMMOTH_ASSIGN_OR_RETURN(TablePtr t,
+                           Create(std::move(name), std::move(schema)));
+  if (mains.size() != t->schema_.size() || comps.size() != t->schema_.size()) {
+    return Status::InvalidArgument("FromStorage: column count mismatch");
+  }
+  size_t nrows = 0;
+  for (size_t i = 0; i < t->schema_.size(); ++i) {
+    size_t count = 0;
+    if (comps[i] != nullptr) {
+      if (comps[i]->type() != t->schema_[i].type) {
+        return Status::TypeMismatch("FromStorage: compressed column " +
+                                    t->schema_[i].name + " type mismatch");
+      }
+      count = comps[i]->Count();
+    } else {
+      if (mains[i] == nullptr || mains[i]->type() != t->schema_[i].type) {
+        return Status::TypeMismatch("FromStorage: column " +
+                                    t->schema_[i].name + " type mismatch");
+      }
+      count = mains[i]->Count();
+    }
+    if (i == 0) {
+      nrows = count;
+    } else if (count != nrows) {
+      return Status::InvalidArgument("FromStorage: column lengths differ");
+    }
+  }
+  for (size_t i = 0; i < t->schema_.size(); ++i) {
+    if (comps[i] != nullptr) {
+      t->compressed_[i] = std::move(comps[i]);
+    } else {
+      t->mains_[i] = std::move(mains[i]);
+      if (t->schema_[i].type == PhysType::kStr) {
+        t->inserts_[i] = Bat::NewString(t->mains_[i]->heap());
+      }
+    }
+  }
+  t->compress_policy_ = policy;
+  return t;
+}
+
+size_t Table::CompressedColumnCount() const {
+  size_t n = 0;
+  for (const auto& c : compressed_) n += c != nullptr ? 1 : 0;
+  return n;
+}
+
+size_t Table::CompressedBytesTotal() const {
+  size_t n = 0;
+  for (const auto& c : compressed_) {
+    if (c != nullptr) n += c->CompressedBytes();
+  }
+  return n;
+}
+
+size_t Table::CompressedLogicalBytesTotal() const {
+  size_t n = 0;
+  for (const auto& c : compressed_) {
+    if (c != nullptr) n += c->LogicalBytes();
+  }
+  return n;
 }
 
 }  // namespace mammoth

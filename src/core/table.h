@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "compress/compressed_bat.h"
 #include "core/bat.h"
 #include "core/value.h"
 
@@ -36,6 +37,16 @@ class Table {
   static Result<TablePtr> FromColumns(std::string name,
                                       std::vector<ColumnDef> schema,
                                       std::vector<BatPtr> columns);
+
+  /// Persistence entry point for mixed representations: per column either
+  /// `mains[i]` (uncompressed) or `comps[i]` (compressed) is set. All
+  /// representations must agree on the row count; `policy` restores the
+  /// table's compression policy flag.
+  static Result<TablePtr> FromStorage(
+      std::string name, std::vector<ColumnDef> schema,
+      std::vector<BatPtr> mains,
+      std::vector<std::shared_ptr<const compress::CompressedBat>> comps,
+      bool policy);
 
   const std::string& name() const { return name_; }
   const std::vector<ColumnDef>& schema() const { return schema_; }
@@ -102,8 +113,34 @@ class Table {
   size_t DeletedCount() const { return deleted_->Count(); }
 
   /// Direct access to the main BAT of a column (bench/test aid; bypasses
-  /// deltas).
+  /// deltas). Empty stub when the column's main image is compressed.
   const BatPtr& MainColumn(size_t idx) const { return mains_[idx]; }
+
+  /// --- Compression (§5: compressed columns as first-class storage) ----
+
+  /// Turns the compression policy on or off and converts the main image
+  /// of every eligible column (int/bigint) right away: on compresses via
+  /// CompressBest, off decodes back to plain BATs. Pending deltas are
+  /// untouched (they sit on top of either representation and fold in at
+  /// the next MergeDeltas). Bumps the version.
+  Status SetCompression(bool on);
+
+  /// True when new/merged int columns are stored compressed.
+  bool compression_enabled() const { return compress_policy_; }
+
+  /// The compressed main image of a column, or nullptr when the column is
+  /// stored uncompressed.
+  const std::shared_ptr<const compress::CompressedBat>& CompressedColumn(
+      size_t idx) const {
+    return compressed_[idx];
+  }
+
+  /// Number of columns currently stored compressed.
+  size_t CompressedColumnCount() const;
+  /// Compressed bytes across compressed columns, and the uncompressed
+  /// bytes those columns stand for.
+  size_t CompressedBytesTotal() const;
+  size_t CompressedLogicalBytesTotal() const;
 
   /// Monotone version counter, bumped by every Insert/Delete/MergeDeltas.
   /// Cached intermediates (the recycler, §6.1) key on it to invalidate
@@ -115,11 +152,26 @@ class Table {
 
   static BatPtr NewColumnBat(const ColumnDef& def);
 
+  /// Rows in the main image, whatever its representation.
+  size_t MainRowCount() const {
+    return compressed_[0] != nullptr ? compressed_[0]->Count()
+                                     : mains_[0]->Count();
+  }
+
+  /// True when the column type has a codec.
+  static bool Compressible(PhysType t) {
+    return t == PhysType::kInt32 || t == PhysType::kInt64;
+  }
+
   std::string name_;
   std::vector<ColumnDef> schema_;
   std::vector<BatPtr> mains_;
+  /// Parallel to mains_: non-null when the column's main image lives in
+  /// compressed form (mains_[i] is then an empty stub).
+  std::vector<std::shared_ptr<const compress::CompressedBat>> compressed_;
   std::vector<BatPtr> inserts_;
   BatPtr deleted_;  // sorted oid BAT of deleted head positions
+  bool compress_policy_ = false;
   uint64_t version_ = 0;
 };
 

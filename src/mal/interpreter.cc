@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/timer.h"
+#include "compress/compressed_exec.h"
 #include "core/group.h"
 #include "core/join.h"
 #include "core/project.h"
@@ -19,6 +20,12 @@ namespace {
 /// Runtime slot for one MAL variable.
 struct Rt {
   BatPtr bat;
+  /// Compressed base-column image, set by kBind when the bound column is
+  /// stored compressed (and no pending inserts extend it). `bat` stays
+  /// null then: select and project route the compressed image directly
+  /// (chunk-at-a-time decompression); any other consumer materializes
+  /// the shared whole-column decode via NeedBat.
+  std::shared_ptr<const compress::CompressedBat> cbat;
   Value scalar;
   uint64_t sig = 0;
   /// Base-table provenance, set by kBind (and only kBind): marks this BAT
@@ -66,7 +73,13 @@ bool Recyclable(OpCode op) {
   }
 }
 
-Status NeedBat(const std::vector<Rt>& vars, int id, const char* what) {
+/// Validates (and, for compressed binds, materializes) the BAT operand:
+/// a slot holding only a compressed image decodes it here — through the
+/// shared cache, so repeated materializations pay once.
+Status NeedBat(std::vector<Rt>& vars, int id, const char* what) {
+  if (id >= 0 && vars[id].bat == nullptr && vars[id].cbat != nullptr) {
+    MAMMOTH_ASSIGN_OR_RETURN(vars[id].bat, vars[id].cbat->DecodedBat());
+  }
   if (id < 0 || vars[id].bat == nullptr) {
     return Status::Internal(std::string("mal: missing BAT operand for ") +
                             what);
@@ -75,13 +88,20 @@ Status NeedBat(const std::vector<Rt>& vars, int id, const char* what) {
 }
 
 /// Whether `cands` filters nothing: absent, or a dense list spanning every
-/// row of `col` (what Table::LiveCandidates returns for delete-free
-/// tables). Such a select is a full-column scan and may be routed through
-/// the shared-scan scheduler.
-bool CoversWholeColumn(const BatPtr& cands, const BatPtr& col) {
+/// row of a column of `count` rows headed at `hseq` (what
+/// Table::LiveCandidates returns for delete-free tables). Such a select is
+/// a full-column scan and may be routed through the shared-scan scheduler.
+bool CoversWholeColumn(const BatPtr& cands, size_t count, Oid hseq) {
   return cands == nullptr ||
-         (cands->IsDenseTail() && cands->Count() == col->Count() &&
-          cands->tseqbase() == col->hseqbase());
+         (cands->IsDenseTail() && cands->Count() == count &&
+          cands->tseqbase() == hseq);
+}
+
+/// The scan source of a bound slot: the compressed image when the bind
+/// left one, the plain BAT otherwise.
+scan::ColumnSource SourceOf(const Rt& in) {
+  return in.cbat != nullptr ? scan::ColumnSource::Compressed(in.cbat)
+                            : scan::ColumnSource::Plain(in.bat);
 }
 
 }  // namespace
@@ -178,9 +198,19 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
     switch (ins.op) {
       case OpCode::kBind: {
         MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(ins.table));
-        MAMMOTH_ASSIGN_OR_RETURN(BatPtr col, t->ScanColumn(ins.column));
+        MAMMOTH_ASSIGN_OR_RETURN(size_t idx, t->ColumnIndex(ins.column));
         Rt& out = vars[ins.outputs[0]];
-        out.bat = col;
+        out.bat = nullptr;
+        out.cbat = nullptr;
+        // A compressed column with no pending inserts binds as its
+        // compressed image (decoded lazily, or chunk-at-a-time by the
+        // scan path); otherwise the merged plain image.
+        const auto& comp = t->CompressedColumn(idx);
+        if (comp != nullptr && t->PendingInsertCount() == 0) {
+          out.cbat = comp;
+        } else {
+          MAMMOTH_ASSIGN_OR_RETURN(out.bat, t->ScanColumn(idx));
+        }
         out.bind = &ins;
         out.bind_version = t->version();
         out.sig = HashCombine(HashCombine(HashString(ins.table),
@@ -197,31 +227,36 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
         break;
       }
       case OpCode::kThetaSelect: {
-        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "thetaselect"));
-        const Rt& in = vars[ins.inputs[0]];
         const BatPtr cands =
             ins.inputs[1] < 0 ? nullptr : vars[ins.inputs[1]].bat;
         // Full-column scans of a base table route through the shared-scan
         // scheduler (bit-identical to the kernel; shares a physical pass
         // with concurrent scans of the same table when one is in flight).
-        if (ctx_.shared_scans() != nullptr && in.bind != nullptr &&
-            CoversWholeColumn(cands, in.bat)) {
-          MAMMOTH_ASSIGN_OR_RETURN(
-              BatPtr r,
-              ctx_.shared_scans()->Select(
-                  in.bat, in.bind->table, in.bind->column, in.bind_version,
-                  scan::ScanPredicate::Theta(ins.consts[0], ins.cmp), ctx_));
-          vars[ins.outputs[0]].bat = r;
-          break;
+        // A compressed bind routes its compressed image: the pass
+        // decompresses each chunk once for all attached consumers.
+        if (ctx_.shared_scans() != nullptr && ins.inputs[0] >= 0 &&
+            vars[ins.inputs[0]].bind != nullptr) {
+          const Rt& in = vars[ins.inputs[0]];
+          const scan::ColumnSource src = SourceOf(in);
+          if (CoversWholeColumn(cands, src.Count(), src.hseqbase)) {
+            MAMMOTH_ASSIGN_OR_RETURN(
+                BatPtr r,
+                ctx_.shared_scans()->Select(
+                    src, in.bind->table, in.bind->column, in.bind_version,
+                    scan::ScanPredicate::Theta(ins.consts[0], ins.cmp),
+                    ctx_));
+            vars[ins.outputs[0]].bat = r;
+            break;
+          }
         }
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "thetaselect"));
         MAMMOTH_ASSIGN_OR_RETURN(
-            BatPtr r, algebra::ThetaSelect(in.bat, cands,
+            BatPtr r, algebra::ThetaSelect(vars[ins.inputs[0]].bat, cands,
                                            ins.consts[0], ins.cmp, ctx_));
         vars[ins.outputs[0]].bat = r;
         break;
       }
       case OpCode::kRangeSelect: {
-        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "select"));
         BatPtr cands = ins.inputs[1] < 0 ? nullptr : vars[ins.inputs[1]].bat;
         // --- Recycler: range subsumption ---------------------------------
         // A cached wider range over the same (column, candidates) pair can
@@ -239,22 +274,26 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
             cands = subsume_cands;
           }
         }
-        const Rt& in = vars[ins.inputs[0]];
-        if (ctx_.shared_scans() != nullptr && in.bind != nullptr &&
-            subsume_cands == nullptr && CoversWholeColumn(cands, in.bat)) {
-          MAMMOTH_ASSIGN_OR_RETURN(
-              BatPtr r,
-              ctx_.shared_scans()->Select(
-                  in.bat, in.bind->table, in.bind->column, in.bind_version,
-                  scan::ScanPredicate::Range(ins.consts[0], ins.consts[1],
-                                             ins.flag),
-                  ctx_));
-          vars[ins.outputs[0]].bat = r;
-          break;
+        if (ctx_.shared_scans() != nullptr && ins.inputs[0] >= 0 &&
+            vars[ins.inputs[0]].bind != nullptr && subsume_cands == nullptr) {
+          const Rt& in = vars[ins.inputs[0]];
+          const scan::ColumnSource src = SourceOf(in);
+          if (CoversWholeColumn(cands, src.Count(), src.hseqbase)) {
+            MAMMOTH_ASSIGN_OR_RETURN(
+                BatPtr r,
+                ctx_.shared_scans()->Select(
+                    src, in.bind->table, in.bind->column, in.bind_version,
+                    scan::ScanPredicate::Range(ins.consts[0], ins.consts[1],
+                                               ins.flag),
+                    ctx_));
+            vars[ins.outputs[0]].bat = r;
+            break;
+          }
         }
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "select"));
         MAMMOTH_ASSIGN_OR_RETURN(
             BatPtr r,
-            algebra::RangeSelect(in.bat, cands,
+            algebra::RangeSelect(vars[ins.inputs[0]].bat, cands,
                                  ins.consts[0], ins.consts[1], true, true,
                                  ins.flag, ctx_));
         vars[ins.outputs[0]].bat = r;
@@ -262,6 +301,17 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
       }
       case OpCode::kProject: {
         MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "projection"));
+        // Projection out of a compressed bind decodes only the touched
+        // range (dense OID gathers) instead of the whole column.
+        if (ins.inputs[1] >= 0 && vars[ins.inputs[1]].bat == nullptr &&
+            vars[ins.inputs[1]].cbat != nullptr) {
+          MAMMOTH_ASSIGN_OR_RETURN(
+              BatPtr r,
+              compress::CompressedProject(vars[ins.inputs[0]].bat,
+                                          vars[ins.inputs[1]].cbat, ctx_));
+          vars[ins.outputs[0]].bat = r;
+          break;
+        }
         MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[1], "projection"));
         MAMMOTH_ASSIGN_OR_RETURN(
             BatPtr r, algebra::Project(vars[ins.inputs[0]].bat,

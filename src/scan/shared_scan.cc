@@ -31,6 +31,19 @@ Result<BatPtr> RunKernel(const BatPtr& column, const ScanPredicate& pred,
                               pred.anti, ctx);
 }
 
+/// Fallback for a source-aware scan: compressed sources materialize the
+/// shared whole-column decode first (operator-at-a-time), then run the
+/// plain kernels.
+Result<BatPtr> RunKernelSource(const ColumnSource& source,
+                               const ScanPredicate& pred,
+                               const parallel::ExecContext& ctx) {
+  BatPtr column = source.bat;
+  if (source.compressed()) {
+    MAMMOTH_ASSIGN_OR_RETURN(column, source.comp->DecodedBat());
+  }
+  return RunKernel(column, pred, ctx);
+}
+
 /// Evaluates the predicate over rows [begin, end) only, via a dense
 /// candidate list. The kernels append qualifying OIDs in position order
 /// (parallel and serial contexts produce identical outputs), so
@@ -45,6 +58,26 @@ Result<BatPtr> EvalChunk(const BatPtr& column, const ScanPredicate& pred,
     return algebra::ThetaSelect(column, cands, pred.v, pred.op, ctx);
   }
   return algebra::RangeSelect(column, cands, pred.lo, pred.hi, true, true,
+                              pred.anti, ctx);
+}
+
+/// Evaluates the predicate over the chunk's materialized buffer: a
+/// zero-copy view BAT over the delivered bytes, head-rebased so the
+/// kernels emit the same OIDs (`col_hseq + position`) a full-column scan
+/// would. The view carries default properties, matching the merged-image
+/// columns the routed scans read (never sorted/dense), so kernel
+/// fast-path decisions agree with the plain path.
+Result<BatPtr> EvalChunkBuffer(const ChunkBuffer& buf, Oid col_hseq,
+                               const ScanPredicate& pred, size_t begin,
+                               size_t end,
+                               const parallel::ExecContext& ctx) {
+  BatPtr view = Bat::New(buf.type);
+  view->tail().AdoptExternal(const_cast<void*>(buf.data), end - begin);
+  view->set_hseqbase(col_hseq + begin);
+  if (pred.kind == ScanPredicate::Kind::kTheta) {
+    return algebra::ThetaSelect(view, nullptr, pred.v, pred.op, ctx);
+  }
+  return algebra::RangeSelect(view, nullptr, pred.lo, pred.hi, true, true,
                               pred.anti, ctx);
 }
 
@@ -101,6 +134,7 @@ bool BlockMaySatisfy(const ScanPredicate& pred, int64_t bmin, int64_t bmax,
 class SharedScanScheduler::Consumer {
  public:
   std::shared_ptr<Group> group;
+  ColumnSource source;       ///< column this consumer reads (may be empty)
   std::vector<bool> needed;  ///< per chunk: wanted and not yet delivered
   size_t remaining = 0;      ///< count of true bits in `needed`
   int inflight = 0;          ///< deliveries currently running our fn
@@ -122,6 +156,20 @@ struct SharedScanScheduler::Group {
   int attaching = 0;  ///< arrivals between route decision and Attach
   bool driver_active = false;
   std::vector<Consumer*> consumers;
+  /// Free decode buffers of the in-flight pass (compressed sources
+  /// decompress into these; returned after each delivery). Sized for the
+  /// widest supported value so any source of the pass can reuse them.
+  std::vector<std::unique_ptr<uint8_t[]>> buffer_pool;
+  size_t buffer_rows = 0;  ///< rows each pooled buffer holds
+
+  std::unique_ptr<uint8_t[]> TakeBufferLocked() {
+    if (!buffer_pool.empty()) {
+      std::unique_ptr<uint8_t[]> b = std::move(buffer_pool.back());
+      buffer_pool.pop_back();
+      return b;
+    }
+    return std::make_unique<uint8_t[]>(chunk_rows * sizeof(int64_t));
+  }
 };
 
 SharedScanScheduler::SharedScanScheduler(const SharedScanConfig& config)
@@ -207,7 +255,8 @@ std::vector<bool> SharedScanScheduler::PruneChunks(
 
 SharedScanScheduler::Consumer* SharedScanScheduler::Attach(
     const std::string& table, uint64_t version, size_t nrows,
-    std::vector<bool> needed, ChunkFn fn, size_t chunk_rows) {
+    std::vector<bool> needed, ChunkFn fn, size_t chunk_rows,
+    ColumnSource source) {
   if (chunk_rows == 0) chunk_rows = config_.chunk_rows;
   auto group = GetGroup(table);
   std::lock_guard<std::mutex> lock(group->mu);
@@ -218,12 +267,17 @@ SharedScanScheduler::Consumer* SharedScanScheduler::Attach(
     group->nrows = nrows;
     group->chunk_rows = chunk_rows;
     group->nchunks = nchunks;
+    if (group->buffer_rows != chunk_rows) {
+      group->buffer_pool.clear();
+      group->buffer_rows = chunk_rows;
+    }
   } else if (group->version != version || group->nrows != nrows ||
              group->chunk_rows != chunk_rows) {
     return nullptr;  // pass shape mismatch: caller scans directly
   }
   Consumer* c = new Consumer;
   c->group = group;
+  c->source = std::move(source);
   if (needed.empty()) needed.assign(nchunks, true);
   c->needed = std::move(needed);
   c->remaining = static_cast<size_t>(
@@ -255,40 +309,113 @@ size_t SharedScanScheduler::PickChunkLocked(Group& group,
 void SharedScanScheduler::DriveLocked(Group& group, Consumer* driver,
                                       std::unique_lock<std::mutex>& lock,
                                       const parallel::ExecContext& ctx) {
+  /// One physical materialization of the chunk, shared by every receiver
+  /// whose source has the same identity. Plain sources alias the BAT
+  /// tail (zero copy); compressed ones decompress once into a pooled
+  /// buffer.
+  struct SourceLoad {
+    const void* identity = nullptr;
+    ColumnSource src;
+    std::unique_ptr<uint8_t[]> buf;  ///< decode target (compressed only)
+    ChunkBuffer view;
+    Status status = Status::OK();
+  };
+
   while (driver->remaining > 0) {
     const size_t chunk = PickChunkLocked(group, *driver);
     MAMMOTH_CHECK(chunk < group.nchunks, "driver with remaining needs a pick");
     // Snapshot the receivers and mark the chunk taken under the lock;
     // inflight keeps each receiver attached until its callback finished.
+    // Receivers are grouped by source identity: one load per distinct
+    // source, fanned out to all its consumers.
     std::vector<Consumer*> recv;
+    std::vector<size_t> recv_load;
+    std::vector<SourceLoad> loads;
     for (Consumer* con : group.consumers) {
       if (!con->needed[chunk]) continue;
       con->needed[chunk] = false;
       --con->remaining;
       ++con->inflight;
+      const void* id = con->source.Identity();
+      size_t li = loads.size();
+      for (size_t i = 0; i < loads.size(); ++i) {
+        if (loads[i].identity == id) {
+          li = i;
+          break;
+        }
+      }
+      if (li == loads.size()) {
+        SourceLoad l;
+        l.identity = id;
+        l.src = con->source;
+        if (l.src.compressed()) l.buf = group.TakeBufferLocked();
+        loads.push_back(std::move(l));
+      }
       recv.push_back(con);
+      recv_load.push_back(li);
     }
     const size_t begin = chunk * group.chunk_rows;
     const size_t end = std::min(group.nrows, begin + group.chunk_rows);
-    ++chunks_loaded_;
+    chunks_loaded_ += loads.size();
     chunks_delivered_ += recv.size();
     lock.unlock();
 
-    // One physical pass over the chunk, fanned out to every consumer that
-    // wants it; the TaskPool spreads the consumers' predicate evaluations
-    // over the workers while the chunk's cache lines are hot. When the
-    // driver is the chunk's sole receiver there is nothing to fan out, so
-    // it evaluates inline with its own context (morsel-parallel within
-    // the chunk) instead.
+    // Materialize each distinct source once (the chunk's bytes are
+    // touched — or decompressed — a single time no matter how many
+    // consumers receive them), then fan the deliveries out.
+    uint64_t bytes_loaded = 0;
+    uint64_t decompressed = 0;
+    for (SourceLoad& l : loads) {
+      const size_t rows = end - begin;
+      if (l.src.compressed()) {
+        const compress::CompressedBat& comp = *l.src.comp;
+        l.status = comp.DecodeRangeRaw(begin, rows, l.buf.get());
+        l.view = ChunkBuffer{l.buf.get(), comp.type()};
+        ++decompressed;
+        // Pro-rate the compressed stream over the pass: the physical
+        // bytes this chunk stands for.
+        bytes_loaded += comp.Count() == 0
+                            ? 0
+                            : comp.CompressedBytes() * rows / comp.Count();
+      } else if (l.src.bat != nullptr) {
+        const auto* base =
+            static_cast<const uint8_t*>(l.src.bat->tail().raw_data());
+        const size_t width = l.src.bat->tail().width();
+        l.view = ChunkBuffer{base + begin * width, l.src.bat->type()};
+        bytes_loaded += rows * width;
+      }
+    }
+    chunks_decompressed_ += decompressed;
+    bytes_loaded_ += bytes_loaded;
+
+    // One delivery per receiver; the TaskPool spreads the consumers'
+    // predicate evaluations over the workers while the chunk's cache
+    // lines are hot. When the driver is the chunk's sole receiver there
+    // is nothing to fan out, so it evaluates inline with its own context
+    // (morsel-parallel within the chunk) instead.
+    uint64_t bytes_delivered = 0;
+    for (size_t i = 0; i < recv.size(); ++i) {
+      const ChunkBuffer& v = loads[recv_load[i]].view;
+      if (v.data != nullptr) {
+        bytes_delivered += (end - begin) * TypeWidth(v.type);
+      }
+    }
+    bytes_delivered_ += bytes_delivered;
+
     std::vector<Status> results(recv.size());
+    auto deliver = [&](size_t i, const parallel::ExecContext& eval_ctx) {
+      SourceLoad& l = loads[recv_load[i]];
+      results[i] = l.status.ok()
+                       ? recv[i]->fn(chunk, begin, end, l.view, eval_ctx)
+                       : l.status;
+    };
     if (recv.size() == 1) {
-      results[0] = recv[0]->fn(chunk, begin, end, ctx);
+      deliver(0, ctx);
     } else {
       Status st = ctx.ParallelFor(
           recv.size(), 1, [&](size_t b, size_t e, int) {
             for (size_t i = b; i < e; ++i) {
-              results[i] = recv[i]->fn(chunk, begin, end,
-                                       parallel::ExecContext::Serial());
+              deliver(i, parallel::ExecContext::Serial());
             }
             return Status::OK();
           });
@@ -296,6 +423,10 @@ void SharedScanScheduler::DriveLocked(Group& group, Consumer* driver,
     }
 
     lock.lock();
+    // Return decode buffers to the pass's pool for the next chunk.
+    for (SourceLoad& l : loads) {
+      if (l.buf != nullptr) group.buffer_pool.push_back(std::move(l.buf));
+    }
     for (size_t i = 0; i < recv.size(); ++i) {
       --recv[i]->inflight;
       if (!results[i].ok() && !recv[i]->failed) {
@@ -336,7 +467,44 @@ Status SharedScanScheduler::Drain(Consumer* consumer,
   return error;
 }
 
+std::vector<bool> SharedScanScheduler::PruneChunksCompressed(
+    const compress::CompressedBat& comp, const ScanPredicate& pred,
+    size_t chunk_rows) {
+  if (pred.kind == ScanPredicate::Kind::kTheta && !pred.v.is_numeric()) {
+    return {};
+  }
+  constexpr size_t kStatRows = compress::CompressedBat::kStatBlockRows;
+  const size_t nstats = comp.NumStatBlocks();
+  if (nstats == 0 || chunk_rows % kStatRows != 0) return {};
+  const size_t stats_per_chunk = chunk_rows / kStatRows;
+  const size_t nchunks = (comp.Count() + chunk_rows - 1) / chunk_rows;
+  std::vector<bool> needed(nchunks, true);
+  for (size_t c = 0; c < nchunks; ++c) {
+    const size_t first = c * stats_per_chunk;
+    const size_t last = std::min(nstats, first + stats_per_chunk);
+    if (first >= last) break;
+    int64_t bmin = comp.StatMin(first);
+    int64_t bmax = comp.StatMax(first);
+    for (size_t s = first + 1; s < last; ++s) {
+      bmin = std::min(bmin, comp.StatMin(s));
+      bmax = std::max(bmax, comp.StatMax(s));
+    }
+    needed[c] = BlockMaySatisfy(pred, bmin, bmax, comp.type());
+  }
+  return needed;
+}
+
 Result<BatPtr> SharedScanScheduler::Select(const BatPtr& column,
+                                           const std::string& table,
+                                           const std::string& column_name,
+                                           uint64_t version,
+                                           const ScanPredicate& pred,
+                                           const parallel::ExecContext& ctx) {
+  return Select(ColumnSource::Plain(column), table, column_name, version,
+                pred, ctx);
+}
+
+Result<BatPtr> SharedScanScheduler::Select(const ColumnSource& source,
                                            const std::string& table,
                                            const std::string& column_name,
                                            uint64_t version,
@@ -345,18 +513,26 @@ Result<BatPtr> SharedScanScheduler::Select(const BatPtr& column,
   // Ineligible shapes go straight to the kernels: sorted columns select
   // in O(log n), dense tails and strings have their own specialized
   // paths, and short columns cost more to coordinate than to rescan.
-  const bool eligible = column != nullptr &&
-                        column->type() != PhysType::kStr &&
-                        !column->props().sorted && !column->IsDenseTail() &&
-                        column->Count() >= config_.min_share_rows;
-  if (!eligible) return RunKernel(column, pred, ctx);
+  // (Compressed sources are integer by construction; a sorted one still
+  // prefers the decoded O(log n) path.)
+  bool eligible;
+  if (source.compressed()) {
+    eligible = !source.comp->props().sorted &&
+               source.comp->Count() >= config_.min_share_rows;
+  } else {
+    const BatPtr& column = source.bat;
+    eligible = column != nullptr && column->type() != PhysType::kStr &&
+               !column->props().sorted && !column->IsDenseTail() &&
+               column->Count() >= config_.min_share_rows;
+  }
+  if (!eligible) return RunKernelSource(source, pred, ctx);
 
-  const size_t nrows = column->Count();
+  const size_t nrows = source.Count();
   // The pass's chunk grain adapts to the column width (comparable chunk
   // *bytes* across types); a joiner adopts the grain of the pass it
   // joins — the chunk grid lives over row positions, so any column of
   // the table can ride it.
-  size_t pass_chunk_rows = RowsPerChunk(TypeWidth(column->type()));
+  size_t pass_chunk_rows = RowsPerChunk(TypeWidth(source.type()));
   size_t nchunks = (nrows + pass_chunk_rows - 1) / pass_chunk_rows;
   auto group = GetGroup(table);
 
@@ -376,6 +552,10 @@ Result<BatPtr> SharedScanScheduler::Select(const BatPtr& column,
       group->nrows = nrows;
       group->chunk_rows = pass_chunk_rows;
       group->nchunks = nchunks;
+      if (group->buffer_rows != pass_chunk_rows) {
+        group->buffer_pool.clear();
+        group->buffer_rows = pass_chunk_rows;
+      }
       mode = Mode::kStart;
     } else if (group->version != version || group->nrows != nrows) {
       mode = Mode::kFallback;  // cannot mix rows with the other snapshot
@@ -391,16 +571,19 @@ Result<BatPtr> SharedScanScheduler::Select(const BatPtr& column,
   if (mode == Mode::kFallback) {
     ++scans_direct_;
     chunks_direct_ += nchunks;
-    return RunKernel(column, pred, ctx);
+    return RunKernelSource(source, pred, ctx);
   }
   const bool starts_pass = mode == Mode::kStart;
 
   // Prune chunks the zone map proves empty, attach, let the pass deliver
   // our chunks (driving it whenever no one else does), and assemble the
-  // per-chunk results in chunk order.
+  // per-chunk results in chunk order. A compressed source prunes off its
+  // own block statistics — skipped chunks are never decompressed.
   std::vector<bool> needed =
-      PruneChunks(column, table, column_name, version, pred,
-                  pass_chunk_rows);
+      source.compressed()
+          ? PruneChunksCompressed(*source.comp, pred, pass_chunk_rows)
+          : PruneChunks(source.bat, table, column_name, version, pred,
+                        pass_chunk_rows);
   size_t skipped = 0;
   if (!needed.empty()) {
     skipped = nchunks - static_cast<size_t>(
@@ -411,11 +594,20 @@ Result<BatPtr> SharedScanScheduler::Select(const BatPtr& column,
   std::vector<BatPtr> parts(nchunks);
   Consumer* consumer = nullptr;
   {
-    auto fn = [&parts, column, pred](
+    const Oid col_hseq = source.hseqbase;
+    auto fn = [&parts, col_hseq, source, pred](
                   size_t chunk, size_t begin, size_t end,
+                  const ChunkBuffer& buf,
                   const parallel::ExecContext& eval_ctx) -> Status {
-      MAMMOTH_ASSIGN_OR_RETURN(
-          parts[chunk], EvalChunk(column, pred, begin, end, eval_ctx));
+      if (buf.data != nullptr) {
+        MAMMOTH_ASSIGN_OR_RETURN(
+            parts[chunk],
+            EvalChunkBuffer(buf, col_hseq, pred, begin, end, eval_ctx));
+      } else {
+        MAMMOTH_ASSIGN_OR_RETURN(
+            parts[chunk],
+            EvalChunk(source.bat, pred, begin, end, eval_ctx));
+      }
       return Status::OK();
     };
     std::lock_guard<std::mutex> lock(group->mu);
@@ -424,6 +616,7 @@ Result<BatPtr> SharedScanScheduler::Select(const BatPtr& column,
     --group->attaching;
     consumer = new Consumer;
     consumer->group = group;
+    consumer->source = source;
     consumer->needed =
         needed.empty() ? std::vector<bool>(nchunks, true) : std::move(needed);
     consumer->remaining = static_cast<size_t>(std::count(
@@ -463,6 +656,9 @@ SharedScanStats SharedScanScheduler::stats() const {
   s.chunks_skipped = chunks_skipped_.load();
   s.chunks_direct = chunks_direct_.load();
   s.loads_saved = s.chunks_delivered - s.chunks_loaded;
+  s.chunks_decompressed = chunks_decompressed_.load();
+  s.bytes_loaded = bytes_loaded_.load();
+  s.bytes_delivered = bytes_delivered_.load();
   return s;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "compress/compressed_bat.h"
 #include "core/bat.h"
 #include "core/value.h"
 #include "index/zonemap.h"
@@ -36,6 +37,58 @@ namespace mammoth::scan {
 /// once per delivery instead of once per query. Late-arriving consumers
 /// attach to the in-flight pass and circle back for the chunks they
 /// missed, exactly like the simulation's mid-flight arrivals.
+
+/// The column image a routed scan reads: either a plain BAT or a
+/// compressed column. A pass over a compressed source decompresses each
+/// chunk *once* into a pooled buffer and hands that buffer to every
+/// consumer of the chunk — sharing the decompression work exactly like
+/// the plain path shares the memory sweep.
+struct ColumnSource {
+  BatPtr bat;
+  std::shared_ptr<const compress::CompressedBat> comp;
+  Oid hseqbase = 0;  ///< head base of the column (a CompressedBat has none)
+
+  static ColumnSource Plain(BatPtr b) {
+    ColumnSource s;
+    s.hseqbase = b != nullptr ? b->hseqbase() : 0;
+    s.bat = std::move(b);
+    return s;
+  }
+  static ColumnSource Compressed(
+      std::shared_ptr<const compress::CompressedBat> c, Oid hseq = 0) {
+    ColumnSource s;
+    s.comp = std::move(c);
+    s.hseqbase = hseq;
+    return s;
+  }
+  bool compressed() const { return comp != nullptr; }
+  size_t Count() const {
+    return comp != nullptr ? comp->Count()
+                           : (bat != nullptr ? bat->Count() : 0);
+  }
+  PhysType type() const {
+    return comp != nullptr ? comp->type()
+                           : (bat != nullptr ? bat->type() : PhysType::kInt32);
+  }
+  /// Physical identity for per-chunk load sharing: consumers whose
+  /// sources compare equal read the same bytes, so one materialization
+  /// serves them all.
+  const void* Identity() const {
+    if (comp != nullptr) return comp.get();
+    return bat != nullptr ? bat->tail().raw_data() : nullptr;
+  }
+};
+
+/// The materialized image of one chunk, delivered to every consumer of
+/// the chunk: `data` points at the value of the chunk's first row
+/// (aliasing the BAT tail for plain sources — zero copy — or a pooled
+/// decode buffer for compressed ones). Null for consumers that attached
+/// without a source (the low-level Attach protocol). The buffer is only
+/// valid for the duration of the ChunkFn call.
+struct ChunkBuffer {
+  const void* data = nullptr;
+  PhysType type = PhysType::kInt32;
+};
 
 /// The predicate of a routed scan, normalized from the MAL select ops.
 struct ScanPredicate {
@@ -97,6 +150,15 @@ struct SharedScanStats {
   /// Deliveries that rode along another consumer's load instead of paying
   /// their own: chunks_delivered - chunks_loaded.
   uint64_t loads_saved = 0;
+  /// Chunk loads that decompressed a compressed source (once per chunk
+  /// per source, shared by every consumer of the chunk).
+  uint64_t chunks_decompressed = 0;
+  /// Physical bytes materialized by chunk loads: tail bytes for plain
+  /// sources, compressed stream bytes (pro-rated per chunk) for
+  /// compressed ones.
+  uint64_t bytes_loaded = 0;
+  /// Logical (uncompressed) bytes handed to consumers across deliveries.
+  uint64_t bytes_delivered = 0;
 };
 
 class SharedScanScheduler {
@@ -106,12 +168,15 @@ class SharedScanScheduler {
   /// buffers per-chunk results and assembles them by chunk index. May be
   /// invoked from any attached consumer's thread (or a TaskPool worker),
   /// but never twice for the same chunk and never concurrently with
-  /// another chunk of the same consumer. `eval_ctx` is the context the
-  /// body should evaluate with: the driver's own context when it is the
-  /// chunk's sole receiver (the evaluation may morsel-parallelize), the
-  /// serial context when the delivery fans out — the receivers themselves
-  /// already spread over the pool then.
+  /// another chunk of the same consumer. `buf` is the chunk's
+  /// materialized image (see ChunkBuffer) — one load shared by every
+  /// receiver. `eval_ctx` is the context the body should evaluate with:
+  /// the driver's own context when it is the chunk's sole receiver (the
+  /// evaluation may morsel-parallelize), the serial context when the
+  /// delivery fans out — the receivers themselves already spread over
+  /// the pool then.
   using ChunkFn = std::function<Status(size_t chunk, size_t begin, size_t end,
+                                       const ChunkBuffer& buf,
                                        const parallel::ExecContext& eval_ctx)>;
 
   class Consumer;
@@ -136,6 +201,17 @@ class SharedScanScheduler {
                         const ScanPredicate& pred,
                         const parallel::ExecContext& ctx);
 
+  /// Source-aware routed select: like the BAT overload, but the column
+  /// may be a CompressedBat — the pass then decompresses each chunk once
+  /// into a pooled buffer shared by all attached consumers, and chunk
+  /// pruning runs off the compressed column's own block statistics
+  /// (no decompression for skipped chunks). Results are bit-identical to
+  /// decompress-then-kernel.
+  Result<BatPtr> Select(const ColumnSource& source, const std::string& table,
+                        const std::string& column_name, uint64_t version,
+                        const ScanPredicate& pred,
+                        const parallel::ExecContext& ctx);
+
   /// --- Low-level pass protocol (used by Select, tests and benches) ------
   /// Attaches a consumer to the pass over `nrows` rows of `table`@
   /// `version`. `needed` marks the chunks the consumer wants (empty = all);
@@ -145,9 +221,12 @@ class SharedScanScheduler {
   /// inside a ChunkFn (a late arrival attaching mid-pass).
   /// `chunk_rows` sets the pass's chunk grain (0: the config default);
   /// it only takes effect when this Attach starts the pass.
+  /// `source` is the column the consumer reads (materialized once per
+  /// chunk and passed to `fn`); default-constructed = no source (the fn
+  /// receives a null ChunkBuffer and reads whatever it captured).
   Consumer* Attach(const std::string& table, uint64_t version, size_t nrows,
                    std::vector<bool> needed, ChunkFn fn,
-                   size_t chunk_rows = 0);
+                   size_t chunk_rows = 0, ColumnSource source = {});
 
   /// Drives and/or waits until every needed chunk of `consumer` has been
   /// delivered, then detaches and destroys it. Exactly one Drain per
@@ -183,6 +262,14 @@ class SharedScanScheduler {
                                 uint64_t version, const ScanPredicate& pred,
                                 size_t chunk_rows);
 
+  /// Chunk pruning for a compressed source: aggregates the column's own
+  /// per-block min/max statistics to the pass's chunk grain (the stat
+  /// grain divides the morsel-aligned chunk grain), so skipped chunks
+  /// are never decompressed. Empty = "need all".
+  static std::vector<bool> PruneChunksCompressed(
+      const compress::CompressedBat& comp, const ScanPredicate& pred,
+      size_t chunk_rows);
+
   /// Relevance policy of the simulation: among chunks `driver` still
   /// needs, the one wanted by the most attached consumers (ties: lowest
   /// index). Requires the group lock.
@@ -214,6 +301,9 @@ class SharedScanScheduler {
   std::atomic<uint64_t> chunks_delivered_{0};
   std::atomic<uint64_t> chunks_skipped_{0};
   std::atomic<uint64_t> chunks_direct_{0};
+  std::atomic<uint64_t> chunks_decompressed_{0};
+  std::atomic<uint64_t> bytes_loaded_{0};
+  std::atomic<uint64_t> bytes_delivered_{0};
 };
 
 }  // namespace mammoth::scan

@@ -68,6 +68,12 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port) {
     return Status::InvalidArgument("expected Hello frame from server");
   }
   MAMMOTH_ASSIGN_OR_RETURN(client.hello_, DecodeHello(frame.payload));
+  // Capability negotiation: when the server can ship compressed result
+  // columns, opt in (this client's DecodeResult understands them all).
+  if ((client.hello_.caps & kWireCapCompressedResults) != 0) {
+    MAMMOTH_RETURN_IF_ERROR(client.WriteAll(EncodeFrame(
+        FrameType::kCaps, EncodeCaps(kWireCapCompressedResults))));
+  }
   return client;
 }
 

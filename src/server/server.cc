@@ -233,6 +233,8 @@ void Server::SessionLoop(int fd, uint64_t session_id) {
   HelloInfo hello;
   hello.session_id = session_id;
   hello.server_name = config_.name;
+  hello.caps = kWireCapCompressedResults;
+  uint32_t session_caps = 0;
   if (SendFrame(fd, FrameType::kHello, EncodeHello(hello)).ok()) {
     std::string buffer;
     bool alive = true;
@@ -247,12 +249,22 @@ void Server::SessionLoop(int fd, uint64_t session_id) {
       if (*consumed > 0) {
         buffer.erase(0, *consumed);
         if (frame.type == FrameType::kClose) break;
+        if (frame.type == FrameType::kCaps) {
+          // Capability negotiation: keep only bits we advertised.
+          auto caps = DecodeCaps(frame.payload);
+          if (!caps.ok()) {
+            SendError(fd, caps.status());
+            break;
+          }
+          session_caps = *caps & hello.caps;
+          continue;
+        }
         if (frame.type != FrameType::kQuery) {
           SendError(fd, Status::InvalidArgument(
                             "unexpected frame type from client"));
           break;
         }
-        if (!HandleQuery(fd, frame.payload).ok()) break;
+        if (!HandleQuery(fd, frame.payload, session_caps).ok()) break;
         continue;
       }
       if (draining_.load()) {
@@ -283,7 +295,7 @@ void Server::SessionLoop(int fd, uint64_t session_id) {
   --sessions_open_;
 }
 
-Status Server::HandleQuery(int fd, const std::string& sql) {
+Status Server::HandleQuery(int fd, const std::string& sql, uint32_t caps) {
   if (IsStatusCommand(sql)) {
     MAMMOTH_ASSIGN_OR_RETURN(std::string payload,
                              EncodeResult(StatusResult(stats())));
@@ -299,11 +311,13 @@ Status Server::HandleQuery(int fd, const std::string& sql) {
     ++queries_failed_;
     return SendError(fd, result.status());
   }
-  auto payload = EncodeResult(*result);
+  uint64_t saved = 0;
+  auto payload = EncodeResult(*result, caps, &saved);
   if (!payload.ok()) {
     ++queries_failed_;
     return SendError(fd, payload.status());
   }
+  wire_result_bytes_saved_ += saved;
   ++queries_ok_;
   return SendFrame(fd, FrameType::kResult, *payload);
 }
@@ -342,6 +356,8 @@ ServerStatsSnapshot Server::stats() const {
   s.draining = draining_.load();
   s.admission = admission_.stats();
   s.shared_scans = shared_scans_.stats();
+  s.compression = engine_.compression_stats();
+  s.wire_result_bytes_saved = wire_result_bytes_saved_.load();
   if (wal_ != nullptr) {
     s.durable = true;
     s.wal = wal_->stats();
@@ -380,6 +396,14 @@ mal::QueryResult Server::StatusResult(const ServerStatsSnapshot& s) {
   row("shared_chunks_delivered", s.shared_scans.chunks_delivered);
   row("shared_chunks_skipped", s.shared_scans.chunks_skipped);
   row("shared_loads_saved", s.shared_scans.loads_saved);
+  row("shared_chunks_decompressed", s.shared_scans.chunks_decompressed);
+  row("shared_bytes_loaded", s.shared_scans.bytes_loaded);
+  row("shared_bytes_delivered", s.shared_scans.bytes_delivered);
+  row("compressed_tables", s.compression.compressed_tables);
+  row("compressed_columns", s.compression.compressed_columns);
+  row("compressed_bytes", s.compression.compressed_bytes);
+  row("compressed_logical_bytes", s.compression.logical_bytes);
+  row("wire_result_bytes_saved", s.wire_result_bytes_saved);
   row("durable", s.durable ? 1 : 0);
   row("wal_txns", s.wal.txns_logged);
   row("wal_commits_synced", s.wal.commits_synced);

@@ -65,6 +65,11 @@ struct ServerStatsSnapshot {
   bool durable = false;  ///< a WAL is attached (db_dir was set)
   wal::WalStats wal;
   uint64_t wal_recovered_txns = 0;  ///< transactions replayed at startup
+  /// Compressed storage posture (tables/columns/bytes) of the catalog.
+  sql::Engine::CompressionStats compression;
+  /// Result bytes saved by compressed wire shipping (sessions that
+  /// negotiated kWireCapCompressedResults).
+  uint64_t wire_result_bytes_saved = 0;
 };
 
 /// The MammothDB network front-end: a TCP server speaking the wire.h
@@ -139,8 +144,9 @@ class Server {
   /// connection ever served. Called from the accept loop and Stop().
   void ReapFinishedSessions();
   /// Handles one Query frame's SQL; always answers with exactly one
-  /// Result or Error frame.
-  Status HandleQuery(int fd, const std::string& sql);
+  /// Result or Error frame. `caps` is the session's negotiated
+  /// capability set (compressed result shipping).
+  Status HandleQuery(int fd, const std::string& sql, uint32_t caps);
   Status SendFrame(int fd, FrameType type, std::string_view payload);
   Status SendError(int fd, const Status& error);
 
@@ -175,6 +181,7 @@ class Server {
   std::atomic<uint64_t> queries_failed_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> wire_result_bytes_saved_{0};
 };
 
 }  // namespace mammoth::server

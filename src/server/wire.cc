@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "compress/pdict.h"
+#include "compress/rle.h"
 #include "core/bat.h"
 #include "core/string_heap.h"
 
@@ -111,7 +113,7 @@ Result<size_t> DecodeFrame(const char* data, size_t size, Frame* out) {
                                    std::to_string(kWireVersion));
   }
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
-      type > static_cast<uint8_t>(FrameType::kClose)) {
+      type > static_cast<uint8_t>(FrameType::kCaps)) {
     return Status::InvalidArgument("wire: unknown frame type " +
                                    std::to_string(type));
   }
@@ -134,17 +136,36 @@ std::string EncodeHello(const HelloInfo& hello) {
   std::string out;
   AppendInt<uint64_t>(&out, hello.session_id);
   AppendString(&out, hello.server_name);
+  AppendInt<uint32_t>(&out, hello.caps);
   return out;
 }
 
 Result<HelloInfo> DecodeHello(std::string_view payload) {
   Reader r(payload);
   HelloInfo hello;
-  if (!r.ReadInt(&hello.session_id) || !ReadString(&r, &hello.server_name) ||
-      !r.done()) {
+  if (!r.ReadInt(&hello.session_id) || !ReadString(&r, &hello.server_name)) {
     return Truncated("hello");
   }
+  // Capability bits were appended later; a Hello without them (an older
+  // server) decodes with caps = 0.
+  if (!r.done() && !r.ReadInt(&hello.caps)) return Truncated("hello");
+  if (!r.done()) return Truncated("hello");
   return hello;
+}
+
+// --- Caps ------------------------------------------------------------------
+
+std::string EncodeCaps(uint32_t caps) {
+  std::string out;
+  AppendInt<uint32_t>(&out, caps);
+  return out;
+}
+
+Result<uint32_t> DecodeCaps(std::string_view payload) {
+  Reader r(payload);
+  uint32_t caps = 0;
+  if (!r.ReadInt(&caps) || !r.done()) return Truncated("caps");
+  return caps;
 }
 
 // --- Error -----------------------------------------------------------------
@@ -166,7 +187,7 @@ Result<WireError> DecodeError(std::string_view payload) {
       !r.done()) {
     return Truncated("error frame");
   }
-  if (code > static_cast<uint8_t>(StatusCode::kCorruption)) {
+  if (code > static_cast<uint8_t>(StatusCode::kUnsupported)) {
     return Status::InvalidArgument("wire: unknown status code " +
                                    std::to_string(code));
   }
@@ -178,7 +199,49 @@ Result<WireError> DecodeError(std::string_view payload) {
 
 // --- Result ----------------------------------------------------------------
 
-Result<std::string> EncodeResult(const mal::QueryResult& result) {
+namespace {
+
+/// Minimum rows before a result column is worth codec probing: tiny
+/// results ship raw (the probe costs more than the bytes saved).
+constexpr size_t kMinCompressRows = 1024;
+
+/// Tries the codecs applicable to the column type and returns the best
+/// encoding strictly smaller than the raw tail, or kRaw (empty stream).
+ColumnEncoding ProbeResultCodec(const BatPtr& col, size_t nrows,
+                                std::vector<uint8_t>* stream) {
+  const size_t raw_bytes = nrows * TypeWidth(col->type());
+  ColumnEncoding best = ColumnEncoding::kRaw;
+  std::vector<uint8_t> attempt;
+  if (col->type() == PhysType::kInt32) {
+    if (compress::RleEncode(col->TailData<int32_t>(), nrows, &attempt).ok() &&
+        attempt.size() < raw_bytes) {
+      best = ColumnEncoding::kRle;
+      *stream = std::move(attempt);
+    }
+    attempt.clear();
+    if (compress::PdictEncode(col->TailData<int32_t>(), nrows, &attempt)
+            .ok() &&
+        attempt.size() < raw_bytes &&
+        (best == ColumnEncoding::kRaw || attempt.size() < stream->size())) {
+      best = ColumnEncoding::kPdict;
+      *stream = std::move(attempt);
+    }
+  } else if (col->type() == PhysType::kInt64) {
+    if (compress::Rle64Encode(col->TailData<int64_t>(), nrows, &attempt)
+            .ok() &&
+        attempt.size() < raw_bytes) {
+      best = ColumnEncoding::kRle;
+      *stream = std::move(attempt);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<std::string> EncodeResult(const mal::QueryResult& result,
+                                 uint32_t caps,
+                                 uint64_t* wire_bytes_saved) {
   std::string out;
   AppendInt<uint32_t>(&out, static_cast<uint32_t>(result.columns.size()));
   const size_t nrows = result.RowCount();
@@ -191,7 +254,28 @@ Result<std::string> EncodeResult(const mal::QueryResult& result) {
     }
     AppendString(&out, c < result.names.size() ? result.names[c] : "");
     AppendInt<uint8_t>(&out, static_cast<uint8_t>(col->type()));
-    AppendInt<uint8_t>(&out, col->IsDenseTail() ? 1 : 0);
+    // Compressed shipping: only into sessions that negotiated it, only
+    // for integer tails big enough to matter, and only when the codec
+    // image actually beats the raw bytes.
+    std::vector<uint8_t> stream;
+    ColumnEncoding enc = ColumnEncoding::kRaw;
+    if ((caps & kWireCapCompressedResults) != 0 && !col->IsDenseTail() &&
+        nrows >= kMinCompressRows) {
+      enc = ProbeResultCodec(col, nrows, &stream);
+    }
+    if (enc != ColumnEncoding::kRaw) {
+      AppendInt<uint8_t>(&out, static_cast<uint8_t>(enc));
+      AppendInt<uint64_t>(&out, stream.size());
+      out.append(reinterpret_cast<const char*>(stream.data()), stream.size());
+      if (wire_bytes_saved != nullptr) {
+        *wire_bytes_saved +=
+            nrows * TypeWidth(col->type()) - stream.size();
+      }
+      continue;
+    }
+    AppendInt<uint8_t>(&out, col->IsDenseTail()
+                                 ? static_cast<uint8_t>(ColumnEncoding::kDense)
+                                 : static_cast<uint8_t>(ColumnEncoding::kRaw));
     if (col->IsDenseTail()) {
       AppendInt<uint64_t>(&out, col->tseqbase());
     } else if (col->type() == PhysType::kStr) {
@@ -236,9 +320,9 @@ Result<mal::QueryResult> DecodeResult(std::string_view payload) {
   mal::QueryResult result;
   for (uint32_t c = 0; c < ncols; ++c) {
     std::string name;
-    uint8_t type = 0, dense = 0;
+    uint8_t type = 0, enc = 0;
     uint64_t heap_len = 0;
-    if (!ReadString(&r, &name) || !r.ReadInt(&type) || !r.ReadInt(&dense) ||
+    if (!ReadString(&r, &name) || !r.ReadInt(&type) || !r.ReadInt(&enc) ||
         !r.ReadInt(&heap_len)) {
       return Truncated("result column header");
     }
@@ -246,9 +330,50 @@ Result<mal::QueryResult> DecodeResult(std::string_view payload) {
       return Status::InvalidArgument("wire: unknown column type " +
                                      std::to_string(type));
     }
+    if (enc > static_cast<uint8_t>(ColumnEncoding::kPdict)) {
+      return Status::InvalidArgument("wire: unknown column encoding " +
+                                     std::to_string(enc));
+    }
     const PhysType pt = static_cast<PhysType>(type);
+    const ColumnEncoding encoding = static_cast<ColumnEncoding>(enc);
     BatPtr col;
-    if (dense != 0) {
+    if (encoding == ColumnEncoding::kRle ||
+        encoding == ColumnEncoding::kPdict) {
+      // heap_len slot = codec stream length.
+      if (pt != PhysType::kInt32 && pt != PhysType::kInt64) {
+        return Status::InvalidArgument(
+            "wire: compressed encoding on non-int column");
+      }
+      std::string_view stream_bytes;
+      if (!r.ReadBytes(heap_len, &stream_bytes)) {
+        return Truncated("compressed column stream");
+      }
+      std::vector<uint8_t> stream(stream_bytes.begin(), stream_bytes.end());
+      col = Bat::New(pt);
+      if (pt == PhysType::kInt32) {
+        std::vector<int32_t> values;
+        MAMMOTH_RETURN_IF_ERROR(encoding == ColumnEncoding::kRle
+                                    ? compress::RleDecode(stream, &values)
+                                    : compress::PdictDecode(stream, &values));
+        if (values.size() != nrows) {
+          return Status::InvalidArgument(
+              "wire: compressed column row count mismatch");
+        }
+        col->AppendRaw(values.data(), values.size());
+      } else {
+        if (encoding != ColumnEncoding::kRle) {
+          return Status::InvalidArgument(
+              "wire: pdict encoding on int64 column");
+        }
+        std::vector<int64_t> values;
+        MAMMOTH_RETURN_IF_ERROR(compress::Rle64Decode(stream, &values));
+        if (values.size() != nrows) {
+          return Status::InvalidArgument(
+              "wire: compressed column row count mismatch");
+        }
+        col->AppendRaw(values.data(), values.size());
+      }
+    } else if (encoding == ColumnEncoding::kDense) {
       if (pt != PhysType::kOid) {
         return Status::InvalidArgument("wire: dense tail on non-oid column");
       }

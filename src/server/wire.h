@@ -43,7 +43,15 @@ enum class FrameType : uint8_t {
   kResult = 3, ///< server -> client: columnar result set (see below)
   kError = 4,  ///< server -> client: status code + message
   kClose = 5,  ///< either side: end of session (empty payload)
+  kCaps = 6,   ///< client -> server: capability bits (u32), after Hello
 };
+
+/// Capability bits, negotiated per session: the server advertises its
+/// capabilities in Hello; a client that wants one answers with a Caps
+/// frame carrying the subset it also supports. A session with no Caps
+/// frame runs with zero capabilities — old clients keep working
+/// unchanged.
+inline constexpr uint32_t kWireCapCompressedResults = 1u << 0;
 
 /// A decoded frame (payload still in wire encoding).
 struct Frame {
@@ -65,9 +73,16 @@ Result<size_t> DecodeFrame(const char* data, size_t size, Frame* out);
 struct HelloInfo {
   uint64_t session_id = 0;
   std::string server_name;
+  /// Capability bits the server supports (kWireCap*). Absent in frames
+  /// from older servers; the decoder then leaves it 0.
+  uint32_t caps = 0;
 };
 std::string EncodeHello(const HelloInfo& hello);
 Result<HelloInfo> DecodeHello(std::string_view payload);
+
+/// --- Caps ----------------------------------------------------------------
+std::string EncodeCaps(uint32_t caps);
+Result<uint32_t> DecodeCaps(std::string_view payload);
 
 /// --- Error ---------------------------------------------------------------
 /// Error payloads carry the StatusCode as a typed byte, so clients can
@@ -90,17 +105,37 @@ Result<WireError> DecodeError(std::string_view payload);
 ///   per column:
 ///     u16 name_len, name bytes
 ///     u8  phys type (PhysType)
-///     u8  dense flag (oid columns only)
+///     u8  encoding (ColumnEncoding below)
+///     raw:     u64 heap_len (= 0), nrows x TypeWidth(type) tail bytes
 ///     dense:   u64 tseqbase                      (no tail array)
 ///     string:  u64 heap_len, heap bytes,         (compact slice: only the
 ///              nrows x u64 offsets into it        strings this column uses)
-///     other:   nrows x TypeWidth(type) raw tail bytes
+///     rle/pdict: u64 stream_len, stream bytes    (compress/ codec image)
+///
+/// The encoding byte generalizes the old dense flag (0/1 wire images are
+/// byte-identical to protocol sessions that predate it). The compressed
+/// encodings (2, 3) are only emitted for sessions that negotiated
+/// kWireCapCompressedResults, and only when the codec image is strictly
+/// smaller than the raw tail; int32 columns may ship as RLE or PDICT,
+/// int64 as RLE.
 ///
 /// The string-heap slice is rebuilt per column by interning the column's
 /// values into a fresh heap, so the frame never leaks unrelated strings
 /// from the (shared, table-wide) source heap, and the decoder restores
 /// it zero-copy: heap bytes + offsets are usable as-is.
-Result<std::string> EncodeResult(const mal::QueryResult& result);
+enum class ColumnEncoding : uint8_t {
+  kRaw = 0,
+  kDense = 1,
+  kRle = 2,
+  kPdict = 3,
+};
+
+/// Encodes a result for a session holding `caps`. When `wire_bytes_saved`
+/// is non-null, it accumulates the bytes the compressed column encodings
+/// saved relative to raw tails (0 without the capability).
+Result<std::string> EncodeResult(const mal::QueryResult& result,
+                                 uint32_t caps = 0,
+                                 uint64_t* wire_bytes_saved = nullptr);
 Result<mal::QueryResult> DecodeResult(std::string_view payload);
 
 }  // namespace mammoth::server

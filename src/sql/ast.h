@@ -68,6 +68,14 @@ struct SelectStmt {
 struct CreateStmt {
   std::string table;
   std::vector<ColumnDef> columns;
+  bool compressed = false;  // CREATE TABLE ... COMPRESSED
+};
+
+/// ALTER TABLE t COMPRESS | DECOMPRESS: toggles the table's compression
+/// policy and converts eligible int columns in place.
+struct AlterStmt {
+  std::string table;
+  bool compress = false;
 };
 
 struct InsertStmt {
@@ -90,7 +98,7 @@ struct UpdateStmt {
 };
 
 using Statement = std::variant<SelectStmt, CreateStmt, InsertStmt,
-                               DeleteStmt, UpdateStmt>;
+                               DeleteStmt, UpdateStmt, AlterStmt>;
 
 }  // namespace mammoth::sql
 

@@ -366,8 +366,21 @@ Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt,
 Status Engine::RunCreate(const CreateStmt& stmt, wal::TxnBuilder* txn) {
   MAMMOTH_ASSIGN_OR_RETURN(TablePtr t,
                            Table::Create(stmt.table, stmt.columns));
-  MAMMOTH_RETURN_IF_ERROR(catalog_->Register(std::move(t)));
+  MAMMOTH_RETURN_IF_ERROR(catalog_->Register(t));
   txn->CreateTable(stmt.table, stmt.columns);
+  if (stmt.compressed) {
+    // CREATE TABLE ... COMPRESSED: the table is empty, so this just arms
+    // the policy (MergeDeltas compresses eligible columns as rows arrive).
+    MAMMOTH_RETURN_IF_ERROR(t->SetCompression(true));
+    txn->SetCompression(stmt.table, true);
+  }
+  return Status::OK();
+}
+
+Status Engine::RunAlter(const AlterStmt& stmt, wal::TxnBuilder* txn) {
+  MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(stmt.table));
+  MAMMOTH_RETURN_IF_ERROR(t->SetCompression(stmt.compress));
+  txn->SetCompression(stmt.table, stmt.compress);
   return Status::OK();
 }
 
@@ -588,6 +601,14 @@ Result<mal::QueryResult> Engine::Execute(const std::string& statement,
     MAMMOTH_RETURN_IF_ERROR(RunCreate(*cre, &txn));
     return CommitDurable(txn, &lock);
   }
+  if (auto* alt = std::get_if<AlterStmt>(&stmt)) {
+    // Representation change: cached plans/results keyed on the old
+    // physical layout must not be reused.
+    Status st = RunAlter(*alt, &txn);
+    if (recycler_ != nullptr) recycler_->Clear();
+    MAMMOTH_RETURN_IF_ERROR(st);
+    return CommitDurable(txn, &lock);
+  }
   // DML invalidates the recycler wholesale — even on failure: although a
   // failing statement now rolls its partial effect back (so cached
   // entries keyed on the restored table version stay *valid*), dead
@@ -622,6 +643,20 @@ Result<mal::QueryResult> Engine::ExecuteScript(const std::string& script,
     if (!r.names.empty()) last = std::move(r);
   }
   return last;
+}
+
+Engine::CompressionStats Engine::compression_stats() const {
+  std::shared_lock<std::shared_mutex> lock(rw_mu_);
+  CompressionStats s;
+  for (const std::string& name : catalog_->TableNames()) {
+    Result<TablePtr> t = catalog_->Get(name);
+    if (!t.ok()) continue;
+    if ((*t)->compression_enabled()) ++s.compressed_tables;
+    s.compressed_columns += (*t)->CompressedColumnCount();
+    s.compressed_bytes += (*t)->CompressedBytesTotal();
+    s.logical_bytes += (*t)->CompressedLogicalBytesTotal();
+  }
+  return s;
 }
 
 mal::RunStats Engine::last_run_stats() const {

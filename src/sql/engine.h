@@ -103,6 +103,18 @@ class Engine {
   mal::PipelineReport last_opt_report() const;
   std::string last_plan_text() const;
 
+  /// Compression posture of the catalog, gathered under the shared lock
+  /// (safe against concurrent DDL/DML): how many tables carry the
+  /// compression policy, how many columns are stored compressed, and the
+  /// codec vs logical bytes those columns occupy.
+  struct CompressionStats {
+    uint64_t compressed_tables = 0;
+    uint64_t compressed_columns = 0;
+    uint64_t compressed_bytes = 0;  ///< codec stream bytes held
+    uint64_t logical_bytes = 0;     ///< uncompressed bytes they stand for
+  };
+  CompressionStats compression_stats() const;
+
  private:
   Result<mal::QueryResult> RunSelect(const SelectStmt& stmt,
                                      const parallel::ExecContext& ctx);
@@ -110,6 +122,7 @@ class Engine {
   /// (statement atomicity via Table::Mark/Rollback) and, on success,
   /// appends its logical ops to `txn` for the WAL.
   Status RunCreate(const CreateStmt& stmt, wal::TxnBuilder* txn);
+  Status RunAlter(const AlterStmt& stmt, wal::TxnBuilder* txn);
   Status RunInsert(const InsertStmt& stmt, wal::TxnBuilder* txn);
   Status RunDelete(const DeleteStmt& stmt, wal::TxnBuilder* txn);
   Status RunUpdate(const UpdateStmt& stmt, wal::TxnBuilder* txn);
@@ -131,7 +144,8 @@ class Engine {
   bool optimize_ = true;
 
   /// Readers (SELECT) shared, writers (DDL/DML) exclusive; see above.
-  std::shared_mutex rw_mu_;
+  /// Mutable so const introspection (compression_stats) can share-lock.
+  mutable std::shared_mutex rw_mu_;
   /// Guards the last_* introspection fields (written under rw_mu_ held
   /// shared, so they need their own lock).
   mutable std::mutex intro_mu_;

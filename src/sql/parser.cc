@@ -32,8 +32,9 @@ class Parser {
     if (IsKeyword("INSERT")) return ParseInsert();
     if (IsKeyword("DELETE")) return ParseDelete();
     if (IsKeyword("UPDATE")) return ParseUpdate();
+    if (IsKeyword("ALTER")) return ParseAlter();
     return Status::InvalidArgument(
-        "expected SELECT/CREATE/INSERT/DELETE/UPDATE");
+        "expected SELECT/CREATE/INSERT/DELETE/UPDATE/ALTER");
   }
 
  private:
@@ -297,6 +298,23 @@ class Parser {
       stmt.columns.push_back(std::move(def));
     } while (AcceptSymbol(","));
     MAMMOTH_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (AcceptKeyword("COMPRESSED")) stmt.compressed = true;
+    MAMMOTH_RETURN_IF_ERROR(ExpectEndOfStatement());
+    return Statement{std::move(stmt)};
+  }
+
+  Result<Statement> ParseAlter() {
+    MAMMOTH_RETURN_IF_ERROR(ExpectKeyword("ALTER"));
+    MAMMOTH_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    AlterStmt stmt;
+    MAMMOTH_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
+    if (AcceptKeyword("COMPRESS")) {
+      stmt.compress = true;
+    } else if (AcceptKeyword("DECOMPRESS")) {
+      stmt.compress = false;
+    } else {
+      return Status::InvalidArgument("expected COMPRESS or DECOMPRESS");
+    }
     MAMMOTH_RETURN_IF_ERROR(ExpectEndOfStatement());
     return Statement{std::move(stmt)};
   }

@@ -123,6 +123,10 @@ Status ApplyRecord(Catalog* catalog, const Record& rec) {
       for (Oid o : rec.oids) oids->Append(o);
       return t->Delete(oids);
     }
+    case RecordType::kSetCompression: {
+      MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog->Get(rec.table));
+      return t->SetCompression(rec.compress);
+    }
     case RecordType::kBegin:
     case RecordType::kCommit:
       return Status::Internal("wal: txn marker reached ApplyRecord");

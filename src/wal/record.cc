@@ -234,6 +234,14 @@ std::string EncodeUpdateCells(const std::string& table,
   return out;
 }
 
+std::string EncodeSetCompression(const std::string& table, bool compress) {
+  std::string out;
+  PutInt<uint8_t>(&out, static_cast<uint8_t>(RecordType::kSetCompression));
+  PutString(&out, table);
+  PutInt<uint8_t>(&out, compress ? 1 : 0);
+  return out;
+}
+
 void AppendFrame(std::string* out, std::string_view payload) {
   PutInt<uint32_t>(out, static_cast<uint32_t>(payload.size()));
   PutInt<uint32_t>(out, Crc32(payload.data(), payload.size()));
@@ -282,6 +290,16 @@ Result<Record> DecodeRecord(std::string_view payload) {
         return Status::Corruption("wal: bad UpdateCells record");
       }
       return rec;
+    case RecordType::kSetCompression: {
+      rec.type = RecordType::kSetCompression;
+      uint8_t on = 0;
+      if (!r.ReadString(&rec.table) || !r.ReadInt(&on) || on > 1 ||
+          !r.done()) {
+        return Status::Corruption("wal: bad SetCompression record");
+      }
+      rec.compress = on != 0;
+      return rec;
+    }
     default:
       return Status::Corruption("wal: unknown record type " +
                                 std::to_string(type));

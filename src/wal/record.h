@@ -38,6 +38,7 @@ enum class RecordType : uint8_t {
   kDeletePositions = 4,
   kUpdateCells = 5,
   kCreateTable = 6,
+  kSetCompression = 7,
 };
 
 /// Frame overhead per record: u32 length + u32 CRC.
@@ -56,6 +57,7 @@ uint32_t Crc32(const void* data, size_t n);
 ///   kInsertRows         table, schema, rows
 ///   kDeletePositions    table, oids
 ///   kUpdateCells        table, schema, rows (new images), oids (replaced)
+///   kSetCompression     table, compress
 struct Record {
   RecordType type = RecordType::kBegin;
   uint64_t lsn = 0;      ///< byte offset of this frame in the logical log
@@ -65,6 +67,7 @@ struct Record {
   std::vector<ColumnDef> schema;
   std::vector<std::vector<Value>> rows;
   std::vector<Oid> oids;
+  bool compress = false;
 };
 
 /// --- Encoding --------------------------------------------------------------
@@ -81,6 +84,7 @@ std::string EncodeUpdateCells(const std::string& table,
                               const std::vector<ColumnDef>& schema,
                               const Bat& oids,
                               const std::vector<std::vector<Value>>& rows);
+std::string EncodeSetCompression(const std::string& table, bool compress);
 
 /// Wraps a payload in a `[len][crc][payload]` frame appended to `out`.
 void AppendFrame(std::string* out, std::string_view payload);
@@ -107,6 +111,9 @@ class TxnBuilder {
     if (oids.Count() > 0) {
       ops_.push_back(EncodeUpdateCells(table, schema, oids, rows));
     }
+  }
+  void SetCompression(const std::string& table, bool compress) {
+    ops_.push_back(EncodeSetCompression(table, compress));
   }
   bool empty() const { return ops_.empty(); }
   const std::vector<std::string>& ops() const { return ops_; }

@@ -414,6 +414,45 @@ TEST_F(ServerTest, StatusCountersTrackBytes) {
   EXPECT_EQ(counters["draining"], 0);
 }
 
+/// The compression counters are part of the status relation from the
+/// start (all zero on an uncompressed catalog) and move when a table is
+/// compressed and compressible results ship to a caps-negotiated client.
+TEST_F(ServerTest, StatusReportsCompressionCounters) {
+  StartServer();
+  Client client = Connect();
+  auto counters = ServerStatus(&client);
+  for (const char* key :
+       {"compressed_tables", "compressed_columns", "compressed_bytes",
+        "compressed_logical_bytes", "wire_result_bytes_saved",
+        "shared_chunks_decompressed", "shared_bytes_loaded",
+        "shared_bytes_delivered"}) {
+    ASSERT_TRUE(counters.count(key) == 1) << key;
+    EXPECT_EQ(counters[key], 0) << key;
+  }
+
+  // Compress a table with >= 1024 int32 rows and pull a run-friendly
+  // result: the storage gauges and the wire-savings counter move.
+  ASSERT_TRUE(client.Query("CREATE TABLE z (a INT, b INT)").ok());
+  std::string ins = "INSERT INTO z VALUES ";
+  for (int i = 0; i < 2048; ++i) {
+    if (i > 0) ins += ", ";
+    ins += "(" + std::to_string(i) + ", " + std::to_string(i / 256) + ")";
+  }
+  ASSERT_TRUE(client.Query(ins).ok());
+  ASSERT_TRUE(client.Query("ALTER TABLE z COMPRESS").ok());
+  auto r = client.Query("SELECT b FROM z WHERE a >= 0 AND a <= 100000");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->RowCount(), 2048u);
+
+  counters = ServerStatus(&client);
+  EXPECT_EQ(counters["compressed_tables"], 1);
+  EXPECT_EQ(counters["compressed_columns"], 2);
+  EXPECT_GT(counters["compressed_bytes"], 0);
+  EXPECT_GT(counters["compressed_logical_bytes"],
+            counters["compressed_bytes"]);
+  EXPECT_GT(counters["wire_result_bytes_saved"], 0);
+}
+
 // ------------------------------------------------------- shared scans --
 
 /// A table big enough to clear the sharing threshold of the shrunken

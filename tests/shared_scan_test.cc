@@ -109,7 +109,7 @@ TEST(SharedScanPolicyTest, LoadsMatchSimulationForSimultaneousMixes) {
       }
       consumers.push_back(sched.Attach(
           "t", /*version=*/1, nchunks * kChunk, needed,
-          [&got, q](size_t chunk, size_t, size_t,
+          [&got, q](size_t chunk, size_t, size_t, const ChunkBuffer&,
                     const parallel::ExecContext&) {
             got[q].insert(chunk);
             return Status::OK();
@@ -147,12 +147,14 @@ TEST(SharedScanPolicyTest, LateAttachCirclesBackLikeSimulation) {
   size_t deliveries = 0;
   auto* first = sched.Attach(
       "t", 1, nchunks * kChunk, {},
-      [&](size_t chunk, size_t, size_t, const parallel::ExecContext&) {
+      [&](size_t chunk, size_t, size_t, const ChunkBuffer&,
+          const parallel::ExecContext&) {
         first_got.insert(chunk);
         if (++deliveries == kMissed) {
           // Mid-pass arrival: joins for the remaining chunks.
           second = sched.Attach("t", 1, nchunks * kChunk, {},
                                 [&](size_t c, size_t, size_t,
+                                    const ChunkBuffer&,
                                     const parallel::ExecContext&) {
                                   second_got.insert(c);
                                   return Status::OK();
@@ -186,7 +188,8 @@ TEST(SharedScanPolicyTest, LateAttachCirclesBackLikeSimulation) {
 /// instead of mixing rows from different snapshots.
 TEST(SharedScanPolicyTest, AttachRejectsMismatchedShape) {
   SharedScanScheduler sched(SmallConfig());
-  auto ok = [](size_t, size_t, size_t, const parallel::ExecContext&) {
+  auto ok = [](size_t, size_t, size_t, const ChunkBuffer&,
+               const parallel::ExecContext&) {
     return Status::OK();
   };
   auto* a = sched.Attach("t", 1, 4 * kChunk, {}, ok);
@@ -218,7 +221,7 @@ class BusyGroup {
         (nrows + sched->chunk_rows() - 1) / sched->chunk_rows();
     holder_ = sched->Attach(table, version, nrows,
                             std::vector<bool>(nchunks, false),
-                            [](size_t, size_t, size_t,
+                            [](size_t, size_t, size_t, const ChunkBuffer&,
                                const parallel::ExecContext&) {
                               return Status::OK();
                             });
@@ -595,7 +598,8 @@ TEST(SharedScanAdaptiveTest, JoinerAdoptsPassGrain) {
   const size_t pinned = kChunk;
   auto* holder = sched.Attach(
       "t", 1, n, std::vector<bool>(n / pinned, false),
-      [](size_t, size_t, size_t, const parallel::ExecContext&) {
+      [](size_t, size_t, size_t, const ChunkBuffer&,
+         const parallel::ExecContext&) {
         return Status::OK();
       },
       pinned);

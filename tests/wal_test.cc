@@ -784,6 +784,82 @@ TEST_F(WalTest, RandomizedCrashPointsRecoverTheCommittedPrefix) {
   }
 }
 
+/// Compressed storage is durable: ALTER TABLE COMPRESS replays from the
+/// log, survives a checkpoint round-trip (the snapshot persists the
+/// compressed column images), and post-compress DML lands correctly in
+/// both paths.
+TEST_F(WalTest, CompressedTablesSurviveReplayAndCheckpoint) {
+  sql::Engine engine;
+  auto db = OpenDatabase(dir_, &engine);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE(engine.Execute("CREATE TABLE c (id INT, v INT)").ok());
+  std::string ins = "INSERT INTO c VALUES ";
+  for (int i = 0; i < 400; ++i) {
+    if (i > 0) ins += ", ";
+    ins += "(" + std::to_string(i) + ", " + std::to_string(i % 7) + ")";
+  }
+  ASSERT_TRUE(engine.Execute(ins).ok());
+  ASSERT_TRUE(engine.Execute("ALTER TABLE c COMPRESS").ok());
+  // DML on top of compressed mains, still WAL-logged.
+  ASSERT_TRUE(engine.Execute("INSERT INTO c VALUES (1000, 3)").ok());
+  ASSERT_TRUE(engine.Execute("DELETE FROM c WHERE id = 5").ok());
+  {
+    auto t = engine.catalog()->Get("c");
+    ASSERT_TRUE(t.ok());
+    EXPECT_TRUE((*t)->compression_enabled());
+    EXPECT_EQ((*t)->CompressedColumnCount(), 2u);
+  }
+  db->wal.reset();
+
+  // Pure log replay (no checkpoint yet).
+  sql::Engine replayed;
+  auto db2 = OpenDatabase(dir_, &replayed);
+  ASSERT_TRUE(db2.ok()) << db2.status().ToString();
+  EXPECT_TRUE(CompareCatalogs(*engine.catalog(), *replayed.catalog()).ok());
+  {
+    auto t = replayed.catalog()->Get("c");
+    ASSERT_TRUE(t.ok());
+    EXPECT_TRUE((*t)->compression_enabled());
+    EXPECT_EQ((*t)->CompressedColumnCount(), 2u);
+    EXPECT_GT((*t)->CompressedBytesTotal(), 0u);
+  }
+
+  // Checkpoint: the snapshot must persist the compressed images and the
+  // policy, and recovery must come back through Table::FromStorage.
+  ASSERT_TRUE(replayed.Execute("CHECKPOINT").ok());
+  ASSERT_TRUE(replayed.Execute("INSERT INTO c VALUES (1001, 4)").ok());
+  db2->wal.reset();
+
+  sql::Engine reopened;
+  auto db3 = OpenDatabase(dir_, &reopened);
+  ASSERT_TRUE(db3.ok()) << db3.status().ToString();
+  EXPECT_FALSE(db3->info.snapshot_dir.empty());
+  EXPECT_TRUE(
+      CompareCatalogs(*replayed.catalog(), *reopened.catalog()).ok());
+  {
+    auto t = reopened.catalog()->Get("c");
+    ASSERT_TRUE(t.ok());
+    EXPECT_TRUE((*t)->compression_enabled());
+    EXPECT_EQ((*t)->CompressedColumnCount(), 2u);
+  }
+  auto want = replayed.Execute("SELECT id, v FROM c WHERE v >= 2 AND v <= 5");
+  auto got = reopened.Execute("SELECT id, v FROM c WHERE v >= 2 AND v <= 5");
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->ToText(1 << 20), want->ToText(1 << 20));
+
+  // DECOMPRESS is durable too.
+  ASSERT_TRUE(reopened.Execute("ALTER TABLE c DECOMPRESS").ok());
+  db3->wal.reset();
+  sql::Engine plain_again;
+  auto db4 = OpenDatabase(dir_, &plain_again);
+  ASSERT_TRUE(db4.ok()) << db4.status().ToString();
+  auto t = plain_again.catalog()->Get("c");
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE((*t)->compression_enabled());
+  EXPECT_EQ((*t)->CompressedColumnCount(), 0u);
+}
+
 // ------------------------------------------------- statement atomicity --
 
 TEST(WalEngineTest, FailingMultiRowInsertLeavesNoTrace) {

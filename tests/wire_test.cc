@@ -18,10 +18,13 @@ using server::EncodeError;
 using server::EncodeFrame;
 using server::EncodeHello;
 using server::EncodeResult;
+using server::DecodeCaps;
+using server::EncodeCaps;
 using server::Frame;
 using server::FrameType;
 using server::HelloInfo;
 using server::kHeaderBytes;
+using server::kWireCapCompressedResults;
 using server::WireError;
 
 // ------------------------------------------------------------- framing --
@@ -29,7 +32,7 @@ using server::WireError;
 TEST(WireFrameTest, RoundTripEveryType) {
   for (FrameType type :
        {FrameType::kHello, FrameType::kQuery, FrameType::kResult,
-        FrameType::kError, FrameType::kClose}) {
+        FrameType::kError, FrameType::kClose, FrameType::kCaps}) {
     const std::string payload = "payload for type " +
                                 std::to_string(static_cast<int>(type));
     const std::string bytes = EncodeFrame(type, payload);
@@ -136,6 +139,38 @@ TEST(WireHelloTest, TruncatedPayloadIsError) {
   std::string payload = EncodeHello(hello);
   payload.resize(payload.size() - 3);
   EXPECT_FALSE(DecodeHello(payload).ok());
+}
+
+TEST(WireHelloTest, CapsRoundTripAndOldHelloTolerated) {
+  HelloInfo hello;
+  hello.session_id = 7;
+  hello.server_name = "mammothdb";
+  hello.caps = kWireCapCompressedResults;
+  const std::string payload = EncodeHello(hello);
+  auto decoded = DecodeHello(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->caps, kWireCapCompressedResults);
+
+  // A pre-caps server's Hello ends right after the name; the decoder
+  // must tolerate it and report zero capabilities.
+  const std::string old_format =
+      payload.substr(0, payload.size() - sizeof(uint32_t));
+  auto old_decoded = DecodeHello(old_format);
+  ASSERT_TRUE(old_decoded.ok()) << old_decoded.status().ToString();
+  EXPECT_EQ(old_decoded->session_id, 7u);
+  EXPECT_EQ(old_decoded->caps, 0u);
+}
+
+TEST(WireCapsTest, RoundTripAndGarbage) {
+  auto caps = DecodeCaps(EncodeCaps(kWireCapCompressedResults));
+  ASSERT_TRUE(caps.ok());
+  EXPECT_EQ(*caps, kWireCapCompressedResults);
+  auto none = DecodeCaps(EncodeCaps(0));
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, 0u);
+  EXPECT_FALSE(DecodeCaps("").ok());
+  EXPECT_FALSE(DecodeCaps("ab").ok());             // truncated u32
+  EXPECT_FALSE(DecodeCaps("abcdetc").ok());        // trailing junk
 }
 
 TEST(WireErrorTest, RoundTripPreservesTypedCode) {
@@ -323,6 +358,101 @@ TEST(WireResultTest, MisalignedColumnsRejectedAtEncode) {
   result.names = {"a", "b"};
   result.columns = {MakeBat<int32_t>({1, 2, 3}), MakeBat<int32_t>({1})};
   EXPECT_FALSE(EncodeResult(result).ok());
+}
+
+// ------------------------------------------------- compressed shipping --
+
+/// >= 1024 rows so the compressed probes engage.
+mal::QueryResult RunHeavyResult(size_t nrows) {
+  mal::QueryResult result;
+  result.names = {"runs32", "runs64", "uniq32"};
+  BatPtr r32 = Bat::New(PhysType::kInt32);
+  BatPtr r64 = Bat::New(PhysType::kInt64);
+  BatPtr u32 = Bat::New(PhysType::kInt32);
+  r32->Resize(nrows);
+  r64->Resize(nrows);
+  u32->Resize(nrows);
+  int32_t* a = r32->MutableTailData<int32_t>();
+  int64_t* b = r64->MutableTailData<int64_t>();
+  int32_t* c = u32->MutableTailData<int32_t>();
+  for (size_t i = 0; i < nrows; ++i) {
+    a[i] = static_cast<int32_t>(i / 100);           // RLE-friendly
+    b[i] = static_cast<int64_t>(i / 200) << 33;     // RLE-friendly int64
+    c[i] = static_cast<int32_t>(i * 2654435761u);   // incompressible
+  }
+  result.columns = {r32, r64, u32};
+  return result;
+}
+
+TEST(WireResultTest, CompressedResultsRoundTripAndSaveBytes) {
+  const mal::QueryResult result = RunHeavyResult(8192);
+  auto raw = EncodeResult(result);
+  ASSERT_TRUE(raw.ok());
+  uint64_t saved = 0;
+  auto compressed =
+      EncodeResult(result, kWireCapCompressedResults, &saved);
+  ASSERT_TRUE(compressed.ok());
+  // The run-heavy columns shipped compressed; the frame shrank by
+  // exactly the bytes the counter reports.
+  EXPECT_LT(compressed->size(), raw->size());
+  EXPECT_GT(saved, 0u);
+  EXPECT_EQ(raw->size() - compressed->size(), saved);
+
+  // Both images decode to the same values.
+  auto from_raw = DecodeResult(*raw);
+  auto from_comp = DecodeResult(*compressed);
+  ASSERT_TRUE(from_raw.ok());
+  ASSERT_TRUE(from_comp.ok()) << from_comp.status().ToString();
+  ExpectSameResult(*from_raw, *from_comp);
+  // And re-encoding a decoded compressed result raw is byte-identical
+  // to the original raw image (bit-exactness across the wire).
+  auto reencoded = EncodeResult(*from_comp);
+  ASSERT_TRUE(reencoded.ok());
+  EXPECT_EQ(*reencoded, *raw);
+}
+
+TEST(WireResultTest, NoCapsMeansRawEvenWhenCompressible) {
+  const mal::QueryResult result = RunHeavyResult(4096);
+  uint64_t saved = 0;
+  auto without = EncodeResult(result, 0, &saved);
+  auto plain = EncodeResult(result);
+  ASSERT_TRUE(without.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(*without, *plain);
+  EXPECT_EQ(saved, 0u);
+}
+
+TEST(WireResultTest, SmallResultsNeverCompressed) {
+  // Below the row threshold the probe is skipped: byte-identical frames
+  // with and without the capability, so tiny results pay zero overhead.
+  const mal::QueryResult result = RunHeavyResult(1023);
+  uint64_t saved = 0;
+  auto with = EncodeResult(result, kWireCapCompressedResults, &saved);
+  auto without = EncodeResult(result);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(*with, *without);
+  EXPECT_EQ(saved, 0u);
+}
+
+TEST(WireResultTest, HostileEncodingBytesRejected) {
+  // A double column never ships compressed; flipping its encoding byte
+  // to RLE (or garbage) must be a typed decode error, not a crash.
+  mal::QueryResult result;
+  result.names = {"d"};
+  BatPtr col = Bat::New(PhysType::kDouble);
+  for (int i = 0; i < 4; ++i) col->Append<double>(i * 0.5);
+  result.columns = {col};
+  auto payload = EncodeResult(result);
+  ASSERT_TRUE(payload.ok());
+  // Layout: u32 ncols, u64 nrows, u16 name_len, "d", u8 type, u8 enc.
+  const size_t enc_off = 4 + 8 + 2 + 1 + 1;
+  ASSERT_EQ((*payload)[enc_off], 0);  // kRaw
+  for (uint8_t hostile : {uint8_t{2}, uint8_t{3}, uint8_t{9}}) {
+    std::string patched = *payload;
+    patched[enc_off] = static_cast<char>(hostile);
+    EXPECT_FALSE(DecodeResult(patched).ok()) << int(hostile);
+  }
 }
 
 }  // namespace
