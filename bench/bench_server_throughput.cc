@@ -6,7 +6,14 @@
 //
 // MAMMOTH_BENCH_ROWS overrides the table size (default 20000).
 
+#include <arpa/inet.h>
 #include <benchmark/benchmark.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -363,6 +370,332 @@ BENCHMARK(BM_ServerDmlMix)
     ->Arg(1)
     ->Arg(4)
     ->Arg(16)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The C10K sweep (§ the epoll front-end): thousands of mostly-idle
+// connections stay open while a handful of active sessions run a
+// point-query mix. With the reactor an idle connection is an fd plus two
+// buffers, so qps/p50/p99 should hold roughly flat as the idle herd
+// grows; the thread-per-connection baseline (frontend=1) pays a parked
+// thread per connection. The herd lives in a forked child process
+// because this benchmark holds *both* ends of every socket and the
+// container caps RLIMIT_NOFILE at ~20K fds — one process per side keeps
+// 10K+ connections under the ceiling.
+
+std::string PointQuery(int i) {
+  return "SELECT value FROM metrics WHERE id = " +
+         std::to_string((i * 7919) % 20000);
+}
+
+/// Best-effort bump of the fd ceiling, then the largest idle-herd size
+/// the *parent* process (server side: one accepted fd per connection)
+/// can carry. The child carries the client side under its own limit.
+int ClampIdleConns(int requested) {
+  rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return requested;
+  const rlim_t want = static_cast<rlim_t>(requested) + 512;
+  if (rl.rlim_cur < want) {
+    rlimit raised = rl;
+    raised.rlim_cur = want;
+    raised.rlim_max = std::max(rl.rlim_max, want);
+    if (setrlimit(RLIMIT_NOFILE, &raised) == 0 ||
+        (raised.rlim_max = rl.rlim_max,
+         raised.rlim_cur = std::min(want, rl.rlim_max),
+         setrlimit(RLIMIT_NOFILE, &raised) == 0)) {
+      getrlimit(RLIMIT_NOFILE, &rl);
+    }
+  }
+  if (rl.rlim_cur >= want) return requested;
+  return static_cast<int>(rl.rlim_cur) - 512;
+}
+
+/// A forked process holding `count` open connections to `port`. The
+/// child connects, never reads, and releases the herd when the parent
+/// closes the control pipe.
+struct IdleHerd {
+  pid_t pid = -1;
+  int release_fd = -1;  ///< parent closes to tear the herd down
+  int opened = 0;       ///< connections actually established
+
+  static IdleHerd Spawn(uint16_t port, int count) {
+    IdleHerd herd;
+    int report[2], release[2];
+    if (pipe(report) != 0 || pipe(release) != 0) return herd;
+    herd.pid = fork();
+    if (herd.pid == 0) {
+      // Child: open the herd, report the count, then park until the
+      // parent hangs up.
+      ::close(report[0]);
+      ::close(release[1]);
+      std::vector<int> fds;
+      fds.reserve(count);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(port);
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      for (int i = 0; i < count; ++i) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) break;
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) != 0) {
+          ::close(fd);
+          break;
+        }
+        fds.push_back(fd);
+      }
+      int32_t n = static_cast<int32_t>(fds.size());
+      (void)!::write(report[1], &n, sizeof(n));
+      ::close(report[1]);
+      char sink;
+      (void)!::read(release[0], &sink, 1);  // blocks until parent closes
+      _exit(0);
+    }
+    // Parent.
+    ::close(report[1]);
+    ::close(release[0]);
+    herd.release_fd = release[1];
+    int32_t n = 0;
+    if (::read(report[0], &n, sizeof(n)) == sizeof(n)) herd.opened = n;
+    ::close(report[0]);
+    return herd;
+  }
+
+  void Release() {
+    if (release_fd >= 0) {
+      ::close(release_fd);
+      release_fd = -1;
+    }
+    if (pid > 0) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      pid = -1;
+    }
+  }
+};
+
+void BM_ServerC10K(benchmark::State& state) {
+  const int idle_requested = static_cast<int>(state.range(0));
+  const bool threads_frontend = state.range(1) != 0;
+  const int idle = std::max(0, ClampIdleConns(idle_requested));
+  constexpr int kActive = 8;
+  constexpr int kQueriesPerClient = 16;
+
+  server::ServerConfig config;
+  config.frontend = threads_frontend
+                        ? server::ServerConfig::Frontend::kThreads
+                        : server::ServerConfig::Frontend::kEpoll;
+  config.max_sessions = idle + kActive + 8;
+  config.admission.max_inflight = 8;
+  config.admission.queue_timeout_ms = 60000;
+  config.drain_force_millis = 2000;
+  server::Server server(config);
+  Populate(server.engine(), BenchRows());
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  IdleHerd herd;
+  if (idle > 0) {
+    herd = IdleHerd::Spawn(server.port(), idle);
+    if (herd.opened < idle / 2) {
+      herd.Release();
+      state.SkipWithError("idle herd failed to open");
+      return;
+    }
+    // Let the front-end finish accepting/handshaking the whole herd
+    // (bounded: the thread front-end may take a while to spawn it).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (server.stats().sessions_open < herd.opened &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  std::vector<server::Client> conns;
+  conns.reserve(kActive);
+  for (int i = 0; i < kActive; ++i) {
+    auto c = server::Client::Connect("127.0.0.1", server.port());
+    if (!c.ok()) {
+      herd.Release();
+      state.SkipWithError("connect failed");
+      return;
+    }
+    conns.push_back(std::move(*c));
+  }
+
+  std::vector<double> latencies_ms;
+  std::atomic<bool> failed{false};
+  int64_t total_queries = 0;
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_thread(kActive);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kActive; ++t) {
+      threads.emplace_back([&, t] {
+        per_thread[t].reserve(kQueriesPerClient);
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          const auto q0 = std::chrono::steady_clock::now();
+          if (!conns[t].Query(PointQuery(t * kQueriesPerClient + q)).ok()) {
+            failed.store(true);
+          }
+          per_thread[t].push_back(
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - q0)
+                  .count());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+    total_queries += static_cast<int64_t>(kActive) * kQueriesPerClient;
+    for (auto& v : per_thread) {
+      latencies_ms.insert(latencies_ms.end(), v.begin(), v.end());
+    }
+  }
+  herd.Release();
+  if (failed.load()) state.SkipWithError("query failed");
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  auto percentile = [&](double p) {
+    if (latencies_ms.empty()) return 0.0;
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(latencies_ms.size() - 1));
+    return latencies_ms[idx];
+  };
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(total_queries), benchmark::Counter::kIsRate);
+  state.counters["p50_ms"] = percentile(0.50);
+  state.counters["p99_ms"] = percentile(0.99);
+  state.counters["open_conns"] = herd.opened + kActive;
+  state.counters["threads_frontend"] = threads_frontend ? 1 : 0;
+}
+
+// The thread-per-connection baseline stops at 4000 idle connections:
+// past that, thread stacks and scheduler load swamp the box the reactor
+// sails through.
+BENCHMARK(BM_ServerC10K)
+    ->Args({0, 0})
+    ->Args({1000, 0})
+    ->Args({2000, 0})  // the CI smoke point
+    ->Args({4000, 0})
+    ->Args({10000, 0})
+    ->Args({0, 1})
+    ->Args({1000, 1})
+    ->Args({4000, 1})
+    ->Iterations(3)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Prepared-vs-raw on the same point-query mix: EXECUTE skips SQL
+// parsing and SQL→MAL compilation per query (the plan cache hits), so
+// the prepared flavour's qps win is exactly the front-end cost the
+// plan cache removes.
+
+void BM_ServerPreparedPointQueries(benchmark::State& state) {
+  const bool prepared = state.range(0) != 0;
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 64;
+
+  server::ServerConfig config;
+  config.max_sessions = kClients + 4;
+  config.admission.max_inflight = 8;
+  config.admission.queue_timeout_ms = 60000;
+  server::Server server(config);
+  Populate(server.engine(), BenchRows());
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  std::vector<server::Client> conns;
+  std::vector<server::PreparedHandle> handles(kClients);
+  conns.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    auto c = server::Client::Connect("127.0.0.1", server.port());
+    if (!c.ok()) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+    if (prepared) {
+      auto h = c->Prepare("SELECT value FROM metrics WHERE id = ?");
+      if (!h.ok()) {
+        state.SkipWithError("prepare failed");
+        return;
+      }
+      handles[i] = *h;
+    }
+    conns.push_back(std::move(*c));
+  }
+
+  std::vector<double> latencies_ms;
+  std::atomic<bool> failed{false};
+  int64_t total_queries = 0;
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_thread(kClients);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClients; ++t) {
+      threads.emplace_back([&, t] {
+        per_thread[t].reserve(kQueriesPerClient);
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          const int64_t id = ((t * kQueriesPerClient + q) * 7919) % 20000;
+          const auto q0 = std::chrono::steady_clock::now();
+          const bool ok =
+              prepared
+                  ? conns[t]
+                        .ExecutePrepared(handles[t], {Value::Int(id)})
+                        .ok()
+                  : conns[t]
+                        .Query("SELECT value FROM metrics WHERE id = " +
+                               std::to_string(id))
+                        .ok();
+          if (!ok) failed.store(true);
+          per_thread[t].push_back(
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - q0)
+                  .count());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+    total_queries += static_cast<int64_t>(kClients) * kQueriesPerClient;
+    for (auto& v : per_thread) {
+      latencies_ms.insert(latencies_ms.end(), v.begin(), v.end());
+    }
+  }
+  if (failed.load()) state.SkipWithError("query failed");
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  auto percentile = [&](double p) {
+    if (latencies_ms.empty()) return 0.0;
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(latencies_ms.size() - 1));
+    return latencies_ms[idx];
+  };
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(total_queries), benchmark::Counter::kIsRate);
+  state.counters["p50_ms"] = percentile(0.50);
+  state.counters["p99_ms"] = percentile(0.99);
+  state.counters["prepared"] = prepared ? 1 : 0;
+  const auto stats = server.stats();
+  state.counters["plan_cache_hits"] =
+      static_cast<double>(stats.prepared.hits);
+}
+
+BENCHMARK(BM_ServerPreparedPointQueries)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(10)
     ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -22,6 +22,9 @@ const char* CmpOpName(CmpOp op) {
 
 std::string Value::ToString() const {
   if (is_nil()) return "nil";
+  // Each placeholder stringifies uniquely per ordinal, so optimizer CSE
+  // keys built from ToString() never merge distinct parameters.
+  if (is_param()) return "?" + std::to_string(param_index());
   if (is_int()) return std::to_string(std::get<int64_t>(repr_));
   if (is_real()) return std::to_string(std::get<double>(repr_));
   return "\"" + std::get<std::string>(repr_) + "\"";

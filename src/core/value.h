@@ -11,10 +11,18 @@
 
 namespace mammoth {
 
+/// A `?` placeholder of a prepared statement: carries only its ordinal
+/// position. Placeholders exist solely between parsing and parameter
+/// substitution — no kernel ever sees one.
+struct ParamRef {
+  uint32_t index = 0;
+  bool operator==(const ParamRef&) const = default;
+};
+
 /// A single constant reaching the kernels from a front-end (a SQL literal, a
 /// MAL constant). Kernels immediately narrow it to the BAT's physical type,
 /// so Value deliberately keeps only three logical shapes: integer, real,
-/// string.
+/// string — plus the transient prepared-statement placeholder.
 class Value {
  public:
   Value() = default;
@@ -23,12 +31,19 @@ class Value {
   static Value Real(double v) { return Value(Repr(v)); }
   static Value Str(std::string v) { return Value(Repr(std::move(v))); }
   static Value Nil() { return Value(); }
+  static Value Param(uint32_t index) { return Value(Repr(ParamRef{index})); }
 
   bool is_nil() const { return std::holds_alternative<std::monostate>(repr_); }
   bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
   bool is_real() const { return std::holds_alternative<double>(repr_); }
   bool is_str() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_param() const { return std::holds_alternative<ParamRef>(repr_); }
   bool is_numeric() const { return is_int() || is_real(); }
+
+  uint32_t param_index() const {
+    MAMMOTH_DCHECK(is_param(), "Value::param_index on non-parameter");
+    return std::get<ParamRef>(repr_).index;
+  }
 
   int64_t AsInt() const {
     if (is_real()) return static_cast<int64_t>(std::get<double>(repr_));
@@ -63,7 +78,8 @@ class Value {
   bool operator==(const Value& other) const { return repr_ == other.repr_; }
 
  private:
-  using Repr = std::variant<std::monostate, int64_t, double, std::string>;
+  using Repr =
+      std::variant<std::monostate, int64_t, double, std::string, ParamRef>;
   explicit Value(Repr r) : repr_(std::move(r)) {}
   Repr repr_;
 };

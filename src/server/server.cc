@@ -8,6 +8,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -15,6 +16,7 @@
 
 #include "core/bat.h"
 #include "parallel/exec_context.h"
+#include "server/reactor.h"
 
 namespace mammoth::server {
 
@@ -106,7 +108,9 @@ Status Server::Start() {
                            std::to_string(config_.port) +
                            "): " + std::strerror(errno));
   }
-  if (::listen(listen_fd_, 64) != 0) {
+  // A deep backlog matters for the reactor: a C10K connect burst must
+  // not see ECONNREFUSED just because the loop is mid-tick.
+  if (::listen(listen_fd_, 1024) != 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return Status::IOError(std::string("listen(): ") + std::strerror(errno));
@@ -116,6 +120,25 @@ Status Server::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
 
+  if (config_.frontend == ServerConfig::Frontend::kEpoll) {
+    Reactor::Config rc;
+    rc.workers = config_.workers > 0
+                     ? config_.workers
+                     : std::max(2, config_.admission.max_inflight);
+    rc.max_pipeline = config_.max_pipeline;
+    rc.max_wbuf_bytes = config_.max_wbuf_bytes;
+    rc.max_sessions = config_.max_sessions;
+    rc.drain_force_millis = config_.drain_force_millis;
+    reactor_ = std::make_unique<Reactor>(this, rc);
+    if (Status st = reactor_->Start(listen_fd_); !st.ok()) {
+      reactor_.reset();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      started_.store(false);
+      return st;
+    }
+    return Status::OK();
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -123,11 +146,22 @@ Status Server::Start() {
 void Server::BeginDrain() {
   draining_.store(true);
   admission_.Shutdown();
+  if (reactor_ != nullptr) reactor_->BeginDrain();
 }
 
 void Server::Stop() {
   if (!started_.load() || stopped_.exchange(true)) return;
   BeginDrain();
+  if (reactor_ != nullptr) {
+    // The reactor bounds its own drain (drain_force_millis) against
+    // non-reading pipelined clients, then closes everything.
+    reactor_->Stop();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
   // Sessions notice draining_ within one poll tick, finish their
   // in-flight query (delivering its result), send a final Error frame
   // and exit. The accept loop keeps rejecting new connections with an
@@ -233,7 +267,8 @@ void Server::SessionLoop(int fd, uint64_t session_id) {
   HelloInfo hello;
   hello.session_id = session_id;
   hello.server_name = config_.name;
-  hello.caps = kWireCapCompressedResults;
+  hello.caps =
+      kWireCapCompressedResults | kWireCapPipeline | kWireCapPrepared;
   uint32_t session_caps = 0;
   if (SendFrame(fd, FrameType::kHello, EncodeHello(hello)).ok()) {
     std::string buffer;
@@ -259,12 +294,29 @@ void Server::SessionLoop(int fd, uint64_t session_id) {
           session_caps = *caps & hello.caps;
           continue;
         }
-        if (frame.type != FrameType::kQuery) {
-          SendError(fd, Status::InvalidArgument(
-                            "unexpected frame type from client"));
+        if (frame.type == FrameType::kPrepare) {
+          auto sp = SplitSeq(frame.payload);
+          if (!sp.ok()) {
+            SendError(fd, sp.status());
+            break;
+          }
+          if (!SendBytes(fd, HandlePrepareFrame(sp->seq,
+                                                std::string(sp->rest)))
+                   .ok()) {
+            break;
+          }
+          continue;
+        }
+        // kQuery / kQuerySeq / kExecute. This serial front-end runs each
+        // frame to completion before reading the next, so seq-tagged
+        // requests cannot overlap here (overlap is the reactor's job);
+        // the framing still works, keeping the protocol uniform.
+        auto job = DecodeJob(frame);
+        if (!job.ok()) {
+          SendError(fd, job.status());
           break;
         }
-        if (!HandleQuery(fd, frame.payload, session_caps).ok()) break;
+        if (!SendBytes(fd, RunJob(*job, session_caps)).ok()) break;
         continue;
       }
       if (draining_.load()) {
@@ -295,35 +347,93 @@ void Server::SessionLoop(int fd, uint64_t session_id) {
   --sessions_open_;
 }
 
-Status Server::HandleQuery(int fd, const std::string& sql, uint32_t caps) {
-  if (IsStatusCommand(sql)) {
-    MAMMOTH_ASSIGN_OR_RETURN(std::string payload,
-                             EncodeResult(StatusResult(stats())));
-    return SendFrame(fd, FrameType::kResult, payload);
+Result<Server::WireJob> Server::DecodeJob(const Frame& frame) {
+  WireJob job;
+  switch (frame.type) {
+    case FrameType::kQuery:
+      job.sql = frame.payload;
+      return job;
+    case FrameType::kQuerySeq: {
+      MAMMOTH_ASSIGN_OR_RETURN(SeqPayload sp, SplitSeq(frame.payload));
+      job.seq = sp.seq;
+      job.sql = std::string(sp.rest);
+      return job;
+    }
+    case FrameType::kExecute: {
+      MAMMOTH_ASSIGN_OR_RETURN(SeqPayload sp, SplitSeq(frame.payload));
+      MAMMOTH_ASSIGN_OR_RETURN(ExecuteRequest req, DecodeExecute(sp.rest));
+      job.seq = sp.seq;
+      job.is_execute = true;
+      job.stmt_id = req.stmt_id;
+      job.params = std::move(req.params);
+      return job;
+    }
+    default:
+      return Status::InvalidArgument("unexpected frame type from client");
+  }
+}
+
+std::string Server::RunJob(const WireJob& job, uint32_t caps) {
+  // seq 0 = old-protocol untagged response; otherwise the response
+  // carries the request's sequence number (out-of-order completion).
+  auto respond = [&](FrameType plain, FrameType tagged,
+                     std::string_view payload) {
+    if (job.seq == 0) return EncodeFrame(plain, payload);
+    return EncodeFrame(tagged, PrependSeq(job.seq, payload));
+  };
+  auto fail = [&](const Status& st) {
+    return respond(FrameType::kError, FrameType::kErrorSeq, EncodeError(st));
+  };
+  if (!job.is_execute && IsStatusCommand(job.sql)) {
+    // Introspection answers even under admission pressure.
+    auto payload = EncodeResult(StatusResult(stats()));
+    if (!payload.ok()) return fail(payload.status());
+    return respond(FrameType::kResult, FrameType::kResultSeq, *payload);
   }
   auto ticket = admission_.Admit();
   if (!ticket.ok()) {
     // Typed rejection (kTimedOut / kUnavailable); the session survives.
-    return SendError(fd, ticket.status());
+    return fail(ticket.status());
   }
-  auto result = engine_.Execute(sql, ticket->context());
+  auto result =
+      job.is_execute
+          ? engine_.ExecutePrepared(job.stmt_id, job.params,
+                                    ticket->context())
+          : engine_.Execute(job.sql, ticket->context());
   if (!result.ok()) {
     ++queries_failed_;
-    return SendError(fd, result.status());
+    return fail(result.status());
   }
   uint64_t saved = 0;
   auto payload = EncodeResult(*result, caps, &saved);
   if (!payload.ok()) {
     ++queries_failed_;
-    return SendError(fd, payload.status());
+    return fail(payload.status());
   }
   wire_result_bytes_saved_ += saved;
   ++queries_ok_;
-  return SendFrame(fd, FrameType::kResult, *payload);
+  return respond(FrameType::kResult, FrameType::kResultSeq, *payload);
+}
+
+std::string Server::HandlePrepareFrame(uint32_t seq, const std::string& text) {
+  // No admission: preparing is one parse, and clients prepare on the
+  // hot path right after connecting.
+  auto entry = engine_.Prepare(text);
+  if (!entry.ok()) {
+    return EncodeFrame(FrameType::kErrorSeq,
+                       PrependSeq(seq, EncodeError(entry.status())));
+  }
+  PreparedReply reply;
+  reply.stmt_id = (*entry)->id;
+  reply.nparams = (*entry)->nparams;
+  return EncodeFrame(FrameType::kPrepared, EncodePrepared(seq, reply));
 }
 
 Status Server::SendFrame(int fd, FrameType type, std::string_view payload) {
-  const std::string bytes = EncodeFrame(type, payload);
+  return SendBytes(fd, EncodeFrame(type, payload));
+}
+
+Status Server::SendBytes(int fd, std::string_view bytes) {
   size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
@@ -358,6 +468,11 @@ ServerStatsSnapshot Server::stats() const {
   s.shared_scans = shared_scans_.stats();
   s.compression = engine_.compression_stats();
   s.wire_result_bytes_saved = wire_result_bytes_saved_.load();
+  s.prepared = engine_.prepared_stats();
+  if (reactor_ != nullptr) {
+    s.epoll_sessions = static_cast<uint64_t>(reactor_->sessions_open());
+    s.pipelined_in_flight = reactor_->pipelined_in_flight();
+  }
   if (wal_ != nullptr) {
     s.durable = true;
     s.wal = wal_->stats();
@@ -404,6 +519,12 @@ mal::QueryResult Server::StatusResult(const ServerStatsSnapshot& s) {
   row("compressed_bytes", s.compression.compressed_bytes);
   row("compressed_logical_bytes", s.compression.logical_bytes);
   row("wire_result_bytes_saved", s.wire_result_bytes_saved);
+  row("epoll_sessions", s.epoll_sessions);
+  row("pipelined_in_flight", s.pipelined_in_flight);
+  row("prepared_cache_entries", s.prepared.entries);
+  row("prepared_cache_hits", s.prepared.hits);
+  row("prepared_cache_misses", s.prepared.misses);
+  row("prepared_cache_evictions", s.prepared.evictions);
   row("durable", s.durable ? 1 : 0);
   row("wal_txns", s.wal.txns_logged);
   row("wal_commits_synced", s.wal.commits_synced);

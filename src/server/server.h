@@ -20,13 +20,34 @@
 
 namespace mammoth::server {
 
+class Reactor;
+
 struct ServerConfig {
+  /// Front-end architecture. kEpoll (default) multiplexes every session
+  /// over one event-loop thread with non-blocking sockets and executes
+  /// requests on a bounded worker pool — connections are cheap (an fd
+  /// plus buffers), so tens of thousands can stay open. kThreads is the
+  /// legacy thread-per-connection front-end, kept as the benchmark
+  /// baseline and fallback.
+  enum class Frontend { kEpoll, kThreads };
+  Frontend frontend = Frontend::kEpoll;
   std::string host = "127.0.0.1";
   /// 0 binds an ephemeral port; read the actual one back via port().
   uint16_t port = 0;
-  /// Bound on concurrently connected sessions (each holds one thread);
-  /// connections past the bound are rejected with an Error frame.
+  /// Bound on concurrently connected sessions (a thread each in
+  /// kThreads mode, an fd + buffers in kEpoll mode); connections past
+  /// the bound are rejected with an Error frame.
   int max_sessions = 32;
+  /// Reactor worker threads executing requests (kEpoll only). 0 derives
+  /// max(2, admission.max_inflight) so admission, not the pool, is the
+  /// concurrency bottleneck.
+  int workers = 0;
+  /// Per-connection cap on pipelined requests in flight; a connection at
+  /// the cap stops being read until responses drain (kEpoll only).
+  int max_pipeline = 32;
+  /// Per-connection cap on buffered unread response bytes; a slow
+  /// consumer past it is disconnected (kEpoll only).
+  size_t max_wbuf_bytes = 64u << 20;
   /// Front-door query concurrency control (see admission.h).
   AdmissionConfig admission;
   /// Workers in the shared kernel TaskPool; 0 uses DefaultThreadCount().
@@ -70,6 +91,14 @@ struct ServerStatsSnapshot {
   /// Result bytes saved by compressed wire shipping (sessions that
   /// negotiated kWireCapCompressedResults).
   uint64_t wire_result_bytes_saved = 0;
+  /// Gauge: connections currently owned by the epoll reactor (0 in
+  /// thread-per-connection mode).
+  uint64_t epoll_sessions = 0;
+  /// Gauge: seq-tagged requests currently in flight across all reactor
+  /// connections.
+  uint64_t pipelined_in_flight = 0;
+  /// Prepared-statement cache counters of the embedded engine.
+  sql::PreparedStats prepared;
 };
 
 /// The MammothDB network front-end: a TCP server speaking the wire.h
@@ -129,6 +158,8 @@ class Server {
   static mal::QueryResult StatusResult(const ServerStatsSnapshot& s);
 
  private:
+  friend class Reactor;
+
   /// A live session: its thread plus the socket it owns. fd is reset to
   /// -1 (under sessions_mu_) before the session closes it, so Stop()'s
   /// forced-drain shutdown() can never hit a recycled descriptor.
@@ -137,17 +168,36 @@ class Server {
     int fd = -1;
   };
 
+  /// One executable request decoded from a client frame — produced by
+  /// both front-ends, run by RunJob() on a reactor worker or the session
+  /// thread. seq 0 means a plain (untagged) kQuery.
+  struct WireJob {
+    uint32_t seq = 0;
+    bool is_execute = false;  ///< kExecute (stmt_id+params) vs SQL text
+    std::string sql;
+    uint64_t stmt_id = 0;
+    std::vector<Value> params;
+  };
+
   void AcceptLoop();
   void SessionLoop(int fd, uint64_t session_id);
   /// Joins session threads that have announced completion, so a
   /// long-running server does not accumulate one zombie thread per
   /// connection ever served. Called from the accept loop and Stop().
   void ReapFinishedSessions();
-  /// Handles one Query frame's SQL; always answers with exactly one
-  /// Result or Error frame. `caps` is the session's negotiated
-  /// capability set (compressed result shipping).
-  Status HandleQuery(int fd, const std::string& sql, uint32_t caps);
+  /// Decodes a kQuery / kQuerySeq / kExecute frame into a job. Errors
+  /// are session-fatal protocol violations.
+  Result<WireJob> DecodeJob(const Frame& frame);
+  /// Executes one job — SERVER STATUS intercept, admission, engine —
+  /// and returns exactly one fully encoded response frame (kResult /
+  /// kError, or their seq-tagged twins when job.seq != 0).
+  std::string RunJob(const WireJob& job, uint32_t caps);
+  /// Handles a kPrepare frame (no admission: preparing is one parse) and
+  /// returns the encoded kPrepared or kErrorSeq response frame.
+  std::string HandlePrepareFrame(uint32_t seq, const std::string& text);
   Status SendFrame(int fd, FrameType type, std::string_view payload);
+  /// Writes one pre-encoded frame with a short-write loop.
+  Status SendBytes(int fd, std::string_view bytes);
   Status SendError(int fd, const Status& error);
 
   const ServerConfig config_;
@@ -160,6 +210,8 @@ class Server {
   sql::Engine engine_;
   std::unique_ptr<parallel::TaskPool> pool_;
   AdmissionController admission_;
+  /// The epoll front-end (null in kThreads mode).
+  std::unique_ptr<Reactor> reactor_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -113,7 +113,7 @@ Result<size_t> DecodeFrame(const char* data, size_t size, Frame* out) {
                                    std::to_string(kWireVersion));
   }
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
-      type > static_cast<uint8_t>(FrameType::kCaps)) {
+      type > static_cast<uint8_t>(FrameType::kExecute)) {
     return Status::InvalidArgument("wire: unknown frame type " +
                                    std::to_string(type));
   }
@@ -166,6 +166,134 @@ Result<uint32_t> DecodeCaps(std::string_view payload) {
   uint32_t caps = 0;
   if (!r.ReadInt(&caps) || !r.done()) return Truncated("caps");
   return caps;
+}
+
+// --- Sequence numbers --------------------------------------------------------
+
+std::string PrependSeq(uint32_t seq, std::string_view rest) {
+  std::string out;
+  out.reserve(sizeof(uint32_t) + rest.size());
+  AppendInt<uint32_t>(&out, seq);
+  out.append(rest);
+  return out;
+}
+
+Result<SeqPayload> SplitSeq(std::string_view payload) {
+  Reader r(payload);
+  SeqPayload sp;
+  if (!r.ReadInt(&sp.seq)) return Truncated("sequence number");
+  sp.rest = payload.substr(sizeof(uint32_t));
+  if (sp.seq == 0) {
+    // 0 is reserved so "no sequence number" is never a valid number;
+    // rejecting it here covers every seq-framed type at once.
+    return Status::InvalidArgument("wire: sequence number 0 is reserved");
+  }
+  return sp;
+}
+
+// --- Prepare / Execute -------------------------------------------------------
+
+std::string EncodePrepared(uint32_t seq, const PreparedReply& reply) {
+  std::string out;
+  AppendInt<uint32_t>(&out, seq);
+  AppendInt<uint64_t>(&out, reply.stmt_id);
+  AppendInt<uint32_t>(&out, reply.nparams);
+  return out;
+}
+
+Result<PreparedReply> DecodePrepared(std::string_view rest) {
+  Reader r(rest);
+  PreparedReply reply;
+  if (!r.ReadInt(&reply.stmt_id) || !r.ReadInt(&reply.nparams) ||
+      !r.done()) {
+    return Truncated("prepared reply");
+  }
+  return reply;
+}
+
+namespace {
+
+/// Typed-parameter kind tags of the kExecute body.
+enum class ParamKind : uint8_t { kNil = 0, kInt = 1, kReal = 2, kStr = 3 };
+
+}  // namespace
+
+std::string EncodeExecute(uint32_t seq, uint64_t stmt_id,
+                          const std::vector<Value>& params) {
+  std::string out;
+  AppendInt<uint32_t>(&out, seq);
+  AppendInt<uint64_t>(&out, stmt_id);
+  AppendInt<uint16_t>(&out, static_cast<uint16_t>(params.size()));
+  for (const Value& v : params) {
+    if (v.is_int()) {
+      AppendInt<uint8_t>(&out, static_cast<uint8_t>(ParamKind::kInt));
+      AppendInt<uint64_t>(&out, static_cast<uint64_t>(v.AsInt()));
+    } else if (v.is_real()) {
+      AppendInt<uint8_t>(&out, static_cast<uint8_t>(ParamKind::kReal));
+      uint64_t bits = 0;
+      const double d = v.AsReal();
+      std::memcpy(&bits, &d, sizeof(bits));
+      AppendInt<uint64_t>(&out, bits);
+    } else if (v.is_str()) {
+      AppendInt<uint8_t>(&out, static_cast<uint8_t>(ParamKind::kStr));
+      AppendInt<uint32_t>(&out, static_cast<uint32_t>(v.AsStr().size()));
+      out.append(v.AsStr());
+    } else {
+      // nil and unsubstituted placeholders both ship as nil; the engine
+      // rejects nils during substitution with a typed error.
+      AppendInt<uint8_t>(&out, static_cast<uint8_t>(ParamKind::kNil));
+    }
+  }
+  return out;
+}
+
+Result<ExecuteRequest> DecodeExecute(std::string_view rest) {
+  Reader r(rest);
+  ExecuteRequest req;
+  uint16_t nparams = 0;
+  if (!r.ReadInt(&req.stmt_id) || !r.ReadInt(&nparams)) {
+    return Truncated("execute request");
+  }
+  req.params.reserve(nparams);
+  for (uint16_t i = 0; i < nparams; ++i) {
+    uint8_t kind = 0;
+    if (!r.ReadInt(&kind)) return Truncated("execute parameter");
+    switch (static_cast<ParamKind>(kind)) {
+      case ParamKind::kNil:
+        req.params.push_back(Value::Nil());
+        break;
+      case ParamKind::kInt: {
+        uint64_t bits = 0;
+        if (!r.ReadInt(&bits)) return Truncated("execute parameter");
+        req.params.push_back(Value::Int(static_cast<int64_t>(bits)));
+        break;
+      }
+      case ParamKind::kReal: {
+        uint64_t bits = 0;
+        if (!r.ReadInt(&bits)) return Truncated("execute parameter");
+        double d = 0;
+        std::memcpy(&d, &bits, sizeof(d));
+        req.params.push_back(Value::Real(d));
+        break;
+      }
+      case ParamKind::kStr: {
+        uint32_t len = 0;
+        std::string_view bytes;
+        if (!r.ReadInt(&len) || !r.ReadBytes(len, &bytes)) {
+          return Truncated("execute parameter");
+        }
+        req.params.push_back(Value::Str(std::string(bytes)));
+        break;
+      }
+      default:
+        return Status::InvalidArgument("wire: unknown parameter kind " +
+                                       std::to_string(kind));
+    }
+  }
+  if (!r.done()) {
+    return Status::InvalidArgument("wire: trailing bytes after execute");
+  }
+  return req;
 }
 
 // --- Error -----------------------------------------------------------------

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
+#include "core/value.h"
 #include "mal/interpreter.h"
 
 namespace mammoth::server {
@@ -44,6 +46,18 @@ enum class FrameType : uint8_t {
   kError = 4,  ///< server -> client: status code + message
   kClose = 5,  ///< either side: end of session (empty payload)
   kCaps = 6,   ///< client -> server: capability bits (u32), after Hello
+  // --- pipelined / prepared extension (kWireCapPipeline/-Prepared) ---
+  // Every frame below starts its payload with a u32 sequence number the
+  // client picked; the matching response carries the same number, so a
+  // session may keep many queries in flight and match replies out of
+  // order. Sequence number 0 is reserved (hostile) and a number may not
+  // be reused while its request is still in flight.
+  kQuerySeq = 7,   ///< client -> server: u32 seq ++ SQL text
+  kResultSeq = 8,  ///< server -> client: u32 seq ++ Result payload
+  kErrorSeq = 9,   ///< server -> client: u32 seq ++ Error payload
+  kPrepare = 10,   ///< client -> server: u32 seq ++ statement text
+  kPrepared = 11,  ///< server -> client: u32 seq ++ u64 id ++ u32 nparams
+  kExecute = 12,   ///< client -> server: u32 seq ++ u64 id ++ params
 };
 
 /// Capability bits, negotiated per session: the server advertises its
@@ -52,6 +66,12 @@ enum class FrameType : uint8_t {
 /// frame runs with zero capabilities — old clients keep working
 /// unchanged.
 inline constexpr uint32_t kWireCapCompressedResults = 1u << 0;
+/// Sequence-numbered frames (kQuerySeq/kResultSeq/kErrorSeq): a session
+/// may pipeline queries; responses are tagged and complete out of order.
+inline constexpr uint32_t kWireCapPipeline = 1u << 1;
+/// kPrepare/kPrepared/kExecute frames backed by the engine's prepared
+/// plan cache.
+inline constexpr uint32_t kWireCapPrepared = 1u << 2;
 
 /// A decoded frame (payload still in wire encoding).
 struct Frame {
@@ -97,6 +117,40 @@ struct WireError {
   Status ToStatus() const { return Status(code, message); }
 };
 Result<WireError> DecodeError(std::string_view payload);
+
+/// --- Sequence numbers ------------------------------------------------------
+/// All FrameType values >= kQuerySeq prefix their payload with a u32
+/// sequence number; the rest of the payload keeps the shape of the
+/// corresponding plain frame (kQuerySeq rest = SQL text, kResultSeq rest
+/// = Result payload, kErrorSeq rest = Error payload).
+std::string PrependSeq(uint32_t seq, std::string_view rest);
+struct SeqPayload {
+  uint32_t seq = 0;
+  std::string_view rest;  ///< view into the input payload
+};
+Result<SeqPayload> SplitSeq(std::string_view payload);
+
+/// --- Prepare / Execute -----------------------------------------------------
+/// kPrepared response body (after the seq prefix): the server-assigned
+/// statement id and how many `?` parameters the statement takes.
+struct PreparedReply {
+  uint64_t stmt_id = 0;
+  uint32_t nparams = 0;
+};
+std::string EncodePrepared(uint32_t seq, const PreparedReply& reply);
+Result<PreparedReply> DecodePrepared(std::string_view rest);
+
+/// kExecute body (after the seq prefix): u64 stmt_id, u16 nparams, then
+/// each parameter as a typed value — u8 kind (0 nil, 1 int, 2 real,
+/// 3 string), int/real as fixed 8-byte little-endian, strings as
+/// u32 length + bytes.
+std::string EncodeExecute(uint32_t seq, uint64_t stmt_id,
+                          const std::vector<Value>& params);
+struct ExecuteRequest {
+  uint64_t stmt_id = 0;
+  std::vector<Value> params;
+};
+Result<ExecuteRequest> DecodeExecute(std::string_view rest);
 
 /// --- Result --------------------------------------------------------------
 /// Columnar result encoding:

@@ -7,6 +7,7 @@
 #include "core/project.h"
 #include "core/select.h"
 #include "core/sort.h"
+#include "sql/lexer.h"
 #include "sql/parser.h"
 #include "wal/record.h"
 #include "wal/wal.h"
@@ -26,6 +27,25 @@ bool IsCheckpointCommand(const std::string& statement) {
     }
   }
   return t == "CHECKPOINT";
+}
+
+/// Upper-cased first bare word of a statement, used to route the
+/// PREPARE / EXECUTE surface before the regular parser.
+std::string FirstWord(const std::string& statement) {
+  size_t i = 0;
+  while (i < statement.size() &&
+         std::isspace(static_cast<unsigned char>(statement[i]))) {
+    ++i;
+  }
+  std::string w;
+  while (i < statement.size() &&
+         (std::isalpha(static_cast<unsigned char>(statement[i])) ||
+          statement[i] == '_')) {
+    w.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(statement[i]))));
+    ++i;
+  }
+  return w;
 }
 
 mal::OpCode AggOpCode(AggFn fn) {
@@ -273,6 +293,16 @@ Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt,
   MAMMOTH_ASSIGN_OR_RETURN(mal::Program prog, Compile(stmt));
   mal::PipelineReport opt_report;
   if (optimize_) opt_report = mal::OptimizePipeline(&prog);
+  {
+    std::lock_guard<std::mutex> lock(intro_mu_);
+    last_opt_ = opt_report;
+  }
+  return RunCompiledSelect(std::move(prog), stmt, ctx);
+}
+
+Result<mal::QueryResult> Engine::RunCompiledSelect(
+    mal::Program prog, const SelectStmt& stmt,
+    const parallel::ExecContext& ctx) {
   std::string plan = prog.ToString();
   // Route base-table scans through the attached shared-scan scheduler
   // (if any) unless the caller's context already carries one.
@@ -284,7 +314,6 @@ Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt,
   mal::RunStats run_stats;
   {
     std::lock_guard<std::mutex> lock(intro_mu_);
-    last_opt_ = opt_report;
     last_plan_ = std::move(plan);
   }
   MAMMOTH_ASSIGN_OR_RETURN(mal::QueryResult result,
@@ -588,7 +617,17 @@ Result<mal::QueryResult> Engine::CommitDurable(
 Result<mal::QueryResult> Engine::Execute(const std::string& statement,
                                          const parallel::ExecContext& ctx) {
   if (IsCheckpointCommand(statement)) return RunCheckpoint();
+  // The prepared-statement surface is routed before the regular parser
+  // (like CHECKPOINT): its statement body must stay raw text.
+  const std::string head = FirstWord(statement);
+  if (head == "PREPARE") return RunPrepareSql(statement);
+  if (head == "EXECUTE") return RunExecuteSql(statement, ctx);
   MAMMOTH_ASSIGN_OR_RETURN(Statement stmt, Parse(statement));
+  return ExecuteParsed(std::move(stmt), ctx);
+}
+
+Result<mal::QueryResult> Engine::ExecuteParsed(
+    Statement stmt, const parallel::ExecContext& ctx) {
   // Reads share the lock; everything that mutates catalog or table
   // state is exclusive (concurrency rule in engine.h).
   if (auto* sel = std::get_if<SelectStmt>(&stmt)) {
@@ -596,6 +635,11 @@ Result<mal::QueryResult> Engine::Execute(const std::string& statement,
     return RunSelect(*sel, ctx);
   }
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  // Any mutation invalidates cached prepared plans wholesale (same
+  // discipline as the recycler below): stale plans recompile lazily at
+  // their next EXECUTE. Bumped up front so even a failed statement errs
+  // toward recompilation, never toward a stale plan.
+  catalog_version_.fetch_add(1, std::memory_order_relaxed);
   wal::TxnBuilder txn;
   if (auto* cre = std::get_if<CreateStmt>(&stmt)) {
     MAMMOTH_RETURN_IF_ERROR(RunCreate(*cre, &txn));
@@ -643,6 +687,149 @@ Result<mal::QueryResult> Engine::ExecuteScript(const std::string& script,
     if (!r.names.empty()) last = std::move(r);
   }
   return last;
+}
+
+Result<std::shared_ptr<PreparedStatement>> Engine::Prepare(
+    const std::string& statement) {
+  return prepared_.GetOrPrepare(statement);
+}
+
+Result<mal::QueryResult> Engine::ExecutePrepared(
+    uint64_t stmt_id, const std::vector<Value>& params,
+    const parallel::ExecContext& ctx) {
+  MAMMOTH_ASSIGN_OR_RETURN(std::shared_ptr<PreparedStatement> entry,
+                           prepared_.Lookup(stmt_id));
+  if (params.size() != entry->nparams) {
+    return Status::InvalidArgument(
+        "prepared: statement expects " + std::to_string(entry->nparams) +
+        " parameters, got " + std::to_string(params.size()));
+  }
+  if (auto* sel = std::get_if<SelectStmt>(&entry->ast)) {
+    std::shared_lock<std::shared_mutex> lock(rw_mu_);
+    const uint64_t version = catalog_version_.load(std::memory_order_relaxed);
+    mal::Program prog;
+    {
+      // (Re)compile under the entry's plan lock when absent or stale.
+      // DDL/DML bump catalog_version_ only under the exclusive lock, so
+      // the staleness check cannot race while we hold the shared lock.
+      std::lock_guard<std::mutex> plan_lock(entry->plan_mu);
+      if (!entry->has_plan || entry->plan_version != version) {
+        MAMMOTH_ASSIGN_OR_RETURN(mal::Program fresh, Compile(*sel));
+        if (optimize_) mal::OptimizePipeline(&fresh);
+        entry->plan = std::move(fresh);
+        entry->has_plan = true;
+        entry->plan_version = version;
+        prepared_.CountMiss();
+      } else {
+        prepared_.CountHit();
+      }
+      prog = entry->plan;  // copy: substitution must not touch the cache
+    }
+    MAMMOTH_RETURN_IF_ERROR(SubstituteProgram(&prog, params));
+    if (entry->nparams == 0) {
+      return RunCompiledSelect(std::move(prog), *sel, ctx);
+    }
+    // HAVING literals live in the AST, not the plan — bind a private copy.
+    Statement bound = entry->ast;
+    MAMMOTH_RETURN_IF_ERROR(SubstituteStatement(&bound, params));
+    return RunCompiledSelect(std::move(prog), std::get<SelectStmt>(bound),
+                             ctx);
+  }
+  // Prepared DML: bind a private AST copy and take the normal exclusive
+  // path. Only the parse is skipped — plans are cached for SELECTs only,
+  // since mutation cost is dominated by the delta machinery.
+  prepared_.CountHit();
+  Statement bound = entry->ast;
+  MAMMOTH_RETURN_IF_ERROR(SubstituteStatement(&bound, params));
+  return ExecuteParsed(std::move(bound), ctx);
+}
+
+Result<mal::QueryResult> Engine::RunPrepareSql(const std::string& statement) {
+  // Hand-scanned (not lexed) so the statement body keeps its raw text:
+  //   PREPARE <name> AS <statement>
+  size_t i = 0;
+  auto next_word = [&]() -> std::string {
+    while (i < statement.size() &&
+           std::isspace(static_cast<unsigned char>(statement[i]))) {
+      ++i;
+    }
+    std::string w;
+    while (i < statement.size() &&
+           (std::isalnum(static_cast<unsigned char>(statement[i])) ||
+            statement[i] == '_')) {
+      w.push_back(statement[i++]);
+    }
+    return w;
+  };
+  next_word();  // "PREPARE" (routing already matched it)
+  const std::string name = next_word();
+  if (name.empty()) {
+    return Status::InvalidArgument("PREPARE: expected a statement name");
+  }
+  std::string as = next_word();
+  for (char& c : as) c = static_cast<char>(std::toupper(c));
+  if (as != "AS") {
+    return Status::InvalidArgument("PREPARE: expected AS after the name");
+  }
+  while (i < statement.size() &&
+         std::isspace(static_cast<unsigned char>(statement[i]))) {
+    ++i;
+  }
+  const std::string body = statement.substr(i);
+  MAMMOTH_ASSIGN_OR_RETURN(std::shared_ptr<PreparedStatement> entry,
+                           Prepare(body));
+  prepared_.BindName(name, entry->id);
+  mal::QueryResult r;
+  BatPtr id_col = Bat::New(PhysType::kInt64);
+  id_col->Append<int64_t>(static_cast<int64_t>(entry->id));
+  BatPtr np_col = Bat::New(PhysType::kInt64);
+  np_col->Append<int64_t>(static_cast<int64_t>(entry->nparams));
+  r.names = {"stmt_id", "nparams"};
+  r.columns = {std::move(id_col), std::move(np_col)};
+  return r;
+}
+
+Result<mal::QueryResult> Engine::RunExecuteSql(
+    const std::string& statement, const parallel::ExecContext& ctx) {
+  // EXECUTE <name> [( lit [, lit]* )] [;]
+  MAMMOTH_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(statement));
+  if (toks.size() < 2 || toks[1].kind != TokKind::kIdent) {
+    return Status::InvalidArgument("EXECUTE: expected a statement name");
+  }
+  const std::string name = toks[1].text;
+  std::vector<Value> params;
+  size_t i = 2;  // toks ends with kEnd, so toks[i] below stays in range
+  if (toks[i].IsSymbol("(")) {
+    ++i;
+    if (!toks[i].IsSymbol(")")) {
+      while (true) {
+        const Token& t = toks[i];
+        if (t.kind == TokKind::kInt) {
+          params.push_back(Value::Int(t.int_val));
+        } else if (t.kind == TokKind::kReal) {
+          params.push_back(Value::Real(t.real_val));
+        } else if (t.kind == TokKind::kString) {
+          params.push_back(Value::Str(t.text));
+        } else {
+          return Status::InvalidArgument(
+              "EXECUTE: parameters must be literals");
+        }
+        ++i;
+        if (!toks[i].IsSymbol(",")) break;
+        ++i;
+      }
+    }
+    if (!toks[i].IsSymbol(")")) {
+      return Status::InvalidArgument("EXECUTE: expected ')'");
+    }
+    ++i;
+  }
+  if (toks[i].IsSymbol(";")) ++i;
+  if (toks[i].kind != TokKind::kEnd) {
+    return Status::InvalidArgument("EXECUTE: trailing input after ')'");
+  }
+  MAMMOTH_ASSIGN_OR_RETURN(uint64_t id, prepared_.ResolveName(name));
+  return ExecutePrepared(id, params, ctx);
 }
 
 Engine::CompressionStats Engine::compression_stats() const {

@@ -1,10 +1,12 @@
 #ifndef MAMMOTH_SQL_ENGINE_H_
 #define MAMMOTH_SQL_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "core/catalog.h"
@@ -14,6 +16,7 @@
 #include "parallel/exec_context.h"
 #include "recycle/recycler.h"
 #include "sql/ast.h"
+#include "sql/prepared.h"
 
 namespace mammoth::wal {
 class TxnBuilder;
@@ -67,6 +70,29 @@ class Engine {
       const std::string& script,
       const parallel::ExecContext& ctx = parallel::ExecContext::Default());
 
+  /// PREPARE: parses `statement` once (literal positions may be `?`
+  /// placeholders, ordinals left to right) and caches it keyed on the
+  /// normalized text — two sessions preparing the same text share one
+  /// entry. The wire-level kPrepare frame and the `PREPARE name AS ...`
+  /// SQL surface both land here. Safe under concurrent sessions.
+  Result<std::shared_ptr<PreparedStatement>> Prepare(
+      const std::string& statement);
+
+  /// EXECUTE: runs a prepared statement with `params` bound to its
+  /// placeholders. SELECTs reuse the cached compiled + optimized MAL
+  /// plan — skipping SQL parsing and SQL→MAL compilation — unless a
+  /// DDL/DML statement has bumped the catalog version since the plan was
+  /// built, in which case it is recompiled in place (counted as a cache
+  /// miss, mirroring the recycler's wholesale invalidation). DML
+  /// statements bind a private AST copy and take the normal exclusive
+  /// path.
+  Result<mal::QueryResult> ExecutePrepared(
+      uint64_t stmt_id, const std::vector<Value>& params,
+      const parallel::ExecContext& ctx = parallel::ExecContext::Default());
+
+  PreparedStats prepared_stats() const { return prepared_.stats(); }
+  void set_prepared_capacity(size_t n) { prepared_.set_capacity(n); }
+
   /// Compiles a parsed SELECT to MAL without running it (also used by
   /// tests and the quickstart example to print plans).
   Result<mal::Program> Compile(const SelectStmt& stmt) const;
@@ -116,8 +142,25 @@ class Engine {
   CompressionStats compression_stats() const;
 
  private:
+  /// Tail of Execute() after parsing: routes `stmt` under the proper lock
+  /// class (SELECT shared, mutations exclusive). Also the entry point of
+  /// prepared DML after parameter binding.
+  Result<mal::QueryResult> ExecuteParsed(Statement stmt,
+                                         const parallel::ExecContext& ctx);
   Result<mal::QueryResult> RunSelect(const SelectStmt& stmt,
                                      const parallel::ExecContext& ctx);
+  /// Runs an already compiled (and optimized) SELECT plan; the
+  /// post-processing — HAVING, ORDER BY, LIMIT, result snapshotting —
+  /// still comes from `stmt`. Caller holds the shared lock.
+  Result<mal::QueryResult> RunCompiledSelect(mal::Program prog,
+                                             const SelectStmt& stmt,
+                                             const parallel::ExecContext& ctx);
+  /// The PREPARE / EXECUTE SQL surface (intercepted before the parser):
+  ///   PREPARE <name> AS <statement>   -- body kept as raw text
+  ///   EXECUTE <name> [(lit, ...)]
+  Result<mal::QueryResult> RunPrepareSql(const std::string& statement);
+  Result<mal::QueryResult> RunExecuteSql(const std::string& statement,
+                                         const parallel::ExecContext& ctx);
   /// The mutating statements. Each applies its full effect or none of it
   /// (statement atomicity via Table::Mark/Rollback) and, on success,
   /// appends its logical ops to `txn` for the WAL.
@@ -138,6 +181,11 @@ class Engine {
   Result<mal::QueryResult> RunCheckpoint();
 
   std::shared_ptr<Catalog> catalog_;
+  PreparedCache prepared_;
+  /// Bumped under the exclusive lock by every mutating statement; a
+  /// prepared plan stamped with an older version recompiles lazily at
+  /// its next EXECUTE (the shared lock makes the check race-free).
+  std::atomic<uint64_t> catalog_version_{0};
   wal::Wal* wal_ = nullptr;
   recycle::Recycler* recycler_ = nullptr;
   scan::SharedScanScheduler* shared_scans_ = nullptr;

@@ -77,6 +77,7 @@ Result<std::vector<Token>> Lex(const std::string& input) {
         case '<':
         case '>':
         case '.':
+        case '?':  // prepared-statement parameter placeholder
           t.text = std::string(1, c);
           break;
         default:

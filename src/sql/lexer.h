@@ -14,7 +14,7 @@ enum class TokKind : uint8_t {
   kInt,      // 123
   kReal,     // 1.5
   kString,   // 'text'
-  kSymbol,   // ( ) , ; * = != <> < <= > >=
+  kSymbol,   // ( ) , ; * = != <> < <= > >= ? .
   kEnd,
 };
 

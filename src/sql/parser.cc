@@ -96,6 +96,12 @@ class Parser {
 
   Result<Value> ExpectLiteral() {
     const Token& t = Cur();
+    if (t.IsSymbol("?")) {
+      // Prepared-statement placeholder: ordinals assigned left to right.
+      Value v = Value::Param(nparams_++);
+      Advance();
+      return v;
+    }
     switch (t.kind) {
       case TokKind::kInt: {
         Value v = Value::Int(t.int_val);
@@ -116,6 +122,12 @@ class Parser {
         return Status::InvalidArgument("expected literal");
     }
   }
+
+ public:
+  /// Number of `?` placeholders consumed (valid after ParseStatement).
+  uint32_t nparams() const { return nparams_; }
+
+ private:
 
   Result<CmpOp> ExpectCmpOp() {
     static constexpr std::pair<const char*, CmpOp> kOps[] = {
@@ -381,14 +393,22 @@ class Parser {
 
   std::vector<Token> toks_;
   size_t pos_ = 0;
+  uint32_t nparams_ = 0;
 };
 
 }  // namespace
 
-Result<Statement> Parse(const std::string& sql) {
+Result<Statement> Parse(const std::string& sql, uint32_t* nparams) {
   MAMMOTH_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(sql));
   Parser parser(std::move(toks));
-  return parser.ParseStatement();
+  MAMMOTH_ASSIGN_OR_RETURN(Statement stmt, parser.ParseStatement());
+  if (nparams != nullptr) {
+    *nparams = parser.nparams();
+  } else if (parser.nparams() > 0) {
+    return Status::InvalidArgument(
+        "'?' parameters are only allowed in prepared statements");
+  }
+  return stmt;
 }
 
 }  // namespace mammoth::sql

@@ -23,7 +23,13 @@ namespace mammoth::sql {
 ///           (column = column terms are equi-join conditions)
 ///   TYPE := TINYINT|SMALLINT|INT|INTEGER|BIGINT|LONG|DOUBLE|REAL|FLOAT|
 ///           VARCHAR[(n)]|TEXT|STRING
-Result<Statement> Parse(const std::string& sql);
+///
+/// Every literal position also accepts `?`, a prepared-statement
+/// parameter placeholder (ordinals assigned left to right). When
+/// `nparams` is null, a statement containing placeholders is rejected —
+/// placeholders are only meaningful under PREPARE; callers preparing a
+/// statement pass a non-null `nparams` to receive the placeholder count.
+Result<Statement> Parse(const std::string& sql, uint32_t* nparams = nullptr);
 
 }  // namespace mammoth::sql
 

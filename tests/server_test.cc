@@ -1,7 +1,13 @@
 #include "server/server.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <chrono>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -566,6 +572,384 @@ TEST_F(ServerTest, SharedScanSessionsBitIdenticalAcrossPools) {
     server_->Stop();
     server_.reset();
   }
+}
+
+// -------------------------------------- pipelining / prepared / compat --
+
+/// A hand-rolled socket speaking raw frames: what a legacy (never sends
+/// Caps) or hostile client looks like on the wire.
+class RawConn {
+ public:
+  RawConn() = default;
+  RawConn(RawConn&& o) noexcept : fd_(o.fd_), buf_(std::move(o.buf_)) {
+    o.fd_ = -1;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  static RawConn Open(uint16_t port) {
+    RawConn c;
+    c.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(c.fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(c.fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    return c;
+  }
+
+  void Send(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent,
+                               bytes.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  Result<server::Frame> ReadFrame() {
+    while (true) {
+      server::Frame frame;
+      MAMMOTH_ASSIGN_OR_RETURN(
+          size_t consumed,
+          server::DecodeFrame(buf_.data(), buf_.size(), &frame));
+      if (consumed > 0) {
+        buf_.erase(0, consumed);
+        return frame;
+      }
+      char chunk[64 * 1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return Status::IOError("connection closed");
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// Drains the socket; true when the server closed it (orderly EOF).
+  bool ReadUntilEof() {
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+  }
+
+  /// Handshake half of Client::Connect, minus the Caps answer.
+  void ExpectHello() {
+    auto frame = ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_EQ(frame->type, server::FrameType::kHello);
+    auto hello = server::DecodeHello(frame->payload);
+    ASSERT_TRUE(hello.ok());
+    EXPECT_NE(hello->caps & server::kWireCapPipeline, 0u);
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+TEST_F(ServerTest, PipelinedQueriesCompleteOutOfOrder) {
+  StartServer();
+  const std::vector<std::string> expected = InProcessEncodings();
+  Client client = Connect();
+  ASSERT_NE(client.caps() & server::kWireCapPipeline, 0u);
+
+  // Fire every query without reading a byte, then await them newest
+  // first: responses land whenever their worker finishes and the client
+  // stashes the overtakers.
+  std::vector<uint32_t> seqs;
+  for (const std::string& q : Queries()) {
+    auto seq = client.QueryAsync(q);
+    ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+    seqs.push_back(*seq);
+  }
+  EXPECT_EQ(client.in_flight(), Queries().size());
+  for (size_t i = seqs.size(); i-- > 0;) {
+    auto remote = client.Await(seqs[i]);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    auto encoded = EncodeResult(*remote);
+    ASSERT_TRUE(encoded.ok());
+    EXPECT_EQ(*encoded, expected[i]) << Queries()[i];
+  }
+  EXPECT_EQ(client.in_flight(), 0u);
+
+  // Awaiting a sequence number this client never sent is a client-side
+  // protocol error, not a hang.
+  auto unknown = client.Await(12345);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+
+  // Errors come back tagged too, and the session survives them.
+  auto bad_seq = client.QueryAsync("SELECT nope FROM sensors");
+  ASSERT_TRUE(bad_seq.ok());
+  auto bad = client.Await(*bad_seq);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  auto good = client.Query("SELECT COUNT(*) FROM sensors");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good->columns[0]->ValueAt<int64_t>(0), kRows);
+}
+
+/// The pipelined flavour of SixteenConcurrentSessionsBitIdentical: every
+/// session keeps its whole query list in flight at once, across reactor
+/// worker pools of 1/2/4/8.
+TEST_F(ServerTest, SixteenPipelinedSessionsBitIdenticalAcrossPools) {
+  const std::vector<std::string> expected = InProcessEncodings();
+  for (int workers : {1, 2, 4, 8}) {
+    ServerConfig config;
+    config.workers = workers;
+    config.max_sessions = 20;
+    config.admission.max_inflight = 8;
+    StartServer(config);
+
+    constexpr int kClients = 16;
+    constexpr int kReps = 2;
+    std::atomic<int> mismatches{0}, failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClients; ++t) {
+      threads.emplace_back([&, t] {
+        auto client = Client::Connect("127.0.0.1", server_->port());
+        if (!client.ok()) {
+          ++failures;
+          return;
+        }
+        for (int rep = 0; rep < kReps; ++rep) {
+          std::vector<std::pair<uint32_t, size_t>> batch;
+          for (size_t q = 0; q < Queries().size(); ++q) {
+            const size_t idx = (q + t) % Queries().size();
+            auto seq = client->QueryAsync(Queries()[idx]);
+            if (!seq.ok()) {
+              ++failures;
+              continue;
+            }
+            batch.emplace_back(*seq, idx);
+          }
+          // Await in reverse submission order to force stashing.
+          for (size_t i = batch.size(); i-- > 0;) {
+            auto remote = client->Await(batch[i].first);
+            if (!remote.ok()) {
+              ++failures;
+              continue;
+            }
+            auto encoded = EncodeResult(*remote);
+            if (!encoded.ok() || *encoded != expected[batch[i].second]) {
+              ++mismatches;
+            }
+          }
+        }
+        client->Close();
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0) << "workers " << workers;
+    EXPECT_EQ(mismatches.load(), 0) << "workers " << workers;
+
+    Client probe = Connect();
+    auto counters = ServerStatus(&probe);
+    EXPECT_EQ(counters["queries_ok"],
+              kClients * kReps * static_cast<int64_t>(Queries().size()))
+        << "workers " << workers;
+    EXPECT_EQ(counters["pipelined_in_flight"], 0) << "workers " << workers;
+    probe.Close();
+    server_->Stop();
+    server_.reset();
+  }
+}
+
+TEST_F(ServerTest, HostileSequenceZeroIsSessionFatal) {
+  StartServer();
+  RawConn conn = RawConn::Open(server_->port());
+  conn.ExpectHello();
+  conn.Send(server::EncodeFrame(server::FrameType::kCaps,
+                                server::EncodeCaps(server::kWireCapPipeline)));
+  // Sequence number 0 is reserved: the server answers with one untagged
+  // Error frame and drops the session.
+  conn.Send(server::EncodeFrame(server::FrameType::kQuerySeq,
+                                server::PrependSeq(0, "SELECT 1")));
+  auto frame = conn.ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_EQ(frame->type, server::FrameType::kError);
+  auto err = server::DecodeError(frame->payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->code, StatusCode::kInvalidArgument);
+  EXPECT_TRUE(conn.ReadUntilEof());
+}
+
+TEST_F(ServerTest, DuplicateInFlightSequenceIsSessionFatal) {
+  StartServer();
+  RawConn conn = RawConn::Open(server_->port());
+  conn.ExpectHello();
+  conn.Send(server::EncodeFrame(server::FrameType::kCaps,
+                                server::EncodeCaps(server::kWireCapPipeline)));
+  // Both frames arrive in one segment, so the second is decoded while
+  // the first is still in flight — an unambiguous duplicate.
+  const std::string q = server::EncodeFrame(
+      server::FrameType::kQuerySeq,
+      server::PrependSeq(7, "SELECT COUNT(*) FROM sensors"));
+  conn.Send(q + q);
+  // The first query's tagged response may or may not arrive first; the
+  // session must end with an untagged duplicate-seq error and a close.
+  bool saw_duplicate_error = false;
+  while (true) {
+    auto frame = conn.ReadFrame();
+    if (!frame.ok()) break;  // server closed the socket
+    if (frame->type == server::FrameType::kError) {
+      auto err = server::DecodeError(frame->payload);
+      ASSERT_TRUE(err.ok());
+      EXPECT_NE(err->message.find("duplicate"), std::string::npos)
+          << err->message;
+      saw_duplicate_error = true;
+    }
+  }
+  EXPECT_TRUE(saw_duplicate_error);
+}
+
+/// A client that never sends a Caps frame gets the original protocol:
+/// untagged frames, strictly ordered responses, raw result encodings —
+/// bit-identical to the pre-pipelining wire image.
+TEST_F(ServerTest, OldClientWithoutCapsKeepsWorking) {
+  StartServer();
+  const std::vector<std::string> expected = InProcessEncodings();
+  RawConn conn = RawConn::Open(server_->port());
+  conn.ExpectHello();
+  // Two back-to-back plain queries in one segment: the reactor must run
+  // them serially and answer in order, like the old front-end did.
+  conn.Send(server::EncodeFrame(server::FrameType::kQuery, Queries()[0]) +
+            server::EncodeFrame(server::FrameType::kQuery, Queries()[1]));
+  for (size_t q = 0; q < 2; ++q) {
+    auto frame = conn.ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_EQ(frame->type, server::FrameType::kResult) << q;
+    EXPECT_EQ(frame->payload, expected[q]) << Queries()[q];
+  }
+  conn.Send(server::EncodeFrame(server::FrameType::kClose, ""));
+  EXPECT_TRUE(conn.ReadUntilEof());
+}
+
+TEST_F(ServerTest, PreparedOverWireMatchesAndInvalidates) {
+  StartServer();
+  const std::vector<std::string> expected = InProcessEncodings();
+  Client client = Connect();
+  ASSERT_NE(client.caps() & server::kWireCapPrepared, 0u);
+
+  auto handle = client.Prepare(
+      "SELECT id, temp FROM sensors WHERE temp >= ? AND temp <= ?");
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_EQ(handle->nparams, 2u);
+  for (int rep = 0; rep < 2; ++rep) {
+    auto remote = client.ExecutePrepared(
+        *handle, {Value::Int(100), Value::Int(200)});
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    auto encoded = EncodeResult(*remote);
+    ASSERT_TRUE(encoded.ok());
+    EXPECT_EQ(*encoded, expected[0]) << "rep " << rep;
+  }
+  auto counters = ServerStatus(&client);
+  EXPECT_EQ(counters["prepared_cache_entries"], 1);
+  EXPECT_GE(counters["prepared_cache_hits"], 1);   // second execution
+  EXPECT_GE(counters["prepared_cache_misses"], 1); // prepare + compile
+  const int64_t misses_before = counters["prepared_cache_misses"];
+
+  // DML invalidates the cached plan; the next execution recompiles and
+  // sees the new row, staying bit-identical to an unprepared query.
+  ASSERT_TRUE(client.Query("INSERT INTO sensors VALUES (9999, 150, 'lab')")
+                  .ok());
+  auto direct = client.Query(Queries()[0]);
+  ASSERT_TRUE(direct.ok());
+  auto prepared = client.ExecutePrepared(
+      *handle, {Value::Int(100), Value::Int(200)});
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto a = EncodeResult(*direct);
+  auto b = EncodeResult(*prepared);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  counters = ServerStatus(&client);
+  EXPECT_GT(counters["prepared_cache_misses"], misses_before);
+
+  // Executing an unknown statement id is a typed error; session survives.
+  auto unknown = client.ExecutePrepared(
+      server::PreparedHandle{0xDEAD, 0}, {});
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(client.Query("SELECT COUNT(*) FROM sensors").ok());
+}
+
+TEST_F(ServerTest, StatusReportsReactorAndPreparedRows) {
+  StartServer();
+  Client client = Connect();
+  auto counters = ServerStatus(&client);
+  for (const char* key :
+       {"epoll_sessions", "pipelined_in_flight", "prepared_cache_entries",
+        "prepared_cache_hits", "prepared_cache_misses",
+        "prepared_cache_evictions"}) {
+    ASSERT_EQ(counters.count(key), 1u) << key;
+  }
+  // The probing session itself is reactor-owned; nothing is pipelined
+  // or prepared yet.
+  EXPECT_EQ(counters["epoll_sessions"], 1);
+  EXPECT_EQ(counters["pipelined_in_flight"], 0);
+  EXPECT_EQ(counters["prepared_cache_entries"], 0);
+  EXPECT_EQ(counters["prepared_cache_evictions"], 0);
+}
+
+/// The drain satellite on the epoll path: a pipelined client that fills
+/// its pipeline and then never reads must not block Stop() beyond the
+/// configured force deadline.
+TEST_F(ServerTest, NonReadingPipelinedClientDoesNotBlockStop) {
+  ServerConfig config;
+  config.drain_force_millis = 300;
+  StartServer(config);
+  Client client = Connect();
+  // Large results (full table scans) so the responses cannot all fit in
+  // the kernel socket buffers of a non-reading client.
+  for (int i = 0; i < 16; ++i) {
+    auto seq = client.QueryAsync("SELECT id, temp, room FROM sensors");
+    ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  server_->Stop();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 5000) << "Stop() must be bounded";
+  EXPECT_EQ(server_->stats().sessions_open, 0);
+  EXPECT_EQ(server_->stats().epoll_sessions, 0u);
+}
+
+/// The legacy thread-per-connection front-end stays available (it is the
+/// benchmark baseline) and speaks the full protocol, pipelining and
+/// prepared statements included — just without overlap.
+TEST_F(ServerTest, ThreadsFrontendStillServes) {
+  ServerConfig config;
+  config.frontend = ServerConfig::Frontend::kThreads;
+  StartServer(config);
+  const std::vector<std::string> expected = InProcessEncodings();
+  Client client = Connect();
+  auto remote = client.Query(Queries()[0]);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  auto encoded = EncodeResult(*remote);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(*encoded, expected[0]);
+
+  auto seq = client.QueryAsync(Queries()[1]);
+  ASSERT_TRUE(seq.ok());
+  auto async = client.Await(*seq);
+  ASSERT_TRUE(async.ok()) << async.status().ToString();
+  auto handle = client.Prepare("SELECT COUNT(*) FROM sensors");
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  auto prepared = client.ExecutePrepared(*handle, {});
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->columns[0]->ValueAt<int64_t>(0), kRows);
+
+  auto counters = ServerStatus(&client);
+  EXPECT_EQ(counters["epoll_sessions"], 0);
 }
 
 }  // namespace

@@ -435,6 +435,100 @@ TEST(WireResultTest, SmallResultsNeverCompressed) {
   EXPECT_EQ(saved, 0u);
 }
 
+// ------------------------------------------- seq / prepare / execute --
+
+TEST(WireSeqTest, PrependSplitRoundTrip) {
+  const std::string tagged = server::PrependSeq(0xDEADBEEF, "SELECT 1");
+  auto sp = server::SplitSeq(tagged);
+  ASSERT_TRUE(sp.ok()) << sp.status().ToString();
+  EXPECT_EQ(sp->seq, 0xDEADBEEFu);
+  EXPECT_EQ(sp->rest, "SELECT 1");
+  // Empty rest is fine — kExecute-style bodies may legally be longer,
+  // but a bare sequence number is a complete payload.
+  const std::string bare_payload = server::PrependSeq(7, "");
+  auto bare = server::SplitSeq(bare_payload);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->seq, 7u);
+  EXPECT_TRUE(bare->rest.empty());
+}
+
+TEST(WireSeqTest, SeqZeroAndTruncationRejected) {
+  // 0 is the reserved "not a pipelined request" value; a frame carrying
+  // it is hostile and must be rejected centrally.
+  EXPECT_FALSE(server::SplitSeq(server::PrependSeq(0, "x")).ok());
+  // Fewer than 4 bytes cannot hold the prefix.
+  EXPECT_FALSE(server::SplitSeq("").ok());
+  EXPECT_FALSE(server::SplitSeq("abc").ok());
+}
+
+TEST(WirePreparedTest, RoundTrip) {
+  server::PreparedReply reply;
+  reply.stmt_id = uint64_t{1} << 40;
+  reply.nparams = 3;
+  // EncodePrepared emits the seq-prefixed payload: peel the prefix the
+  // way a client would, then decode the body. (SplitSeq views into the
+  // payload, so keep it alive.)
+  const std::string payload = server::EncodePrepared(9, reply);
+  auto sp = server::SplitSeq(payload);
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp->seq, 9u);
+  auto decoded = server::DecodePrepared(sp->rest);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->stmt_id, reply.stmt_id);
+  EXPECT_EQ(decoded->nparams, 3u);
+}
+
+TEST(WirePreparedTest, TruncatedAndTrailingJunkRejected) {
+  const std::string payload = server::EncodePrepared(1, {42, 1});
+  auto sp = server::SplitSeq(payload);
+  ASSERT_TRUE(sp.ok());
+  const std::string body(sp->rest);
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_FALSE(server::DecodePrepared(body.substr(0, cut)).ok())
+        << "cut " << cut;
+  }
+  EXPECT_FALSE(server::DecodePrepared(body + "x").ok());
+}
+
+TEST(WireExecuteTest, RoundTripAllParamKinds) {
+  const std::vector<Value> params = {
+      Value::Int(-5), Value::Real(2.5), Value::Str("o'hare"),
+      Value::Str(""), Value::Int(std::numeric_limits<int64_t>::min())};
+  const std::string payload =
+      server::EncodeExecute(31, uint64_t{7} << 33, params);
+  auto sp = server::SplitSeq(payload);
+  ASSERT_TRUE(sp.ok());
+  EXPECT_EQ(sp->seq, 31u);
+  auto req = server::DecodeExecute(sp->rest);
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->stmt_id, uint64_t{7} << 33);
+  ASSERT_EQ(req->params.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(req->params[i], params[i]) << "param " << i;
+  }
+}
+
+TEST(WireExecuteTest, HostileExecuteBodiesRejected) {
+  const std::string payload =
+      server::EncodeExecute(1, 99, {Value::Int(1), Value::Str("abc")});
+  auto sp = server::SplitSeq(payload);
+  ASSERT_TRUE(sp.ok());
+  const std::string body(sp->rest);
+  // Every strict prefix is a typed truncation error, never a crash.
+  for (size_t cut = 0; cut < body.size(); ++cut) {
+    auto r = server::DecodeExecute(body.substr(0, cut));
+    ASSERT_FALSE(r.ok()) << "cut " << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << cut;
+  }
+  // Trailing junk after a well-formed request.
+  EXPECT_FALSE(server::DecodeExecute(body + "z").ok());
+  // Unknown parameter-kind byte (first param's kind lives right after
+  // u64 stmt_id + u16 nparams).
+  std::string patched = body;
+  patched[8 + 2] = 9;
+  EXPECT_FALSE(server::DecodeExecute(patched).ok());
+}
+
 TEST(WireResultTest, HostileEncodingBytesRejected) {
   // A double column never ships compressed; flipping its encoding byte
   // to RLE (or garbage) must be a typed decode error, not a crash.
