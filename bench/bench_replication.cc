@@ -1,0 +1,333 @@
+// Replication benchmarks, all in-process over loopback: (1) write-storm
+// commit throughput on a durable primary as the attached replica count
+// sweeps 0/1/2 — with semi-sync on, the delta is the price of waiting
+// for a replica to replay before acking; (2) read qps served by a
+// caught-up replica (the reason read replicas exist); (3) catch-up
+// bandwidth: how fast a fresh replica drains a pre-accumulated WAL
+// backlog, in MB/s of log stream. BENCH_replication.json carries all
+// three.
+//
+// MAMMOTH_BENCH_ROWS scales the catch-up backlog (default 20000 rows).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "sql/engine.h"
+
+namespace {
+
+using namespace mammoth;
+
+size_t BenchRows() {
+  const char* env = std::getenv("MAMMOTH_BENCH_ROWS");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 20000;
+}
+
+struct Cluster {
+  std::string dir;
+  std::unique_ptr<server::Server> primary;
+  std::vector<std::unique_ptr<server::Server>> replicas;
+
+  ~Cluster() {
+    for (auto it = replicas.rbegin(); it != replicas.rend(); ++it) {
+      (*it)->Stop();
+    }
+    if (primary != nullptr) primary->Stop();
+    std::filesystem::remove_all(dir);
+  }
+
+  bool Start(const std::string& name, int nreplicas) {
+    dir = "bench_repl_" + name;
+    std::filesystem::remove_all(dir);
+    server::ServerConfig config;
+    config.port = 0;
+    config.max_sessions = 64;
+    config.admission.max_inflight = 8;
+    config.admission.queue_timeout_ms = 60000;
+    config.db_dir = dir + "/primary";
+    config.db.wal.checkpoint_log_bytes = 0;  // measure shipping, not GC
+    primary = std::make_unique<server::Server>(config);
+    if (!primary->Start().ok()) return false;
+    for (int i = 0; i < nreplicas; ++i) {
+      if (!AddReplica()) return false;
+    }
+    return true;
+  }
+
+  bool AddReplica() {
+    server::ServerConfig config;
+    config.port = 0;
+    config.max_sessions = 64;
+    config.admission.max_inflight = 8;
+    config.admission.queue_timeout_ms = 60000;
+    config.replicate_from =
+        "127.0.0.1:" + std::to_string(primary->port());
+    replicas.push_back(std::make_unique<server::Server>(config));
+    return replicas.back()->Start().ok();
+  }
+
+  /// Blocks until every replica has replayed the primary's durable LSN
+  /// and the acks landed (lag reads zero).
+  bool DrainLag(int timeout_ms = 60000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (const auto& replica : replicas) {
+      while (replica->stats().repl_replayed_lsn !=
+                 primary->stats().wal.durable_lsn ||
+             primary->stats().repl_lag_bytes != 0) {
+        if (std::chrono::steady_clock::now() > deadline) return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return true;
+  }
+};
+
+void BM_ReplWriteStorm(benchmark::State& state) {
+  const int nreplicas = static_cast<int>(state.range(0));
+  constexpr int kWriters = 4;
+  constexpr int kTxnsPerWriter = 32;
+
+  Cluster cluster;
+  if (!cluster.Start("storm_" + std::to_string(nreplicas), nreplicas)) {
+    state.SkipWithError("cluster failed to start");
+    return;
+  }
+  {
+    auto admin =
+        server::Client::Connect("127.0.0.1", cluster.primary->port());
+    if (!admin.ok() ||
+        !admin->Query("CREATE TABLE t (id BIGINT, v BIGINT)").ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+  }
+
+  std::vector<server::Client> conns;
+  conns.reserve(kWriters);
+  for (int i = 0; i < kWriters; ++i) {
+    auto c = server::Client::Connect("127.0.0.1", cluster.primary->port());
+    if (!c.ok()) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+    conns.push_back(std::move(*c));
+  }
+
+  std::atomic<bool> failed{false};
+  std::atomic<int64_t> next_id{0};
+  int64_t total_txns = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kWriters; ++t) {
+      threads.emplace_back([&, t] {
+        for (int q = 0; q < kTxnsPerWriter; ++q) {
+          const int64_t id = next_id.fetch_add(1);
+          if (!conns[t]
+                   .Query("INSERT INTO t VALUES (" + std::to_string(id) +
+                          ", " + std::to_string(id * 131) + ")")
+                   .ok()) {
+            failed.store(true);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+    total_txns += static_cast<int64_t>(kWriters) * kTxnsPerWriter;
+  }
+  if (failed.load() || !cluster.DrainLag()) {
+    state.SkipWithError("storm failed or lag never drained");
+    return;
+  }
+
+  state.counters["tps"] = benchmark::Counter(
+      static_cast<double>(total_txns), benchmark::Counter::kIsRate);
+  state.counters["replicas"] = nreplicas;
+  state.counters["lag_bytes"] =
+      static_cast<double>(cluster.primary->stats().repl_lag_bytes);
+}
+
+BENCHMARK(BM_ReplWriteStorm)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Iterations(3)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReplReplicaReadQps(benchmark::State& state) {
+  const int readers = static_cast<int>(state.range(0));
+  constexpr int kQueriesPerReader = 16;
+
+  Cluster cluster;
+  if (!cluster.Start("reads", 1)) {
+    state.SkipWithError("cluster failed to start");
+    return;
+  }
+  {
+    auto admin =
+        server::Client::Connect("127.0.0.1", cluster.primary->port());
+    if (!admin.ok() ||
+        !admin->Query("CREATE TABLE metrics (id INT, value INT)").ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    constexpr size_t kBatch = 1000;
+    const size_t rows = BenchRows();
+    for (size_t base = 0; base < rows; base += kBatch) {
+      std::string insert = "INSERT INTO metrics VALUES ";
+      const size_t end = std::min(base + kBatch, rows);
+      for (size_t i = base; i < end; ++i) {
+        if (i > base) insert += ", ";
+        insert += "(" + std::to_string(i) + ", " +
+                  std::to_string((i * 131) % 10000) + ")";
+      }
+      if (!admin->Query(insert).ok()) {
+        state.SkipWithError("populate failed");
+        return;
+      }
+    }
+  }
+  if (!cluster.DrainLag()) {
+    state.SkipWithError("lag never drained");
+    return;
+  }
+
+  std::vector<server::Client> conns;
+  conns.reserve(readers);
+  for (int i = 0; i < readers; ++i) {
+    auto c = server::Client::Connect("127.0.0.1",
+                                     cluster.replicas[0]->port());
+    if (!c.ok()) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+    conns.push_back(std::move(*c));
+  }
+
+  const std::vector<std::string> mix = {
+      "SELECT COUNT(*) FROM metrics WHERE value >= 2500 AND value <= 7500",
+      "SELECT SUM(value) FROM metrics",
+      "SELECT id FROM metrics WHERE value < 200 ORDER BY id LIMIT 50",
+  };
+  std::atomic<bool> failed{false};
+  int64_t total_queries = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < readers; ++t) {
+      threads.emplace_back([&, t] {
+        for (int q = 0; q < kQueriesPerReader; ++q) {
+          if (!conns[t].Query(mix[(t + q) % mix.size()]).ok()) {
+            failed.store(true);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+    total_queries += static_cast<int64_t>(readers) * kQueriesPerReader;
+  }
+  if (failed.load()) state.SkipWithError("query failed");
+
+  state.counters["replica_qps"] = benchmark::Counter(
+      static_cast<double>(total_queries), benchmark::Counter::kIsRate);
+  state.counters["readers"] = readers;
+}
+
+BENCHMARK(BM_ReplReplicaReadQps)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(3)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Catch-up bandwidth: the primary accumulates a WAL backlog first; the
+/// timed region is a fresh replica joining and draining it to zero lag.
+/// mb_per_s is log-stream bytes over wall time.
+void BM_ReplCatchUp(benchmark::State& state) {
+  Cluster cluster;
+  if (!cluster.Start("catchup", 0)) {
+    state.SkipWithError("cluster failed to start");
+    return;
+  }
+  {
+    auto admin =
+        server::Client::Connect("127.0.0.1", cluster.primary->port());
+    if (!admin.ok() ||
+        !admin->Query("CREATE TABLE t (id BIGINT, v BIGINT)").ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    constexpr size_t kBatch = 500;
+    const size_t rows = BenchRows();
+    for (size_t base = 0; base < rows; base += kBatch) {
+      std::string insert = "INSERT INTO t VALUES ";
+      const size_t end = std::min(base + kBatch, rows);
+      for (size_t i = base; i < end; ++i) {
+        if (i > base) insert += ", ";
+        insert += "(" + std::to_string(i) + ", " +
+                  std::to_string(i * 7919) + ")";
+      }
+      if (!admin->Query(insert).ok()) {
+        state.SkipWithError("backlog failed");
+        return;
+      }
+    }
+  }
+  const uint64_t backlog = cluster.primary->stats().wal.durable_lsn;
+
+  double total_seconds = 0;
+  uint64_t total_bytes = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    if (!cluster.AddReplica() || !cluster.DrainLag()) {
+      state.SkipWithError("catch-up failed");
+      return;
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    state.SetIterationTime(seconds);
+    total_seconds += seconds;
+    total_bytes += backlog;
+    // A fresh subscriber next iteration: drop the caught-up one.
+    cluster.replicas.back()->Stop();
+    cluster.replicas.pop_back();
+  }
+
+  state.counters["backlog_mb"] =
+      static_cast<double>(backlog) / (1024.0 * 1024.0);
+  state.counters["mb_per_s"] =
+      total_seconds == 0
+          ? 0.0
+          : (static_cast<double>(total_bytes) / (1024.0 * 1024.0)) /
+                total_seconds;
+}
+
+BENCHMARK(BM_ReplCatchUp)
+    ->Iterations(3)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

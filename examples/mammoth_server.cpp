@@ -22,6 +22,13 @@
 //   --checkpoint-bytes <n>  log bytes between automatic checkpoints
 //                           (0 = only explicit CHECKPOINT; default 64 MiB)
 //   --no-group-commit   one fsync per commit (benchmark baseline)
+//   --replicate-from <host:port>  start as a read replica of that
+//                       primary: engine is read-only (SELECTs only),
+//                       fed from the primary's WAL stream; PROMOTE
+//                       turns it into a writable primary (with
+//                       --db-dir: a durable one, at the replayed LSN)
+//   --no-semi-sync      primary acks commits without waiting for a
+//                       replica to replay them (async replication)
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight queries drain,
 // new connections and queries are rejected with a typed Error frame,
@@ -97,6 +104,10 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atoll(need("--checkpoint-bytes")));
     } else if (arg == "--no-group-commit") {
       config.db.wal.group_commit = false;
+    } else if (arg == "--replicate-from") {
+      config.replicate_from = need("--replicate-from");
+    } else if (arg == "--no-semi-sync") {
+      config.repl_semi_sync = false;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -104,7 +115,14 @@ int main(int argc, char** argv) {
   }
 
   server::Server server(config);
-  if (!config.db_dir.empty()) {
+  if (!config.replicate_from.empty()) {
+    // Replica role: the catalog comes from the primary's WAL stream, so
+    // neither recovery nor the init script runs here. With --db-dir the
+    // directory stays untouched until PROMOTE re-anchors a fresh WAL in
+    // it at the replayed LSN.
+    init_file.clear();
+  }
+  if (!config.db_dir.empty() && config.replicate_from.empty()) {
     // Open (and recover) durable storage before the init script so the
     // script's DML is logged too — but only seed a *fresh* directory:
     // recovered data must not be re-seeded on every restart.
@@ -151,6 +169,10 @@ int main(int argc, char** argv) {
               "(sessions<=%d, inflight<=%d)\n",
               config.host.c_str(), server.port(), config.max_sessions,
               config.admission.max_inflight);
+  if (!config.replicate_from.empty()) {
+    std::printf("read replica of %s (read-only until PROMOTE)\n",
+                config.replicate_from.c_str());
+  }
   std::fflush(stdout);
 
   struct sigaction sa {};

@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Corruption";
     case StatusCode::kUnsupported:
       return "Unsupported";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
   }
   return "Unknown";
 }

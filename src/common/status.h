@@ -23,6 +23,7 @@ enum class StatusCode : uint8_t {
   kTimedOut,     ///< deadline elapsed (e.g. admission queue timeout)
   kCorruption,   ///< on-disk state fails validation (e.g. mid-log CRC)
   kUnsupported,  ///< valid request the implementation declines (e.g. codec/type)
+  kReadOnly,     ///< mutation refused: this node is a read replica
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -74,6 +75,9 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ReadOnly(std::string msg) {
+    return Status(StatusCode::kReadOnly, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

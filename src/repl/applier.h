@@ -1,0 +1,117 @@
+#ifndef MAMMOTH_REPL_APPLIER_H_
+#define MAMMOTH_REPL_APPLIER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "wal/record.h"
+
+namespace mammoth::sql {
+class Engine;
+}
+
+namespace mammoth::repl {
+
+/// Replica-side replication: connects to a primary (`--replicate-from
+/// host:port`), subscribes at its replayed LSN, and continuously replays
+/// the shipped WAL stream into a live engine.
+///
+/// Replay goes through the same machinery as crash recovery: shipped
+/// bytes are CRC-verified and decoded by wal::DecodeFrames, buffered per
+/// transaction, and applied atomically under the engine's exclusive lock
+/// when the commit record arrives (wal::ApplyRecord per op) — SELECTs
+/// running on the replica see whole transactions or nothing. After each
+/// applied batch the replica acks its replayed LSN, which feeds the
+/// primary's semi-sync commit barrier.
+///
+/// When the primary has already GC'd the subscriber's LSN, the session
+/// starts with a snapshot bootstrap: checkpoint files stream into
+/// `scratch_dir`, are loaded with LoadCatalog, and atomically replace
+/// the engine's catalog; streaming resumes at the checkpoint LSN.
+///
+/// The connection self-heals: any session error closes the socket and
+/// reconnects (resubscribing at the replayed LSN) until Stop().
+class ReplicaApplier {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    std::string scratch_dir;  ///< snapshot inbox (empty: under /tmp)
+    int reconnect_ms = 200;
+    int recv_timeout_ms = 500;
+  };
+
+  ReplicaApplier(sql::Engine* engine, Options options);
+  ~ReplicaApplier();
+  ReplicaApplier(const ReplicaApplier&) = delete;
+  ReplicaApplier& operator=(const ReplicaApplier&) = delete;
+
+  /// Marks the engine read-only and starts the apply thread.
+  Status Start();
+
+  /// Stops replication at a transaction boundary (transactions apply
+  /// atomically, so joining the thread is one). Idempotent. The engine
+  /// stays read-only: promotion is the server's business.
+  void Stop();
+
+  /// The LSN through which every committed transaction has been applied.
+  uint64_t replayed_lsn() const {
+    return replayed_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// First unused transaction id (for the WAL a promoted primary opens).
+  uint64_t next_txn_id() const {
+    return next_txn_id_.load(std::memory_order_acquire);
+  }
+
+  struct Stats {
+    bool connected = false;
+    uint64_t replayed_lsn = 0;
+    uint64_t source_durable_lsn = 0;  ///< primary's durable LSN, last seen
+    uint64_t txns_applied = 0;
+    uint64_t snapshots_received = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void Run();
+  Status Session();
+  Status HandleRecords(std::string_view payload);
+  Status ReceiveSnapshot(std::string_view begin_payload);
+  Result<int> ConnectAndSubscribe();
+  /// Reads one frame from fd_ (blocking, bounded by recv_timeout_ms per
+  /// recv so Stop() is noticed); payload lands in *payload.
+  Status ReadFrame(uint8_t* type, std::string* payload);
+
+  sql::Engine* const engine_;
+  const Options options_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<uint64_t> replayed_lsn_{0};
+  std::atomic<uint64_t> source_durable_lsn_{0};
+  std::atomic<uint64_t> txns_applied_{0};
+  std::atomic<uint64_t> snapshots_received_{0};
+  std::atomic<uint64_t> next_txn_id_{1};
+
+  // Session state (touched only by the apply thread; fd_ is atomic so
+  // Stop() can shutdown() a blocked recv from outside).
+  std::atomic<int> fd_{-1};
+  std::string inbuf_;
+  uint64_t recv_cursor_ = 0;          ///< next byte LSN expected
+  bool in_txn_ = false;
+  uint64_t txn_id_ = 0;
+  std::vector<wal::Record> txn_ops_;  ///< ops of the open transaction
+
+  mutable std::mutex stop_mu_;  ///< serializes Start/Stop
+};
+
+}  // namespace mammoth::repl
+
+#endif  // MAMMOTH_REPL_APPLIER_H_

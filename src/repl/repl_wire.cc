@@ -1,0 +1,219 @@
+#include "repl/repl_wire.h"
+
+#include <cstring>
+
+namespace mammoth::repl {
+
+namespace {
+
+// Little-endian primitives, same wire discipline as server/wire.cc.
+
+template <typename T>
+void AppendInt(std::string* out, T v) {
+  char buf[sizeof(T)];
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<char>((static_cast<uint64_t>(v) >> (8 * i)) & 0xff);
+  }
+  out->append(buf, sizeof(T));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool ReadInt(T* v) {
+    if (data_.size() - pos_ < sizeof(T)) return false;
+    uint64_t acc = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      acc |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *v = static_cast<T>(acc);
+    return true;
+  }
+
+  bool ReadBytes(size_t n, std::string_view* out) {
+    if (data_.size() - pos_ < n) return false;
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("repl: truncated ") + what);
+}
+
+}  // namespace
+
+// --- Subscribe ---------------------------------------------------------------
+
+std::string EncodeSubscribe(const SubscribeRequest& req) {
+  std::string out;
+  AppendInt<uint64_t>(&out, req.start_lsn);
+  return out;
+}
+
+Result<SubscribeRequest> DecodeSubscribe(std::string_view payload) {
+  Reader r(payload);
+  SubscribeRequest req;
+  if (!r.ReadInt(&req.start_lsn) || !r.done()) return Truncated("subscribe");
+  return req;
+}
+
+// --- Records -----------------------------------------------------------------
+
+std::string EncodeRecords(uint64_t base_lsn, uint64_t source_durable_lsn,
+                          std::string_view bytes) {
+  std::string out;
+  out.reserve(2 * sizeof(uint64_t) + bytes.size());
+  AppendInt<uint64_t>(&out, base_lsn);
+  AppendInt<uint64_t>(&out, source_durable_lsn);
+  out.append(bytes);
+  return out;
+}
+
+Result<RecordsBatch> DecodeRecords(std::string_view payload) {
+  Reader r(payload);
+  RecordsBatch batch;
+  if (!r.ReadInt(&batch.base_lsn) || !r.ReadInt(&batch.source_durable_lsn)) {
+    return Truncated("records batch");
+  }
+  batch.bytes = payload.substr(2 * sizeof(uint64_t));
+  return batch;
+}
+
+// --- Ack ---------------------------------------------------------------------
+
+std::string EncodeAck(const Ack& ack) {
+  std::string out;
+  AppendInt<uint64_t>(&out, ack.replayed_lsn);
+  return out;
+}
+
+Result<Ack> DecodeAck(std::string_view payload) {
+  Reader r(payload);
+  Ack ack;
+  if (!r.ReadInt(&ack.replayed_lsn) || !r.done()) return Truncated("ack");
+  return ack;
+}
+
+// --- Snapshot transfer -------------------------------------------------------
+
+std::string EncodeSnapBegin(const SnapBegin& begin) {
+  std::string out;
+  AppendInt<uint64_t>(&out, begin.snapshot_lsn);
+  AppendInt<uint64_t>(&out, begin.next_txn_id);
+  AppendInt<uint32_t>(&out, begin.nfiles);
+  return out;
+}
+
+Result<SnapBegin> DecodeSnapBegin(std::string_view payload) {
+  Reader r(payload);
+  SnapBegin begin;
+  if (!r.ReadInt(&begin.snapshot_lsn) || !r.ReadInt(&begin.next_txn_id) ||
+      !r.ReadInt(&begin.nfiles) || !r.done()) {
+    return Truncated("snapshot begin");
+  }
+  return begin;
+}
+
+std::string EncodeFileChunk(std::string_view name, uint64_t offset,
+                            bool last, std::string_view data) {
+  std::string out;
+  out.reserve(sizeof(uint16_t) + name.size() + sizeof(uint64_t) + 1 +
+              data.size());
+  if (name.size() > UINT16_MAX) name = name.substr(0, UINT16_MAX);
+  AppendInt<uint16_t>(&out, static_cast<uint16_t>(name.size()));
+  out.append(name);
+  AppendInt<uint64_t>(&out, offset);
+  AppendInt<uint8_t>(&out, last ? 1 : 0);
+  out.append(data);
+  return out;
+}
+
+Result<FileChunk> DecodeFileChunk(std::string_view payload) {
+  Reader r(payload);
+  FileChunk chunk;
+  uint16_t name_len = 0;
+  if (!r.ReadInt(&name_len) || !r.ReadBytes(name_len, &chunk.name) ||
+      !r.ReadInt(&chunk.offset) || !r.ReadInt(&chunk.last)) {
+    return Truncated("file chunk");
+  }
+  const size_t header = sizeof(uint16_t) + name_len + sizeof(uint64_t) + 1;
+  chunk.data = payload.substr(header);
+  // Reject path traversal: snapshot file names are relative paths the
+  // replica writes to its own disk.
+  if (chunk.name.empty() || chunk.name.front() == '/' ||
+      chunk.name.find("..") != std::string_view::npos) {
+    return Status::InvalidArgument("repl: hostile snapshot file name");
+  }
+  return chunk;
+}
+
+std::string EncodeSnapEnd(const SnapEnd& end) {
+  std::string out;
+  AppendInt<uint64_t>(&out, end.snapshot_lsn);
+  return out;
+}
+
+Result<SnapEnd> DecodeSnapEnd(std::string_view payload) {
+  Reader r(payload);
+  SnapEnd end;
+  if (!r.ReadInt(&end.snapshot_lsn) || !r.done()) {
+    return Truncated("snapshot end");
+  }
+  return end;
+}
+
+// --- WAL stream helpers -----------------------------------------------------
+
+Result<size_t> FrameAlignedPrefix(std::string_view bytes, size_t max_bytes) {
+  size_t pos = 0;
+  while (bytes.size() - pos >= wal::kFrameHeaderBytes) {
+    uint32_t len = 0, crc = 0;
+    std::memcpy(&len, bytes.data() + pos, sizeof(len));
+    std::memcpy(&crc, bytes.data() + pos + sizeof(len), sizeof(crc));
+    if (len > wal::kMaxRecordBytes) {
+      return Status::Corruption("repl: implausible WAL frame length " +
+                                std::to_string(len));
+    }
+    const size_t frame = wal::kFrameHeaderBytes + len;
+    if (pos + frame > max_bytes) break;       // would exceed the budget
+    if (pos + frame > bytes.size()) break;    // incomplete final frame
+    const uint32_t actual =
+        wal::Crc32(bytes.data() + pos + wal::kFrameHeaderBytes, len);
+    if (actual != crc) {
+      return Status::Corruption("repl: WAL frame CRC mismatch at offset " +
+                                std::to_string(pos));
+    }
+    pos += frame;
+  }
+  return pos;
+}
+
+Result<std::vector<wal::Record>> DecodeShippedBatch(std::string_view bytes,
+                                                    uint64_t base_lsn) {
+  std::vector<wal::Record> records;
+  size_t valid = 0;
+  MAMMOTH_ASSIGN_OR_RETURN(
+      wal::TailState tail,
+      wal::DecodeFrames(bytes, base_lsn, /*last_segment=*/false, &records,
+                        &valid));
+  if (tail != wal::TailState::kClean || valid != bytes.size()) {
+    // DecodeFrames only reports torn tails for last_segment; belt and
+    // braces in case that contract ever loosens.
+    return Status::Corruption("repl: shipped batch does not end on a frame");
+  }
+  return records;
+}
+
+}  // namespace mammoth::repl

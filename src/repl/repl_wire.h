@@ -1,0 +1,109 @@
+#ifndef MAMMOTH_REPL_REPL_WIRE_H_
+#define MAMMOTH_REPL_REPL_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "wal/record.h"
+
+namespace mammoth::repl {
+
+/// Payload codecs for the replication frame types (FrameType::kReplSubscribe
+/// .. kReplSnapEnd in server/wire.h). The framing layer (12-byte headers)
+/// is shared with the query protocol; what ships inside kReplRecords is the
+/// WAL's own byte stream — the same `[u32 len][u32 crc][payload]` frames
+/// the primary fsynced, so the replica re-verifies every CRC and replays
+/// through the identical wal::DecodeFrames / ApplyRecord machinery that
+/// crash recovery uses.
+///
+/// All decoders are hostile-input safe: truncated or trailing bytes are
+/// typed kInvalidArgument errors, a CRC-mutated record stream is typed
+/// kCorruption — never a crash.
+
+/// --- kReplSubscribe: replica -> primary -----------------------------------
+/// Sent once after caps negotiation; the socket then belongs to the
+/// primary's ReplicationSource. `start_lsn` is the replica's replayed LSN
+/// (0 for a fresh replica): shipping resumes there, or a snapshot
+/// bootstrap runs first when the primary has already GC'd that far back.
+struct SubscribeRequest {
+  uint64_t start_lsn = 0;
+};
+std::string EncodeSubscribe(const SubscribeRequest& req);
+Result<SubscribeRequest> DecodeSubscribe(std::string_view payload);
+
+/// --- kReplRecords: primary -> replica --------------------------------------
+/// One frame-aligned byte range of the committed WAL stream.
+///   base_lsn            logical offset of bytes[0]
+///   source_durable_lsn  primary's durable LSN when the batch was cut
+///                       (lets the replica report its own lag)
+///   bytes               whole `[len][crc][payload]` WAL frames; may be
+///                       empty (heartbeat carrying a fresher durable LSN)
+struct RecordsBatch {
+  uint64_t base_lsn = 0;
+  uint64_t source_durable_lsn = 0;
+  std::string_view bytes;  ///< view into the decoded payload
+};
+std::string EncodeRecords(uint64_t base_lsn, uint64_t source_durable_lsn,
+                          std::string_view bytes);
+Result<RecordsBatch> DecodeRecords(std::string_view payload);
+
+/// --- kReplAck: replica -> primary ------------------------------------------
+/// The replica's replayed LSN: every transaction whose commit record ends
+/// at or below it has been applied. Drives the primary's acked-LSN
+/// tracking and the semi-sync commit barrier.
+struct Ack {
+  uint64_t replayed_lsn = 0;
+};
+std::string EncodeAck(const Ack& ack);
+Result<Ack> DecodeAck(std::string_view payload);
+
+/// --- kReplSnapBegin / kReplFile / kReplSnapEnd ------------------------------
+/// Snapshot bootstrap: when a subscriber's start LSN predates the oldest
+/// retained segment, the primary ships its checkpoint snapshot directory
+/// file-by-file; the replica loads it as its catalog and streaming
+/// resumes at `snapshot_lsn`.
+struct SnapBegin {
+  uint64_t snapshot_lsn = 0;
+  uint64_t next_txn_id = 1;  ///< CURRENT's txn counter (survives promote)
+  uint32_t nfiles = 0;
+};
+std::string EncodeSnapBegin(const SnapBegin& begin);
+Result<SnapBegin> DecodeSnapBegin(std::string_view payload);
+
+struct FileChunk {
+  std::string_view name;  ///< path relative to the snapshot directory
+  uint64_t offset = 0;    ///< byte offset of `data` within the file
+  uint8_t last = 0;       ///< 1 on the file's final chunk
+  std::string_view data;
+};
+std::string EncodeFileChunk(std::string_view name, uint64_t offset,
+                            bool last, std::string_view data);
+Result<FileChunk> DecodeFileChunk(std::string_view payload);
+
+struct SnapEnd {
+  uint64_t snapshot_lsn = 0;
+};
+std::string EncodeSnapEnd(const SnapEnd& end);
+Result<SnapEnd> DecodeSnapEnd(std::string_view payload);
+
+/// --- WAL stream helpers -----------------------------------------------------
+
+/// Returns the length of the longest prefix of `bytes` that is whole,
+/// CRC-valid WAL frames and does not exceed `max_bytes`. A frame that is
+/// completely present but fails its CRC (or claims an absurd length) is
+/// typed kCorruption; an incomplete final frame simply ends the prefix.
+Result<size_t> FrameAlignedPrefix(std::string_view bytes, size_t max_bytes);
+
+/// Decodes a shipped batch into records. Unlike recovery of a tail
+/// segment, a shipped batch has no licence to be torn: the primary only
+/// ships whole frames, so truncation or a failed CRC anywhere is typed
+/// kCorruption (satellite hostility contract: typed errors, no crashes).
+Result<std::vector<wal::Record>> DecodeShippedBatch(std::string_view bytes,
+                                                    uint64_t base_lsn);
+
+}  // namespace mammoth::repl
+
+#endif  // MAMMOTH_REPL_REPL_WIRE_H_

@@ -1,0 +1,109 @@
+#ifndef MAMMOTH_REPL_SOURCE_H_
+#define MAMMOTH_REPL_SOURCE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "wal/wal.h"
+
+namespace mammoth::repl {
+
+/// Primary-side replication: tails the committed WAL and streams it to
+/// subscribed replicas.
+///
+/// A replica connects to the normal query port, negotiates
+/// kWireCapReplication, and sends kReplSubscribe; the front-end (epoll
+/// reactor or thread-per-connection loop) then *detaches* the socket and
+/// hands it to Adopt(). From there one sender thread per replica owns the
+/// fd:
+///
+///   - it reads bytes [cursor, durable_lsn) straight from the segment
+///     files (safe concurrently with the writer: the durable LSN only
+///     covers fsynced bytes and always lands on frame boundaries),
+///     re-verifies every CRC, and ships frame-aligned batches;
+///   - when the subscriber's cursor predates the oldest retained segment
+///     (a checkpoint GC'd it), it first ships the checkpoint snapshot
+///     directory (kReplSnapBegin/kReplFile/kReplSnapEnd) and resumes
+///     streaming from the checkpoint LSN;
+///   - it drains kReplAck frames between sends, maintaining the
+///     replica's acked LSN.
+///
+/// ### Semi-synchronous commits
+///
+/// With `semi_sync` (default on), WaitForAck(lsn) blocks a committing
+/// session until at least one connected replica has *replayed* through
+/// `lsn` — so killing the primary and promoting the most-caught-up
+/// replica loses no acknowledged write. Zero connected replicas waive
+/// the barrier (a dead replica must not wedge the primary), as does
+/// `semi_sync_timeout_ms` against a subscriber that reads but never acks.
+class ReplicationSource {
+ public:
+  struct Options {
+    std::string dir;                    ///< the database directory
+    size_t max_batch_bytes = 1u << 20;  ///< records per kReplRecords frame
+    size_t snapshot_chunk_bytes = 4u << 20;
+    bool semi_sync = true;
+    int semi_sync_timeout_ms = 10000;
+    int send_timeout_ms = 5000;  ///< SO_SNDTIMEO: drop wedged subscribers
+  };
+
+  ReplicationSource(wal::Wal* wal, Options options);
+  ~ReplicationSource();
+  ReplicationSource(const ReplicationSource&) = delete;
+  ReplicationSource& operator=(const ReplicationSource&) = delete;
+
+  /// Takes ownership of a subscribed socket (already past Hello/Caps/
+  /// kReplSubscribe) and starts its sender thread. `leftover` is any
+  /// bytes the front-end had read past the subscribe frame.
+  Status Adopt(int fd, uint64_t start_lsn, std::string leftover);
+
+  /// Semi-sync barrier (see class comment). Returns OK when the commit
+  /// may be acknowledged. No-op when semi_sync is off.
+  Status WaitForAck(uint64_t lsn);
+
+  /// Disconnects every replica and joins the sender threads.
+  void Stop();
+
+  struct Stats {
+    uint64_t replicas = 0;
+    uint64_t min_shipped_lsn = 0;  ///< laggiest send cursor (0: none)
+    uint64_t min_acked_lsn = 0;    ///< laggiest replayed ack (0: none)
+    uint64_t lag_bytes = 0;        ///< durable_lsn - min acked (0: none)
+    uint64_t snapshots_served = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Replica {
+    int fd = -1;
+    uint64_t cursor = 0;  ///< next LSN to ship
+    uint64_t acked = 0;   ///< replica's replayed LSN
+    std::string inbuf;    ///< partial incoming ack frames
+    bool gone = false;
+    std::thread thread;
+  };
+
+  void SenderLoop(const std::shared_ptr<Replica>& rep);
+  Status ShipBatch(const std::shared_ptr<Replica>& rep, uint64_t durable);
+  Status ShipSnapshot(const std::shared_ptr<Replica>& rep);
+  Status DrainAcks(const std::shared_ptr<Replica>& rep, int timeout_ms);
+
+  wal::Wal* const wal_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< acks + membership changes
+  std::vector<std::shared_ptr<Replica>> replicas_;
+  bool stopping_ = false;
+  uint64_t snapshots_served_ = 0;
+};
+
+}  // namespace mammoth::repl
+
+#endif  // MAMMOTH_REPL_SOURCE_H_

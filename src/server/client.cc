@@ -89,10 +89,10 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port,
   MAMMOTH_ASSIGN_OR_RETURN(client.hello_, DecodeHello(frame.payload));
   // Capability negotiation: opt into everything this client understands
   // that the server advertised (compressed results, pipelining,
-  // prepared statements).
+  // prepared statements, typed parameter metadata).
   client.caps_ =
       client.hello_.caps & (kWireCapCompressedResults | kWireCapPipeline |
-                            kWireCapPrepared);
+                            kWireCapPrepared | kWireCapParamTypes);
   if (client.caps_ != 0) {
     MAMMOTH_RETURN_IF_ERROR(client.WriteAll(
         EncodeFrame(FrameType::kCaps, EncodeCaps(client.caps_))));
@@ -210,7 +210,8 @@ Result<PreparedHandle> Client::Prepare(const std::string& sql) {
         }
         MAMMOTH_ASSIGN_OR_RETURN(PreparedReply reply,
                                  DecodePrepared(sp.rest));
-        return PreparedHandle{reply.stmt_id, reply.nparams};
+        return PreparedHandle{reply.stmt_id, reply.nparams,
+                              std::move(reply.param_types)};
       }
       if (frame.type == FrameType::kErrorSeq) {
         // An error for some other in-flight pipelined query.

@@ -23,6 +23,10 @@ struct ClientOptions {
 struct PreparedHandle {
   uint64_t stmt_id = 0;
   uint32_t nparams = 0;
+  /// Per-placeholder type hints (ParamType values, one per ordinal),
+  /// sent by servers that negotiated kWireCapParamTypes; empty against
+  /// older servers. Advisory — binding still type-checks server-side.
+  std::vector<uint8_t> param_types;
 };
 
 /// Blocking client for the wire.h protocol. The classic surface is one

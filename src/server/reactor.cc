@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -13,6 +14,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "repl/repl_wire.h"
 #include "server/server.h"
 
 namespace mammoth::server {
@@ -29,10 +31,6 @@ constexpr size_t kRecvChunk = 64 * 1024;
 
 /// Compact the flushed prefix of a write buffer once it passes this.
 constexpr size_t kWoffCompact = 1u << 20;
-
-uint32_t AdvertisedCaps() {
-  return kWireCapCompressedResults | kWireCapPipeline | kWireCapPrepared;
-}
 
 Status SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -226,7 +224,7 @@ void Reactor::Accept() {
     HelloInfo hello;
     hello.session_id = id;
     hello.server_name = server_->config_.name;
-    hello.caps = AdvertisedCaps();
+    hello.caps = server_->AdvertisedCaps();
     conn->wbuf = EncodeFrame(FrameType::kHello, EncodeHello(hello));
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -293,7 +291,7 @@ bool Reactor::ProcessBuffer(Conn* conn) {
           FatalError(conn, caps.status());
           return true;
         }
-        conn->caps = *caps & AdvertisedCaps();
+        conn->caps = *caps & server_->AdvertisedCaps();
         break;
       }
       case FrameType::kPrepare: {
@@ -305,10 +303,56 @@ bool Reactor::ProcessBuffer(Conn* conn) {
           return true;
         }
         if (!AppendOut(conn, server_->HandlePrepareFrame(
-                                 sp->seq, std::string(sp->rest)))) {
+                                 sp->seq, std::string(sp->rest),
+                                 conn->caps))) {
           return false;
         }
         break;
+      }
+      case FrameType::kReplSubscribe: {
+        auto sub = repl::DecodeSubscribe(frame.payload);
+        if (!sub.ok()) {
+          FatalError(conn, sub.status());
+          return true;
+        }
+        if (conn->plain_inflight || !conn->inflight.empty()) {
+          FatalError(conn, Status::InvalidArgument(
+                               "repl: subscribe with requests in flight"));
+          return true;
+        }
+        // Detach: the replication source takes the socket over. Flush
+        // anything still buffered first (normally nothing — the Hello
+        // went out at accept) so the subscriber sees frames in order.
+        while (conn->woff < conn->wbuf.size()) {
+          pollfd pfd{conn->fd, POLLOUT, 0};
+          if (::poll(&pfd, 1, 1000) <= 0) break;
+          const ssize_t n = ::send(conn->fd, conn->wbuf.data() + conn->woff,
+                                   conn->wbuf.size() - conn->woff,
+                                   MSG_NOSIGNAL);
+          if (n > 0) {
+            conn->woff += static_cast<size_t>(n);
+            server_->bytes_out_ += static_cast<uint64_t>(n);
+            continue;
+          }
+          if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                        errno == EWOULDBLOCK)) {
+            continue;
+          }
+          break;
+        }
+        const int fd = conn->fd;
+        std::string leftover = std::move(conn->rbuf);
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+        conns_.erase(conn->id);
+        --sessions_open_;
+        --server_->sessions_open_;
+        if (Status adopted = server_->AdoptReplica(fd, sub->start_lsn,
+                                                   std::move(leftover));
+            !adopted.ok()) {
+          RejectSync(fd, adopted);
+        }
+        // The Conn is gone; the caller's CloseConn(id) no-ops.
+        return false;
       }
       default: {
         auto job = server_->DecodeJob(frame);

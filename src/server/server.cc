@@ -12,10 +12,14 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "core/bat.h"
 #include "parallel/exec_context.h"
+#include "repl/applier.h"
+#include "repl/repl_wire.h"
+#include "repl/source.h"
 #include "server/reactor.h"
 
 namespace mammoth::server {
@@ -32,17 +36,17 @@ constexpr size_t kRecvChunk = 64 * 1024;
 /// session (and thereby Stop()) forever.
 constexpr int kSendTimeoutSec = 5;
 
-/// True when `sql` is the SERVER STATUS command (case-insensitive,
-/// surrounding whitespace and a trailing ';' ignored).
-bool IsStatusCommand(const std::string& sql) {
+/// Uppercased, whitespace-normalized command text (surrounding blanks
+/// and a trailing ';' dropped, interior runs collapsed to one space) —
+/// shared by the admin-command intercepts below.
+std::string NormalizedCommand(const std::string& sql) {
   size_t b = sql.find_first_not_of(" \t\r\n");
-  if (b == std::string::npos) return false;
+  if (b == std::string::npos) return {};
   size_t e = sql.find_last_not_of(" \t\r\n;");
   std::string t = sql.substr(b, e - b + 1);
   for (char& c : t) {
     c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
   }
-  // Collapse interior whitespace runs to single spaces.
   std::string norm;
   for (char c : t) {
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -51,7 +55,35 @@ bool IsStatusCommand(const std::string& sql) {
       norm += c;
     }
   }
-  return norm == "SERVER STATUS";
+  return norm;
+}
+
+/// True when `sql` is the SERVER STATUS command (case-insensitive,
+/// surrounding whitespace and a trailing ';' ignored).
+bool IsStatusCommand(const std::string& sql) {
+  return NormalizedCommand(sql) == "SERVER STATUS";
+}
+
+/// True for the PROMOTE admin command (replica → writable primary).
+bool IsPromoteCommand(const std::string& sql) {
+  return NormalizedCommand(sql) == "PROMOTE";
+}
+
+/// Splits "host:port"; kInvalidArgument when the port is absent or bad.
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 == spec.size()) {
+    return Status::InvalidArgument("replicate_from: expected host:port, got " +
+                                   spec);
+  }
+  *host = spec.substr(0, colon);
+  const long p = std::strtol(spec.c_str() + colon + 1, nullptr, 10);
+  if (p <= 0 || p > 65535) {
+    return Status::InvalidArgument("replicate_from: bad port in " + spec);
+  }
+  *port = static_cast<uint16_t>(p);
+  return Status::OK();
 }
 
 }  // namespace
@@ -79,14 +111,125 @@ Status Server::OpenDurableStorage() {
   return Status::OK();
 }
 
+repl::ReplicationSource* Server::repl_source() const {
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  return repl_source_.get();
+}
+
+repl::ReplicaApplier* Server::repl_applier() const {
+  std::lock_guard<std::mutex> lock(repl_mu_);
+  return repl_applier_.get();
+}
+
+uint32_t Server::AdvertisedCaps() const {
+  uint32_t caps = kWireCapCompressedResults | kWireCapPipeline |
+                  kWireCapPrepared | kWireCapParamTypes;
+  if (repl_source() != nullptr) caps |= kWireCapReplication;
+  return caps;
+}
+
+Status Server::AdoptReplica(int fd, uint64_t start_lsn,
+                            std::string leftover) {
+  repl::ReplicationSource* src = repl_source();
+  if (src == nullptr) {
+    return Status::Unsupported(
+        "repl: this server does not offer replication (no durable "
+        "storage, or still a replica)");
+  }
+  return src->Adopt(fd, start_lsn, std::move(leftover));
+}
+
+Result<mal::QueryResult> Server::Promote() {
+  std::lock_guard<std::mutex> promote_lock(promote_mu_);
+  repl::ReplicaApplier* applier = repl_applier();
+  if (applier == nullptr || !replica_role_.load()) {
+    return Status::InvalidArgument("PROMOTE: this server is not a replica");
+  }
+  // Stopping the applier lands on a transaction boundary (transactions
+  // apply atomically), so the catalog is exactly the primary's state
+  // through replayed_lsn.
+  applier->Stop();
+  const uint64_t lsn = applier->replayed_lsn();
+  const uint64_t next_txn_id = applier->next_txn_id();
+  if (!config_.db_dir.empty()) {
+    // Become durable: open a fresh WAL whose LSN space continues the
+    // primary's, then checkpoint the replayed catalog so the directory
+    // is recoverable on its own (and can bootstrap new replicas).
+    wal::WalResume resume;
+    resume.next_lsn = lsn;
+    resume.next_txn_id = next_txn_id;
+    MAMMOTH_ASSIGN_OR_RETURN(
+        std::unique_ptr<wal::Wal> wal,
+        wal::Wal::Open(config_.db_dir, config_.db.wal, resume));
+    repl::ReplicationSource::Options ro;
+    ro.dir = config_.db_dir;
+    ro.semi_sync = config_.repl_semi_sync;
+    auto source = std::make_unique<repl::ReplicationSource>(wal.get(), ro);
+    {
+      // repl_mu_ also covers wal_: stats() snapshots it concurrently.
+      std::lock_guard<std::mutex> lock(repl_mu_);
+      wal_ = std::move(wal);
+      repl_source_ = std::move(source);
+    }
+    storage_opened_ = true;
+    engine_.AttachWal(wal_.get());
+    // The engine is still read-only here, but CHECKPOINT is an admin
+    // command, not a mutation — it snapshots the catalog as-is.
+    MAMMOTH_RETURN_IF_ERROR(engine_.Execute("CHECKPOINT").status());
+  }
+  engine_.set_read_only(false);
+  replica_role_.store(false);
+  mal::QueryResult r;
+  BatPtr col = Bat::New(PhysType::kInt64);
+  col->Append<int64_t>(static_cast<int64_t>(lsn));
+  r.names = {"promoted_lsn"};
+  r.columns = {std::move(col)};
+  return r;
+}
+
 Status Server::Start() {
   if (started_.exchange(true)) {
     return Status::InvalidArgument("server already started");
   }
-  if (Status st = OpenDurableStorage(); !st.ok()) {
-    started_.store(false);
-    return st;
+  if (config_.replicate_from.empty()) {
+    if (Status st = OpenDurableStorage(); !st.ok()) {
+      started_.store(false);
+      return st;
+    }
+    if (wal_ != nullptr) {
+      // Durable primary: accept replica subscriptions and gate commit
+      // acknowledgement on the semi-sync barrier.
+      repl::ReplicationSource::Options ro;
+      ro.dir = config_.db_dir;
+      ro.semi_sync = config_.repl_semi_sync;
+      std::lock_guard<std::mutex> lock(repl_mu_);
+      repl_source_ =
+          std::make_unique<repl::ReplicationSource>(wal_.get(), ro);
+    }
+  } else {
+    // Replica role: db_dir stays untouched until PROMOTE; the engine is
+    // read-only and fed from the primary's WAL stream.
+    repl::ReplicaApplier::Options ao;
+    if (Status st = ParseHostPort(config_.replicate_from, &ao.host, &ao.port);
+        !st.ok()) {
+      started_.store(false);
+      return st;
+    }
+    auto applier = std::make_unique<repl::ReplicaApplier>(&engine_, ao);
+    if (Status st = applier->Start(); !st.ok()) {
+      started_.store(false);
+      return st;
+    }
+    replica_role_.store(true);
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    repl_applier_ = std::move(applier);
   }
+  // Installed unconditionally (cheap when no source exists): Promote()
+  // creates a source after startup, and the barrier must see it.
+  engine_.SetCommitBarrier([this](uint64_t lsn) {
+    repl::ReplicationSource* src = repl_source();
+    return src != nullptr ? src->WaitForAck(lsn) : Status::OK();
+  });
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return Status::IOError("socket(): failed");
   int one = 1;
@@ -152,10 +295,19 @@ void Server::BeginDrain() {
 void Server::Stop() {
   if (!started_.load() || stopped_.exchange(true)) return;
   BeginDrain();
+  // The applier stops first (it is a client of someone else's engine);
+  // the source stops after the front-end so draining sessions' commits
+  // still see the barrier behave normally.
+  if (repl::ReplicaApplier* applier = repl_applier(); applier != nullptr) {
+    applier->Stop();
+  }
   if (reactor_ != nullptr) {
     // The reactor bounds its own drain (drain_force_millis) against
     // non-reading pipelined clients, then closes everything.
     reactor_->Stop();
+    if (repl::ReplicationSource* src = repl_source(); src != nullptr) {
+      src->Stop();
+    }
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
       listen_fd_ = -1;
@@ -197,6 +349,9 @@ void Server::Stop() {
   }
   for (std::thread& t : leftovers) {
     if (t.joinable()) t.join();
+  }
+  if (repl::ReplicationSource* src = repl_source(); src != nullptr) {
+    src->Stop();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -267,9 +422,9 @@ void Server::SessionLoop(int fd, uint64_t session_id) {
   HelloInfo hello;
   hello.session_id = session_id;
   hello.server_name = config_.name;
-  hello.caps =
-      kWireCapCompressedResults | kWireCapPipeline | kWireCapPrepared;
+  hello.caps = AdvertisedCaps();
   uint32_t session_caps = 0;
+  bool detached = false;  ///< socket handed to the replication source
   if (SendFrame(fd, FrameType::kHello, EncodeHello(hello)).ok()) {
     std::string buffer;
     bool alive = true;
@@ -301,11 +456,29 @@ void Server::SessionLoop(int fd, uint64_t session_id) {
             break;
           }
           if (!SendBytes(fd, HandlePrepareFrame(sp->seq,
-                                                std::string(sp->rest)))
+                                                std::string(sp->rest),
+                                                session_caps))
                    .ok()) {
             break;
           }
           continue;
+        }
+        if (frame.type == FrameType::kReplSubscribe) {
+          // The subscriber's socket leaves the session machinery: the
+          // replication source owns it from here (or the session dies).
+          auto sub = repl::DecodeSubscribe(frame.payload);
+          if (!sub.ok()) {
+            SendError(fd, sub.status());
+            break;
+          }
+          Status adopted =
+              AdoptReplica(fd, sub->start_lsn, std::move(buffer));
+          if (!adopted.ok()) {
+            SendError(fd, adopted);
+            break;
+          }
+          detached = true;
+          break;
         }
         // kQuery / kQuerySeq / kExecute. This serial front-end runs each
         // frame to completion before reading the next, so seq-tagged
@@ -343,7 +516,7 @@ void Server::SessionLoop(int fd, uint64_t session_id) {
     if (it != sessions_.end()) it->second.fd = -1;
     finished_sessions_.push_back(session_id);
   }
-  ::close(fd);
+  if (!detached) ::close(fd);
   --sessions_open_;
 }
 
@@ -390,6 +563,14 @@ std::string Server::RunJob(const WireJob& job, uint32_t caps) {
     if (!payload.ok()) return fail(payload.status());
     return respond(FrameType::kResult, FrameType::kResultSeq, *payload);
   }
+  if (!job.is_execute && IsPromoteCommand(job.sql)) {
+    // Failover path: must answer even when admission is saturated.
+    auto promoted = Promote();
+    if (!promoted.ok()) return fail(promoted.status());
+    auto payload = EncodeResult(*promoted);
+    if (!payload.ok()) return fail(payload.status());
+    return respond(FrameType::kResult, FrameType::kResultSeq, *payload);
+  }
   auto ticket = admission_.Admit();
   if (!ticket.ok()) {
     // Typed rejection (kTimedOut / kUnavailable); the session survives.
@@ -415,7 +596,8 @@ std::string Server::RunJob(const WireJob& job, uint32_t caps) {
   return respond(FrameType::kResult, FrameType::kResultSeq, *payload);
 }
 
-std::string Server::HandlePrepareFrame(uint32_t seq, const std::string& text) {
+std::string Server::HandlePrepareFrame(uint32_t seq, const std::string& text,
+                                       uint32_t caps) {
   // No admission: preparing is one parse, and clients prepare on the
   // hot path right after connecting.
   auto entry = engine_.Prepare(text);
@@ -426,7 +608,13 @@ std::string Server::HandlePrepareFrame(uint32_t seq, const std::string& text) {
   PreparedReply reply;
   reply.stmt_id = (*entry)->id;
   reply.nparams = (*entry)->nparams;
-  return EncodeFrame(FrameType::kPrepared, EncodePrepared(seq, reply));
+  {
+    // param_types is (re)written under plan_mu by concurrent Prepares
+    // of the same text; copy it out under the same lock.
+    std::lock_guard<std::mutex> lock((*entry)->plan_mu);
+    reply.param_types = (*entry)->param_types;
+  }
+  return EncodeFrame(FrameType::kPrepared, EncodePrepared(seq, reply, caps));
 }
 
 Status Server::SendFrame(int fd, FrameType type, std::string_view payload) {
@@ -473,10 +661,36 @@ ServerStatsSnapshot Server::stats() const {
     s.epoll_sessions = static_cast<uint64_t>(reactor_->sessions_open());
     s.pipelined_in_flight = reactor_->pipelined_in_flight();
   }
-  if (wal_ != nullptr) {
+  wal::Wal* wal = nullptr;
+  {
+    // Promote() installs wal_ while sessions run; snapshot under the
+    // same lock that guards the replication pointers.
+    std::lock_guard<std::mutex> lock(repl_mu_);
+    wal = wal_.get();
+  }
+  if (wal != nullptr) {
     s.durable = true;
-    s.wal = wal_->stats();
+    s.wal = wal->stats();
     s.wal_recovered_txns = recovery_info_.txns_applied;
+  }
+  s.repl_role = replica_role_.load() ? 1 : 0;
+  if (repl::ReplicationSource* src = repl_source(); src != nullptr) {
+    const repl::ReplicationSource::Stats rs = src->stats();
+    s.repl_replicas = rs.replicas;
+    s.repl_shipped_lsn = rs.min_shipped_lsn;
+    s.repl_acked_lsn = rs.min_acked_lsn;
+    s.repl_lag_bytes = rs.lag_bytes;
+    s.repl_snapshots += rs.snapshots_served;
+  }
+  if (repl::ReplicaApplier* applier = repl_applier(); applier != nullptr) {
+    const repl::ReplicaApplier::Stats as = applier->stats();
+    s.repl_replayed_lsn = as.replayed_lsn;
+    s.repl_source_durable_lsn = as.source_durable_lsn;
+    s.repl_txns_applied = as.txns_applied;
+    s.repl_snapshots += as.snapshots_received;
+    if (s.repl_role == 1 && as.source_durable_lsn > as.replayed_lsn) {
+      s.repl_lag_bytes = as.source_durable_lsn - as.replayed_lsn;
+    }
   }
   return s;
 }
@@ -533,6 +747,15 @@ mal::QueryResult Server::StatusResult(const ServerStatsSnapshot& s) {
   row("wal_checkpoints", s.wal.checkpoints);
   row("wal_durable_lsn", s.wal.durable_lsn);
   row("wal_recovered_txns", s.wal_recovered_txns);
+  row("repl_role", s.repl_role);
+  row("repl_replicas", s.repl_replicas);
+  row("repl_shipped_lsn", s.repl_shipped_lsn);
+  row("repl_acked_lsn", s.repl_acked_lsn);
+  row("repl_replayed_lsn", s.repl_replayed_lsn);
+  row("repl_source_durable_lsn", s.repl_source_durable_lsn);
+  row("repl_lag_bytes", s.repl_lag_bytes);
+  row("repl_txns_applied", s.repl_txns_applied);
+  row("repl_snapshots", s.repl_snapshots);
   mal::QueryResult result;
   result.names = {"counter", "value"};
   result.columns = {std::move(counters), std::move(values)};

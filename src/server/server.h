@@ -18,6 +18,11 @@
 #include "sql/engine.h"
 #include "wal/db.h"
 
+namespace mammoth::repl {
+class ReplicaApplier;
+class ReplicationSource;
+}  // namespace mammoth::repl
+
 namespace mammoth::server {
 
 class Reactor;
@@ -68,6 +73,18 @@ struct ServerConfig {
   std::string db_dir;
   /// WAL/recovery tuning used when `db_dir` is set.
   wal::DbOptions db;
+  /// Replication (src/repl/): "host:port" of a running primary makes
+  /// this server start as a *read replica* — it does not open `db_dir`
+  /// at startup (the directory is reserved for promotion), marks its
+  /// engine read-only, streams the primary's WAL and serves SELECTs.
+  /// The PROMOTE command turns it into a writable primary at its
+  /// replayed LSN. Empty (default): normal primary role; a durable
+  /// primary accepts replica subscriptions automatically.
+  std::string replicate_from;
+  /// Primary-side semi-synchronous commits: a commit is acknowledged
+  /// only once at least one connected replica has replayed it (waived
+  /// with zero replicas, and bounded by a timeout against wedged ones).
+  bool repl_semi_sync = true;
 };
 
 /// Monotonic counters + gauges exposed through stats() and the
@@ -99,6 +116,17 @@ struct ServerStatsSnapshot {
   uint64_t pipelined_in_flight = 0;
   /// Prepared-statement cache counters of the embedded engine.
   sql::PreparedStats prepared;
+  /// Replication posture. Every counter is always present (zero when
+  /// not applicable) so the SERVER STATUS row set stays fixed-shape.
+  uint64_t repl_role = 0;      ///< 0 = primary, 1 = replica
+  uint64_t repl_replicas = 0;  ///< connected subscribers (primary side)
+  uint64_t repl_shipped_lsn = 0;  ///< laggiest replica's send cursor
+  uint64_t repl_acked_lsn = 0;    ///< laggiest replica's replayed ack
+  uint64_t repl_replayed_lsn = 0;       ///< replica: applied through here
+  uint64_t repl_source_durable_lsn = 0; ///< replica: primary's durable LSN
+  uint64_t repl_lag_bytes = 0;  ///< durable-vs-replayed gap (either role)
+  uint64_t repl_txns_applied = 0;  ///< replica: transactions replayed
+  uint64_t repl_snapshots = 0;  ///< bootstraps served (primary) / received
 };
 
 /// The MammothDB network front-end: a TCP server speaking the wire.h
@@ -155,7 +183,18 @@ class Server {
   ServerStatsSnapshot stats() const;
 
   /// The `SERVER STATUS` result relation: (counter:str, value:lng).
+  /// The row *ordering is a wire contract* (stable machine-readable
+  /// positions; see DESIGN.md §12): new counters append, existing rows
+  /// never move or disappear within a wire version.
   static mal::QueryResult StatusResult(const ServerStatsSnapshot& s);
+
+  /// The PROMOTE command body (also intercepted from SQL like SERVER
+  /// STATUS): stops replication at a transaction boundary, reopens
+  /// `db_dir` as a fresh WAL at the replayed LSN (when configured),
+  /// flips the engine writable and starts accepting subscribers of its
+  /// own. Errors with kInvalidArgument on a server that is not a
+  /// replica. Returns a one-row relation (promoted_lsn).
+  Result<mal::QueryResult> Promote();
 
  private:
   friend class Reactor;
@@ -193,8 +232,21 @@ class Server {
   /// kError, or their seq-tagged twins when job.seq != 0).
   std::string RunJob(const WireJob& job, uint32_t caps);
   /// Handles a kPrepare frame (no admission: preparing is one parse) and
-  /// returns the encoded kPrepared or kErrorSeq response frame.
-  std::string HandlePrepareFrame(uint32_t seq, const std::string& text);
+  /// returns the encoded kPrepared or kErrorSeq response frame. `caps`
+  /// gates the parameter-type metadata suffix (kWireCapParamTypes).
+  std::string HandlePrepareFrame(uint32_t seq, const std::string& text,
+                                 uint32_t caps);
+  /// Capability bits offered in the Hello frame (kWireCapReplication
+  /// only when this server can actually serve a WAL stream).
+  uint32_t AdvertisedCaps() const;
+  /// Hands a subscribed socket (already past kReplSubscribe; `leftover`
+  /// is any bytes read beyond that frame) to the replication source.
+  /// On success the source owns the fd; on error the caller still does.
+  Status AdoptReplica(int fd, uint64_t start_lsn, std::string leftover);
+  /// Thread-safe accessors for the replication endpoints (Promote()
+  /// creates the source after startup, so bare member reads would race).
+  repl::ReplicationSource* repl_source() const;
+  repl::ReplicaApplier* repl_applier() const;
   Status SendFrame(int fd, FrameType type, std::string_view payload);
   /// Writes one pre-encoded frame with a short-write loop.
   Status SendBytes(int fd, std::string_view bytes);
@@ -212,6 +264,13 @@ class Server {
   AdmissionController admission_;
   /// The epoll front-end (null in kThreads mode).
   std::unique_ptr<Reactor> reactor_;
+  /// Replication endpoints; repl_mu_ guards the *pointers* (Promote()
+  /// swaps them while sessions run), the objects synchronize themselves.
+  mutable std::mutex repl_mu_;
+  std::unique_ptr<repl::ReplicationSource> repl_source_;
+  std::unique_ptr<repl::ReplicaApplier> repl_applier_;
+  std::atomic<bool> replica_role_{false};
+  std::mutex promote_mu_;  ///< serializes concurrent PROMOTEs
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -113,7 +113,7 @@ Result<size_t> DecodeFrame(const char* data, size_t size, Frame* out) {
                                    std::to_string(kWireVersion));
   }
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
-      type > static_cast<uint8_t>(FrameType::kExecute)) {
+      type > static_cast<uint8_t>(FrameType::kReplSnapEnd)) {
     return Status::InvalidArgument("wire: unknown frame type " +
                                    std::to_string(type));
   }
@@ -193,20 +193,45 @@ Result<SeqPayload> SplitSeq(std::string_view payload) {
 
 // --- Prepare / Execute -------------------------------------------------------
 
-std::string EncodePrepared(uint32_t seq, const PreparedReply& reply) {
+std::string EncodePrepared(uint32_t seq, const PreparedReply& reply,
+                           uint32_t caps) {
   std::string out;
   AppendInt<uint32_t>(&out, seq);
   AppendInt<uint64_t>(&out, reply.stmt_id);
   AppendInt<uint32_t>(&out, reply.nparams);
+  if ((caps & kWireCapParamTypes) != 0) {
+    // Typed parameter metadata is strictly appended, and only for
+    // sessions that negotiated it: an old client's exact-size decoder
+    // still sees the original body.
+    AppendInt<uint32_t>(&out, static_cast<uint32_t>(reply.param_types.size()));
+    out.append(reinterpret_cast<const char*>(reply.param_types.data()),
+               reply.param_types.size());
+  }
   return out;
 }
 
 Result<PreparedReply> DecodePrepared(std::string_view rest) {
   Reader r(rest);
   PreparedReply reply;
-  if (!r.ReadInt(&reply.stmt_id) || !r.ReadInt(&reply.nparams) ||
-      !r.done()) {
+  if (!r.ReadInt(&reply.stmt_id) || !r.ReadInt(&reply.nparams)) {
     return Truncated("prepared reply");
+  }
+  if (!r.done()) {
+    // Optional typed-parameter suffix (kWireCapParamTypes sessions).
+    uint32_t ntypes = 0;
+    std::string_view bytes;
+    if (!r.ReadInt(&ntypes) || ntypes > reply.nparams ||
+        !r.ReadBytes(ntypes, &bytes) || !r.done()) {
+      return Truncated("prepared reply");
+    }
+    for (const char b : bytes) {
+      const uint8_t t = static_cast<uint8_t>(b);
+      if (t > static_cast<uint8_t>(ParamType::kStr)) {
+        return Status::InvalidArgument("wire: unknown parameter type " +
+                                       std::to_string(t));
+      }
+      reply.param_types.push_back(t);
+    }
   }
   return reply;
 }
@@ -315,7 +340,7 @@ Result<WireError> DecodeError(std::string_view payload) {
       !r.done()) {
     return Truncated("error frame");
   }
-  if (code > static_cast<uint8_t>(StatusCode::kUnsupported)) {
+  if (code > static_cast<uint8_t>(StatusCode::kReadOnly)) {
     return Status::InvalidArgument("wire: unknown status code " +
                                    std::to_string(code));
   }

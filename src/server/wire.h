@@ -58,6 +58,17 @@ enum class FrameType : uint8_t {
   kPrepare = 10,   ///< client -> server: u32 seq ++ statement text
   kPrepared = 11,  ///< server -> client: u32 seq ++ u64 id ++ u32 nparams
   kExecute = 12,   ///< client -> server: u32 seq ++ u64 id ++ params
+  // --- replication extension (kWireCapReplication) ---
+  // A replica connects like any client, answers Caps, then sends
+  // kReplSubscribe; the server detaches the socket from the query
+  // front-end and hands it to the ReplicationSource, which owns it for
+  // the rest of the session. Payload shapes live in repl/repl_wire.h.
+  kReplSubscribe = 13,  ///< replica -> primary: u64 start lsn
+  kReplRecords = 14,    ///< primary -> replica: WAL byte range (framed records)
+  kReplAck = 15,        ///< replica -> primary: u64 replayed lsn
+  kReplSnapBegin = 16,  ///< primary -> replica: snapshot lsn + file count
+  kReplFile = 17,       ///< primary -> replica: one snapshot file chunk
+  kReplSnapEnd = 18,    ///< primary -> replica: snapshot complete
 };
 
 /// Capability bits, negotiated per session: the server advertises its
@@ -72,6 +83,13 @@ inline constexpr uint32_t kWireCapPipeline = 1u << 1;
 /// kPrepare/kPrepared/kExecute frames backed by the engine's prepared
 /// plan cache.
 inline constexpr uint32_t kWireCapPrepared = 1u << 2;
+/// Replication frames (kReplSubscribe..kReplSnapEnd): the server is a
+/// durable primary willing to stream its WAL to subscribers.
+inline constexpr uint32_t kWireCapReplication = 1u << 3;
+/// kPrepared replies append typed parameter metadata (u8 per placeholder;
+/// see PreparedReply::param_types). Sessions without the capability get
+/// the original fixed-size reply, byte-identical.
+inline constexpr uint32_t kWireCapParamTypes = 1u << 4;
 
 /// A decoded frame (payload still in wire encoding).
 struct Frame {
@@ -132,12 +150,25 @@ Result<SeqPayload> SplitSeq(std::string_view payload);
 
 /// --- Prepare / Execute -----------------------------------------------------
 /// kPrepared response body (after the seq prefix): the server-assigned
-/// statement id and how many `?` parameters the statement takes.
+/// statement id and how many `?` parameters the statement takes. For
+/// sessions that negotiated kWireCapParamTypes the body is followed by
+/// `u32 ntypes` and one ParamType byte per placeholder; older sessions
+/// receive the original fixed-size body unchanged.
+enum class ParamType : uint8_t {
+  kUnknown = 0,  ///< no typed context (e.g. HAVING literal)
+  kInt = 1,
+  kReal = 2,
+  kStr = 3,
+};
 struct PreparedReply {
   uint64_t stmt_id = 0;
   uint32_t nparams = 0;
+  /// One entry per placeholder when the session negotiated
+  /// kWireCapParamTypes (ParamType values); empty otherwise.
+  std::vector<uint8_t> param_types;
 };
-std::string EncodePrepared(uint32_t seq, const PreparedReply& reply);
+std::string EncodePrepared(uint32_t seq, const PreparedReply& reply,
+                           uint32_t caps = 0);
 Result<PreparedReply> DecodePrepared(std::string_view rest);
 
 /// kExecute body (after the seq prefix): u64 stmt_id, u16 nparams, then

@@ -9,6 +9,7 @@
 #include "core/sort.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
+#include "wal/db.h"
 #include "wal/record.h"
 #include "wal/wal.h"
 
@@ -64,6 +65,74 @@ mal::OpCode AggOpCode(AggFn fn) {
       break;
   }
   return mal::OpCode::kAggrCount;
+}
+
+// Wire-level parameter type codes (server/wire.h ParamType), duplicated
+// as raw values so sql/ stays below the server layer.
+constexpr uint8_t kParamUnknown = 0;
+constexpr uint8_t kParamInt = 1;
+constexpr uint8_t kParamReal = 2;
+constexpr uint8_t kParamStr = 3;
+
+uint8_t WireParamType(PhysType t) {
+  if (t == PhysType::kStr) return kParamStr;
+  if (t == PhysType::kDouble || t == PhysType::kFloat) return kParamReal;
+  return kParamInt;
+}
+
+/// Best-effort placeholder typing for the kPrepared reply: INSERT
+/// placeholders take the type of their column position, WHERE / SET
+/// placeholders the type of the column they compare against. HAVING
+/// placeholders (aggregate outputs) and anything unresolvable stay
+/// kUnknown — the metadata is advisory; binding still type-checks.
+std::vector<uint8_t> InferParamTypes(const Statement& stmt, Catalog* catalog,
+                                     uint32_t nparams) {
+  std::vector<uint8_t> types(nparams, kParamUnknown);
+  if (nparams == 0) return types;
+  auto note = [&](const Value& v, uint8_t t) {
+    if (v.is_param() && v.param_index() < types.size()) {
+      types[v.param_index()] = t;
+    }
+  };
+  auto column_type = [&](const std::vector<std::string>& tables,
+                         const ColumnRef& ref) -> uint8_t {
+    for (const std::string& name : tables) {
+      if (!ref.table.empty() && ref.table != name) continue;
+      Result<TablePtr> t = catalog->Get(name);
+      if (!t.ok()) continue;
+      Result<size_t> idx = (*t)->ColumnIndex(ref.column);
+      if (!idx.ok()) continue;
+      return WireParamType((*t)->schema()[*idx].type);
+    }
+    return kParamUnknown;
+  };
+  if (const auto* sel = std::get_if<SelectStmt>(&stmt)) {
+    for (const Predicate& p : sel->where) {
+      if (!p.is_join) note(p.literal, column_type(sel->tables, p.column));
+    }
+  } else if (const auto* ins = std::get_if<InsertStmt>(&stmt)) {
+    Result<TablePtr> t = catalog->Get(ins->table);
+    if (t.ok()) {
+      const std::vector<ColumnDef>& schema = (*t)->schema();
+      for (const std::vector<Value>& row : ins->rows) {
+        for (size_t c = 0; c < row.size() && c < schema.size(); ++c) {
+          note(row[c], WireParamType(schema[c].type));
+        }
+      }
+    }
+  } else if (const auto* del = std::get_if<DeleteStmt>(&stmt)) {
+    for (const Predicate& p : del->where) {
+      note(p.literal, column_type({del->table}, p.column));
+    }
+  } else if (const auto* upd = std::get_if<UpdateStmt>(&stmt)) {
+    for (const auto& [col, v] : upd->sets) {
+      note(v, column_type({upd->table}, ColumnRef{"", col}));
+    }
+    for (const Predicate& p : upd->where) {
+      note(p.literal, column_type({upd->table}, p.column));
+    }
+  }
+  return types;
 }
 
 }  // namespace
@@ -602,6 +671,12 @@ Result<mal::QueryResult> Engine::CommitDurable(
     // Log-size trigger: keep the exclusive lock (the checkpoint needs a
     // quiescent catalog), make the log durable, fold it into a snapshot.
     MAMMOTH_RETURN_IF_ERROR(wal_->Sync(lsn));
+    // The replication barrier runs *before* the checkpoint: the
+    // checkpoint GCs segments below its LSN, and a semi-sync primary
+    // must not discard bytes a replica has yet to ack (the source would
+    // have to fall back to a full snapshot transfer for a lag measured
+    // in milliseconds).
+    if (commit_barrier_) MAMMOTH_RETURN_IF_ERROR(commit_barrier_(lsn));
     MAMMOTH_RETURN_IF_ERROR(MergeForCheckpoint(catalog_.get()));
     MAMMOTH_RETURN_IF_ERROR(wal_->Checkpoint(*catalog_).status());
     return mal::QueryResult{};
@@ -611,7 +686,29 @@ Result<mal::QueryResult> Engine::CommitDurable(
   // (the append above already fixed this transaction's log position).
   lock->unlock();
   MAMMOTH_RETURN_IF_ERROR(wal_->Sync(lsn));
+  if (commit_barrier_) MAMMOTH_RETURN_IF_ERROR(commit_barrier_(lsn));
   return mal::QueryResult{};
+}
+
+Status Engine::ApplyReplicatedTxn(const std::vector<wal::Record>& ops) {
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  catalog_version_.fetch_add(1, std::memory_order_relaxed);
+  for (const wal::Record& op : ops) {
+    MAMMOTH_RETURN_IF_ERROR(wal::ApplyRecord(catalog_.get(), op));
+  }
+  if (recycler_ != nullptr) recycler_->Clear();
+  return Status::OK();
+}
+
+Status Engine::ResetCatalogForReplication(std::shared_ptr<Catalog> catalog) {
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("replication: null catalog");
+  }
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  catalog_version_.fetch_add(1, std::memory_order_relaxed);
+  catalog_ = std::move(catalog);
+  if (recycler_ != nullptr) recycler_->Clear();
+  return Status::OK();
 }
 
 Result<mal::QueryResult> Engine::Execute(const std::string& statement,
@@ -633,6 +730,13 @@ Result<mal::QueryResult> Engine::ExecuteParsed(
   if (auto* sel = std::get_if<SelectStmt>(&stmt)) {
     std::shared_lock<std::shared_mutex> lock(rw_mu_);
     return RunSelect(*sel, ctx);
+  }
+  // Replica role: refuse every mutation up front — this covers plain and
+  // prepared DDL/DML alike, since prepared DML re-enters here after
+  // parameter binding.
+  if (read_only_.load(std::memory_order_acquire)) {
+    return Status::ReadOnly(
+        "this node is a read replica: writes go to the primary");
   }
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
   // Any mutation invalidates cached prepared plans wholesale (same
@@ -691,7 +795,19 @@ Result<mal::QueryResult> Engine::ExecuteScript(const std::string& script,
 
 Result<std::shared_ptr<PreparedStatement>> Engine::Prepare(
     const std::string& statement) {
-  return prepared_.GetOrPrepare(statement);
+  MAMMOTH_ASSIGN_OR_RETURN(std::shared_ptr<PreparedStatement> entry,
+                           prepared_.GetOrPrepare(statement));
+  if (entry->nparams > 0) {
+    // (Re)infer placeholder types against the current catalog — a shared
+    // entry prepared before a DDL would otherwise hand out stale hints.
+    std::shared_lock<std::shared_mutex> lock(rw_mu_);
+    std::vector<uint8_t> types =
+        InferParamTypes(entry->ast, catalog_.get(), entry->nparams);
+    lock.unlock();
+    std::lock_guard<std::mutex> plan_lock(entry->plan_mu);
+    entry->param_types = std::move(types);
+  }
+  return entry;
 }
 
 Result<mal::QueryResult> Engine::ExecutePrepared(

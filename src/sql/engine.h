@@ -2,6 +2,7 @@
 #define MAMMOTH_SQL_ENGINE_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -19,6 +20,7 @@
 #include "sql/prepared.h"
 
 namespace mammoth::wal {
+struct Record;
 class TxnBuilder;
 class Wal;
 }  // namespace mammoth::wal
@@ -123,6 +125,40 @@ class Engine {
   /// Toggles the MAL optimizer pipeline (default on).
   void EnableOptimizer(bool on) { optimize_ = on; }
 
+  /// Read-only mode (replica role): every mutating statement — plain or
+  /// prepared, DDL or DML — is refused with StatusCode::kReadOnly before
+  /// it touches the catalog. SELECT, CHECKPOINT interception and the
+  /// PREPARE surface stay available. Flipped off by promotion.
+  void set_read_only(bool on) {
+    read_only_.store(on, std::memory_order_release);
+  }
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
+  /// Post-durability commit barrier, called after `wal_->Sync(lsn)` with
+  /// the transaction's end LSN and *before* the commit is acknowledged.
+  /// The replication source hooks its semi-sync wait here. Called without
+  /// engine locks held; set before going concurrent.
+  using CommitBarrier = std::function<Status(uint64_t lsn)>;
+  void SetCommitBarrier(CommitBarrier barrier) {
+    commit_barrier_ = std::move(barrier);
+  }
+
+  /// Replica-side replay: applies one shipped transaction's ops (between
+  /// its kBegin/kCommit markers, which the applier strips) atomically
+  /// under the exclusive lock via wal::ApplyRecord — the same machinery
+  /// as crash recovery. Bypasses the read-only gate (it *is* the one
+  /// writer a replica has) and does not log: the primary's WAL is the
+  /// durability story.
+  Status ApplyReplicatedTxn(const std::vector<wal::Record>& ops);
+
+  /// Replica-side snapshot bootstrap: atomically replaces the whole
+  /// catalog (loaded from a shipped checkpoint) under the exclusive
+  /// lock. In-flight SELECT results stay valid — they snapshot their
+  /// string columns and hold BATs by shared_ptr.
+  Status ResetCatalogForReplication(std::shared_ptr<Catalog> catalog);
+
   /// Introspection for the last executed SELECT (by value: the fields
   /// are mutex-guarded against concurrent SELECTs).
   mal::RunStats last_run_stats() const;
@@ -190,6 +226,8 @@ class Engine {
   recycle::Recycler* recycler_ = nullptr;
   scan::SharedScanScheduler* shared_scans_ = nullptr;
   bool optimize_ = true;
+  std::atomic<bool> read_only_{false};
+  CommitBarrier commit_barrier_;
 
   /// Readers (SELECT) shared, writers (DDL/DML) exclusive; see above.
   /// Mutable so const introspection (compression_stats) can share-lock.

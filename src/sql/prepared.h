@@ -28,6 +28,13 @@ struct PreparedStatement {
   uint32_t nparams = 0;
   Statement ast;  ///< parameter-marked; immutable after creation
 
+  /// Per-placeholder type metadata (wire::ParamType values, one per
+  /// ordinal), inferred from the AST against the catalog at PREPARE time:
+  /// INSERT placeholders by column position, WHERE/SET placeholders by
+  /// the column they compare against, HAVING ones unknown. Advisory — a
+  /// best-effort hint for clients; binding still type-checks the values.
+  std::vector<uint8_t> param_types;
+
   /// Guards the compiled-plan slot (sessions executing the same prepared
   /// statement race on recompilation after an invalidation).
   std::mutex plan_mu;

@@ -25,6 +25,12 @@ struct SegmentInfo {
 };
 
 Result<std::vector<SegmentInfo>> ReadSegments(const std::string& dir) {
+  struct RawSegment {
+    std::string name;
+    std::string path;
+    std::string bytes;
+  };
+  std::vector<RawSegment> raw;
   std::vector<SegmentInfo> segs;
   std::error_code ec;
   fs::directory_iterator it(WalSubdir(dir), ec);
@@ -38,19 +44,40 @@ Result<std::vector<SegmentInfo>> ReadSegments(const std::string& dir) {
     if (!in.good() && !in.eof()) {
       return Status::IOError("read " + entry.path().string());
     }
-    std::string bytes = std::move(buf).str();
-    if (bytes.size() < kSegmentHeaderBytes) {
-      return Status::Corruption("wal: segment " + name + " shorter than its header");
+    raw.push_back({name, entry.path().string(), std::move(buf).str()});
+  }
+  // Filenames encode the start LSN zero-padded to fixed width, so
+  // lexicographic name order is LSN order — usable even for a file whose
+  // header never made it to disk.
+  std::sort(raw.begin(), raw.end(),
+            [](const RawSegment& a, const RawSegment& b) {
+              return a.name < b.name;
+            });
+  // A crash during segment rotation can land between creating the next
+  // segment file and completing its 16-byte header write (the header is
+  // appended after open). That file is by construction the newest and
+  // holds no records: treat it like any other torn tail — drop it and
+  // remove the file so the reopened log recreates it cleanly — instead
+  // of refusing to open the database. A short *non-final* segment is
+  // still corruption (records are missing from the middle of the log).
+  if (!raw.empty() && raw.back().bytes.size() < kSegmentHeaderBytes) {
+    fs::remove(raw.back().path, ec);
+    raw.pop_back();
+  }
+  for (RawSegment& rs : raw) {
+    if (rs.bytes.size() < kSegmentHeaderBytes) {
+      return Status::Corruption("wal: segment " + rs.name +
+                                " shorter than its header");
     }
     uint64_t magic = 0;
     SegmentInfo seg;
-    std::memcpy(&magic, bytes.data(), sizeof(magic));
-    std::memcpy(&seg.start_lsn, bytes.data() + 8, sizeof(seg.start_lsn));
+    std::memcpy(&magic, rs.bytes.data(), sizeof(magic));
+    std::memcpy(&seg.start_lsn, rs.bytes.data() + 8, sizeof(seg.start_lsn));
     if (magic != kSegmentMagic) {
-      return Status::Corruption("wal: bad magic in segment " + name);
+      return Status::Corruption("wal: bad magic in segment " + rs.name);
     }
-    seg.path = entry.path().string();
-    seg.payload = bytes.substr(kSegmentHeaderBytes);
+    seg.path = rs.path;
+    seg.payload = rs.bytes.substr(kSegmentHeaderBytes);
     segs.push_back(std::move(seg));
   }
   std::sort(segs.begin(), segs.end(),
@@ -88,6 +115,8 @@ Result<CurrentInfo> ReadCurrent(const std::string& dir) {
   }
   return info;
 }
+
+}  // namespace
 
 Status ApplyRecord(Catalog* catalog, const Record& rec) {
   switch (rec.type) {
@@ -133,8 +162,6 @@ Status ApplyRecord(Catalog* catalog, const Record& rec) {
   }
   return Status::Internal("wal: unhandled record type");
 }
-
-}  // namespace
 
 Result<RecoveryInfo> Recover(const std::string& dir, Catalog* catalog,
                              bool use_mmap) {

@@ -39,6 +39,13 @@ struct RecoveryInfo {
   WalResume resume;               ///< where the reopened Wal appends next
 };
 
+/// Applies one decoded WAL op record (CreateTable/InsertRows/...) to a
+/// live catalog, reproducing the exact physical layout (OIDs, delta
+/// contents) the record described. Shared by Recover and the replication
+/// applier, which replays shipped records through the same machinery.
+/// kBegin/kCommit markers are the caller's business and are rejected.
+Status ApplyRecord(Catalog* catalog, const Record& rec);
+
 /// Replays `dir` into `catalog` (which should be empty): loads the
 /// checkpoint snapshot, then re-applies every transaction whose Commit
 /// record is past the checkpoint, in log order. A torn tail and trailing

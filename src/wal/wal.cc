@@ -1,6 +1,7 @@
 #include "wal/wal.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -241,6 +242,14 @@ Result<uint64_t> Wal::Checkpoint(const Catalog& catalog) {
     }
   }
   return cp_lsn;
+}
+
+Result<uint64_t> Wal::WaitDurablePast(uint64_t lsn, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+               [&] { return !poison_.ok() || durable_lsn_ > lsn; });
+  if (!poison_.ok()) return poison_;
+  return durable_lsn_;
 }
 
 bool Wal::ShouldCheckpoint() const {

@@ -111,6 +111,12 @@ class Wal {
   /// checkpoint (the log-size trigger; the engine checks after DML).
   bool ShouldCheckpoint() const;
 
+  /// Blocks until the durable LSN advances past `lsn` or `timeout_ms`
+  /// elapses, and returns the durable LSN at that moment. Replication
+  /// sources tail the log with this instead of polling stats(); a
+  /// timeout is not an error (the caller just sees an unchanged LSN).
+  Result<uint64_t> WaitDurablePast(uint64_t lsn, int timeout_ms);
+
   WalStats stats() const;
 
   const std::string& dir() const { return dir_; }

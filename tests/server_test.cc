@@ -420,6 +420,93 @@ TEST_F(ServerTest, StatusCountersTrackBytes) {
   EXPECT_EQ(counters["draining"], 0);
 }
 
+/// SERVER STATUS row ordering is a machine-readable contract (see
+/// DESIGN.md): rows keep their position across releases and new counters
+/// only ever append. Scrapers may index rows positionally; this test is
+/// the tripwire that turns a silent reorder into a red build.
+TEST_F(ServerTest, StatusRowOrderingIsAStableContract) {
+  StartServer();
+  Client client = Connect();
+  auto r = client.Query("SERVER STATUS");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->names.size(), 2u);
+  EXPECT_EQ(r->names[0], "counter");
+  EXPECT_EQ(r->names[1], "value");
+  const std::vector<std::string> kCanonicalOrder = {
+      "wire_version", "draining", "sessions_open", "sessions_total",
+      "sessions_rejected", "queries_ok", "queries_failed",
+      "queries_admitted", "queries_queued_total", "queries_queued_now",
+      "queries_inflight", "queries_peak_inflight", "queries_timed_out",
+      "queries_rejected", "bytes_in", "bytes_out",
+      "shared_scans_attached", "shared_scans_direct",
+      "shared_chunks_loaded", "shared_chunks_delivered",
+      "shared_chunks_skipped", "shared_loads_saved",
+      "shared_chunks_decompressed", "shared_bytes_loaded",
+      "shared_bytes_delivered", "compressed_tables", "compressed_columns",
+      "compressed_bytes", "compressed_logical_bytes",
+      "wire_result_bytes_saved", "epoll_sessions", "pipelined_in_flight",
+      "prepared_cache_entries", "prepared_cache_hits",
+      "prepared_cache_misses", "prepared_cache_evictions", "durable",
+      "wal_txns", "wal_commits_synced", "wal_fsyncs", "wal_bytes",
+      "wal_checkpoints", "wal_durable_lsn", "wal_recovered_txns",
+      "repl_role", "repl_replicas", "repl_shipped_lsn", "repl_acked_lsn",
+      "repl_replayed_lsn", "repl_source_durable_lsn", "repl_lag_bytes",
+      "repl_txns_applied", "repl_snapshots"};
+  ASSERT_EQ(r->RowCount(), kCanonicalOrder.size());
+  for (size_t i = 0; i < kCanonicalOrder.size(); ++i) {
+    EXPECT_EQ(r->columns[0]->StringAt(i), kCanonicalOrder[i])
+        << "row " << i << " moved: the ordering is a wire contract — "
+        << "new counters must append, existing rows must not move";
+  }
+  // Every replication row is present (zeros) on a standalone server:
+  // consumers need not probe for their existence.
+  auto counters = ServerStatus(&client);
+  EXPECT_EQ(counters["repl_role"], 0);
+  EXPECT_EQ(counters["repl_replicas"], 0);
+  EXPECT_EQ(counters["repl_lag_bytes"], 0);
+}
+
+/// Satellite: the kPrepared reply carries typed parameter metadata when
+/// the client negotiated kWireCapParamTypes — placeholder types inferred
+/// from the catalog (column comparisons, INSERT positions), exposed on
+/// the client's PreparedHandle.
+TEST_F(ServerTest, PreparedReplyCarriesParamTypeMetadata) {
+  StartServer();
+  Client client = Connect();
+  ASSERT_NE(client.caps() & server::kWireCapParamTypes, 0u);
+
+  // temp INT, room VARCHAR: one int and one string placeholder.
+  auto where = client.Prepare(
+      "SELECT id FROM sensors WHERE temp > ? AND room = ?");
+  ASSERT_TRUE(where.ok()) << where.status().ToString();
+  EXPECT_EQ(where->nparams, 2u);
+  ASSERT_EQ(where->param_types.size(), 2u);
+  EXPECT_EQ(where->param_types[0],
+            static_cast<uint8_t>(server::ParamType::kInt));
+  EXPECT_EQ(where->param_types[1],
+            static_cast<uint8_t>(server::ParamType::kStr));
+
+  // INSERT infers by column position: (INT, INT, VARCHAR).
+  auto insert = client.Prepare("INSERT INTO sensors VALUES (?, ?, ?)");
+  ASSERT_TRUE(insert.ok()) << insert.status().ToString();
+  ASSERT_EQ(insert->param_types.size(), 3u);
+  EXPECT_EQ(insert->param_types[0],
+            static_cast<uint8_t>(server::ParamType::kInt));
+  EXPECT_EQ(insert->param_types[1],
+            static_cast<uint8_t>(server::ParamType::kInt));
+  EXPECT_EQ(insert->param_types[2],
+            static_cast<uint8_t>(server::ParamType::kStr));
+
+  // No placeholders: no metadata, and execution still works.
+  auto plain = client.Prepare("SELECT COUNT(*) FROM sensors");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->nparams, 0u);
+  EXPECT_TRUE(plain->param_types.empty());
+  auto run = client.ExecutePrepared(*where, {Value::Int(100),
+                                             Value::Str("lab")});
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+}
+
 /// The compression counters are part of the status relation from the
 /// start (all zero on an uncompressed catalog) and move when a table is
 /// compressed and compressible results ship to a caps-negotiated client.
@@ -874,7 +961,7 @@ TEST_F(ServerTest, PreparedOverWireMatchesAndInvalidates) {
 
   // Executing an unknown statement id is a typed error; session survives.
   auto unknown = client.ExecutePrepared(
-      server::PreparedHandle{0xDEAD, 0}, {});
+      server::PreparedHandle{0xDEAD, 0, {}}, {});
   ASSERT_FALSE(unknown.ok());
   EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
   EXPECT_TRUE(client.Query("SELECT COUNT(*) FROM sensors").ok());

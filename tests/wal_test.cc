@@ -587,6 +587,138 @@ TEST_F(WalTest, GroupCommitOffForcesAnFsyncPerCommit) {
   EXPECT_GE(stats.fsyncs, stats.commits_synced);
 }
 
+// ---------------------------------------------------- segment rotation --
+
+/// Regression: a crash during Sync()'s segment rotation leaves the fresh
+/// segment file with a torn 16-byte header (the only write it ever got).
+/// Recovery used to reject the whole directory as corrupt; a torn header
+/// on the *final* segment is a crash artefact and must be dropped like a
+/// torn record tail — every acked commit lives in the earlier segments.
+TEST_F(WalTest, TornSegmentHeaderAtRotationIsACrashArtifact) {
+  auto fault = std::make_shared<WalFaultInjector>();
+  std::atomic<int> headers{0};
+  fault->clamp_write = [&](size_t len) -> size_t {
+    // Segment headers are the only exactly-16-byte appends (every
+    // transaction is three frames). Tear the third one: the header of
+    // the segment the second rotation creates.
+    if (len == kSegmentHeaderBytes && ++headers >= 3) return 7;
+    return len;
+  };
+  WalOptions options;
+  options.fault = fault;
+  options.segment_bytes = 1;  // every commit crosses the rotation trigger
+  auto wal = Wal::Open(dir_, options);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+
+  // Commit 1: lands in segment 1, rotation creates segment 2 cleanly.
+  TxnBuilder create;
+  create.CreateTable("t", kSchema);
+  auto lsn = (*wal)->LogTransaction(create.ops());
+  ASSERT_TRUE(lsn.ok());
+  ASSERT_TRUE((*wal)->Sync(*lsn).ok());
+
+  // Commit 2: its bytes reach segment 2 and are fsynced, but the
+  // rotation afterwards tears segment 3's header — the Sync fails, so
+  // this commit is durable on disk yet never acked.
+  TxnBuilder ins;
+  ins.InsertRows("t", kSchema, SomeRows(1));
+  lsn = (*wal)->LogTransaction(ins.ops());
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_FALSE((*wal)->Sync(*lsn).ok());
+  wal->reset();
+
+  size_t segments = 0;
+  for (const auto& e : fs::directory_iterator(WalSubdir(dir_))) {
+    (void)e;
+    ++segments;
+  }
+  EXPECT_EQ(segments, 3u);  // the torn-header file exists on disk
+
+  // Recovery succeeds, applies both whole transactions, and deletes the
+  // torn-header segment so a reopened WAL starts from a clean tail.
+  Catalog recovered;
+  auto info = Recover(dir_, &recovered);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->txns_applied, 2u);
+  auto t = recovered.Get("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->VisibleRowCount(), 2u);
+  segments = 0;
+  for (const auto& e : fs::directory_iterator(WalSubdir(dir_))) {
+    (void)e;
+    ++segments;
+  }
+  EXPECT_EQ(segments, 2u);
+
+  // The directory stays writable: resume, commit, recover again.
+  auto wal2 = Wal::Open(dir_, WalOptions{}, info->resume);
+  ASSERT_TRUE(wal2.ok()) << wal2.status().ToString();
+  TxnBuilder more;
+  more.InsertRows("t", kSchema, SomeRows(5));
+  lsn = (*wal2)->LogTransaction(more.ops());
+  ASSERT_TRUE((*wal2)->Sync(*lsn).ok());
+  wal2->reset();
+  Catalog again;
+  info = Recover(dir_, &again);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->txns_applied, 3u);
+}
+
+/// Rotation under concurrent group commit: with segments barely bigger
+/// than one transaction, every leader round rotates while followers are
+/// parked on the condition variable. No acked commit may be lost and no
+/// Sync may fail — the race this guards is a follower whose LSN lands in
+/// the fresh segment while the leader is still swapping files.
+TEST_F(WalTest, GroupCommitRotationRaceLosesNoAckedCommit) {
+  auto fault = std::make_shared<WalFaultInjector>();
+  // Hold each fsync briefly so followers pile up behind the leader and
+  // rotation happens with a non-empty wait queue.
+  fault->before_sync = [] {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  };
+  WalOptions options;
+  options.fault = fault;
+  options.segment_bytes = 512;  // a handful of commits per segment
+  auto wal = Wal::Open(dir_, options);
+  ASSERT_TRUE(wal.ok());
+
+  TxnBuilder create;
+  create.CreateTable("t", kSchema);
+  auto lsn = (*wal)->LogTransaction(create.ops());
+  ASSERT_TRUE((*wal)->Sync(*lsn).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kTxnsPerThread = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int j = 0; j < kTxnsPerThread; ++j) {
+        TxnBuilder ins;
+        ins.InsertRows(
+            "t", kSchema,
+            {{Value::Int(t * 1000 + j), Value::Str("w"), Value::Real(0)}});
+        auto commit_lsn = (*wal)->LogTransaction(ins.ops());
+        if (!commit_lsn.ok() || !(*wal)->Sync(*commit_lsn).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  const WalStats stats = (*wal)->stats();
+  EXPECT_GT(stats.segments_created, 4u);  // rotation genuinely happened
+  wal->reset();
+
+  Catalog recovered;
+  auto info = Recover(dir_, &recovered);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->txns_applied, 1u + kThreads * kTxnsPerThread);
+  auto t = recovered.Get("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->VisibleRowCount(),
+            static_cast<size_t>(kThreads * kTxnsPerThread));
+}
+
 // --------------------------------------------------------- checkpoints --
 
 TEST_F(WalTest, CheckpointTruncatesLogAndSurvivesRestart) {
