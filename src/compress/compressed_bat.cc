@@ -204,11 +204,82 @@ Status CompressedBat::FillCache() const {
     Result<BatPtr> full = Decode();
     if (full.ok()) {
       cache_->bat = *std::move(full);
+      cache_->bytes.store(count_ * width(), std::memory_order_relaxed);
     } else {
       cache_->status = full.status();
     }
   });
   return cache_->status;
+}
+
+Result<const CompressedBat::RleRuns*> CompressedBat::RunsView() const {
+  if (codec_ != Codec::kRle) {
+    return Status::Unsupported("runs view: column is not RLE");
+  }
+  std::call_once(runs_cache_->once, [this] {
+    // Walk the (value, run) pairs once; the view replaces O(rows) decodes
+    // with O(runs) folds in the compressed kernels.
+    const std::vector<uint8_t>& in = bytes_;
+    const size_t vw = type_ == PhysType::kInt32 ? 4 : 8;
+    if (in.size() < 8) {
+      runs_cache_->status = Status::IOError("rle: truncated header");
+      return;
+    }
+    uint32_t count = 0;
+    std::memcpy(&count, in.data() + 4, 4);
+    RleRuns& runs = runs_cache_->runs;
+    uint64_t row = 0;
+    size_t off = 8;
+    while (row < count) {
+      if (off + vw + 4 > in.size()) {
+        runs_cache_->status = Status::IOError("rle: truncated run");
+        return;
+      }
+      int64_t v = 0;
+      if (vw == 4) {
+        int32_t v32;
+        std::memcpy(&v32, in.data() + off, 4);
+        v = v32;
+      } else {
+        std::memcpy(&v, in.data() + off, 8);
+      }
+      uint32_t run = 0;
+      std::memcpy(&run, in.data() + off + vw, 4);
+      off += vw + 4;
+      if (row + run > count) {
+        runs_cache_->status = Status::IOError("rle: run overflow");
+        return;
+      }
+      runs.values.push_back(v);
+      runs.starts.push_back(row);
+      row += run;
+    }
+    runs.starts.push_back(row);
+  });
+  MAMMOTH_RETURN_IF_ERROR(runs_cache_->status);
+  return &runs_cache_->runs;
+}
+
+Result<CompressedBat::DictView> CompressedBat::PdictView() const {
+  if (codec_ != Codec::kPdict) {
+    return Status::Unsupported("dict view: column is not PDICT");
+  }
+  if (bytes_.size() < 16) return Status::IOError("pdict: truncated header");
+  DictView view;
+  uint32_t magic = 0, count = 0;
+  std::memcpy(&magic, bytes_.data(), 4);
+  std::memcpy(&count, bytes_.data() + 4, 4);
+  std::memcpy(&view.dsize, bytes_.data() + 8, 4);
+  std::memcpy(&view.bits, bytes_.data() + 12, 4);
+  if (magic != 0x31434450 || count != count_ || view.bits > 32) {
+    return Status::IOError("pdict: bad header");
+  }
+  const size_t dict_end = 16 + static_cast<size_t>(view.dsize) * 4;
+  if (bytes_.size() < dict_end) return Status::IOError("pdict: truncated");
+  view.dict = reinterpret_cast<const int32_t*>(bytes_.data() + 16);
+  view.codes = bytes_.data() + dict_end;
+  view.sorted = std::is_sorted(view.dict, view.dict + view.dsize);
+  return view;
 }
 
 Result<BatPtr> CompressedBat::DecodedBat() const {

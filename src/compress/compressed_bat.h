@@ -1,7 +1,9 @@
 #ifndef MAMMOTH_COMPRESS_COMPRESSED_BAT_H_
 #define MAMMOTH_COMPRESS_COMPRESSED_BAT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -86,6 +88,46 @@ class CompressedBat {
   int64_t StatMin(size_t block) const { return stat_min_[block]; }
   int64_t StatMax(size_t block) const { return stat_max_[block]; }
 
+  /// Bytes currently pinned by the shared whole-column decode cache (0
+  /// until some caller forces a full decode). Feeds the engine's
+  /// compression stats so the "hidden" decoded footprint is visible.
+  size_t DecodedCacheBytes() const {
+    return cache_->bytes.load(std::memory_order_relaxed);
+  }
+
+  /// --- Compressed-direct kernel views ---------------------------------
+  /// Parsed run list of an RLE column: values[r] repeats over rows
+  /// [starts[r], starts[r+1]); starts has nruns+1 entries, the last equal
+  /// to Count(). Values are widened to int64 regardless of column type.
+  /// Lazily parsed once and shared by copies; error on non-RLE columns.
+  struct RleRuns {
+    std::vector<int64_t> values;
+    std::vector<uint64_t> starts;
+    size_t NumRuns() const { return values.size(); }
+  };
+  Result<const RleRuns*> RunsView() const;
+
+  /// Zero-copy view into a PDICT column's dictionary and packed codes.
+  /// Valid only while this CompressedBat instance is alive. `sorted` is
+  /// true when the dictionary is ascending (every image written since the
+  /// sorted-dict encoder; legacy first-appearance images scan via a LUT).
+  struct DictView {
+    const int32_t* dict = nullptr;
+    uint32_t dsize = 0;
+    uint32_t bits = 0;
+    const uint8_t* codes = nullptr;  ///< bit-packed stream (+8B slack)
+    bool sorted = false;
+    /// Code of row i; callers special-case bits == 0 (dsize <= 1).
+    uint32_t CodeAt(size_t i) const {
+      const size_t bitpos = i * bits;
+      uint64_t word;
+      std::memcpy(&word, codes + bitpos / 8, sizeof(word));
+      return static_cast<uint32_t>((word >> (bitpos % 8)) &
+                                   ((uint64_t{1} << bits) - 1));
+    }
+  };
+  Result<DictView> PdictView() const;
+
   /// --- Persistence ----------------------------------------------------
   /// Self-describing byte image (codec, type, props, stats, stream); the
   /// catalog snapshot writes one per compressed column.
@@ -99,6 +141,16 @@ class CompressedBat {
     std::once_flag once;
     Status status = Status::OK();
     BatPtr bat;
+    std::atomic<size_t> bytes{0};  ///< logical bytes held once filled
+  };
+
+  /// Fill-once parsed run list for RLE columns (same sharing rules as
+  /// DecodedCache; the vectors own their storage so sharing across copies
+  /// never dangles).
+  struct RunsCache {
+    std::once_flag once;
+    Status status = Status::OK();
+    RleRuns runs;
   };
 
   Status FillCache() const;
@@ -113,6 +165,7 @@ class CompressedBat {
   std::vector<int64_t> stat_max_;
   BatProperties props_;
   std::shared_ptr<DecodedCache> cache_ = std::make_shared<DecodedCache>();
+  std::shared_ptr<RunsCache> runs_cache_ = std::make_shared<RunsCache>();
 };
 
 }  // namespace mammoth::compress

@@ -1,0 +1,507 @@
+#include "compress/compressed_kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace mammoth::compress {
+
+namespace {
+
+/// Same guarantees ScanThetaSelect stamps on its results: ascending OIDs,
+/// pairwise distinct.
+void StampSelectResult(const BatPtr& r) {
+  r->mutable_props().sorted = true;
+  r->mutable_props().key = true;
+  r->mutable_props().revsorted = r->Count() <= 1;
+}
+
+struct Counters {
+  std::atomic<uint64_t> selects_direct{0};
+  std::atomic<uint64_t> selects_fallback{0};
+  std::atomic<uint64_t> aggrs_direct{0};
+  std::atomic<uint64_t> aggrs_fallback{0};
+  std::atomic<uint64_t> project_bounded{0};
+  std::atomic<uint64_t> project_bounded_bytes{0};
+  std::atomic<uint64_t> project_full{0};
+};
+
+Counters& C() {
+  static Counters c;
+  return c;
+}
+
+bool NumericOperand(const Value& v) { return v.is_numeric(); }
+
+bool CodecSelectable(const CompressedBat& comp) {
+  // PFOR and PFOR-DELTA carry no exploitable structure — their only play
+  // is decoding, which the fallback already does (into the shared cache).
+  return comp.codec() == Codec::kRle || comp.codec() == Codec::kPdict;
+}
+
+/// Streaming unpack of `n` fixed-width codes starting at row `from` into
+/// `out`: a 64-bit reservoir refilled byte-aligned, so each load yields
+/// floor((64 - 7) / bits) codes instead of CodeAt's one load per row.
+/// Requires the packed stream's 8-byte slack (both encoders provide it).
+void UnpackCodes(const uint8_t* codes, uint32_t bits, size_t from, size_t n,
+                 uint32_t* out) {
+  if (bits == 0) {
+    std::fill(out, out + n, 0u);
+    return;
+  }
+  if (bits == 8) {  // byte-aligned: plain widening copy
+    const uint8_t* p = codes + from;
+    for (size_t i = 0; i < n; ++i) out[i] = p[i];
+    return;
+  }
+  if (bits == 16) {
+    const uint8_t* p = codes + from * 2;
+    for (size_t i = 0; i < n; ++i) {
+      uint16_t c;
+      std::memcpy(&c, p + i * 2, sizeof(c));
+      out[i] = c;
+    }
+    return;
+  }
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  size_t bitpos = from * bits;
+  size_t i = 0;
+  while (i < n) {
+    uint64_t w;
+    std::memcpy(&w, codes + (bitpos >> 3), sizeof(w));
+    const uint32_t off = static_cast<uint32_t>(bitpos & 7);
+    w >>= off;
+    uint32_t avail = 64 - off;
+    while (avail >= bits && i < n) {
+      out[i++] = static_cast<uint32_t>(w & mask);
+      w >>= bits;
+      avail -= bits;
+      bitpos += bits;
+    }
+  }
+}
+
+/// Batch grain for code-space scans: fits L1 alongside the output.
+constexpr size_t kCodeBatch = 4096;
+
+/// Emits OIDs [hseq+lo, hseq+hi) into r.
+void AppendRange(const BatPtr& r, Oid hseq, size_t lo, size_t hi) {
+  for (size_t i = lo; i < hi; ++i) r->Append<Oid>(hseq + i);
+}
+
+/// RLE select: walk the run list, test each run's value once, and emit the
+/// run's row range clipped to [begin, end). O(runs + matches).
+template <typename KeepFn>
+Result<BatPtr> RleSelect(const CompressedBat& comp, size_t begin, size_t end,
+                         Oid hseq, const KeepFn& keep) {
+  MAMMOTH_ASSIGN_OR_RETURN(const CompressedBat::RleRuns* runs,
+                           comp.RunsView());
+  BatPtr r = Bat::New(PhysType::kOid);
+  if (begin < end) {
+    // Last run whose start is <= begin.
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(runs->starts.begin(), runs->starts.end(), begin) -
+        runs->starts.begin());
+    idx = idx == 0 ? 0 : idx - 1;
+    for (; idx < runs->NumRuns() && runs->starts[idx] < end; ++idx) {
+      if (!keep(runs->values[idx])) continue;
+      AppendRange(r, hseq,
+                  std::max<size_t>(runs->starts[idx], begin),
+                  std::min<size_t>(runs->starts[idx + 1], end));
+    }
+  }
+  StampSelectResult(r);
+  return r;
+}
+
+/// PDICT select: evaluate the predicate once per dictionary entry, then
+/// scan the packed codes. When the surviving codes form one contiguous
+/// interval (the common case with the sorted dictionary) the row test is
+/// two compares; otherwise a byte LUT.
+template <typename KeepFn>
+Result<BatPtr> PdictSelect(const CompressedBat& comp, size_t begin,
+                           size_t end, Oid hseq, const KeepFn& keep) {
+  MAMMOTH_ASSIGN_OR_RETURN(CompressedBat::DictView view, comp.PdictView());
+  BatPtr r = Bat::New(PhysType::kOid);
+  if (begin >= end) {
+    StampSelectResult(r);
+    return r;
+  }
+  if (view.dsize <= 1) {
+    if (view.dsize == 1 && keep(static_cast<int64_t>(view.dict[0]))) {
+      AppendRange(r, hseq, begin, end);
+    }
+    StampSelectResult(r);
+    return r;
+  }
+  std::vector<uint8_t> lut(view.dsize);
+  uint32_t lo = view.dsize, hi = 0;
+  size_t nkeep = 0;
+  for (uint32_t c = 0; c < view.dsize; ++c) {
+    lut[c] = keep(static_cast<int64_t>(view.dict[c])) ? 1 : 0;
+    if (lut[c]) {
+      lo = std::min(lo, c);
+      hi = c + 1;
+      ++nkeep;
+    }
+  }
+  const bool interval = nkeep == 0 || hi - lo == nkeep;
+  uint32_t buf[kCodeBatch];
+  for (size_t base = begin; base < end; base += kCodeBatch) {
+    const size_t n = std::min(kCodeBatch, end - base);
+    UnpackCodes(view.codes, view.bits, base, n, buf);
+    if (interval) {
+      for (size_t i = 0; i < n; ++i) {
+        if (buf[i] >= lo && buf[i] < hi) r->Append<Oid>(hseq + base + i);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (lut[buf[i]]) r->Append<Oid>(hseq + base + i);
+      }
+    }
+  }
+  StampSelectResult(r);
+  return r;
+}
+
+template <typename KeepFn>
+Result<BatPtr> SelectDispatch(const CompressedBat& comp, size_t begin,
+                              size_t end, Oid hseq, const KeepFn& keep) {
+  if (end > comp.Count() || begin > end) {
+    return Status::OutOfRange("compressed select: range beyond column");
+  }
+  switch (comp.codec()) {
+    case Codec::kRle:
+      return RleSelect(comp, begin, end, hseq, keep);
+    case Codec::kPdict:
+      return PdictSelect(comp, begin, end, hseq, keep);
+    default:
+      return Status::Unsupported("compressed select: codec has no kernel");
+  }
+}
+
+/// Builds the narrowed keep() for a theta predicate; `v64` values arrive
+/// widened from the run list / dictionary and are narrowed back to the
+/// column type, so compares match the plain kernel exactly.
+template <typename T>
+auto ThetaKeep(const Value& v, CmpOp op) {
+  const T tv = v.As<T>();
+  return [tv, op](int64_t x) { return ApplyCmp(op, static_cast<T>(x), tv); };
+}
+
+template <typename T>
+auto RangeKeep(const Value& lo, const Value& hi, bool lo_incl, bool hi_incl,
+               bool anti) {
+  const bool has_lo = !lo.is_nil();
+  const bool has_hi = !hi.is_nil();
+  const T tlo = has_lo ? lo.As<T>() : T{};
+  const T thi = has_hi ? hi.As<T>() : T{};
+  return [=](int64_t x64) {
+    const T x = static_cast<T>(x64);
+    bool in = true;
+    if (has_lo) in = lo_incl ? (x >= tlo) : (x > tlo);
+    if (in && has_hi) in = hi_incl ? (x <= thi) : (x < thi);
+    return in != anti;
+  };
+}
+
+}  // namespace
+
+bool ThetaSelectableOnCompressed(const CompressedBat& comp, const Value& v,
+                                 CmpOp op) {
+  return CodecSelectable(comp) && !comp.props().sorted &&
+         NumericOperand(v) && op != CmpOp::kLike;
+}
+
+bool RangeSelectableOnCompressed(const CompressedBat& comp, const Value& lo,
+                                 const Value& hi) {
+  const bool lo_ok = lo.is_nil() || lo.is_numeric();
+  const bool hi_ok = hi.is_nil() || hi.is_numeric();
+  return CodecSelectable(comp) && !comp.props().sorted && lo_ok && hi_ok;
+}
+
+bool AggregatableOnCompressed(const CompressedBat& comp) {
+  return comp.codec() == Codec::kRle || comp.codec() == Codec::kPdict;
+}
+
+bool StrSelectableOnDict(const Value& v, CmpOp op) {
+  (void)op;  // the sorted dictionary answers every string-shaped op
+  return v.is_str();
+}
+
+Result<BatPtr> CompressedThetaSelectRange(const CompressedBat& comp,
+                                          const Value& v, CmpOp op,
+                                          size_t begin, size_t end,
+                                          Oid hseq) {
+  if (!v.is_numeric()) {
+    return Status::TypeMismatch("select: numeric column vs non-numeric value");
+  }
+  if (op == CmpOp::kLike) {
+    return Status::TypeMismatch("select: LIKE on numeric column");
+  }
+  if (comp.type() == PhysType::kInt32) {
+    return SelectDispatch(comp, begin, end, hseq, ThetaKeep<int32_t>(v, op));
+  }
+  return SelectDispatch(comp, begin, end, hseq, ThetaKeep<int64_t>(v, op));
+}
+
+Result<BatPtr> CompressedRangeSelectRange(const CompressedBat& comp,
+                                          const Value& lo, const Value& hi,
+                                          bool lo_incl, bool hi_incl,
+                                          bool anti, size_t begin, size_t end,
+                                          Oid hseq) {
+  if ((!lo.is_nil() && !lo.is_numeric()) ||
+      (!hi.is_nil() && !hi.is_numeric())) {
+    return Status::TypeMismatch("range select: non-numeric bound");
+  }
+  if (comp.type() == PhysType::kInt32) {
+    return SelectDispatch(comp, begin, end, hseq,
+                          RangeKeep<int32_t>(lo, hi, lo_incl, hi_incl, anti));
+  }
+  return SelectDispatch(comp, begin, end, hseq,
+                        RangeKeep<int64_t>(lo, hi, lo_incl, hi_incl, anti));
+}
+
+Result<BatPtr> DictStrSelectRange(const StrDict& dict, const Value& v,
+                                  CmpOp op, size_t begin, size_t end,
+                                  Oid hseq) {
+  if (!v.is_str()) {
+    return Status::TypeMismatch("select: string column vs non-string value");
+  }
+  if (end > dict.Count() || begin > end) {
+    return Status::OutOfRange("compressed select: range beyond column");
+  }
+  const std::string& pat = v.AsStr();
+  const uint32_t dsize = dict.dsize();
+  BatPtr r = Bat::New(PhysType::kOid);
+  if (begin >= end) {
+    StampSelectResult(r);
+    return r;
+  }
+  // Rewrite the predicate into one code interval where the sorted
+  // dictionary allows (eq, ordered ops, LIKE 'lit%'); general patterns and
+  // != fall to a per-code LUT built from ONE evaluation per distinct word.
+  uint32_t lo = 0, hi = 0;
+  bool use_interval = true, invert = false;
+  std::string_view prefix;
+  switch (op) {
+    case CmpOp::kEq: {
+      uint32_t code = 0;
+      if (dict.FindCode(pat, &code)) {
+        lo = code;
+        hi = code + 1;
+      }
+      break;
+    }
+    case CmpOp::kNe: {
+      uint32_t code = 0;
+      if (dict.FindCode(pat, &code)) {
+        lo = code;
+        hi = code + 1;
+      } else {
+        lo = hi = 0;  // empty interval, inverted -> everything
+      }
+      invert = true;
+      break;
+    }
+    case CmpOp::kLt:
+      lo = 0;
+      hi = dict.LowerBound(pat);
+      break;
+    case CmpOp::kLe:
+      lo = 0;
+      hi = dict.UpperBound(pat);
+      break;
+    case CmpOp::kGe:
+      lo = dict.LowerBound(pat);
+      hi = dsize;
+      break;
+    case CmpOp::kGt:
+      lo = dict.UpperBound(pat);
+      hi = dsize;
+      break;
+    case CmpOp::kLike:
+      if (LikePrefix(pat, &prefix)) {
+        dict.PrefixCodeRange(prefix, &lo, &hi);
+      } else {
+        use_interval = false;
+      }
+      break;
+  }
+  std::vector<uint8_t> lut;
+  if (!use_interval) {
+    lut.assign(std::max<uint32_t>(dsize, 1), 0);
+    for (uint32_t c = 0; c < dsize; ++c) {
+      lut[c] = LikeMatch(dict.Word(c), pat) ? 1 : 0;
+    }
+  }
+  uint32_t buf[kCodeBatch];
+  for (size_t base = begin; base < end; base += kCodeBatch) {
+    const size_t n = std::min(kCodeBatch, end - base);
+    UnpackCodes(dict.code_data(), dict.bits(), base, n, buf);
+    if (use_interval) {
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t c = buf[i];
+        if ((c >= lo && c < hi) != invert) r->Append<Oid>(hseq + base + i);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (lut[buf[i]]) r->Append<Oid>(hseq + base + i);
+      }
+    }
+  }
+  StampSelectResult(r);
+  return r;
+}
+
+Result<BatPtr> CompressedAggrSum(const CompressedBat& comp) {
+  // Unsigned fold: two's-complement addition is associative, so
+  // value*run_length accumulates to exactly the serial int64 sum.
+  uint64_t acc = 0;
+  switch (comp.codec()) {
+    case Codec::kRle: {
+      MAMMOTH_ASSIGN_OR_RETURN(const CompressedBat::RleRuns* runs,
+                               comp.RunsView());
+      for (size_t i = 0; i < runs->NumRuns(); ++i) {
+        const uint64_t len = runs->starts[i + 1] - runs->starts[i];
+        acc += static_cast<uint64_t>(runs->values[i]) * len;
+      }
+      break;
+    }
+    case Codec::kPdict: {
+      MAMMOTH_ASSIGN_OR_RETURN(CompressedBat::DictView view,
+                               comp.PdictView());
+      std::vector<uint64_t> cnt(std::max<uint32_t>(view.dsize, 1), 0);
+      const size_t n = comp.Count();
+      if (view.bits == 0) {
+        cnt[0] = n;
+      } else {
+        uint32_t buf[kCodeBatch];
+        for (size_t base = 0; base < n; base += kCodeBatch) {
+          const size_t m = std::min(kCodeBatch, n - base);
+          UnpackCodes(view.codes, view.bits, base, m, buf);
+          for (size_t i = 0; i < m; ++i) ++cnt[buf[i]];
+        }
+      }
+      for (uint32_t c = 0; c < view.dsize; ++c) {
+        acc += static_cast<uint64_t>(
+                   static_cast<int64_t>(view.dict[c])) *
+               cnt[c];
+      }
+      break;
+    }
+    default:
+      return Status::Unsupported("compressed sum: codec has no fold");
+  }
+  BatPtr r = Bat::New(PhysType::kInt64);
+  r->Append<int64_t>(static_cast<int64_t>(acc));
+  return r;
+}
+
+namespace {
+
+template <bool kMin>
+Result<BatPtr> CompressedAggrMinMax(const CompressedBat& comp) {
+  int64_t acc = comp.type() == PhysType::kInt32
+                    ? (kMin ? std::numeric_limits<int32_t>::max()
+                            : std::numeric_limits<int32_t>::lowest())
+                    : (kMin ? std::numeric_limits<int64_t>::max()
+                            : std::numeric_limits<int64_t>::lowest());
+  switch (comp.codec()) {
+    case Codec::kRle: {
+      MAMMOTH_ASSIGN_OR_RETURN(const CompressedBat::RleRuns* runs,
+                               comp.RunsView());
+      for (int64_t v : runs->values) {
+        if (kMin ? v < acc : v > acc) acc = v;
+      }
+      break;
+    }
+    case Codec::kPdict: {
+      // Every dictionary entry appears in the column at least once by
+      // construction, so the fold over the dictionary IS the column fold.
+      MAMMOTH_ASSIGN_OR_RETURN(CompressedBat::DictView view,
+                               comp.PdictView());
+      if (comp.Count() > 0) {
+        if (view.sorted) {
+          acc = kMin ? view.dict[0] : view.dict[view.dsize - 1];
+        } else {
+          for (uint32_t c = 0; c < view.dsize; ++c) {
+            const int64_t v = view.dict[c];
+            if (kMin ? v < acc : v > acc) acc = v;
+          }
+        }
+      }
+      break;
+    }
+    default:
+      return Status::Unsupported("compressed min/max: codec has no fold");
+  }
+  BatPtr r = Bat::New(comp.type());
+  if (comp.type() == PhysType::kInt32) {
+    r->Append<int32_t>(static_cast<int32_t>(acc));
+  } else {
+    r->Append<int64_t>(acc);
+  }
+  return r;
+}
+
+}  // namespace
+
+Result<BatPtr> CompressedAggrMin(const CompressedBat& comp) {
+  return CompressedAggrMinMax<true>(comp);
+}
+
+Result<BatPtr> CompressedAggrMax(const CompressedBat& comp) {
+  return CompressedAggrMinMax<false>(comp);
+}
+
+KernelStats GetKernelStats() {
+  Counters& c = C();
+  KernelStats s;
+  s.selects_direct = c.selects_direct.load(std::memory_order_relaxed);
+  s.selects_fallback = c.selects_fallback.load(std::memory_order_relaxed);
+  s.aggrs_direct = c.aggrs_direct.load(std::memory_order_relaxed);
+  s.aggrs_fallback = c.aggrs_fallback.load(std::memory_order_relaxed);
+  s.project_bounded = c.project_bounded.load(std::memory_order_relaxed);
+  s.project_bounded_bytes =
+      c.project_bounded_bytes.load(std::memory_order_relaxed);
+  s.project_full = c.project_full.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetKernelStats() {
+  Counters& c = C();
+  c.selects_direct.store(0, std::memory_order_relaxed);
+  c.selects_fallback.store(0, std::memory_order_relaxed);
+  c.aggrs_direct.store(0, std::memory_order_relaxed);
+  c.aggrs_fallback.store(0, std::memory_order_relaxed);
+  c.project_bounded.store(0, std::memory_order_relaxed);
+  c.project_bounded_bytes.store(0, std::memory_order_relaxed);
+  c.project_full.store(0, std::memory_order_relaxed);
+}
+
+namespace stats {
+void SelectDirect() {
+  C().selects_direct.fetch_add(1, std::memory_order_relaxed);
+}
+void SelectFallback() {
+  C().selects_fallback.fetch_add(1, std::memory_order_relaxed);
+}
+void AggrDirect() {
+  C().aggrs_direct.fetch_add(1, std::memory_order_relaxed);
+}
+void AggrFallback() {
+  C().aggrs_fallback.fetch_add(1, std::memory_order_relaxed);
+}
+void ProjectBounded(uint64_t bytes) {
+  C().project_bounded.fetch_add(1, std::memory_order_relaxed);
+  C().project_bounded_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+void ProjectFull() {
+  C().project_full.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace stats
+
+}  // namespace mammoth::compress

@@ -1,5 +1,6 @@
 #include "compress/pdict.h"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_map>
 
@@ -31,6 +32,21 @@ Status PdictEncode(const int32_t* values, size_t n,
     }
     codes[i] = it->second;
   }
+  // Emit the dictionary in ascending value order and remap codes: with a
+  // sorted dictionary, constant comparisons against the column rewrite to a
+  // single contiguous code interval (compressed_kernels), while decode stays
+  // a plain gather. Old first-appearance images still decode unchanged.
+  std::vector<int32_t> sorted_vals = dict_values;
+  std::sort(sorted_vals.begin(), sorted_vals.end());
+  std::vector<uint32_t> remap(dict_values.size());
+  for (size_t c = 0; c < dict_values.size(); ++c) {
+    remap[c] = static_cast<uint32_t>(
+        std::lower_bound(sorted_vals.begin(), sorted_vals.end(),
+                         dict_values[c]) -
+        sorted_vals.begin());
+  }
+  for (size_t i = 0; i < n; ++i) codes[i] = remap[codes[i]];
+  dict_values = std::move(sorted_vals);
   const int bits =
       dict_values.size() <= 1
           ? 0

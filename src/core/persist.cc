@@ -203,6 +203,17 @@ Status SaveTable(const Table& table, const std::string& dir) {
       out.write(image.data(), static_cast<std::streamsize>(image.size()));
       out.flush();
       if (!out) return Status::IOError("short write to " + path);
+    } else if (snap->StringDictColumn(i) != nullptr) {
+      // Dictionary-compressed string column: the .sdict image (sorted
+      // dictionary + packed codes) replaces the offset tail + heap.
+      manifest << def.name << " " << TypeToken(def.type) << " sdict\n";
+      std::string image;
+      snap->StringDictColumn(i)->Serialize(&image);
+      const std::string path = dir + "/col_" + std::to_string(i) + ".sdict";
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(image.data(), static_cast<std::streamsize>(image.size()));
+      out.flush();
+      if (!out) return Status::IOError("short write to " + path);
     } else {
       manifest << def.name << " " << TypeToken(def.type) << "\n";
       MAMMOTH_RETURN_IF_ERROR(SaveBat(
@@ -226,6 +237,7 @@ Result<TablePtr> LoadTable(const std::string& dir, bool use_mmap) {
   std::vector<ColumnDef> schema;
   std::vector<BatPtr> columns;
   std::vector<std::shared_ptr<const compress::CompressedBat>> comps;
+  std::vector<std::shared_ptr<const compress::StrDict>> sdicts;
   for (size_t i = 0; i < ncols; ++i) {
     ColumnDef def;
     std::string type_token;
@@ -237,8 +249,10 @@ Result<TablePtr> LoadTable(const std::string& dir, bool use_mmap) {
     std::string rest;
     std::getline(manifest, rest);
     const bool compressed = rest.find("czip") != std::string::npos;
+    const bool dict = rest.find("sdict") != std::string::npos;
     BatPtr col;
     std::shared_ptr<const compress::CompressedBat> comp;
+    std::shared_ptr<const compress::StrDict> sdict;
     if (compressed) {
       const std::string path = dir + "/col_" + std::to_string(i) + ".cbat";
       std::ifstream in(path, std::ios::binary);
@@ -249,6 +263,16 @@ Result<TablePtr> LoadTable(const std::string& dir, bool use_mmap) {
       MAMMOTH_ASSIGN_OR_RETURN(compress::CompressedBat cb,
                                compress::CompressedBat::Deserialize(image));
       comp = std::make_shared<const compress::CompressedBat>(std::move(cb));
+    } else if (dict) {
+      const std::string path = dir + "/col_" + std::to_string(i) + ".sdict";
+      std::ifstream in(path, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      if (!in.good() && !in.eof()) return Status::IOError("read " + path);
+      std::string image = std::move(buf).str();
+      MAMMOTH_ASSIGN_OR_RETURN(compress::StrDict sd,
+                               compress::StrDict::Deserialize(image));
+      sdict = std::make_shared<const compress::StrDict>(std::move(sd));
     } else {
       const std::string path = dir + "/col_" + std::to_string(i) + ".mbat";
       if (use_mmap) {
@@ -260,11 +284,13 @@ Result<TablePtr> LoadTable(const std::string& dir, bool use_mmap) {
     schema.push_back(std::move(def));
     columns.push_back(std::move(col));
     comps.push_back(std::move(comp));
+    sdicts.push_back(std::move(sdict));
   }
   std::string policy_token;
   const bool policy = (manifest >> policy_token) && policy_token == "compressed";
   return Table::FromStorage(std::move(name), std::move(schema),
-                            std::move(columns), std::move(comps), policy);
+                            std::move(columns), std::move(comps),
+                            std::move(sdicts), policy);
 }
 
 Status SaveCatalog(const Catalog& catalog, const std::string& dir) {

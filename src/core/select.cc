@@ -173,6 +173,9 @@ BatPtr StringThetaSelect(const Bat& b, const Bat* cands,
         case CmpOp::kGt:
           keep = s > vv;
           break;
+        case CmpOp::kLike:
+          keep = LikeMatch(s, vv);
+          break;
         default:
           break;
       }

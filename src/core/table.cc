@@ -10,6 +10,7 @@ Table::Table(std::string name, std::vector<ColumnDef> schema)
     : name_(std::move(name)), schema_(std::move(schema)) {
   mains_.reserve(schema_.size());
   compressed_.resize(schema_.size());
+  str_dicts_.resize(schema_.size());
   inserts_.reserve(schema_.size());
   for (const ColumnDef& def : schema_) {
     mains_.push_back(NewColumnBat(def));
@@ -190,7 +191,8 @@ Status Table::MergeDeltas() {
     // A compressed column with no pending deltas is already its merged
     // image: skip the decode/re-encode churn (checkpoints call MergeDeltas
     // on every snapshot).
-    if (compressed_[i] != nullptr && !has_deletes && !has_inserts) {
+    if ((compressed_[i] != nullptr || str_dicts_[i] != nullptr) &&
+        !has_deletes && !has_inserts) {
       continue;
     }
     MAMMOTH_ASSIGN_OR_RETURN(BatPtr merged, ScanColumn(i));
@@ -231,6 +233,17 @@ Status Table::MergeDeltas() {
         mains_[i] = NewColumnBat(schema_[i]);
       }
     }
+    str_dicts_[i] = nullptr;
+    if (compress_policy_ && schema_[i].type == PhysType::kStr) {
+      // String columns keep the plain BAT (offset identity anchors deltas
+      // and joins); the dictionary rides alongside as the execution and
+      // persistence image. High cardinality simply leaves it off.
+      Result<compress::StrDict> dict = compress::StrDict::Encode(mains_[i]);
+      if (dict.ok()) {
+        str_dicts_[i] =
+            std::make_shared<const compress::StrDict>(*std::move(dict));
+      }
+    }
     // Fresh empty delta (string deltas re-attach to the main heap).
     if (schema_[i].type == PhysType::kStr) {
       inserts_[i] = Bat::NewString(mains_[i]->heap());
@@ -266,6 +279,7 @@ TablePtr Table::Snapshot() const {
   TablePtr snap(new Table(name_, schema_));
   snap->mains_ = mains_;            // shared, immutable until MergeDeltas
   snap->compressed_ = compressed_;  // immutable byte streams: share
+  snap->str_dicts_ = str_dicts_;    // immutable dictionaries: share
   snap->compress_policy_ = compress_policy_;
   for (size_t i = 0; i < inserts_.size(); ++i) {
     snap->inserts_[i] = inserts_[i]->Clone();
@@ -287,6 +301,7 @@ Status Table::SetCompression(bool on) {
       MAMMOTH_ASSIGN_OR_RETURN(mains_[i], compressed_[i]->DecodedBat());
       compressed_[i] = nullptr;
     }
+    str_dicts_[i] = nullptr;  // the plain BAT is already resident
   }
   // Contents are unchanged, but cached plans/results key on the version
   // and the representation they bound to; be conservative.
@@ -298,10 +313,13 @@ Result<TablePtr> Table::FromStorage(
     std::string name, std::vector<ColumnDef> schema,
     std::vector<BatPtr> mains,
     std::vector<std::shared_ptr<const compress::CompressedBat>> comps,
+    std::vector<std::shared_ptr<const compress::StrDict>> sdicts,
     bool policy) {
   MAMMOTH_ASSIGN_OR_RETURN(TablePtr t,
                            Create(std::move(name), std::move(schema)));
-  if (mains.size() != t->schema_.size() || comps.size() != t->schema_.size()) {
+  if (mains.size() != t->schema_.size() ||
+      comps.size() != t->schema_.size() ||
+      sdicts.size() != t->schema_.size()) {
     return Status::InvalidArgument("FromStorage: column count mismatch");
   }
   size_t nrows = 0;
@@ -313,6 +331,12 @@ Result<TablePtr> Table::FromStorage(
                                     t->schema_[i].name + " type mismatch");
       }
       count = comps[i]->Count();
+    } else if (sdicts[i] != nullptr) {
+      if (t->schema_[i].type != PhysType::kStr) {
+        return Status::TypeMismatch("FromStorage: dictionary column " +
+                                    t->schema_[i].name + " is not a string");
+      }
+      count = sdicts[i]->Count();
     } else {
       if (mains[i] == nullptr || mains[i]->type() != t->schema_[i].type) {
         return Status::TypeMismatch("FromStorage: column " +
@@ -329,6 +353,13 @@ Result<TablePtr> Table::FromStorage(
   for (size_t i = 0; i < t->schema_.size(); ++i) {
     if (comps[i] != nullptr) {
       t->compressed_[i] = std::move(comps[i]);
+    } else if (sdicts[i] != nullptr) {
+      // Rebuild the plain execution image once, at (exclusive) load time;
+      // the dictionary stays alongside for code-space scans and the next
+      // snapshot.
+      MAMMOTH_ASSIGN_OR_RETURN(t->mains_[i], sdicts[i]->Decode());
+      t->str_dicts_[i] = std::move(sdicts[i]);
+      t->inserts_[i] = Bat::NewString(t->mains_[i]->heap());
     } else {
       t->mains_[i] = std::move(mains[i]);
       if (t->schema_[i].type == PhysType::kStr) {
@@ -343,6 +374,7 @@ Result<TablePtr> Table::FromStorage(
 size_t Table::CompressedColumnCount() const {
   size_t n = 0;
   for (const auto& c : compressed_) n += c != nullptr ? 1 : 0;
+  for (const auto& d : str_dicts_) n += d != nullptr ? 1 : 0;
   return n;
 }
 
@@ -351,6 +383,9 @@ size_t Table::CompressedBytesTotal() const {
   for (const auto& c : compressed_) {
     if (c != nullptr) n += c->CompressedBytes();
   }
+  for (const auto& d : str_dicts_) {
+    if (d != nullptr) n += d->CompressedBytes();
+  }
   return n;
 }
 
@@ -358,6 +393,17 @@ size_t Table::CompressedLogicalBytesTotal() const {
   size_t n = 0;
   for (const auto& c : compressed_) {
     if (c != nullptr) n += c->LogicalBytes();
+  }
+  for (const auto& d : str_dicts_) {
+    if (d != nullptr) n += d->LogicalBytes();
+  }
+  return n;
+}
+
+size_t Table::CompressedCacheBytesTotal() const {
+  size_t n = 0;
+  for (const auto& c : compressed_) {
+    if (c != nullptr) n += c->DecodedCacheBytes();
   }
   return n;
 }

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "compress/compressed_bat.h"
+#include "compress/dict_str.h"
 #include "core/bat.h"
 #include "core/value.h"
 
@@ -38,14 +39,16 @@ class Table {
                                       std::vector<ColumnDef> schema,
                                       std::vector<BatPtr> columns);
 
-  /// Persistence entry point for mixed representations: per column either
-  /// `mains[i]` (uncompressed) or `comps[i]` (compressed) is set. All
-  /// representations must agree on the row count; `policy` restores the
-  /// table's compression policy flag.
+  /// Persistence entry point for mixed representations: per column exactly
+  /// one of `mains[i]` (uncompressed), `comps[i]` (compressed int), or
+  /// `sdicts[i]` (dictionary-compressed string; the plain BAT is rebuilt at
+  /// load) is set. All representations must agree on the row count;
+  /// `policy` restores the table's compression policy flag.
   static Result<TablePtr> FromStorage(
       std::string name, std::vector<ColumnDef> schema,
       std::vector<BatPtr> mains,
       std::vector<std::shared_ptr<const compress::CompressedBat>> comps,
+      std::vector<std::shared_ptr<const compress::StrDict>> sdicts,
       bool policy);
 
   const std::string& name() const { return name_; }
@@ -135,12 +138,26 @@ class Table {
     return compressed_[idx];
   }
 
-  /// Number of columns currently stored compressed.
+  /// The dictionary image of a string column, or nullptr when the column
+  /// has none (policy off, or cardinality above StrDict::kMaxDistinct).
+  /// Unlike int columns the plain BAT stays resident — offset identity
+  /// anchors deltas, joins, and group-by — so the dictionary is the
+  /// *execution and persistence* image: code-space predicates scan it, and
+  /// snapshots write it instead of the heap.
+  const std::shared_ptr<const compress::StrDict>& StringDictColumn(
+      size_t idx) const {
+    return str_dicts_[idx];
+  }
+
+  /// Number of columns currently stored compressed (int codecs + string
+  /// dictionaries).
   size_t CompressedColumnCount() const;
   /// Compressed bytes across compressed columns, and the uncompressed
   /// bytes those columns stand for.
   size_t CompressedBytesTotal() const;
   size_t CompressedLogicalBytesTotal() const;
+  /// Bytes pinned by whole-column decode caches of compressed int columns.
+  size_t CompressedCacheBytesTotal() const;
 
   /// Monotone version counter, bumped by every Insert/Delete/MergeDeltas.
   /// Cached intermediates (the recycler, §6.1) key on it to invalidate
@@ -169,6 +186,9 @@ class Table {
   /// Parallel to mains_: non-null when the column's main image lives in
   /// compressed form (mains_[i] is then an empty stub).
   std::vector<std::shared_ptr<const compress::CompressedBat>> compressed_;
+  /// Parallel to mains_: the dictionary image of a string column under the
+  /// compression policy (mains_[i] stays the plain execution image).
+  std::vector<std::shared_ptr<const compress::StrDict>> str_dicts_;
   std::vector<BatPtr> inserts_;
   BatPtr deleted_;  // sorted oid BAT of deleted head positions
   bool compress_policy_ = false;

@@ -16,8 +16,43 @@ const char* CmpOpName(CmpOp op) {
       return ">=";
     case CmpOp::kGt:
       return ">";
+    case CmpOp::kLike:
+      return "like";
   }
   return "?";
+}
+
+bool LikeMatch(std::string_view s, std::string_view pattern) {
+  // Iterative glob match with single-star backtracking: on mismatch after a
+  // `%`, re-anchor the pattern one character further into `s`. Linear in
+  // practice; worst case O(|s| * |pattern|).
+  size_t si = 0, pi = 0;
+  size_t star_pi = std::string_view::npos, star_si = 0;
+  while (si < s.size()) {
+    if (pi < pattern.size() &&
+        (pattern[pi] == '_' || pattern[pi] == s[si])) {
+      ++si;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_pi = pi++;
+      star_si = si;
+    } else if (star_pi != std::string_view::npos) {
+      pi = star_pi + 1;
+      si = ++star_si;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  return pi == pattern.size();
+}
+
+bool LikePrefix(std::string_view pattern, std::string_view* prefix) {
+  if (pattern.empty() || pattern.back() != '%') return false;
+  std::string_view head = pattern.substr(0, pattern.size() - 1);
+  if (head.find_first_of("%_") != std::string_view::npos) return false;
+  *prefix = head;
+  return true;
 }
 
 std::string Value::ToString() const {

@@ -85,9 +85,20 @@ class Value {
 };
 
 /// Comparison operators understood by theta-selects and calc kernels.
-enum class CmpOp : uint8_t { kLt, kLe, kEq, kNe, kGe, kGt };
+/// kLike is string-only: SQL LIKE with `%` (any run) and `_` (any char)
+/// wildcards; numeric kernels treat it as a type mismatch.
+enum class CmpOp : uint8_t { kLt, kLe, kEq, kNe, kGe, kGt, kLike };
 
 const char* CmpOpName(CmpOp op);
+
+/// SQL LIKE matcher: `%` matches any run of characters (including empty),
+/// `_` matches exactly one. Matching is case-sensitive, full-string.
+bool LikeMatch(std::string_view s, std::string_view pattern);
+
+/// True when `pattern` is a pure prefix pattern — literal text followed by a
+/// single trailing `%` and containing no other wildcard. Such predicates
+/// rewrite to a contiguous code range on a sorted dictionary.
+bool LikePrefix(std::string_view pattern, std::string_view* prefix);
 
 /// Applies `op` to already-narrowed operands; inlined into kernel loops.
 template <typename T>
@@ -105,6 +116,8 @@ inline bool ApplyCmp(CmpOp op, T a, T b) {
       return a >= b;
     case CmpOp::kGt:
       return a > b;
+    case CmpOp::kLike:
+      break;  // string-only; numeric callers reject before the loop
   }
   return false;
 }

@@ -6,6 +6,7 @@
 #include "common/hash.h"
 #include "common/timer.h"
 #include "compress/compressed_exec.h"
+#include "compress/compressed_kernels.h"
 #include "core/group.h"
 #include "core/join.h"
 #include "core/project.h"
@@ -22,10 +23,17 @@ struct Rt {
   BatPtr bat;
   /// Compressed base-column image, set by kBind when the bound column is
   /// stored compressed (and no pending inserts extend it). `bat` stays
-  /// null then: select and project route the compressed image directly
-  /// (chunk-at-a-time decompression); any other consumer materializes
-  /// the shared whole-column decode via NeedBat.
+  /// null then: select, project and aggregate route the compressed image
+  /// directly (code-space kernels or chunk-at-a-time decompression); any
+  /// other consumer materializes the shared whole-column decode via
+  /// NeedBat.
   std::shared_ptr<const compress::CompressedBat> cbat;
+  /// Dictionary image of a bound string column (compression policy on,
+  /// no pending inserts). Unlike cbat, `bat` is set alongside it — the
+  /// plain heap image stays resident — so only code-space-rewritable
+  /// string predicates route through the dictionary; everything else
+  /// reads `bat` unchanged.
+  std::shared_ptr<const compress::StrDict> sdict;
   Value scalar;
   uint64_t sig = 0;
   /// Base-table provenance, set by kBind (and only kBind): marks this BAT
@@ -98,10 +106,12 @@ bool CoversWholeColumn(const BatPtr& cands, size_t count, Oid hseq) {
 }
 
 /// The scan source of a bound slot: the compressed image when the bind
-/// left one, the plain BAT otherwise.
+/// left one, the dictionary-backed string image when one exists, the
+/// plain BAT otherwise.
 scan::ColumnSource SourceOf(const Rt& in) {
-  return in.cbat != nullptr ? scan::ColumnSource::Compressed(in.cbat)
-                            : scan::ColumnSource::Plain(in.bat);
+  if (in.cbat != nullptr) return scan::ColumnSource::Compressed(in.cbat);
+  if (in.sdict != nullptr) return scan::ColumnSource::Dict(in.bat, in.sdict);
+  return scan::ColumnSource::Plain(in.bat);
 }
 
 }  // namespace
@@ -184,6 +194,7 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
           cached.size() == ins.outputs.size()) {
         for (size_t o = 0; o < ins.outputs.size(); ++o) {
           vars[ins.outputs[o]].bat = cached[o].bat;
+          vars[ins.outputs[o]].cbat = cached[o].cbat;
           vars[ins.outputs[o]].scalar = cached[o].scalar;
           vars[ins.outputs[o]].sig = HashCombine(sig, o);
         }
@@ -202,14 +213,21 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
         Rt& out = vars[ins.outputs[0]];
         out.bat = nullptr;
         out.cbat = nullptr;
+        out.sdict = nullptr;
         // A compressed column with no pending inserts binds as its
         // compressed image (decoded lazily, or chunk-at-a-time by the
-        // scan path); otherwise the merged plain image.
+        // scan path); otherwise the merged plain image. A dictionary-
+        // backed string column binds both images: the plain BAT for
+        // general consumers, the dictionary for code-space predicates.
         const auto& comp = t->CompressedColumn(idx);
         if (comp != nullptr && t->PendingInsertCount() == 0) {
           out.cbat = comp;
         } else {
           MAMMOTH_ASSIGN_OR_RETURN(out.bat, t->ScanColumn(idx));
+          const auto& sdict = t->StringDictColumn(idx);
+          if (sdict != nullptr && t->PendingInsertCount() == 0) {
+            out.sdict = sdict;
+          }
         }
         out.bind = &ins;
         out.bind_version = t->version();
@@ -247,6 +265,39 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
                     ctx_));
             vars[ins.outputs[0]].bat = r;
             break;
+          }
+        }
+        // Direct code-space kernels (no routed pass): a rewritable
+        // predicate over a full compressed or dictionary-backed column
+        // never decodes. Candidate-filtered or non-rewritable selects
+        // fall through to decode-then-kernel.
+        if (ins.inputs[0] >= 0) {
+          const Rt& in = vars[ins.inputs[0]];
+          if (in.cbat != nullptr &&
+              CoversWholeColumn(cands, in.cbat->Count(), 0) &&
+              compress::ThetaSelectableOnCompressed(*in.cbat, ins.consts[0],
+                                                    ins.cmp)) {
+            MAMMOTH_ASSIGN_OR_RETURN(
+                BatPtr r, compress::CompressedThetaSelectRange(
+                              *in.cbat, ins.consts[0], ins.cmp, 0,
+                              in.cbat->Count(), 0));
+            compress::stats::SelectDirect();
+            vars[ins.outputs[0]].bat = r;
+            break;
+          }
+          if (in.sdict != nullptr && in.bat != nullptr &&
+              CoversWholeColumn(cands, in.bat->Count(), in.bat->hseqbase()) &&
+              compress::StrSelectableOnDict(ins.consts[0], ins.cmp)) {
+            MAMMOTH_ASSIGN_OR_RETURN(
+                BatPtr r, compress::DictStrSelectRange(
+                              *in.sdict, ins.consts[0], ins.cmp, 0,
+                              in.sdict->Count(), in.bat->hseqbase()));
+            compress::stats::SelectDirect();
+            vars[ins.outputs[0]].bat = r;
+            break;
+          }
+          if (in.cbat != nullptr && in.bat == nullptr) {
+            compress::stats::SelectFallback();
           }
         }
         MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "thetaselect"));
@@ -290,6 +341,24 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
             break;
           }
         }
+        if (ins.inputs[0] >= 0 && subsume_cands == nullptr) {
+          const Rt& in = vars[ins.inputs[0]];
+          if (in.cbat != nullptr &&
+              CoversWholeColumn(cands, in.cbat->Count(), 0) &&
+              compress::RangeSelectableOnCompressed(*in.cbat, ins.consts[0],
+                                                    ins.consts[1])) {
+            MAMMOTH_ASSIGN_OR_RETURN(
+                BatPtr r, compress::CompressedRangeSelectRange(
+                              *in.cbat, ins.consts[0], ins.consts[1], true,
+                              true, ins.flag, 0, in.cbat->Count(), 0));
+            compress::stats::SelectDirect();
+            vars[ins.outputs[0]].bat = r;
+            break;
+          }
+          if (in.cbat != nullptr && in.bat == nullptr) {
+            compress::stats::SelectFallback();
+          }
+        }
         MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "select"));
         MAMMOTH_ASSIGN_OR_RETURN(
             BatPtr r,
@@ -302,9 +371,21 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
       case OpCode::kProject: {
         MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "projection"));
         // Projection out of a compressed bind decodes only the touched
-        // range (dense OID gathers) instead of the whole column.
+        // range (dense OID gathers) instead of the whole column. An
+        // identity projection (dense OID list covering every row — what
+        // a WHERE-less query's candidate list looks like) passes the
+        // compressed image through untouched, so a downstream aggregate
+        // can fold it without ever decoding.
         if (ins.inputs[1] >= 0 && vars[ins.inputs[1]].bat == nullptr &&
             vars[ins.inputs[1]].cbat != nullptr) {
+          const BatPtr& oids = vars[ins.inputs[0]].bat;
+          const auto& comp = vars[ins.inputs[1]].cbat;
+          if (oids->IsDenseTail() && oids->Count() == comp->Count() &&
+              oids->tseqbase() == 0 && oids->hseqbase() == 0) {
+            vars[ins.outputs[0]].bat = nullptr;
+            vars[ins.outputs[0]].cbat = comp;
+            break;
+          }
           MAMMOTH_ASSIGN_OR_RETURN(
               BatPtr r,
               compress::CompressedProject(vars[ins.inputs[0]].bat,
@@ -350,13 +431,52 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
       case OpCode::kAggrMin:
       case OpCode::kAggrMax:
       case OpCode::kAggrAvg: {
-        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "aggr"));
-        const BatPtr values = vars[ins.inputs[0]].bat;
         BatPtr groups = ins.inputs[1] < 0 ? nullptr : vars[ins.inputs[1]].bat;
         size_t ngroups = 1;
         if (ins.inputs[2] >= 0) {
           ngroups = static_cast<size_t>(vars[ins.inputs[2]].scalar.AsInt());
         }
+        // Compressed-direct aggregation: a global SUM/MIN/MAX over an
+        // RLE or dictionary image folds runs/codes in O(runs + dict)
+        // without decoding; COUNT only reads the row count. Grouped and
+        // non-foldable aggregates decode via NeedBat below.
+        if (ins.inputs[0] >= 0 && vars[ins.inputs[0]].bat == nullptr &&
+            vars[ins.inputs[0]].cbat != nullptr) {
+          const auto& comp = vars[ins.inputs[0]].cbat;
+          Result<BatPtr> cr = Status::Internal("unrouted");
+          bool routed = false;
+          if (ins.op == OpCode::kAggrCount) {
+            cr = algebra::AggrCount(groups, ngroups, comp->Count(), ctx_);
+            routed = true;
+          } else if (groups == nullptr &&
+                     compress::AggregatableOnCompressed(*comp)) {
+            switch (ins.op) {
+              case OpCode::kAggrSum:
+                cr = compress::CompressedAggrSum(*comp);
+                routed = true;
+                break;
+              case OpCode::kAggrMin:
+                cr = compress::CompressedAggrMin(*comp);
+                routed = true;
+                break;
+              case OpCode::kAggrMax:
+                cr = compress::CompressedAggrMax(*comp);
+                routed = true;
+                break;
+              default:
+                break;
+            }
+          }
+          if (routed) {
+            if (!cr.ok()) return cr.status();
+            compress::stats::AggrDirect();
+            vars[ins.outputs[0]].bat = *cr;
+            break;
+          }
+          compress::stats::AggrFallback();
+        }
+        MAMMOTH_RETURN_IF_ERROR(NeedBat(vars, ins.inputs[0], "aggr"));
+        const BatPtr values = vars[ins.inputs[0]].bat;
         Result<BatPtr> r = Status::Internal("unreachable");
         switch (ins.op) {
           case OpCode::kAggrSum:
@@ -442,7 +562,7 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
         std::vector<recycle::CachedVal> outs;
         outs.reserve(ins.outputs.size());
         for (int ov : ins.outputs) {
-          outs.push_back({vars[ov].bat, vars[ov].scalar});
+          outs.push_back({vars[ov].bat, vars[ov].cbat, vars[ov].scalar});
         }
         recycler_->Insert(sig, std::move(outs), timer.ElapsedSeconds());
         if (ins.op == OpCode::kRangeSelect && !ins.flag &&

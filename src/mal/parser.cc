@@ -127,6 +127,9 @@ class LineParser {
       } else if (word == "desc" || word == "anti") {
         a.kind = Arg::Kind::kFlag;
         a.s = word;
+      } else if (word == "like") {
+        a.kind = Arg::Kind::kOp;
+        a.s = word;
       } else {
         return Status::InvalidArgument("mal: unknown token " + word);
       }
@@ -187,6 +190,7 @@ Result<CmpOp> CmpFromToken(const std::string& tok) {
   if (tok == "!=") return CmpOp::kNe;
   if (tok == ">=") return CmpOp::kGe;
   if (tok == ">") return CmpOp::kGt;
+  if (tok == "like") return CmpOp::kLike;
   return Status::InvalidArgument("mal: bad comparison " + tok);
 }
 

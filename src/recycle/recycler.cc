@@ -18,12 +18,21 @@ const char* PolicyName(Policy p) {
   return "?";
 }
 
-size_t Recycler::EntryBytes(const Entry& e) const {
+size_t Recycler::EntryBytes(const Entry& e, size_t* compressed_bytes) const {
   size_t bytes = 64;  // bookkeeping overhead
+  size_t comp = 0;
   for (const CachedVal& v : e.outputs) {
-    if (v.bat != nullptr) bytes += v.bat->PayloadBytes();
+    if (v.cbat != nullptr) {
+      // Compressed-backed value: the compressed image is the real cost;
+      // charging it (not the logical width) lets proportionally more
+      // compressed intermediates fit in the same budget.
+      comp += v.cbat->CompressedBytes();
+    } else if (v.bat != nullptr) {
+      bytes += v.bat->PayloadBytes();
+    }
   }
-  return bytes;
+  *compressed_bytes = comp;
+  return bytes + comp;
 }
 
 bool Recycler::Lookup(uint64_t sig, std::vector<CachedVal>* outputs) {
@@ -48,14 +57,16 @@ void Recycler::Insert(uint64_t sig, std::vector<CachedVal> outputs,
   Entry e;
   e.outputs = std::move(outputs);
   e.cost_seconds = cost_seconds;
-  e.bytes = EntryBytes(e);
+  e.bytes = EntryBytes(e, &e.compressed_bytes);
   e.last_used = ++tick_;
   if (e.bytes > capacity_bytes_) return;  // too large to ever cache
   EvictUntilFits(e.bytes);
   used_bytes_ += e.bytes;
+  used_compressed_bytes_ += e.compressed_bytes;
   entries_.emplace(sig, std::move(e));
   stats_.entries = entries_.size();
   stats_.bytes = used_bytes_;
+  stats_.compressed_bytes = used_compressed_bytes_;
 }
 
 // Requires mu_ held (called from Insert).
@@ -95,11 +106,13 @@ void Recycler::EvictUntilFits(size_t incoming_bytes) {
                 vec.end());
     }
     used_bytes_ -= victim->second.bytes;
+    used_compressed_bytes_ -= victim->second.compressed_bytes;
     entries_.erase(victim);
     ++stats_.evictions;
   }
   stats_.entries = entries_.size();
   stats_.bytes = used_bytes_;
+  stats_.compressed_bytes = used_compressed_bytes_;
 }
 
 void Recycler::RegisterRange(uint64_t base_sig, double lo, double hi,
@@ -139,8 +152,10 @@ void Recycler::Clear() {
   entries_.clear();
   ranges_.clear();
   used_bytes_ = 0;
+  used_compressed_bytes_ = 0;
   stats_.entries = 0;
   stats_.bytes = 0;
+  stats_.compressed_bytes = 0;
 }
 
 }  // namespace mammoth::recycle

@@ -9,14 +9,20 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "compress/compressed_bat.h"
 #include "core/bat.h"
 #include "core/value.h"
 
 namespace mammoth::recycle {
 
-/// A cached runtime value: MAL instructions produce BATs and scalars.
+/// A cached runtime value: MAL instructions produce BATs and scalars. When
+/// the value is a pass-through of a compressed column image, `cbat` carries
+/// it so a cache hit restores the compressed-execution fast path; admission
+/// then charges the *compressed* footprint (the decoded BAT is either an
+/// empty stub or shared with the column's cache and costs nothing extra).
 struct CachedVal {
   BatPtr bat;
+  std::shared_ptr<const compress::CompressedBat> cbat;
   Value scalar;
 };
 
@@ -72,7 +78,8 @@ class Recycler {
     size_t evictions = 0;
     size_t entries = 0;
     size_t bytes = 0;
-    double seconds_saved = 0;  ///< sum of cached costs served from cache
+    size_t compressed_bytes = 0;  ///< portion of `bytes` held compressed
+    double seconds_saved = 0;     ///< sum of cached costs served from cache
   };
   Stats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -86,11 +93,12 @@ class Recycler {
     std::vector<CachedVal> outputs;
     double cost_seconds = 0;
     size_t bytes = 0;
+    size_t compressed_bytes = 0;
     size_t hits = 0;
     uint64_t last_used = 0;
   };
 
-  size_t EntryBytes(const Entry& e) const;
+  size_t EntryBytes(const Entry& e, size_t* compressed_bytes) const;
   void EvictUntilFits(size_t incoming_bytes);
 
   size_t capacity_bytes_;
@@ -101,6 +109,7 @@ class Recycler {
   Rng rng_{0xdecaf};  ///< kRandom eviction draws
   uint64_t tick_ = 0;
   size_t used_bytes_ = 0;
+  size_t used_compressed_bytes_ = 0;
   std::unordered_map<uint64_t, Entry> entries_;
 
   struct RangeEntry {

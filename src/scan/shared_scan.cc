@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "compress/compressed_kernels.h"
 #include "core/select.h"
 #include "parallel/task_pool.h"
 
@@ -31,14 +32,56 @@ Result<BatPtr> RunKernel(const BatPtr& column, const ScanPredicate& pred,
                               pred.anti, ctx);
 }
 
-/// Fallback for a source-aware scan: compressed sources materialize the
-/// shared whole-column decode first (operator-at-a-time), then run the
-/// plain kernels.
+/// Whether the predicate can run over the source's compressed
+/// representation directly (code-space / run-space), bit-identical to
+/// decode-then-kernel.
+bool CodeSpacePredicate(const ColumnSource& source, const ScanPredicate& pred) {
+  if (source.comp != nullptr) {
+    return pred.kind == ScanPredicate::Kind::kTheta
+               ? compress::ThetaSelectableOnCompressed(*source.comp, pred.v,
+                                                       pred.op)
+               : compress::RangeSelectableOnCompressed(*source.comp, pred.lo,
+                                                       pred.hi);
+  }
+  if (source.sdict != nullptr) {
+    return pred.kind == ScanPredicate::Kind::kTheta &&
+           compress::StrSelectableOnDict(pred.v, pred.op);
+  }
+  return false;
+}
+
+/// Evaluates a code-space-rewritable predicate over rows [begin, end) of
+/// the compressed image directly.
+Result<BatPtr> EvalCodeSpace(const ColumnSource& source,
+                             const ScanPredicate& pred, size_t begin,
+                             size_t end, Oid col_hseq) {
+  if (source.sdict != nullptr) {
+    return compress::DictStrSelectRange(*source.sdict, pred.v, pred.op, begin,
+                                        end, col_hseq);
+  }
+  if (pred.kind == ScanPredicate::Kind::kTheta) {
+    return compress::CompressedThetaSelectRange(*source.comp, pred.v, pred.op,
+                                                begin, end, col_hseq);
+  }
+  return compress::CompressedRangeSelectRange(*source.comp, pred.lo, pred.hi,
+                                              true, true, pred.anti, begin,
+                                              end, col_hseq);
+}
+
+/// Fallback for a source-aware scan outside the pass protocol: a
+/// code-space-rewritable predicate consumes the compressed image in
+/// place; anything else materializes the shared whole-column decode
+/// first (operator-at-a-time), then runs the plain kernels.
 Result<BatPtr> RunKernelSource(const ColumnSource& source,
                                const ScanPredicate& pred,
                                const parallel::ExecContext& ctx) {
+  if (CodeSpacePredicate(source, pred)) {
+    compress::stats::SelectDirect();
+    return EvalCodeSpace(source, pred, 0, source.Count(), source.hseqbase);
+  }
   BatPtr column = source.bat;
   if (source.compressed()) {
+    compress::stats::SelectFallback();
     MAMMOTH_ASSIGN_OR_RETURN(column, source.comp->DecodedBat());
   }
   return RunKernel(column, pred, ctx);
@@ -107,6 +150,8 @@ bool BlockMaySatisfy(const ScanPredicate& pred, int64_t bmin, int64_t bmax,
         return bmax >= v;
       case CmpOp::kGt:
         return bmax > v;
+      case CmpOp::kLike:
+        return true;  // string-only; never reaches numeric pruning
     }
     return true;
   }
@@ -135,6 +180,10 @@ class SharedScanScheduler::Consumer {
  public:
   std::shared_ptr<Group> group;
   ColumnSource source;       ///< column this consumer reads (may be empty)
+  /// False for code-space consumers: they evaluate over the compressed
+  /// image in place, so the pass skips the chunk's decode when no other
+  /// receiver needs the decoded bytes.
+  bool wants_buffer = true;
   std::vector<bool> needed;  ///< per chunk: wanted and not yet delivered
   size_t remaining = 0;      ///< count of true bits in `needed`
   int inflight = 0;          ///< deliveries currently running our fn
@@ -316,6 +365,10 @@ void SharedScanScheduler::DriveLocked(Group& group, Consumer* driver,
   struct SourceLoad {
     const void* identity = nullptr;
     ColumnSource src;
+    /// Whether any receiver reads the materialized buffer; a load all of
+    /// whose receivers evaluate in code space skips materialization (and
+    /// decompression) entirely.
+    bool wanted = false;
     std::unique_ptr<uint8_t[]> buf;  ///< decode target (compressed only)
     ChunkBuffer view;
     Status status = Status::OK();
@@ -348,11 +401,15 @@ void SharedScanScheduler::DriveLocked(Group& group, Consumer* driver,
         SourceLoad l;
         l.identity = id;
         l.src = con->source;
-        if (l.src.compressed()) l.buf = group.TakeBufferLocked();
         loads.push_back(std::move(l));
       }
+      loads[li].wanted |= con->wants_buffer;
       recv.push_back(con);
       recv_load.push_back(li);
+    }
+    // Decode buffers only for loads some receiver reads decoded.
+    for (SourceLoad& l : loads) {
+      if (l.wanted && l.src.compressed()) l.buf = group.TakeBufferLocked();
     }
     const size_t begin = chunk * group.chunk_rows;
     const size_t end = std::min(group.nrows, begin + group.chunk_rows);
@@ -367,6 +424,19 @@ void SharedScanScheduler::DriveLocked(Group& group, Consumer* driver,
     uint64_t decompressed = 0;
     for (SourceLoad& l : loads) {
       const size_t rows = end - begin;
+      if (!l.wanted) {
+        // Every receiver runs in code space: the chunk's compressed bytes
+        // are read in place, nothing is decoded or copied. Charge the
+        // pro-rated compressed stream as the physical load.
+        const size_t n = l.src.Count();
+        const size_t cb = l.src.compressed()
+                              ? l.src.comp->CompressedBytes()
+                              : (l.src.sdict != nullptr
+                                     ? l.src.sdict->CompressedBytes()
+                                     : 0);
+        if (n != 0) bytes_loaded += cb * rows / n;
+        continue;
+      }
       if (l.src.compressed()) {
         const compress::CompressedBat& comp = *l.src.comp;
         l.status = comp.DecodeRangeRaw(begin, rows, l.buf.get());
@@ -514,11 +584,18 @@ Result<BatPtr> SharedScanScheduler::Select(const ColumnSource& source,
   // in O(log n), dense tails and strings have their own specialized
   // paths, and short columns cost more to coordinate than to rescan.
   // (Compressed sources are integer by construction; a sorted one still
-  // prefers the decoded O(log n) path.)
+  // prefers the decoded O(log n) path.) A code-space-rewritable predicate
+  // rides the pass without decoding: its per-chunk evaluation reads the
+  // compressed image in place.
+  const bool code_space = CodeSpacePredicate(source, pred);
   bool eligible;
   if (source.compressed()) {
     eligible = !source.comp->props().sorted &&
                source.comp->Count() >= config_.min_share_rows;
+  } else if (source.sdict != nullptr) {
+    // Dict string sources only route for code-space predicates: heap
+    // strings have no decoded chunk-buffer representation to fan out.
+    eligible = code_space && source.Count() >= config_.min_share_rows;
   } else {
     const BatPtr& column = source.bat;
     eligible = column != nullptr && column->type() != PhysType::kStr &&
@@ -582,8 +659,10 @@ Result<BatPtr> SharedScanScheduler::Select(const ColumnSource& source,
   std::vector<bool> needed =
       source.compressed()
           ? PruneChunksCompressed(*source.comp, pred, pass_chunk_rows)
-          : PruneChunks(source.bat, table, column_name, version, pred,
-                        pass_chunk_rows);
+          : (source.sdict != nullptr
+                 ? std::vector<bool>{}  // no per-block stats on dicts
+                 : PruneChunks(source.bat, table, column_name, version, pred,
+                               pass_chunk_rows));
   size_t skipped = 0;
   if (!needed.empty()) {
     skipped = nchunks - static_cast<size_t>(
@@ -595,21 +674,35 @@ Result<BatPtr> SharedScanScheduler::Select(const ColumnSource& source,
   Consumer* consumer = nullptr;
   {
     const Oid col_hseq = source.hseqbase;
-    auto fn = [&parts, col_hseq, source, pred](
-                  size_t chunk, size_t begin, size_t end,
-                  const ChunkBuffer& buf,
-                  const parallel::ExecContext& eval_ctx) -> Status {
-      if (buf.data != nullptr) {
+    ChunkFn fn;
+    if (code_space) {
+      // Code-space consumer: each chunk evaluates over the compressed
+      // image directly; the delivered buffer (if any other receiver
+      // forced a decode) is ignored.
+      compress::stats::SelectDirect();
+      fn = [&parts, col_hseq, source, pred](
+               size_t chunk, size_t begin, size_t end, const ChunkBuffer&,
+               const parallel::ExecContext&) -> Status {
         MAMMOTH_ASSIGN_OR_RETURN(
-            parts[chunk],
-            EvalChunkBuffer(buf, col_hseq, pred, begin, end, eval_ctx));
-      } else {
-        MAMMOTH_ASSIGN_OR_RETURN(
-            parts[chunk],
-            EvalChunk(source.bat, pred, begin, end, eval_ctx));
-      }
-      return Status::OK();
-    };
+            parts[chunk], EvalCodeSpace(source, pred, begin, end, col_hseq));
+        return Status::OK();
+      };
+    } else {
+      if (source.compressed()) compress::stats::SelectFallback();
+      fn = [&parts, col_hseq, source, pred](
+               size_t chunk, size_t begin, size_t end, const ChunkBuffer& buf,
+               const parallel::ExecContext& eval_ctx) -> Status {
+        if (buf.data != nullptr) {
+          MAMMOTH_ASSIGN_OR_RETURN(
+              parts[chunk],
+              EvalChunkBuffer(buf, col_hseq, pred, begin, end, eval_ctx));
+        } else {
+          MAMMOTH_ASSIGN_OR_RETURN(
+              parts[chunk], EvalChunk(source.bat, pred, begin, end, eval_ctx));
+        }
+        return Status::OK();
+      };
+    }
     std::lock_guard<std::mutex> lock(group->mu);
     // Attach inline (the shape cannot have changed: `attaching` kept the
     // group busy), releasing the placeholder in the same critical section.
@@ -617,6 +710,7 @@ Result<BatPtr> SharedScanScheduler::Select(const ColumnSource& source,
     consumer = new Consumer;
     consumer->group = group;
     consumer->source = source;
+    consumer->wants_buffer = !code_space;
     consumer->needed =
         needed.empty() ? std::vector<bool>(nchunks, true) : std::move(needed);
     consumer->remaining = static_cast<size_t>(std::count(

@@ -13,6 +13,7 @@
 
 #include "common/result.h"
 #include "compress/compressed_bat.h"
+#include "compress/dict_str.h"
 #include "core/bat.h"
 #include "core/value.h"
 #include "index/zonemap.h"
@@ -46,6 +47,11 @@ namespace mammoth::scan {
 struct ColumnSource {
   BatPtr bat;
   std::shared_ptr<const compress::CompressedBat> comp;
+  /// The dictionary image of a string column; `bat` is set alongside it
+  /// (the plain heap image) so ineligible predicates fall back to the
+  /// string kernels. Code-space predicates scan the dict's packed codes
+  /// and never materialize a chunk buffer.
+  std::shared_ptr<const compress::StrDict> sdict;
   Oid hseqbase = 0;  ///< head base of the column (a CompressedBat has none)
 
   static ColumnSource Plain(BatPtr b) {
@@ -59,6 +65,12 @@ struct ColumnSource {
     ColumnSource s;
     s.comp = std::move(c);
     s.hseqbase = hseq;
+    return s;
+  }
+  static ColumnSource Dict(BatPtr b,
+                           std::shared_ptr<const compress::StrDict> d) {
+    ColumnSource s = Plain(std::move(b));
+    s.sdict = std::move(d);
     return s;
   }
   bool compressed() const { return comp != nullptr; }
@@ -75,6 +87,7 @@ struct ColumnSource {
   /// serves them all.
   const void* Identity() const {
     if (comp != nullptr) return comp.get();
+    if (sdict != nullptr) return sdict.get();
     return bat != nullptr ? bat->tail().raw_data() : nullptr;
   }
 };

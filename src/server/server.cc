@@ -655,6 +655,8 @@ ServerStatsSnapshot Server::stats() const {
   s.admission = admission_.stats();
   s.shared_scans = shared_scans_.stats();
   s.compression = engine_.compression_stats();
+  s.recycler = engine_.recycler_stats();
+  s.compressed_kernels = compress::GetKernelStats();
   s.wire_result_bytes_saved = wire_result_bytes_saved_.load();
   s.prepared = engine_.prepared_stats();
   if (reactor_ != nullptr) {
@@ -756,6 +758,16 @@ mal::QueryResult Server::StatusResult(const ServerStatsSnapshot& s) {
   row("repl_lag_bytes", s.repl_lag_bytes);
   row("repl_txns_applied", s.repl_txns_applied);
   row("repl_snapshots", s.repl_snapshots);
+  row("recycler_compressed_bytes", s.recycler.compressed_bytes);
+  row("compressed_kernel_selects", s.compressed_kernels.selects_direct);
+  row("compressed_kernel_select_fallbacks",
+      s.compressed_kernels.selects_fallback);
+  row("compressed_kernel_aggrs", s.compressed_kernels.aggrs_direct);
+  row("compressed_kernel_aggr_fallbacks",
+      s.compressed_kernels.aggrs_fallback);
+  row("compressed_project_bounded", s.compressed_kernels.project_bounded);
+  row("compressed_project_full", s.compressed_kernels.project_full);
+  row("compressed_cache_bytes", s.compression.cache_bytes);
   mal::QueryResult result;
   result.names = {"counter", "value"};
   result.columns = {std::move(counters), std::move(values)};

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "compress/compressed_kernels.h"
 #include "parallel/task_pool.h"
 #include "scan/shared_scan.h"
 #include "server/admission.h"
@@ -127,6 +128,12 @@ struct ServerStatsSnapshot {
   uint64_t repl_lag_bytes = 0;  ///< durable-vs-replayed gap (either role)
   uint64_t repl_txns_applied = 0;  ///< replica: transactions replayed
   uint64_t repl_snapshots = 0;  ///< bootstraps served (primary) / received
+  /// Recycler cache posture (zeros when no recycler is attached);
+  /// compressed_bytes is the portion of the cache held in compressed form.
+  recycle::Recycler::Stats recycler;
+  /// Compressed-execution kernel counters (code-space selects, run folds,
+  /// bounded projections vs their decode fallbacks).
+  compress::KernelStats compressed_kernels;
 };
 
 /// The MammothDB network front-end: a TCP server speaking the wire.h

@@ -958,6 +958,7 @@ Engine::CompressionStats Engine::compression_stats() const {
     s.compressed_columns += (*t)->CompressedColumnCount();
     s.compressed_bytes += (*t)->CompressedBytesTotal();
     s.logical_bytes += (*t)->CompressedLogicalBytesTotal();
+    s.cache_bytes += (*t)->CompressedCacheBytesTotal();
   }
   return s;
 }

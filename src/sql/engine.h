@@ -174,8 +174,15 @@ class Engine {
     uint64_t compressed_columns = 0;
     uint64_t compressed_bytes = 0;  ///< codec stream bytes held
     uint64_t logical_bytes = 0;     ///< uncompressed bytes they stand for
+    uint64_t cache_bytes = 0;       ///< whole-column decode caches pinned
   };
   CompressionStats compression_stats() const;
+
+  /// Counters of the attached recycler; all-zero when none is attached.
+  recycle::Recycler::Stats recycler_stats() const {
+    return recycler_ != nullptr ? recycler_->stats()
+                                : recycle::Recycler::Stats{};
+  }
 
  private:
   /// Tail of Execute() after parsing: routes `stmt` under the proper lock

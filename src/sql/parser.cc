@@ -175,6 +175,15 @@ class Parser {
     do {
       Predicate p;
       MAMMOTH_ASSIGN_OR_RETURN(p.column, ExpectColumnRef());
+      if (AcceptKeyword("LIKE")) {
+        p.op = CmpOp::kLike;
+        MAMMOTH_ASSIGN_OR_RETURN(p.literal, ExpectLiteral());
+        if (!p.literal.is_str() && !p.literal.is_param()) {
+          return Status::InvalidArgument("LIKE needs a string pattern");
+        }
+        out.push_back(std::move(p));
+        continue;
+      }
       MAMMOTH_ASSIGN_OR_RETURN(p.op, ExpectCmpOp());
       if (Cur().kind == TokKind::kIdent) {
         // column op column: an equi-join condition.

@@ -95,7 +95,8 @@ class CmpExpr final : public Expr {
     const Datum b = r_->Eval(t);
     bool res;
     if (a.kind == Datum::Kind::kStr && b.kind == Datum::Kind::kStr) {
-      res = ApplyCmp(op_, a.s, b.s);
+      res = op_ == CmpOp::kLike ? LikeMatch(a.s, b.s)
+                                : ApplyCmp(op_, a.s, b.s);
     } else if (a.kind == Datum::Kind::kReal || b.kind == Datum::Kind::kReal) {
       res = ApplyCmp(op_, a.AsReal(), b.AsReal());
     } else {

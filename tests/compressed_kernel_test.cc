@@ -1,0 +1,797 @@
+/// Bit-identity suite for the compressed-direct kernels (DESIGN.md §13):
+/// RLE/PDICT selects and aggregate folds, dictionary string predicates,
+/// bounded projection, recycler compressed admission — each checked
+/// against decode-then-stock-kernel on adversarial data shapes, through
+/// the shared-scan scheduler at pools of 1/2/4/8, over the wire, and
+/// across a checkpoint → kill → recover cycle for dictionary-compressed
+/// string columns. Style follows compressed_query_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "compress/compressed_bat.h"
+#include "compress/compressed_exec.h"
+#include "compress/compressed_kernels.h"
+#include "compress/dict_str.h"
+#include "core/group.h"
+#include "core/persist.h"
+#include "core/project.h"
+#include "core/select.h"
+#include "core/table.h"
+#include "parallel/task_pool.h"
+#include "recycle/recycler.h"
+#include "scan/shared_scan.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "sql/engine.h"
+#include "wal/db.h"
+
+namespace mammoth {
+namespace {
+
+namespace fs = std::filesystem;
+
+using compress::Codec;
+using compress::CompressedBat;
+using compress::StrDict;
+using server::Client;
+using server::EncodeResult;
+using server::Server;
+using server::ServerConfig;
+
+// ------------------------------------------------------------ data shapes --
+
+BatPtr I32FromFn(size_t n, int32_t (*fn)(size_t, Rng&), uint64_t seed) {
+  BatPtr b = Bat::New(PhysType::kInt32);
+  b->Resize(n);
+  int32_t* p = b->MutableTailData<int32_t>();
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) p[i] = fn(i, rng);
+  return b;
+}
+
+/// Long runs of random length 1..300, values 0..9 (RLE's home turf).
+BatPtr RunHeavyI32(size_t n) {
+  BatPtr b = Bat::New(PhysType::kInt32);
+  b->Resize(n);
+  int32_t* p = b->MutableTailData<int32_t>();
+  Rng rng(11);
+  size_t i = 0;
+  while (i < n) {
+    const int32_t v = static_cast<int32_t>(rng.Uniform(10));
+    size_t len = 1 + rng.Uniform(300);
+    for (; len > 0 && i < n; --len, ++i) p[i] = v;
+  }
+  return b;
+}
+
+/// Low cardinality, no run structure (PDICT's home turf).
+BatPtr LowCardI32(size_t n) {
+  return I32FromFn(
+      n, [](size_t, Rng& r) { return static_cast<int32_t>(r.Uniform(8)); },
+      22);
+}
+
+/// Adversarial for RLE: alternating values with occasional spikes, so the
+/// run list is nearly one run per row (plus singleton runs at the spikes).
+BatPtr AdversarialI32(size_t n) {
+  return I32FromFn(
+      n,
+      [](size_t i, Rng& r) {
+        if (r.Uniform(97) == 0) return static_cast<int32_t>(9);
+        return static_cast<int32_t>(i % 2);
+      },
+      33);
+}
+
+BatPtr AllEqualI32(size_t n) {
+  return I32FromFn(n, [](size_t, Rng&) { return int32_t{7}; }, 44);
+}
+
+Oid OidAt(const BatPtr& b, size_t i) {
+  return b->IsDenseTail() ? b->tseqbase() + static_cast<Oid>(i)
+                          : b->ValueAt<Oid>(i);
+}
+
+void ExpectSameOids(const BatPtr& got, const BatPtr& want,
+                    const std::string& what) {
+  ASSERT_EQ(got->Count(), want->Count()) << what;
+  for (size_t i = 0; i < want->Count(); ++i) {
+    ASSERT_EQ(OidAt(got, i), OidAt(want, i)) << what << " at row " << i;
+  }
+  EXPECT_EQ(got->props().sorted, want->props().sorted) << what;
+  EXPECT_EQ(got->props().key, want->props().key) << what;
+}
+
+// -------------------------------------------------------- select kernels --
+
+constexpr size_t kShapeRows = 70001;  // crosses a stat-block boundary
+
+struct Shape {
+  const char* name;
+  BatPtr bat;
+};
+
+std::vector<Shape> SelectShapes() {
+  return {{"runs", RunHeavyI32(kShapeRows)},
+          {"lowcard", LowCardI32(kShapeRows)},
+          {"adversarial", AdversarialI32(kShapeRows)},
+          {"allequal", AllEqualI32(kShapeRows)}};
+}
+
+TEST(CompressedKernelTest, ThetaSelectBitIdenticalAcrossShapesOpsAndChunks) {
+  const std::vector<CmpOp> ops = {CmpOp::kLt, CmpOp::kLe, CmpOp::kEq,
+                                  CmpOp::kNe, CmpOp::kGe, CmpOp::kGt};
+  const std::vector<int64_t> probes = {-1, 0, 5, 9, 100};  // absent + edges
+  size_t eligible = 0;
+  for (const Shape& shape : SelectShapes()) {
+    for (const Codec codec : {Codec::kRle, Codec::kPdict}) {
+      auto comp = CompressedBat::Compress(shape.bat, codec);
+      if (!comp.ok()) continue;  // codec not applicable to this shape
+      auto decoded = comp->DecodedBat();
+      ASSERT_TRUE(decoded.ok());
+      const size_t n = comp->Count();
+      const size_t cut = n / 3 + 7;
+      for (const CmpOp op : ops) {
+        for (const int64_t pv : probes) {
+          const Value v = Value::Int(pv);
+          const std::string what = std::string(shape.name) + "/" +
+                                   compress::CodecName(codec) + " op " +
+                                   std::to_string(static_cast<int>(op)) +
+                                   " v=" + std::to_string(pv);
+          if (!compress::ThetaSelectableOnCompressed(*comp, v, op)) continue;
+          ++eligible;
+          auto want = algebra::ThetaSelect(*decoded, nullptr, v, op,
+                                           parallel::ExecContext::Serial());
+          ASSERT_TRUE(want.ok()) << what;
+          auto got = compress::CompressedThetaSelectRange(*comp, v, op, 0, n,
+                                                          /*hseq=*/0);
+          ASSERT_TRUE(got.ok()) << what << ": " << got.status().ToString();
+          ExpectSameOids(*got, *want, what);
+
+          // Chunked evaluation ([0,cut) ++ [cut,n)) concatenates to the
+          // whole-column answer — the shared-scan delivery contract.
+          auto lo = compress::CompressedThetaSelectRange(*comp, v, op, 0, cut,
+                                                         /*hseq=*/0);
+          auto hi = compress::CompressedThetaSelectRange(*comp, v, op, cut, n,
+                                                         /*hseq=*/0);
+          ASSERT_TRUE(lo.ok() && hi.ok()) << what;
+          ASSERT_EQ((*lo)->Count() + (*hi)->Count(), (*want)->Count()) << what;
+          for (size_t i = 0; i < (*lo)->Count(); ++i) {
+            ASSERT_EQ(OidAt(*lo, i), OidAt(*want, i)) << what;
+          }
+          for (size_t i = 0; i < (*hi)->Count(); ++i) {
+            ASSERT_EQ(OidAt(*hi, i), OidAt(*want, (*lo)->Count() + i)) << what;
+          }
+        }
+      }
+    }
+  }
+  // The matrix must actually exercise the direct path, not skip it all.
+  EXPECT_GT(eligible, 50u);
+}
+
+TEST(CompressedKernelTest, RangeSelectBitIdenticalIncludingAntiAndOpenEnds) {
+  struct RangeCase {
+    int64_t lo, hi;
+    bool lo_incl, hi_incl, anti;
+  };
+  const std::vector<RangeCase> cases = {
+      {2, 7, true, true, false},   {2, 7, false, false, false},
+      {2, 7, true, false, false},  {2, 7, true, true, true},
+      {0, 9, true, true, false},   {100, 200, true, true, false},
+      {-5, -1, true, true, false}, {5, 5, true, true, false},
+  };
+  size_t eligible = 0;
+  for (const Shape& shape : SelectShapes()) {
+    for (const Codec codec : {Codec::kRle, Codec::kPdict}) {
+      auto comp = CompressedBat::Compress(shape.bat, codec);
+      if (!comp.ok()) continue;
+      auto decoded = comp->DecodedBat();
+      ASSERT_TRUE(decoded.ok());
+      const size_t n = comp->Count();
+      for (const RangeCase& c : cases) {
+        const Value lo = Value::Int(c.lo);
+        const Value hi = Value::Int(c.hi);
+        if (!compress::RangeSelectableOnCompressed(*comp, lo, hi)) continue;
+        ++eligible;
+        const std::string what = std::string(shape.name) + "/" +
+                                 compress::CodecName(codec) + " [" +
+                                 std::to_string(c.lo) + "," +
+                                 std::to_string(c.hi) + "] anti=" +
+                                 std::to_string(c.anti);
+        auto want = algebra::RangeSelect(*decoded, nullptr, lo, hi, c.lo_incl,
+                                         c.hi_incl, c.anti,
+                                         parallel::ExecContext::Serial());
+        ASSERT_TRUE(want.ok()) << what;
+        auto got = compress::CompressedRangeSelectRange(
+            *comp, lo, hi, c.lo_incl, c.hi_incl, c.anti, 0, n, /*hseq=*/0);
+        ASSERT_TRUE(got.ok()) << what << ": " << got.status().ToString();
+        ExpectSameOids(*got, *want, what);
+      }
+    }
+  }
+  EXPECT_GT(eligible, 20u);
+}
+
+TEST(CompressedKernelTest, SortedColumnsAreNotEligible) {
+  // The plain path answers sorted selects with a binary search returning a
+  // *dense* result; a materializing kernel cannot match that bit-for-bit,
+  // so eligibility must say no.
+  BatPtr b = Bat::New(PhysType::kInt32);
+  b->Resize(kShapeRows);
+  int32_t* p = b->MutableTailData<int32_t>();
+  for (size_t i = 0; i < kShapeRows; ++i) {
+    p[i] = static_cast<int32_t>(i / 1000);
+  }
+  b->mutable_props().sorted = true;
+  auto comp = CompressedBat::Compress(b, Codec::kRle);
+  ASSERT_TRUE(comp.ok());
+  EXPECT_FALSE(compress::ThetaSelectableOnCompressed(*comp, Value::Int(5),
+                                                     CmpOp::kEq));
+  EXPECT_FALSE(compress::RangeSelectableOnCompressed(*comp, Value::Int(2),
+                                                     Value::Int(7)));
+}
+
+// ----------------------------------------------------- aggregate kernels --
+
+TEST(CompressedKernelTest, AggregateFoldsBitIdentical) {
+  std::vector<Shape> shapes = SelectShapes();
+  // An int64 RLE shape with values far above 2^32, so the fold exercises
+  // the wide accumulator path too.
+  BatPtr big = Bat::New(PhysType::kInt64);
+  big->Resize(kShapeRows);
+  int64_t* bp = big->MutableTailData<int64_t>();
+  for (size_t i = 0; i < kShapeRows; ++i) {
+    bp[i] = (int64_t{1} << 40) + static_cast<int64_t>(i / 5000);
+  }
+  shapes.push_back({"bigruns", big});
+
+  size_t eligible = 0;
+  for (const Shape& shape : shapes) {
+    for (const Codec codec : {Codec::kRle, Codec::kPdict}) {
+      auto comp = CompressedBat::Compress(shape.bat, codec);
+      if (!comp.ok()) continue;
+      if (!compress::AggregatableOnCompressed(*comp)) continue;
+      ++eligible;
+      auto decoded = comp->DecodedBat();
+      ASSERT_TRUE(decoded.ok());
+      const std::string what =
+          std::string(shape.name) + "/" + compress::CodecName(codec);
+
+      auto want_sum = algebra::AggrSum(*decoded, nullptr, 1,
+                                       parallel::ExecContext::Serial());
+      auto got_sum = compress::CompressedAggrSum(*comp);
+      ASSERT_TRUE(want_sum.ok() && got_sum.ok()) << what;
+      ASSERT_EQ((*got_sum)->Count(), 1u) << what;
+      EXPECT_EQ((*got_sum)->ValueAt<int64_t>(0), (*want_sum)->ValueAt<int64_t>(0))
+          << what;
+
+      auto want_min = algebra::AggrMin(*decoded, nullptr, 1,
+                                       parallel::ExecContext::Serial());
+      auto got_min = compress::CompressedAggrMin(*comp);
+      ASSERT_TRUE(want_min.ok() && got_min.ok()) << what;
+      ASSERT_EQ((*got_min)->type(), (*want_min)->type()) << what;
+      auto want_max = algebra::AggrMax(*decoded, nullptr, 1,
+                                       parallel::ExecContext::Serial());
+      auto got_max = compress::CompressedAggrMax(*comp);
+      ASSERT_TRUE(want_max.ok() && got_max.ok()) << what;
+      if ((*got_min)->type() == PhysType::kInt64) {
+        EXPECT_EQ((*got_min)->ValueAt<int64_t>(0),
+                  (*want_min)->ValueAt<int64_t>(0))
+            << what;
+        EXPECT_EQ((*got_max)->ValueAt<int64_t>(0),
+                  (*want_max)->ValueAt<int64_t>(0))
+            << what;
+      } else {
+        EXPECT_EQ((*got_min)->ValueAt<int32_t>(0),
+                  (*want_min)->ValueAt<int32_t>(0))
+            << what;
+        EXPECT_EQ((*got_max)->ValueAt<int32_t>(0),
+                  (*want_max)->ValueAt<int32_t>(0))
+            << what;
+      }
+    }
+  }
+  EXPECT_GT(eligible, 3u);
+}
+
+// ------------------------------------------------- string dictionary ----
+
+BatPtr WordsBat(size_t n, size_t vocab, uint64_t seed) {
+  BatPtr b = Bat::NewString(nullptr);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    b->AppendString("w" + std::to_string(rng.Uniform(vocab)));
+  }
+  return b;
+}
+
+TEST(CompressedKernelTest, DictStrSelectBitIdenticalAcrossOpsAndProbes) {
+  const size_t n = 50000;
+  BatPtr plain = WordsBat(n, 30, 55);
+  auto dict_r = StrDict::Encode(plain);
+  ASSERT_TRUE(dict_r.ok()) << dict_r.status().ToString();
+  const StrDict dict = *dict_r;
+  EXPECT_LT(dict.CompressedBytes(), dict.LogicalBytes());
+
+  const std::vector<CmpOp> ops = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                                  CmpOp::kLe, CmpOp::kGe, CmpOp::kGt};
+  // Present, absent-in-range, below-all, above-all.
+  const std::vector<std::string> probes = {"w12", "w12x", "a", "zzz", "w0",
+                                           "w9"};
+  const size_t cut = n / 2 + 13;
+  for (const CmpOp op : ops) {
+    for (const std::string& s : probes) {
+      const Value v = Value::Str(s);
+      ASSERT_TRUE(compress::StrSelectableOnDict(v, op));
+      const std::string what =
+          "op " + std::to_string(static_cast<int>(op)) + " '" + s + "'";
+      auto want = algebra::ThetaSelect(plain, nullptr, v, op,
+                                       parallel::ExecContext::Serial());
+      ASSERT_TRUE(want.ok()) << what;
+      auto got = compress::DictStrSelectRange(dict, v, op, 0, n, /*hseq=*/0);
+      ASSERT_TRUE(got.ok()) << what << ": " << got.status().ToString();
+      ExpectSameOids(*got, *want, what);
+
+      auto lo = compress::DictStrSelectRange(dict, v, op, 0, cut, 0);
+      auto hi = compress::DictStrSelectRange(dict, v, op, cut, n, 0);
+      ASSERT_TRUE(lo.ok() && hi.ok()) << what;
+      ASSERT_EQ((*lo)->Count() + (*hi)->Count(), (*want)->Count()) << what;
+    }
+  }
+}
+
+TEST(CompressedKernelTest, DictStrLikeBitIdenticalIncludingEmptyAndAllMatch) {
+  const size_t n = 40000;
+  BatPtr plain = WordsBat(n, 25, 66);
+  auto dict = StrDict::Encode(plain);
+  ASSERT_TRUE(dict.ok());
+  const std::vector<std::string> patterns = {
+      "w1%",       // prefix: one code interval
+      "%",         // all-match
+      "w7",        // no wildcard: equality
+      "%3",        // suffix: per-word LUT
+      "w_",        // underscore
+      "%never%",   // empty selection
+      "w%2%",      // general multi-wildcard
+  };
+  for (const std::string& pat : patterns) {
+    const Value v = Value::Str(pat);
+    ASSERT_TRUE(compress::StrSelectableOnDict(v, CmpOp::kLike)) << pat;
+    auto want = algebra::ThetaSelect(plain, nullptr, v, CmpOp::kLike,
+                                     parallel::ExecContext::Serial());
+    ASSERT_TRUE(want.ok()) << pat;
+    auto got =
+        compress::DictStrSelectRange(*dict, v, CmpOp::kLike, 0, n, /*hseq=*/0);
+    ASSERT_TRUE(got.ok()) << pat << ": " << got.status().ToString();
+    ExpectSameOids(*got, *want, "LIKE '" + pat + "'");
+  }
+  // The adversarial patterns above must include both extremes.
+  auto none = compress::DictStrSelectRange(*dict, Value::Str("%never%"),
+                                           CmpOp::kLike, 0, n, 0);
+  EXPECT_EQ((*none)->Count(), 0u);
+  auto all =
+      compress::DictStrSelectRange(*dict, Value::Str("%"), CmpOp::kLike, 0, n, 0);
+  EXPECT_EQ((*all)->Count(), n);
+}
+
+TEST(CompressedKernelTest, StrDictSerializeRoundTrips) {
+  BatPtr plain = WordsBat(12345, 40, 77);
+  auto dict = StrDict::Encode(plain);
+  ASSERT_TRUE(dict.ok());
+  std::string image;
+  dict->Serialize(&image);
+  auto back = StrDict::Deserialize(image);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->Count(), plain->Count());
+  ASSERT_EQ(back->dsize(), dict->dsize());
+  auto decoded = back->Decode();
+  ASSERT_TRUE(decoded.ok());
+  for (size_t i = 0; i < plain->Count(); ++i) {
+    ASSERT_EQ((*decoded)->StringAt(i), plain->StringAt(i)) << i;
+  }
+}
+
+// ------------------------------------------------------ engine-level ----
+
+constexpr size_t kChunk = size_t{1} << 16;
+constexpr size_t kRows = 3 * kChunk + 500;  // shared-scan eligible, ragged
+
+/// A table whose columns hit every direct path: `id` sorted ints, `val`
+/// random ints, `grp` long runs (RLE aggregate fold), `tag` a
+/// low-cardinality string column (dictionary code space).
+TablePtr LogsTable() {
+  BatPtr id = Bat::New(PhysType::kInt32);
+  BatPtr val = Bat::New(PhysType::kInt32);
+  BatPtr grp = Bat::New(PhysType::kInt32);
+  id->Resize(kRows);
+  val->Resize(kRows);
+  grp->Resize(kRows);
+  int32_t* idp = id->MutableTailData<int32_t>();
+  int32_t* vp = val->MutableTailData<int32_t>();
+  int32_t* gp = grp->MutableTailData<int32_t>();
+  BatPtr tag = Bat::NewString(nullptr);
+  Rng rng(888);
+  for (size_t i = 0; i < kRows; ++i) {
+    idp[i] = static_cast<int32_t>(i);
+    vp[i] = static_cast<int32_t>(rng.Uniform(10000));
+    gp[i] = static_cast<int32_t>(i / 1000);
+    tag->AppendString("w" + std::to_string((i / 500) % 40));
+  }
+  auto t = Table::FromColumns("logs",
+                              {{"id", PhysType::kInt32},
+                               {"val", PhysType::kInt32},
+                               {"grp", PhysType::kInt32},
+                               {"tag", PhysType::kStr}},
+                              {id, val, grp, tag});
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return *t;
+}
+
+const std::vector<std::string>& StringQueries() {
+  static const std::vector<std::string> queries = {
+      "SELECT id FROM logs WHERE tag = 'w7'",
+      "SELECT id, tag FROM logs WHERE tag LIKE 'w1%'",
+      "SELECT COUNT(*), SUM(val) FROM logs WHERE tag <> 'w5'",
+      "SELECT SUM(grp), MIN(grp), MAX(grp) FROM logs",
+      "SELECT id FROM logs WHERE tag >= 'w35'",
+      "SELECT COUNT(*) FROM logs WHERE tag < 'w1'",
+      "SELECT COUNT(*) FROM logs WHERE tag LIKE '%9'",
+  };
+  return queries;
+}
+
+std::vector<std::string> PlainLogEncodings() {
+  sql::Engine plain;
+  EXPECT_TRUE(plain.catalog()->Register(LogsTable()).ok());
+  std::vector<std::string> encodings;
+  for (const std::string& q : StringQueries()) {
+    auto r = plain.Execute(q, parallel::ExecContext::Serial());
+    EXPECT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+    auto payload = EncodeResult(*r);
+    EXPECT_TRUE(payload.ok());
+    encodings.push_back(*payload);
+  }
+  return encodings;
+}
+
+TEST(CompressedKernelTest, StringAndAggregateQueriesBitIdenticalDirect) {
+  const std::vector<std::string> expected = PlainLogEncodings();
+
+  sql::Engine engine;
+  ASSERT_TRUE(engine.catalog()->Register(LogsTable()).ok());
+  ASSERT_TRUE(engine.Execute("ALTER TABLE logs COMPRESS").ok());
+
+  // The string column carries a dictionary after the policy flip.
+  auto t = engine.catalog()->Get("logs");
+  ASSERT_TRUE(t.ok());
+  EXPECT_NE((*t)->StringDictColumn(3), nullptr);
+
+  const auto before = compress::GetKernelStats();
+  for (size_t q = 0; q < StringQueries().size(); ++q) {
+    auto r = engine.Execute(StringQueries()[q], parallel::ExecContext::Serial());
+    ASSERT_TRUE(r.ok()) << StringQueries()[q] << ": " << r.status().ToString();
+    auto payload = EncodeResult(*r);
+    ASSERT_TRUE(payload.ok());
+    EXPECT_EQ(*payload, expected[q]) << StringQueries()[q];
+  }
+  const auto after = compress::GetKernelStats();
+  // The workload stays in code space: dictionary string selects and the
+  // RLE aggregate folds both route direct.
+  EXPECT_GT(after.selects_direct, before.selects_direct);
+  EXPECT_GT(after.aggrs_direct, before.aggrs_direct);
+}
+
+TEST(CompressedKernelTest, StringQueriesSharedScansBitIdenticalAcrossPools) {
+  const std::vector<std::string> expected = PlainLogEncodings();
+
+  for (int threads : {1, 2, 4, 8}) {
+    sql::Engine engine;
+    ASSERT_TRUE(engine.catalog()->Register(LogsTable()).ok());
+    ASSERT_TRUE(engine.Execute("ALTER TABLE logs COMPRESS").ok());
+
+    scan::SharedScanConfig config;
+    config.chunk_rows = kChunk;
+    config.chunk_bytes = 0;
+    config.min_share_rows = kChunk;
+    scan::SharedScanScheduler sched(config);
+    engine.AttachSharedScans(&sched);
+    parallel::TaskPool pool(threads);
+    parallel::ExecContext ctx(&pool);
+
+    std::vector<std::thread> sessions;
+    for (int s = 0; s < 6; ++s) {
+      sessions.emplace_back([&, s] {
+        for (int round = 0; round < 3; ++round) {
+          const size_t q = (s + round) % StringQueries().size();
+          auto r = engine.Execute(StringQueries()[q], ctx);
+          ASSERT_TRUE(r.ok()) << r.status().ToString();
+          auto payload = EncodeResult(*r);
+          ASSERT_TRUE(payload.ok());
+          EXPECT_EQ(*payload, expected[q]) << StringQueries()[q];
+        }
+      });
+    }
+    for (auto& s : sessions) s.join();
+
+    const auto stats = sched.stats();
+    EXPECT_GT(stats.scans_attached + stats.scans_direct, 0u) << threads;
+    EXPECT_GT(stats.bytes_loaded, 0u) << threads;
+  }
+}
+
+std::map<std::string, int64_t> StatusCounters(Client* client) {
+  auto r = client->Query("SERVER STATUS");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  std::map<std::string, int64_t> counters;
+  for (size_t i = 0; i < r->RowCount(); ++i) {
+    counters[std::string(r->columns[0]->StringAt(i))] =
+        r->columns[1]->ValueAt<int64_t>(i);
+  }
+  return counters;
+}
+
+TEST(CompressedKernelTest, WireStringResultsBitIdenticalWithKernelCounters) {
+  const std::vector<std::string> expected = PlainLogEncodings();
+
+  ServerConfig config;
+  config.port = 0;
+  auto server = std::make_unique<Server>(config);
+  ASSERT_TRUE(server->engine()->catalog()->Register(LogsTable()).ok());
+  ASSERT_TRUE(server->engine()->Execute("ALTER TABLE logs COMPRESS").ok());
+  ASSERT_TRUE(server->Start().ok());
+
+  auto client = Client::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  for (size_t q = 0; q < StringQueries().size(); ++q) {
+    auto remote = client->Query(StringQueries()[q]);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    auto encoded = EncodeResult(*remote);
+    ASSERT_TRUE(encoded.ok());
+    EXPECT_EQ(*encoded, expected[q]) << StringQueries()[q];
+  }
+
+  auto counters = StatusCounters(&*client);
+  // The compressed-execution rows joined the frozen status contract.
+  for (const char* key :
+       {"recycler_compressed_bytes", "compressed_kernel_selects",
+        "compressed_kernel_select_fallbacks", "compressed_kernel_aggrs",
+        "compressed_kernel_aggr_fallbacks", "compressed_project_bounded",
+        "compressed_project_full", "compressed_cache_bytes"}) {
+    EXPECT_EQ(counters.count(key), 1u) << key;
+  }
+  EXPECT_GT(counters["compressed_kernel_selects"], 0);
+  EXPECT_GT(counters["compressed_kernel_aggrs"], 0);
+
+  client->Close();
+  server->Stop();
+}
+
+// ----------------------------------------------------- bounded project --
+
+TEST(CompressedKernelTest, ProjectDecodesOnlyTheTouchedRangeWhenDense) {
+  BatPtr col = LowCardI32(200000);
+  auto comp_r = CompressedBat::Compress(col, Codec::kPfor);
+  ASSERT_TRUE(comp_r.ok());
+  auto comp = std::make_shared<const CompressedBat>(*std::move(comp_r));
+
+  const auto before = compress::GetKernelStats();
+  BatPtr dense = Bat::NewDense(/*tseqbase=*/70000, /*count=*/600);
+  auto got = compress::CompressedProject(dense, comp,
+                                         parallel::ExecContext::Serial());
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  auto want = algebra::Project(dense, col, parallel::ExecContext::Serial());
+  ASSERT_TRUE(want.ok());
+  ASSERT_EQ((*got)->Count(), (*want)->Count());
+  for (size_t i = 0; i < (*want)->Count(); ++i) {
+    ASSERT_EQ((*got)->ValueAt<int32_t>(i), (*want)->ValueAt<int32_t>(i)) << i;
+  }
+  const auto mid = compress::GetKernelStats();
+  EXPECT_GT(mid.project_bounded, before.project_bounded);
+  EXPECT_GT(mid.project_bounded_bytes, before.project_bounded_bytes);
+  // A narrow dense projection must not have pinned the whole-column cache.
+  EXPECT_EQ(comp->DecodedCacheBytes(), 0u);
+
+  // An arbitrary (non-dense) OID list falls back to the cached full decode.
+  BatPtr scattered = Bat::New(PhysType::kOid);
+  for (Oid o : {Oid{3}, Oid{100000}, Oid{199999}, Oid{7}}) {
+    scattered->Append<Oid>(o);
+  }
+  auto got2 = compress::CompressedProject(scattered, comp,
+                                          parallel::ExecContext::Serial());
+  ASSERT_TRUE(got2.ok());
+  auto want2 = algebra::Project(scattered, col, parallel::ExecContext::Serial());
+  ASSERT_TRUE(want2.ok());
+  for (size_t i = 0; i < (*want2)->Count(); ++i) {
+    ASSERT_EQ((*got2)->ValueAt<int32_t>(i), (*want2)->ValueAt<int32_t>(i));
+  }
+  const auto after = compress::GetKernelStats();
+  EXPECT_GT(after.project_full, mid.project_full);
+  EXPECT_GT(comp->DecodedCacheBytes(), 0u);
+}
+
+// -------------------------------------------------- recycler economics --
+
+TEST(CompressedKernelTest, RecyclerChargesCompressedFootprint) {
+  BatPtr col = RunHeavyI32(100000);
+  auto comp_r = CompressedBat::Compress(col, Codec::kRle);
+  ASSERT_TRUE(comp_r.ok());
+  auto comp = std::make_shared<const CompressedBat>(*std::move(comp_r));
+  ASSERT_LT(comp->CompressedBytes(), comp->LogicalBytes());
+
+  recycle::Recycler rec(size_t{1} << 20);
+  std::vector<recycle::CachedVal> outs;
+  outs.push_back({nullptr, comp, Value()});
+  rec.Insert(42, std::move(outs), 0.01);
+
+  auto st = rec.stats();
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_EQ(st.compressed_bytes, comp->CompressedBytes());
+  // Admission charged the compressed footprint (plus the fixed per-entry
+  // bookkeeping overhead), not the decoded bytes.
+  EXPECT_EQ(st.bytes, st.compressed_bytes + 64);
+  EXPECT_LT(st.bytes, comp->LogicalBytes());
+
+  std::vector<recycle::CachedVal> got;
+  ASSERT_TRUE(rec.Lookup(42, &got));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].cbat.get(), comp.get());
+  EXPECT_EQ(got[0].bat, nullptr);
+
+  rec.Clear();
+  EXPECT_EQ(rec.stats().compressed_bytes, 0u);
+  EXPECT_EQ(rec.stats().bytes, 0u);
+}
+
+TEST(CompressedKernelTest, RecycledCompressedResultsServeRepeatedQueries) {
+  sql::Engine engine;
+  ASSERT_TRUE(engine.catalog()->Register(LogsTable()).ok());
+  ASSERT_TRUE(engine.Execute("ALTER TABLE logs COMPRESS").ok());
+  recycle::Recycler rec(size_t{64} << 20);
+  engine.AttachRecycler(&rec);
+
+  const std::string q = "SELECT SUM(grp), MIN(grp) FROM logs";
+  auto first = engine.Execute(q, parallel::ExecContext::Serial());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = engine.Execute(q, parallel::ExecContext::Serial());
+  ASSERT_TRUE(second.ok());
+  auto e1 = EncodeResult(*first);
+  auto e2 = EncodeResult(*second);
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  EXPECT_EQ(*e1, *e2);
+
+  const auto st = rec.stats();
+  EXPECT_GT(st.hits, 0u);
+  // The cached pass-through of the compressed column was admitted at its
+  // compressed footprint.
+  EXPECT_GT(st.compressed_bytes, 0u);
+  EXPECT_LE(st.compressed_bytes, st.bytes);
+}
+
+// --------------------------------------------- persistence + recovery --
+
+class CompressedPersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/mammoth_ckpt_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(CompressedPersistTest, StringDictSurvivesSaveLoadRoundTrip) {
+  sql::Engine engine;
+  ASSERT_TRUE(engine.catalog()->Register(LogsTable()).ok());
+  ASSERT_TRUE(engine.Execute("ALTER TABLE logs COMPRESS").ok());
+  auto t = engine.catalog()->Get("logs");
+  ASSERT_TRUE(t.ok());
+  ASSERT_NE((*t)->StringDictColumn(3), nullptr);
+
+  ASSERT_TRUE(SaveCatalog(*engine.catalog(), dir_).ok());
+  // The manifest persists the dictionary image, not a plain string BAT.
+  EXPECT_TRUE(fs::exists(dir_ + "/logs/col_3.sdict"));
+  EXPECT_FALSE(fs::exists(dir_ + "/logs/col_3.mbat"));
+
+  auto loaded = LoadCatalog(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(wal::CompareCatalogs(*engine.catalog(), **loaded).ok());
+  auto lt = (*loaded)->Get("logs");
+  ASSERT_TRUE(lt.ok());
+  EXPECT_NE((*lt)->StringDictColumn(3), nullptr);
+
+  // Queries over the reloaded catalog stay bit-identical.
+  sql::Engine reloaded;
+  for (const auto& name : (*loaded)->TableNames()) {
+    auto lt2 = (*loaded)->Get(name);
+    ASSERT_TRUE(lt2.ok());
+    ASSERT_TRUE(reloaded.catalog()->Register(*lt2).ok());
+  }
+  for (const std::string& q : StringQueries()) {
+    auto a = engine.Execute(q, parallel::ExecContext::Serial());
+    auto b = reloaded.Execute(q, parallel::ExecContext::Serial());
+    ASSERT_TRUE(a.ok() && b.ok()) << q;
+    auto ea = EncodeResult(*a);
+    auto eb = EncodeResult(*b);
+    ASSERT_TRUE(ea.ok() && eb.ok());
+    EXPECT_EQ(*ea, *eb) << q;
+  }
+}
+
+TEST_F(CompressedPersistTest, StringDictSurvivesCheckpointKillRecover) {
+  std::string expect_q3;
+  const std::string probe = "SELECT id FROM logs WHERE tag = 'w3'";
+  {
+    sql::Engine engine;
+    auto db = wal::OpenDatabase(dir_, &engine);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE(
+        engine.Execute("CREATE TABLE logs (id INT, tag TEXT) COMPRESSED")
+            .ok());
+    int id = 0;
+    for (int stmt = 0; stmt < 12; ++stmt) {
+      std::string ins = "INSERT INTO logs VALUES ";
+      for (int r = 0; r < 50; ++r, ++id) {
+        if (r > 0) ins += ", ";
+        ins += "(" + std::to_string(id) + ", 'w" + std::to_string(id % 10) +
+               "')";
+      }
+      ASSERT_TRUE(engine.Execute(ins).ok());
+    }
+    ASSERT_TRUE(engine.Execute("CHECKPOINT").ok());
+
+    // The checkpoint merged deltas and encoded the dictionary.
+    auto t = engine.catalog()->Get("logs");
+    ASSERT_TRUE(t.ok());
+    EXPECT_NE((*t)->StringDictColumn(1), nullptr);
+
+    // Post-checkpoint tail, replayed from the log on recovery.
+    ASSERT_TRUE(
+        engine.Execute("INSERT INTO logs VALUES (600, 'w3'), (601, 'w4')")
+            .ok());
+    auto r = engine.Execute(probe, parallel::ExecContext::Serial());
+    ASSERT_TRUE(r.ok());
+    auto enc = EncodeResult(*r);
+    ASSERT_TRUE(enc.ok());
+    expect_q3 = *enc;
+    db->wal.reset();  // "kill": drop the log handle, keep the files
+  }
+
+  sql::Engine recovered;
+  auto db2 = wal::OpenDatabase(dir_, &recovered);
+  ASSERT_TRUE(db2.ok()) << db2.status().ToString();
+  EXPECT_FALSE(db2->info.snapshot_dir.empty());
+
+  auto t = recovered.catalog()->Get("logs");
+  ASSERT_TRUE(t.ok());
+  // The dictionary came back from the snapshot's .sdict image.
+  EXPECT_NE((*t)->StringDictColumn(1), nullptr);
+
+  auto r = recovered.Execute(probe, parallel::ExecContext::Serial());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto enc = EncodeResult(*r);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(*enc, expect_q3);
+
+  // The recovered table still accepts DML and re-encodes at checkpoint.
+  ASSERT_TRUE(
+      recovered.Execute("INSERT INTO logs VALUES (700, 'w7')").ok());
+  ASSERT_TRUE(recovered.Execute("CHECKPOINT").ok());
+  auto count =
+      recovered.Execute("SELECT COUNT(*) FROM logs WHERE tag = 'w7'");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->columns[0]->ValueAt<int64_t>(0), 61);
+}
+
+}  // namespace
+}  // namespace mammoth

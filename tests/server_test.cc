@@ -451,7 +451,11 @@ TEST_F(ServerTest, StatusRowOrderingIsAStableContract) {
       "wal_checkpoints", "wal_durable_lsn", "wal_recovered_txns",
       "repl_role", "repl_replicas", "repl_shipped_lsn", "repl_acked_lsn",
       "repl_replayed_lsn", "repl_source_durable_lsn", "repl_lag_bytes",
-      "repl_txns_applied", "repl_snapshots"};
+      "repl_txns_applied", "repl_snapshots", "recycler_compressed_bytes",
+      "compressed_kernel_selects", "compressed_kernel_select_fallbacks",
+      "compressed_kernel_aggrs", "compressed_kernel_aggr_fallbacks",
+      "compressed_project_bounded", "compressed_project_full",
+      "compressed_cache_bytes"};
   ASSERT_EQ(r->RowCount(), kCanonicalOrder.size());
   for (size_t i = 0; i < kCanonicalOrder.size(); ++i) {
     EXPECT_EQ(r->columns[0]->StringAt(i), kCanonicalOrder[i])
