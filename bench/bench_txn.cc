@@ -1,0 +1,226 @@
+// Mixed OLTP+OLAP transaction workload over the wire: writer clients run
+// BEGIN / k INSERTs / COMMIT batches against a small pool of write tables
+// (first-writer-wins claims make collisions real), while reader clients
+// run OLAP aggregates inside snapshot transactions on a separate fact
+// table. BENCH_txn.json tracks committed transactions per second, the
+// write-write conflict rate, and reader p50/p99 latency with and without
+// writers — the MVCC promise is that the reader percentiles hold roughly
+// flat as writers come online, because snapshot readers take no lock a
+// stalled writer holds.
+//
+// MAMMOTH_BENCH_ROWS overrides the fact-table size (default 20000).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace mammoth;
+
+size_t BenchRows() {
+  const char* env = std::getenv("MAMMOTH_BENCH_ROWS");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 20000;
+}
+
+constexpr int kWriteTables = 4;
+
+void Populate(sql::Engine* engine) {
+  auto st = engine->Execute(
+      "CREATE TABLE facts (id INT, value INT, tag VARCHAR(16))");
+  if (!st.ok()) std::abort();
+  const size_t rows = BenchRows();
+  constexpr size_t kBatch = 1000;
+  for (size_t base = 0; base < rows; base += kBatch) {
+    std::string insert = "INSERT INTO facts VALUES ";
+    const size_t end = std::min(base + kBatch, rows);
+    for (size_t i = base; i < end; ++i) {
+      if (i > base) insert += ", ";
+      const char* tag = i % 2 == 0 ? "even" : "odd";
+      insert += "(" + std::to_string(i) + ", " +
+                std::to_string((i * 131) % 10000) + ", '" + tag + "')";
+    }
+    if (!engine->Execute(insert).ok()) std::abort();
+  }
+  for (int t = 0; t < kWriteTables; ++t) {
+    if (!engine
+             ->Execute("CREATE TABLE orders" + std::to_string(t) +
+                       " (id BIGINT, amount INT)")
+             .ok()) {
+      std::abort();
+    }
+  }
+}
+
+const std::vector<std::string>& OlapMix() {
+  static const std::vector<std::string> mix = {
+      "SELECT COUNT(*), SUM(value) FROM facts WHERE value >= 2500 AND "
+      "value <= 7500",
+      "SELECT tag, COUNT(*), SUM(value) FROM facts GROUP BY tag",
+      "SELECT MIN(value), MAX(value) FROM facts",
+  };
+  return mix;
+}
+
+/// OLTP writers vs OLAP snapshot readers. range(0) = writers, range(1) =
+/// readers; the {0, N} point is the reader-only baseline the mixed
+/// percentiles are judged against.
+void BM_TxnOltpOlapMix(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  const int readers = static_cast<int>(state.range(1));
+  constexpr int kTxnsPerWriter = 12;
+  constexpr int kRowsPerTxn = 4;
+  constexpr int kTxnsPerReader = 4;
+  constexpr int kQueriesPerTxn = 2;
+
+  server::ServerConfig config;
+  config.max_sessions = writers + readers + 4;
+  config.admission.max_inflight = 8;
+  config.admission.queue_timeout_ms = 60000;
+  server::Server server(config);
+  Populate(server.engine());
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  std::vector<server::Client> write_conns, read_conns;
+  for (int i = 0; i < writers; ++i) {
+    auto c = server::Client::Connect("127.0.0.1", server.port());
+    if (!c.ok()) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+    write_conns.push_back(std::move(*c));
+  }
+  for (int i = 0; i < readers; ++i) {
+    auto c = server::Client::Connect("127.0.0.1", server.port());
+    if (!c.ok()) {
+      state.SkipWithError("connect failed");
+      return;
+    }
+    read_conns.push_back(std::move(*c));
+  }
+
+  std::vector<double> reader_ms;
+  std::atomic<bool> failed{false};
+  std::atomic<int64_t> next_id{0};
+  int64_t committed = 0, attempted = 0, conflicted = 0;
+  for (auto _ : state) {
+    std::atomic<int64_t> iter_committed{0}, iter_conflicted{0};
+    std::vector<std::vector<double>> per_reader(readers);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int w = 0; w < writers; ++w) {
+      threads.emplace_back([&, w] {
+        const std::string table = "orders" + std::to_string(w % kWriteTables);
+        for (int j = 0; j < kTxnsPerWriter; ++j) {
+          if (!write_conns[w].Begin().ok()) {
+            failed.store(true);
+            return;
+          }
+          bool clashed = false;
+          for (int i = 0; i < kRowsPerTxn && !clashed; ++i) {
+            auto r = write_conns[w].Query(
+                "INSERT INTO " + table + " VALUES (" +
+                std::to_string(next_id.fetch_add(1)) + ", " +
+                std::to_string((w * 131 + j) % 1000) + ")");
+            if (!r.ok()) {
+              if (r.status().code() == StatusCode::kConflict) {
+                clashed = true;
+              } else {
+                failed.store(true);
+                return;
+              }
+            }
+          }
+          if (clashed) {
+            ++iter_conflicted;
+            if (!write_conns[w].Rollback().ok()) failed.store(true);
+            continue;
+          }
+          auto c = write_conns[w].Commit();
+          if (c.ok()) {
+            ++iter_committed;
+          } else if (c.code() == StatusCode::kConflict) {
+            ++iter_conflicted;
+          } else {
+            failed.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (int r = 0; r < readers; ++r) {
+      threads.emplace_back([&, r] {
+        per_reader[r].reserve(kTxnsPerReader * kQueriesPerTxn);
+        for (int j = 0; j < kTxnsPerReader; ++j) {
+          if (!read_conns[r].Begin().ok()) {
+            failed.store(true);
+            return;
+          }
+          for (int q = 0; q < kQueriesPerTxn; ++q) {
+            const std::string& sql = OlapMix()[(r + j + q) % OlapMix().size()];
+            const auto q0 = std::chrono::steady_clock::now();
+            if (!read_conns[r].Query(sql).ok()) failed.store(true);
+            per_reader[r].push_back(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - q0)
+                    .count());
+          }
+          if (!read_conns[r].Commit().ok()) failed.store(true);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+    committed += iter_committed.load();
+    conflicted += iter_conflicted.load();
+    attempted += static_cast<int64_t>(writers) * kTxnsPerWriter;
+    for (auto& v : per_reader) {
+      reader_ms.insert(reader_ms.end(), v.begin(), v.end());
+    }
+  }
+  if (failed.load()) state.SkipWithError("statement failed");
+
+  std::sort(reader_ms.begin(), reader_ms.end());
+  auto percentile = [&](double p) {
+    if (reader_ms.empty()) return 0.0;
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(reader_ms.size() - 1));
+    return reader_ms[idx];
+  };
+  state.counters["committed_tps"] = benchmark::Counter(
+      static_cast<double>(committed), benchmark::Counter::kIsRate);
+  state.counters["conflict_rate"] =
+      attempted == 0 ? 0.0
+                     : static_cast<double>(conflicted) /
+                           static_cast<double>(attempted);
+  state.counters["reader_p50_ms"] = percentile(0.50);
+  state.counters["reader_p99_ms"] = percentile(0.99);
+  state.counters["writers"] = writers;
+  state.counters["readers"] = readers;
+}
+
+BENCHMARK(BM_TxnOltpOlapMix)
+    ->Args({0, 8})   // reader-only baseline
+    ->Args({4, 8})
+    ->Args({8, 8})
+    ->Args({8, 0})   // writer-only throughput
+    ->Iterations(3)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

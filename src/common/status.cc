@@ -32,6 +32,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unsupported";
     case StatusCode::kReadOnly:
       return "ReadOnly";
+    case StatusCode::kConflict:
+      return "Conflict";
   }
   return "Unknown";
 }

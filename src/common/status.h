@@ -24,6 +24,7 @@ enum class StatusCode : uint8_t {
   kCorruption,   ///< on-disk state fails validation (e.g. mid-log CRC)
   kUnsupported,  ///< valid request the implementation declines (e.g. codec/type)
   kReadOnly,     ///< mutation refused: this node is a read replica
+  kConflict,     ///< write-write transaction conflict: retry the txn
 };
 
 /// Returns a short human-readable name for a status code ("InvalidArgument").
@@ -78,6 +79,9 @@ class Status {
   }
   static Status ReadOnly(std::string msg) {
     return Status(StatusCode::kReadOnly, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

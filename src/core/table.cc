@@ -25,6 +25,7 @@ Table::Table(std::string name, std::vector<ColumnDef> schema)
   deleted_ = Bat::New(PhysType::kOid);
   deleted_->mutable_props().sorted = true;
   deleted_->mutable_props().key = true;
+  deleted_stamps_ = std::make_shared<const std::vector<uint64_t>>();
 }
 
 BatPtr Table::NewColumnBat(const ColumnDef& def) {
@@ -89,7 +90,7 @@ size_t Table::VisibleRowCount() const {
   return PhysicalRowCount() - deleted_->Count();
 }
 
-Status Table::Insert(const std::vector<Value>& row) {
+Status Table::Insert(const std::vector<Value>& row, uint64_t stamp) {
   if (row.size() != schema_.size()) {
     return Status::InvalidArgument("row arity mismatch");
   }
@@ -111,31 +112,69 @@ Status Table::Insert(const std::vector<Value>& row) {
       });
     }
   }
+  insert_stamps_.push_back(stamp);
+  if (stamp == txn::kVisibleToAll) ++all_visible_version_;
   ++version_;
   return Status::OK();
 }
 
-Status Table::Delete(const BatPtr& oids) {
+Status Table::Delete(const BatPtr& oids, uint64_t stamp,
+                     const txn::Snapshot* snap) {
   if (oids == nullptr || oids->type() != PhysType::kOid) {
     return Status::InvalidArgument("delete: need bat[:oid]");
   }
   const size_t nrows = PhysicalRowCount();
-  std::vector<Oid> merged;
-  merged.reserve(deleted_->Count() + oids->Count());
-  for (size_t i = 0; i < deleted_->Count(); ++i) {
-    merged.push_back(deleted_->OidAt(i));
-  }
+  std::vector<Oid> add;
+  add.reserve(oids->Count());
   for (size_t i = 0; i < oids->Count(); ++i) {
     const Oid o = oids->OidAt(i);
     if (o >= nrows) return Status::OutOfRange("delete: oid beyond table");
-    merged.push_back(o);
+    add.push_back(o);
   }
-  std::sort(merged.begin(), merged.end());
-  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  std::sort(add.begin(), add.end());
+  add.erase(std::unique(add.begin(), add.end()), add.end());
+  const size_t ndead = deleted_->Count();
+  const std::vector<uint64_t>& dstamps = *deleted_stamps_;
+  if (snap != nullptr) {
+    // First-writer-wins: a target already marked by a delete this snapshot
+    // cannot see lost the race to a transaction that committed after our
+    // snapshot (or still has the mark pending). Fail before mutating.
+    size_t d = 0;
+    for (const Oid o : add) {
+      while (d < ndead && deleted_->OidAt(d) < o) ++d;
+      if (d < ndead && deleted_->OidAt(d) == o && !snap->Sees(dstamps[d])) {
+        return Status::Conflict("row " + std::to_string(o) + " of " + name_ +
+                                " was modified by a concurrent transaction");
+      }
+    }
+  }
+  // Merge-rebuild both lists wholesale (Mark() holds the old pointers).
+  std::vector<Oid> moids;
+  auto mstamps = std::make_shared<std::vector<uint64_t>>();
+  moids.reserve(ndead + add.size());
+  mstamps->reserve(ndead + add.size());
+  size_t i = 0, j = 0;
+  while (i < ndead || j < add.size()) {
+    if (j >= add.size() ||
+        (i < ndead && deleted_->OidAt(i) <= add[j])) {
+      // Existing mark wins a tie: the first deleter's stamp is the one
+      // that committed (or is still pending) on this row.
+      if (j < add.size() && deleted_->OidAt(i) == add[j]) ++j;
+      moids.push_back(deleted_->OidAt(i));
+      mstamps->push_back(dstamps[i]);
+      ++i;
+    } else {
+      moids.push_back(add[j]);
+      mstamps->push_back(stamp);
+      ++j;
+    }
+  }
   deleted_ = Bat::New(PhysType::kOid);
-  deleted_->AppendRaw(merged.data(), merged.size());
+  deleted_->AppendRaw(moids.data(), moids.size());
   deleted_->mutable_props().sorted = true;
   deleted_->mutable_props().key = true;
+  deleted_stamps_ = std::move(mstamps);
+  if (stamp == txn::kVisibleToAll) ++all_visible_version_;
   ++version_;
   return Status::OK();
 }
@@ -254,12 +293,18 @@ Status Table::MergeDeltas() {
   deleted_ = Bat::New(PhysType::kOid);
   deleted_->mutable_props().sorted = true;
   deleted_->mutable_props().key = true;
+  insert_stamps_.clear();
+  deleted_stamps_ = std::make_shared<const std::vector<uint64_t>>();
+  // The merge runs at quiescence (no open transactions), so the compacted
+  // image is all-visible and the per-commit history can be dropped.
+  commit_history_.clear();
+  ++all_visible_version_;
   ++version_;
   return Status::OK();
 }
 
 Table::DeltaMark Table::Mark() const {
-  return DeltaMark{inserts_[0]->Count(), deleted_, version_};
+  return DeltaMark{inserts_[0]->Count(), deleted_, deleted_stamps_, version_};
 }
 
 void Table::Rollback(const DeltaMark& mark) {
@@ -268,11 +313,17 @@ void Table::Rollback(const DeltaMark& mark) {
     // stay in the heap (harmless garbage) but their offsets vanish.
     delta->Resize(mark.insert_rows);
   }
+  insert_stamps_.resize(mark.insert_rows);
   deleted_ = mark.deleted;
+  deleted_stamps_ = mark.deleted_stamps;
   // Restoring the version is safe: the table content is bit-identical to
   // what that version number described, so recycler entries keyed on it
-  // are valid again.
+  // are valid again. The single-owner rule means nothing else touched the
+  // deltas between the mark and this rollback.
   version_ = mark.version;
+  // Conservative: if the reverted statement had all-visible stamps the
+  // epoch moved forward at mutation time and must move again now.
+  ++all_visible_version_;
 }
 
 TablePtr Table::Snapshot() const {
@@ -284,7 +335,12 @@ TablePtr Table::Snapshot() const {
   for (size_t i = 0; i < inserts_.size(); ++i) {
     snap->inserts_[i] = inserts_[i]->Clone();
   }
+  snap->insert_stamps_ = insert_stamps_;
   snap->deleted_ = deleted_->Clone();
+  snap->deleted_stamps_ = deleted_stamps_;  // immutable vector: share
+  snap->commit_history_ = commit_history_;
+  snap->all_visible_version_ = all_visible_version_;
+  snap->version_ = version_;
   return snap;
 }
 
@@ -305,8 +361,120 @@ Status Table::SetCompression(bool on) {
   }
   // Contents are unchanged, but cached plans/results key on the version
   // and the representation they bound to; be conservative.
+  ++all_visible_version_;
   ++version_;
   return Status::OK();
+}
+
+BatPtr Table::VisibleCandidates(const txn::Snapshot& snap) const {
+  const size_t nmain = MainRowCount();
+  const size_t nins = inserts_[0]->Count();
+  const size_t nrows = nmain + nins;
+  // Visible insert rows. Commits append in timestamp order and a pending
+  // owner's rows sit at the tail, so the visible set is *usually* a
+  // prefix — but a transaction that started before an unrelated commit
+  // can own the tail while not seeing that commit, so check row by row.
+  size_t vis_prefix = 0;
+  bool prefix = true;  // visible insert rows form [0, vis_prefix)
+  bool hole = false;
+  bool all_ins = true;
+  std::vector<char> ins_vis;
+  if (nins > 0) {
+    ins_vis.resize(nins);
+    for (size_t j = 0; j < nins; ++j) {
+      const bool v = snap.Sees(insert_stamps_[j]);
+      ins_vis[j] = v ? 1 : 0;
+      all_ins = all_ins && v;
+      if (v && !hole) {
+        ++vis_prefix;
+      } else if (v) {
+        prefix = false;  // visible row after a hole
+      } else {
+        hole = true;
+      }
+    }
+  }
+  // Delete marks the snapshot sees.
+  const size_t ndead = deleted_->Count();
+  const std::vector<uint64_t>& dstamps = *deleted_stamps_;
+  size_t seen_dead = 0;
+  for (size_t d = 0; d < ndead; ++d) {
+    if (snap.Sees(dstamps[d])) ++seen_dead;
+  }
+  if (seen_dead == 0) {
+    if (nins == 0 || all_ins) return Bat::NewDense(0, nrows);
+    if (prefix) return Bat::NewDense(0, nmain + vis_prefix);
+  }
+  BatPtr out = Bat::New(PhysType::kOid);
+  out->Reserve(nrows - seen_dead);
+  size_t d = 0;
+  for (Oid o = 0; o < nrows; ++o) {
+    while (d < ndead && deleted_->OidAt(d) < o) ++d;
+    const bool dead =
+        d < ndead && deleted_->OidAt(d) == o && snap.Sees(dstamps[d]);
+    const bool born = o < nmain || ins_vis[o - nmain] != 0;
+    if (born && !dead) out->Append<Oid>(o);
+  }
+  out->mutable_props().sorted = true;
+  out->mutable_props().key = true;
+  return out;
+}
+
+uint64_t Table::VisibleStateKey(const txn::Snapshot& snap) const {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  };
+  uint64_t h = mix(0x14ull, all_visible_version_);
+  for (auto it = commit_history_.rbegin(); it != commit_history_.rend();
+       ++it) {
+    if (it->first <= snap.ts) {
+      h = mix(mix(h, it->first), it->second);
+      break;
+    }
+  }
+  if (pending_owner_ != 0 && pending_owner_ == snap.txn_id) {
+    // The owner's own statements see its uncommitted writes; key them on
+    // the write progress so each statement invalidates the last. Txn IDs
+    // are never reused, so stale own-entries can never wrongly hit.
+    h = mix(mix(h, pending_owner_), version_);
+  }
+  return h;
+}
+
+bool Table::AcquireWrite(uint64_t txn_id) {
+  if (pending_owner_ != 0 && pending_owner_ != txn_id) return false;
+  pending_owner_ = txn_id;
+  return true;
+}
+
+void Table::ReleaseWrite(uint64_t txn_id) {
+  if (pending_owner_ == txn_id) pending_owner_ = 0;
+}
+
+void Table::CommitVersions(uint64_t txn_id, uint64_t commit_ts) {
+  const uint64_t pending = txn::PendingStamp(txn_id);
+  for (uint64_t& s : insert_stamps_) {
+    if (s == pending) s = commit_ts;
+  }
+  bool has_pending_marks = false;
+  for (const uint64_t s : *deleted_stamps_) {
+    has_pending_marks = has_pending_marks || s == pending;
+  }
+  if (has_pending_marks) {
+    auto restamped =
+        std::make_shared<std::vector<uint64_t>>(*deleted_stamps_);
+    for (uint64_t& s : *restamped) {
+      if (s == pending) s = commit_ts;
+    }
+    deleted_stamps_ = std::move(restamped);
+  }
+  NoteCommit(commit_ts);
+  ReleaseWrite(txn_id);
+}
+
+void Table::NoteCommit(uint64_t commit_ts) {
+  commit_history_.emplace_back(commit_ts, version_);
 }
 
 Result<TablePtr> Table::FromStorage(

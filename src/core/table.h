@@ -10,6 +10,7 @@
 #include "compress/dict_str.h"
 #include "core/bat.h"
 #include "core/value.h"
+#include "txn/txn.h"
 
 namespace mammoth {
 
@@ -65,11 +66,20 @@ class Table {
   size_t PhysicalRowCount() const;
 
   /// Appends one row; `row` must match the schema arity and types
-  /// (numeric values are narrowed to the column type).
-  Status Insert(const std::vector<Value>& row);
+  /// (numeric values are narrowed to the column type). `stamp` is the
+  /// row's commit stamp: kVisibleToAll for pre-transactional callers
+  /// (recovery, direct embedding), txn::PendingStamp(id) for a
+  /// transaction's uncommitted write (made durable by CommitVersions).
+  Status Insert(const std::vector<Value>& row,
+                uint64_t stamp = txn::kVisibleToAll);
 
-  /// Marks the given head OIDs deleted (visible effect immediate).
-  Status Delete(const BatPtr& oids);
+  /// Marks the given head OIDs deleted under `stamp` (same convention as
+  /// Insert). With `snap` set, enforces first-writer-wins: a target row
+  /// already carrying a delete mark the snapshot does *not* see (another
+  /// transaction's pending or later-committed delete) fails the whole
+  /// call with kConflict before anything is mutated.
+  Status Delete(const BatPtr& oids, uint64_t stamp = txn::kVisibleToAll,
+                const txn::Snapshot* snap = nullptr);
 
   /// The *merged* read image of a column: main ++ inserts, one BAT. Cheap
   /// when no pending inserts exist (returns the main BAT itself).
@@ -77,8 +87,54 @@ class Table {
   Result<BatPtr> ScanColumn(std::string_view column_name) const;
 
   /// Candidate list of live (non-deleted) positions, or nullptr when
-  /// nothing was ever deleted ("all rows").
+  /// nothing was ever deleted ("all rows"). Stamp-blind: counts every
+  /// insert and every delete mark regardless of commit state — correct
+  /// only at quiescence (checkpoints, persistence, recovery equality).
   BatPtr LiveCandidates() const;
+
+  /// --- MVCC (§14: versioned deltas) -----------------------------------
+  ///
+  /// Every pending insert row and delete mark carries a commit stamp
+  /// (txn/txn.h). Readers resolve visibility through candidate lists:
+  /// ScanColumn stays the full physical merge, and VisibleCandidates
+  /// excludes the positions a snapshot must not see.
+
+  /// Candidate list of the positions visible to `snap`: rows whose insert
+  /// stamp the snapshot sees, minus rows whose delete mark it sees.
+  /// Returns a dense range when the visible set is a prefix (the common
+  /// case: another transaction's uncommitted rows are the delta tail).
+  BatPtr VisibleCandidates(const txn::Snapshot& snap) const;
+
+  /// A key identifying the table content visible to `snap`, stable across
+  /// other transactions' pending writes: recycler signatures hash it so a
+  /// writer appending uncommitted rows no longer invalidates an unrelated
+  /// reader's cached intermediates. Composed of the all-visible epoch,
+  /// the latest commit at or before the snapshot, and (for the pending
+  /// owner itself) its own write progress.
+  uint64_t VisibleStateKey(const txn::Snapshot& snap) const;
+
+  /// Claims this table for transaction `txn_id`'s writes. Returns false —
+  /// without mutating anything — when another transaction holds it
+  /// (write-write conflict; the caller surfaces kConflict). Idempotent
+  /// for the current owner. The single-owner rule is what makes ROLLBACK
+  /// a physical truncation: a transaction's pending rows are always the
+  /// contiguous tail of the insert delta.
+  bool AcquireWrite(uint64_t txn_id);
+  /// Releases the claim if `txn_id` holds it (COMMIT or ROLLBACK).
+  void ReleaseWrite(uint64_t txn_id);
+  /// Transaction currently holding the write claim, 0 when unclaimed.
+  uint64_t pending_owner() const { return pending_owner_; }
+
+  /// Restamps every pending stamp of `txn_id` to `commit_ts`, records the
+  /// commit in the visibility history, and releases the write claim.
+  /// Caller holds the engine's exclusive lock: from this point snapshots
+  /// at >= commit_ts see the rows.
+  void CommitVersions(uint64_t txn_id, uint64_t commit_ts);
+
+  /// Records a commit at `commit_ts` that was applied already-stamped
+  /// (replica replay writes committed stamps directly under the exclusive
+  /// lock), so VisibleStateKey moves forward.
+  void NoteCommit(uint64_t commit_ts);
 
   /// Folds pending inserts into the main BATs and compacts deleted rows
   /// away (OIDs are renumbered densely). The relational equivalent of a
@@ -95,6 +151,8 @@ class Table {
   struct DeltaMark {
     size_t insert_rows = 0;  ///< pending insert-delta length at the mark
     BatPtr deleted;          ///< deleted-list BAT at the mark
+    /// Stamps parallel to `deleted` (replaced wholesale together).
+    std::shared_ptr<const std::vector<uint64_t>> deleted_stamps;
     uint64_t version = 0;
   };
 
@@ -159,9 +217,10 @@ class Table {
   /// Bytes pinned by whole-column decode caches of compressed int columns.
   size_t CompressedCacheBytesTotal() const;
 
-  /// Monotone version counter, bumped by every Insert/Delete/MergeDeltas.
-  /// Cached intermediates (the recycler, §6.1) key on it to invalidate
-  /// results computed over stale table contents.
+  /// Monotone *physical* version counter, bumped by every
+  /// Insert/Delete/MergeDeltas. Keys caches tied to the physical column
+  /// image (shared-scan zone maps, decode buffers); snapshot-dependent
+  /// caches key on VisibleStateKey instead.
   uint64_t version() const { return version_; }
 
  private:
@@ -190,7 +249,20 @@ class Table {
   /// compression policy (mains_[i] stays the plain execution image).
   std::vector<std::shared_ptr<const compress::StrDict>> str_dicts_;
   std::vector<BatPtr> inserts_;
+  /// One commit stamp per pending insert row (parallel to inserts_[i]).
+  std::vector<uint64_t> insert_stamps_;
   BatPtr deleted_;  // sorted oid BAT of deleted head positions
+  /// One commit stamp per delete mark (parallel to deleted_; replaced
+  /// wholesale with it, so DeltaMark can hold both pointers).
+  std::shared_ptr<const std::vector<uint64_t>> deleted_stamps_;
+  /// Transaction holding the write claim (0 = none).
+  uint64_t pending_owner_ = 0;
+  /// (commit_ts, physical version) per commit since the last MergeDeltas,
+  /// ascending; VisibleStateKey picks the last entry <= snapshot ts.
+  std::vector<std::pair<uint64_t, uint64_t>> commit_history_;
+  /// Epoch of the all-visible image: bumped by stamp-0 mutations,
+  /// MergeDeltas, SetCompression, and Rollback.
+  uint64_t all_visible_version_ = 0;
   bool compress_policy_ = false;
   uint64_t version_ = 0;
 };

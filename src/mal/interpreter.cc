@@ -1,5 +1,6 @@
 #include "mal/interpreter.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -103,6 +104,43 @@ bool CoversWholeColumn(const BatPtr& cands, size_t count, Oid hseq) {
   return cands == nullptr ||
          (cands->IsDenseTail() && cands->Count() == count &&
           cands->tseqbase() == hseq);
+}
+
+/// Whether `cands` is a dense *prefix* [hseq, hseq+k) of a column of
+/// `count` rows — what Table::VisibleCandidates returns when another
+/// transaction's uncommitted rows form the delta tail. Such a select can
+/// still join a shared full-column pass: run over all rows, then cut the
+/// sorted result at the prefix boundary (bit-identical to scanning only
+/// the prefix, since selects never look across rows).
+bool CoversDensePrefix(const BatPtr& cands, size_t count, Oid hseq,
+                       size_t* prefix) {
+  if (cands == nullptr || !cands->IsDenseTail() ||
+      cands->tseqbase() != hseq || cands->Count() >= count) {
+    return false;
+  }
+  *prefix = cands->Count();
+  return true;
+}
+
+/// Drops every OID >= `limit` from a sorted select result.
+BatPtr TruncateSorted(const BatPtr& r, Oid limit) {
+  if (r->IsDenseTail()) {
+    const size_t keep =
+        r->tseqbase() >= limit
+            ? 0
+            : std::min<size_t>(r->Count(), limit - r->tseqbase());
+    if (keep == r->Count()) return r;
+    return Bat::NewDense(r->tseqbase(), keep, r->hseqbase());
+  }
+  const Oid* data = r->TailData<Oid>();
+  const size_t keep = static_cast<size_t>(
+      std::lower_bound(data, data + r->Count(), limit) - data);
+  if (keep == r->Count()) return r;
+  BatPtr out = Bat::New(PhysType::kOid);
+  out->AppendRaw(data, keep);
+  out->mutable_props().sorted = true;
+  out->mutable_props().key = true;
+  return out;
 }
 
 /// The scan source of a bound slot: the compressed image when the bind
@@ -231,17 +269,23 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
         }
         out.bind = &ins;
         out.bind_version = t->version();
+        // Signatures key on the *snapshot-visible* state, not the physical
+        // version: rows another transaction appended but this snapshot
+        // cannot see leave the key — and hence every cached downstream
+        // intermediate — untouched. (Values at visible positions are
+        // immutable, so results computed over an older physical image are
+        // still bit-exact.)
         out.sig = HashCombine(HashCombine(HashString(ins.table),
                                           HashString(ins.column)),
-                              t->version());
+                              t->VisibleStateKey(snap_));
         break;
       }
       case OpCode::kBindCands: {
         MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(ins.table));
         Rt& out = vars[ins.outputs[0]];
-        out.bat = t->LiveCandidates();
+        out.bat = t->VisibleCandidates(snap_);
         out.sig = HashCombine(HashCombine(HashString(ins.table), 0x71d),
-                              t->version());
+                              t->VisibleStateKey(snap_));
         break;
       }
       case OpCode::kThetaSelect: {
@@ -256,13 +300,18 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
             vars[ins.inputs[0]].bind != nullptr) {
           const Rt& in = vars[ins.inputs[0]];
           const scan::ColumnSource src = SourceOf(in);
-          if (CoversWholeColumn(cands, src.Count(), src.hseqbase)) {
+          size_t prefix = 0;
+          const bool whole = CoversWholeColumn(cands, src.Count(),
+                                               src.hseqbase);
+          if (whole || CoversDensePrefix(cands, src.Count(), src.hseqbase,
+                                         &prefix)) {
             MAMMOTH_ASSIGN_OR_RETURN(
                 BatPtr r,
                 ctx_.shared_scans()->Select(
                     src, in.bind->table, in.bind->column, in.bind_version,
                     scan::ScanPredicate::Theta(ins.consts[0], ins.cmp),
                     ctx_));
+            if (!whole) r = TruncateSorted(r, src.hseqbase + prefix);
             vars[ins.outputs[0]].bat = r;
             break;
           }
@@ -329,7 +378,11 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
             vars[ins.inputs[0]].bind != nullptr && subsume_cands == nullptr) {
           const Rt& in = vars[ins.inputs[0]];
           const scan::ColumnSource src = SourceOf(in);
-          if (CoversWholeColumn(cands, src.Count(), src.hseqbase)) {
+          size_t prefix = 0;
+          const bool whole = CoversWholeColumn(cands, src.Count(),
+                                               src.hseqbase);
+          if (whole || CoversDensePrefix(cands, src.Count(), src.hseqbase,
+                                         &prefix)) {
             MAMMOTH_ASSIGN_OR_RETURN(
                 BatPtr r,
                 ctx_.shared_scans()->Select(
@@ -337,6 +390,7 @@ Result<QueryResult> Interpreter::Run(const Program& program, RunStats* stats) {
                     scan::ScanPredicate::Range(ins.consts[0], ins.consts[1],
                                                ins.flag),
                     ctx_));
+            if (!whole) r = TruncateSorted(r, src.hseqbase + prefix);
             vars[ins.outputs[0]].bat = r;
             break;
           }

@@ -9,6 +9,7 @@
 #include "mal/program.h"
 #include "parallel/exec_context.h"
 #include "recycle/recycler.h"
+#include "txn/txn.h"
 
 namespace mammoth::mal {
 
@@ -40,12 +41,19 @@ struct RunStats {
 /// `ctx` scopes the kernel parallelism of every instruction this
 /// interpreter runs (a server passes each query's admission-granted
 /// slice of the shared pool; the default is the process-wide context).
+/// `snap` scopes every base-table access: kBindCands resolves to the
+/// positions visible to the snapshot, and recycler signatures key on the
+/// snapshot-visible state (not the physical version), so another
+/// transaction's uncommitted writes neither appear in results nor evict
+/// this reader's cached intermediates. The default snapshot sees every
+/// committed row — the pre-transaction behavior.
 class Interpreter {
  public:
   explicit Interpreter(
       Catalog* catalog, recycle::Recycler* recycler = nullptr,
-      const parallel::ExecContext& ctx = parallel::ExecContext::Default())
-      : catalog_(catalog), recycler_(recycler), ctx_(ctx) {}
+      const parallel::ExecContext& ctx = parallel::ExecContext::Default(),
+      const txn::Snapshot& snap = txn::Snapshot())
+      : catalog_(catalog), recycler_(recycler), ctx_(ctx), snap_(snap) {}
 
   Result<QueryResult> Run(const Program& program, RunStats* stats = nullptr);
 
@@ -53,6 +61,7 @@ class Interpreter {
   Catalog* catalog_;
   recycle::Recycler* recycler_;
   parallel::ExecContext ctx_;
+  txn::Snapshot snap_;
 };
 
 }  // namespace mammoth::mal

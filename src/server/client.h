@@ -75,6 +75,17 @@ class Client {
   /// Number of queries sent but not yet awaited.
   size_t in_flight() const { return pending_.size(); }
 
+  /// Transaction helpers: BEGIN / COMMIT / ROLLBACK on this connection's
+  /// server-side session. Between Begin() and Commit() every statement
+  /// of this connection runs inside the transaction: SELECTs read the
+  /// BEGIN-time snapshot (plus own writes), DML stays invisible to other
+  /// sessions until Commit(). A Commit() may fail with kConflict (another
+  /// transaction wrote a clashing row first) — the transaction is then
+  /// already rolled back and can simply be retried.
+  Status Begin() { return Query("BEGIN").status(); }
+  Status Commit() { return Query("COMMIT").status(); }
+  Status Rollback() { return Query("ROLLBACK").status(); }
+
   /// Prepares a statement server-side (literals may be `?`). Needs the
   /// server's kWireCapPrepared.
   Result<PreparedHandle> Prepare(const std::string& sql);

@@ -220,6 +220,7 @@ void Reactor::Accept() {
     Conn* conn = owned.get();
     conn->fd = fd;
     conn->id = id;
+    conn->session = server_->engine_.CreateSession();
     conns_[id] = std::move(owned);
     HelloInfo hello;
     hello.session_id = id;
@@ -397,6 +398,7 @@ bool Reactor::ProcessBuffer(Conn* conn) {
 void Reactor::Submit(Conn* conn, Task task) {
   task.conn_id = conn->id;
   task.caps = conn->caps;
+  task.session = conn->session;
   if (task.tagged) {
     ++pipelined_;
   } else {
@@ -420,6 +422,10 @@ void Reactor::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    if (task.abort_session) {
+      server_->engine_.AbortSession(task.session);
+      continue;
+    }
     Server::WireJob job;
     job.seq = task.seq;
     job.is_execute = task.is_execute;
@@ -430,7 +436,7 @@ void Reactor::WorkerLoop() {
     done.conn_id = task.conn_id;
     done.seq = task.seq;
     done.tagged = task.tagged;
-    done.bytes = server_->RunJob(job, task.caps);
+    done.bytes = server_->RunJob(job, task.caps, task.session);
     if (task.tagged) --pipelined_;
     {
       std::lock_guard<std::mutex> lock(done_mu_);
@@ -549,6 +555,19 @@ void Reactor::CloseConn(uint64_t id) {
   Conn* conn = it->second.get();
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
+  // Disconnect auto-rollback: an open transaction must not outlive its
+  // connection. Runs on a worker — it serializes behind any in-flight
+  // statement of this session, which must not stall the loop thread.
+  if (conn->session != nullptr && conn->session->in_transaction()) {
+    Task abort;
+    abort.abort_session = true;
+    abort.session = conn->session;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_.push_back(std::move(abort));
+    }
+    queue_cv_.notify_one();
+  }
   conns_.erase(it);
   --sessions_open_;
   --server_->sessions_open_;

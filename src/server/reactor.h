@@ -15,6 +15,7 @@
 
 #include "common/result.h"
 #include "server/wire.h"
+#include "sql/engine.h"
 
 namespace mammoth::server {
 
@@ -92,6 +93,9 @@ class Reactor {
     std::deque<std::string> plain_backlog;  ///< serialized plain queries
     bool want_close = false;  ///< close once flushed and idle
     bool drain_notified = false;
+    /// Engine session carrying this connection's transaction state;
+    /// aborted (rollback) when the connection closes.
+    sql::SessionPtr session;
   };
 
   /// A request handed to the worker pool (self-contained copies — the
@@ -99,6 +103,12 @@ class Reactor {
   struct Task {
     uint64_t conn_id = 0;
     uint32_t caps = 0;
+    sql::SessionPtr session;  ///< kept alive even if the Conn dies
+    /// Disconnect auto-rollback: abort the session's open transaction
+    /// instead of running a query. Queued (not done inline on the loop
+    /// thread) because the abort serializes behind any in-flight
+    /// statement of the same session.
+    bool abort_session = false;
     bool tagged = false;  ///< counts toward pipelined_in_flight
     // Decoded job fields mirror Server::WireJob (kept as a blob here to
     // avoid a circular include; see reactor.cc).

@@ -425,6 +425,9 @@ void Server::SessionLoop(int fd, uint64_t session_id) {
   hello.caps = AdvertisedCaps();
   uint32_t session_caps = 0;
   bool detached = false;  ///< socket handed to the replication source
+  // Per-connection engine session: BEGIN/COMMIT/ROLLBACK state lives
+  // here; a disconnect mid-transaction rolls it back below.
+  sql::SessionPtr engine_session = engine_.CreateSession();
   if (SendFrame(fd, FrameType::kHello, EncodeHello(hello)).ok()) {
     std::string buffer;
     bool alive = true;
@@ -489,7 +492,10 @@ void Server::SessionLoop(int fd, uint64_t session_id) {
           SendError(fd, job.status());
           break;
         }
-        if (!SendBytes(fd, RunJob(*job, session_caps)).ok()) break;
+        if (!SendBytes(fd, RunJob(*job, session_caps, engine_session))
+                 .ok()) {
+          break;
+        }
         continue;
       }
       if (draining_.load()) {
@@ -507,6 +513,9 @@ void Server::SessionLoop(int fd, uint64_t session_id) {
       buffer.append(chunk, static_cast<size_t>(n));
     }
   }
+  // A connection dying (or closing) inside BEGIN..COMMIT must not leave
+  // pending rows or a write claim behind: auto-rollback.
+  engine_.AbortSession(engine_session);
   {
     // Invalidate the handle's fd before closing so Stop()'s forced
     // shutdown() cannot touch a recycled descriptor, and announce
@@ -546,7 +555,8 @@ Result<Server::WireJob> Server::DecodeJob(const Frame& frame) {
   }
 }
 
-std::string Server::RunJob(const WireJob& job, uint32_t caps) {
+std::string Server::RunJob(const WireJob& job, uint32_t caps,
+                           const sql::SessionPtr& session) {
   // seq 0 = old-protocol untagged response; otherwise the response
   // carries the request's sequence number (out-of-order completion).
   auto respond = [&](FrameType plain, FrameType tagged,
@@ -578,9 +588,9 @@ std::string Server::RunJob(const WireJob& job, uint32_t caps) {
   }
   auto result =
       job.is_execute
-          ? engine_.ExecutePrepared(job.stmt_id, job.params,
-                                    ticket->context())
-          : engine_.Execute(job.sql, ticket->context());
+          ? engine_.ExecutePreparedSession(session, job.stmt_id, job.params,
+                                           ticket->context())
+          : engine_.ExecuteSession(session, job.sql, ticket->context());
   if (!result.ok()) {
     ++queries_failed_;
     return fail(result.status());
@@ -657,6 +667,7 @@ ServerStatsSnapshot Server::stats() const {
   s.compression = engine_.compression_stats();
   s.recycler = engine_.recycler_stats();
   s.compressed_kernels = compress::GetKernelStats();
+  s.txn = engine_.txn_stats();
   s.wire_result_bytes_saved = wire_result_bytes_saved_.load();
   s.prepared = engine_.prepared_stats();
   if (reactor_ != nullptr) {
@@ -768,6 +779,11 @@ mal::QueryResult Server::StatusResult(const ServerStatsSnapshot& s) {
   row("compressed_project_bounded", s.compressed_kernels.project_bounded);
   row("compressed_project_full", s.compressed_kernels.project_full);
   row("compressed_cache_bytes", s.compression.cache_bytes);
+  row("txn_begun", s.txn.begun);
+  row("txn_committed", s.txn.committed);
+  row("txn_rolled_back", s.txn.rolled_back);
+  row("txn_conflicts", s.txn.conflicts);
+  row("txn_active", s.txn.active);
   mal::QueryResult result;
   result.names = {"counter", "value"};
   result.columns = {std::move(counters), std::move(values)};

@@ -134,6 +134,9 @@ struct ServerStatsSnapshot {
   /// Compressed-execution kernel counters (code-space selects, run folds,
   /// bounded projections vs their decode fallbacks).
   compress::KernelStats compressed_kernels;
+  /// Transaction counters of the embedded engine (BEGIN/COMMIT/ROLLBACK
+  /// plus write-write conflicts; txn_* STATUS rows).
+  txn::TxnStats txn;
 };
 
 /// The MammothDB network front-end: a TCP server speaking the wire.h
@@ -236,8 +239,10 @@ class Server {
   Result<WireJob> DecodeJob(const Frame& frame);
   /// Executes one job — SERVER STATUS intercept, admission, engine —
   /// and returns exactly one fully encoded response frame (kResult /
-  /// kError, or their seq-tagged twins when job.seq != 0).
-  std::string RunJob(const WireJob& job, uint32_t caps);
+  /// kError, or their seq-tagged twins when job.seq != 0). `session`
+  /// carries the connection's transaction state (BEGIN/COMMIT/ROLLBACK).
+  std::string RunJob(const WireJob& job, uint32_t caps,
+                     const sql::SessionPtr& session);
   /// Handles a kPrepare frame (no admission: preparing is one parse) and
   /// returns the encoded kPrepared or kErrorSeq response frame. `caps`
   /// gates the parameter-type metadata suffix (kWireCapParamTypes).

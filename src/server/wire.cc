@@ -340,7 +340,7 @@ Result<WireError> DecodeError(std::string_view payload) {
       !r.done()) {
     return Truncated("error frame");
   }
-  if (code > static_cast<uint8_t>(StatusCode::kReadOnly)) {
+  if (code > static_cast<uint8_t>(StatusCode::kConflict)) {
     return Status::InvalidArgument("wire: unknown status code " +
                                    std::to_string(code));
   }

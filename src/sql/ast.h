@@ -97,8 +97,20 @@ struct UpdateStmt {
   std::vector<Predicate> where;
 };
 
+/// BEGIN [TRANSACTION|WORK]: opens an explicit multi-statement
+/// transaction on the executing session.
+struct BeginStmt {};
+
+/// COMMIT [TRANSACTION|WORK]: makes the open transaction's writes visible
+/// and durable (one group-commit WAL batch).
+struct CommitStmt {};
+
+/// ROLLBACK [TRANSACTION|WORK]: discards the open transaction's writes.
+struct RollbackStmt {};
+
 using Statement = std::variant<SelectStmt, CreateStmt, InsertStmt,
-                               DeleteStmt, UpdateStmt, AlterStmt>;
+                               DeleteStmt, UpdateStmt, AlterStmt,
+                               BeginStmt, CommitStmt, RollbackStmt>;
 
 }  // namespace mammoth::sql
 

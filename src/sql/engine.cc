@@ -137,6 +137,19 @@ std::vector<uint8_t> InferParamTypes(const Statement& stmt, Catalog* catalog,
 
 }  // namespace
 
+Session::Session() = default;
+Session::~Session() = default;
+
+Engine::Engine() : catalog_(std::make_shared<Catalog>()) {
+  default_session_ = CreateSession();
+}
+
+SessionPtr Engine::CreateSession() {
+  SessionPtr s = std::make_shared<Session>();
+  s->id_ = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
 Result<mal::Program> Engine::Compile(const SelectStmt& stmt) const {
   if (stmt.tables.empty() || stmt.tables.size() > 2) {
     return Status::Unimplemented("FROM supports one or two tables");
@@ -358,7 +371,8 @@ Result<mal::Program> Engine::Compile(const SelectStmt& stmt) const {
 }
 
 Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt,
-                                           const parallel::ExecContext& ctx) {
+                                           const parallel::ExecContext& ctx,
+                                           const txn::Snapshot& snap) {
   MAMMOTH_ASSIGN_OR_RETURN(mal::Program prog, Compile(stmt));
   mal::PipelineReport opt_report;
   if (optimize_) opt_report = mal::OptimizePipeline(&prog);
@@ -366,12 +380,12 @@ Result<mal::QueryResult> Engine::RunSelect(const SelectStmt& stmt,
     std::lock_guard<std::mutex> lock(intro_mu_);
     last_opt_ = opt_report;
   }
-  return RunCompiledSelect(std::move(prog), stmt, ctx);
+  return RunCompiledSelect(std::move(prog), stmt, ctx, snap);
 }
 
 Result<mal::QueryResult> Engine::RunCompiledSelect(
     mal::Program prog, const SelectStmt& stmt,
-    const parallel::ExecContext& ctx) {
+    const parallel::ExecContext& ctx, const txn::Snapshot& snap) {
   std::string plan = prog.ToString();
   // Route base-table scans through the attached shared-scan scheduler
   // (if any) unless the caller's context already carries one.
@@ -379,7 +393,7 @@ Result<mal::QueryResult> Engine::RunCompiledSelect(
   if (shared_scans_ != nullptr && ctx.shared_scans() == nullptr) {
     run_ctx = ctx.WithSharedScans(shared_scans_);
   }
-  mal::Interpreter interp(catalog_.get(), recycler_, run_ctx);
+  mal::Interpreter interp(catalog_.get(), recycler_, run_ctx, snap);
   mal::RunStats run_stats;
   {
     std::lock_guard<std::mutex> lock(intro_mu_);
@@ -482,13 +496,37 @@ Status Engine::RunAlter(const AlterStmt& stmt, wal::TxnBuilder* txn) {
   return Status::OK();
 }
 
-Status Engine::RunInsert(const InsertStmt& stmt, wal::TxnBuilder* txn) {
+Status Engine::ClaimTable(WriteCtx* w, const TablePtr& t) {
+  if (!t->AcquireWrite(w->txn_id)) {
+    tm_.CountConflict();
+    return Status::Conflict("table " + t->name() +
+                            " is write-locked by another transaction");
+  }
+  if (w->session != nullptr) {
+    for (const auto& [claimed, mark] : w->session->write_set_) {
+      if (claimed.get() == t.get()) return Status::OK();
+    }
+    // First contact in this transaction: the mark taken here is what
+    // ROLLBACK restores (everything this txn will do to `t` comes after).
+    w->session->write_set_.emplace_back(t, t->Mark());
+  } else {
+    for (const TablePtr& claimed : w->touched) {
+      if (claimed.get() == t.get()) return Status::OK();
+    }
+    w->touched.push_back(t);
+  }
+  return Status::OK();
+}
+
+Status Engine::RunInsert(const InsertStmt& stmt, wal::TxnBuilder* txn,
+                         WriteCtx* w) {
   MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(stmt.table));
+  MAMMOTH_RETURN_IF_ERROR(ClaimTable(w, t));
   // Statement atomicity: rows are appended one at a time, so a failure on
   // the Nth row (arity/kind mismatch) must not leave rows 1..N-1 behind.
   const Table::DeltaMark mark = t->Mark();
   for (const std::vector<Value>& row : stmt.rows) {
-    Status st = t->Insert(row);
+    Status st = t->Insert(row, w->stamp);
     if (!st.ok()) {
       t->Rollback(mark);
       return st;
@@ -498,16 +536,19 @@ Status Engine::RunInsert(const InsertStmt& stmt, wal::TxnBuilder* txn) {
   return Status::OK();
 }
 
-Status Engine::RunDelete(const DeleteStmt& stmt, wal::TxnBuilder* txn) {
+Status Engine::RunDelete(const DeleteStmt& stmt, wal::TxnBuilder* txn,
+                         WriteCtx* w) {
   MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(stmt.table));
+  MAMMOTH_RETURN_IF_ERROR(ClaimTable(w, t));
   if (stmt.where.empty()) {
-    BatPtr all = t->LiveCandidates();
-    MAMMOTH_RETURN_IF_ERROR(t->Delete(all));
+    BatPtr all = t->VisibleCandidates(w->snap);
+    MAMMOTH_RETURN_IF_ERROR(t->Delete(all, w->stamp, &w->snap));
     txn->DeletePositions(stmt.table, *all);
     return Status::OK();
   }
   // Evaluate the predicate with the select machinery: the qualifying
-  // candidate list *is* the deletion list.
+  // candidate list *is* the deletion list. The interpreter reads through
+  // the statement's snapshot, so only visible rows are targeted.
   mal::Program prog;
   int cands = prog.BindCandidates(stmt.table);
   for (const Predicate& p : stmt.where) {
@@ -522,15 +563,18 @@ Status Engine::RunDelete(const DeleteStmt& stmt, wal::TxnBuilder* txn) {
     cands = prog.ThetaSelect(col, cands, p.literal, p.op);
   }
   prog.Result(cands, "oids");
-  mal::Interpreter interp(catalog_.get(), nullptr);
+  mal::Interpreter interp(catalog_.get(), nullptr,
+                          parallel::ExecContext::Default(), w->snap);
   MAMMOTH_ASSIGN_OR_RETURN(mal::QueryResult r, interp.Run(prog, nullptr));
-  MAMMOTH_RETURN_IF_ERROR(t->Delete(r.columns[0]));
+  MAMMOTH_RETURN_IF_ERROR(t->Delete(r.columns[0], w->stamp, &w->snap));
   txn->DeletePositions(stmt.table, *r.columns[0]);
   return Status::OK();
 }
 
-Status Engine::RunUpdate(const UpdateStmt& stmt, wal::TxnBuilder* txn) {
+Status Engine::RunUpdate(const UpdateStmt& stmt, wal::TxnBuilder* txn,
+                         WriteCtx* w) {
   MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog_->Get(stmt.table));
+  MAMMOTH_RETURN_IF_ERROR(ClaimTable(w, t));
   // Resolve SET targets and validate value kinds.
   std::vector<std::pair<size_t, Value>> sets;
   for (const auto& [col, value] : stmt.sets) {
@@ -545,7 +589,7 @@ Status Engine::RunUpdate(const UpdateStmt& stmt, wal::TxnBuilder* txn) {
   // Qualifying rows: the same candidate machinery as DELETE.
   BatPtr oids;
   if (stmt.where.empty()) {
-    oids = t->LiveCandidates();
+    oids = t->VisibleCandidates(w->snap);
   } else {
     mal::Program prog;
     int cands = prog.BindCandidates(stmt.table);
@@ -558,7 +602,8 @@ Status Engine::RunUpdate(const UpdateStmt& stmt, wal::TxnBuilder* txn) {
       cands = prog.ThetaSelect(col, cands, p.literal, p.op);
     }
     prog.Result(cands, "oids");
-    mal::Interpreter interp(catalog_.get(), nullptr);
+    mal::Interpreter interp(catalog_.get(), nullptr,
+                            parallel::ExecContext::Default(), w->snap);
     MAMMOTH_ASSIGN_OR_RETURN(mal::QueryResult r, interp.Run(prog, nullptr));
     oids = r.columns[0];
   }
@@ -613,13 +658,13 @@ Status Engine::RunUpdate(const UpdateStmt& stmt, wal::TxnBuilder* txn) {
   // back to the pre-statement delta state.
   const Table::DeltaMark mark = t->Mark();
   for (const std::vector<Value>& new_row : new_rows) {
-    Status st = t->Insert(new_row);
+    Status st = t->Insert(new_row, w->stamp);
     if (!st.ok()) {
       t->Rollback(mark);
       return st;
     }
   }
-  if (Status st = t->Delete(oids); !st.ok()) {
+  if (Status st = t->Delete(oids, w->stamp, &w->snap); !st.ok()) {
     t->Rollback(mark);
     return st;
   }
@@ -653,6 +698,13 @@ Result<mal::QueryResult> Engine::RunCheckpoint() {
         "directory first)");
   }
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  // The merge compacts away the delta versions open snapshots still
+  // read; demand quiescence instead of silently breaking them.
+  if (tm_.ActiveCount() > 0) {
+    return Status::Unavailable(
+        "CHECKPOINT: " + std::to_string(tm_.ActiveCount()) +
+        " transaction(s) open — retry when they finish");
+  }
   MAMMOTH_RETURN_IF_ERROR(MergeForCheckpoint(catalog_.get()));
   MAMMOTH_ASSIGN_OR_RETURN(uint64_t lsn, wal_->Checkpoint(*catalog_));
   mal::QueryResult r;
@@ -667,7 +719,10 @@ Result<mal::QueryResult> Engine::CommitDurable(
     const wal::TxnBuilder& txn, std::unique_lock<std::shared_mutex>* lock) {
   if (wal_ == nullptr || txn.empty()) return mal::QueryResult{};
   MAMMOTH_ASSIGN_OR_RETURN(uint64_t lsn, wal_->LogTransaction(txn.ops()));
-  if (wal_->ShouldCheckpoint()) {
+  // The log-size checkpoint trigger needs a quiescent delta state (the
+  // merge is stamp-blind); with transactions open it simply waits for a
+  // later commit. The committing transaction itself already ended.
+  if (wal_->ShouldCheckpoint() && tm_.ActiveCount() == 0) {
     // Log-size trigger: keep the exclusive lock (the checkpoint needs a
     // quiescent catalog), make the log durable, fold it into a snapshot.
     MAMMOTH_RETURN_IF_ERROR(wal_->Sync(lsn));
@@ -693,8 +748,23 @@ Result<mal::QueryResult> Engine::CommitDurable(
 Status Engine::ApplyReplicatedTxn(const std::vector<wal::Record>& ops) {
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
   catalog_version_.fetch_add(1, std::memory_order_relaxed);
+  // Whole-txn atomicity for replica readers: the rows are applied with a
+  // replica-local commit timestamp minted up front, and open snapshots
+  // (ts < this one) never see any of them — a read-only transaction on a
+  // replica observes shipped transactions all-or-nothing.
+  const uint64_t ts = tm_.NextCommitTs();
   for (const wal::Record& op : ops) {
-    MAMMOTH_RETURN_IF_ERROR(wal::ApplyRecord(catalog_.get(), op));
+    MAMMOTH_RETURN_IF_ERROR(wal::ApplyRecord(catalog_.get(), op, ts));
+  }
+  std::vector<std::string> noted;
+  for (const wal::Record& op : ops) {
+    if (op.table.empty()) continue;
+    if (std::find(noted.begin(), noted.end(), op.table) != noted.end()) {
+      continue;
+    }
+    noted.push_back(op.table);
+    Result<TablePtr> t = catalog_->Get(op.table);
+    if (t.ok()) (*t)->NoteCommit(ts);
   }
   if (recycler_ != nullptr) recycler_->Clear();
   return Status::OK();
@@ -713,23 +783,144 @@ Status Engine::ResetCatalogForReplication(std::shared_ptr<Catalog> catalog) {
 
 Result<mal::QueryResult> Engine::Execute(const std::string& statement,
                                          const parallel::ExecContext& ctx) {
+  return ExecuteSession(default_session_, statement, ctx);
+}
+
+Result<mal::QueryResult> Engine::ExecuteSession(
+    const SessionPtr& session, const std::string& statement,
+    const parallel::ExecContext& ctx) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("engine: null session");
+  }
+  // One statement at a time per session: pipelined wire frames of one
+  // connection may race here, and transaction state transitions must be
+  // serial. Lock order: session mutex before the engine lock.
+  std::lock_guard<std::mutex> session_lock(session->mu_);
   if (IsCheckpointCommand(statement)) return RunCheckpoint();
   // The prepared-statement surface is routed before the regular parser
   // (like CHECKPOINT): its statement body must stay raw text.
   const std::string head = FirstWord(statement);
   if (head == "PREPARE") return RunPrepareSql(statement);
-  if (head == "EXECUTE") return RunExecuteSql(statement, ctx);
+  if (head == "EXECUTE") return RunExecuteSql(session.get(), statement, ctx);
   MAMMOTH_ASSIGN_OR_RETURN(Statement stmt, Parse(statement));
-  return ExecuteParsed(std::move(stmt), ctx);
+  return ExecuteParsed(session.get(), std::move(stmt), ctx);
+}
+
+void Engine::AbortSession(const SessionPtr& session) {
+  if (session == nullptr) return;
+  std::lock_guard<std::mutex> session_lock(session->mu_);
+  if (session->in_txn_) RollbackLocked(session.get());
+}
+
+Result<mal::QueryResult> Engine::RunBegin(Session* session) {
+  if (session->in_txn_) {
+    return Status::InvalidArgument(
+        "BEGIN: a transaction is already open on this session");
+  }
+  // Allowed on a replica too: a read-only transaction gives repeatable
+  // reads across shipped-txn application (DML inside is still refused).
+  session->snap_ = tm_.Begin();
+  session->in_txn_ = true;
+  session->poisoned_ = false;
+  session->poison_ = Status::OK();
+  session->ops_ = std::make_unique<wal::TxnBuilder>();
+  session->write_set_.clear();
+  return mal::QueryResult{};
+}
+
+Result<mal::QueryResult> Engine::RunCommit(Session* session) {
+  if (!session->in_txn_) {
+    return Status::InvalidArgument("COMMIT without BEGIN");
+  }
+  if (session->poisoned_) {
+    // An aborted transaction cannot commit: roll it back and surface the
+    // original failure (keeping its status code — a kConflict stays
+    // typed so clients know to retry).
+    Status poison = session->poison_;
+    RollbackLocked(session);
+    return poison;
+  }
+  if (session->write_set_.empty()) {
+    // Read-only transaction: nothing to publish, nothing to log.
+    tm_.End(session->snap_.txn_id, /*committed=*/true);
+    session->in_txn_ = false;
+    session->ops_.reset();
+    return mal::QueryResult{};
+  }
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  catalog_version_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t txn_id = session->snap_.txn_id;
+  // Publication point: restamping pending rows with the fresh commit
+  // timestamp happens under the exclusive lock, so no reader observes a
+  // half-committed transaction; snapshots minted from here on see all of
+  // it. Write claims are released inside CommitVersions.
+  const uint64_t ts = tm_.NextCommitTs();
+  for (auto& [t, mark] : session->write_set_) t->CommitVersions(txn_id, ts);
+  tm_.End(txn_id, /*committed=*/true);
+  wal::TxnBuilder ops = std::move(*session->ops_);
+  session->in_txn_ = false;
+  session->ops_.reset();
+  session->write_set_.clear();
+  // Durability: the whole transaction goes out as one Begin..Commit WAL
+  // batch (group commit applies to it like to any auto-commit statement).
+  return CommitDurable(ops, &lock);
+}
+
+Result<mal::QueryResult> Engine::RunRollback(Session* session) {
+  if (!session->in_txn_) {
+    return Status::InvalidArgument("ROLLBACK without BEGIN");
+  }
+  RollbackLocked(session);
+  return mal::QueryResult{};
+}
+
+void Engine::RollbackLocked(Session* session) {
+  const uint64_t txn_id = session->snap_.txn_id;
+  if (!session->write_set_.empty()) {
+    std::unique_lock<std::shared_mutex> lock(rw_mu_);
+    catalog_version_.fetch_add(1, std::memory_order_relaxed);
+    // Single-owner rule: this transaction's pending rows are the delta
+    // tail of every claimed table, so restoring the first-claim mark is
+    // a physical undo — the table ends byte-identical to before BEGIN.
+    // Nothing is logged: the WAL never saw the buffered ops.
+    for (auto& [t, mark] : session->write_set_) {
+      t->Rollback(mark);
+      t->ReleaseWrite(txn_id);
+    }
+  }
+  tm_.End(txn_id, /*committed=*/false);
+  session->in_txn_ = false;
+  session->poisoned_ = false;
+  session->poison_ = Status::OK();
+  session->ops_.reset();
+  session->write_set_.clear();
 }
 
 Result<mal::QueryResult> Engine::ExecuteParsed(
-    Statement stmt, const parallel::ExecContext& ctx) {
+    Session* session, Statement stmt, const parallel::ExecContext& ctx) {
+  // Transaction control first — it touches only session + manager state
+  // (BEGIN in particular takes no engine lock: minting a snapshot must
+  // not wait behind a writer, or readers would block on a stalled txn).
+  if (std::get_if<BeginStmt>(&stmt) != nullptr) return RunBegin(session);
+  if (std::get_if<CommitStmt>(&stmt) != nullptr) return RunCommit(session);
+  if (std::get_if<RollbackStmt>(&stmt) != nullptr) {
+    return RunRollback(session);
+  }
+  if (session->in_txn_ && session->poisoned_) {
+    return Status::InvalidArgument(
+        "current transaction is aborted, statements ignored until "
+        "ROLLBACK (" + std::string(session->poison_.message()) + ")");
+  }
+
   // Reads share the lock; everything that mutates catalog or table
-  // state is exclusive (concurrency rule in engine.h).
+  // state is exclusive (concurrency rule in engine.h). Inside an open
+  // transaction the SELECT resolves against the transaction's snapshot
+  // (plus its own pending writes); otherwise against latest-committed.
   if (auto* sel = std::get_if<SelectStmt>(&stmt)) {
     std::shared_lock<std::shared_mutex> lock(rw_mu_);
-    return RunSelect(*sel, ctx);
+    const txn::Snapshot snap =
+        session->in_txn_ ? session->snap_ : tm_.LatestSnapshot();
+    return RunSelect(*sel, ctx, snap);
   }
   // Replica role: refuse every mutation up front — this covers plain and
   // prepared DDL/DML alike, since prepared DML re-enters here after
@@ -738,41 +929,101 @@ Result<mal::QueryResult> Engine::ExecuteParsed(
     return Status::ReadOnly(
         "this node is a read replica: writes go to the primary");
   }
+  // DDL stays auto-commit: an open transaction's WAL batch carries row
+  // ops only, and ROLLBACK's physical truncation cannot undo a catalog
+  // registration. The refusal aborts the transaction (uniform poisoning:
+  // any failed statement inside BEGIN..COMMIT does).
+  const bool is_ddl = std::holds_alternative<CreateStmt>(stmt) ||
+                      std::holds_alternative<AlterStmt>(stmt);
+  if (is_ddl && session->in_txn_) {
+    Status st = Status::InvalidArgument(
+        "DDL inside an explicit transaction is not supported: COMMIT or "
+        "ROLLBACK first");
+    session->poisoned_ = true;
+    session->poison_ = st;
+    return st;
+  }
+
   std::unique_lock<std::shared_mutex> lock(rw_mu_);
-  // Any mutation invalidates cached prepared plans wholesale (same
-  // discipline as the recycler below): stale plans recompile lazily at
-  // their next EXECUTE. Bumped up front so even a failed statement errs
-  // toward recompilation, never toward a stale plan.
+  // Any mutation invalidates cached prepared plans wholesale: stale
+  // plans recompile lazily at their next EXECUTE. Bumped up front so
+  // even a failed statement errs toward recompilation, never toward a
+  // stale plan.
   catalog_version_.fetch_add(1, std::memory_order_relaxed);
-  wal::TxnBuilder txn;
   if (auto* cre = std::get_if<CreateStmt>(&stmt)) {
+    wal::TxnBuilder txn;
     MAMMOTH_RETURN_IF_ERROR(RunCreate(*cre, &txn));
     return CommitDurable(txn, &lock);
   }
   if (auto* alt = std::get_if<AlterStmt>(&stmt)) {
-    // Representation change: cached plans/results keyed on the old
-    // physical layout must not be reused.
+    // Representation change: it rewrites column storage in place, which
+    // open snapshots may still be reading — demand transaction
+    // quiescence, and drop cached plans/results keyed on the old layout.
+    if (tm_.ActiveCount() > 0) {
+      return Status::Unavailable(
+          "ALTER TABLE: " + std::to_string(tm_.ActiveCount()) +
+          " transaction(s) open — retry when they finish");
+    }
+    wal::TxnBuilder txn;
     Status st = RunAlter(*alt, &txn);
     if (recycler_ != nullptr) recycler_->Clear();
     MAMMOTH_RETURN_IF_ERROR(st);
     return CommitDurable(txn, &lock);
   }
-  // DML invalidates the recycler wholesale — even on failure: although a
-  // failing statement now rolls its partial effect back (so cached
-  // entries keyed on the restored table version stay *valid*), dead
-  // entries of the pre-statement version would pin memory anyway once a
-  // later statement succeeds.
+
+  // DML. Inside BEGIN..COMMIT the statement stamps its rows pending
+  // (visible only to this transaction) and buffers its WAL ops on the
+  // session; auto-commit mints a throwaway transaction identity and
+  // publishes at the end of the statement. Either way the recycler is
+  // NOT flushed: cached intermediates are keyed on snapshot-visible
+  // state (Table::VisibleStateKey), so entries for other tables — and
+  // pre-mutation snapshots of this one — stay correct and reusable.
+  WriteCtx w;
+  wal::TxnBuilder local_ops;
+  wal::TxnBuilder* ops = nullptr;
+  const bool explicit_txn = session->in_txn_;
+  if (explicit_txn) {
+    w.txn_id = session->snap_.txn_id;
+    w.snap = session->snap_;
+    w.session = session;
+    ops = session->ops_.get();
+  } else {
+    w.txn_id = tm_.AllocTxnId();
+    w.snap = tm_.LatestSnapshot();
+    w.snap.txn_id = w.txn_id;  // the statement sees its own writes
+    ops = &local_ops;
+  }
+  w.stamp = txn::PendingStamp(w.txn_id);
+
   Status st;
   if (auto* ins = std::get_if<InsertStmt>(&stmt)) {
-    st = RunInsert(*ins, &txn);
+    st = RunInsert(*ins, ops, &w);
   } else if (auto* upd = std::get_if<UpdateStmt>(&stmt)) {
-    st = RunUpdate(*upd, &txn);
+    st = RunUpdate(*upd, ops, &w);
   } else {
-    st = RunDelete(std::get<DeleteStmt>(stmt), &txn);
+    st = RunDelete(std::get<DeleteStmt>(stmt), ops, &w);
   }
-  if (recycler_ != nullptr) recycler_->Clear();
-  MAMMOTH_RETURN_IF_ERROR(st);
-  return CommitDurable(txn, &lock);
+  if (!st.ok()) {
+    // The statement already undid its partial physical effect (Run*
+    // roll back to a statement-local mark) and logged nothing.
+    if (explicit_txn) {
+      // Poison: earlier statements of the transaction stay pending (and
+      // claimed) until ROLLBACK; later statements fail fast.
+      session->poisoned_ = true;
+      session->poison_ = st;
+    } else {
+      for (const TablePtr& t : w.touched) t->ReleaseWrite(w.txn_id);
+    }
+    return st;
+  }
+  if (explicit_txn) {
+    // Buffered: visibility and durability both arrive at COMMIT.
+    return mal::QueryResult{};
+  }
+  // Auto-commit: restamp this statement's rows committed and publish.
+  const uint64_t ts = tm_.NextCommitTs();
+  for (const TablePtr& t : w.touched) t->CommitVersions(w.txn_id, ts);
+  return CommitDurable(local_ops, &lock);
 }
 
 Result<mal::QueryResult> Engine::ExecuteScript(const std::string& script,
@@ -813,6 +1064,22 @@ Result<std::shared_ptr<PreparedStatement>> Engine::Prepare(
 Result<mal::QueryResult> Engine::ExecutePrepared(
     uint64_t stmt_id, const std::vector<Value>& params,
     const parallel::ExecContext& ctx) {
+  return ExecutePreparedSession(default_session_, stmt_id, params, ctx);
+}
+
+Result<mal::QueryResult> Engine::ExecutePreparedSession(
+    const SessionPtr& session, uint64_t stmt_id,
+    const std::vector<Value>& params, const parallel::ExecContext& ctx) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("engine: null session");
+  }
+  std::lock_guard<std::mutex> session_lock(session->mu_);
+  return ExecutePreparedLocked(session.get(), stmt_id, params, ctx);
+}
+
+Result<mal::QueryResult> Engine::ExecutePreparedLocked(
+    Session* session, uint64_t stmt_id, const std::vector<Value>& params,
+    const parallel::ExecContext& ctx) {
   MAMMOTH_ASSIGN_OR_RETURN(std::shared_ptr<PreparedStatement> entry,
                            prepared_.Lookup(stmt_id));
   if (params.size() != entry->nparams) {
@@ -821,7 +1088,14 @@ Result<mal::QueryResult> Engine::ExecutePrepared(
         " parameters, got " + std::to_string(params.size()));
   }
   if (auto* sel = std::get_if<SelectStmt>(&entry->ast)) {
+    if (session->in_txn_ && session->poisoned_) {
+      return Status::InvalidArgument(
+          "current transaction is aborted, statements ignored until "
+          "ROLLBACK (" + std::string(session->poison_.message()) + ")");
+    }
     std::shared_lock<std::shared_mutex> lock(rw_mu_);
+    const txn::Snapshot snap =
+        session->in_txn_ ? session->snap_ : tm_.LatestSnapshot();
     const uint64_t version = catalog_version_.load(std::memory_order_relaxed);
     mal::Program prog;
     {
@@ -843,21 +1117,22 @@ Result<mal::QueryResult> Engine::ExecutePrepared(
     }
     MAMMOTH_RETURN_IF_ERROR(SubstituteProgram(&prog, params));
     if (entry->nparams == 0) {
-      return RunCompiledSelect(std::move(prog), *sel, ctx);
+      return RunCompiledSelect(std::move(prog), *sel, ctx, snap);
     }
     // HAVING literals live in the AST, not the plan — bind a private copy.
     Statement bound = entry->ast;
     MAMMOTH_RETURN_IF_ERROR(SubstituteStatement(&bound, params));
     return RunCompiledSelect(std::move(prog), std::get<SelectStmt>(bound),
-                             ctx);
+                             ctx, snap);
   }
   // Prepared DML: bind a private AST copy and take the normal exclusive
-  // path. Only the parse is skipped — plans are cached for SELECTs only,
-  // since mutation cost is dominated by the delta machinery.
+  // path (joining the session's open transaction, if any). Only the
+  // parse is skipped — plans are cached for SELECTs only, since mutation
+  // cost is dominated by the delta machinery.
   prepared_.CountHit();
   Statement bound = entry->ast;
   MAMMOTH_RETURN_IF_ERROR(SubstituteStatement(&bound, params));
-  return ExecuteParsed(std::move(bound), ctx);
+  return ExecuteParsed(session, std::move(bound), ctx);
 }
 
 Result<mal::QueryResult> Engine::RunPrepareSql(const std::string& statement) {
@@ -906,7 +1181,8 @@ Result<mal::QueryResult> Engine::RunPrepareSql(const std::string& statement) {
 }
 
 Result<mal::QueryResult> Engine::RunExecuteSql(
-    const std::string& statement, const parallel::ExecContext& ctx) {
+    Session* session, const std::string& statement,
+    const parallel::ExecContext& ctx) {
   // EXECUTE <name> [( lit [, lit]* )] [;]
   MAMMOTH_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(statement));
   if (toks.size() < 2 || toks[1].kind != TokKind::kIdent) {
@@ -945,7 +1221,7 @@ Result<mal::QueryResult> Engine::RunExecuteSql(
     return Status::InvalidArgument("EXECUTE: trailing input after ')'");
   }
   MAMMOTH_ASSIGN_OR_RETURN(uint64_t id, prepared_.ResolveName(name));
-  return ExecutePrepared(id, params, ctx);
+  return ExecutePreparedLocked(session, id, params, ctx);
 }
 
 Engine::CompressionStats Engine::compression_stats() const {

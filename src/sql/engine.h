@@ -18,6 +18,7 @@
 #include "recycle/recycler.h"
 #include "sql/ast.h"
 #include "sql/prepared.h"
+#include "txn/txn.h"
 
 namespace mammoth::wal {
 struct Record;
@@ -26,6 +27,50 @@ class Wal;
 }  // namespace mammoth::wal
 
 namespace mammoth::sql {
+
+class Engine;
+
+/// Per-session transaction state (one per connection; the embedded
+/// Execute() surface uses an engine-internal default session). Opaque to
+/// callers: all mutation goes through Engine::ExecuteSession. A session
+/// serializes its own statements (pipelined wire frames of one
+/// connection may race) but is independent of every other session.
+class Session {
+ public:
+  Session();
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
+  /// Whether an explicit transaction is open (racy snapshot: stable only
+  /// from the session's own statement stream).
+  bool in_transaction() const { return in_txn_; }
+
+ private:
+  friend class Engine;
+
+  uint64_t id_ = 0;
+  /// Serializes statements of this session; taken *before* the engine
+  /// lock (lock order: session mutex -> engine rw_mu_ -> txn manager).
+  std::mutex mu_;
+  bool in_txn_ = false;
+  /// A failed statement inside an explicit transaction poisons it: every
+  /// later statement fails until ROLLBACK (COMMIT rolls back and returns
+  /// the poison error).
+  bool poisoned_ = false;
+  Status poison_;
+  txn::Snapshot snap_;
+  /// Logical WAL ops buffered statement by statement, logged as one
+  /// Begin..Commit batch at COMMIT (ROLLBACK just drops them).
+  std::unique_ptr<wal::TxnBuilder> ops_;
+  /// Tables this transaction write-claimed, each with the delta mark
+  /// taken at first claim — ROLLBACK restores these marks (physical
+  /// truncation; the single-owner rule keeps them valid).
+  std::vector<std::pair<TablePtr, Table::DeltaMark>> write_set_;
+};
+
+using SessionPtr = std::shared_ptr<Session>;
 
 /// The SQL front-end of Figure 1: parses mini-SQL, compiles SELECTs into
 /// MAL programs over the columnar back-end, runs the optimizer pipeline,
@@ -58,14 +103,46 @@ namespace mammoth::sql {
 /// one.
 class Engine {
  public:
-  Engine() : catalog_(std::make_shared<Catalog>()) {}
+  Engine();
 
   /// Executes one statement. DDL/DML return an empty result. `ctx`
   /// scopes the kernel parallelism of this statement (a server passes
-  /// the admission-granted slice of its shared pool).
+  /// the admission-granted slice of its shared pool). Runs on the
+  /// engine's default session: auto-commit statements are safe from any
+  /// thread, but explicit BEGIN/COMMIT/ROLLBACK on this surface assume a
+  /// single caller (server connections get their own sessions).
   Result<mal::QueryResult> Execute(
       const std::string& statement,
       const parallel::ExecContext& ctx = parallel::ExecContext::Default());
+
+  /// --- Sessions & transactions (§14) ---------------------------------
+
+  /// Creates an independent session (per-connection transaction state).
+  SessionPtr CreateSession();
+
+  /// Executes one statement on `session`. Outside BEGIN/COMMIT this is
+  /// exactly Execute(); inside an open transaction, SELECTs resolve
+  /// against the transaction's snapshot and DML stays pending (invisible
+  /// to other sessions, undone by ROLLBACK) until COMMIT.
+  Result<mal::QueryResult> ExecuteSession(
+      const SessionPtr& session, const std::string& statement,
+      const parallel::ExecContext& ctx = parallel::ExecContext::Default());
+
+  /// EXECUTE of a prepared statement on `session` (the wire kExecute
+  /// path): prepared SELECTs read through the session snapshot, prepared
+  /// DML joins the session's open transaction.
+  Result<mal::QueryResult> ExecutePreparedSession(
+      const SessionPtr& session, uint64_t stmt_id,
+      const std::vector<Value>& params,
+      const parallel::ExecContext& ctx = parallel::ExecContext::Default());
+
+  /// Rolls back the session's open transaction, if any (disconnect path:
+  /// a connection dying mid-transaction must not leave pending rows or a
+  /// write claim behind). Idempotent.
+  void AbortSession(const SessionPtr& session);
+
+  /// Transaction counters (SERVER STATUS txn_* rows).
+  txn::TxnStats txn_stats() const { return tm_.stats(); }
 
   /// Executes a ';'-separated script, returning the last SELECT's result.
   Result<mal::QueryResult> ExecuteScript(
@@ -185,33 +262,64 @@ class Engine {
   }
 
  private:
+  /// Write context of one mutating statement: the transaction identity
+  /// its rows are stamped with, the snapshot its predicates read through,
+  /// and where claimed tables are recorded (the session's write set for
+  /// explicit transactions, `touched` for auto-commit).
+  struct WriteCtx {
+    uint64_t txn_id = 0;
+    uint64_t stamp = 0;
+    txn::Snapshot snap;
+    Session* session = nullptr;        ///< non-null inside BEGIN..COMMIT
+    std::vector<TablePtr> touched;     ///< auto-commit: tables claimed
+  };
+
+  /// Claims `t` for the statement's transaction; kConflict when another
+  /// transaction holds it. Records the claim (with a rollback mark) on
+  /// first contact.
+  Status ClaimTable(WriteCtx* w, const TablePtr& t);
+
   /// Tail of Execute() after parsing: routes `stmt` under the proper lock
   /// class (SELECT shared, mutations exclusive). Also the entry point of
-  /// prepared DML after parameter binding.
-  Result<mal::QueryResult> ExecuteParsed(Statement stmt,
+  /// prepared DML after parameter binding. `session` is never null.
+  Result<mal::QueryResult> ExecuteParsed(Session* session, Statement stmt,
                                          const parallel::ExecContext& ctx);
+  /// ExecutePreparedSession body; caller holds the session mutex (also
+  /// the re-entry point of the EXECUTE SQL surface, which already does).
+  Result<mal::QueryResult> ExecutePreparedLocked(
+      Session* session, uint64_t stmt_id, const std::vector<Value>& params,
+      const parallel::ExecContext& ctx);
+  Result<mal::QueryResult> RunBegin(Session* session);
+  Result<mal::QueryResult> RunCommit(Session* session);
+  Result<mal::QueryResult> RunRollback(Session* session);
+  /// Rolls the session's open transaction back (marks restored, claims
+  /// released, manager notified). Caller holds the session mutex.
+  void RollbackLocked(Session* session);
   Result<mal::QueryResult> RunSelect(const SelectStmt& stmt,
-                                     const parallel::ExecContext& ctx);
+                                     const parallel::ExecContext& ctx,
+                                     const txn::Snapshot& snap);
   /// Runs an already compiled (and optimized) SELECT plan; the
   /// post-processing — HAVING, ORDER BY, LIMIT, result snapshotting —
   /// still comes from `stmt`. Caller holds the shared lock.
   Result<mal::QueryResult> RunCompiledSelect(mal::Program prog,
                                              const SelectStmt& stmt,
-                                             const parallel::ExecContext& ctx);
+                                             const parallel::ExecContext& ctx,
+                                             const txn::Snapshot& snap);
   /// The PREPARE / EXECUTE SQL surface (intercepted before the parser):
   ///   PREPARE <name> AS <statement>   -- body kept as raw text
   ///   EXECUTE <name> [(lit, ...)]
   Result<mal::QueryResult> RunPrepareSql(const std::string& statement);
-  Result<mal::QueryResult> RunExecuteSql(const std::string& statement,
+  Result<mal::QueryResult> RunExecuteSql(Session* session,
+                                         const std::string& statement,
                                          const parallel::ExecContext& ctx);
   /// The mutating statements. Each applies its full effect or none of it
   /// (statement atomicity via Table::Mark/Rollback) and, on success,
   /// appends its logical ops to `txn` for the WAL.
   Status RunCreate(const CreateStmt& stmt, wal::TxnBuilder* txn);
   Status RunAlter(const AlterStmt& stmt, wal::TxnBuilder* txn);
-  Status RunInsert(const InsertStmt& stmt, wal::TxnBuilder* txn);
-  Status RunDelete(const DeleteStmt& stmt, wal::TxnBuilder* txn);
-  Status RunUpdate(const UpdateStmt& stmt, wal::TxnBuilder* txn);
+  Status RunInsert(const InsertStmt& stmt, wal::TxnBuilder* txn, WriteCtx* w);
+  Status RunDelete(const DeleteStmt& stmt, wal::TxnBuilder* txn, WriteCtx* w);
+  Status RunUpdate(const UpdateStmt& stmt, wal::TxnBuilder* txn, WriteCtx* w);
 
   /// Commit tail of a successful mutating statement: logs `txn`, drops
   /// the exclusive lock, and waits for durability (group commit). When
@@ -224,6 +332,11 @@ class Engine {
   Result<mal::QueryResult> RunCheckpoint();
 
   std::shared_ptr<Catalog> catalog_;
+  /// Transaction IDs, commit timestamps and snapshots (§14).
+  txn::TransactionManager tm_;
+  /// Session of the plain Execute() surface (embedded use, init scripts).
+  SessionPtr default_session_;
+  std::atomic<uint64_t> next_session_id_{1};
   PreparedCache prepared_;
   /// Bumped under the exclusive lock by every mutating statement; a
   /// prepared plan stamped with an older version recompiles lazily at

@@ -33,8 +33,29 @@ class Parser {
     if (IsKeyword("DELETE")) return ParseDelete();
     if (IsKeyword("UPDATE")) return ParseUpdate();
     if (IsKeyword("ALTER")) return ParseAlter();
+    if (AcceptKeyword("BEGIN")) {
+      AcceptKeyword("TRANSACTION") || AcceptKeyword("WORK");
+      MAMMOTH_RETURN_IF_ERROR(ExpectEndOfStatement());
+      return Statement{BeginStmt{}};
+    }
+    if (AcceptKeyword("START")) {
+      MAMMOTH_RETURN_IF_ERROR(ExpectKeyword("TRANSACTION"));
+      MAMMOTH_RETURN_IF_ERROR(ExpectEndOfStatement());
+      return Statement{BeginStmt{}};
+    }
+    if (AcceptKeyword("COMMIT")) {
+      AcceptKeyword("TRANSACTION") || AcceptKeyword("WORK");
+      MAMMOTH_RETURN_IF_ERROR(ExpectEndOfStatement());
+      return Statement{CommitStmt{}};
+    }
+    if (AcceptKeyword("ROLLBACK")) {
+      AcceptKeyword("TRANSACTION") || AcceptKeyword("WORK");
+      MAMMOTH_RETURN_IF_ERROR(ExpectEndOfStatement());
+      return Statement{RollbackStmt{}};
+    }
     return Status::InvalidArgument(
-        "expected SELECT/CREATE/INSERT/DELETE/UPDATE/ALTER");
+        "expected SELECT/CREATE/INSERT/DELETE/UPDATE/ALTER/"
+        "BEGIN/COMMIT/ROLLBACK");
   }
 
  private:

@@ -1,0 +1,157 @@
+#ifndef MAMMOTH_TXN_TXN_H_
+#define MAMMOTH_TXN_TXN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+
+namespace mammoth::txn {
+
+/// Commit stamps (the version layer between the WAL's transaction
+/// boundaries and the delta-BAT storage): every pending insert row and
+/// delete mark carries a 64-bit stamp that says *when* it became — or
+/// will become — visible.
+///
+///   0                      visible to every snapshot ("since forever"):
+///                          merged main rows, crash-recovery replay, and
+///                          direct Table users that predate transactions.
+///   1 .. 2^63-1            commit timestamp: visible to snapshots taken
+///                          at or after that commit.
+///   kPendingBit | txn_id   uncommitted write of an open transaction:
+///                          visible only to its own statements. COMMIT
+///                          restamps these to a fresh commit timestamp;
+///                          ROLLBACK truncates them away physically.
+inline constexpr uint64_t kPendingBit = uint64_t{1} << 63;
+
+/// Stamp of every row committed before the transaction layer existed.
+inline constexpr uint64_t kVisibleToAll = 0;
+
+/// The largest commit timestamp: a snapshot at kMaxTs sees every
+/// committed row (the auto-commit / legacy read path).
+inline constexpr uint64_t kMaxTs = kPendingBit - 1;
+
+constexpr uint64_t PendingStamp(uint64_t txn_id) {
+  return kPendingBit | txn_id;
+}
+constexpr bool IsPending(uint64_t stamp) {
+  return (stamp & kPendingBit) != 0;
+}
+
+/// A read snapshot: the reader sees exactly the rows committed at or
+/// before `ts`, plus (inside a transaction) its own pending writes.
+/// Default-constructed it is the "latest" snapshot — every committed row,
+/// no pending ones — which keeps the pre-transaction read paths honest.
+struct Snapshot {
+  uint64_t ts = kMaxTs;
+  uint64_t txn_id = 0;  ///< 0 outside a transaction
+
+  bool Sees(uint64_t stamp) const {
+    if (IsPending(stamp)) {
+      return txn_id != 0 && stamp == PendingStamp(txn_id);
+    }
+    return stamp <= ts;
+  }
+};
+
+/// Monotonic transaction counters, surfaced through SERVER STATUS.
+struct TxnStats {
+  uint64_t begun = 0;        ///< explicit BEGINs accepted
+  uint64_t committed = 0;    ///< COMMITs applied (incl. read-only)
+  uint64_t rolled_back = 0;  ///< explicit ROLLBACKs + disconnect aborts
+  uint64_t conflicts = 0;    ///< statements refused with kConflict
+  uint64_t active = 0;       ///< open explicit transactions right now
+};
+
+/// Issues monotonically increasing transaction IDs and commit
+/// timestamps, and tracks which transactions are active so checkpoints
+/// can demand quiescence. Thread-safe: BEGIN runs under the engine's
+/// shared lock; commits bump the timestamp under the exclusive lock.
+class TransactionManager {
+ public:
+  /// Starts a transaction: a fresh ID plus a snapshot at the current
+  /// latest commit timestamp. The transaction stays registered (blocking
+  /// checkpoints) until End().
+  Snapshot Begin() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Snapshot snap;
+    snap.txn_id = next_txn_id_++;
+    snap.ts = latest_ts_;
+    active_.insert(snap.txn_id);
+    ++begun_;
+    return snap;
+  }
+
+  /// A transaction ID without the active registration: auto-commit DML
+  /// uses one for its pending stamps within a single exclusive-lock hold.
+  uint64_t AllocTxnId() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_txn_id_++;
+  }
+
+  /// The next commit timestamp. Caller must hold the engine's exclusive
+  /// lock and finish restamping before any reader can take a snapshot —
+  /// the bump makes the commit visible to every later Begin()/latest().
+  uint64_t NextCommitTs() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ++latest_ts_;
+  }
+
+  /// Deregisters an explicit transaction (COMMIT or ROLLBACK).
+  void End(uint64_t txn_id, bool committed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.erase(txn_id);
+    ++(committed ? committed_ : rolled_back_);
+  }
+
+  void CountConflict() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++conflicts_;
+  }
+
+  /// Snapshot for a statement outside any transaction: the latest commit
+  /// timestamp, no pending visibility.
+  Snapshot LatestSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    Snapshot snap;
+    snap.ts = latest_ts_;
+    return snap;
+  }
+
+  uint64_t latest_ts() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return latest_ts_;
+  }
+
+  /// Open explicit transactions; > 0 vetoes checkpoints and delta merges
+  /// (they compact away the versions those snapshots still read).
+  size_t ActiveCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_.size();
+  }
+
+  TxnStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    TxnStats s;
+    s.begun = begun_;
+    s.committed = committed_;
+    s.rolled_back = rolled_back_;
+    s.conflicts = conflicts_;
+    s.active = active_.size();
+    return s;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_txn_id_ = 1;
+  uint64_t latest_ts_ = 0;
+  std::unordered_set<uint64_t> active_;
+  uint64_t begun_ = 0;
+  uint64_t committed_ = 0;
+  uint64_t rolled_back_ = 0;
+  uint64_t conflicts_ = 0;
+};
+
+}  // namespace mammoth::txn
+
+#endif  // MAMMOTH_TXN_TXN_H_

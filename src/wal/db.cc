@@ -118,7 +118,7 @@ Result<CurrentInfo> ReadCurrent(const std::string& dir) {
 
 }  // namespace
 
-Status ApplyRecord(Catalog* catalog, const Record& rec) {
+Status ApplyRecord(Catalog* catalog, const Record& rec, uint64_t stamp) {
   switch (rec.type) {
     case RecordType::kCreateTable: {
       MAMMOTH_ASSIGN_OR_RETURN(TablePtr t,
@@ -128,7 +128,7 @@ Status ApplyRecord(Catalog* catalog, const Record& rec) {
     case RecordType::kInsertRows: {
       MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog->Get(rec.table));
       for (const std::vector<Value>& row : rec.rows) {
-        MAMMOTH_RETURN_IF_ERROR(t->Insert(row));
+        MAMMOTH_RETURN_IF_ERROR(t->Insert(row, stamp));
       }
       return Status::OK();
     }
@@ -137,7 +137,7 @@ Status ApplyRecord(Catalog* catalog, const Record& rec) {
       BatPtr oids = Bat::New(PhysType::kOid);
       oids->Reserve(rec.oids.size());
       for (Oid o : rec.oids) oids->Append(o);
-      return t->Delete(oids);
+      return t->Delete(oids, stamp);
     }
     case RecordType::kUpdateCells: {
       // Same order as Engine::RunUpdate: append the new row images, then
@@ -145,12 +145,12 @@ Status ApplyRecord(Catalog* catalog, const Record& rec) {
       // physical layout (OIDs, delta contents) of the pre-crash table.
       MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog->Get(rec.table));
       for (const std::vector<Value>& row : rec.rows) {
-        MAMMOTH_RETURN_IF_ERROR(t->Insert(row));
+        MAMMOTH_RETURN_IF_ERROR(t->Insert(row, stamp));
       }
       BatPtr oids = Bat::New(PhysType::kOid);
       oids->Reserve(rec.oids.size());
       for (Oid o : rec.oids) oids->Append(o);
-      return t->Delete(oids);
+      return t->Delete(oids, stamp);
     }
     case RecordType::kSetCompression: {
       MAMMOTH_ASSIGN_OR_RETURN(TablePtr t, catalog->Get(rec.table));

@@ -44,7 +44,11 @@ struct RecoveryInfo {
 /// contents) the record described. Shared by Recover and the replication
 /// applier, which replays shipped records through the same machinery.
 /// kBegin/kCommit markers are the caller's business and are rejected.
-Status ApplyRecord(Catalog* catalog, const Record& rec);
+/// `stamp` is the MVCC commit stamp applied rows/deletes carry: recovery
+/// uses the default 0 (visible-to-all — only committed txns are
+/// replayed), the replication applier passes the replica-local commit
+/// timestamp so open replica snapshots don't see the rows early.
+Status ApplyRecord(Catalog* catalog, const Record& rec, uint64_t stamp = 0);
 
 /// Replays `dir` into `catalog` (which should be empty): loads the
 /// checkpoint snapshot, then re-applies every transaction whose Commit

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "mal/interpreter.h"
+#include "sql/engine.h"
 
 namespace mammoth::recycle {
 namespace {
@@ -194,6 +195,79 @@ TEST(RecyclerIntegrationTest, UpdateInvalidatesViaVersion) {
   EXPECT_EQ(s2.recycled, 0u);  // nothing stale reused
   EXPECT_NEAR(r2->columns[0]->ValueAt<double>(0),
               r1->columns[0]->ValueAt<double>(0) + 1e6, 1e-3);
+}
+
+// ------------------------------------- MVCC keying through the SQL engine --
+
+// Since visibility moved into bind signatures (VisibleStateKey), DML no
+// longer flushes the recycler wholesale: a writer on one table must not
+// evict a reader's cached intermediates on an unrelated table.
+TEST(RecyclerMvccTest, WriterDoesNotEvictUnrelatedTableEntries) {
+  sql::Engine engine;
+  Recycler rec(64 << 20);
+  engine.AttachRecycler(&rec);
+  ASSERT_TRUE(engine.Execute("CREATE TABLE hot (k INT, v DOUBLE)").ok());
+  ASSERT_TRUE(engine.Execute("CREATE TABLE churn (k INT)").ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(engine
+                    .Execute("INSERT INTO hot VALUES (" +
+                             std::to_string(i % 100) + ", " +
+                             std::to_string(i * 0.5) + ")")
+                    .ok());
+  }
+  const std::string q = "SELECT sum(v) FROM hot WHERE k >= 10 AND k <= 50";
+  ASSERT_TRUE(engine.Execute(q).ok());  // warm the cache
+  const uint64_t hits_before = engine.recycler_stats().hits;
+  ASSERT_TRUE(engine.Execute(q).ok());
+  const uint64_t hits_warm = engine.recycler_stats().hits;
+  EXPECT_GT(hits_warm, hits_before) << "repeat query not served from cache";
+  // A writer churns the *other* table…
+  ASSERT_TRUE(engine.Execute("INSERT INTO churn VALUES (1)").ok());
+  ASSERT_TRUE(engine.Execute("DELETE FROM churn WHERE k = 1").ok());
+  // …and the hot table's entries are still reusable.
+  ASSERT_TRUE(engine.Execute(q).ok());
+  EXPECT_GT(engine.recycler_stats().hits, hits_warm)
+      << "unrelated DML evicted the reader's cache entries";
+}
+
+// Pending (uncommitted) rows change only the writing session's bind
+// signature: the writer never reuses pre-write entries for its own reads,
+// other sessions never see entries polluted by pending rows, and after
+// COMMIT the new version gets fresh signatures (stale results unreachable).
+TEST(RecyclerMvccTest, SnapshotsKeyCacheEntriesSeparately) {
+  sql::Engine engine;
+  Recycler rec(64 << 20);
+  engine.AttachRecycler(&rec);
+  ASSERT_TRUE(engine.Execute("CREATE TABLE t (k INT, v BIGINT)").ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine
+                    .Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                             ", 1)")
+                    .ok());
+  }
+  const std::string q = "SELECT sum(v) FROM t WHERE k >= 0";
+  auto base = engine.Execute(q);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->columns[0]->ValueAt<int64_t>(0), 100);
+
+  sql::SessionPtr writer = engine.CreateSession();
+  ASSERT_TRUE(engine.ExecuteSession(writer, "BEGIN").ok());
+  ASSERT_TRUE(
+      engine.ExecuteSession(writer, "INSERT INTO t VALUES (100, 1)").ok());
+  // The writer's own read reflects its pending row (not the cached 100)…
+  auto own = engine.ExecuteSession(writer, q);
+  ASSERT_TRUE(own.ok());
+  EXPECT_EQ(own->columns[0]->ValueAt<int64_t>(0), 101);
+  // …while an auto-commit reader still gets the committed image, and may
+  // reuse the pre-write cache entry (same visible version).
+  auto other = engine.Execute(q);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->columns[0]->ValueAt<int64_t>(0), 100);
+  ASSERT_TRUE(engine.ExecuteSession(writer, "COMMIT").ok());
+  // Post-commit: new version, no stale reuse.
+  auto after = engine.Execute(q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->columns[0]->ValueAt<int64_t>(0), 101);
 }
 
 }  // namespace

@@ -236,5 +236,122 @@ TEST(ReplFailoverTest, Kill9ThenPromoteLosesNoAckedWrite) {
   fs::remove_all(dir);
 }
 
+// Multi-statement transactions across failover: writers run BEGIN /
+// three INSERTs / COMMIT batches (one shipped Begin…Commit WAL batch per
+// transaction), the primary dies mid-storm, a replica is promoted. The
+// promoted node must hold transactions atomically — every acked COMMIT
+// fully present, never a partial batch, open transactions absent —
+// because replicas replay whole transaction batches, not single records.
+TEST(ReplFailoverTest, Kill9ThenPromoteKeepsTxnsAtomic) {
+  const std::string binary = FindServerBinary();
+  if (binary.empty()) {
+    GTEST_SKIP() << "mammoth_server binary not found "
+                    "(set MAMMOTH_SERVER_BIN)";
+  }
+  const std::string dir = ::testing::TempDir() + "/mammoth_failover_txn";
+  fs::remove_all(dir);
+
+  ServerProcess primary = LaunchServer(
+      binary, {"--db-dir", dir + "/primary", "--checkpoint-bytes", "65536"});
+  ASSERT_GT(primary.pid, 0) << "primary failed to launch";
+  const std::string primary_addr =
+      "127.0.0.1:" + std::to_string(primary.port);
+
+  constexpr int kThreads = 4;
+  constexpr int kBatch = 3;
+  {
+    auto admin = server::Client::Connect("127.0.0.1", primary.port);
+    ASSERT_TRUE(admin.ok()) << admin.status().ToString();
+    for (int t = 0; t < kThreads; ++t) {
+      ASSERT_TRUE(admin
+                      ->Query("CREATE TABLE w" + std::to_string(t) +
+                              " (v BIGINT)")
+                      .ok());
+    }
+  }
+  ServerProcess replica = LaunchServer(
+      binary,
+      {"--replicate-from", primary_addr, "--db-dir", dir + "/replica"});
+  ASSERT_GT(replica.pid, 0) << "replica failed to launch";
+
+  std::vector<std::thread> writers;
+  std::vector<int64_t> commit_sent(kThreads, 0);
+  std::vector<int64_t> commit_acked(kThreads, 0);
+  std::atomic<uint64_t> total_acked{0};
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      auto client = server::Client::Connect("127.0.0.1", primary.port);
+      if (!client.ok()) return;
+      const std::string table = "w" + std::to_string(t);
+      for (int64_t j = 0;; ++j) {
+        if (!client->Begin().ok()) return;
+        for (int i = 0; i < kBatch; ++i) {
+          if (!client->Query("INSERT INTO " + table + " VALUES (" +
+                             std::to_string(j * kBatch + i) + ")")
+                   .ok()) {
+            return;
+          }
+        }
+        commit_sent[t] = j + 1;
+        if (!client->Commit().ok()) return;
+        commit_acked[t] = j + 1;
+        ++total_acked;
+      }
+    });
+  }
+
+  while (total_acked.load() < 60) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(kill(primary.pid, SIGKILL), 0);
+  for (auto& w : writers) w.join();
+  KillAndReap(&primary, SIGKILL);
+
+  auto client = server::Client::Connect("127.0.0.1", replica.port);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto promoted = client->Query("PROMOTE");
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+
+  for (int t = 0; t < kThreads; ++t) {
+    auto rows = client->Query("SELECT v FROM w" + std::to_string(t));
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    std::set<int64_t> present;
+    for (size_t i = 0; i < rows->RowCount(); ++i) {
+      const int64_t v = rows->columns[0]->ValueAt<int64_t>(i);
+      EXPECT_TRUE(present.insert(v).second)
+          << "duplicate row " << v << " in w" << t;
+    }
+    for (int64_t j = 0; j < commit_acked[t]; ++j) {
+      for (int i = 0; i < kBatch; ++i) {
+        EXPECT_TRUE(present.count(j * kBatch + i))
+            << "acked txn " << j << " lost row " << i << " on promoted w"
+            << t;
+      }
+    }
+    for (int64_t v : present) {
+      const int64_t j = v / kBatch;
+      EXPECT_LT(j, commit_sent[t])
+          << "row " << v << " of w" << t << " from a txn never committed";
+      for (int i = 0; i < kBatch; ++i) {
+        EXPECT_TRUE(present.count(j * kBatch + i))
+            << "partial txn " << j << " replicated to w" << t;
+      }
+    }
+  }
+
+  // The promoted node runs transactions of its own.
+  ASSERT_TRUE(client->Begin().ok());
+  ASSERT_TRUE(client->Query("INSERT INTO w0 VALUES (424242)").ok());
+  ASSERT_TRUE(client->Commit().ok());
+  auto check = client->Query("SELECT COUNT(*) FROM w0 WHERE v = 424242");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->columns[0]->ValueAt<int64_t>(0), 1);
+  EXPECT_EQ(StatusCounter(replica.port, "repl_role"), 0);
+
+  KillAndReap(&replica, SIGTERM);
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace mammoth::repl

@@ -455,7 +455,8 @@ TEST_F(ServerTest, StatusRowOrderingIsAStableContract) {
       "compressed_kernel_selects", "compressed_kernel_select_fallbacks",
       "compressed_kernel_aggrs", "compressed_kernel_aggr_fallbacks",
       "compressed_project_bounded", "compressed_project_full",
-      "compressed_cache_bytes"};
+      "compressed_cache_bytes", "txn_begun", "txn_committed",
+      "txn_rolled_back", "txn_conflicts", "txn_active"};
   ASSERT_EQ(r->RowCount(), kCanonicalOrder.size());
   for (size_t i = 0; i < kCanonicalOrder.size(); ++i) {
     EXPECT_EQ(r->columns[0]->StringAt(i), kCanonicalOrder[i])
@@ -1041,6 +1042,152 @@ TEST_F(ServerTest, ThreadsFrontendStillServes) {
 
   auto counters = ServerStatus(&client);
   EXPECT_EQ(counters["epoll_sessions"], 0);
+}
+
+// ------------------------------------------- transactions over the wire --
+
+/// Each connection carries its own engine session: a transaction opened
+/// with the client helpers stays invisible to other connections until
+/// Commit(), and Rollback() leaves no trace.
+TEST_F(ServerTest, TransactionsOverWire) {
+  StartServer();
+  Client writer = Connect();
+  Client reader = Connect();
+
+  ASSERT_TRUE(writer.Begin().ok());
+  ASSERT_TRUE(
+      writer.Query("INSERT INTO sensors VALUES (9000, 1, 'lab')").ok());
+  auto own = writer.Query("SELECT COUNT(*) FROM sensors");
+  ASSERT_TRUE(own.ok());
+  EXPECT_EQ(own->columns[0]->ValueAt<int64_t>(0), kRows + 1);
+  auto other = reader.Query("SELECT COUNT(*) FROM sensors");
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->columns[0]->ValueAt<int64_t>(0), kRows);
+  ASSERT_TRUE(writer.Commit().ok());
+  auto after = reader.Query("SELECT COUNT(*) FROM sensors");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->columns[0]->ValueAt<int64_t>(0), kRows + 1);
+
+  ASSERT_TRUE(writer.Begin().ok());
+  ASSERT_TRUE(writer.Query("DELETE FROM sensors WHERE id = 9000").ok());
+  ASSERT_TRUE(writer.Rollback().ok());
+  auto undone = reader.Query("SELECT COUNT(*) FROM sensors");
+  ASSERT_TRUE(undone.ok());
+  EXPECT_EQ(undone->columns[0]->ValueAt<int64_t>(0), kRows + 1);
+
+  auto counters = ServerStatus(&reader);
+  EXPECT_GE(counters["txn_begun"], 2);
+  EXPECT_GE(counters["txn_committed"], 1);
+  EXPECT_GE(counters["txn_rolled_back"], 1);
+  EXPECT_EQ(counters["txn_active"], 0);
+}
+
+/// Hostile statement sequences are typed errors, never session-fatal:
+/// COMMIT/ROLLBACK without BEGIN, and BEGIN inside an open transaction
+/// (the original transaction stays open and intact).
+TEST_F(ServerTest, HostileTransactionSequencesAreTypedErrors) {
+  StartServer();
+  Client client = Connect();
+  EXPECT_EQ(client.Commit().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.Rollback().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(client.Begin().ok());
+  EXPECT_EQ(client.Begin().code(), StatusCode::kInvalidArgument);
+  // The first transaction survived the rejected second BEGIN.
+  ASSERT_TRUE(
+      client.Query("INSERT INTO sensors VALUES (9100, 2, 'lab')").ok());
+  ASSERT_TRUE(client.Commit().ok());
+  auto r = client.Query("SELECT COUNT(*) FROM sensors WHERE id = 9100");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->columns[0]->ValueAt<int64_t>(0), 1);
+}
+
+/// Write-write conflicts surface over the wire as the typed kConflict —
+/// distinguishable from parse/plan errors so drivers can auto-retry. The
+/// losing connection survives and can retry after the winner commits.
+TEST_F(ServerTest, WriteConflictIsTypedOverWire) {
+  StartServer();
+  Client a = Connect();
+  Client b = Connect();
+  ASSERT_TRUE(a.Begin().ok());
+  ASSERT_TRUE(a.Query("INSERT INTO sensors VALUES (9200, 3, 'lab')").ok());
+  auto clash = b.Query("INSERT INTO sensors VALUES (9201, 4, 'lab')");
+  EXPECT_EQ(clash.status().code(), StatusCode::kConflict)
+      << clash.status().ToString();
+  ASSERT_TRUE(a.Commit().ok());
+  // Retry after the winner committed: the claim is released.
+  EXPECT_TRUE(b.Query("INSERT INTO sensors VALUES (9201, 4, 'lab')").ok());
+  auto counters = ServerStatus(&b);
+  EXPECT_GE(counters["txn_conflicts"], 1);
+}
+
+/// A connection dropped mid-transaction is auto-rolled back server-side:
+/// pending rows vanish and the write claim is released, so other
+/// connections are not wedged by a vanished client.
+TEST_F(ServerTest, DisconnectMidTransactionAutoRollsBack) {
+  StartServer();
+  {
+    Client doomed = Connect();
+    ASSERT_TRUE(doomed.Begin().ok());
+    ASSERT_TRUE(
+        doomed.Query("INSERT INTO sensors VALUES (9300, 5, 'lab')").ok());
+  }  // socket closes with the transaction open
+  Client survivor = Connect();
+  // The abort runs asynchronously after the disconnect; poll bounded.
+  bool released = false;
+  for (int i = 0; i < 500 && !released; ++i) {
+    auto w = survivor.Query("INSERT INTO sensors VALUES (9301, 6, 'lab')");
+    if (w.ok()) {
+      released = true;
+      break;
+    }
+    ASSERT_EQ(w.status().code(), StatusCode::kConflict);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(released) << "disconnect did not release the write claim";
+  auto gone = survivor.Query("SELECT COUNT(*) FROM sensors WHERE id = 9300");
+  ASSERT_TRUE(gone.ok());
+  EXPECT_EQ(gone->columns[0]->ValueAt<int64_t>(0), 0);
+  auto counters = ServerStatus(&survivor);
+  EXPECT_GE(counters["txn_rolled_back"], 1);
+}
+
+/// caps=0 byte-compat: a client that never sends Caps can still drive
+/// BEGIN/COMMIT through plain untagged kQuery frames — the transaction
+/// surface needs no new frame types or capability bits.
+TEST_F(ServerTest, OldClientRunsTransactionsWithPlainFrames) {
+  StartServer();
+  RawConn conn = RawConn::Open(server_->port());
+  conn.ExpectHello();
+  for (const char* sql :
+       {"BEGIN", "INSERT INTO sensors VALUES (9400, 7, 'lab')", "COMMIT",
+        "SELECT COUNT(*) FROM sensors WHERE id = 9400"}) {
+    conn.Send(server::EncodeFrame(server::FrameType::kQuery, sql));
+    auto frame = conn.ReadFrame();
+    ASSERT_TRUE(frame.ok()) << sql << ": " << frame.status().ToString();
+    EXPECT_EQ(frame->type, server::FrameType::kResult) << sql;
+  }
+  conn.Send(server::EncodeFrame(server::FrameType::kClose, ""));
+  EXPECT_TRUE(conn.ReadUntilEof());
+}
+
+/// The thread-per-connection front-end carries per-connection transaction
+/// state too (same engine-session plumbing as the reactor).
+TEST_F(ServerTest, ThreadsFrontendCarriesTransactions) {
+  ServerConfig config;
+  config.frontend = ServerConfig::Frontend::kThreads;
+  StartServer(config);
+  Client writer = Connect();
+  Client reader = Connect();
+  ASSERT_TRUE(writer.Begin().ok());
+  ASSERT_TRUE(
+      writer.Query("INSERT INTO sensors VALUES (9500, 8, 'lab')").ok());
+  auto hidden = reader.Query("SELECT COUNT(*) FROM sensors WHERE id = 9500");
+  ASSERT_TRUE(hidden.ok());
+  EXPECT_EQ(hidden->columns[0]->ValueAt<int64_t>(0), 0);
+  ASSERT_TRUE(writer.Rollback().ok());
+  auto still = reader.Query("SELECT COUNT(*) FROM sensors WHERE id = 9500");
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still->columns[0]->ValueAt<int64_t>(0), 0);
 }
 
 }  // namespace

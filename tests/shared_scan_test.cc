@@ -441,9 +441,11 @@ TEST(SharedScanEngineTest, ConcurrentEngineSelectsMatchPlainEngine) {
   }
 }
 
-/// Satellite regression: DML must invalidate the recycler. Before the
-/// fix, Execute never called Clear() on INSERT/UPDATE/DELETE.
-TEST(SharedScanEngineTest, RecyclerInvalidatedByDml) {
+/// Satellite regression (MVCC): DML no longer wipes the recycler — bind
+/// signatures key on the snapshot-visible version, so pre-DML entries
+/// simply become unreachable for post-DML readers (never served stale)
+/// while surviving in the cache for any snapshot that can still use them.
+TEST(SharedScanEngineTest, RecyclerVersionKeyedAcrossDml) {
   sql::Engine engine;
   recycle::Recycler rec(size_t{1} << 24);
   engine.AttachRecycler(&rec);
@@ -465,18 +467,92 @@ TEST(SharedScanEngineTest, RecyclerInvalidatedByDml) {
   EXPECT_EQ(repeat->RowCount(), 3u);
   EXPECT_GT(rec.stats().hits, 0u);
 
-  // DML clears the cache; the next SELECT must see the new row.
+  // DML bumps the visible version: entries survive (no wholesale Clear)
+  // but the next SELECT keys differently and must see the new row.
   ASSERT_TRUE(engine.Execute("INSERT INTO kv VALUES (4, 40)").ok());
-  EXPECT_EQ(rec.stats().entries, 0u);
+  EXPECT_GT(rec.stats().entries, 0u);
   auto after = engine.Execute(q);
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after->RowCount(), 4u);
 
   ASSERT_TRUE(engine.Execute("DELETE FROM kv WHERE v = 40").ok());
-  EXPECT_EQ(rec.stats().entries, 0u);
   auto gone = engine.Execute(q);
   ASSERT_TRUE(gone.ok());
   EXPECT_EQ(gone->RowCount(), 3u);
+}
+
+/// Satellite (MVCC): scans inside an open transaction still ride the
+/// shared pass — the pass sweeps the physical column, and each consumer
+/// truncates deliveries to its own snapshot's dense visible prefix. A
+/// pinned-snapshot reader and a latest-state reader share one scheduler
+/// concurrently, and each gets exactly its own visibility, bit-identical
+/// to a plain serial engine at the matching state.
+TEST(SharedScanEngineTest, TxnReadersShareOnePassWithOwnSnapshots) {
+  const size_t nrows = 3 * kChunk + 500;
+  const std::string q =
+      "SELECT COUNT(*), SUM(val) FROM metrics WHERE val >= 100 AND "
+      "val <= 9000";
+
+  // Reference answers from a plain serial engine: before and after the
+  // extra row (MakeEngineTable is seed-deterministic).
+  sql::Engine plain;
+  ASSERT_TRUE(plain.catalog()->Register(MakeEngineTable(nrows)).ok());
+  auto r_old = plain.Execute(q, parallel::ExecContext::Serial());
+  ASSERT_TRUE(r_old.ok());
+  const std::string expected_old = r_old->ToText(1 << 20);
+  ASSERT_TRUE(plain.Execute("INSERT INTO metrics VALUES (777777, 5000)").ok());
+  auto r_new = plain.Execute(q, parallel::ExecContext::Serial());
+  ASSERT_TRUE(r_new.ok());
+  const std::string expected_new = r_new->ToText(1 << 20);
+  ASSERT_NE(expected_old, expected_new);
+
+  for (int threads : {1, 4}) {
+    sql::Engine engine;
+    ASSERT_TRUE(engine.catalog()->Register(MakeEngineTable(nrows)).ok());
+    SharedScanScheduler sched(SmallConfig());
+    engine.AttachSharedScans(&sched);
+    parallel::TaskPool pool(threads);
+    parallel::ExecContext ctx(&pool);
+
+    // Pin three snapshots before the write…
+    std::vector<sql::SessionPtr> pinned;
+    for (int i = 0; i < 3; ++i) {
+      pinned.push_back(engine.CreateSession());
+      ASSERT_TRUE(engine.ExecuteSession(pinned.back(), "BEGIN").ok());
+      // First read pins the snapshot at BEGIN-time state.
+      ASSERT_TRUE(
+          engine.ExecuteSession(pinned.back(), "SELECT COUNT(*) FROM metrics")
+              .ok());
+    }
+    // …then commit the extra row.
+    ASSERT_TRUE(
+        engine.Execute("INSERT INTO metrics VALUES (777777, 5000)").ok());
+
+    // Snapshot readers and latest readers hammer the same scheduler.
+    std::vector<std::thread> readers;
+    for (int i = 0; i < 3; ++i) {
+      readers.emplace_back([&, i] {
+        for (int round = 0; round < 3; ++round) {
+          auto r = engine.ExecuteSession(pinned[i], q, ctx);
+          ASSERT_TRUE(r.ok()) << r.status().ToString();
+          EXPECT_EQ(r->ToText(1 << 20), expected_old)
+              << "snapshot reader leaked a later commit";
+        }
+      });
+      readers.emplace_back([&] {
+        for (int round = 0; round < 3; ++round) {
+          auto r = engine.Execute(q, ctx);
+          ASSERT_TRUE(r.ok()) << r.status().ToString();
+          EXPECT_EQ(r->ToText(1 << 20), expected_new)
+              << "latest reader missed the committed row";
+        }
+      });
+    }
+    for (auto& t : readers) t.join();
+    for (auto& s : pinned) {
+      ASSERT_TRUE(engine.ExecuteSession(s, "COMMIT").ok());
+    }
+  }
 }
 
 /// Satellite: one recycler shared by concurrent sessions (the engine now

@@ -232,5 +232,140 @@ TEST(WalCrashTest, Kill9MidCommitStormKeepsEveryAckedCommit) {
   fs::remove_all(dir);
 }
 
+// Multi-statement transaction storm under kill -9: each writer runs
+// BEGIN / three INSERTs / COMMIT batches on its own table (one WAL
+// Begin…Commit batch per transaction). The recovery contract is
+// atomicity on top of durability: every acked COMMIT is fully present,
+// every recovered batch is complete (never a partial transaction), and
+// transactions still open at the kill — inserts done, COMMIT never
+// issued — are fully absent, because nothing of a transaction reaches
+// the log before COMMIT.
+TEST(WalCrashTest, Kill9MidTxnStormCommitsAreAtomic) {
+  const std::string binary = FindServerBinary();
+  if (binary.empty()) {
+    GTEST_SKIP() << "mammoth_server binary not found "
+                    "(set MAMMOTH_SERVER_BIN)";
+  }
+  const std::string dir = ::testing::TempDir() + "/mammoth_crash_txn";
+  fs::remove_all(dir);
+
+  ServerProcess proc = LaunchServer(binary, dir);
+  ASSERT_GT(proc.pid, 0) << "server failed to launch";
+  ASSERT_GT(proc.port, 0);
+
+  constexpr int kThreads = 4;
+  constexpr int kBatch = 3;  // statements per transaction
+  {
+    auto admin = server::Client::Connect("127.0.0.1", proc.port);
+    ASSERT_TRUE(admin.ok()) << admin.status().ToString();
+    for (int t = 0; t < kThreads; ++t) {
+      ASSERT_TRUE(admin
+                      ->Query("CREATE TABLE w" + std::to_string(t) +
+                              " (v BIGINT)")
+                      .ok());
+    }
+  }
+
+  // Per thread: batches are numbered 0.. and acked as a prefix; a batch
+  // counts as "commit sent" the moment Commit() goes on the wire (it may
+  // then land fully or not at all, never partially) and as "acked" when
+  // the COMMIT response came back ok.
+  std::vector<std::thread> writers;
+  std::vector<int64_t> commit_sent(kThreads, 0);
+  std::vector<int64_t> commit_acked(kThreads, 0);
+  std::atomic<uint64_t> total_acked{0};
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      auto client = server::Client::Connect("127.0.0.1", proc.port);
+      if (!client.ok()) return;
+      const std::string table = "w" + std::to_string(t);
+      for (int64_t j = 0;; ++j) {
+        if (!client->Begin().ok()) return;
+        for (int i = 0; i < kBatch; ++i) {
+          const int64_t v = j * kBatch + i;
+          if (!client->Query("INSERT INTO " + table + " VALUES (" +
+                             std::to_string(v) + ")")
+                   .ok()) {
+            return;  // killed mid-transaction: batch j must not survive
+          }
+        }
+        commit_sent[t] = j + 1;
+        if (!client->Commit().ok()) return;  // batch j is now ambiguous
+        commit_acked[t] = j + 1;
+        ++total_acked;
+      }
+    });
+  }
+
+  while (total_acked.load() < 80) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(kill(proc.pid, SIGKILL), 0);
+  for (auto& w : writers) w.join();
+  ReapServer(&proc);
+
+  Catalog recovered;
+  auto info = Recover(dir, &recovered);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  size_t total_rows = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    auto table = recovered.Get("w" + std::to_string(t));
+    ASSERT_TRUE(table.ok());
+    auto col = (*table)->ScanColumn("v");
+    ASSERT_TRUE(col.ok());
+    const BatPtr live = (*table)->LiveCandidates();
+    std::set<int64_t> present;
+    const size_t nrows = (*table)->VisibleRowCount();
+    total_rows += nrows;
+    for (size_t i = 0; i < nrows; ++i) {
+      const size_t pos = live ? static_cast<size_t>(live->OidAt(i)) : i;
+      const int64_t v = (*col)->ValueAt<int64_t>(pos);
+      EXPECT_TRUE(present.insert(v).second)
+          << "duplicate row " << v << " in w" << t;
+    }
+    // Acked transactions: fully present.
+    for (int64_t j = 0; j < commit_acked[t]; ++j) {
+      for (int i = 0; i < kBatch; ++i) {
+        EXPECT_TRUE(present.count(j * kBatch + i))
+            << "acked txn " << j << " lost row " << i << " in w" << t;
+      }
+    }
+    // Atomicity: whatever is present forms complete transactions whose
+    // COMMIT was at least sent; an open transaction left nothing.
+    for (int64_t v : present) {
+      const int64_t j = v / kBatch;
+      EXPECT_LT(j, commit_sent[t])
+          << "row " << v << " of w" << t << " from a txn never committed";
+      for (int i = 0; i < kBatch; ++i) {
+        EXPECT_TRUE(present.count(j * kBatch + i))
+            << "partial txn " << j << " recovered in w" << t;
+      }
+    }
+  }
+  ASSERT_GT(total_rows, 0u);
+
+  // Replay idempotence, then the binary itself on the scarred directory.
+  Catalog again;
+  ASSERT_TRUE(Recover(dir, &again).ok());
+  EXPECT_TRUE(CompareCatalogs(recovered, again).ok());
+  ServerProcess proc2 = LaunchServer(binary, dir);
+  ASSERT_GT(proc2.pid, 0) << "server failed to restart after crash";
+  {
+    auto client = server::Client::Connect("127.0.0.1", proc2.port);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    size_t served = 0;
+    for (int t = 0; t < kThreads; ++t) {
+      auto r = client->Query("SELECT v FROM w" + std::to_string(t));
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      served += r->RowCount();
+    }
+    EXPECT_EQ(served, total_rows);
+  }
+  kill(proc2.pid, SIGTERM);
+  ReapServer(&proc2);
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace mammoth::wal
